@@ -1,0 +1,109 @@
+// Consolidated design-choice ablations beyond the paper's own (DESIGN.md
+// §7): on Porto + DTW, compares full TMN against
+//   - TMN-NM     (matching mechanism removed — paper's ablation)
+//   - TMN-noSub  (sub-trajectory loss removed — paper's Figure 5b)
+//   - TMN-GRU    (GRU backbone instead of LSTM — related-work question)
+//   - TMN-kd     (Traj2SimVec's sampler — paper's Table IV)
+// plus an HNSW-vs-exact search comparison over TMN-NM embeddings (the
+// paper's §I claim that ANN indexes apply directly to the embeddings).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "core/tmn_model.h"
+#include "core/sampler.h"
+#include "core/trainer.h"
+#include "eval/evaluation.h"
+#include "eval/timer.h"
+#include "index/hnsw.h"
+#include "index/kd_tree.h"
+
+namespace {
+
+void RunModelAblations(const tmn::bench::PreparedData& data) {
+  tmn::bench::PrintTableHeader("Ablations — Porto-like / DTW",
+                               {"HR-10", "HR-50", "R10@50"});
+  for (const std::string& method :
+       {std::string("TMN"), std::string("TMN-NM"), std::string("TMN-noSub"),
+        std::string("TMN-GRU"), std::string("TMN-kd")}) {
+    tmn::bench::RunConfig config;
+    config.method = method;
+    config.metric = tmn::dist::MetricType::kDtw;
+    const auto result = tmn::bench::RunMethod(data, config);
+    tmn::bench::PrintRow(method, {result.quality.hr10, result.quality.hr50,
+                                  result.quality.r10_at_50});
+  }
+}
+
+// Trains TMN-NM (single-encoding), embeds the test set, and compares
+// exhaustive kNN against HNSW on recall@10 and query time.
+void RunHnswStudy(const tmn::bench::PreparedData& data) {
+  using tmn::bench::RunConfig;
+  tmn::core::TmnModelConfig model_config;
+  model_config.hidden_dim = 16;
+  model_config.use_matching = false;
+  tmn::core::TmnModel model(model_config);
+  const auto& truth = data.TruthFor(tmn::dist::MetricType::kDtw);
+  const auto metric = tmn::dist::CreateMetric(
+      tmn::dist::MetricType::kDtw, tmn::bench::BenchMetricParams());
+  tmn::core::TrainConfig train_config;
+  train_config.epochs = 4;
+  train_config.alpha = tmn::core::SuggestAlpha(truth.train_dist);
+  tmn::core::RandomSortSampler sampler(&truth.train_dist,
+                                       train_config.sampling_num);
+  tmn::core::PairTrainer trainer(&model, &data.train, &truth.train_dist,
+                                 metric.get(), &sampler, train_config);
+  trainer.Train();
+
+  const auto embeddings = tmn::eval::EncodeAll(model, data.test);
+  const size_t dim = embeddings[0].size();
+  std::vector<float> flat;
+  flat.reserve(embeddings.size() * dim);
+  for (const auto& e : embeddings) {
+    flat.insert(flat.end(), e.begin(), e.end());
+  }
+  tmn::index::HnswIndex hnsw(dim);
+  tmn::eval::WallTimer build_timer;
+  for (const auto& e : embeddings) hnsw.Add(e);
+  const double build_secs = build_timer.Seconds();
+
+  const size_t queries = std::min<size_t>(100, embeddings.size());
+  double recall = 0.0;
+  tmn::eval::WallTimer brute_timer;
+  std::vector<std::vector<size_t>> exact(queries);
+  for (size_t q = 0; q < queries; ++q) {
+    exact[q] = tmn::index::BruteForceNearest(flat, dim, embeddings[q], 10);
+  }
+  const double brute_secs = brute_timer.Seconds();
+  tmn::eval::WallTimer hnsw_timer;
+  for (size_t q = 0; q < queries; ++q) {
+    const auto approx = hnsw.Nearest(embeddings[q], 10, 64);
+    size_t hits = 0;
+    for (size_t idx : approx) {
+      if (std::find(exact[q].begin(), exact[q].end(), idx) !=
+          exact[q].end()) {
+        ++hits;
+      }
+    }
+    recall += static_cast<double>(hits) / 10.0;
+  }
+  const double hnsw_secs = hnsw_timer.Seconds();
+  std::printf(
+      "\nHNSW over TMN-NM embeddings (%zu vectors, d=%zu):\n"
+      "  build %.4fs | recall@10 %.3f | query %.2fus vs brute %.2fus\n",
+      embeddings.size(), dim, build_secs, recall / queries,
+      1e6 * hnsw_secs / queries, 1e6 * brute_secs / queries);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("TMN reproduction — extra design-choice ablations\n");
+  tmn::bench::BenchDataConfig data_config;
+  data_config.kind = tmn::data::SyntheticKind::kPortoLike;
+  const tmn::bench::PreparedData data = tmn::bench::PrepareData(data_config);
+  RunModelAblations(data);
+  RunHnswStudy(data);
+  return 0;
+}

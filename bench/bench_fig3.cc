@@ -1,0 +1,34 @@
+// Reproduces Figure 3: loss-function ablation on the Porto-like dataset —
+// TMN trained with MSE vs Q-error under Fréchet, DTW, Hausdorff and LCSS.
+// Paper shape: MSE wins on almost every (metric, measure) combination.
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+
+int main() {
+  std::printf("TMN reproduction — Figure 3 (MSE vs Q-error loss, Porto)\n");
+  tmn::bench::BenchDataConfig data_config;
+  data_config.kind = tmn::data::SyntheticKind::kPortoLike;
+  const tmn::bench::PreparedData data = tmn::bench::PrepareData(data_config);
+
+  for (tmn::dist::MetricType metric :
+       {tmn::dist::MetricType::kFrechet, tmn::dist::MetricType::kDtw,
+        tmn::dist::MetricType::kHausdorff, tmn::dist::MetricType::kLcss}) {
+    tmn::bench::PrintTableHeader(
+        "Figure 3 — " + tmn::dist::MetricName(metric) + " distance",
+        {"HR-10", "HR-50", "R10@50"});
+    for (tmn::core::LossKind loss :
+         {tmn::core::LossKind::kMse, tmn::core::LossKind::kQError}) {
+      tmn::bench::RunConfig config;
+      config.method = "TMN";
+      config.metric = metric;
+      config.loss = loss;
+      const auto result = tmn::bench::RunMethod(data, config);
+      tmn::bench::PrintRow("TMN-" + tmn::core::LossName(loss),
+                           {result.quality.hr10, result.quality.hr50,
+                            result.quality.r10_at_50});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Figure 4: parameter sensitivity of TMN on Porto + DTW.
+//   (a) hidden dimension d in {16, 32, 64, 128}  (paper: 16..256)
+//   (b) learning rate lr in {1e-4, 1e-3, 5e-3, 1e-2}
+// Paper shape: quality rises with d then saturates; lr = 1e-2 collapses,
+// mid-range lr (5e-3) is best, tiny lr underfits within the epoch budget.
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+
+int main() {
+  std::printf("TMN reproduction — Figure 4 (dimension & learning rate)\n");
+  tmn::bench::BenchDataConfig data_config;
+  data_config.kind = tmn::data::SyntheticKind::kPortoLike;
+  const tmn::bench::PreparedData data = tmn::bench::PrepareData(data_config);
+
+  tmn::bench::PrintTableHeader("Figure 4a — hidden dimension d (DTW)",
+                               {"HR-10", "HR-50", "R10@50", "s/epoch"});
+  for (int d : {16, 32, 64, 128}) {
+    tmn::bench::RunConfig config;
+    config.method = "TMN";
+    config.metric = tmn::dist::MetricType::kDtw;
+    config.hidden_dim = d;
+    const auto result = tmn::bench::RunMethod(data, config);
+    tmn::bench::PrintRow("d=" + std::to_string(d),
+                         {result.quality.hr10, result.quality.hr50,
+                          result.quality.r10_at_50,
+                          result.train_seconds_per_epoch});
+  }
+
+  tmn::bench::PrintTableHeader("Figure 4b — learning rate (DTW)",
+                               {"HR-10", "HR-50", "R10@50"});
+  for (double lr : {1e-4, 1e-3, 5e-3, 1e-2, 5e-2}) {
+    tmn::bench::RunConfig config;
+    config.method = "TMN";
+    config.metric = tmn::dist::MetricType::kDtw;
+    config.lr = lr;
+    const auto result = tmn::bench::RunMethod(data, config);
+    char label[32];
+    std::snprintf(label, sizeof(label), "lr=%g", lr);
+    tmn::bench::PrintRow(label, {result.quality.hr10, result.quality.hr50,
+                                 result.quality.r10_at_50});
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Figure 5: (a) sampling number sn sweep on Porto + DTW;
+// (b) sub-trajectory loss ablation (TMN vs noSub) under Hausdorff and
+// LCSS. Paper shape: sn = 20 is the sweet spot (10 too few, larger only
+// costs memory); the sub-trajectory loss helps on both metrics.
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+
+int main() {
+  std::printf("TMN reproduction — Figure 5 (sampling number & sub-loss)\n");
+  tmn::bench::BenchDataConfig data_config;
+  data_config.kind = tmn::data::SyntheticKind::kPortoLike;
+  const tmn::bench::PreparedData data = tmn::bench::PrepareData(data_config);
+
+  tmn::bench::PrintTableHeader("Figure 5a — sampling number sn (DTW)",
+                               {"HR-10", "HR-50", "R10@50"});
+  for (size_t sn : {6u, 10u, 20u, 30u}) {
+    tmn::bench::RunConfig config;
+    config.method = "TMN";
+    config.metric = tmn::dist::MetricType::kDtw;
+    config.sampling_num = sn;
+    const auto result = tmn::bench::RunMethod(data, config);
+    tmn::bench::PrintRow("sn=" + std::to_string(sn),
+                         {result.quality.hr10, result.quality.hr50,
+                          result.quality.r10_at_50});
+  }
+
+  for (tmn::dist::MetricType metric : {tmn::dist::MetricType::kHausdorff,
+                                       tmn::dist::MetricType::kLcss}) {
+    tmn::bench::PrintTableHeader(
+        "Figure 5b — sub-trajectory loss (" +
+            tmn::dist::MetricName(metric) + ")",
+        {"HR-10", "HR-50", "R10@50"});
+    for (const std::string& method : {std::string("TMN"),
+                                     std::string("TMN-noSub")}) {
+      tmn::bench::RunConfig config;
+      config.method = method;
+      config.metric = metric;
+      const auto result = tmn::bench::RunMethod(data, config);
+      tmn::bench::PrintRow(method == "TMN" ? "TMN" : "noSub",
+                           {result.quality.hr10, result.quality.hr50,
+                            result.quality.r10_at_50});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Microbenchmarks for the exact distance metrics (google-benchmark):
+// per-pair cost as a function of trajectory length, for each metric.
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "distance/metric.h"
+#include "geo/preprocess.h"
+
+namespace {
+
+std::vector<tmn::geo::Trajectory> MakeTrajectories(int length) {
+  tmn::data::SyntheticConfig config;
+  config.kind = tmn::data::SyntheticKind::kPortoLike;
+  config.num_trajectories = 2;
+  config.min_length = length;
+  config.max_length = length;
+  config.seed = 5;
+  auto raw = tmn::data::GenerateSynthetic(config);
+  return tmn::geo::NormalizeTrajectories(
+      raw, tmn::geo::ComputeNormalization(raw));
+}
+
+void BM_Metric(benchmark::State& state, tmn::dist::MetricType type) {
+  const auto trajs = MakeTrajectories(static_cast<int>(state.range(0)));
+  const auto metric = tmn::dist::CreateMetric(type);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metric->Compute(trajs[0], trajs[1]));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void RegisterMetricBenchmarks() {
+  for (tmn::dist::MetricType type : tmn::dist::AllMetricTypes()) {
+    const std::string name = "BM_" + tmn::dist::MetricName(type);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [type](benchmark::State& state) { BM_Metric(state, type); })
+        ->Arg(16)
+        ->Arg(64)
+        ->Arg(256)
+        ->Complexity(benchmark::oNSquared);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterMetricBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

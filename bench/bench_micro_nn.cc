@@ -1,0 +1,103 @@
+// Microbenchmarks for the neural-network engine: matmul, softmax, LSTM
+// steps, and full TMN pair forward/backward — the primitives whose cost
+// dominates training in Table III.
+#include <benchmark/benchmark.h>
+
+#include "core/model.h"
+#include "core/tmn_model.h"
+#include "data/synthetic.h"
+#include "geo/preprocess.h"
+#include "nn/lstm.h"
+#include "nn/ops.h"
+#include "nn/rng.h"
+#include "nn/tensor.h"
+
+namespace {
+
+using tmn::nn::Rng;
+using tmn::nn::Tensor;
+
+Tensor RandomTensor(int rows, int cols, Rng& rng, bool grad = false) {
+  std::vector<float> data(static_cast<size_t>(rows) * cols);
+  for (float& v : data) v = static_cast<float>(rng.Uniform(-1, 1));
+  return Tensor::FromData(rows, cols, std::move(data), grad);
+}
+
+void BM_MatMul(benchmark::State& state) {
+  Rng rng(1);
+  const int n = static_cast<int>(state.range(0));
+  Tensor a = RandomTensor(n, n, rng);
+  Tensor b = RandomTensor(n, n, rng);
+  tmn::nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tmn::nn::MatMul(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128)->Complexity();
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(2);
+  const int n = static_cast<int>(state.range(0));
+  Tensor a = RandomTensor(n, n, rng);
+  tmn::nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tmn::nn::SoftmaxRows(a));
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(32)->Arg(128);
+
+void BM_LstmForward(benchmark::State& state) {
+  Rng rng(3);
+  const int hidden = static_cast<int>(state.range(0));
+  tmn::nn::Lstm lstm(hidden, hidden, rng);
+  Tensor x = RandomTensor(30, hidden, rng);
+  tmn::nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.Forward(x));
+  }
+}
+BENCHMARK(BM_LstmForward)->Arg(16)->Arg(32)->Arg(128);
+
+tmn::geo::Trajectory BenchTrajectory(int length, uint64_t seed) {
+  tmn::data::SyntheticConfig config;
+  config.num_trajectories = 1;
+  config.min_length = length;
+  config.max_length = length;
+  config.seed = seed;
+  auto raw = tmn::data::GenerateSynthetic(config);
+  return tmn::geo::NormalizeTrajectories(
+      raw, tmn::geo::ComputeNormalization(raw))[0];
+}
+
+void BM_TmnPairForward(benchmark::State& state) {
+  tmn::core::TmnModelConfig config;
+  config.hidden_dim = static_cast<int>(state.range(0));
+  tmn::core::TmnModel model(config);
+  const auto a = BenchTrajectory(30, 7);
+  const auto b = BenchTrajectory(30, 8);
+  tmn::nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ForwardPair(a, b));
+  }
+}
+BENCHMARK(BM_TmnPairForward)->Arg(16)->Arg(32)->Arg(128);
+
+void BM_TmnPairForwardBackward(benchmark::State& state) {
+  tmn::core::TmnModelConfig config;
+  config.hidden_dim = static_cast<int>(state.range(0));
+  tmn::core::TmnModel model(config);
+  const auto a = BenchTrajectory(30, 7);
+  const auto b = BenchTrajectory(30, 8);
+  for (auto _ : state) {
+    const tmn::core::PairOutput out = model.ForwardPair(a, b);
+    tmn::nn::Tensor loss = tmn::core::PredictedSimilarity(
+        tmn::core::FinalRow(out.oa), tmn::core::FinalRow(out.ob));
+    loss.Backward();
+  }
+}
+BENCHMARK(BM_TmnPairForwardBackward)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Reproduces Table II: top-k similarity search quality (HR-10, HR-50,
+// R10@50) for SRN, NeuTraj, T3S, Traj2SimVec, TMN-NM and TMN under the six
+// distance metrics, on the Geolife-like and Porto-like datasets.
+//
+// Scaled down per DESIGN.md §3: ~200 trajectories per dataset, d = 16,
+// 4 epochs — the paper's shape (TMN on top, with the largest margins on
+// the matching-based metrics DTW/ERP/EDR/LCSS) should hold; absolute
+// values differ from the paper's GPU-scale runs.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace {
+
+using tmn::bench::BenchDataConfig;
+using tmn::bench::PreparedData;
+using tmn::bench::RunConfig;
+using tmn::bench::RunResult;
+
+const std::vector<std::string> kMethods = {"SRN",         "NeuTraj",
+                                           "T3S",         "Traj2SimVec",
+                                           "TMN-NM",      "TMN"};
+
+void RunDataset(tmn::data::SyntheticKind kind) {
+  BenchDataConfig data_config;
+  data_config.kind = kind;
+  const PreparedData data = tmn::bench::PrepareData(data_config);
+  std::printf("\n==== Dataset: %s (train %zu / test %zu) ====\n",
+              data.dataset_name.c_str(), data.train.size(),
+              data.test.size());
+  for (tmn::dist::MetricType metric : tmn::dist::AllMetricTypes()) {
+    tmn::bench::PrintTableHeader(
+        "Table II — " + data.dataset_name + " / " +
+            tmn::dist::MetricName(metric) + " distance",
+        {"HR-10", "HR-50", "R10@50"});
+    for (const std::string& method : kMethods) {
+      RunConfig config;
+      config.method = method;
+      config.metric = metric;
+      const RunResult result = tmn::bench::RunMethod(data, config);
+      tmn::bench::PrintRow(method, {result.quality.hr10,
+                                    result.quality.hr50,
+                                    result.quality.r10_at_50});
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("TMN reproduction — Table II (effectiveness study)\n");
+  RunDataset(tmn::data::SyntheticKind::kGeolifeLike);
+  RunDataset(tmn::data::SyntheticKind::kPortoLike);
+  return 0;
+}

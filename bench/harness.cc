@@ -1,0 +1,171 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+
+#include "baselines/neutraj.h"
+#include "baselines/srn.h"
+#include "baselines/t3s.h"
+#include "baselines/traj2simvec.h"
+#include "common/check.h"
+#include "core/sampler.h"
+#include "core/tmn_model.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "distance/distance_matrix.h"
+#include "eval/timer.h"
+#include "geo/preprocess.h"
+
+namespace tmn::bench {
+
+dist::MetricParams BenchMetricParams() {
+  dist::MetricParams params;
+  // Roughly one sampling step on the unit square. Smaller values make the
+  // EDR/LCSS ground truth so quantized (few matched pairs, coarse
+  // distance levels) that top-k rankings are mostly ties.
+  params.epsilon = 0.02;
+  params.gap = geo::Point{0.0, 0.0};
+  return params;
+}
+
+const PreparedData::GroundTruth& PreparedData::TruthFor(
+    dist::MetricType metric) const {
+  auto it = cache_.find(metric);
+  if (it != cache_.end()) return it->second;
+  const auto m = dist::CreateMetric(metric, BenchMetricParams());
+  GroundTruth truth;
+  truth.train_dist = dist::ComputeDistanceMatrix(train, *m);
+  truth.test_dist = dist::ComputeDistanceMatrix(test, *m);
+  return cache_.emplace(metric, std::move(truth)).first->second;
+}
+
+PreparedData PrepareData(const BenchDataConfig& config) {
+  data::SyntheticConfig synth;
+  synth.kind = config.kind;
+  synth.num_trajectories = config.num_trajectories;
+  synth.min_length = config.min_length;
+  synth.max_length = config.max_length;
+  synth.seed = config.seed;
+  auto raw = data::GenerateSynthetic(synth);
+  raw = geo::FilterByMinLength(raw, 10);
+  const geo::NormalizationParams params = geo::ComputeNormalization(raw);
+  const auto normalized = geo::NormalizeTrajectories(raw, params);
+
+  const data::Split split =
+      data::SplitTrainTest(normalized.size(), config.train_ratio, 17);
+  PreparedData data;
+  data.train = data::Gather(normalized, split.train_indices);
+  data.test = data::Gather(normalized, split.test_indices);
+  data.dataset_name = config.kind == data::SyntheticKind::kPortoLike
+                          ? "Porto-like"
+                          : "Geolife-like";
+  return data;
+}
+
+std::unique_ptr<core::SimilarityModel> MakeModel(const std::string& method,
+                                                 int hidden_dim,
+                                                 uint64_t seed) {
+  if (method == "SRN") {
+    baselines::SrnConfig config;
+    config.hidden_dim = hidden_dim;
+    config.seed = seed;
+    return std::make_unique<baselines::Srn>(config);
+  }
+  if (method == "NeuTraj") {
+    baselines::NeuTrajConfig config;
+    config.hidden_dim = hidden_dim;
+    config.seed = seed;
+    return std::make_unique<baselines::NeuTraj>(config);
+  }
+  if (method == "T3S") {
+    baselines::T3sConfig config;
+    config.hidden_dim = hidden_dim;
+    config.seed = seed;
+    return std::make_unique<baselines::T3s>(config);
+  }
+  if (method == "Traj2SimVec") {
+    baselines::Traj2SimVecConfig config;
+    config.hidden_dim = hidden_dim;
+    config.seed = seed;
+    return std::make_unique<baselines::Traj2SimVec>(config);
+  }
+  core::TmnModelConfig config;
+  config.hidden_dim = hidden_dim;
+  config.seed = seed;
+  config.use_matching = method != "TMN-NM";
+  if (method == "TMN-GRU") config.rnn = nn::RnnKind::kGru;
+  TMN_CHECK_MSG(method == "TMN" || method == "TMN-NM" ||
+                    method == "TMN-kd" || method == "TMN-noSub" ||
+                    method == "TMN-GRU",
+                "unknown method");
+  return std::make_unique<core::TmnModel>(config);
+}
+
+RunResult RunMethod(const PreparedData& data, const RunConfig& config) {
+  const PreparedData::GroundTruth& truth = data.TruthFor(config.metric);
+  const auto metric = dist::CreateMetric(config.metric, BenchMetricParams());
+
+  std::unique_ptr<core::SimilarityModel> model =
+      MakeModel(config.method, config.hidden_dim, config.seed);
+
+  // Per-method training protocol, mirroring each paper's description.
+  const bool is_tmn_family = config.method.rfind("TMN", 0) == 0;
+  const bool kd_sampling =
+      config.method == "Traj2SimVec" || config.method == "TMN-kd";
+  core::TrainConfig train_config;
+  train_config.epochs = config.epochs;
+  train_config.lr = config.lr;
+  train_config.sampling_num = config.sampling_num;
+  train_config.loss = config.loss;
+  train_config.alpha = core::SuggestAlpha(truth.train_dist);
+  train_config.seed = config.seed + 1;
+  train_config.use_rank_weights = config.method != "SRN";
+  train_config.use_sub_loss =
+      (is_tmn_family && config.method != "TMN-noSub" &&
+       config.method != "TMN-NM") ||
+      config.method == "Traj2SimVec";
+
+  std::unique_ptr<core::Sampler> sampler;
+  if (kd_sampling) {
+    sampler = std::make_unique<core::KdTreeSampler>(
+        data.train, &truth.train_dist, config.sampling_num);
+  } else {
+    sampler = std::make_unique<core::RandomSortSampler>(
+        &truth.train_dist, config.sampling_num);
+  }
+
+  core::PairTrainer trainer(model.get(), &data.train, &truth.train_dist,
+                            metric.get(), sampler.get(), train_config);
+  RunResult result;
+  eval::WallTimer timer;
+  trainer.Train();
+  result.total_train_seconds = timer.Seconds();
+  result.train_seconds_per_epoch =
+      result.total_train_seconds / config.epochs;
+
+  eval::EvalOptions options;
+  options.num_queries = config.num_queries;
+  timer.Restart();
+  result.quality =
+      eval::EvaluateSearch(*model, data.test, truth.test_dist, options);
+  result.eval_seconds = timer.Seconds();
+  return result;
+}
+
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-14s", "Method");
+  for (const std::string& c : columns) std::printf("%12s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < 14 + 12 * columns.size(); ++i) std::printf("-");
+  std::printf("\n");
+}
+
+void PrintRow(const std::string& label, const std::vector<double>& values) {
+  std::printf("%-14s", label.c_str());
+  for (double v : values) std::printf("%12.4f", v);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace tmn::bench

@@ -1,0 +1,98 @@
+#ifndef TMN_BENCH_HARNESS_H_
+#define TMN_BENCH_HARNESS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/loss.h"
+#include "core/model.h"
+#include "data/synthetic.h"
+#include "distance/metric.h"
+#include "eval/evaluation.h"
+#include "geo/trajectory.h"
+
+namespace tmn::bench {
+
+// Scaled-down stand-ins for the paper's experimental setup (see DESIGN.md
+// §3): the paper trains on thousands of GPU-hours of Geolife/Porto pairs;
+// these benches run the identical pipeline on synthetic corpora sized for
+// a single CPU core, preserving relative method behaviour.
+
+struct BenchDataConfig {
+  data::SyntheticKind kind = data::SyntheticKind::kPortoLike;
+  // Test base must be large vs k_large = 50 or R10@50 saturates; 320
+  // trajectories at 25% train leaves a 240-strong search base.
+  int num_trajectories = 320;
+  double train_ratio = 0.25;  // Paper: tr = 0.2.
+  int min_length = 15;
+  int max_length = 45;
+  uint64_t seed = 4242;
+};
+
+// Normalized train/test split plus a per-metric ground-truth cache.
+struct PreparedData {
+  std::vector<geo::Trajectory> train;
+  std::vector<geo::Trajectory> test;
+  std::string dataset_name;
+
+  // Lazily computed pairwise ground truth (train x train, test x test).
+  struct GroundTruth {
+    DoubleMatrix train_dist;
+    DoubleMatrix test_dist;
+  };
+  const GroundTruth& TruthFor(dist::MetricType metric) const;
+
+ private:
+  mutable std::map<dist::MetricType, GroundTruth> cache_;
+};
+
+PreparedData PrepareData(const BenchDataConfig& config);
+
+// Shared metric parameters for all benches (epsilon on unit-square
+// coordinates; ERP gap at the origin).
+dist::MetricParams BenchMetricParams();
+
+// One method run: build the named model, train it with its own protocol
+// (sampler / weights / sub-loss per the paper's description of each
+// method), and evaluate top-k search on the test set.
+struct RunConfig {
+  std::string method;  // SRN | NeuTraj | T3S | Traj2SimVec | TMN-NM | TMN
+                       // | TMN-kd (TMN trained with the kd sampler)
+                       // | TMN-noSub (TMN without the sub-trajectory loss)
+                       // | TMN-GRU (GRU backbone ablation).
+  dist::MetricType metric = dist::MetricType::kDtw;
+  int hidden_dim = 16;
+  int epochs = 6;
+  size_t sampling_num = 10;
+  double lr = 5e-3;
+  core::LossKind loss = core::LossKind::kMse;
+  uint64_t seed = 9;
+  size_t num_queries = 25;
+};
+
+struct RunResult {
+  eval::SearchQuality quality;
+  double train_seconds_per_epoch = 0.0;
+  double total_train_seconds = 0.0;
+  double eval_seconds = 0.0;
+};
+
+RunResult RunMethod(const PreparedData& data, const RunConfig& config);
+
+// Builds an untrained model by bench method name ("TMN-kd"/"TMN-noSub"
+// map to a plain TMN model; the trainer wiring differs).
+std::unique_ptr<core::SimilarityModel> MakeModel(const std::string& method,
+                                                 int hidden_dim,
+                                                 uint64_t seed);
+
+// Formatting helpers for paper-style tables.
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns);
+void PrintRow(const std::string& label, const std::vector<double>& values);
+
+}  // namespace tmn::bench
+
+#endif  // TMN_BENCH_HARNESS_H_

@@ -1,0 +1,103 @@
+#include "baselines/neutraj.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/features.h"
+#include "nn/ops.h"
+
+namespace tmn::baselines {
+
+NeuTraj::NeuTraj(const NeuTrajConfig& config)
+    : config_(config),
+      init_rng_(config.seed),
+      grid_(config.region, config.grid_cells),
+      embed_(2, config.hidden_dim, init_rng_),
+      lstm_(config.hidden_dim, config.hidden_dim, init_rng_),
+      gate_(2 * config.hidden_dim, config.hidden_dim, init_rng_) {
+  RegisterChild(embed_);
+  RegisterChild(lstm_);
+  RegisterChild(gate_);
+  // Bias the mixing gate toward keeping the hidden state (sigmoid(2) ~
+  // 0.88) so early memory reads refine rather than overwrite it.
+  nn::Tensor gate_bias = gate_.bias();  // Shared handle.
+  for (float& b : gate_bias.data()) b = 2.0f;
+}
+
+std::vector<float> NeuTraj::ReadMemory(const std::vector<int64_t>& cells,
+                                       const std::vector<float>& h) const {
+  const int d = config_.hidden_dim;
+  std::vector<const std::vector<float>*> entries;
+  for (int64_t cell : cells) {
+    auto it = memory_.find(cell);
+    if (it != memory_.end()) entries.push_back(&it->second);
+  }
+  if (entries.empty()) return {};
+  // Scaled dot-product attention of h over the memory entries.
+  std::vector<double> scores(entries.size());
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+  double max_score = -1e300;
+  for (size_t k = 0; k < entries.size(); ++k) {
+    double dot = 0.0;
+    for (int j = 0; j < d; ++j) {
+      dot += static_cast<double>(h[j]) * (*entries[k])[j];
+    }
+    scores[k] = dot * scale;
+    max_score = std::max(max_score, scores[k]);
+  }
+  double denom = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - max_score);
+    denom += s;
+  }
+  std::vector<float> read(d, 0.0f);
+  for (size_t k = 0; k < entries.size(); ++k) {
+    const float w = static_cast<float>(scores[k] / denom);
+    for (int j = 0; j < d; ++j) read[j] += w * (*entries[k])[j];
+  }
+  return read;
+}
+
+nn::Tensor NeuTraj::ForwardSingle(const geo::Trajectory& t) const {
+  TMN_CHECK(!t.empty());
+  const int d = config_.hidden_dim;
+  const nn::Tensor x =
+      nn::LeakyRelu(embed_.Forward(core::CoordinateTensor(t)));
+  nn::LstmCell::State state = lstm_.cell().InitialState(1);
+  std::vector<nn::Tensor> outputs;
+  outputs.reserve(t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    state = lstm_.cell().Step(nn::Row(x, static_cast<int>(i)), state);
+    const std::vector<int64_t> cells = grid_.NeighborhoodOf(t[i]);
+    const std::vector<float> read = ReadMemory(cells, state.h.data());
+    if (!read.empty()) {
+      // Gated mix of the (constant) memory read into the hidden state.
+      const nn::Tensor read_t = nn::Tensor::FromData(1, d, read);
+      const nn::Tensor g =
+          nn::Sigmoid(gate_.Forward(nn::ConcatCols(state.h, read_t)));
+      const nn::Tensor one_minus_g = nn::AddConst(nn::MulScalar(g, -1.0), 1.0);
+      state.h = nn::Add(nn::Mul(g, state.h), nn::Mul(one_minus_g, read_t));
+    }
+    outputs.push_back(state.h);
+    if (nn::GradModeEnabled()) {
+      pending_writes_.emplace_back(grid_.CellOf(t[i]), state.h.data());
+    }
+  }
+  return nn::StackRows(outputs);
+}
+
+void NeuTraj::OnTrainStep() {
+  const float decay = static_cast<float>(config_.memory_decay);
+  for (auto& [cell, value] : pending_writes_) {
+    auto [it, inserted] = memory_.try_emplace(cell, value);
+    if (!inserted) {
+      std::vector<float>& stored = it->second;
+      for (size_t j = 0; j < stored.size(); ++j) {
+        stored[j] = decay * stored[j] + (1.0f - decay) * value[j];
+      }
+    }
+  }
+  pending_writes_.clear();
+}
+
+}  // namespace tmn::baselines

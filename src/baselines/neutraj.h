@@ -1,0 +1,70 @@
+#ifndef TMN_BASELINES_NEUTRAJ_H_
+#define TMN_BASELINES_NEUTRAJ_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "baselines/single_encoder_model.h"
+#include "data/grid.h"
+#include "geo/bounding_box.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+
+namespace tmn::baselines {
+
+// NeuTraj (Yao et al., ICDE'19): an LSTM over point embeddings augmented
+// with the Spatial Attention Memory (SAM) module — a grid-keyed memory of
+// hidden states of previously processed trajectories. At each step the
+// hidden state is refined by attending over the memory entries of the
+// current cell and its 4-neighborhood, and the refined state is written
+// back to the cell.
+//
+// Faithful simplification vs the original: memory reads are treated as
+// constants w.r.t. the autograd graph (the original backpropagates into a
+// dense memory tensor). The learnable gate that mixes the read into the
+// hidden state is trained; the memory itself evolves by exponential moving
+// average, applied after each optimizer step so a backward pass never sees
+// its forward inputs change.
+struct NeuTrajConfig {
+  int hidden_dim = 32;
+  int grid_cells = 32;       // Grid resolution per side.
+  double memory_decay = 0.5; // EMA factor for memory writes.
+  // Region covered by the grid; normalized data lives in the unit square.
+  geo::BoundingBox region = geo::BoundingBox::Of(0.0, 0.0, 1.0, 1.0);
+  uint64_t seed = 12;
+};
+
+class NeuTraj : public SingleEncoderModel {
+ public:
+  explicit NeuTraj(const NeuTrajConfig& config);
+
+  std::string Name() const override { return "NeuTraj"; }
+  nn::Tensor ForwardSingle(const geo::Trajectory& t) const override;
+
+  void OnTrainStep() override;
+
+  size_t MemorySize() const { return memory_.size(); }
+
+ private:
+  // Attention read over the memory entries of `cells`; empty when no
+  // entry exists yet. `h` is the current (detached) hidden state.
+  std::vector<float> ReadMemory(const std::vector<int64_t>& cells,
+                                const std::vector<float>& h) const;
+
+  NeuTrajConfig config_;
+  nn::Rng init_rng_;
+  data::Grid grid_;
+  nn::Linear embed_;
+  nn::Lstm lstm_;
+  nn::Linear gate_;  // 2d -> d: mixes memory reads into the hidden state.
+
+  mutable std::unordered_map<int64_t, std::vector<float>> memory_;
+  mutable std::vector<std::pair<int64_t, std::vector<float>>>
+      pending_writes_;
+};
+
+}  // namespace tmn::baselines
+
+#endif  // TMN_BASELINES_NEUTRAJ_H_

@@ -1,0 +1,28 @@
+#ifndef TMN_BASELINES_SINGLE_ENCODER_MODEL_H_
+#define TMN_BASELINES_SINGLE_ENCODER_MODEL_H_
+
+#include "core/model.h"
+#include "nn/module.h"
+
+namespace tmn::baselines {
+
+// Base for the non-pairwise baselines (SRN, NeuTraj, T3S, Traj2SimVec):
+// each trajectory is encoded independently, so a pair forward is simply
+// two single forwards.
+class SingleEncoderModel : public nn::Module, public core::SimilarityModel {
+ public:
+  bool IsPairwise() const override { return false; }
+
+  core::PairOutput ForwardPair(const geo::Trajectory& a,
+                               const geo::Trajectory& b) const override {
+    return core::PairOutput{ForwardSingle(a), ForwardSingle(b)};
+  }
+
+  std::vector<nn::Tensor> Parameters() const override {
+    return parameters();
+  }
+};
+
+}  // namespace tmn::baselines
+
+#endif  // TMN_BASELINES_SINGLE_ENCODER_MODEL_H_

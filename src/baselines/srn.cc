@@ -1,0 +1,23 @@
+#include "baselines/srn.h"
+
+#include "core/features.h"
+#include "nn/ops.h"
+
+namespace tmn::baselines {
+
+Srn::Srn(const SrnConfig& config)
+    : config_(config),
+      init_rng_(config.seed),
+      embed_(2, config.hidden_dim, init_rng_),
+      lstm_(config.hidden_dim, config.hidden_dim, init_rng_) {
+  RegisterChild(embed_);
+  RegisterChild(lstm_);
+}
+
+nn::Tensor Srn::ForwardSingle(const geo::Trajectory& t) const {
+  const nn::Tensor x =
+      nn::LeakyRelu(embed_.Forward(core::CoordinateTensor(t)));
+  return lstm_.Forward(x);
+}
+
+}  // namespace tmn::baselines

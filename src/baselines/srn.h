@@ -1,0 +1,36 @@
+#ifndef TMN_BASELINES_SRN_H_
+#define TMN_BASELINES_SRN_H_
+
+#include <cstdint>
+
+#include "baselines/single_encoder_model.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+
+namespace tmn::baselines {
+
+// Siamese Recurrent Network (Pei et al.): the simplest learned baseline —
+// a shared point-embedding layer followed by an LSTM; the last hidden
+// state represents the trajectory.
+struct SrnConfig {
+  int hidden_dim = 32;
+  uint64_t seed = 11;
+};
+
+class Srn : public SingleEncoderModel {
+ public:
+  explicit Srn(const SrnConfig& config);
+
+  std::string Name() const override { return "SRN"; }
+  nn::Tensor ForwardSingle(const geo::Trajectory& t) const override;
+
+ private:
+  SrnConfig config_;
+  nn::Rng init_rng_;
+  nn::Linear embed_;
+  nn::Lstm lstm_;
+};
+
+}  // namespace tmn::baselines
+
+#endif  // TMN_BASELINES_SRN_H_

@@ -1,0 +1,57 @@
+#include "baselines/t3s.h"
+
+#include <cmath>
+
+#include "core/features.h"
+#include "nn/ops.h"
+
+namespace tmn::baselines {
+
+T3s::T3s(const T3sConfig& config)
+    : config_(config),
+      init_rng_(config.seed),
+      embed_(2, config.hidden_dim, init_rng_),
+      lstm_(config.hidden_dim, config.hidden_dim, init_rng_),
+      wq_(config.hidden_dim, config.hidden_dim, init_rng_),
+      wk_(config.hidden_dim, config.hidden_dim, init_rng_),
+      wv_(config.hidden_dim, config.hidden_dim, init_rng_),
+      gamma_(RegisterParameter(
+          nn::Tensor::Scalar(0.0f, /*requires_grad=*/true))) {
+  RegisterChild(embed_);
+  RegisterChild(lstm_);
+  RegisterChild(wq_);
+  RegisterChild(wk_);
+  RegisterChild(wv_);
+}
+
+double T3s::Lambda() const {
+  return 1.0 / (1.0 + std::exp(-static_cast<double>(gamma_.item())));
+}
+
+nn::Tensor T3s::ForwardSingle(const geo::Trajectory& t) const {
+  const nn::Tensor x =
+      nn::LeakyRelu(embed_.Forward(core::CoordinateTensor(t)));
+  const int m = x.rows();
+
+  // Spatial branch: per-step LSTM outputs.
+  const nn::Tensor z = lstm_.Forward(x);
+
+  // Structural branch: single-head self-attention over the trajectory's
+  // own points, pooled to one vector.
+  const nn::Tensor q = wq_.Forward(x);
+  const nn::Tensor k = wk_.Forward(x);
+  const nn::Tensor v = wv_.Forward(x);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(config_.hidden_dim));
+  const nn::Tensor attn = nn::SoftmaxRows(
+      nn::MulScalar(nn::MatMul(q, nn::Transpose(k)), scale));
+  const nn::Tensor pooled = nn::MeanRows(nn::MatMul(attn, v));  // 1 x d.
+
+  // Mix: o_t = lambda * z_t + (1 - lambda) * pooled.
+  const nn::Tensor lambda = nn::Sigmoid(gamma_);
+  const nn::Tensor one_minus =
+      nn::AddConst(nn::MulScalar(lambda, -1.0), 1.0);
+  return nn::Add(nn::ScaleByScalar(z, lambda),
+                 nn::ScaleByScalar(nn::TileRows(pooled, m), one_minus));
+}
+
+}  // namespace tmn::baselines

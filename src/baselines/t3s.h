@@ -1,0 +1,47 @@
+#ifndef TMN_BASELINES_T3S_H_
+#define TMN_BASELINES_T3S_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "baselines/single_encoder_model.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+
+namespace tmn::baselines {
+
+// T3S (Yang et al., ICDE'21): combines an LSTM branch (spatial
+// information) with a self-attention branch (structural information of the
+// trajectory itself) and mixes them with a learnable coefficient lambda:
+//   o_t = lambda * LSTM(x)_t + (1 - lambda) * mean(SelfAttention(x)).
+// The attention stays *within* one trajectory — exactly the limitation
+// the paper's cross-trajectory matching mechanism removes.
+struct T3sConfig {
+  int hidden_dim = 32;
+  uint64_t seed = 13;
+};
+
+class T3s : public SingleEncoderModel {
+ public:
+  explicit T3s(const T3sConfig& config);
+
+  std::string Name() const override { return "T3S"; }
+  nn::Tensor ForwardSingle(const geo::Trajectory& t) const override;
+
+  // The current mixing coefficient sigmoid(gamma), for inspection.
+  double Lambda() const;
+
+ private:
+  T3sConfig config_;
+  nn::Rng init_rng_;
+  nn::Linear embed_;
+  nn::Lstm lstm_;
+  nn::Linear wq_;
+  nn::Linear wk_;
+  nn::Linear wv_;
+  nn::Tensor gamma_;  // Scalar; lambda = sigmoid(gamma).
+};
+
+}  // namespace tmn::baselines
+
+#endif  // TMN_BASELINES_T3S_H_

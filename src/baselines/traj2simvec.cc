@@ -1,0 +1,29 @@
+#include "baselines/traj2simvec.h"
+
+#include "core/features.h"
+#include "geo/simplify.h"
+#include "nn/ops.h"
+
+namespace tmn::baselines {
+
+Traj2SimVec::Traj2SimVec(const Traj2SimVecConfig& config)
+    : config_(config),
+      init_rng_(config.seed),
+      embed_(2, config.hidden_dim, init_rng_),
+      lstm_(config.hidden_dim, config.hidden_dim, init_rng_) {
+  RegisterChild(embed_);
+  RegisterChild(lstm_);
+}
+
+geo::Trajectory Traj2SimVec::LossTrajectory(const geo::Trajectory& t) const {
+  return geo::ResampleUniform(t, config_.segments);
+}
+
+nn::Tensor Traj2SimVec::ForwardSingle(const geo::Trajectory& t) const {
+  const geo::Trajectory simplified = LossTrajectory(t);
+  const nn::Tensor x =
+      nn::LeakyRelu(embed_.Forward(core::CoordinateTensor(simplified)));
+  return lstm_.Forward(x);
+}
+
+}  // namespace tmn::baselines

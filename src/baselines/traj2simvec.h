@@ -1,0 +1,46 @@
+#ifndef TMN_BASELINES_TRAJ2SIMVEC_H_
+#define TMN_BASELINES_TRAJ2SIMVEC_H_
+
+#include <cstdint>
+
+#include "baselines/single_encoder_model.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+
+namespace tmn::baselines {
+
+// Traj2SimVec (Zhang et al., IJCAI'20): simplifies every trajectory to a
+// fixed number of segments before encoding (shortening the sequences an
+// LSTM must process), samples near partners from a k-d tree of the
+// simplified trajectories (see core::KdTreeSampler), and adds the
+// sub-trajectory auxiliary loss. Trained here with KdTreeSampler +
+// use_sub_loss, which reproduces its signature components.
+struct Traj2SimVecConfig {
+  int hidden_dim = 32;
+  int segments = 20;  // Trajectories are resampled to segments + 1 points.
+  uint64_t seed = 14;
+};
+
+class Traj2SimVec : public SingleEncoderModel {
+ public:
+  explicit Traj2SimVec(const Traj2SimVecConfig& config);
+
+  std::string Name() const override { return "Traj2SimVec"; }
+  nn::Tensor ForwardSingle(const geo::Trajectory& t) const override;
+
+  // Prefix ground truths must be computed on the simplified sequence the
+  // encoder actually consumed.
+  geo::Trajectory LossTrajectory(const geo::Trajectory& t) const override;
+
+  int segments() const { return config_.segments; }
+
+ private:
+  Traj2SimVecConfig config_;
+  nn::Rng init_rng_;
+  nn::Linear embed_;
+  nn::Lstm lstm_;
+};
+
+}  // namespace tmn::baselines
+
+#endif  // TMN_BASELINES_TRAJ2SIMVEC_H_

@@ -1,0 +1,27 @@
+#ifndef TMN_COMMON_CHECK_H_
+#define TMN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Hard precondition checks for programmer errors. The library does not use
+// exceptions (Google style); violated invariants abort with a message.
+#define TMN_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "TMN_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define TMN_CHECK_MSG(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "TMN_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                      \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#endif  // TMN_COMMON_CHECK_H_

@@ -1,0 +1,44 @@
+#ifndef TMN_COMMON_MATRIX_H_
+#define TMN_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tmn {
+
+// Dense row-major matrix of doubles. Used for ground-truth distance and
+// similarity matrices (D and S in the paper); kept deliberately simple —
+// the learned models use nn::Tensor, not this type.
+class DoubleMatrix {
+ public:
+  DoubleMatrix() = default;
+  DoubleMatrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& at(size_t r, size_t c) {
+    TMN_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(size_t r, size_t c) const {
+    TMN_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace tmn
+
+#endif  // TMN_COMMON_MATRIX_H_

@@ -1,0 +1,19 @@
+#include "core/features.h"
+
+#include "common/check.h"
+
+namespace tmn::core {
+
+nn::Tensor CoordinateTensor(const geo::Trajectory& t) {
+  TMN_CHECK(!t.empty());
+  std::vector<float> coords;
+  coords.reserve(2 * t.size());
+  for (const geo::Point& p : t) {
+    coords.push_back(static_cast<float>(p.lon));
+    coords.push_back(static_cast<float>(p.lat));
+  }
+  return nn::Tensor::FromData(static_cast<int>(t.size()), 2,
+                              std::move(coords));
+}
+
+}  // namespace tmn::core

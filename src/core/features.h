@@ -1,0 +1,16 @@
+#ifndef TMN_CORE_FEATURES_H_
+#define TMN_CORE_FEATURES_H_
+
+#include "geo/trajectory.h"
+#include "nn/tensor.h"
+
+namespace tmn::core {
+
+// The (|t| x 2) raw coordinate tensor of a trajectory — the input feature
+// matrix every model in this library embeds (the paper's coordinate
+// tuples). The trajectory must be non-empty.
+nn::Tensor CoordinateTensor(const geo::Trajectory& t);
+
+}  // namespace tmn::core
+
+#endif  // TMN_CORE_FEATURES_H_

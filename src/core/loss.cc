@@ -1,0 +1,42 @@
+#include "core/loss.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace tmn::core {
+
+std::string LossName(LossKind kind) {
+  switch (kind) {
+    case LossKind::kMse:
+      return "MSE";
+    case LossKind::kQError:
+      return "Q-error";
+  }
+  return "unknown";
+}
+
+nn::Tensor PairLoss(const nn::Tensor& predicted, double truth,
+                    LossKind kind) {
+  TMN_CHECK(predicted.numel() == 1);
+  switch (kind) {
+    case LossKind::kMse:
+      return nn::Square(nn::AddConst(predicted, -truth));
+    case LossKind::kQError: {
+      // q = max(pred, truth) / min(pred, truth) >= 1. The branch is chosen
+      // on the forward value; within each branch the ratio is smooth.
+      const double floor = 1e-4;  // Guards the quotient against pred ~ 0.
+      const double t = std::max(truth, floor);
+      if (static_cast<double>(predicted.item()) >= t) {
+        return nn::MulScalar(predicted, 1.0 / t);
+      }
+      const nn::Tensor safe_pred = nn::AddConst(predicted, floor);
+      return nn::Div(nn::Tensor::Scalar(static_cast<float>(t)), safe_pred);
+    }
+  }
+  TMN_CHECK_MSG(false, "unknown loss kind");
+  return nn::Tensor();
+}
+
+}  // namespace tmn::core

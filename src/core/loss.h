@@ -1,0 +1,27 @@
+#ifndef TMN_CORE_LOSS_H_
+#define TMN_CORE_LOSS_H_
+
+#include <string>
+
+#include "nn/tensor.h"
+
+namespace tmn::core {
+
+// Regression criteria for matching the predicted similarity to the ground
+// truth (Section IV.D and the Figure 3 ablation).
+enum class LossKind {
+  kMse,     // (pred - truth)^2 — the paper's choice.
+  kQError,  // max(pred, truth) / min(pred, truth) (Moerkotte et al.).
+};
+
+std::string LossName(LossKind kind);
+
+// Single-pair loss term given the predicted similarity (scalar tensor in
+// (0, 1]) and the ground-truth similarity. Both losses are differentiable
+// in `predicted`.
+nn::Tensor PairLoss(const nn::Tensor& predicted, double truth,
+                    LossKind kind);
+
+}  // namespace tmn::core
+
+#endif  // TMN_CORE_LOSS_H_

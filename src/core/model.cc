@@ -1,0 +1,15 @@
+#include "core/model.h"
+
+#include "nn/ops.h"
+
+namespace tmn::core {
+
+nn::Tensor FinalRow(const nn::Tensor& o) {
+  return nn::Row(o, o.rows() - 1);
+}
+
+nn::Tensor PredictedSimilarity(const nn::Tensor& ra, const nn::Tensor& rb) {
+  return nn::Exp(nn::MulScalar(nn::EuclideanDistance(ra, rb), -1.0));
+}
+
+}  // namespace tmn::core

@@ -1,0 +1,63 @@
+#include "core/model_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "nn/serialize.h"
+
+namespace tmn::core {
+
+namespace {
+constexpr uint32_t kBundleMagic = 0x544d4e42;  // "TMNB"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+struct BundleHeader {
+  uint32_t magic = kBundleMagic;
+  int32_t hidden_dim = 0;
+  int32_t mlp_layers = 0;
+  int32_t use_matching = 0;
+  int32_t rnn_kind = 0;
+};
+}  // namespace
+
+bool SaveTmnModel(const std::string& path, const TmnModel& model) {
+  const std::string params_path = path + ".params";
+  if (!nn::SaveParameters(params_path, model.Parameters())) return false;
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return false;
+  BundleHeader header;
+  header.hidden_dim = model.config().hidden_dim;
+  header.mlp_layers = model.config().mlp_layers;
+  header.use_matching = model.config().use_matching ? 1 : 0;
+  header.rnn_kind = static_cast<int32_t>(model.config().rnn);
+  return std::fwrite(&header, sizeof(header), 1, f.get()) == 1;
+}
+
+std::unique_ptr<TmnModel> LoadTmnModel(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return nullptr;
+  BundleHeader header;
+  if (std::fread(&header, sizeof(header), 1, f.get()) != 1) return nullptr;
+  if (header.magic != kBundleMagic) return nullptr;
+  if (header.hidden_dim < 2 || header.hidden_dim % 2 != 0) return nullptr;
+  if (header.mlp_layers < 1) return nullptr;
+  if (header.rnn_kind < 0 || header.rnn_kind > 1) return nullptr;
+  TmnModelConfig config;
+  config.hidden_dim = header.hidden_dim;
+  config.mlp_layers = header.mlp_layers;
+  config.use_matching = header.use_matching != 0;
+  config.rnn = static_cast<nn::RnnKind>(header.rnn_kind);
+  auto model = std::make_unique<TmnModel>(config);
+  std::vector<nn::Tensor> params = model->Parameters();
+  if (!nn::LoadParameters(path + ".params", params)) return nullptr;
+  return model;
+}
+
+}  // namespace tmn::core

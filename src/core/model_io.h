@@ -1,0 +1,20 @@
+#ifndef TMN_CORE_MODEL_IO_H_
+#define TMN_CORE_MODEL_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "core/tmn_model.h"
+
+namespace tmn::core {
+
+// Single-file persistence for a TmnModel: stores the architecture config
+// alongside the parameter tensors so a model can be reloaded without the
+// caller knowing how it was configured. Returns false / nullptr on I/O
+// failure or corrupt data.
+bool SaveTmnModel(const std::string& path, const TmnModel& model);
+std::unique_ptr<TmnModel> LoadTmnModel(const std::string& path);
+
+}  // namespace tmn::core
+
+#endif  // TMN_CORE_MODEL_IO_H_

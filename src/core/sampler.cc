@@ -1,0 +1,133 @@
+#include "core/sampler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "geo/simplify.h"
+
+namespace tmn::core {
+
+namespace {
+
+// Sorts candidate indices by ground-truth distance to the anchor
+// (ascending) and assembles the near-then-far sample list with rank
+// weights within each half.
+std::vector<TrainingSample> BuildNearFar(const DoubleMatrix& distances,
+                                         size_t anchor,
+                                         std::vector<size_t> candidates) {
+  std::sort(candidates.begin(), candidates.end(), [&](size_t a, size_t b) {
+    return distances.at(anchor, a) < distances.at(anchor, b);
+  });
+  const size_t k = candidates.size() / 2;
+  const std::vector<double> weights = RankWeights(k);
+  std::vector<TrainingSample> samples;
+  samples.reserve(2 * k);
+  for (size_t i = 0; i < k; ++i) {
+    samples.push_back(TrainingSample{candidates[i], weights[i], true});
+  }
+  for (size_t i = 0; i < k; ++i) {
+    samples.push_back(TrainingSample{candidates[k + i], weights[i], false});
+  }
+  return samples;
+}
+
+}  // namespace
+
+std::vector<double> RankWeights(size_t n) {
+  TMN_CHECK(n > 0);
+  std::vector<double> weights(n);
+  const double denom = static_cast<double>(n) * n + n;
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 2.0 * static_cast<double>(n - i) / denom;
+  }
+  return weights;
+}
+
+RandomSortSampler::RandomSortSampler(const DoubleMatrix* distances,
+                                     size_t sampling_num)
+    : distances_(distances), sampling_num_(sampling_num) {
+  TMN_CHECK(distances_ != nullptr);
+  TMN_CHECK(sampling_num_ >= 2 && sampling_num_ % 2 == 0);
+  TMN_CHECK(distances_->rows() == distances_->cols());
+  TMN_CHECK_MSG(distances_->rows() > sampling_num_,
+                "training set smaller than sampling number");
+}
+
+std::vector<TrainingSample> RandomSortSampler::SampleFor(
+    size_t anchor, nn::Rng& rng) const {
+  const size_t n = distances_->rows();
+  TMN_CHECK(anchor < n);
+  // Draw 2k distinct indices from [0, n) \ {anchor}: sample from a range
+  // one smaller and skip over the anchor.
+  std::vector<size_t> picks =
+      rng.SampleWithoutReplacement(n - 1, sampling_num_);
+  for (size_t& p : picks) {
+    if (p >= anchor) ++p;
+  }
+  return BuildNearFar(*distances_, anchor, std::move(picks));
+}
+
+KdTreeSampler::KdTreeSampler(const std::vector<geo::Trajectory>& train_set,
+                             const DoubleMatrix* distances,
+                             size_t sampling_num, size_t summary_segments)
+    : distances_(distances),
+      sampling_num_(sampling_num),
+      summary_segments_(summary_segments) {
+  TMN_CHECK(distances_ != nullptr);
+  TMN_CHECK(sampling_num_ >= 2 && sampling_num_ % 2 == 0);
+  TMN_CHECK(train_set.size() == distances_->rows());
+  TMN_CHECK_MSG(train_set.size() > sampling_num_,
+                "training set smaller than sampling number");
+  const size_t dim = 2 * (summary_segments_ + 1);
+  std::vector<float> flat;
+  flat.reserve(train_set.size() * dim);
+  summaries_.reserve(train_set.size());
+  for (const geo::Trajectory& t : train_set) {
+    std::vector<float> summary = geo::SummaryVector(t, summary_segments_);
+    TMN_CHECK(summary.size() == dim);
+    flat.insert(flat.end(), summary.begin(), summary.end());
+    summaries_.push_back(std::move(summary));
+  }
+  tree_ = std::make_unique<index::KdTree>(std::move(flat), dim);
+}
+
+std::vector<TrainingSample> KdTreeSampler::SampleFor(size_t anchor,
+                                                     nn::Rng& rng) const {
+  const size_t n = distances_->rows();
+  TMN_CHECK(anchor < n);
+  const size_t k = sampling_num_ / 2;
+  // Near: the k nearest summary vectors in the k-d tree (Traj2SimVec
+  // always draws from the anchor's kNN).
+  std::vector<size_t> near =
+      tree_->NearestExcluding(summaries_[anchor], k, anchor);
+  // Far: k random others, distinct from the anchor and the near set.
+  std::vector<bool> taken(n, false);
+  taken[anchor] = true;
+  for (size_t i : near) taken[i] = true;
+  std::vector<TrainingSample> samples;
+  // Order near samples by true distance for the rank weights.
+  std::sort(near.begin(), near.end(), [&](size_t a, size_t b) {
+    return distances_->at(anchor, a) < distances_->at(anchor, b);
+  });
+  const std::vector<double> weights = RankWeights(near.size());
+  for (size_t i = 0; i < near.size(); ++i) {
+    samples.push_back(TrainingSample{near[i], weights[i], true});
+  }
+  std::vector<size_t> far;
+  while (far.size() < k) {
+    const size_t pick = static_cast<size_t>(rng.UniformInt(n));
+    if (taken[pick]) continue;
+    taken[pick] = true;
+    far.push_back(pick);
+  }
+  std::sort(far.begin(), far.end(), [&](size_t a, size_t b) {
+    return distances_->at(anchor, a) < distances_->at(anchor, b);
+  });
+  const std::vector<double> far_weights = RankWeights(far.size());
+  for (size_t i = 0; i < far.size(); ++i) {
+    samples.push_back(TrainingSample{far[i], far_weights[i], false});
+  }
+  return samples;
+}
+
+}  // namespace tmn::core

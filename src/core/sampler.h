@@ -1,0 +1,80 @@
+#ifndef TMN_CORE_SAMPLER_H_
+#define TMN_CORE_SAMPLER_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/matrix.h"
+#include "geo/trajectory.h"
+#include "index/kd_tree.h"
+#include "nn/rng.h"
+
+namespace tmn::core {
+
+// One training partner for an anchor trajectory.
+struct TrainingSample {
+  size_t index = 0;      // Index into the training set.
+  double weight = 1.0;   // w_as of Eq. 14.
+  bool is_near = false;  // Drawn as a near (vs far) sample.
+};
+
+// The paper's rank weights for n samples ordered most-similar-first:
+// [2n/(n^2+n), 2(n-1)/(n^2+n), ..., 2/(n^2+n)] (sums to 1).
+std::vector<double> RankWeights(size_t n);
+
+// Strategy for drawing the near/far training partners of an anchor
+// (Section IV.C). Implementations must be deterministic given the Rng.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  // Returns 2k samples for the anchor: k near then k far, each group
+  // ordered most-similar-first and carrying its rank weight.
+  virtual std::vector<TrainingSample> SampleFor(size_t anchor,
+                                                nn::Rng& rng) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+// TMN's sampling method: draw `sampling_num` (= 2k) distinct random
+// trajectories, sort them by true distance to the anchor, and split into
+// the k nearest (near set) and k farthest (far set).
+class RandomSortSampler : public Sampler {
+ public:
+  // `distances` must outlive the sampler (train-set pairwise matrix).
+  RandomSortSampler(const DoubleMatrix* distances, size_t sampling_num);
+
+  std::vector<TrainingSample> SampleFor(size_t anchor,
+                                        nn::Rng& rng) const override;
+  std::string Name() const override { return "random-sort"; }
+
+ private:
+  const DoubleMatrix* distances_;
+  size_t sampling_num_;
+};
+
+// Traj2SimVec's sampling method (the TMN-kd ablation of Table IV): near
+// samples are always the k nearest neighbours of the anchor in a k-d tree
+// of simplified-trajectory summary vectors; far samples are random.
+class KdTreeSampler : public Sampler {
+ public:
+  KdTreeSampler(const std::vector<geo::Trajectory>& train_set,
+                const DoubleMatrix* distances, size_t sampling_num,
+                size_t summary_segments = 10);
+
+  std::vector<TrainingSample> SampleFor(size_t anchor,
+                                        nn::Rng& rng) const override;
+  std::string Name() const override { return "kd-tree"; }
+
+ private:
+  const DoubleMatrix* distances_;
+  size_t sampling_num_;
+  size_t summary_segments_;
+  std::vector<std::vector<float>> summaries_;
+  std::unique_ptr<index::KdTree> tree_;
+};
+
+}  // namespace tmn::core
+
+#endif  // TMN_CORE_SAMPLER_H_

@@ -1,0 +1,138 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "distance/distance_matrix.h"
+#include "nn/ops.h"
+
+namespace tmn::core {
+
+double SuggestAlpha(const DoubleMatrix& distances) {
+  const double mean = dist::MeanOffDiagonal(distances);
+  return mean > 0.0 ? 1.0 / mean : 1.0;
+}
+
+PairTrainer::PairTrainer(SimilarityModel* model,
+                         const std::vector<geo::Trajectory>* train_set,
+                         const DoubleMatrix* distances,
+                         const dist::DistanceMetric* metric,
+                         const Sampler* sampler, const TrainConfig& config)
+    : model_(model),
+      train_set_(train_set),
+      distances_(distances),
+      metric_(metric),
+      sampler_(sampler),
+      config_(config),
+      rng_(config.seed) {
+  TMN_CHECK(model_ != nullptr && train_set_ != nullptr &&
+            distances_ != nullptr && sampler_ != nullptr);
+  TMN_CHECK(distances_->rows() == train_set_->size());
+  TMN_CHECK(distances_->cols() == train_set_->size());
+  TMN_CHECK(!config_.use_sub_loss || metric_ != nullptr);
+  TMN_CHECK(config_.alpha > 0.0);
+  params_ = model_->Parameters();
+  optimizer_ = std::make_unique<nn::Adam>(params_, config_.lr);
+}
+
+const std::vector<double>& PairTrainer::SubDistances(
+    size_t anchor, size_t sample, const geo::Trajectory& a,
+    const geo::Trajectory& b) {
+  const uint64_t key = (static_cast<uint64_t>(anchor) << 32) |
+                       static_cast<uint64_t>(sample);
+  auto it = sub_cache_.find(key);
+  if (it != sub_cache_.end()) return it->second;
+  std::vector<double> values;
+  const size_t limit = std::min(a.size(), b.size());
+  for (size_t len = config_.sub_stride; len <= limit;
+       len += config_.sub_stride) {
+    values.push_back(metric_->Compute(a.Prefix(len), b.Prefix(len)));
+  }
+  return sub_cache_.emplace(key, std::move(values)).first->second;
+}
+
+void PairTrainer::AccumulatePairLoss(size_t anchor,
+                                     const TrainingSample& sample,
+                                     std::vector<nn::Tensor>* terms,
+                                     std::vector<double>* weights) {
+  const geo::Trajectory& traj_a = (*train_set_)[anchor];
+  const geo::Trajectory& traj_s = (*train_set_)[sample.index];
+  const double weight = config_.use_rank_weights ? sample.weight : 1.0;
+
+  const PairOutput out = model_->ForwardPair(traj_a, traj_s);
+
+  // L_entire (Eq. 14): weighted regression on the whole-pair similarity.
+  const double truth_sim =
+      std::exp(-config_.alpha * distances_->at(anchor, sample.index));
+  const nn::Tensor pred_sim =
+      PredictedSimilarity(FinalRow(out.oa), FinalRow(out.ob));
+  terms->push_back(PairLoss(pred_sim, truth_sim, config_.loss));
+  weights->push_back(weight);
+
+  if (!config_.use_sub_loss) return;
+
+  // L_sub (Eq. 15): prefix pairs at stride sub_stride, averaged over r.
+  // Prefix ground truths come from the model's loss trajectories so a
+  // model that pre-simplifies its input (Traj2SimVec) stays consistent.
+  const geo::Trajectory loss_a = model_->LossTrajectory(traj_a);
+  const geo::Trajectory loss_s = model_->LossTrajectory(traj_s);
+  const std::vector<double>& sub_dists =
+      SubDistances(anchor, sample.index, loss_a, loss_s);
+  if (sub_dists.empty()) return;
+  const double r = static_cast<double>(sub_dists.size());
+  for (size_t k = 0; k < sub_dists.size(); ++k) {
+    const size_t len = (k + 1) * static_cast<size_t>(config_.sub_stride);
+    TMN_CHECK(static_cast<int>(len) <= out.oa.rows());
+    TMN_CHECK(static_cast<int>(len) <= out.ob.rows());
+    const nn::Tensor pred_sub = PredictedSimilarity(
+        nn::Row(out.oa, static_cast<int>(len) - 1),
+        nn::Row(out.ob, static_cast<int>(len) - 1));
+    const double truth_sub = std::exp(-config_.alpha * sub_dists[k]);
+    terms->push_back(PairLoss(pred_sub, truth_sub, config_.loss));
+    weights->push_back(weight / r);
+  }
+}
+
+double PairTrainer::TrainEpoch() {
+  const size_t n = train_set_->size();
+  std::vector<size_t> anchors(n);
+  for (size_t i = 0; i < n; ++i) anchors[i] = i;
+  rng_.Shuffle(anchors);
+
+  double loss_sum = 0.0;
+  size_t pair_count = 0;
+  for (size_t anchor : anchors) {
+    const std::vector<TrainingSample> samples =
+        sampler_->SampleFor(anchor, rng_);
+    std::vector<nn::Tensor> terms;
+    std::vector<double> weights;
+    for (const TrainingSample& sample : samples) {
+      AccumulatePairLoss(anchor, sample, &terms, &weights);
+    }
+    if (terms.empty()) continue;
+    nn::Tensor total = nn::WeightedSumScalars(terms, weights);
+    const double value = static_cast<double>(total.item());
+    if (!std::isfinite(value)) continue;  // NaN guard: skip this batch.
+    optimizer_->ZeroGrad();
+    total.Backward();
+    nn::ClipGradNorm(params_, config_.grad_clip);
+    optimizer_->Step();
+    model_->OnTrainStep();
+    loss_sum += value;
+    pair_count += samples.size();
+  }
+  ++epochs_completed_;
+  return pair_count > 0 ? loss_sum / static_cast<double>(pair_count) : 0.0;
+}
+
+std::vector<double> PairTrainer::Train() {
+  std::vector<double> losses;
+  losses.reserve(config_.epochs);
+  for (int e = 0; e < config_.epochs; ++e) {
+    losses.push_back(TrainEpoch());
+  }
+  return losses;
+}
+
+}  // namespace tmn::core

@@ -1,0 +1,90 @@
+#ifndef TMN_CORE_TRAINER_H_
+#define TMN_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/loss.h"
+#include "core/model.h"
+#include "core/sampler.h"
+#include "distance/metric.h"
+#include "geo/trajectory.h"
+#include "nn/optimizer.h"
+#include "nn/rng.h"
+
+namespace tmn::core {
+
+// Training hyperparameters (Sections IV.C-IV.D and V.A).
+struct TrainConfig {
+  int epochs = 5;
+  double lr = 5e-3;                  // Adam learning rate.
+  size_t sampling_num = 20;          // sn = 2k samples per anchor.
+  bool use_rank_weights = true;      // w_as of Eq. 14.
+  bool use_sub_loss = true;          // L_sub of Eq. 15.
+  int sub_stride = 10;               // "every 10th point as a new end point".
+  LossKind loss = LossKind::kMse;
+  double alpha = 8.0;                // S = exp(-alpha * D).
+  double grad_clip = 5.0;            // Global-norm gradient clipping.
+  uint64_t seed = 99;                // Sampling shuffle seed.
+};
+
+// A sensible alpha for a distance matrix: 1 / mean off-diagonal distance,
+// placing the mean similarity near exp(-1). The paper hand-picks alpha per
+// metric on raw coordinates; the scaled benches derive it from the data.
+double SuggestAlpha(const DoubleMatrix& distances);
+
+// Metric-learning trainer shared by TMN and every baseline: per anchor it
+// draws near/far partners from the sampler, accumulates the weighted
+// entire-trajectory loss (Eq. 14) plus optionally the sub-trajectory loss
+// (Eq. 15), and takes one Adam step per anchor mini-batch (Eq. 16).
+class PairTrainer {
+ public:
+  // `model`, `train_set`, `distances`, `metric` and `sampler` must outlive
+  // the trainer. `distances` is the pairwise ground-truth matrix over
+  // `train_set`; `metric` is needed only when config.use_sub_loss (prefix
+  // ground truths are computed lazily and cached).
+  PairTrainer(SimilarityModel* model,
+              const std::vector<geo::Trajectory>* train_set,
+              const DoubleMatrix* distances,
+              const dist::DistanceMetric* metric, const Sampler* sampler,
+              const TrainConfig& config);
+
+  // One pass over all anchors (shuffled); returns the mean per-pair loss.
+  double TrainEpoch();
+
+  // Runs config.epochs epochs; returns the per-epoch mean losses.
+  std::vector<double> Train();
+
+  int epochs_completed() const { return epochs_completed_; }
+
+ private:
+  // Loss term for one (anchor, sample) pair; adds into `terms`/`weights`.
+  void AccumulatePairLoss(size_t anchor, const TrainingSample& sample,
+                          std::vector<nn::Tensor>* terms,
+                          std::vector<double>* weights);
+
+  // Cached prefix ground-truth distances for a pair, at prefix lengths
+  // sub_stride, 2*sub_stride, ... <= min(|a|, |b|).
+  const std::vector<double>& SubDistances(size_t anchor, size_t sample,
+                                          const geo::Trajectory& a,
+                                          const geo::Trajectory& b);
+
+  SimilarityModel* model_;
+  const std::vector<geo::Trajectory>* train_set_;
+  const DoubleMatrix* distances_;
+  const dist::DistanceMetric* metric_;
+  const Sampler* sampler_;
+  TrainConfig config_;
+  std::vector<nn::Tensor> params_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  nn::Rng rng_;
+  int epochs_completed_ = 0;
+  std::unordered_map<uint64_t, std::vector<double>> sub_cache_;
+};
+
+}  // namespace tmn::core
+
+#endif  // TMN_CORE_TRAINER_H_

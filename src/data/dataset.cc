@@ -1,0 +1,106 @@
+#include "data/dataset.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/check.h"
+#include "nn/rng.h"
+
+namespace tmn::data {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+bool SaveCsv(const std::string& path,
+             const std::vector<geo::Trajectory>& trajectories) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return false;
+  if (std::fprintf(f.get(), "id,point_index,lon,lat\n") < 0) return false;
+  for (const geo::Trajectory& t : trajectories) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (std::fprintf(f.get(), "%lld,%zu,%.9f,%.9f\n",
+                       static_cast<long long>(t.id()), i, t[i].lon,
+                       t[i].lat) < 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool LoadCsv(const std::string& path, std::vector<geo::Trajectory>* out) {
+  TMN_CHECK(out != nullptr);
+  out->clear();
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) return false;
+  char line[256];
+  bool first = true;
+  long long current_id = 0;
+  bool have_current = false;
+  std::vector<geo::Point> points;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    if (first) {
+      first = false;
+      // Skip the header row if present.
+      if (line[0] == 'i') continue;
+    }
+    long long id = 0;
+    size_t index = 0;
+    double lon = 0.0;
+    double lat = 0.0;
+    if (std::sscanf(line, "%lld,%zu,%lf,%lf", &id, &index, &lon, &lat) !=
+        4) {
+      return false;
+    }
+    if (have_current && id != current_id) {
+      out->emplace_back(std::move(points), current_id);
+      points = {};
+    }
+    if (!have_current || id != current_id) {
+      // point_index must restart at 0 for a new trajectory.
+      if (index != 0) return false;
+    } else if (index != points.size()) {
+      return false;
+    }
+    current_id = id;
+    have_current = true;
+    points.push_back(geo::Point{lon, lat});
+  }
+  if (have_current) out->emplace_back(std::move(points), current_id);
+  return true;
+}
+
+Split SplitTrainTest(size_t num_trajectories, double train_ratio,
+                     uint64_t seed) {
+  TMN_CHECK(train_ratio >= 0.0 && train_ratio <= 1.0);
+  std::vector<size_t> order(num_trajectories);
+  for (size_t i = 0; i < num_trajectories; ++i) order[i] = i;
+  nn::Rng rng(seed);
+  rng.Shuffle(order);
+  const size_t train_count =
+      static_cast<size_t>(train_ratio * static_cast<double>(num_trajectories));
+  Split split;
+  split.train_indices.assign(order.begin(), order.begin() + train_count);
+  split.test_indices.assign(order.begin() + train_count, order.end());
+  return split;
+}
+
+std::vector<geo::Trajectory> Gather(
+    const std::vector<geo::Trajectory>& trajectories,
+    const std::vector<size_t>& indices) {
+  std::vector<geo::Trajectory> out;
+  out.reserve(indices.size());
+  for (size_t i : indices) {
+    TMN_CHECK(i < trajectories.size());
+    out.push_back(trajectories[i]);
+  }
+  return out;
+}
+
+}  // namespace tmn::data

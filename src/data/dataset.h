@@ -1,0 +1,42 @@
+#ifndef TMN_DATA_DATASET_H_
+#define TMN_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geo/trajectory.h"
+
+namespace tmn::data {
+
+// Writes trajectories as CSV rows `id,point_index,lon,lat`. Returns false
+// on I/O failure.
+bool SaveCsv(const std::string& path,
+             const std::vector<geo::Trajectory>& trajectories);
+
+// Reads trajectories back from the SaveCsv format. Rows for the same id
+// must be contiguous and ordered by point_index; malformed rows are
+// rejected (returns false). On success `out` holds the trajectories in
+// file order.
+bool LoadCsv(const std::string& path, std::vector<geo::Trajectory>* out);
+
+// Deterministic train/test split: the first floor(train_ratio * n)
+// trajectories after a seeded shuffle become the training set. Mirrors the
+// paper's tr = 0.2 protocol.
+struct Split {
+  std::vector<size_t> train_indices;
+  std::vector<size_t> test_indices;
+};
+
+Split SplitTrainTest(size_t num_trajectories, double train_ratio,
+                     uint64_t seed);
+
+// Gathers trajectories by index.
+std::vector<geo::Trajectory> Gather(
+    const std::vector<geo::Trajectory>& trajectories,
+    const std::vector<size_t>& indices);
+
+}  // namespace tmn::data
+
+#endif  // TMN_DATA_DATASET_H_

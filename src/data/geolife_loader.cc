@@ -1,0 +1,63 @@
+#include "data/geolife_loader.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/check.h"
+
+namespace tmn::data {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+constexpr int kHeaderLines = 6;
+
+bool PlausibleCoordinate(double lat, double lon) {
+  return lat >= -90.0 && lat <= 90.0 && lon >= -180.0 && lon <= 180.0 &&
+         !(lat == 0.0 && lon == 0.0);
+}
+}  // namespace
+
+bool LoadGeolifePlt(const std::string& path, geo::Trajectory* out) {
+  TMN_CHECK(out != nullptr);
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) return false;
+  char line[512];
+  std::vector<geo::Point> points;
+  int line_number = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++line_number;
+    if (line_number <= kHeaderLines) continue;
+    double lat = 0.0;
+    double lon = 0.0;
+    // Only the first two fields matter; the rest of the record (flag,
+    // altitude, timestamps) is ignored for similarity computation.
+    if (std::sscanf(line, "%lf,%lf", &lat, &lon) != 2) continue;
+    if (!PlausibleCoordinate(lat, lon)) continue;
+    points.push_back(geo::Point{lon, lat});
+  }
+  if (points.size() < 2) return false;
+  *out = geo::Trajectory(std::move(points));
+  return true;
+}
+
+size_t LoadGeolifePltFiles(const std::vector<std::string>& paths,
+                           std::vector<geo::Trajectory>* out) {
+  TMN_CHECK(out != nullptr);
+  size_t loaded = 0;
+  for (const std::string& path : paths) {
+    geo::Trajectory t;
+    if (!LoadGeolifePlt(path, &t)) continue;
+    t.set_id(static_cast<int64_t>(out->size()));
+    out->push_back(std::move(t));
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace tmn::data

@@ -1,0 +1,32 @@
+#ifndef TMN_DATA_GEOLIFE_LOADER_H_
+#define TMN_DATA_GEOLIFE_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/trajectory.h"
+
+namespace tmn::data {
+
+// Parser for the Microsoft Geolife GPS trajectory format: one `.plt` file
+// per trajectory, six header lines, then one record per line:
+//   lat,lon,0,altitude_feet,days_since_1899,date,time
+// (note the dataset stores latitude first). Lines that fail to parse are
+// skipped; a file yielding fewer than two valid points is rejected.
+//
+// The synthetic generators stand in for the real corpus in the benches
+// (DESIGN.md §3); this loader lets a user with the actual Geolife dump
+// feed it through the identical pipeline.
+
+// Parses one .plt file. Returns false on I/O failure or no usable points.
+bool LoadGeolifePlt(const std::string& path, geo::Trajectory* out);
+
+// Loads every `.plt` file listed in `paths` (e.g. collected by globbing
+// `Data/*/Trajectory/*.plt`), assigning sequential ids. Unreadable files
+// are skipped; returns the number loaded.
+size_t LoadGeolifePltFiles(const std::vector<std::string>& paths,
+                           std::vector<geo::Trajectory>* out);
+
+}  // namespace tmn::data
+
+#endif  // TMN_DATA_GEOLIFE_LOADER_H_

@@ -1,0 +1,42 @@
+#ifndef TMN_DATA_GRID_H_
+#define TMN_DATA_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/point.h"
+
+namespace tmn::data {
+
+// Uniform spatial grid over a bounding box. NeuTraj represents trajectories
+// with grid cells and keys its SAM memory by cell; this class provides the
+// point -> cell mapping and neighborhood lookups that module needs.
+class Grid {
+ public:
+  Grid(const geo::BoundingBox& box, int cells_per_side);
+
+  int cells_per_side() const { return cells_per_side_; }
+  int64_t num_cells() const {
+    return static_cast<int64_t>(cells_per_side_) * cells_per_side_;
+  }
+
+  // Flat cell id of the point (clamped into the box).
+  int64_t CellOf(const geo::Point& p) const;
+
+  // Center coordinates of a cell.
+  geo::Point CellCenter(int64_t cell) const;
+
+  // The cell and its existing 4-neighborhood (N/S/E/W), cell first.
+  std::vector<int64_t> NeighborhoodOf(const geo::Point& p) const;
+
+ private:
+  int CoordToIndex(double v, double lo, double extent) const;
+
+  geo::BoundingBox box_;
+  int cells_per_side_;
+};
+
+}  // namespace tmn::data
+
+#endif  // TMN_DATA_GRID_H_

@@ -1,0 +1,105 @@
+#include "data/porto_loader.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "common/check.h"
+
+namespace tmn::data {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+// Reads one full CSV line of arbitrary length.
+bool ReadLine(std::FILE* f, std::string* line) {
+  line->clear();
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof(buffer), f) != nullptr) {
+    line->append(buffer);
+    if (!line->empty() && line->back() == '\n') {
+      line->pop_back();
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+  }
+  return !line->empty();
+}
+
+// Extracts the POLYLINE field: the last quoted field of the row (the
+// polyline itself contains commas, but it is the final column in the
+// dataset and is quoted).
+bool ExtractPolylineField(const std::string& row, std::string* polyline) {
+  const size_t open_bracket = row.find('[');
+  const size_t close_bracket = row.rfind(']');
+  if (open_bracket == std::string::npos ||
+      close_bracket == std::string::npos || close_bracket < open_bracket) {
+    return false;
+  }
+  *polyline = row.substr(open_bracket, close_bracket - open_bracket + 1);
+  return true;
+}
+}  // namespace
+
+bool ParsePortoPolyline(const std::string& polyline, geo::Trajectory* out) {
+  TMN_CHECK(out != nullptr);
+  // Expected shape: [[lon,lat],[lon,lat],...] with optional whitespace.
+  const char* p = polyline.c_str();
+  if (*p != '[') return false;
+  ++p;
+  std::vector<geo::Point> points;
+  while (true) {
+    while (*p == ' ' || *p == ',') ++p;
+    if (*p == ']') break;  // End of the outer array.
+    if (*p != '[') return false;
+    ++p;
+    char* end = nullptr;
+    const double lon = std::strtod(p, &end);
+    if (end == p) return false;
+    p = end;
+    while (*p == ' ') ++p;
+    if (*p != ',') return false;
+    ++p;
+    const double lat = std::strtod(p, &end);
+    if (end == p) return false;
+    p = end;
+    while (*p == ' ') ++p;
+    if (*p != ']') return false;
+    ++p;
+    points.push_back(geo::Point{lon, lat});
+  }
+  if (points.size() < 2) return false;
+  *out = geo::Trajectory(std::move(points));
+  return true;
+}
+
+bool LoadPortoCsv(const std::string& path, size_t max_trajectories,
+                  std::vector<geo::Trajectory>* out) {
+  TMN_CHECK(out != nullptr);
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) return false;
+  std::string row;
+  bool first = true;
+  while (ReadLine(f.get(), &row)) {
+    if (first) {
+      first = false;
+      // Skip the header row when present.
+      if (row.find("POLYLINE") != std::string::npos) continue;
+    }
+    if (max_trajectories != 0 && out->size() >= max_trajectories) break;
+    std::string polyline;
+    if (!ExtractPolylineField(row, &polyline)) continue;
+    geo::Trajectory t;
+    if (!ParsePortoPolyline(polyline, &t)) continue;
+    t.set_id(static_cast<int64_t>(out->size()));
+    out->push_back(std::move(t));
+  }
+  return true;
+}
+
+}  // namespace tmn::data

@@ -1,0 +1,34 @@
+#ifndef TMN_DATA_PORTO_LOADER_H_
+#define TMN_DATA_PORTO_LOADER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geo/trajectory.h"
+
+namespace tmn::data {
+
+// Parser for the Porto taxi dataset (ECML/PKDD 2015 "train.csv"): one CSV
+// row per trip whose last field, POLYLINE, is a JSON-style array of
+// [lon, lat] pairs sampled every 15 seconds, e.g.
+//   "[[-8.618643,41.141412],[-8.618499,41.141376]]"
+// Rows with MISSING_DATA=True typically carry unusable polylines; rows
+// whose polyline has fewer than two points are skipped either way.
+//
+// Like the Geolife loader, this exists so a user with the real dump can
+// run the paper's pipeline; the benches use the synthetic generator.
+
+// Parses one POLYLINE field value into a trajectory. Returns false on a
+// malformed array or fewer than two points.
+bool ParsePortoPolyline(const std::string& polyline, geo::Trajectory* out);
+
+// Streams a Porto-format CSV, extracting up to `max_trajectories`
+// trajectories (0 = no limit). Returns false only when the file cannot be
+// opened; malformed rows are skipped.
+bool LoadPortoCsv(const std::string& path, size_t max_trajectories,
+                  std::vector<geo::Trajectory>* out);
+
+}  // namespace tmn::data
+
+#endif  // TMN_DATA_PORTO_LOADER_H_

@@ -1,0 +1,151 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/rng.h"
+
+namespace tmn::data {
+
+namespace {
+
+using geo::BoundingBox;
+using geo::Point;
+using geo::Trajectory;
+using nn::Rng;
+
+Point ClampTo(const BoundingBox& box, const Point& p) {
+  return Point{std::clamp(p.lon, box.min_lon, box.max_lon),
+               std::clamp(p.lat, box.min_lat, box.max_lat)};
+}
+
+// Human outdoor movement: a correlated heading random walk. Each
+// trajectory draws a transport mode (walk / bike / drive) that sets its
+// step scale; ~10% of steps are stay points (tiny jitter), mimicking
+// Geolife's mix of pedestrian pauses and vehicle stretches.
+Trajectory GenerateGeolife(const BoundingBox& box, int length, Rng& rng,
+                           int64_t id) {
+  const double extent = std::max(box.Width(), box.Height());
+  // Mode step sizes as a fraction of the city extent per sample.
+  const double mode_roll = rng.Uniform();
+  const double base_step =
+      extent * (mode_roll < 0.4 ? 0.002 : mode_roll < 0.7 ? 0.006 : 0.015);
+  double heading = rng.Uniform(0.0, 2.0 * M_PI);
+  Point pos{rng.Uniform(box.min_lon, box.max_lon),
+            rng.Uniform(box.min_lat, box.max_lat)};
+  std::vector<Point> points;
+  points.reserve(length);
+  points.push_back(pos);
+  for (int i = 1; i < length; ++i) {
+    if (rng.Uniform() < 0.1) {
+      // Stay point: GPS jitter around the current position.
+      pos.lon += rng.Normal(0.0, base_step * 0.05);
+      pos.lat += rng.Normal(0.0, base_step * 0.05);
+    } else {
+      heading += rng.Normal(0.0, 0.5);
+      const double step = base_step * (0.5 + rng.Uniform());
+      pos.lon += step * std::cos(heading);
+      pos.lat += step * std::sin(heading);
+    }
+    pos = ClampTo(box, pos);
+    points.push_back(pos);
+  }
+  return Trajectory(std::move(points), id);
+}
+
+// Taxi route: start at a road-grid node, move along axis-aligned streets,
+// turning at intersections with small probability; each emitted sample
+// gets GPS jitter. The grid pitch is ~1/40 of the city extent, giving
+// block-structured routes like inner-city Porto.
+Trajectory GeneratePorto(const BoundingBox& box, int length, Rng& rng,
+                         int64_t id) {
+  const double extent = std::max(box.Width(), box.Height());
+  const double pitch = extent / 40.0;
+  const double speed = pitch * (0.3 + 0.5 * rng.Uniform());
+  const double noise = pitch * 0.03;
+  // Snap the start to a grid node.
+  double gx = box.min_lon +
+              pitch * std::round(rng.Uniform(0.0, box.Width()) / pitch);
+  double gy = box.min_lat +
+              pitch * std::round(rng.Uniform(0.0, box.Height()) / pitch);
+  // Direction: 0=E, 1=N, 2=W, 3=S.
+  int dir = static_cast<int>(rng.UniformInt(4));
+  double along = 0.0;  // Progress along the current block.
+  std::vector<Point> points;
+  points.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    const double dx = dir == 0 ? 1.0 : dir == 2 ? -1.0 : 0.0;
+    const double dy = dir == 1 ? 1.0 : dir == 3 ? -1.0 : 0.0;
+    Point sample{gx + dx * along + rng.Normal(0.0, noise),
+                 gy + dy * along + rng.Normal(0.0, noise)};
+    points.push_back(ClampTo(box, sample));
+    along += speed;
+    if (along >= pitch) {
+      // Reached the next intersection: advance the node, maybe turn.
+      gx += dx * pitch;
+      gy += dy * pitch;
+      along -= pitch;
+      const double turn = rng.Uniform();
+      if (turn < 0.25) {
+        dir = (dir + 1) % 4;
+      } else if (turn < 0.5) {
+        dir = (dir + 3) % 4;
+      }
+      // Stay inside the region: turn back if the next block would exit.
+      const double next_x = gx + (dir == 0 ? pitch : dir == 2 ? -pitch : 0.0);
+      const double next_y = gy + (dir == 1 ? pitch : dir == 3 ? -pitch : 0.0);
+      if (next_x < box.min_lon || next_x > box.max_lon ||
+          next_y < box.min_lat || next_y > box.max_lat) {
+        dir = (dir + 2) % 4;
+      }
+    }
+  }
+  return Trajectory(std::move(points), id);
+}
+
+}  // namespace
+
+std::vector<Trajectory> GenerateSynthetic(const SyntheticConfig& config) {
+  TMN_CHECK(config.num_trajectories >= 0);
+  TMN_CHECK(config.min_length >= 2);
+  TMN_CHECK(config.max_length >= config.min_length);
+  BoundingBox box = config.region;
+  if (box.empty()) {
+    box = config.kind == SyntheticKind::kGeolifeLike ? geo::BeijingCenter()
+                                                     : geo::PortoCenter();
+  }
+  Rng rng(config.seed);
+  std::vector<Trajectory> out;
+  out.reserve(config.num_trajectories);
+  for (int i = 0; i < config.num_trajectories; ++i) {
+    const int length =
+        config.min_length +
+        static_cast<int>(rng.UniformInt(
+            static_cast<uint64_t>(config.max_length - config.min_length + 1)));
+    out.push_back(config.kind == SyntheticKind::kGeolifeLike
+                      ? GenerateGeolife(box, length, rng, i)
+                      : GeneratePorto(box, length, rng, i));
+  }
+  return out;
+}
+
+std::vector<Trajectory> GenerateGeolifeLike(int num_trajectories,
+                                            uint64_t seed) {
+  SyntheticConfig config;
+  config.kind = SyntheticKind::kGeolifeLike;
+  config.num_trajectories = num_trajectories;
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+std::vector<Trajectory> GeneratePortoLike(int num_trajectories,
+                                          uint64_t seed) {
+  SyntheticConfig config;
+  config.kind = SyntheticKind::kPortoLike;
+  config.num_trajectories = num_trajectories;
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+}  // namespace tmn::data

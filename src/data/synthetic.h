@@ -1,0 +1,49 @@
+#ifndef TMN_DATA_SYNTHETIC_H_
+#define TMN_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/trajectory.h"
+
+namespace tmn::data {
+
+// Synthetic stand-ins for the paper's two datasets (see DESIGN.md §3):
+// neither Geolife nor the Porto taxi dump is available offline, so these
+// generators produce corpora with the same salient statistics — city-scale
+// bounding boxes, >=10-point sequences, smooth correlated motion — which
+// is what the preprocessing, ground-truth and learning pipelines consume.
+
+enum class SyntheticKind {
+  // Human outdoor movement à la Geolife: heading random walk with a
+  // walk/bike/drive speed mixture and occasional stay points.
+  kGeolifeLike,
+  // Taxi routes à la Porto: movement snapped to an axis-aligned road grid
+  // with turns at intersections and GPS jitter.
+  kPortoLike,
+};
+
+struct SyntheticConfig {
+  SyntheticKind kind = SyntheticKind::kPortoLike;
+  int num_trajectories = 1000;
+  int min_length = 15;
+  int max_length = 50;
+  uint64_t seed = 7;
+  // Defaults to the matching city's center box when empty.
+  geo::BoundingBox region;
+};
+
+// Generates `config.num_trajectories` trajectories with ids 0..n-1.
+// Deterministic for a fixed config.
+std::vector<geo::Trajectory> GenerateSynthetic(const SyntheticConfig& config);
+
+// Convenience wrappers matching the paper's dataset names.
+std::vector<geo::Trajectory> GenerateGeolifeLike(int num_trajectories,
+                                                 uint64_t seed);
+std::vector<geo::Trajectory> GeneratePortoLike(int num_trajectories,
+                                               uint64_t seed);
+
+}  // namespace tmn::data
+
+#endif  // TMN_DATA_SYNTHETIC_H_

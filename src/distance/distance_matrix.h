@@ -1,0 +1,35 @@
+#ifndef TMN_DISTANCE_DISTANCE_MATRIX_H_
+#define TMN_DISTANCE_DISTANCE_MATRIX_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "distance/metric.h"
+#include "geo/trajectory.h"
+
+namespace tmn::dist {
+
+// Pairwise ground-truth distance matrix D (Section IV.D). Symmetric with a
+// zero diagonal for the metrics that vanish at identity; computed in
+// parallel over `num_threads` workers (pass 0 for hardware concurrency).
+DoubleMatrix ComputeDistanceMatrix(
+    const std::vector<geo::Trajectory>& trajectories,
+    const DistanceMetric& metric, int num_threads = 0);
+
+// Cross distance matrix between two trajectory sets (rows = queries).
+DoubleMatrix ComputeCrossDistanceMatrix(
+    const std::vector<geo::Trajectory>& queries,
+    const std::vector<geo::Trajectory>& base, const DistanceMetric& metric,
+    int num_threads = 0);
+
+// The paper's similarity transform S = exp(-alpha * D), elementwise.
+DoubleMatrix DistanceToSimilarity(const DoubleMatrix& distances,
+                                  double alpha);
+
+// Mean of the off-diagonal entries; handy for picking alpha so that the
+// similarity values are well spread in (0, 1).
+double MeanOffDiagonal(const DoubleMatrix& distances);
+
+}  // namespace tmn::dist
+
+#endif  // TMN_DISTANCE_DISTANCE_MATRIX_H_

@@ -1,0 +1,35 @@
+#ifndef TMN_DISTANCE_DTW_H_
+#define TMN_DISTANCE_DTW_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "distance/metric.h"
+
+namespace tmn::dist {
+
+// Dynamic Time Warping distance: the minimum sum of matched point
+// distances over all monotone alignments (Figure 1 of the paper shows the
+// match pairs this DP produces).
+class DtwMetric : public DistanceMetric {
+ public:
+  MetricType type() const override { return MetricType::kDtw; }
+  double Compute(const geo::Trajectory& a,
+                 const geo::Trajectory& b) const override;
+};
+
+// DTW distance along with the optimal alignment path: the point match
+// pairs (i, j) accumulated into the final distance. Used by examples to
+// visualize the matching the paper's attention mechanism learns to mimic.
+struct DtwAlignment {
+  double distance = 0.0;
+  std::vector<std::pair<size_t, size_t>> matches;
+};
+
+DtwAlignment ComputeDtwAlignment(const geo::Trajectory& a,
+                                 const geo::Trajectory& b);
+
+}  // namespace tmn::dist
+
+#endif  // TMN_DISTANCE_DTW_H_

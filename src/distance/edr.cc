@@ -1,0 +1,31 @@
+#include "distance/edr.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tmn::dist {
+
+double EdrMetric::Compute(const geo::Trajectory& a,
+                          const geo::Trajectory& b) const {
+  TMN_CHECK(!a.empty() && !b.empty());
+  const size_t m = a.size();
+  const size_t n = b.size();
+  std::vector<double> prev(n + 1, 0.0);
+  std::vector<double> curr(n + 1, 0.0);
+  for (size_t j = 0; j <= n; ++j) prev[j] = static_cast<double>(j);
+  for (size_t i = 1; i <= m; ++i) {
+    curr[0] = static_cast<double>(i);
+    for (size_t j = 1; j <= n; ++j) {
+      const double subcost =
+          geo::EuclideanDistance(a[i - 1], b[j - 1]) <= epsilon_ ? 0.0 : 1.0;
+      curr[j] = std::min({prev[j - 1] + subcost, prev[j] + 1.0,
+                          curr[j - 1] + 1.0});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+}  // namespace tmn::dist

@@ -1,0 +1,30 @@
+#ifndef TMN_DISTANCE_EDR_H_
+#define TMN_DISTANCE_EDR_H_
+
+#include "distance/metric.h"
+
+namespace tmn::dist {
+
+// Edit Distance on Real sequence (Chen, Özsu & Oria, SIGMOD'05), Eq. (2)
+// of the paper: the number of edit operations needed to align the two
+// trajectories, where two points "match" (substitution cost 0) iff their
+// distance is at most epsilon. (The paper's Eq. 2 writes the real distance
+// in the substitution branch — a typo for the standard 0/1 subcost, which
+// is what we implement and what NeuTraj's published code uses.)
+class EdrMetric : public DistanceMetric {
+ public:
+  explicit EdrMetric(double epsilon) : epsilon_(epsilon) {}
+
+  MetricType type() const override { return MetricType::kEdr; }
+  double Compute(const geo::Trajectory& a,
+                 const geo::Trajectory& b) const override;
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace tmn::dist
+
+#endif  // TMN_DISTANCE_EDR_H_

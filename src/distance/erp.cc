@@ -1,0 +1,38 @@
+#include "distance/erp.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tmn::dist {
+
+double ErpMetric::Compute(const geo::Trajectory& a,
+                          const geo::Trajectory& b) const {
+  TMN_CHECK(!a.empty() && !b.empty());
+  const size_t m = a.size();
+  const size_t n = b.size();
+  // dp[i][j] = ERP(a[..i], b[..j]); deleting a point costs its distance to
+  // the gap point g. Rolling rows.
+  std::vector<double> prev(n + 1, 0.0);
+  std::vector<double> curr(n + 1, 0.0);
+  for (size_t j = 1; j <= n; ++j) {
+    prev[j] = prev[j - 1] + geo::EuclideanDistance(b[j - 1], gap_);
+  }
+  for (size_t i = 1; i <= m; ++i) {
+    const double gap_a = geo::EuclideanDistance(a[i - 1], gap_);
+    curr[0] = prev[0] + gap_a;
+    for (size_t j = 1; j <= n; ++j) {
+      const double match =
+          prev[j - 1] + geo::EuclideanDistance(a[i - 1], b[j - 1]);
+      const double del_a = prev[j] + gap_a;
+      const double del_b =
+          curr[j - 1] + geo::EuclideanDistance(b[j - 1], gap_);
+      curr[j] = std::min({match, del_a, del_b});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+}  // namespace tmn::dist

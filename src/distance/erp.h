@@ -1,0 +1,27 @@
+#ifndef TMN_DISTANCE_ERP_H_
+#define TMN_DISTANCE_ERP_H_
+
+#include "distance/metric.h"
+
+namespace tmn::dist {
+
+// Edit distance with Real Penalty (Chen & Ng, VLDB'04), Eq. (1) of the
+// paper: an edit distance whose gap cost is the real distance to a fixed
+// reference point g, making it a metric.
+class ErpMetric : public DistanceMetric {
+ public:
+  explicit ErpMetric(const geo::Point& gap) : gap_(gap) {}
+
+  MetricType type() const override { return MetricType::kErp; }
+  double Compute(const geo::Trajectory& a,
+                 const geo::Trajectory& b) const override;
+
+  const geo::Point& gap() const { return gap_; }
+
+ private:
+  geo::Point gap_;
+};
+
+}  // namespace tmn::dist
+
+#endif  // TMN_DISTANCE_ERP_H_

@@ -1,0 +1,37 @@
+#include "distance/frechet.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tmn::dist {
+
+double FrechetMetric::Compute(const geo::Trajectory& a,
+                              const geo::Trajectory& b) const {
+  TMN_CHECK(!a.empty() && !b.empty());
+  const size_t m = a.size();
+  const size_t n = b.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[j] = discrete Fréchet of a[..i] vs b[..j]; rolling rows.
+  std::vector<double> prev(n, 0.0);
+  std::vector<double> curr(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    const double d = geo::EuclideanDistance(a[0], b[j]);
+    prev[j] = j == 0 ? d : std::max(prev[j - 1], d);
+  }
+  for (size_t i = 1; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const double d = geo::EuclideanDistance(a[i], b[j]);
+      const double reach =
+          j == 0 ? prev[0]
+                 : std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = std::max(reach == kInf ? d : reach, d);
+    }
+    std::swap(prev, curr);
+  }
+  return prev[n - 1];
+}
+
+}  // namespace tmn::dist

@@ -1,0 +1,19 @@
+#ifndef TMN_DISTANCE_FRECHET_H_
+#define TMN_DISTANCE_FRECHET_H_
+
+#include "distance/metric.h"
+
+namespace tmn::dist {
+
+// Discrete Fréchet distance (Eiter & Mannila): the minimum over monotone
+// couplings of the maximum matched point distance.
+class FrechetMetric : public DistanceMetric {
+ public:
+  MetricType type() const override { return MetricType::kFrechet; }
+  double Compute(const geo::Trajectory& a,
+                 const geo::Trajectory& b) const override;
+};
+
+}  // namespace tmn::dist
+
+#endif  // TMN_DISTANCE_FRECHET_H_

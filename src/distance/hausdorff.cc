@@ -1,0 +1,33 @@
+#include "distance/hausdorff.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace tmn::dist {
+
+namespace {
+
+double DirectedHausdorff(const geo::Trajectory& a, const geo::Trajectory& b) {
+  double worst = 0.0;
+  for (const geo::Point& p : a) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const geo::Point& q : b) {
+      best = std::min(best, geo::SquaredDistance(p, q));
+      if (best == 0.0) break;
+    }
+    worst = std::max(worst, best);
+  }
+  return std::sqrt(worst);
+}
+
+}  // namespace
+
+double HausdorffMetric::Compute(const geo::Trajectory& a,
+                                const geo::Trajectory& b) const {
+  TMN_CHECK(!a.empty() && !b.empty());
+  return std::max(DirectedHausdorff(a, b), DirectedHausdorff(b, a));
+}
+
+}  // namespace tmn::dist

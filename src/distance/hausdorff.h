@@ -1,0 +1,19 @@
+#ifndef TMN_DISTANCE_HAUSDORFF_H_
+#define TMN_DISTANCE_HAUSDORFF_H_
+
+#include "distance/metric.h"
+
+namespace tmn::dist {
+
+// Symmetric Hausdorff distance between the two point sets: the larger of
+// the two directed max-min point distances.
+class HausdorffMetric : public DistanceMetric {
+ public:
+  MetricType type() const override { return MetricType::kHausdorff; }
+  double Compute(const geo::Trajectory& a,
+                 const geo::Trajectory& b) const override;
+};
+
+}  // namespace tmn::dist
+
+#endif  // TMN_DISTANCE_HAUSDORFF_H_

@@ -1,0 +1,30 @@
+#ifndef TMN_DISTANCE_LCSS_H_
+#define TMN_DISTANCE_LCSS_H_
+
+#include "distance/metric.h"
+
+namespace tmn::dist {
+
+// Longest Common SubSequence similarity (Vlachos et al., ICDE'02), Eq. (3)
+// of the paper, converted to the distance form used throughout the learned
+// similarity literature: d = 1 - LCSS(a, b) / min(|a|, |b|).
+class LcssMetric : public DistanceMetric {
+ public:
+  explicit LcssMetric(double epsilon) : epsilon_(epsilon) {}
+
+  MetricType type() const override { return MetricType::kLcss; }
+  double Compute(const geo::Trajectory& a,
+                 const geo::Trajectory& b) const override;
+
+  // The raw LCSS length f_L (Eq. 3): the number of matched point pairs.
+  size_t LcssLength(const geo::Trajectory& a, const geo::Trajectory& b) const;
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace tmn::dist
+
+#endif  // TMN_DISTANCE_LCSS_H_

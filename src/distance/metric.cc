@@ -1,0 +1,92 @@
+#include "distance/metric.h"
+
+#include <cctype>
+
+#include "common/check.h"
+#include "distance/dtw.h"
+#include "distance/edr.h"
+#include "distance/erp.h"
+#include "distance/frechet.h"
+#include "distance/hausdorff.h"
+#include "distance/lcss.h"
+
+namespace tmn::dist {
+
+const std::vector<MetricType>& AllMetricTypes() {
+  static const std::vector<MetricType>* const kAll =
+      new std::vector<MetricType>{MetricType::kDtw,  MetricType::kFrechet,
+                                  MetricType::kErp,  MetricType::kEdr,
+                                  MetricType::kHausdorff, MetricType::kLcss};
+  return *kAll;
+}
+
+std::string MetricName(MetricType type) {
+  switch (type) {
+    case MetricType::kDtw:
+      return "DTW";
+    case MetricType::kFrechet:
+      return "Frechet";
+    case MetricType::kHausdorff:
+      return "Hausdorff";
+    case MetricType::kErp:
+      return "ERP";
+    case MetricType::kEdr:
+      return "EDR";
+    case MetricType::kLcss:
+      return "LCSS";
+  }
+  return "unknown";
+}
+
+std::optional<MetricType> MetricFromName(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (MetricType type : AllMetricTypes()) {
+    std::string candidate = MetricName(type);
+    for (char& c : candidate) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (candidate == lower) return type;
+  }
+  return std::nullopt;
+}
+
+bool IsMatchingBased(MetricType type) {
+  switch (type) {
+    case MetricType::kDtw:
+    case MetricType::kErp:
+    case MetricType::kEdr:
+    case MetricType::kLcss:
+      return true;
+    case MetricType::kFrechet:
+    case MetricType::kHausdorff:
+      return false;
+  }
+  return false;
+}
+
+std::unique_ptr<DistanceMetric> CreateMetric(MetricType type,
+                                             const MetricParams& params) {
+  switch (type) {
+    case MetricType::kDtw:
+      return std::make_unique<DtwMetric>();
+    case MetricType::kFrechet:
+      return std::make_unique<FrechetMetric>();
+    case MetricType::kHausdorff:
+      return std::make_unique<HausdorffMetric>();
+    case MetricType::kErp:
+      return std::make_unique<ErpMetric>(params.gap);
+    case MetricType::kEdr:
+      return std::make_unique<EdrMetric>(params.epsilon);
+    case MetricType::kLcss:
+      return std::make_unique<LcssMetric>(params.epsilon);
+  }
+  TMN_CHECK_MSG(false, "unknown metric type");
+  return nullptr;
+}
+
+}  // namespace tmn::dist

@@ -1,0 +1,71 @@
+#include "eval/embedding_search.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tmn::eval {
+
+std::string SearchBackendName(SearchBackend backend) {
+  switch (backend) {
+    case SearchBackend::kBruteForce:
+      return "brute-force";
+    case SearchBackend::kKdTree:
+      return "kd-tree";
+    case SearchBackend::kHnsw:
+      return "HNSW";
+  }
+  return "unknown";
+}
+
+EmbeddingSearch::EmbeddingSearch(
+    const std::vector<std::vector<float>>& embeddings, SearchBackend backend,
+    const index::HnswConfig& hnsw_config)
+    : backend_(backend), count_(embeddings.size()) {
+  TMN_CHECK_MSG(!embeddings.empty(), "need at least one embedding");
+  dim_ = embeddings[0].size();
+  flat_.reserve(count_ * dim_);
+  for (const auto& e : embeddings) {
+    TMN_CHECK_MSG(e.size() == dim_, "inconsistent embedding widths");
+    flat_.insert(flat_.end(), e.begin(), e.end());
+  }
+  switch (backend_) {
+    case SearchBackend::kBruteForce:
+      break;
+    case SearchBackend::kKdTree:
+      kd_tree_ = std::make_unique<index::KdTree>(flat_, dim_);
+      break;
+    case SearchBackend::kHnsw:
+      hnsw_ = std::make_unique<index::HnswIndex>(dim_, hnsw_config);
+      for (const auto& e : embeddings) hnsw_->Add(e);
+      break;
+  }
+}
+
+std::vector<size_t> EmbeddingSearch::Nearest(const std::vector<float>& query,
+                                             size_t k) const {
+  TMN_CHECK(query.size() == dim_);
+  switch (backend_) {
+    case SearchBackend::kBruteForce:
+      return index::BruteForceNearest(flat_, dim_, query, k);
+    case SearchBackend::kKdTree:
+      return kd_tree_->Nearest(query, k);
+    case SearchBackend::kHnsw:
+      return hnsw_->Nearest(query, k);
+  }
+  return {};
+}
+
+std::vector<size_t> EmbeddingSearch::NearestToStored(size_t i,
+                                                     size_t k) const {
+  TMN_CHECK(i < count_);
+  const std::vector<float> query(flat_.begin() + i * dim_,
+                                 flat_.begin() + (i + 1) * dim_);
+  // Over-fetch by one, then drop the stored vector itself.
+  std::vector<size_t> result = Nearest(query, k + 1);
+  result.erase(std::remove(result.begin(), result.end(), i), result.end());
+  if (result.size() > k) result.resize(k);
+  return result;
+}
+
+}  // namespace tmn::eval

@@ -1,0 +1,55 @@
+#ifndef TMN_EVAL_EMBEDDING_SEARCH_H_
+#define TMN_EVAL_EMBEDDING_SEARCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/hnsw.h"
+#include "index/kd_tree.h"
+
+namespace tmn::eval {
+
+// How an EmbeddingSearch answers kNN queries over trajectory embeddings.
+// Brute force is exact; the k-d tree is exact but degrades in high
+// dimensions; HNSW is approximate and fast — the paper's §I suggestion
+// for scaling similarity search over embedded trajectories.
+enum class SearchBackend {
+  kBruteForce,
+  kKdTree,
+  kHnsw,
+};
+
+std::string SearchBackendName(SearchBackend backend);
+
+// kNN search over a fixed set of embedding vectors (the output of
+// eval::EncodeAll). Thread-compatible after construction.
+class EmbeddingSearch {
+ public:
+  EmbeddingSearch(const std::vector<std::vector<float>>& embeddings,
+                  SearchBackend backend,
+                  const index::HnswConfig& hnsw_config = {});
+
+  size_t size() const { return count_; }
+  size_t dim() const { return dim_; }
+  SearchBackend backend() const { return backend_; }
+
+  // Indices of the k nearest embeddings to `query`, nearest first.
+  std::vector<size_t> Nearest(const std::vector<float>& query,
+                              size_t k) const;
+
+  // kNN of the i-th stored embedding, excluding i itself.
+  std::vector<size_t> NearestToStored(size_t i, size_t k) const;
+
+ private:
+  SearchBackend backend_;
+  size_t count_;
+  size_t dim_;
+  std::vector<float> flat_;
+  std::unique_ptr<index::KdTree> kd_tree_;
+  std::unique_ptr<index::HnswIndex> hnsw_;
+};
+
+}  // namespace tmn::eval
+
+#endif  // TMN_EVAL_EMBEDDING_SEARCH_H_

@@ -1,0 +1,124 @@
+#include "eval/evaluation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "eval/metrics.h"
+#include "nn/ops.h"
+
+namespace tmn::eval {
+
+namespace {
+
+std::vector<float> FinalEmbedding(const core::SimilarityModel& model,
+                                  const geo::Trajectory& t) {
+  const nn::Tensor o = model.ForwardSingle(t);
+  return nn::Row(o, o.rows() - 1).data();
+}
+
+double VectorDistance(const std::vector<float>& a,
+                      const std::vector<float>& b) {
+  TMN_CHECK(a.size() == b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    total += d * d;
+  }
+  return std::sqrt(total);
+}
+
+}  // namespace
+
+std::vector<std::vector<float>> EncodeAll(
+    const core::SimilarityModel& model,
+    const std::vector<geo::Trajectory>& trajectories) {
+  TMN_CHECK_MSG(!model.IsPairwise(),
+                "pairwise models cannot pre-embed a database");
+  nn::NoGradGuard no_grad;
+  std::vector<std::vector<float>> out;
+  out.reserve(trajectories.size());
+  for (const geo::Trajectory& t : trajectories) {
+    out.push_back(FinalEmbedding(model, t));
+  }
+  return out;
+}
+
+double PredictDistance(const core::SimilarityModel& model,
+                       const geo::Trajectory& a, const geo::Trajectory& b) {
+  nn::NoGradGuard no_grad;
+  const core::PairOutput out = model.ForwardPair(a, b);
+  return static_cast<double>(
+      nn::EuclideanDistance(core::FinalRow(out.oa), core::FinalRow(out.ob))
+          .item());
+}
+
+DoubleMatrix PredictDistanceMatrix(
+    const core::SimilarityModel& model,
+    const std::vector<geo::Trajectory>& base, size_t num_queries) {
+  TMN_CHECK(num_queries <= base.size());
+  DoubleMatrix out(num_queries, base.size());
+  if (model.IsPairwise()) {
+    nn::NoGradGuard no_grad;
+    for (size_t q = 0; q < num_queries; ++q) {
+      for (size_t c = 0; c < base.size(); ++c) {
+        if (q == c) continue;
+        out.at(q, c) = PredictDistance(model, base[q], base[c]);
+      }
+    }
+    return out;
+  }
+  const std::vector<std::vector<float>> embeddings = EncodeAll(model, base);
+  for (size_t q = 0; q < num_queries; ++q) {
+    for (size_t c = 0; c < base.size(); ++c) {
+      out.at(q, c) = VectorDistance(embeddings[q], embeddings[c]);
+    }
+  }
+  return out;
+}
+
+SearchQuality EvaluateRankings(const DoubleMatrix& predicted,
+                               const DoubleMatrix& true_distances,
+                               const EvalOptions& options) {
+  TMN_CHECK(predicted.cols() == true_distances.cols());
+  TMN_CHECK(true_distances.rows() == true_distances.cols());
+  const size_t num_queries = predicted.rows();
+  TMN_CHECK(num_queries <= true_distances.rows());
+  SearchQuality quality;
+  const size_t n = predicted.cols();
+  for (size_t q = 0; q < num_queries; ++q) {
+    std::vector<double> pred_row(n);
+    std::vector<double> true_row(n);
+    for (size_t c = 0; c < n; ++c) {
+      pred_row[c] = predicted.at(q, c);
+      true_row[c] = true_distances.at(q, c);
+    }
+    const auto true_small = TopKIndices(true_row, options.k_small, q);
+    const auto true_large = TopKIndices(true_row, options.k_large, q);
+    const auto pred_small = TopKIndices(pred_row, options.k_small, q);
+    const auto pred_large = TopKIndices(pred_row, options.k_large, q);
+    quality.hr10 += OverlapRatio(true_small, pred_small);
+    quality.hr50 += OverlapRatio(true_large, pred_large);
+    quality.r10_at_50 += OverlapRatio(true_small, pred_large);
+  }
+  const double denom = static_cast<double>(num_queries);
+  quality.hr10 /= denom;
+  quality.hr50 /= denom;
+  quality.r10_at_50 /= denom;
+  return quality;
+}
+
+SearchQuality EvaluateSearch(const core::SimilarityModel& model,
+                             const std::vector<geo::Trajectory>& test,
+                             const DoubleMatrix& true_distances,
+                             const EvalOptions& options) {
+  TMN_CHECK(true_distances.rows() == test.size());
+  const size_t num_queries =
+      options.num_queries == 0
+          ? test.size()
+          : std::min(options.num_queries, test.size());
+  const DoubleMatrix predicted =
+      PredictDistanceMatrix(model, test, num_queries);
+  return EvaluateRankings(predicted, true_distances, options);
+}
+
+}  // namespace tmn::eval

@@ -1,0 +1,63 @@
+#ifndef TMN_EVAL_EVALUATION_H_
+#define TMN_EVAL_EVALUATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/model.h"
+#include "geo/trajectory.h"
+
+namespace tmn::eval {
+
+// Top-k similarity search quality (the paper's three evaluation metrics).
+struct SearchQuality {
+  double hr10 = 0.0;      // HR-10: overlap of predicted vs true top-10.
+  double hr50 = 0.0;      // HR-50.
+  double r10_at_50 = 0.0; // R10@50: true top-10 recovered by predicted top-50.
+};
+
+struct EvalOptions {
+  size_t num_queries = 0;  // 0 = every test trajectory queries.
+  size_t k_small = 10;
+  size_t k_large = 50;
+};
+
+// Final embeddings of every trajectory under a non-pairwise model
+// (forward-only, no autograd tape). Each row vector has the model's
+// output width.
+std::vector<std::vector<float>> EncodeAll(
+    const core::SimilarityModel& model,
+    const std::vector<geo::Trajectory>& trajectories);
+
+// Predicted distance of one pair: ||o_a - o_b|| on final representations
+// (works for pairwise and non-pairwise models; forward-only).
+double PredictDistance(const core::SimilarityModel& model,
+                       const geo::Trajectory& a, const geo::Trajectory& b);
+
+// Predicted (num_queries x base) distance matrix. Queries are the first
+// `num_queries` base trajectories. Non-pairwise models embed the base
+// once; pairwise models run one joint forward per (query, candidate).
+DoubleMatrix PredictDistanceMatrix(
+    const core::SimilarityModel& model,
+    const std::vector<geo::Trajectory>& base, size_t num_queries);
+
+// Runs the paper's top-k similarity search protocol: for every query,
+// ranks all other test trajectories by predicted distance, compares
+// against the ground-truth ranking from `true_distances` (pairwise over
+// `test`), and averages HR-10 / HR-50 / R10@50 over the queries.
+SearchQuality EvaluateSearch(const core::SimilarityModel& model,
+                             const std::vector<geo::Trajectory>& test,
+                             const DoubleMatrix& true_distances,
+                             const EvalOptions& options = {});
+
+// Same protocol, but ranking by a precomputed predicted distance matrix
+// (rows = queries, cols = test). Exposed so benches can time prediction
+// separately from ranking.
+SearchQuality EvaluateRankings(const DoubleMatrix& predicted,
+                               const DoubleMatrix& true_distances,
+                               const EvalOptions& options = {});
+
+}  // namespace tmn::eval
+
+#endif  // TMN_EVAL_EVALUATION_H_

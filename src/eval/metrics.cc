@@ -1,0 +1,40 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace tmn::eval {
+
+std::vector<size_t> TopKIndices(const std::vector<double>& scores, size_t k,
+                                size_t exclude) {
+  std::vector<size_t> idx;
+  idx.reserve(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (i != exclude) idx.push_back(i);
+  }
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](size_t a, size_t b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] < scores[b];
+                      }
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+double OverlapRatio(const std::vector<size_t>& truth,
+                    const std::vector<size_t>& pred) {
+  TMN_CHECK(!truth.empty());
+  const std::unordered_set<size_t> pred_set(pred.begin(), pred.end());
+  size_t hits = 0;
+  for (size_t t : truth) {
+    if (pred_set.contains(t)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace tmn::eval

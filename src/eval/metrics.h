@@ -1,0 +1,22 @@
+#ifndef TMN_EVAL_METRICS_H_
+#define TMN_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tmn::eval {
+
+// Indices of the k smallest values in `scores`, ascending by value,
+// skipping `exclude` (pass scores.size() to exclude nothing). Ties break
+// by index for determinism.
+std::vector<size_t> TopKIndices(const std::vector<double>& scores, size_t k,
+                                size_t exclude);
+
+// |truth ∩ pred| / |truth| — the HR-k hitting ratio when both lists have
+// length k, and the Rk@t recall when truth has length k and pred length t.
+double OverlapRatio(const std::vector<size_t>& truth,
+                    const std::vector<size_t>& pred);
+
+}  // namespace tmn::eval
+
+#endif  // TMN_EVAL_METRICS_H_

@@ -1,0 +1,26 @@
+#ifndef TMN_EVAL_TIMER_H_
+#define TMN_EVAL_TIMER_H_
+
+#include <chrono>
+
+namespace tmn::eval {
+
+// Monotonic wall-clock timer for the efficiency studies (Table III).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double Seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tmn::eval
+
+#endif  // TMN_EVAL_TIMER_H_

@@ -1,0 +1,57 @@
+#ifndef TMN_GEO_BOUNDING_BOX_H_
+#define TMN_GEO_BOUNDING_BOX_H_
+
+#include <algorithm>
+
+#include "geo/point.h"
+
+namespace tmn::geo {
+
+// Axis-aligned rectangle in (lon, lat) space. Default-constructed boxes are
+// "empty" (inverted bounds) and grow as points are added via Expand().
+struct BoundingBox {
+  double min_lon = 1e300;
+  double min_lat = 1e300;
+  double max_lon = -1e300;
+  double max_lat = -1e300;
+
+  static BoundingBox Of(double min_lon, double min_lat, double max_lon,
+                        double max_lat) {
+    return BoundingBox{min_lon, min_lat, max_lon, max_lat};
+  }
+
+  bool empty() const { return min_lon > max_lon || min_lat > max_lat; }
+
+  bool Contains(const Point& p) const {
+    return p.lon >= min_lon && p.lon <= max_lon && p.lat >= min_lat &&
+           p.lat <= max_lat;
+  }
+
+  void Expand(const Point& p) {
+    min_lon = std::min(min_lon, p.lon);
+    max_lon = std::max(max_lon, p.lon);
+    min_lat = std::min(min_lat, p.lat);
+    max_lat = std::max(max_lat, p.lat);
+  }
+
+  Point Center() const {
+    return Point{(min_lon + max_lon) / 2.0, (min_lat + max_lat) / 2.0};
+  }
+
+  double Width() const { return empty() ? 0.0 : max_lon - min_lon; }
+  double Height() const { return empty() ? 0.0 : max_lat - min_lat; }
+};
+
+// City-center windows used by the paper's preprocessing ("filter out the
+// trajectories that locate in the sparse area and remain the ones in the
+// center area of the city").
+inline BoundingBox BeijingCenter() {
+  return BoundingBox::Of(116.25, 39.85, 116.50, 40.05);
+}
+inline BoundingBox PortoCenter() {
+  return BoundingBox::Of(-8.70, 41.10, -8.55, 41.20);
+}
+
+}  // namespace tmn::geo
+
+#endif  // TMN_GEO_BOUNDING_BOX_H_

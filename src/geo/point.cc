@@ -1,0 +1,23 @@
+#include "geo/point.h"
+
+#include <cmath>
+
+namespace tmn::geo {
+
+namespace {
+constexpr double kEarthRadiusMeters = 6371000.0;
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double HaversineMeters(const Point& a, const Point& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+}  // namespace tmn::geo

@@ -1,0 +1,41 @@
+#ifndef TMN_GEO_POINT_H_
+#define TMN_GEO_POINT_H_
+
+#include <cmath>
+
+namespace tmn::geo {
+
+// A single trajectory sample: a location in 2-dimensional space.
+// Coordinates are stored as (lon, lat) degree pairs for raw GPS data, or as
+// normalized unit-square coordinates after preprocessing; all distance
+// metrics in src/distance operate on whatever frame the caller provides.
+struct Point {
+  double lon = 0.0;
+  double lat = 0.0;
+};
+
+inline bool operator==(const Point& a, const Point& b) {
+  return a.lon == b.lon && a.lat == b.lat;
+}
+
+// Squared Euclidean distance in the coordinate plane.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.lon - b.lon;
+  const double dy = a.lat - b.lat;
+  return dx * dx + dy * dy;
+}
+
+// Euclidean distance in the coordinate plane. This is the point distance
+// d(.,.) used by every trajectory metric in the paper (the datasets are
+// city-scale, where planar distance on normalized coordinates is standard).
+inline double EuclideanDistance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+// Great-circle distance in meters between two (lon, lat) degree points.
+// Used when reporting physical path lengths for raw GPS trajectories.
+double HaversineMeters(const Point& a, const Point& b);
+
+}  // namespace tmn::geo
+
+#endif  // TMN_GEO_POINT_H_

@@ -1,0 +1,74 @@
+#include "geo/preprocess.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tmn::geo {
+
+std::vector<Trajectory> FilterByBoundingBox(
+    const std::vector<Trajectory>& trajectories, const BoundingBox& box) {
+  std::vector<Trajectory> kept;
+  for (const Trajectory& t : trajectories) {
+    bool inside = !t.empty();
+    for (const Point& p : t) {
+      if (!box.Contains(p)) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) kept.push_back(t);
+  }
+  return kept;
+}
+
+std::vector<Trajectory> FilterByMinLength(
+    const std::vector<Trajectory>& trajectories, size_t min_points) {
+  std::vector<Trajectory> kept;
+  for (const Trajectory& t : trajectories) {
+    if (t.size() >= min_points) kept.push_back(t);
+  }
+  return kept;
+}
+
+std::vector<Trajectory> TruncateToMaxLength(
+    const std::vector<Trajectory>& trajectories, size_t max_points) {
+  TMN_CHECK(max_points > 0);
+  std::vector<Trajectory> out;
+  out.reserve(trajectories.size());
+  for (const Trajectory& t : trajectories) {
+    out.push_back(t.size() > max_points ? t.Prefix(max_points) : t);
+  }
+  return out;
+}
+
+NormalizationParams ComputeNormalization(
+    const std::vector<Trajectory>& trajectories) {
+  BoundingBox box;
+  for (const Trajectory& t : trajectories) {
+    for (const Point& p : t) box.Expand(p);
+  }
+  NormalizationParams params;
+  if (box.empty()) return params;
+  params.offset_lon = box.min_lon;
+  params.offset_lat = box.min_lat;
+  const double extent = std::max(box.Width(), box.Height());
+  params.scale = extent > 0.0 ? 1.0 / extent : 1.0;
+  return params;
+}
+
+std::vector<Trajectory> NormalizeTrajectories(
+    const std::vector<Trajectory>& trajectories,
+    const NormalizationParams& params) {
+  std::vector<Trajectory> out;
+  out.reserve(trajectories.size());
+  for (const Trajectory& t : trajectories) {
+    std::vector<Point> points;
+    points.reserve(t.size());
+    for (const Point& p : t) points.push_back(params.Apply(p));
+    out.emplace_back(std::move(points), t.id());
+  }
+  return out;
+}
+
+}  // namespace tmn::geo

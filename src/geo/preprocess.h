@@ -1,0 +1,54 @@
+#ifndef TMN_GEO_PREPROCESS_H_
+#define TMN_GEO_PREPROCESS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/trajectory.h"
+
+namespace tmn::geo {
+
+// Parameters of the affine map applied by NormalizeTrajectories; kept so
+// callers can map normalized coordinates back to (lon, lat).
+struct NormalizationParams {
+  double offset_lon = 0.0;
+  double offset_lat = 0.0;
+  double scale = 1.0;  // A single isotropic scale so shapes are preserved.
+
+  Point Apply(const Point& p) const {
+    return Point{(p.lon - offset_lon) * scale, (p.lat - offset_lat) * scale};
+  }
+  Point Invert(const Point& p) const {
+    return Point{p.lon / scale + offset_lon, p.lat / scale + offset_lat};
+  }
+};
+
+// Keeps only trajectories fully inside `box` (the paper's "center area of
+// the city" filter).
+std::vector<Trajectory> FilterByBoundingBox(
+    const std::vector<Trajectory>& trajectories, const BoundingBox& box);
+
+// Keeps only trajectories with at least `min_points` records (the paper
+// removes trajectories shorter than 10 records).
+std::vector<Trajectory> FilterByMinLength(
+    const std::vector<Trajectory>& trajectories, size_t min_points);
+
+// Truncates trajectories longer than `max_points` (keeps prefixes); the
+// learned models pad pairs to a common length, so a cap bounds memory.
+std::vector<Trajectory> TruncateToMaxLength(
+    const std::vector<Trajectory>& trajectories, size_t max_points);
+
+// Computes normalization params that map the joint bounding box of all
+// trajectories into the unit square (isotropically, longest side = 1).
+NormalizationParams ComputeNormalization(
+    const std::vector<Trajectory>& trajectories);
+
+// Applies `params` to every point of every trajectory.
+std::vector<Trajectory> NormalizeTrajectories(
+    const std::vector<Trajectory>& trajectories,
+    const NormalizationParams& params);
+
+}  // namespace tmn::geo
+
+#endif  // TMN_GEO_PREPROCESS_H_

@@ -1,0 +1,107 @@
+#include "geo/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tmn::geo {
+
+namespace {
+
+// Perpendicular distance from p to segment (a, b).
+double SegmentDistance(const Point& p, const Point& a, const Point& b) {
+  const double abx = b.lon - a.lon;
+  const double aby = b.lat - a.lat;
+  const double len2 = abx * abx + aby * aby;
+  if (len2 == 0.0) return EuclideanDistance(p, a);
+  double t = ((p.lon - a.lon) * abx + (p.lat - a.lat) * aby) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  const Point proj{a.lon + t * abx, a.lat + t * aby};
+  return EuclideanDistance(p, proj);
+}
+
+void DouglasPeuckerRecurse(const std::vector<Point>& points, size_t lo,
+                           size_t hi, double epsilon,
+                           std::vector<bool>& keep) {
+  if (hi <= lo + 1) return;
+  double max_dist = -1.0;
+  size_t max_idx = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const double d = SegmentDistance(points[i], points[lo], points[hi]);
+    if (d > max_dist) {
+      max_dist = d;
+      max_idx = i;
+    }
+  }
+  if (max_dist > epsilon) {
+    keep[max_idx] = true;
+    DouglasPeuckerRecurse(points, lo, max_idx, epsilon, keep);
+    DouglasPeuckerRecurse(points, max_idx, hi, epsilon, keep);
+  }
+}
+
+}  // namespace
+
+Trajectory DouglasPeucker(const Trajectory& trajectory, double epsilon) {
+  TMN_CHECK(epsilon >= 0.0);
+  const std::vector<Point>& points = trajectory.points();
+  if (points.size() <= 2) return trajectory;
+  std::vector<bool> keep(points.size(), false);
+  keep.front() = keep.back() = true;
+  DouglasPeuckerRecurse(points, 0, points.size() - 1, epsilon, keep);
+  std::vector<Point> kept;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (keep[i]) kept.push_back(points[i]);
+  }
+  return Trajectory(std::move(kept), trajectory.id());
+}
+
+Trajectory ResampleUniform(const Trajectory& trajectory,
+                           size_t num_segments) {
+  TMN_CHECK(num_segments >= 1);
+  TMN_CHECK(!trajectory.empty());
+  const std::vector<Point>& points = trajectory.points();
+  std::vector<Point> out;
+  out.reserve(num_segments + 1);
+  if (points.size() == 1) {
+    out.assign(num_segments + 1, points[0]);
+    return Trajectory(std::move(out), trajectory.id());
+  }
+  // Cumulative arc length.
+  std::vector<double> cum(points.size(), 0.0);
+  for (size_t i = 1; i < points.size(); ++i) {
+    cum[i] = cum[i - 1] + EuclideanDistance(points[i - 1], points[i]);
+  }
+  const double total = cum.back();
+  if (total == 0.0) {
+    out.assign(num_segments + 1, points[0]);
+    return Trajectory(std::move(out), trajectory.id());
+  }
+  size_t seg = 0;
+  for (size_t k = 0; k <= num_segments; ++k) {
+    const double target = total * static_cast<double>(k) /
+                          static_cast<double>(num_segments);
+    while (seg + 1 < points.size() - 1 && cum[seg + 1] < target) ++seg;
+    const double seg_len = cum[seg + 1] - cum[seg];
+    const double t = seg_len > 0.0 ? (target - cum[seg]) / seg_len : 0.0;
+    out.push_back(Point{
+        points[seg].lon + t * (points[seg + 1].lon - points[seg].lon),
+        points[seg].lat + t * (points[seg + 1].lat - points[seg].lat)});
+  }
+  return Trajectory(std::move(out), trajectory.id());
+}
+
+std::vector<float> SummaryVector(const Trajectory& trajectory,
+                                 size_t num_segments) {
+  const Trajectory resampled = ResampleUniform(trajectory, num_segments);
+  std::vector<float> features;
+  features.reserve(2 * resampled.size());
+  for (const Point& p : resampled) {
+    features.push_back(static_cast<float>(p.lon));
+    features.push_back(static_cast<float>(p.lat));
+  }
+  return features;
+}
+
+}  // namespace tmn::geo

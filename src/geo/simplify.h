@@ -1,0 +1,28 @@
+#ifndef TMN_GEO_SIMPLIFY_H_
+#define TMN_GEO_SIMPLIFY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/trajectory.h"
+
+namespace tmn::geo {
+
+// Douglas-Peucker polyline simplification with distance tolerance
+// `epsilon` (same coordinate frame as the trajectory). The first and last
+// points are always kept.
+Trajectory DouglasPeucker(const Trajectory& trajectory, double epsilon);
+
+// Compresses a trajectory evenly into `num_segments + 1` points by
+// arc-length resampling. This is the simplification step Traj2SimVec uses
+// before building its k-d tree of trajectory summaries.
+Trajectory ResampleUniform(const Trajectory& trajectory, size_t num_segments);
+
+// Flattens a resampled trajectory into a fixed-length feature vector
+// (lon_0, lat_0, lon_1, lat_1, ...) suitable for k-d tree indexing.
+std::vector<float> SummaryVector(const Trajectory& trajectory,
+                                 size_t num_segments);
+
+}  // namespace tmn::geo
+
+#endif  // TMN_GEO_SIMPLIFY_H_

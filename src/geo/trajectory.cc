@@ -1,0 +1,35 @@
+#include "geo/trajectory.h"
+
+#include <algorithm>
+
+namespace tmn::geo {
+
+Trajectory Trajectory::Prefix(size_t n) const {
+  n = std::min(n, points_.size());
+  return Trajectory(std::vector<Point>(points_.begin(), points_.begin() + n),
+                    id_);
+}
+
+double Trajectory::PathLength() const {
+  double total = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    total += EuclideanDistance(points_[i - 1], points_[i]);
+  }
+  return total;
+}
+
+double Trajectory::PathLengthMeters() const {
+  double total = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    total += HaversineMeters(points_[i - 1], points_[i]);
+  }
+  return total;
+}
+
+BoundingBox Trajectory::Bounds() const {
+  BoundingBox box;
+  for (const Point& p : points_) box.Expand(p);
+  return box;
+}
+
+}  // namespace tmn::geo

@@ -1,0 +1,60 @@
+#ifndef TMN_GEO_TRAJECTORY_H_
+#define TMN_GEO_TRAJECTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/point.h"
+
+namespace tmn::geo {
+
+// A trajectory: a time-ordered sequence of sample points (Definition 1 of
+// the paper). Timestamps are implicit (uniform sampling); only the ordered
+// locations matter for every distance metric the paper studies.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<Point> points, int64_t id = -1)
+      : points_(std::move(points)), id_(id) {}
+
+  int64_t id() const { return id_; }
+  void set_id(int64_t id) { id_ = id; }
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  const Point& operator[](size_t i) const { return points_[i]; }
+  Point& operator[](size_t i) { return points_[i]; }
+  const std::vector<Point>& points() const { return points_; }
+
+  const Point& front() const { return points_.front(); }
+  const Point& back() const { return points_.back(); }
+
+  void Append(const Point& p) { points_.push_back(p); }
+
+  // The prefix sub-trajectory T^{(:n)} containing the first n points
+  // (clamped to size()). Used by the sub-trajectory loss (Eq. 15).
+  Trajectory Prefix(size_t n) const;
+
+  // Total polyline length in the coordinate plane.
+  double PathLength() const;
+
+  // Total polyline length in meters, interpreting points as (lon, lat).
+  double PathLengthMeters() const;
+
+  BoundingBox Bounds() const;
+
+  std::vector<Point>::const_iterator begin() const { return points_.begin(); }
+  std::vector<Point>::const_iterator end() const { return points_.end(); }
+
+ private:
+  std::vector<Point> points_;
+  int64_t id_ = -1;
+};
+
+}  // namespace tmn::geo
+
+#endif  // TMN_GEO_TRAJECTORY_H_

@@ -1,0 +1,175 @@
+#include "index/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace tmn::index {
+
+namespace {
+// Min-heap on distance.
+using Candidate = std::pair<float, uint32_t>;
+struct Farther {
+  bool operator()(const Candidate& a, const Candidate& b) const {
+    return a.first > b.first;
+  }
+};
+}  // namespace
+
+HnswIndex::HnswIndex(size_t dim, const HnswConfig& config)
+    : dim_(dim),
+      config_(config),
+      level_lambda_(1.0 / std::log(static_cast<double>(
+                              std::max<size_t>(2, config.m)))),
+      rng_(config.seed) {
+  TMN_CHECK(dim_ > 0);
+  TMN_CHECK(config_.m >= 2);
+}
+
+float HnswIndex::Distance(const float* a, const float* b) const {
+  float total = 0.0f;
+  for (size_t i = 0; i < dim_; ++i) {
+    const float d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+size_t HnswIndex::GreedyDescend(const std::vector<float>& query,
+                                size_t entry, int from_level,
+                                int target_level) const {
+  size_t current = entry;
+  float current_dist = Distance(query.data(), PointAt(current));
+  for (int level = from_level; level > target_level; --level) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (uint32_t neighbor : nodes_[current].neighbors[level]) {
+        const float d = Distance(query.data(), PointAt(neighbor));
+        if (d < current_dist) {
+          current_dist = d;
+          current = neighbor;
+          improved = true;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<Candidate> HnswIndex::SearchLayer(const std::vector<float>& query,
+                                              size_t entry, size_t ef,
+                                              int level) const {
+  std::unordered_set<uint32_t> visited;
+  std::priority_queue<Candidate, std::vector<Candidate>, Farther> frontier;
+  std::priority_queue<Candidate> best;  // Max-heap: worst of the ef best.
+  const float entry_dist = Distance(query.data(), PointAt(entry));
+  frontier.emplace(entry_dist, static_cast<uint32_t>(entry));
+  best.emplace(entry_dist, static_cast<uint32_t>(entry));
+  visited.insert(static_cast<uint32_t>(entry));
+  while (!frontier.empty()) {
+    const Candidate current = frontier.top();
+    frontier.pop();
+    if (current.first > best.top().first && best.size() >= ef) break;
+    for (uint32_t neighbor : nodes_[current.second].neighbors[level]) {
+      if (!visited.insert(neighbor).second) continue;
+      const float d = Distance(query.data(), PointAt(neighbor));
+      if (best.size() < ef || d < best.top().first) {
+        frontier.emplace(d, neighbor);
+        best.emplace(d, neighbor);
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+  std::vector<Candidate> result(best.size());
+  for (size_t i = best.size(); i > 0; --i) {
+    result[i - 1] = best.top();
+    best.pop();
+  }
+  return result;
+}
+
+void HnswIndex::Connect(uint32_t node, int level,
+                        const std::vector<Candidate>& candidates) {
+  const size_t max_degree = level == 0 ? 2 * config_.m : config_.m;
+  // Link node -> closest candidates.
+  std::vector<uint32_t>& out = nodes_[node].neighbors[level];
+  for (const Candidate& c : candidates) {
+    if (c.second == node) continue;
+    if (out.size() >= max_degree) break;
+    out.push_back(c.second);
+  }
+  // Back-links, pruning the worst when a neighbor overflows.
+  for (uint32_t neighbor : out) {
+    std::vector<uint32_t>& back = nodes_[neighbor].neighbors[level];
+    back.push_back(node);
+    if (back.size() > max_degree) {
+      // Drop the farthest neighbor of `neighbor`.
+      size_t worst = 0;
+      float worst_dist = -1.0f;
+      for (size_t i = 0; i < back.size(); ++i) {
+        const float d = Distance(PointAt(neighbor), PointAt(back[i]));
+        if (d > worst_dist) {
+          worst_dist = d;
+          worst = i;
+        }
+      }
+      back.erase(back.begin() + worst);
+    }
+  }
+}
+
+size_t HnswIndex::Add(const std::vector<float>& point) {
+  TMN_CHECK(point.size() == dim_);
+  const size_t id = count_++;
+  points_.insert(points_.end(), point.begin(), point.end());
+  const int level = static_cast<int>(
+      -std::log(std::max(1e-12, rng_.Uniform())) * level_lambda_);
+  Node node;
+  node.level = level;
+  node.neighbors.resize(level + 1);
+  nodes_.push_back(std::move(node));
+
+  if (id == 0) {
+    entry_point_ = 0;
+    max_level_ = level;
+    return id;
+  }
+
+  size_t entry = entry_point_;
+  if (level < max_level_) {
+    entry = GreedyDescend(point, entry, max_level_, level);
+  }
+  for (int l = std::min(level, max_level_); l >= 0; --l) {
+    const std::vector<Candidate> candidates =
+        SearchLayer(point, entry, config_.ef_construction, l);
+    Connect(static_cast<uint32_t>(id), l, candidates);
+    entry = candidates.front().second;
+  }
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = id;
+  }
+  return id;
+}
+
+std::vector<size_t> HnswIndex::Nearest(const std::vector<float>& query,
+                                       size_t k, size_t ef) const {
+  TMN_CHECK(query.size() == dim_);
+  if (count_ == 0) return {};
+  if (ef == 0) ef = config_.ef_search;
+  ef = std::max(ef, k);
+  const size_t entry = GreedyDescend(query, entry_point_, max_level_, 0);
+  std::vector<Candidate> found = SearchLayer(query, entry, ef, 0);
+  std::vector<size_t> result;
+  result.reserve(std::min(k, found.size()));
+  for (size_t i = 0; i < found.size() && i < k; ++i) {
+    result.push_back(found[i].second);
+  }
+  return result;
+}
+
+}  // namespace tmn::index

@@ -1,0 +1,57 @@
+#ifndef TMN_INDEX_KD_TREE_H_
+#define TMN_INDEX_KD_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tmn::index {
+
+// Static k-d tree over fixed-dimension float vectors, built once from a
+// point set. Used by the Traj2SimVec-style sampler (and the TMN-kd
+// ablation) to fetch the k nearest simplified-trajectory summaries of an
+// anchor, and by examples for nearest-neighbor search over embeddings.
+class KdTree {
+ public:
+  // `points` is row-major: points.size() must be a multiple of dim.
+  KdTree(std::vector<float> points, size_t dim);
+
+  size_t size() const { return count_; }
+  size_t dim() const { return dim_; }
+
+  // Indices of the k nearest points to `query` (squared Euclidean),
+  // ordered nearest first. k is clamped to size().
+  std::vector<size_t> Nearest(const std::vector<float>& query,
+                              size_t k) const;
+
+  // Like Nearest but excludes one index (e.g. the anchor itself).
+  std::vector<size_t> NearestExcluding(const std::vector<float>& query,
+                                       size_t k, size_t exclude) const;
+
+ private:
+  struct Node {
+    size_t point = 0;      // Index into the original point set.
+    int split_dim = -1;    // -1 for leaves.
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(std::vector<size_t>& idx, size_t lo, size_t hi, size_t depth);
+  const float* PointAt(size_t i) const { return &points_[i * dim_]; }
+
+  std::vector<float> points_;
+  size_t dim_;
+  size_t count_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+// Brute-force exact kNN over the same layout; the reference implementation
+// the k-d tree is property-tested against.
+std::vector<size_t> BruteForceNearest(const std::vector<float>& points,
+                                      size_t dim,
+                                      const std::vector<float>& query,
+                                      size_t k);
+
+}  // namespace tmn::index
+
+#endif  // TMN_INDEX_KD_TREE_H_

@@ -1,0 +1,60 @@
+#include "nn/batched_lstm.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace tmn::nn {
+
+std::vector<Tensor> BatchedLstmForward(const LstmCell& cell,
+                                       const std::vector<Tensor>& inputs) {
+  TMN_CHECK(!inputs.empty());
+  const int batch = static_cast<int>(inputs.size());
+  int max_len = 0;
+  for (const Tensor& x : inputs) {
+    TMN_CHECK(x.cols() == cell.input_size());
+    max_len = std::max(max_len, x.rows());
+  }
+
+  LstmCell::State state = cell.InitialState(batch);
+  std::vector<std::vector<Tensor>> outputs(inputs.size());
+  for (int t = 0; t < max_len; ++t) {
+    // Step input: row t of every sequence (finished ones repeat their
+    // last row; the mask below discards their state update).
+    std::vector<Tensor> step_rows;
+    step_rows.reserve(inputs.size());
+    std::vector<float> mask(batch);
+    std::vector<float> keep(batch);
+    bool all_active = true;
+    for (int i = 0; i < batch; ++i) {
+      const int len = inputs[i].rows();
+      const bool active = t < len;
+      step_rows.push_back(Row(inputs[i], active ? t : len - 1));
+      mask[i] = active ? 1.0f : 0.0f;
+      keep[i] = active ? 0.0f : 1.0f;
+      all_active = all_active && active;
+    }
+    const LstmCell::State next = cell.Step(StackRows(step_rows), state);
+    if (all_active) {
+      state = next;
+    } else {
+      const Tensor mask_col = Tensor::FromData(batch, 1, mask);
+      const Tensor keep_col = Tensor::FromData(batch, 1, keep);
+      state.h = Add(MulColVector(next.h, mask_col),
+                    MulColVector(state.h, keep_col));
+      state.c = Add(MulColVector(next.c, mask_col),
+                    MulColVector(state.c, keep_col));
+    }
+    for (int i = 0; i < batch; ++i) {
+      if (t < inputs[i].rows()) outputs[i].push_back(Row(state.h, i));
+    }
+  }
+
+  std::vector<Tensor> result;
+  result.reserve(inputs.size());
+  for (auto& rows : outputs) result.push_back(StackRows(rows));
+  return result;
+}
+
+}  // namespace tmn::nn

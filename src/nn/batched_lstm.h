@@ -1,0 +1,28 @@
+#ifndef TMN_NN_BATCHED_LSTM_H_
+#define TMN_NN_BATCHED_LSTM_H_
+
+#include <vector>
+
+#include "nn/lstm.h"
+
+namespace tmn::nn {
+
+// Runs one LstmCell over a batch of variable-length sequences at once —
+// the computation the paper performs on GPU by padding pairs to a common
+// length and masking. At each time step t the batch's t-th inputs form a
+// (B x in) matrix (finished sequences repeat their last input), one cell
+// step is taken for the whole batch, and a per-row mask carries the state
+// of finished sequences forward unchanged:
+//     h_t = mask_t * h_new + (1 - mask_t) * h_{t-1}.
+// The result for each sequence is therefore bit-comparable to running the
+// cell on that sequence alone (verified by the test suite), while the
+// per-step matmuls amortize across the batch.
+//
+// `inputs[i]` is the (len_i x in) feature matrix of sequence i. Returns
+// one (len_i x hidden) output matrix per sequence.
+std::vector<Tensor> BatchedLstmForward(const LstmCell& cell,
+                                       const std::vector<Tensor>& inputs);
+
+}  // namespace tmn::nn
+
+#endif  // TMN_NN_BATCHED_LSTM_H_

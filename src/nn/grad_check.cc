@@ -1,0 +1,36 @@
+#include "nn/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tmn::nn {
+
+double MaxGradError(const std::function<Tensor()>& loss_fn, Tensor leaf,
+                    double h) {
+  TMN_CHECK(leaf.requires_grad());
+  // Analytic gradient.
+  leaf.ZeroGrad();
+  Tensor loss = loss_fn();
+  loss.Backward();
+  const std::vector<float> analytic = leaf.grad();
+
+  double max_err = 0.0;
+  std::vector<float>& values = leaf.data();
+  for (size_t i = 0; i < values.size(); ++i) {
+    const float original = values[i];
+    values[i] = original + static_cast<float>(h);
+    const double up = loss_fn().item();
+    values[i] = original - static_cast<float>(h);
+    const double down = loss_fn().item();
+    values[i] = original;
+    const double numeric = (up - down) / (2.0 * h);
+    const double ana = static_cast<double>(analytic[i]);
+    const double denom = std::max({1.0, std::fabs(numeric), std::fabs(ana)});
+    max_err = std::max(max_err, std::fabs(numeric - ana) / denom);
+  }
+  return max_err;
+}
+
+}  // namespace tmn::nn

@@ -1,0 +1,22 @@
+#ifndef TMN_NN_GRAD_CHECK_H_
+#define TMN_NN_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "nn/tensor.h"
+
+namespace tmn::nn {
+
+// Finite-difference gradient checking used by the autograd test suite.
+//
+// `loss_fn` must rebuild the whole graph from the current leaf values and
+// return a scalar. CheckGradients perturbs every element of `leaf` by
+// +/- h, compares the central difference against the analytic gradient
+// produced by one Backward() pass, and returns the maximum relative error
+// max(|num - ana| / max(1, |num|, |ana|)).
+double MaxGradError(const std::function<Tensor()>& loss_fn, Tensor leaf,
+                    double h = 1e-3);
+
+}  // namespace tmn::nn
+
+#endif  // TMN_NN_GRAD_CHECK_H_

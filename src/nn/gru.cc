@@ -1,0 +1,57 @@
+#include "nn/gru.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace tmn::nn {
+
+GruCell::GruCell(int input_size, int hidden_size, Rng& rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      wx_(RegisterParameter(
+          Tensor::XavierUniform(input_size, 3 * hidden_size, rng))),
+      wh_(RegisterParameter(
+          Tensor::XavierUniform(hidden_size, 3 * hidden_size, rng))),
+      bias_x_(RegisterParameter(
+          Tensor::Zeros(1, 3 * hidden_size, /*requires_grad=*/true))),
+      bias_h_(RegisterParameter(
+          Tensor::Zeros(1, 3 * hidden_size, /*requires_grad=*/true))) {}
+
+Tensor GruCell::InitialState(int batch) const {
+  return Tensor::Zeros(batch, hidden_size_);
+}
+
+Tensor GruCell::Step(const Tensor& x, const Tensor& h) const {
+  TMN_CHECK(x.cols() == input_size_);
+  TMN_CHECK(h.cols() == hidden_size_);
+  const int hs = hidden_size_;
+  const Tensor u = AddRowVector(MatMul(x, wx_), bias_x_);  // (B x 3h)
+  const Tensor v = AddRowVector(MatMul(h, wh_), bias_h_);  // (B x 3h)
+  const Tensor r =
+      Sigmoid(Add(SliceCols(u, 0, hs), SliceCols(v, 0, hs)));
+  const Tensor z =
+      Sigmoid(Add(SliceCols(u, hs, hs), SliceCols(v, hs, hs)));
+  const Tensor n = Tanh(
+      Add(SliceCols(u, 2 * hs, hs), Mul(r, SliceCols(v, 2 * hs, hs))));
+  const Tensor one_minus_z = AddConst(MulScalar(z, -1.0), 1.0);
+  return Add(Mul(one_minus_z, n), Mul(z, h));
+}
+
+Gru::Gru(int input_size, int hidden_size, Rng& rng)
+    : cell_(input_size, hidden_size, rng) {
+  RegisterChild(cell_);
+}
+
+Tensor Gru::Forward(const Tensor& x, int steps) const {
+  TMN_CHECK(steps >= 1 && steps <= x.rows());
+  Tensor h = cell_.InitialState(/*batch=*/1);
+  std::vector<Tensor> outputs;
+  outputs.reserve(steps);
+  for (int t = 0; t < steps; ++t) {
+    h = cell_.Step(Row(x, t), h);
+    outputs.push_back(h);
+  }
+  return StackRows(outputs);
+}
+
+}  // namespace tmn::nn

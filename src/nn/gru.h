@@ -1,0 +1,59 @@
+#ifndef TMN_NN_GRU_H_
+#define TMN_NN_GRU_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/rng.h"
+#include "nn/tensor.h"
+
+namespace tmn::nn {
+
+// Gated Recurrent Unit (Chung et al. 2014) — the other gated RNN the
+// paper's related work discusses. Gate layout [r, z, n] packed into
+// (in x 3h) / (h x 3h) weights with separate input/hidden biases (the
+// hidden bias participates inside the reset gate's product, as in
+// cuDNN/PyTorch):
+//   r = sigmoid(x Wx_r + b_r + h Wh_r + c_r)
+//   z = sigmoid(x Wx_z + b_z + h Wh_z + c_z)
+//   n = tanh(x Wx_n + b_n + r * (h Wh_n + c_n))
+//   h' = (1 - z) * n + z * h
+class GruCell : public Module {
+ public:
+  GruCell(int input_size, int hidden_size, Rng& rng);
+
+  // Zero initial hidden state for batch size B.
+  Tensor InitialState(int batch = 1) const;
+
+  // One time step: x (B x in), h (B x hidden) -> h' (B x hidden).
+  Tensor Step(const Tensor& x, const Tensor& h) const;
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  Tensor wx_;      // (in x 3h)
+  Tensor wh_;      // (h x 3h)
+  Tensor bias_x_;  // (1 x 3h)
+  Tensor bias_h_;  // (1 x 3h)
+};
+
+// GRU over a whole sequence; same contract as nn::Lstm::Forward.
+class Gru : public Module {
+ public:
+  Gru(int input_size, int hidden_size, Rng& rng);
+
+  Tensor Forward(const Tensor& x, int steps) const;
+  Tensor Forward(const Tensor& x) const { return Forward(x, x.rows()); }
+
+  const GruCell& cell() const { return cell_; }
+
+ private:
+  GruCell cell_;
+};
+
+}  // namespace tmn::nn
+
+#endif  // TMN_NN_GRU_H_

@@ -1,0 +1,41 @@
+#ifndef TMN_NN_LINEAR_H_
+#define TMN_NN_LINEAR_H_
+
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "nn/rng.h"
+#include "nn/tensor.h"
+
+namespace tmn::nn {
+
+// Fully connected layer: y = x W + b with W (in x out), b (1 x out).
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng& rng)
+      : in_features_(in_features),
+        out_features_(out_features),
+        weight_(RegisterParameter(
+            Tensor::XavierUniform(in_features, out_features, rng))),
+        bias_(RegisterParameter(
+            Tensor::Zeros(1, out_features, /*requires_grad=*/true))) {}
+
+  // x: (m x in) -> (m x out).
+  Tensor Forward(const Tensor& x) const {
+    return AddRowVector(MatMul(x, weight_), bias_);
+  }
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Tensor weight_;
+  Tensor bias_;
+};
+
+}  // namespace tmn::nn
+
+#endif  // TMN_NN_LINEAR_H_

@@ -1,0 +1,59 @@
+#include "nn/lstm.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace tmn::nn {
+
+LstmCell::LstmCell(int input_size, int hidden_size, Rng& rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      wx_(RegisterParameter(
+          Tensor::XavierUniform(input_size, 4 * hidden_size, rng))),
+      wh_(RegisterParameter(
+          Tensor::XavierUniform(hidden_size, 4 * hidden_size, rng))),
+      bias_(RegisterParameter(
+          Tensor::Zeros(1, 4 * hidden_size, /*requires_grad=*/true))) {
+  // Forget-gate bias = 1.
+  for (int j = hidden_size; j < 2 * hidden_size; ++j) {
+    bias_.data()[j] = 1.0f;
+  }
+}
+
+LstmCell::State LstmCell::InitialState(int batch) const {
+  return State{Tensor::Zeros(batch, hidden_size_),
+               Tensor::Zeros(batch, hidden_size_)};
+}
+
+LstmCell::State LstmCell::Step(const Tensor& x, const State& state) const {
+  TMN_CHECK(x.cols() == input_size_);
+  const int h = hidden_size_;
+  const Tensor z =
+      AddRowVector(Add(MatMul(x, wx_), MatMul(state.h, wh_)), bias_);
+  const Tensor i = Sigmoid(SliceCols(z, 0, h));
+  const Tensor f = Sigmoid(SliceCols(z, h, h));
+  const Tensor g = Tanh(SliceCols(z, 2 * h, h));
+  const Tensor o = Sigmoid(SliceCols(z, 3 * h, h));
+  const Tensor c_next = Add(Mul(f, state.c), Mul(i, g));
+  const Tensor h_next = Mul(o, Tanh(c_next));
+  return State{h_next, c_next};
+}
+
+Lstm::Lstm(int input_size, int hidden_size, Rng& rng)
+    : cell_(input_size, hidden_size, rng) {
+  RegisterChild(cell_);
+}
+
+Tensor Lstm::Forward(const Tensor& x, int steps) const {
+  TMN_CHECK(steps >= 1 && steps <= x.rows());
+  LstmCell::State state = cell_.InitialState(/*batch=*/1);
+  std::vector<Tensor> outputs;
+  outputs.reserve(steps);
+  for (int t = 0; t < steps; ++t) {
+    state = cell_.Step(Row(x, t), state);
+    outputs.push_back(state.h);
+  }
+  return StackRows(outputs);
+}
+
+}  // namespace tmn::nn

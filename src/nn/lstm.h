@@ -1,0 +1,62 @@
+#ifndef TMN_NN_LSTM_H_
+#define TMN_NN_LSTM_H_
+
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/rng.h"
+#include "nn/tensor.h"
+
+namespace tmn::nn {
+
+// Single LSTM cell with the standard gate layout [i, f, g, o] packed into
+// one (in + hidden) x 4*hidden weight pair. Forget-gate bias initialized
+// to 1 (common practice; helps gradients early in training).
+class LstmCell : public Module {
+ public:
+  LstmCell(int input_size, int hidden_size, Rng& rng);
+
+  struct State {
+    Tensor h;  // (B x hidden)
+    Tensor c;  // (B x hidden)
+  };
+
+  // Zero initial state for batch size B.
+  State InitialState(int batch = 1) const;
+
+  // One time step: consumes x_t (B x in) and the previous state.
+  State Step(const Tensor& x, const State& state) const;
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  Tensor wx_;  // (in x 4h)
+  Tensor wh_;  // (h x 4h)
+  Tensor bias_;  // (1 x 4h)
+};
+
+// Unidirectional LSTM over a whole sequence. Forward consumes the first
+// `steps` rows of X (the true, unpadded trajectory length) and returns the
+// (steps x hidden) matrix Z of per-time-step outputs (Eq. 12): row t is
+// the representation of the length-(t+1) prefix, and the last row is the
+// representation of the whole sequence.
+class Lstm : public Module {
+ public:
+  Lstm(int input_size, int hidden_size, Rng& rng);
+
+  Tensor Forward(const Tensor& x, int steps) const;
+  Tensor Forward(const Tensor& x) const { return Forward(x, x.rows()); }
+
+  const LstmCell& cell() const { return cell_; }
+
+ private:
+  LstmCell cell_;
+};
+
+}  // namespace tmn::nn
+
+#endif  // TMN_NN_LSTM_H_

@@ -1,0 +1,43 @@
+#ifndef TMN_NN_MLP_H_
+#define TMN_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace tmn::nn {
+
+// Multi-layer perceptron applied row-wise: Linear -> LeakyReLU -> ... ->
+// Linear (no activation after the last layer). `dims` lists layer widths,
+// e.g. {128, 128, 128} builds two Linear layers 128->128->128.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<int>& dims, Rng& rng) {
+    TMN_CHECK(dims.size() >= 2);
+    for (size_t i = 0; i + 1 < dims.size(); ++i) {
+      layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+      RegisterChild(*layers_.back());
+    }
+  }
+
+  Tensor Forward(const Tensor& x) const {
+    Tensor out = x;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      out = layers_[i]->Forward(out);
+      if (i + 1 < layers_.size()) out = LeakyRelu(out);
+    }
+    return out;
+  }
+
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace tmn::nn
+
+#endif  // TMN_NN_MLP_H_

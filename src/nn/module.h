@@ -1,0 +1,48 @@
+#ifndef TMN_NN_MODULE_H_
+#define TMN_NN_MODULE_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace tmn::nn {
+
+// Base class for trainable components. A Module owns a flat list of
+// parameter tensors (leaves with requires_grad); composite modules register
+// their children's parameters into the same list.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::vector<Tensor>& parameters() const { return params_; }
+  std::vector<Tensor>& mutable_parameters() { return params_; }
+
+  // Total number of scalar parameters.
+  size_t NumParameters() const {
+    size_t total = 0;
+    for (const Tensor& p : params_) total += p.numel();
+    return total;
+  }
+
+ protected:
+  Module() = default;
+
+  Tensor RegisterParameter(Tensor t) {
+    params_.push_back(t);
+    return t;
+  }
+
+  void RegisterChild(Module& child) {
+    for (const Tensor& p : child.parameters()) params_.push_back(p);
+  }
+
+ private:
+  std::vector<Tensor> params_;
+};
+
+}  // namespace tmn::nn
+
+#endif  // TMN_NN_MODULE_H_

@@ -1,0 +1,715 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tmn::nn {
+
+namespace {
+
+using ImplPtr = std::shared_ptr<TensorImpl>;
+
+// A node participates in the autograd graph if it is a leaf that requires
+// grad or an interior node with a recorded backward function.
+bool InGraph(const ImplPtr& impl) {
+  return impl->requires_grad || impl->backward_fn != nullptr;
+}
+
+// Creates the output node for an op. `backward_builder` is invoked (only
+// when the tape should record) with the raw output pointer and must return
+// the backward closure. The closure may capture parent shared_ptrs — the
+// output owns the closure, so capturing the output itself must be by raw
+// pointer to avoid a reference cycle.
+template <typename BackwardBuilder>
+Tensor MakeOp(int rows, int cols, std::vector<float> data,
+              std::vector<ImplPtr> parents, BackwardBuilder backward_builder) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data = std::move(data);
+  bool record = GradModeEnabled();
+  if (record) {
+    record = false;
+    for (const ImplPtr& p : parents) {
+      if (InGraph(p)) {
+        record = true;
+        break;
+      }
+    }
+  }
+  if (record) {
+    impl->parents = std::move(parents);
+    impl->backward_fn = backward_builder(impl.get());
+  }
+  return Tensor(std::move(impl));
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  TMN_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                "shape mismatch");
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] + bv[i];
+  ImplPtr pa = a.impl(), pb = b.impl();
+  return MakeOp(a.rows(), a.cols(), std::move(out), {pa, pb},
+                [pa, pb](TensorImpl* o) {
+                  return [pa, pb, o]() {
+                    if (InGraph(pa)) {
+                      pa->EnsureGrad();
+                      for (size_t i = 0; i < o->grad.size(); ++i)
+                        pa->grad[i] += o->grad[i];
+                    }
+                    if (InGraph(pb)) {
+                      pb->EnsureGrad();
+                      for (size_t i = 0; i < o->grad.size(); ++i)
+                        pb->grad[i] += o->grad[i];
+                    }
+                  };
+                });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] - bv[i];
+  ImplPtr pa = a.impl(), pb = b.impl();
+  return MakeOp(a.rows(), a.cols(), std::move(out), {pa, pb},
+                [pa, pb](TensorImpl* o) {
+                  return [pa, pb, o]() {
+                    if (InGraph(pa)) {
+                      pa->EnsureGrad();
+                      for (size_t i = 0; i < o->grad.size(); ++i)
+                        pa->grad[i] += o->grad[i];
+                    }
+                    if (InGraph(pb)) {
+                      pb->EnsureGrad();
+                      for (size_t i = 0; i < o->grad.size(); ++i)
+                        pb->grad[i] -= o->grad[i];
+                    }
+                  };
+                });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] * bv[i];
+  ImplPtr pa = a.impl(), pb = b.impl();
+  return MakeOp(a.rows(), a.cols(), std::move(out), {pa, pb},
+                [pa, pb](TensorImpl* o) {
+                  return [pa, pb, o]() {
+                    if (InGraph(pa)) {
+                      pa->EnsureGrad();
+                      for (size_t i = 0; i < o->grad.size(); ++i)
+                        pa->grad[i] += o->grad[i] * pb->data[i];
+                    }
+                    if (InGraph(pb)) {
+                      pb->EnsureGrad();
+                      for (size_t i = 0; i < o->grad.size(); ++i)
+                        pb->grad[i] += o->grad[i] * pa->data[i];
+                    }
+                  };
+                });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] / bv[i];
+  ImplPtr pa = a.impl(), pb = b.impl();
+  return MakeOp(a.rows(), a.cols(), std::move(out), {pa, pb},
+                [pa, pb](TensorImpl* o) {
+                  return [pa, pb, o]() {
+                    if (InGraph(pa)) {
+                      pa->EnsureGrad();
+                      for (size_t i = 0; i < o->grad.size(); ++i)
+                        pa->grad[i] += o->grad[i] / pb->data[i];
+                    }
+                    if (InGraph(pb)) {
+                      pb->EnsureGrad();
+                      for (size_t i = 0; i < o->grad.size(); ++i)
+                        pb->grad[i] -= o->grad[i] * pa->data[i] /
+                                       (pb->data[i] * pb->data[i]);
+                    }
+                  };
+                });
+}
+
+Tensor AddRowVector(const Tensor& matrix, const Tensor& row) {
+  TMN_CHECK(row.rows() == 1 && row.cols() == matrix.cols());
+  const int m = matrix.rows();
+  const int d = matrix.cols();
+  const auto& mv = matrix.data();
+  const auto& rv = row.data();
+  std::vector<float> out(mv.size());
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < d; ++c) {
+      out[static_cast<size_t>(r) * d + c] =
+          mv[static_cast<size_t>(r) * d + c] + rv[c];
+    }
+  }
+  ImplPtr pm = matrix.impl(), pr = row.impl();
+  return MakeOp(m, d, std::move(out), {pm, pr},
+                [pm, pr, m, d](TensorImpl* o) {
+                  return [pm, pr, o, m, d]() {
+                    if (InGraph(pm)) {
+                      pm->EnsureGrad();
+                      for (size_t i = 0; i < o->grad.size(); ++i)
+                        pm->grad[i] += o->grad[i];
+                    }
+                    if (InGraph(pr)) {
+                      pr->EnsureGrad();
+                      for (int r = 0; r < m; ++r) {
+                        for (int c = 0; c < d; ++c) {
+                          pr->grad[c] +=
+                              o->grad[static_cast<size_t>(r) * d + c];
+                        }
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor MulScalar(const Tensor& a, double s) {
+  const auto& av = a.data();
+  std::vector<float> out(av.size());
+  const float fs = static_cast<float>(s);
+  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] * fs;
+  ImplPtr pa = a.impl();
+  return MakeOp(a.rows(), a.cols(), std::move(out), {pa},
+                [pa, fs](TensorImpl* o) {
+                  return [pa, o, fs]() {
+                    if (!InGraph(pa)) return;
+                    pa->EnsureGrad();
+                    for (size_t i = 0; i < o->grad.size(); ++i)
+                      pa->grad[i] += o->grad[i] * fs;
+                  };
+                });
+}
+
+Tensor AddConst(const Tensor& a, double s) {
+  const auto& av = a.data();
+  std::vector<float> out(av.size());
+  const float fs = static_cast<float>(s);
+  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] + fs;
+  ImplPtr pa = a.impl();
+  return MakeOp(a.rows(), a.cols(), std::move(out), {pa},
+                [pa](TensorImpl* o) {
+                  return [pa, o]() {
+                    if (!InGraph(pa)) return;
+                    pa->EnsureGrad();
+                    for (size_t i = 0; i < o->grad.size(); ++i)
+                      pa->grad[i] += o->grad[i];
+                  };
+                });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TMN_CHECK_MSG(a.cols() == b.rows(), "matmul inner-dim mismatch");
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  std::vector<float> out(static_cast<size_t>(m) * n, 0.0f);
+  // i-k-j loop order: streams through b and out rows (cache friendly).
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = av[static_cast<size_t>(i) * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = &bv[static_cast<size_t>(kk) * n];
+      float* orow = &out[static_cast<size_t>(i) * n];
+      for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  ImplPtr pa = a.impl(), pb = b.impl();
+  return MakeOp(
+      m, n, std::move(out), {pa, pb}, [pa, pb, m, k, n](TensorImpl* o) {
+        return [pa, pb, o, m, k, n]() {
+          // dA = dO * B^T ; dB = A^T * dO.
+          if (InGraph(pa)) {
+            pa->EnsureGrad();
+            for (int i = 0; i < m; ++i) {
+              const float* gorow = &o->grad[static_cast<size_t>(i) * n];
+              float* garow = &pa->grad[static_cast<size_t>(i) * k];
+              for (int kk = 0; kk < k; ++kk) {
+                const float* brow = &pb->data[static_cast<size_t>(kk) * n];
+                float acc = 0.0f;
+                for (int j = 0; j < n; ++j) acc += gorow[j] * brow[j];
+                garow[kk] += acc;
+              }
+            }
+          }
+          if (InGraph(pb)) {
+            pb->EnsureGrad();
+            for (int kk = 0; kk < k; ++kk) {
+              float* gbrow = &pb->grad[static_cast<size_t>(kk) * n];
+              for (int i = 0; i < m; ++i) {
+                const float aik = pa->data[static_cast<size_t>(i) * k + kk];
+                if (aik == 0.0f) continue;
+                const float* gorow = &o->grad[static_cast<size_t>(i) * n];
+                for (int j = 0; j < n; ++j) gbrow[j] += aik * gorow[j];
+              }
+            }
+          }
+        };
+      });
+}
+
+Tensor Transpose(const Tensor& a) {
+  const int m = a.rows();
+  const int n = a.cols();
+  const auto& av = a.data();
+  std::vector<float> out(av.size());
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out[static_cast<size_t>(j) * m + i] = av[static_cast<size_t>(i) * n + j];
+    }
+  }
+  ImplPtr pa = a.impl();
+  return MakeOp(n, m, std::move(out), {pa}, [pa, m, n](TensorImpl* o) {
+    return [pa, o, m, n]() {
+      if (!InGraph(pa)) return;
+      pa->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+          pa->grad[static_cast<size_t>(i) * n + j] +=
+              o->grad[static_cast<size_t>(j) * m + i];
+        }
+      }
+    };
+  });
+}
+
+namespace {
+
+// Shared scaffold for elementwise unary ops. dfn receives (x, y) — the
+// input and output values — and returns dy/dx.
+template <typename F, typename DF>
+Tensor UnaryOp(const Tensor& a, F fn, DF dfn) {
+  const auto& av = a.data();
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = fn(av[i]);
+  ImplPtr pa = a.impl();
+  return MakeOp(a.rows(), a.cols(), std::move(out), {pa},
+                [pa, dfn](TensorImpl* o) {
+                  return [pa, o, dfn]() {
+                    if (!InGraph(pa)) return;
+                    pa->EnsureGrad();
+                    for (size_t i = 0; i < o->grad.size(); ++i) {
+                      pa->grad[i] +=
+                          o->grad[i] * dfn(pa->data[i], o->data[i]);
+                    }
+                  };
+                });
+}
+
+}  // namespace
+
+Tensor LeakyRelu(const Tensor& a, double slope) {
+  const float s = static_cast<float>(slope);
+  return UnaryOp(
+      a, [s](float x) { return x >= 0.0f ? x : s * x; },
+      [s](float x, float) { return x >= 0.0f ? 1.0f : s; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Tensor Sqrt(const Tensor& a, double eps) {
+  const float e = static_cast<float>(eps);
+  return UnaryOp(
+      a, [e](float x) { return std::sqrt(x + e); },
+      [](float, float y) { return y > 0.0f ? 0.5f / y : 0.0f; });
+}
+
+namespace {
+
+Tensor SoftmaxImpl(const Tensor& a, int valid_cols) {
+  const int m = a.rows();
+  const int n = a.cols();
+  TMN_CHECK(valid_cols >= 1 && valid_cols <= n);
+  const auto& av = a.data();
+  std::vector<float> out(av.size(), 0.0f);
+  for (int i = 0; i < m; ++i) {
+    const float* row = &av[static_cast<size_t>(i) * n];
+    float* orow = &out[static_cast<size_t>(i) * n];
+    float max_v = row[0];
+    for (int j = 1; j < valid_cols; ++j) max_v = std::max(max_v, row[j]);
+    float denom = 0.0f;
+    for (int j = 0; j < valid_cols; ++j) {
+      orow[j] = std::exp(row[j] - max_v);
+      denom += orow[j];
+    }
+    for (int j = 0; j < valid_cols; ++j) orow[j] /= denom;
+    // Columns >= valid_cols stay exactly 0 (masked padding).
+  }
+  ImplPtr pa = a.impl();
+  return MakeOp(m, n, std::move(out), {pa},
+                [pa, m, n, valid_cols](TensorImpl* o) {
+                  return [pa, o, m, n, valid_cols]() {
+                    if (!InGraph(pa)) return;
+                    pa->EnsureGrad();
+                    // dx_j = y_j * (dy_j - sum_k dy_k y_k), per row.
+                    for (int i = 0; i < m; ++i) {
+                      const float* y = &o->data[static_cast<size_t>(i) * n];
+                      const float* gy = &o->grad[static_cast<size_t>(i) * n];
+                      float* gx = &pa->grad[static_cast<size_t>(i) * n];
+                      float dot = 0.0f;
+                      for (int j = 0; j < valid_cols; ++j) dot += gy[j] * y[j];
+                      for (int j = 0; j < valid_cols; ++j) {
+                        gx[j] += y[j] * (gy[j] - dot);
+                      }
+                    }
+                  };
+                });
+}
+
+}  // namespace
+
+Tensor SoftmaxRows(const Tensor& a) { return SoftmaxImpl(a, a.cols()); }
+
+Tensor SoftmaxRowsMasked(const Tensor& a, int valid_cols) {
+  return SoftmaxImpl(a, valid_cols);
+}
+
+Tensor ZeroRowsBeyond(const Tensor& a, int valid_rows) {
+  TMN_CHECK(valid_rows >= 0 && valid_rows <= a.rows());
+  const int m = a.rows();
+  const int d = a.cols();
+  std::vector<float> out = a.data();
+  std::fill(out.begin() + static_cast<size_t>(valid_rows) * d, out.end(),
+            0.0f);
+  ImplPtr pa = a.impl();
+  return MakeOp(m, d, std::move(out), {pa},
+                [pa, valid_rows, d](TensorImpl* o) {
+                  return [pa, o, valid_rows, d]() {
+                    if (!InGraph(pa)) return;
+                    pa->EnsureGrad();
+                    const size_t limit =
+                        static_cast<size_t>(valid_rows) * d;
+                    for (size_t i = 0; i < limit; ++i) {
+                      pa->grad[i] += o->grad[i];
+                    }
+                  };
+                });
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  TMN_CHECK(a.rows() == b.rows());
+  const int m = a.rows();
+  const int d1 = a.cols();
+  const int d2 = b.cols();
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  std::vector<float> out(static_cast<size_t>(m) * (d1 + d2));
+  for (int i = 0; i < m; ++i) {
+    std::copy_n(&av[static_cast<size_t>(i) * d1], d1,
+                &out[static_cast<size_t>(i) * (d1 + d2)]);
+    std::copy_n(&bv[static_cast<size_t>(i) * d2], d2,
+                &out[static_cast<size_t>(i) * (d1 + d2) + d1]);
+  }
+  ImplPtr pa = a.impl(), pb = b.impl();
+  return MakeOp(m, d1 + d2, std::move(out), {pa, pb},
+                [pa, pb, m, d1, d2](TensorImpl* o) {
+                  return [pa, pb, o, m, d1, d2]() {
+                    const int d = d1 + d2;
+                    if (InGraph(pa)) {
+                      pa->EnsureGrad();
+                      for (int i = 0; i < m; ++i) {
+                        for (int j = 0; j < d1; ++j) {
+                          pa->grad[static_cast<size_t>(i) * d1 + j] +=
+                              o->grad[static_cast<size_t>(i) * d + j];
+                        }
+                      }
+                    }
+                    if (InGraph(pb)) {
+                      pb->EnsureGrad();
+                      for (int i = 0; i < m; ++i) {
+                        for (int j = 0; j < d2; ++j) {
+                          pb->grad[static_cast<size_t>(i) * d2 + j] +=
+                              o->grad[static_cast<size_t>(i) * d + d1 + j];
+                        }
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor StackRows(const std::vector<Tensor>& rows) {
+  TMN_CHECK(!rows.empty());
+  const int d = rows[0].cols();
+  const int m = static_cast<int>(rows.size());
+  std::vector<float> out(static_cast<size_t>(m) * d);
+  std::vector<ImplPtr> parents;
+  parents.reserve(rows.size());
+  for (int i = 0; i < m; ++i) {
+    TMN_CHECK(rows[i].rows() == 1 && rows[i].cols() == d);
+    std::copy_n(rows[i].data().data(), d, &out[static_cast<size_t>(i) * d]);
+    parents.push_back(rows[i].impl());
+  }
+  std::vector<ImplPtr> captured = parents;
+  return MakeOp(m, d, std::move(out), std::move(parents),
+                [captured, d](TensorImpl* o) {
+                  return [captured, o, d]() {
+                    for (size_t i = 0; i < captured.size(); ++i) {
+                      const ImplPtr& p = captured[i];
+                      if (!InGraph(p)) continue;
+                      p->EnsureGrad();
+                      for (int j = 0; j < d; ++j) {
+                        p->grad[j] += o->grad[i * d + j];
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor Row(const Tensor& a, int i) {
+  TMN_CHECK(i >= 0 && i < a.rows());
+  const int d = a.cols();
+  std::vector<float> out(a.data().begin() + static_cast<size_t>(i) * d,
+                         a.data().begin() + static_cast<size_t>(i + 1) * d);
+  ImplPtr pa = a.impl();
+  return MakeOp(1, d, std::move(out), {pa}, [pa, i, d](TensorImpl* o) {
+    return [pa, o, i, d]() {
+      if (!InGraph(pa)) return;
+      pa->EnsureGrad();
+      for (int j = 0; j < d; ++j) {
+        pa->grad[static_cast<size_t>(i) * d + j] += o->grad[j];
+      }
+    };
+  });
+}
+
+Tensor SliceCols(const Tensor& a, int start, int len) {
+  TMN_CHECK(start >= 0 && len > 0 && start + len <= a.cols());
+  const int m = a.rows();
+  const int n = a.cols();
+  const auto& av = a.data();
+  std::vector<float> out(static_cast<size_t>(m) * len);
+  for (int i = 0; i < m; ++i) {
+    std::copy_n(&av[static_cast<size_t>(i) * n + start], len,
+                &out[static_cast<size_t>(i) * len]);
+  }
+  ImplPtr pa = a.impl();
+  return MakeOp(m, len, std::move(out), {pa},
+                [pa, m, n, start, len](TensorImpl* o) {
+                  return [pa, o, m, n, start, len]() {
+                    if (!InGraph(pa)) return;
+                    pa->EnsureGrad();
+                    for (int i = 0; i < m; ++i) {
+                      for (int j = 0; j < len; ++j) {
+                        pa->grad[static_cast<size_t>(i) * n + start + j] +=
+                            o->grad[static_cast<size_t>(i) * len + j];
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor ScaleByScalar(const Tensor& a, const Tensor& s) {
+  TMN_CHECK(s.numel() == 1);
+  const auto& av = a.data();
+  const float sv = s.data()[0];
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] * sv;
+  ImplPtr pa = a.impl(), ps = s.impl();
+  return MakeOp(a.rows(), a.cols(), std::move(out), {pa, ps},
+                [pa, ps](TensorImpl* o) {
+                  return [pa, ps, o]() {
+                    if (InGraph(pa)) {
+                      pa->EnsureGrad();
+                      const float sv = ps->data[0];
+                      for (size_t i = 0; i < o->grad.size(); ++i)
+                        pa->grad[i] += o->grad[i] * sv;
+                    }
+                    if (InGraph(ps)) {
+                      ps->EnsureGrad();
+                      float acc = 0.0f;
+                      for (size_t i = 0; i < o->grad.size(); ++i)
+                        acc += o->grad[i] * pa->data[i];
+                      ps->grad[0] += acc;
+                    }
+                  };
+                });
+}
+
+Tensor MulColVector(const Tensor& a, const Tensor& col) {
+  TMN_CHECK(col.rows() == a.rows() && col.cols() == 1);
+  const int m = a.rows();
+  const int d = a.cols();
+  const auto& av = a.data();
+  const auto& cv = col.data();
+  std::vector<float> out(av.size());
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < d; ++c) {
+      out[static_cast<size_t>(r) * d + c] =
+          av[static_cast<size_t>(r) * d + c] * cv[r];
+    }
+  }
+  ImplPtr pa = a.impl(), pc = col.impl();
+  return MakeOp(m, d, std::move(out), {pa, pc},
+                [pa, pc, m, d](TensorImpl* o) {
+                  return [pa, pc, o, m, d]() {
+                    if (InGraph(pa)) {
+                      pa->EnsureGrad();
+                      for (int r = 0; r < m; ++r) {
+                        for (int c = 0; c < d; ++c) {
+                          pa->grad[static_cast<size_t>(r) * d + c] +=
+                              o->grad[static_cast<size_t>(r) * d + c] *
+                              pc->data[r];
+                        }
+                      }
+                    }
+                    if (InGraph(pc)) {
+                      pc->EnsureGrad();
+                      for (int r = 0; r < m; ++r) {
+                        float acc = 0.0f;
+                        for (int c = 0; c < d; ++c) {
+                          acc += o->grad[static_cast<size_t>(r) * d + c] *
+                                 pa->data[static_cast<size_t>(r) * d + c];
+                        }
+                        pc->grad[r] += acc;
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor TileRows(const Tensor& row, int m) {
+  TMN_CHECK(row.rows() == 1 && m >= 1);
+  const int d = row.cols();
+  const auto& rv = row.data();
+  std::vector<float> out(static_cast<size_t>(m) * d);
+  for (int i = 0; i < m; ++i) {
+    std::copy_n(rv.data(), d, &out[static_cast<size_t>(i) * d]);
+  }
+  ImplPtr pr = row.impl();
+  return MakeOp(m, d, std::move(out), {pr}, [pr, m, d](TensorImpl* o) {
+    return [pr, o, m, d]() {
+      if (!InGraph(pr)) return;
+      pr->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < d; ++j) {
+          pr->grad[j] += o->grad[static_cast<size_t>(i) * d + j];
+        }
+      }
+    };
+  });
+}
+
+Tensor Sum(const Tensor& a) {
+  const auto& av = a.data();
+  float total = 0.0f;
+  for (float v : av) total += v;
+  ImplPtr pa = a.impl();
+  return MakeOp(1, 1, {total}, {pa}, [pa](TensorImpl* o) {
+    return [pa, o]() {
+      if (!InGraph(pa)) return;
+      pa->EnsureGrad();
+      for (float& g : pa->grad) g += o->grad[0];
+    };
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  return MulScalar(Sum(a), 1.0 / a.numel());
+}
+
+Tensor MeanRows(const Tensor& a) {
+  const int m = a.rows();
+  const int d = a.cols();
+  const auto& av = a.data();
+  std::vector<float> out(d, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < d; ++j) out[j] += av[static_cast<size_t>(i) * d + j];
+  }
+  const float inv = 1.0f / static_cast<float>(m);
+  for (float& v : out) v *= inv;
+  ImplPtr pa = a.impl();
+  return MakeOp(1, d, std::move(out), {pa}, [pa, m, d](TensorImpl* o) {
+    return [pa, o, m, d]() {
+      if (!InGraph(pa)) return;
+      pa->EnsureGrad();
+      const float inv = 1.0f / static_cast<float>(m);
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < d; ++j) {
+          pa->grad[static_cast<size_t>(i) * d + j] += o->grad[j] * inv;
+        }
+      }
+    };
+  });
+}
+
+Tensor EuclideanDistance(const Tensor& a, const Tensor& b, double eps) {
+  return Sqrt(Sum(Square(Sub(a, b))), eps);
+}
+
+Tensor WeightedSumScalars(const std::vector<Tensor>& scalars,
+                          const std::vector<double>& weights) {
+  TMN_CHECK(!scalars.empty());
+  TMN_CHECK(scalars.size() == weights.size());
+  float total = 0.0f;
+  std::vector<ImplPtr> parents;
+  parents.reserve(scalars.size());
+  for (size_t i = 0; i < scalars.size(); ++i) {
+    TMN_CHECK(scalars[i].numel() == 1);
+    total += static_cast<float>(weights[i]) * scalars[i].data()[0];
+    parents.push_back(scalars[i].impl());
+  }
+  std::vector<ImplPtr> captured = parents;
+  std::vector<double> w = weights;
+  return MakeOp(1, 1, {total}, std::move(parents),
+                [captured, w](TensorImpl* o) {
+                  return [captured, w, o]() {
+                    for (size_t i = 0; i < captured.size(); ++i) {
+                      const ImplPtr& p = captured[i];
+                      if (!InGraph(p)) continue;
+                      p->EnsureGrad();
+                      p->grad[0] += o->grad[0] * static_cast<float>(w[i]);
+                    }
+                  };
+                });
+}
+
+}  // namespace tmn::nn

@@ -1,0 +1,70 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tmn::nn {
+
+Adam::Adam(std::vector<Tensor> params, double lr, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    m_.emplace_back(p.numel(), 0.0f);
+    v_.emplace_back(p.numel(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const double step_size = lr_ * std::sqrt(bc2) / bc1;
+  for (size_t k = 0; k < params_.size(); ++k) {
+    std::vector<float>& data = params_[k].data();
+    const std::vector<float>& grad = params_[k].grad();
+    std::vector<float>& m = m_[k];
+    std::vector<float>& v = v_[k];
+    for (size_t i = 0; i < data.size(); ++i) {
+      const float g = grad[i];
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
+      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
+      data[i] -= static_cast<float>(
+          step_size * m[i] / (std::sqrt(static_cast<double>(v[i])) + eps_));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (Tensor& p : params_) {
+    std::vector<float>& data = p.data();
+    const std::vector<float>& grad = p.grad();
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] -= static_cast<float>(lr_ * grad[i]);
+    }
+  }
+}
+
+double ClipGradNorm(std::vector<Tensor>& params, double max_norm) {
+  TMN_CHECK(max_norm > 0.0);
+  double total = 0.0;
+  for (Tensor& p : params) {
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(total);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (Tensor& p : params) {
+      for (float& g : p.grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace tmn::nn

@@ -1,0 +1,70 @@
+#ifndef TMN_NN_OPTIMIZER_H_
+#define TMN_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace tmn::nn {
+
+// Base optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update using the gradients currently in param.grad().
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (Tensor& p : params_) p.ZeroGrad();
+  }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+// Adam (Kingma & Ba, ICLR'15) — the optimizer the paper trains TMN with.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+
+  void Step() override;
+
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+// Plain SGD, provided for ablations and tests.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, double lr)
+      : Optimizer(std::move(params)), lr_(lr) {}
+
+  void Step() override;
+
+ private:
+  double lr_;
+};
+
+// Rescales gradients so their global L2 norm is at most `max_norm`.
+// Returns the pre-clipping norm.
+double ClipGradNorm(std::vector<Tensor>& params, double max_norm);
+
+}  // namespace tmn::nn
+
+#endif  // TMN_NN_OPTIMIZER_H_

@@ -1,0 +1,59 @@
+#ifndef TMN_NN_RNG_H_
+#define TMN_NN_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tmn::nn {
+
+// Deterministic, seedable PRNG (xoshiro256** seeded via SplitMix64).
+// Every source of randomness in the library — synthetic data, parameter
+// initialization, training-pair sampling — flows through an Rng instance so
+// experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Raw 64 random bits.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Standard normal via Box-Muller.
+  double Normal();
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  // Uniform integer in [0, n). n must be positive.
+  uint64_t UniformInt(uint64_t n);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // k distinct indices sampled uniformly from [0, n) (k <= n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace tmn::nn
+
+#endif  // TMN_NN_RNG_H_

@@ -1,0 +1,65 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace tmn::nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x544d4e31;  // "TMN1"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+bool SaveParameters(const std::string& path,
+                    const std::vector<Tensor>& params) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return false;
+  const uint32_t count = static_cast<uint32_t>(params.size());
+  if (std::fwrite(&kMagic, sizeof(kMagic), 1, f.get()) != 1) return false;
+  if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1) return false;
+  for (const Tensor& p : params) {
+    const int32_t rows = p.rows();
+    const int32_t cols = p.cols();
+    if (std::fwrite(&rows, sizeof(rows), 1, f.get()) != 1) return false;
+    if (std::fwrite(&cols, sizeof(cols), 1, f.get()) != 1) return false;
+    const std::vector<float>& data = p.data();
+    if (std::fwrite(data.data(), sizeof(float), data.size(), f.get()) !=
+        data.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadParameters(const std::string& path, std::vector<Tensor>& params) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return false;
+  uint32_t magic = 0;
+  uint32_t count = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1) return false;
+  if (magic != kMagic) return false;
+  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) return false;
+  if (count != params.size()) return false;
+  for (Tensor& p : params) {
+    int32_t rows = 0;
+    int32_t cols = 0;
+    if (std::fread(&rows, sizeof(rows), 1, f.get()) != 1) return false;
+    if (std::fread(&cols, sizeof(cols), 1, f.get()) != 1) return false;
+    if (rows != p.rows() || cols != p.cols()) return false;
+    std::vector<float>& data = p.data();
+    if (std::fread(data.data(), sizeof(float), data.size(), f.get()) !=
+        data.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tmn::nn

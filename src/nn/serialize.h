@@ -1,0 +1,21 @@
+#ifndef TMN_NN_SERIALIZE_H_
+#define TMN_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace tmn::nn {
+
+// Binary save/load of a parameter list (shapes + float data, little
+// endian, with a magic header). Loading requires the exact same parameter
+// shapes, i.e. the same model configuration. Returns false on I/O error or
+// shape mismatch.
+bool SaveParameters(const std::string& path,
+                    const std::vector<Tensor>& params);
+bool LoadParameters(const std::string& path, std::vector<Tensor>& params);
+
+}  // namespace tmn::nn
+
+#endif  // TMN_NN_SERIALIZE_H_

@@ -1,0 +1,153 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace tmn::nn {
+
+namespace {
+thread_local bool g_grad_mode = true;
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
+NoGradGuard::~NoGradGuard() { g_grad_mode = previous_; }
+
+Tensor Tensor::Zeros(int rows, int cols, bool requires_grad) {
+  return Full(rows, cols, 0.0f, requires_grad);
+}
+
+Tensor Tensor::Full(int rows, int cols, float value, bool requires_grad) {
+  TMN_CHECK(rows > 0 && cols > 0);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.assign(static_cast<size_t>(rows) * cols, value);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromData(int rows, int cols, std::vector<float> data,
+                        bool requires_grad) {
+  TMN_CHECK(rows > 0 && cols > 0);
+  TMN_CHECK(data.size() == static_cast<size_t>(rows) * cols);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data = std::move(data);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return Full(1, 1, value, requires_grad);
+}
+
+Tensor Tensor::XavierUniform(int rows, int cols, Rng& rng) {
+  const double bound = std::sqrt(6.0 / (rows + cols));
+  std::vector<float> data(static_cast<size_t>(rows) * cols);
+  for (float& v : data) {
+    v = static_cast<float>(rng.Uniform(-bound, bound));
+  }
+  return FromData(rows, cols, std::move(data), /*requires_grad=*/true);
+}
+
+int Tensor::rows() const {
+  TMN_CHECK(impl_ != nullptr);
+  return impl_->rows;
+}
+
+int Tensor::cols() const {
+  TMN_CHECK(impl_ != nullptr);
+  return impl_->cols;
+}
+
+std::vector<float>& Tensor::data() {
+  TMN_CHECK(impl_ != nullptr);
+  return impl_->data;
+}
+
+const std::vector<float>& Tensor::data() const {
+  TMN_CHECK(impl_ != nullptr);
+  return impl_->data;
+}
+
+float Tensor::at(int r, int c) const {
+  TMN_CHECK(impl_ != nullptr);
+  TMN_CHECK(r >= 0 && r < impl_->rows && c >= 0 && c < impl_->cols);
+  return impl_->data[static_cast<size_t>(r) * impl_->cols + c];
+}
+
+std::vector<float>& Tensor::grad() {
+  TMN_CHECK(impl_ != nullptr);
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  TMN_CHECK(impl_ != nullptr);
+  const_cast<TensorImpl*>(impl_.get())->EnsureGrad();
+  return impl_->grad;
+}
+
+void Tensor::ZeroGrad() {
+  TMN_CHECK(impl_ != nullptr);
+  impl_->grad.assign(impl_->data.size(), 0.0f);
+}
+
+bool Tensor::requires_grad() const {
+  TMN_CHECK(impl_ != nullptr);
+  return impl_->requires_grad;
+}
+
+float Tensor::item() const {
+  TMN_CHECK(impl_ != nullptr);
+  TMN_CHECK_MSG(impl_->rows == 1 && impl_->cols == 1,
+                "item() requires a 1x1 tensor");
+  return impl_->data[0];
+}
+
+Tensor Tensor::Detach() const {
+  TMN_CHECK(impl_ != nullptr);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = impl_->rows;
+  impl->cols = impl_->cols;
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+void Tensor::Backward() {
+  TMN_CHECK(impl_ != nullptr);
+  TMN_CHECK_MSG(impl_->rows == 1 && impl_->cols == 1,
+                "Backward() must start from a scalar");
+  // Iterative post-order DFS to get a topological order of the tape.
+  std::vector<TensorImpl*> topo;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, child_idx] = stack.back();
+    if (child_idx < node->parents.size()) {
+      TensorImpl* parent = node->parents[child_idx].get();
+      ++child_idx;
+      if (visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // Seed and run backward functions from the root down.
+  impl_->EnsureGrad();
+  impl_->grad[0] += 1.0f;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+}  // namespace tmn::nn

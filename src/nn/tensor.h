@@ -1,0 +1,110 @@
+#ifndef TMN_NN_TENSOR_H_
+#define TMN_NN_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "nn/rng.h"
+
+namespace tmn::nn {
+
+// Reverse-mode autograd tensor — the library's libtorch substitute.
+//
+// Every tensor is a 2-D row-major float matrix (scalars are 1x1, vectors
+// are 1xd); that is all the TMN architecture and its baselines need. A
+// Tensor is a cheap shared handle onto a TensorImpl node; operations in
+// ops.h build a dynamic tape of nodes, and Backward() on a scalar loss
+// walks the tape in reverse topological order accumulating gradients.
+//
+// Gradient recording is controlled by (a) requires_grad on leaf tensors
+// (parameters) and (b) the thread-local grad mode (see NoGradGuard) used to
+// make inference cheap.
+
+struct TensorImpl;
+
+class Tensor {
+ public:
+  // A null handle; most APIs require a non-null tensor.
+  Tensor() = default;
+
+  static Tensor Zeros(int rows, int cols, bool requires_grad = false);
+  static Tensor Full(int rows, int cols, float value,
+                     bool requires_grad = false);
+  static Tensor FromData(int rows, int cols, std::vector<float> data,
+                         bool requires_grad = false);
+  static Tensor Scalar(float value, bool requires_grad = false);
+  // Xavier/Glorot uniform initialization (gain 1).
+  static Tensor XavierUniform(int rows, int cols, Rng& rng);
+
+  bool defined() const { return impl_ != nullptr; }
+  int rows() const;
+  int cols() const;
+  int numel() const { return rows() * cols(); }
+
+  std::vector<float>& data();
+  const std::vector<float>& data() const;
+  float at(int r, int c) const;
+
+  // Gradient buffer (same shape as data). Allocated lazily; zero before a
+  // backward pass via an optimizer's ZeroGrad or ZeroGrad() here.
+  std::vector<float>& grad();
+  const std::vector<float>& grad() const;
+  void ZeroGrad();
+
+  bool requires_grad() const;
+
+  // Value of a 1x1 tensor.
+  float item() const;
+
+  // Backpropagates from this scalar: seeds d(self)/d(self) = 1 and runs
+  // every recorded backward function in reverse topological order.
+  // Gradients accumulate (+=) into each node's grad buffer.
+  void Backward();
+
+  // A detached copy sharing no graph history (fresh leaf, no grad).
+  Tensor Detach() const;
+
+  // Internal: used by ops.h.
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+  explicit Tensor(std::shared_ptr<TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+struct TensorImpl {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> data;
+  std::vector<float> grad;  // Sized on demand.
+  bool requires_grad = false;
+  // Non-null only for non-leaf nodes created while grad mode is enabled.
+  std::function<void()> backward_fn;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+// Thread-local switch: while disabled, ops compute values but record no
+// graph, making forward-only encoding cheap (used for test-time search).
+bool GradModeEnabled();
+
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace tmn::nn
+
+#endif  // TMN_NN_TENSOR_H_

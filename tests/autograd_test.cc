@@ -1,0 +1,301 @@
+// Finite-difference gradient checks for every op and for composite model
+// blocks. Tolerances reflect float32 forward arithmetic with h = 1e-3
+// central differences.
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/grad_check.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/mlp.h"
+#include "nn/ops.h"
+#include "nn/rng.h"
+#include "nn/tensor.h"
+
+namespace tmn::nn {
+namespace {
+
+constexpr double kTol = 2e-2;
+
+// Projects a matrix output to a scalar with distinct per-element weights so
+// the check exercises every output element's gradient path.
+Tensor Probe(const Tensor& t) {
+  std::vector<float> weights(t.numel());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 0.3f + 0.1f * static_cast<float>(i % 7) -
+                 0.05f * static_cast<float>(i % 3);
+  }
+  Tensor probe =
+      Tensor::FromData(t.rows(), t.cols(), std::move(weights));
+  return Sum(Mul(t, probe));
+}
+
+Tensor RandomLeaf(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(static_cast<size_t>(rows) * cols);
+  for (float& v : data) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return Tensor::FromData(rows, cols, std::move(data),
+                          /*requires_grad=*/true);
+}
+
+TEST(AutogradTest, AddBothSides) {
+  Tensor a = RandomLeaf(2, 3, 1);
+  Tensor b = RandomLeaf(2, 3, 2);
+  EXPECT_LT(MaxGradError([&] { return Probe(Add(a, b)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(Add(a, b)); }, b), kTol);
+}
+
+TEST(AutogradTest, SubBothSides) {
+  Tensor a = RandomLeaf(2, 3, 3);
+  Tensor b = RandomLeaf(2, 3, 4);
+  EXPECT_LT(MaxGradError([&] { return Probe(Sub(a, b)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(Sub(a, b)); }, b), kTol);
+}
+
+TEST(AutogradTest, MulBothSides) {
+  Tensor a = RandomLeaf(2, 3, 5);
+  Tensor b = RandomLeaf(2, 3, 6);
+  EXPECT_LT(MaxGradError([&] { return Probe(Mul(a, b)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(Mul(a, b)); }, b), kTol);
+}
+
+TEST(AutogradTest, DivBothSides) {
+  Tensor a = RandomLeaf(2, 2, 7);
+  // Keep the denominator away from zero.
+  Tensor b = Tensor::FromData(2, 2, {1.5f, -2.0f, 2.5f, 1.2f},
+                              /*requires_grad=*/true);
+  EXPECT_LT(MaxGradError([&] { return Probe(Div(a, b)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(Div(a, b)); }, b), kTol);
+}
+
+TEST(AutogradTest, AddRowVector) {
+  Tensor m = RandomLeaf(3, 4, 8);
+  Tensor r = RandomLeaf(1, 4, 9);
+  EXPECT_LT(MaxGradError([&] { return Probe(AddRowVector(m, r)); }, m),
+            kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(AddRowVector(m, r)); }, r),
+            kTol);
+}
+
+TEST(AutogradTest, ScalarOps) {
+  Tensor a = RandomLeaf(2, 3, 10);
+  EXPECT_LT(MaxGradError([&] { return Probe(MulScalar(a, -1.7)); }, a),
+            kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(AddConst(a, 0.9)); }, a), kTol);
+}
+
+TEST(AutogradTest, MatMulBothSides) {
+  Tensor a = RandomLeaf(3, 4, 11);
+  Tensor b = RandomLeaf(4, 2, 12);
+  EXPECT_LT(MaxGradError([&] { return Probe(MatMul(a, b)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(MatMul(a, b)); }, b), kTol);
+}
+
+TEST(AutogradTest, Transpose) {
+  Tensor a = RandomLeaf(3, 2, 13);
+  EXPECT_LT(MaxGradError([&] { return Probe(Transpose(a)); }, a), kTol);
+}
+
+TEST(AutogradTest, Nonlinearities) {
+  Tensor a = RandomLeaf(2, 3, 14);
+  EXPECT_LT(MaxGradError([&] { return Probe(Sigmoid(a)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(Tanh(a)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(Exp(a)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(Square(a)); }, a), kTol);
+}
+
+TEST(AutogradTest, LeakyReluAwayFromKink) {
+  // Offset values away from 0 so finite differences don't straddle the kink.
+  Tensor a = Tensor::FromData(1, 4, {-2.0f, -0.5f, 0.5f, 2.0f},
+                              /*requires_grad=*/true);
+  EXPECT_LT(MaxGradError([&] { return Probe(LeakyRelu(a)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(Relu(a)); }, a), kTol);
+}
+
+TEST(AutogradTest, SqrtWithEps) {
+  Tensor a = Tensor::FromData(1, 3, {0.5f, 1.5f, 3.0f},
+                              /*requires_grad=*/true);
+  EXPECT_LT(MaxGradError([&] { return Probe(Sqrt(a, 1e-8)); }, a), kTol);
+}
+
+TEST(AutogradTest, SoftmaxRows) {
+  Tensor a = RandomLeaf(3, 4, 15);
+  EXPECT_LT(MaxGradError([&] { return Probe(SoftmaxRows(a)); }, a), kTol);
+}
+
+TEST(AutogradTest, SoftmaxRowsMasked) {
+  Tensor a = RandomLeaf(3, 5, 16);
+  EXPECT_LT(
+      MaxGradError([&] { return Probe(SoftmaxRowsMasked(a, 3)); }, a),
+      kTol);
+}
+
+TEST(AutogradTest, ZeroRowsBeyond) {
+  Tensor a = RandomLeaf(4, 3, 40);
+  EXPECT_LT(MaxGradError([&] { return Probe(ZeroRowsBeyond(a, 2)); }, a),
+            kTol);
+}
+
+TEST(AutogradTest, ShapeOps) {
+  Tensor a = RandomLeaf(2, 3, 17);
+  Tensor b = RandomLeaf(2, 2, 18);
+  EXPECT_LT(MaxGradError([&] { return Probe(ConcatCols(a, b)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(ConcatCols(a, b)); }, b), kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(Row(a, 1)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(SliceCols(a, 1, 2)); }, a),
+            kTol);
+}
+
+TEST(AutogradTest, StackRows) {
+  Tensor r0 = RandomLeaf(1, 3, 19);
+  Tensor r1 = RandomLeaf(1, 3, 20);
+  const auto loss = [&] { return Probe(StackRows({r0, r1, r0})); };
+  EXPECT_LT(MaxGradError(loss, r0), kTol);  // Appears twice in the stack.
+  EXPECT_LT(MaxGradError(loss, r1), kTol);
+}
+
+TEST(AutogradTest, Reductions) {
+  Tensor a = RandomLeaf(3, 3, 21);
+  EXPECT_LT(MaxGradError([&] { return Sum(a); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return Mean(a); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(MeanRows(a)); }, a), kTol);
+}
+
+TEST(AutogradTest, ScaleByScalarAndTile) {
+  Tensor a = RandomLeaf(2, 3, 22);
+  Tensor s = Tensor::Scalar(0.7f, /*requires_grad=*/true);
+  EXPECT_LT(MaxGradError([&] { return Probe(ScaleByScalar(a, s)); }, a),
+            kTol);
+  EXPECT_LT(MaxGradError([&] { return Probe(ScaleByScalar(a, s)); }, s),
+            kTol);
+  Tensor row = RandomLeaf(1, 4, 23);
+  EXPECT_LT(MaxGradError([&] { return Probe(TileRows(row, 3)); }, row),
+            kTol);
+}
+
+TEST(AutogradTest, EuclideanDistanceComposite) {
+  Tensor a = RandomLeaf(1, 4, 24);
+  Tensor b = RandomLeaf(1, 4, 25);
+  EXPECT_LT(MaxGradError([&] { return EuclideanDistance(a, b); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return EuclideanDistance(a, b); }, b), kTol);
+}
+
+TEST(AutogradTest, WeightedSumScalars) {
+  Tensor a = Tensor::Scalar(1.2f, /*requires_grad=*/true);
+  Tensor b = Tensor::Scalar(-0.4f, /*requires_grad=*/true);
+  const auto loss = [&] {
+    return WeightedSumScalars({Mul(a, a), Mul(b, b), Mul(a, b)},
+                              {0.5, 1.5, 2.0});
+  };
+  EXPECT_LT(MaxGradError(loss, a), kTol);
+  EXPECT_LT(MaxGradError(loss, b), kTol);
+}
+
+// ---- Parameterized shape sweep ---------------------------------------------
+
+struct ShapeCase {
+  int m;
+  int k;
+  int n;
+};
+
+class AutogradShapeSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(AutogradShapeSweep, MatMulChainGradients) {
+  const ShapeCase& c = GetParam();
+  Tensor a = RandomLeaf(c.m, c.k, 100 + c.m);
+  Tensor b = RandomLeaf(c.k, c.n, 200 + c.k);
+  const auto loss = [&] {
+    return Probe(Tanh(MatMul(a, b)));
+  };
+  EXPECT_LT(MaxGradError(loss, a), kTol);
+  EXPECT_LT(MaxGradError(loss, b), kTol);
+}
+
+TEST_P(AutogradShapeSweep, AttentionBlockGradients) {
+  const ShapeCase& c = GetParam();
+  Tensor xa = RandomLeaf(c.m, c.k, 300 + c.m);
+  Tensor xb = RandomLeaf(c.n, c.k, 400 + c.n);
+  const auto loss = [&] {
+    Tensor pattern = SoftmaxRows(MatMul(xa, Transpose(xb)));
+    return Probe(Sub(xa, MatMul(pattern, xb)));
+  };
+  EXPECT_LT(MaxGradError(loss, xa), kTol);
+  EXPECT_LT(MaxGradError(loss, xb), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AutogradShapeSweep,
+    ::testing::Values(ShapeCase{1, 1, 1}, ShapeCase{1, 4, 3},
+                      ShapeCase{5, 2, 5}, ShapeCase{3, 7, 2},
+                      ShapeCase{8, 8, 8}),
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.m) + "k" +
+             std::to_string(info.param.k) + "n" +
+             std::to_string(info.param.n);
+    });
+
+// ---- Composite module checks ----------------------------------------------
+
+TEST(AutogradTest, LinearLayerWeightsAndBias) {
+  Rng rng(30);
+  Linear linear(3, 2, rng);
+  Tensor x = RandomLeaf(4, 3, 31);
+  const auto loss = [&] { return Probe(linear.Forward(x)); };
+  EXPECT_LT(MaxGradError(loss, x), kTol);
+  auto params = linear.parameters();
+  EXPECT_LT(MaxGradError(loss, params[0]), kTol);  // Weight.
+  EXPECT_LT(MaxGradError(loss, params[1]), kTol);  // Bias.
+}
+
+TEST(AutogradTest, LstmCellAllParameters) {
+  Rng rng(32);
+  LstmCell cell(3, 4, rng);
+  Tensor x = RandomLeaf(1, 3, 33);
+  const auto loss = [&] {
+    auto state = cell.InitialState();
+    state = cell.Step(x, state);
+    state = cell.Step(x, state);  // Two steps: recurrent path exercised.
+    return Probe(state.h);
+  };
+  EXPECT_LT(MaxGradError(loss, x), kTol);
+  for (Tensor& p : cell.mutable_parameters()) {
+    EXPECT_LT(MaxGradError(loss, p), kTol);
+  }
+}
+
+TEST(AutogradTest, LstmSequenceInput) {
+  Rng rng(34);
+  Lstm lstm(2, 3, rng);
+  Tensor x = RandomLeaf(5, 2, 35);
+  const auto loss = [&] { return Probe(lstm.Forward(x)); };
+  EXPECT_LT(MaxGradError(loss, x), kTol);
+}
+
+TEST(AutogradTest, MlpParameters) {
+  Rng rng(36);
+  Mlp mlp({3, 4, 2}, rng);
+  Tensor x = RandomLeaf(2, 3, 37);
+  const auto loss = [&] { return Probe(mlp.Forward(x)); };
+  EXPECT_LT(MaxGradError(loss, x), kTol);
+  for (Tensor& p : mlp.mutable_parameters()) {
+    EXPECT_LT(MaxGradError(loss, p), kTol);
+  }
+}
+
+TEST(AutogradTest, CrossAttentionBlock) {
+  // The matching mechanism: M = Xa - softmax(Xa Xb^T) Xb.
+  Tensor xa = RandomLeaf(3, 4, 38);
+  Tensor xb = RandomLeaf(5, 4, 39);
+  const auto loss = [&] {
+    Tensor pattern = SoftmaxRows(MatMul(xa, Transpose(xb)));
+    Tensor summary = MatMul(pattern, xb);
+    return Probe(Sub(xa, summary));
+  };
+  EXPECT_LT(MaxGradError(loss, xa), kTol);
+  EXPECT_LT(MaxGradError(loss, xb), kTol);
+}
+
+}  // namespace
+}  // namespace tmn::nn

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "baselines/neutraj.h"
+#include "baselines/srn.h"
+#include "baselines/t3s.h"
+#include "baselines/traj2simvec.h"
+#include "core/sampler.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "distance/distance_matrix.h"
+#include "geo/preprocess.h"
+#include "nn/ops.h"
+
+namespace tmn::baselines {
+namespace {
+
+std::vector<geo::Trajectory> NormalizedTrajectories(int n, uint64_t seed) {
+  auto raw = data::GeneratePortoLike(n, seed);
+  return geo::NormalizeTrajectories(raw, geo::ComputeNormalization(raw));
+}
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() : trajs_(NormalizedTrajectories(4, 55)) {}
+  std::vector<geo::Trajectory> trajs_;
+};
+
+TEST_F(BaselinesTest, SrnShapesAndName) {
+  SrnConfig config;
+  config.hidden_dim = 8;
+  Srn srn(config);
+  EXPECT_EQ(srn.Name(), "SRN");
+  EXPECT_FALSE(srn.IsPairwise());
+  const nn::Tensor o = srn.ForwardSingle(trajs_[0]);
+  EXPECT_EQ(o.rows(), static_cast<int>(trajs_[0].size()));
+  EXPECT_EQ(o.cols(), 8);
+}
+
+TEST_F(BaselinesTest, SingleEncoderPairIsTwoSingles) {
+  SrnConfig config;
+  config.hidden_dim = 8;
+  Srn srn(config);
+  const core::PairOutput out = srn.ForwardPair(trajs_[0], trajs_[1]);
+  EXPECT_EQ(out.oa.data(), srn.ForwardSingle(trajs_[0]).data());
+  EXPECT_EQ(out.ob.data(), srn.ForwardSingle(trajs_[1]).data());
+}
+
+TEST_F(BaselinesTest, SrnRepresentationIndependentOfPartner) {
+  SrnConfig config;
+  config.hidden_dim = 8;
+  Srn srn(config);
+  const core::PairOutput with_b = srn.ForwardPair(trajs_[0], trajs_[1]);
+  const core::PairOutput with_c = srn.ForwardPair(trajs_[0], trajs_[2]);
+  EXPECT_EQ(with_b.oa.data(), with_c.oa.data());
+}
+
+TEST_F(BaselinesTest, NeuTrajMemoryGrowsDuringTrainingOnly) {
+  NeuTrajConfig config;
+  config.hidden_dim = 8;
+  NeuTraj neutraj(config);
+  EXPECT_EQ(neutraj.Name(), "NeuTraj");
+  EXPECT_EQ(neutraj.MemorySize(), 0u);
+
+  {
+    // Inference mode: no memory writes.
+    nn::NoGradGuard guard;
+    neutraj.ForwardSingle(trajs_[0]);
+    neutraj.OnTrainStep();
+    EXPECT_EQ(neutraj.MemorySize(), 0u);
+  }
+
+  // Training mode: writes flushed on OnTrainStep.
+  neutraj.ForwardSingle(trajs_[0]);
+  EXPECT_EQ(neutraj.MemorySize(), 0u);  // Pending until the step.
+  neutraj.OnTrainStep();
+  EXPECT_GT(neutraj.MemorySize(), 0u);
+}
+
+TEST_F(BaselinesTest, NeuTrajUsesMemoryInLaterForwards) {
+  NeuTrajConfig config;
+  config.hidden_dim = 8;
+  NeuTraj neutraj(config);
+  const nn::Tensor before = neutraj.ForwardSingle(trajs_[0]);
+  neutraj.OnTrainStep();
+  // Second forward of the same trajectory attends over populated memory,
+  // so the output changes even with identical parameters.
+  const nn::Tensor after = neutraj.ForwardSingle(trajs_[0]);
+  bool any_diff = false;
+  for (size_t i = 0; i < before.data().size(); ++i) {
+    if (before.data()[i] != after.data()[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(BaselinesTest, NeuTrajOutputShape) {
+  NeuTrajConfig config;
+  config.hidden_dim = 6;
+  NeuTraj neutraj(config);
+  const nn::Tensor o = neutraj.ForwardSingle(trajs_[1]);
+  EXPECT_EQ(o.rows(), static_cast<int>(trajs_[1].size()));
+  EXPECT_EQ(o.cols(), 6);
+}
+
+TEST_F(BaselinesTest, T3sShapeAndLambda) {
+  T3sConfig config;
+  config.hidden_dim = 8;
+  T3s t3s(config);
+  EXPECT_EQ(t3s.Name(), "T3S");
+  // Gamma initialized to 0 => lambda = 0.5.
+  EXPECT_NEAR(t3s.Lambda(), 0.5, 1e-9);
+  const nn::Tensor o = t3s.ForwardSingle(trajs_[0]);
+  EXPECT_EQ(o.rows(), static_cast<int>(trajs_[0].size()));
+  EXPECT_EQ(o.cols(), 8);
+}
+
+TEST_F(BaselinesTest, T3sGradientReachesGamma) {
+  T3sConfig config;
+  config.hidden_dim = 4;
+  T3s t3s(config);
+  nn::Tensor loss = nn::Sum(t3s.ForwardSingle(trajs_[0]));
+  loss.Backward();
+  // Gamma is the last registered parameter; it must receive gradient.
+  const std::vector<nn::Tensor> params = t3s.Parameters();
+  bool gamma_has_grad = false;
+  for (const nn::Tensor& p : params) {
+    if (p.numel() == 1 && p.grad()[0] != 0.0f) gamma_has_grad = true;
+  }
+  EXPECT_TRUE(gamma_has_grad);
+}
+
+TEST_F(BaselinesTest, Traj2SimVecEncodesSimplifiedSequence) {
+  Traj2SimVecConfig config;
+  config.hidden_dim = 8;
+  config.segments = 12;
+  Traj2SimVec model(config);
+  EXPECT_EQ(model.Name(), "Traj2SimVec");
+  const nn::Tensor o = model.ForwardSingle(trajs_[0]);
+  EXPECT_EQ(o.rows(), 13);  // segments + 1, regardless of input length.
+  const geo::Trajectory loss_traj = model.LossTrajectory(trajs_[0]);
+  EXPECT_EQ(loss_traj.size(), 13u);
+}
+
+TEST_F(BaselinesTest, NeuTrajTrainsThroughSharedTrainerAndFillsMemory) {
+  auto corpus = NormalizedTrajectories(24, 61);
+  const auto metric = dist::CreateMetric(dist::MetricType::kDtw);
+  const DoubleMatrix distances =
+      dist::ComputeDistanceMatrix(corpus, *metric, 1);
+  NeuTrajConfig config;
+  config.hidden_dim = 8;
+  NeuTraj model(config);
+  core::TrainConfig train_config;
+  train_config.epochs = 3;
+  train_config.sampling_num = 6;
+  train_config.use_sub_loss = false;
+  train_config.alpha = core::SuggestAlpha(distances);
+  core::RandomSortSampler sampler(&distances, 6);
+  core::PairTrainer trainer(&model, &corpus, &distances, nullptr, &sampler,
+                            train_config);
+  const auto losses = trainer.Train();
+  EXPECT_LT(losses.back(), losses.front());
+  // The trainer's OnTrainStep hook must have flushed SAM memory writes.
+  EXPECT_GT(model.MemorySize(), 0u);
+}
+
+TEST_F(BaselinesTest, T3sTrainsThroughSharedTrainer) {
+  auto corpus = NormalizedTrajectories(24, 62);
+  const auto metric = dist::CreateMetric(dist::MetricType::kHausdorff);
+  const DoubleMatrix distances =
+      dist::ComputeDistanceMatrix(corpus, *metric, 1);
+  T3sConfig config;
+  config.hidden_dim = 8;
+  T3s model(config);
+  core::TrainConfig train_config;
+  train_config.epochs = 3;
+  train_config.sampling_num = 6;
+  train_config.use_sub_loss = false;
+  train_config.alpha = core::SuggestAlpha(distances);
+  core::RandomSortSampler sampler(&distances, 6);
+  core::PairTrainer trainer(&model, &corpus, &distances, nullptr, &sampler,
+                            train_config);
+  const auto losses = trainer.Train();
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST_F(BaselinesTest, PredictedSimilaritySymmetricForAllBaselines) {
+  SrnConfig srn_config;
+  srn_config.hidden_dim = 8;
+  Srn srn(srn_config);
+  T3sConfig t3s_config;
+  t3s_config.hidden_dim = 8;
+  T3s t3s(t3s_config);
+  Traj2SimVecConfig t2sv_config;
+  t2sv_config.hidden_dim = 8;
+  Traj2SimVec t2sv(t2sv_config);
+  for (const core::SimilarityModel* m :
+       std::vector<const core::SimilarityModel*>{&srn, &t3s, &t2sv}) {
+    const core::PairOutput ab = m->ForwardPair(trajs_[0], trajs_[1]);
+    const core::PairOutput ba = m->ForwardPair(trajs_[1], trajs_[0]);
+    const float sim_ab = core::PredictedSimilarity(core::FinalRow(ab.oa),
+                                                   core::FinalRow(ab.ob))
+                             .item();
+    const float sim_ba = core::PredictedSimilarity(core::FinalRow(ba.oa),
+                                                   core::FinalRow(ba.ob))
+                             .item();
+    EXPECT_FLOAT_EQ(sim_ab, sim_ba) << m->Name();
+  }
+}
+
+TEST_F(BaselinesTest, AllBaselinesHaveTrainableParameters) {
+  SrnConfig srn_config;
+  NeuTrajConfig neutraj_config;
+  T3sConfig t3s_config;
+  Traj2SimVecConfig t2sv_config;
+  Srn srn(srn_config);
+  NeuTraj neutraj(neutraj_config);
+  T3s t3s(t3s_config);
+  Traj2SimVec t2sv(t2sv_config);
+  for (const core::SimilarityModel* m :
+       std::vector<const core::SimilarityModel*>{&srn, &neutraj, &t3s,
+                                                 &t2sv}) {
+    EXPECT_FALSE(m->Parameters().empty()) << m->Name();
+    for (const nn::Tensor& p : m->Parameters()) {
+      EXPECT_TRUE(p.requires_grad()) << m->Name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tmn::baselines

@@ -1,0 +1,193 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/grid.h"
+#include "data/synthetic.h"
+#include "geo/preprocess.h"
+
+namespace tmn::data {
+namespace {
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  const auto a = GeneratePortoLike(20, 42);
+  const auto b = GeneratePortoLike(20, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(a[i][j].lon, b[i][j].lon);
+      EXPECT_EQ(a[i][j].lat, b[i][j].lat);
+    }
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  const auto a = GeneratePortoLike(5, 1);
+  const auto b = GeneratePortoLike(5, 2);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size() && !any_diff; ++i) {
+    if (a[i].size() != b[i].size() || a[i][0].lon != b[i][0].lon) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, LengthsWithinConfiguredRange) {
+  SyntheticConfig config;
+  config.num_trajectories = 50;
+  config.min_length = 12;
+  config.max_length = 33;
+  const auto trajs = GenerateSynthetic(config);
+  ASSERT_EQ(trajs.size(), 50u);
+  for (const auto& t : trajs) {
+    EXPECT_GE(t.size(), 12u);
+    EXPECT_LE(t.size(), 33u);
+  }
+}
+
+TEST(SyntheticTest, PointsStayInRegion) {
+  for (SyntheticKind kind :
+       {SyntheticKind::kGeolifeLike, SyntheticKind::kPortoLike}) {
+    SyntheticConfig config;
+    config.kind = kind;
+    config.num_trajectories = 30;
+    const auto trajs = GenerateSynthetic(config);
+    const geo::BoundingBox box = kind == SyntheticKind::kGeolifeLike
+                                     ? geo::BeijingCenter()
+                                     : geo::PortoCenter();
+    for (const auto& t : trajs) {
+      for (const geo::Point& p : t) {
+        EXPECT_TRUE(box.Contains(p));
+      }
+    }
+  }
+}
+
+TEST(SyntheticTest, IdsAreSequential) {
+  const auto trajs = GenerateGeolifeLike(10, 3);
+  for (size_t i = 0; i < trajs.size(); ++i) {
+    EXPECT_EQ(trajs[i].id(), static_cast<int64_t>(i));
+  }
+}
+
+TEST(SyntheticTest, TrajectoriesActuallyMove) {
+  const auto trajs = GeneratePortoLike(10, 4);
+  for (const auto& t : trajs) {
+    EXPECT_GT(t.PathLength(), 0.0);
+  }
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  const auto trajs = GeneratePortoLike(8, 5);
+  const std::string path = ::testing::TempDir() + "/trajs.csv";
+  ASSERT_TRUE(SaveCsv(path, trajs));
+  std::vector<geo::Trajectory> loaded;
+  ASSERT_TRUE(LoadCsv(path, &loaded));
+  ASSERT_EQ(loaded.size(), trajs.size());
+  for (size_t i = 0; i < trajs.size(); ++i) {
+    EXPECT_EQ(loaded[i].id(), trajs[i].id());
+    ASSERT_EQ(loaded[i].size(), trajs[i].size());
+    for (size_t j = 0; j < trajs[i].size(); ++j) {
+      EXPECT_NEAR(loaded[i][j].lon, trajs[i][j].lon, 1e-8);
+      EXPECT_NEAR(loaded[i][j].lat, trajs[i][j].lat, 1e-8);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadRejectsMalformedRows) {
+  const std::string path = ::testing::TempDir() + "/bad.csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "id,point_index,lon,lat\n0,0,not_a_number,2.0\n");
+  std::fclose(f);
+  std::vector<geo::Trajectory> loaded;
+  EXPECT_FALSE(LoadCsv(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadRejectsNonContiguousPointIndices) {
+  const std::string path = ::testing::TempDir() + "/gap.csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "id,point_index,lon,lat\n0,0,1.0,2.0\n0,2,1.0,2.0\n");
+  std::fclose(f);
+  std::vector<geo::Trajectory> loaded;
+  EXPECT_FALSE(LoadCsv(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadMissingFileFails) {
+  std::vector<geo::Trajectory> loaded;
+  EXPECT_FALSE(LoadCsv("/nonexistent/file.csv", &loaded));
+}
+
+TEST(DatasetTest, SplitSizesAndDisjointness) {
+  const Split split = SplitTrainTest(100, 0.2, 7);
+  EXPECT_EQ(split.train_indices.size(), 20u);
+  EXPECT_EQ(split.test_indices.size(), 80u);
+  std::vector<bool> seen(100, false);
+  for (size_t i : split.train_indices) {
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  for (size_t i : split.test_indices) {
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(DatasetTest, SplitDeterministicAndSeedSensitive) {
+  const Split a = SplitTrainTest(50, 0.3, 1);
+  const Split b = SplitTrainTest(50, 0.3, 1);
+  const Split c = SplitTrainTest(50, 0.3, 2);
+  EXPECT_EQ(a.train_indices, b.train_indices);
+  EXPECT_NE(a.train_indices, c.train_indices);
+}
+
+TEST(DatasetTest, GatherPreservesOrder) {
+  const auto trajs = GeneratePortoLike(5, 6);
+  const auto picked = Gather(trajs, {3, 1, 4});
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_EQ(picked[0].id(), 3);
+  EXPECT_EQ(picked[1].id(), 1);
+  EXPECT_EQ(picked[2].id(), 4);
+}
+
+TEST(GridTest, CellMappingCornersAndCenter) {
+  const Grid grid(geo::BoundingBox::Of(0, 0, 1, 1), 10);
+  EXPECT_EQ(grid.num_cells(), 100);
+  EXPECT_EQ(grid.CellOf({0.05, 0.05}), 0);
+  EXPECT_EQ(grid.CellOf({0.95, 0.05}), 9);
+  EXPECT_EQ(grid.CellOf({0.05, 0.95}), 90);
+  EXPECT_EQ(grid.CellOf({0.95, 0.95}), 99);
+}
+
+TEST(GridTest, OutOfRangePointsClamp) {
+  const Grid grid(geo::BoundingBox::Of(0, 0, 1, 1), 4);
+  EXPECT_EQ(grid.CellOf({-5.0, -5.0}), 0);
+  EXPECT_EQ(grid.CellOf({5.0, 5.0}), 15);
+}
+
+TEST(GridTest, CellCenterInverts) {
+  const Grid grid(geo::BoundingBox::Of(0, 0, 1, 1), 8);
+  for (int64_t cell = 0; cell < grid.num_cells(); ++cell) {
+    EXPECT_EQ(grid.CellOf(grid.CellCenter(cell)), cell);
+  }
+}
+
+TEST(GridTest, NeighborhoodSizes) {
+  const Grid grid(geo::BoundingBox::Of(0, 0, 1, 1), 4);
+  // Corner cell: itself + 2 neighbors.
+  EXPECT_EQ(grid.NeighborhoodOf({0.01, 0.01}).size(), 3u);
+  // Edge cell: itself + 3.
+  EXPECT_EQ(grid.NeighborhoodOf({0.4, 0.01}).size(), 4u);
+  // Interior: itself + 4.
+  EXPECT_EQ(grid.NeighborhoodOf({0.4, 0.4}).size(), 5u);
+}
+
+}  // namespace
+}  // namespace tmn::data

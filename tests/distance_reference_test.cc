@@ -1,0 +1,239 @@
+// Cross-validation of every DP distance metric against an independent
+// naive recursive (memoized) implementation written directly from the
+// textbook recurrences / the paper's Eqs. 1-3. Any indexing or rolling-
+// buffer bug in the production DPs shows up here.
+#include <functional>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "distance/dtw.h"
+#include "distance/edr.h"
+#include "distance/erp.h"
+#include "distance/frechet.h"
+#include "distance/hausdorff.h"
+#include "distance/lcss.h"
+#include "geo/preprocess.h"
+
+namespace tmn::dist {
+namespace {
+
+using geo::EuclideanDistance;
+using geo::Point;
+using geo::Trajectory;
+
+using Memo = std::map<std::pair<int, int>, double>;
+
+double NaiveDtw(const Trajectory& a, const Trajectory& b, int i, int j,
+                Memo& memo) {
+  if (i < 0 || j < 0) return 1e300;
+  const auto key = std::make_pair(i, j);
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  const double cost = EuclideanDistance(a[i], b[j]);
+  double value;
+  if (i == 0 && j == 0) {
+    value = cost;
+  } else {
+    value = cost + std::min({NaiveDtw(a, b, i - 1, j, memo),
+                             NaiveDtw(a, b, i, j - 1, memo),
+                             NaiveDtw(a, b, i - 1, j - 1, memo)});
+  }
+  memo[key] = value;
+  return value;
+}
+
+double NaiveFrechet(const Trajectory& a, const Trajectory& b, int i, int j,
+                    Memo& memo) {
+  if (i < 0 || j < 0) return 1e300;
+  const auto key = std::make_pair(i, j);
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  const double cost = EuclideanDistance(a[i], b[j]);
+  double value;
+  if (i == 0 && j == 0) {
+    value = cost;
+  } else {
+    value = std::max(cost, std::min({NaiveFrechet(a, b, i - 1, j, memo),
+                                     NaiveFrechet(a, b, i, j - 1, memo),
+                                     NaiveFrechet(a, b, i - 1, j - 1,
+                                                  memo)}));
+  }
+  memo[key] = value;
+  return value;
+}
+
+// Paper Eq. 1, written on suffixes: i/j are the first unconsumed indices.
+double NaiveErp(const Trajectory& a, const Trajectory& b, size_t i,
+                size_t j, const Point& gap, Memo& memo) {
+  if (i == a.size() && j == b.size()) return 0.0;
+  const auto key = std::make_pair(static_cast<int>(i), static_cast<int>(j));
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  double value = 1e300;
+  if (i < a.size()) {
+    value = std::min(value, NaiveErp(a, b, i + 1, j, gap, memo) +
+                                EuclideanDistance(a[i], gap));
+  }
+  if (j < b.size()) {
+    value = std::min(value, NaiveErp(a, b, i, j + 1, gap, memo) +
+                                EuclideanDistance(b[j], gap));
+  }
+  if (i < a.size() && j < b.size()) {
+    value = std::min(value, NaiveErp(a, b, i + 1, j + 1, gap, memo) +
+                                EuclideanDistance(a[i], b[j]));
+  }
+  memo[key] = value;
+  return value;
+}
+
+double NaiveEdr(const Trajectory& a, const Trajectory& b, size_t i,
+                size_t j, double eps, Memo& memo) {
+  if (i == a.size()) return static_cast<double>(b.size() - j);
+  if (j == b.size()) return static_cast<double>(a.size() - i);
+  const auto key = std::make_pair(static_cast<int>(i), static_cast<int>(j));
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  const double subcost = EuclideanDistance(a[i], b[j]) <= eps ? 0.0 : 1.0;
+  const double value =
+      std::min({NaiveEdr(a, b, i + 1, j + 1, eps, memo) + subcost,
+                NaiveEdr(a, b, i + 1, j, eps, memo) + 1.0,
+                NaiveEdr(a, b, i, j + 1, eps, memo) + 1.0});
+  memo[key] = value;
+  return value;
+}
+
+double NaiveLcss(const Trajectory& a, const Trajectory& b, size_t i,
+                 size_t j, double eps, Memo& memo) {
+  if (i == a.size() || j == b.size()) return 0.0;
+  const auto key = std::make_pair(static_cast<int>(i), static_cast<int>(j));
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  double value;
+  if (EuclideanDistance(a[i], b[j]) <= eps) {
+    value = 1.0 + NaiveLcss(a, b, i + 1, j + 1, eps, memo);
+  } else {
+    value = std::max(NaiveLcss(a, b, i + 1, j, eps, memo),
+                     NaiveLcss(a, b, i, j + 1, eps, memo));
+  }
+  memo[key] = value;
+  return value;
+}
+
+double NaiveHausdorff(const Trajectory& a, const Trajectory& b) {
+  const auto directed = [](const Trajectory& x, const Trajectory& y) {
+    double worst = 0.0;
+    for (const Point& p : x) {
+      double best = 1e300;
+      for (const Point& q : y) {
+        best = std::min(best, EuclideanDistance(p, q));
+      }
+      worst = std::max(worst, best);
+    }
+    return worst;
+  };
+  return std::max(directed(a, b), directed(b, a));
+}
+
+class ReferenceTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    data::SyntheticConfig config;
+    config.num_trajectories = 6;
+    config.min_length = 2;
+    config.max_length = 9;
+    config.seed = GetParam();
+    auto raw = data::GenerateSynthetic(config);
+    trajs_ = geo::NormalizeTrajectories(raw, geo::ComputeNormalization(raw));
+  }
+
+  std::vector<Trajectory> trajs_;
+};
+
+TEST_P(ReferenceTest, DtwMatchesNaive) {
+  DtwMetric metric;
+  for (size_t i = 0; i < trajs_.size(); ++i) {
+    for (size_t j = 0; j < trajs_.size(); ++j) {
+      Memo memo;
+      const double expected =
+          NaiveDtw(trajs_[i], trajs_[j], static_cast<int>(trajs_[i].size()) - 1,
+                   static_cast<int>(trajs_[j].size()) - 1, memo);
+      EXPECT_NEAR(metric.Compute(trajs_[i], trajs_[j]), expected, 1e-9);
+    }
+  }
+}
+
+TEST_P(ReferenceTest, FrechetMatchesNaive) {
+  FrechetMetric metric;
+  for (size_t i = 0; i < trajs_.size(); ++i) {
+    for (size_t j = 0; j < trajs_.size(); ++j) {
+      Memo memo;
+      const double expected = NaiveFrechet(
+          trajs_[i], trajs_[j], static_cast<int>(trajs_[i].size()) - 1,
+          static_cast<int>(trajs_[j].size()) - 1, memo);
+      EXPECT_NEAR(metric.Compute(trajs_[i], trajs_[j]), expected, 1e-9);
+    }
+  }
+}
+
+TEST_P(ReferenceTest, ErpMatchesNaive) {
+  const Point gap{0.0, 0.0};
+  ErpMetric metric(gap);
+  for (size_t i = 0; i < trajs_.size(); ++i) {
+    for (size_t j = 0; j < trajs_.size(); ++j) {
+      Memo memo;
+      const double expected = NaiveErp(trajs_[i], trajs_[j], 0, 0, gap, memo);
+      EXPECT_NEAR(metric.Compute(trajs_[i], trajs_[j]), expected, 1e-9);
+    }
+  }
+}
+
+TEST_P(ReferenceTest, EdrMatchesNaive) {
+  for (double eps : {0.005, 0.02, 0.1}) {
+    EdrMetric metric(eps);
+    for (size_t i = 0; i < trajs_.size(); ++i) {
+      for (size_t j = 0; j < trajs_.size(); ++j) {
+        Memo memo;
+        const double expected =
+            NaiveEdr(trajs_[i], trajs_[j], 0, 0, eps, memo);
+        EXPECT_NEAR(metric.Compute(trajs_[i], trajs_[j]), expected, 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(ReferenceTest, LcssMatchesNaive) {
+  for (double eps : {0.005, 0.02, 0.1}) {
+    LcssMetric metric(eps);
+    for (size_t i = 0; i < trajs_.size(); ++i) {
+      for (size_t j = 0; j < trajs_.size(); ++j) {
+        Memo memo;
+        const double expected =
+            NaiveLcss(trajs_[i], trajs_[j], 0, 0, eps, memo);
+        EXPECT_NEAR(
+            static_cast<double>(metric.LcssLength(trajs_[i], trajs_[j])),
+            expected, 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(ReferenceTest, HausdorffMatchesNaive) {
+  HausdorffMetric metric;
+  for (size_t i = 0; i < trajs_.size(); ++i) {
+    for (size_t j = 0; j < trajs_.size(); ++j) {
+      EXPECT_NEAR(metric.Compute(trajs_[i], trajs_[j]),
+                  NaiveHausdorff(trajs_[i], trajs_[j]), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace tmn::dist

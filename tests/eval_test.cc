@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "baselines/srn.h"
+#include "core/tmn_model.h"
+#include "data/synthetic.h"
+#include "distance/distance_matrix.h"
+#include "distance/metric.h"
+#include "eval/evaluation.h"
+#include "eval/metrics.h"
+#include "eval/timer.h"
+#include "geo/preprocess.h"
+#include "nn/ops.h"
+#include "nn/rng.h"
+
+namespace tmn::eval {
+namespace {
+
+TEST(MetricsTest, TopKIndicesBasic) {
+  const std::vector<double> scores{5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto top3 = TopKIndices(scores, 3, scores.size());
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0], 1u);
+  EXPECT_EQ(top3[1], 3u);
+  EXPECT_EQ(top3[2], 2u);
+}
+
+TEST(MetricsTest, TopKIndicesExcludesSelf) {
+  const std::vector<double> scores{0.0, 1.0, 2.0};
+  const auto top2 = TopKIndices(scores, 2, 0);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 1u);
+  EXPECT_EQ(top2[1], 2u);
+}
+
+TEST(MetricsTest, TopKClampsToAvailable) {
+  const std::vector<double> scores{3.0, 1.0};
+  EXPECT_EQ(TopKIndices(scores, 10, 2).size(), 2u);
+  EXPECT_EQ(TopKIndices(scores, 10, 0).size(), 1u);
+}
+
+TEST(MetricsTest, TopKTieBreaksByIndex) {
+  const std::vector<double> scores{1.0, 1.0, 1.0};
+  const auto top2 = TopKIndices(scores, 2, 3);
+  EXPECT_EQ(top2[0], 0u);
+  EXPECT_EQ(top2[1], 1u);
+}
+
+TEST(MetricsTest, OverlapRatio) {
+  EXPECT_DOUBLE_EQ(OverlapRatio({1, 2, 3}, {3, 2, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapRatio({1, 2, 3}, {4, 5, 6}), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapRatio({1, 2, 3, 4}, {1, 2, 9, 9}), 0.5);
+  // Recall-style: small truth against large prediction list.
+  EXPECT_DOUBLE_EQ(OverlapRatio({1, 2}, {0, 1, 2, 3, 4}), 1.0);
+}
+
+TEST(EvaluationTest, PerfectPredictionsScorePerfect) {
+  // Predicted distances identical to truth -> all metrics 1.
+  const size_t n = 30;
+  DoubleMatrix truth(n, n, 0.0);
+  nn::Rng rng(3);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      truth.at(i, j) = truth.at(j, i) = rng.Uniform(0.1, 10.0);
+    }
+  }
+  EvalOptions options;
+  options.k_small = 5;
+  options.k_large = 10;
+  const SearchQuality q = EvaluateRankings(truth, truth, options);
+  EXPECT_DOUBLE_EQ(q.hr10, 1.0);
+  EXPECT_DOUBLE_EQ(q.hr50, 1.0);
+  EXPECT_DOUBLE_EQ(q.r10_at_50, 1.0);
+}
+
+TEST(EvaluationTest, InvertedPredictionsScoreNearZero) {
+  const size_t n = 40;
+  DoubleMatrix truth(n, n, 0.0);
+  DoubleMatrix inverted(n, n, 0.0);
+  nn::Rng rng(4);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double d = rng.Uniform(0.1, 10.0);
+      truth.at(i, j) = d;
+      inverted.at(i, j) = -d;  // Reversed ranking.
+    }
+  }
+  EvalOptions options;
+  options.k_small = 5;
+  options.k_large = 10;
+  const SearchQuality q = EvaluateRankings(inverted, truth, options);
+  EXPECT_LT(q.hr10, 0.2);
+}
+
+TEST(EvaluationTest, EncodeAllMatchesForwardSingle) {
+  auto raw = data::GeneratePortoLike(5, 9);
+  auto trajs =
+      geo::NormalizeTrajectories(raw, geo::ComputeNormalization(raw));
+  baselines::SrnConfig config;
+  config.hidden_dim = 8;
+  baselines::Srn srn(config);
+  const auto embeddings = EncodeAll(srn, trajs);
+  ASSERT_EQ(embeddings.size(), trajs.size());
+  for (size_t i = 0; i < trajs.size(); ++i) {
+    const nn::Tensor o = srn.ForwardSingle(trajs[i]);
+    const auto expected = nn::Row(o, o.rows() - 1).data();
+    EXPECT_EQ(embeddings[i], expected);
+  }
+}
+
+TEST(EvaluationTest, PredictDistanceSymmetricForPairwiseModel) {
+  auto raw = data::GeneratePortoLike(3, 10);
+  auto trajs =
+      geo::NormalizeTrajectories(raw, geo::ComputeNormalization(raw));
+  core::TmnModelConfig config;
+  config.hidden_dim = 8;
+  core::TmnModel tmn(config);
+  const double ab = PredictDistance(tmn, trajs[0], trajs[1]);
+  const double ba = PredictDistance(tmn, trajs[1], trajs[0]);
+  EXPECT_NEAR(ab, ba, 1e-6);
+  EXPECT_GE(ab, 0.0);
+}
+
+TEST(EvaluationTest, PredictDistanceMatrixAgreesWithPairwiseCalls) {
+  auto raw = data::GeneratePortoLike(4, 11);
+  auto trajs =
+      geo::NormalizeTrajectories(raw, geo::ComputeNormalization(raw));
+  baselines::SrnConfig config;
+  config.hidden_dim = 8;
+  baselines::Srn srn(config);
+  const DoubleMatrix m = PredictDistanceMatrix(srn, trajs, 2);
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 4u);
+  for (size_t q = 0; q < 2; ++q) {
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(m.at(q, c), PredictDistance(srn, trajs[q], trajs[c]),
+                  1e-5);
+    }
+  }
+}
+
+TEST(EvaluationTest, EvaluateSearchRunsEndToEnd) {
+  auto raw = data::GeneratePortoLike(25, 12);
+  auto trajs =
+      geo::NormalizeTrajectories(raw, geo::ComputeNormalization(raw));
+  const auto metric = dist::CreateMetric(dist::MetricType::kHausdorff);
+  const DoubleMatrix truth = dist::ComputeDistanceMatrix(trajs, *metric, 1);
+  baselines::SrnConfig config;
+  config.hidden_dim = 8;
+  baselines::Srn srn(config);
+  EvalOptions options;
+  options.num_queries = 10;
+  options.k_small = 3;
+  options.k_large = 8;
+  const SearchQuality q = EvaluateSearch(srn, trajs, truth, options);
+  EXPECT_GE(q.hr10, 0.0);
+  EXPECT_LE(q.hr10, 1.0);
+  EXPECT_GE(q.r10_at_50, q.hr10 - 1e-9);  // Top-3 in top-8 >= top-3 in top-3.
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i * 0.5;
+  EXPECT_GT(timer.Seconds(), 0.0);
+  timer.Restart();
+  EXPECT_LT(timer.Seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace tmn::eval

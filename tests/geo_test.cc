@@ -1,0 +1,211 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geo/bounding_box.h"
+#include "geo/point.h"
+#include "geo/preprocess.h"
+#include "geo/simplify.h"
+#include "geo/trajectory.h"
+
+namespace tmn::geo {
+namespace {
+
+TEST(PointTest, EuclideanDistanceBasics) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(PointTest, EuclideanDistanceSymmetric) {
+  const Point a{1.5, -2.0};
+  const Point b{-0.5, 4.0};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), EuclideanDistance(b, a));
+}
+
+TEST(PointTest, HaversineKnownValue) {
+  // One degree of latitude is ~111.19 km everywhere.
+  const double d = HaversineMeters({0.0, 0.0}, {0.0, 1.0});
+  EXPECT_NEAR(d, 111195.0, 200.0);
+}
+
+TEST(PointTest, HaversineZeroForIdenticalPoints) {
+  EXPECT_DOUBLE_EQ(HaversineMeters({116.3, 39.9}, {116.3, 39.9}), 0.0);
+}
+
+TEST(PointTest, HaversineLongitudeShrinksWithLatitude) {
+  const double at_equator = HaversineMeters({0.0, 0.0}, {1.0, 0.0});
+  const double at_60n = HaversineMeters({0.0, 60.0}, {1.0, 60.0});
+  EXPECT_NEAR(at_60n, at_equator / 2.0, 500.0);
+}
+
+TEST(BoundingBoxTest, EmptyAndExpand) {
+  BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  box.Expand({1.0, 2.0});
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.Contains({1.0, 2.0}));
+  box.Expand({3.0, -1.0});
+  EXPECT_TRUE(box.Contains({2.0, 0.5}));
+  EXPECT_FALSE(box.Contains({4.0, 0.0}));
+  EXPECT_DOUBLE_EQ(box.Width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 3.0);
+}
+
+TEST(BoundingBoxTest, CenterOfExplicitBox) {
+  const BoundingBox box = BoundingBox::Of(0.0, 0.0, 2.0, 4.0);
+  EXPECT_DOUBLE_EQ(box.Center().lon, 1.0);
+  EXPECT_DOUBLE_EQ(box.Center().lat, 2.0);
+}
+
+TEST(TrajectoryTest, BasicAccessors) {
+  Trajectory t({{0, 0}, {1, 0}, {1, 1}}, /*id=*/7);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.id(), 7);
+  EXPECT_EQ(t.front().lon, 0.0);
+  EXPECT_EQ(t.back().lat, 1.0);
+  EXPECT_DOUBLE_EQ(t.PathLength(), 2.0);
+}
+
+TEST(TrajectoryTest, PrefixClampsToSize) {
+  Trajectory t({{0, 0}, {1, 0}, {1, 1}}, 3);
+  EXPECT_EQ(t.Prefix(2).size(), 2u);
+  EXPECT_EQ(t.Prefix(10).size(), 3u);
+  EXPECT_EQ(t.Prefix(2).id(), 3);
+  EXPECT_EQ(t.Prefix(2)[1].lon, 1.0);
+}
+
+TEST(TrajectoryTest, BoundsCoverAllPoints) {
+  Trajectory t({{0, 0}, {2, -1}, {1, 3}});
+  const BoundingBox box = t.Bounds();
+  for (const Point& p : t) EXPECT_TRUE(box.Contains(p));
+  EXPECT_DOUBLE_EQ(box.max_lat, 3.0);
+  EXPECT_DOUBLE_EQ(box.min_lat, -1.0);
+}
+
+TEST(PreprocessTest, FilterByBoundingBoxKeepsOnlyFullyInside) {
+  const BoundingBox box = BoundingBox::Of(0, 0, 1, 1);
+  std::vector<Trajectory> input{
+      Trajectory({{0.1, 0.1}, {0.9, 0.9}}, 0),
+      Trajectory({{0.5, 0.5}, {1.5, 0.5}}, 1),  // Leaves the box.
+      Trajectory({{0.2, 0.8}}, 2),
+  };
+  const auto kept = FilterByBoundingBox(input, box);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].id(), 0);
+  EXPECT_EQ(kept[1].id(), 2);
+}
+
+TEST(PreprocessTest, FilterByMinLength) {
+  std::vector<Trajectory> input{
+      Trajectory(std::vector<Point>(12, Point{0, 0}), 0),
+      Trajectory(std::vector<Point>(9, Point{0, 0}), 1),
+      Trajectory(std::vector<Point>(10, Point{0, 0}), 2),
+  };
+  const auto kept = FilterByMinLength(input, 10);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].id(), 0);
+  EXPECT_EQ(kept[1].id(), 2);
+}
+
+TEST(PreprocessTest, TruncateToMaxLength) {
+  std::vector<Trajectory> input{
+      Trajectory(std::vector<Point>(30, Point{0, 0}), 0),
+      Trajectory(std::vector<Point>(5, Point{0, 0}), 1),
+  };
+  const auto out = TruncateToMaxLength(input, 10);
+  EXPECT_EQ(out[0].size(), 10u);
+  EXPECT_EQ(out[1].size(), 5u);
+}
+
+TEST(PreprocessTest, NormalizationMapsIntoUnitSquare) {
+  std::vector<Trajectory> input{
+      Trajectory({{116.25, 39.85}, {116.50, 40.05}}, 0),
+      Trajectory({{116.30, 39.90}, {116.40, 40.00}}, 1),
+  };
+  const NormalizationParams params = ComputeNormalization(input);
+  const auto normalized = NormalizeTrajectories(input, params);
+  for (const Trajectory& t : normalized) {
+    for (const Point& p : t) {
+      EXPECT_GE(p.lon, 0.0);
+      EXPECT_LE(p.lon, 1.0 + 1e-12);
+      EXPECT_GE(p.lat, 0.0);
+      EXPECT_LE(p.lat, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(PreprocessTest, NormalizationIsIsotropicAndInvertible) {
+  std::vector<Trajectory> input{
+      Trajectory({{10.0, 20.0}, {14.0, 21.0}}, 0),  // 4 wide, 1 tall.
+  };
+  const NormalizationParams params = ComputeNormalization(input);
+  const auto normalized = NormalizeTrajectories(input, params);
+  // Isotropic scale: distances shrink by the same factor on both axes.
+  const double ratio_before = EuclideanDistance(input[0][0], input[0][1]);
+  const double ratio_after =
+      EuclideanDistance(normalized[0][0], normalized[0][1]);
+  EXPECT_NEAR(ratio_after, ratio_before * params.scale, 1e-12);
+  // Round trip.
+  const Point back = params.Invert(normalized[0][1]);
+  EXPECT_NEAR(back.lon, 14.0, 1e-9);
+  EXPECT_NEAR(back.lat, 21.0, 1e-9);
+}
+
+TEST(SimplifyTest, DouglasPeuckerKeepsEndpointsAndDropsCollinear) {
+  Trajectory t({{0, 0}, {1, 0.0001}, {2, 0}, {3, 0.00005}, {4, 0}}, 0);
+  const Trajectory simplified = DouglasPeucker(t, 0.01);
+  ASSERT_EQ(simplified.size(), 2u);
+  EXPECT_EQ(simplified[0].lon, 0.0);
+  EXPECT_EQ(simplified[1].lon, 4.0);
+}
+
+TEST(SimplifyTest, DouglasPeuckerKeepsSalientCorner) {
+  Trajectory t({{0, 0}, {1, 0}, {2, 0}, {2, 1}, {2, 2}}, 0);
+  const Trajectory simplified = DouglasPeucker(t, 0.1);
+  ASSERT_EQ(simplified.size(), 3u);
+  EXPECT_EQ(simplified[1].lon, 2.0);
+  EXPECT_EQ(simplified[1].lat, 0.0);
+}
+
+TEST(SimplifyTest, DouglasPeuckerZeroEpsilonKeepsNonCollinear) {
+  Trajectory t({{0, 0}, {1, 1}, {2, 0}});
+  EXPECT_EQ(DouglasPeucker(t, 0.0).size(), 3u);
+}
+
+TEST(SimplifyTest, ResampleUniformProducesRequestedCount) {
+  Trajectory t({{0, 0}, {1, 0}, {2, 0}, {10, 0}});
+  const Trajectory r = ResampleUniform(t, 5);
+  ASSERT_EQ(r.size(), 6u);
+  EXPECT_DOUBLE_EQ(r[0].lon, 0.0);
+  EXPECT_DOUBLE_EQ(r.back().lon, 10.0);
+  // Evenly spaced along arc length of a straight line.
+  for (size_t i = 0; i < r.size(); ++i) {
+    EXPECT_NEAR(r[i].lon, 2.0 * static_cast<double>(i), 1e-9);
+  }
+}
+
+TEST(SimplifyTest, ResampleHandlesDegenerateTrajectories) {
+  const Trajectory single(std::vector<Point>{{3, 4}});
+  const Trajectory r1 = ResampleUniform(single, 4);
+  ASSERT_EQ(r1.size(), 5u);
+  for (const Point& p : r1) {
+    EXPECT_EQ(p.lon, 3.0);
+    EXPECT_EQ(p.lat, 4.0);
+  }
+  // All-identical points (zero path length).
+  const Trajectory stationary(std::vector<Point>(7, Point{1, 1}));
+  const Trajectory r2 = ResampleUniform(stationary, 3);
+  ASSERT_EQ(r2.size(), 4u);
+  EXPECT_EQ(r2[2].lon, 1.0);
+}
+
+TEST(SimplifyTest, SummaryVectorHasFixedDimension) {
+  Trajectory a({{0, 0}, {1, 1}});
+  Trajectory b({{0, 0}, {1, 0}, {2, 0}, {3, 3}, {4, 1}});
+  EXPECT_EQ(SummaryVector(a, 10).size(), 22u);
+  EXPECT_EQ(SummaryVector(b, 10).size(), 22u);
+}
+
+}  // namespace
+}  // namespace tmn::geo

@@ -1,0 +1,152 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "index/hnsw.h"
+#include "index/kd_tree.h"
+#include "nn/rng.h"
+
+namespace tmn::index {
+namespace {
+
+std::vector<float> RandomPoints(size_t n, size_t dim, uint64_t seed) {
+  nn::Rng rng(seed);
+  std::vector<float> points(n * dim);
+  for (float& v : points) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return points;
+}
+
+TEST(HnswTest, EmptyIndex) {
+  HnswIndex index(4);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.Nearest({0, 0, 0, 0}, 3).empty());
+}
+
+TEST(HnswTest, SinglePoint) {
+  HnswIndex index(2);
+  EXPECT_EQ(index.Add({1.0f, 2.0f}), 0u);
+  const auto result = index.Nearest({0.0f, 0.0f}, 5);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], 0u);
+}
+
+TEST(HnswTest, ExactOnTinySet) {
+  // With few points, the beam covers everything: results must be exact.
+  HnswIndex index(2);
+  const std::vector<std::vector<float>> points{
+      {0, 0}, {1, 0}, {2, 0}, {3, 0}, {10, 10}};
+  for (const auto& p : points) index.Add(p);
+  const auto result = index.Nearest({1.2f, 0.0f}, 3);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0], 1u);
+  EXPECT_EQ(result[1], 2u);
+  EXPECT_EQ(result[2], 0u);
+}
+
+TEST(HnswTest, SelfQueryReturnsSelfFirst) {
+  const size_t dim = 8;
+  const auto flat = RandomPoints(100, dim, 3);
+  HnswIndex index(dim);
+  for (size_t i = 0; i < 100; ++i) {
+    index.Add(std::vector<float>(flat.begin() + i * dim,
+                                 flat.begin() + (i + 1) * dim));
+  }
+  for (size_t i = 0; i < 100; i += 10) {
+    const std::vector<float> q(flat.begin() + i * dim,
+                               flat.begin() + (i + 1) * dim);
+    const auto result = index.Nearest(q, 1);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0], i);
+  }
+}
+
+struct HnswRecallCase {
+  size_t n;
+  size_t dim;
+  size_t k;
+  size_t ef;
+  double min_recall;
+};
+
+class HnswRecallTest : public ::testing::TestWithParam<HnswRecallCase> {};
+
+TEST_P(HnswRecallTest, RecallAgainstBruteForce) {
+  const HnswRecallCase& c = GetParam();
+  const auto flat = RandomPoints(c.n, c.dim, 41 + c.n);
+  HnswIndex index(c.dim);
+  for (size_t i = 0; i < c.n; ++i) {
+    index.Add(std::vector<float>(flat.begin() + i * c.dim,
+                                 flat.begin() + (i + 1) * c.dim));
+  }
+  nn::Rng rng(77);
+  double recall_sum = 0.0;
+  const int trials = 25;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> q(c.dim);
+    for (float& v : q) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    const auto truth = BruteForceNearest(flat, c.dim, q, c.k);
+    const auto approx = index.Nearest(q, c.k, c.ef);
+    size_t hits = 0;
+    for (size_t idx : approx) {
+      if (std::find(truth.begin(), truth.end(), idx) != truth.end()) {
+        ++hits;
+      }
+    }
+    recall_sum += static_cast<double>(hits) / static_cast<double>(c.k);
+  }
+  EXPECT_GE(recall_sum / trials, c.min_recall)
+      << "n=" << c.n << " dim=" << c.dim << " ef=" << c.ef;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HnswRecallTest,
+    ::testing::Values(HnswRecallCase{200, 4, 5, 64, 0.95},
+                      HnswRecallCase{500, 8, 10, 64, 0.9},
+                      HnswRecallCase{1000, 16, 10, 128, 0.9},
+                      HnswRecallCase{1000, 16, 10, 16, 0.5}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "d" +
+             std::to_string(info.param.dim) + "ef" +
+             std::to_string(info.param.ef);
+    });
+
+TEST(HnswTest, LargerBeamNeverHurtsMuch) {
+  const size_t dim = 8;
+  const size_t n = 400;
+  const auto flat = RandomPoints(n, dim, 9);
+  HnswIndex index(dim);
+  for (size_t i = 0; i < n; ++i) {
+    index.Add(std::vector<float>(flat.begin() + i * dim,
+                                 flat.begin() + (i + 1) * dim));
+  }
+  nn::Rng rng(10);
+  double narrow = 0.0, wide = 0.0;
+  for (int t = 0; t < 20; ++t) {
+    std::vector<float> q(dim);
+    for (float& v : q) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    const auto truth = BruteForceNearest(flat, dim, q, 10);
+    for (size_t ef : {10u, 200u}) {
+      const auto approx = index.Nearest(q, 10, ef);
+      size_t hits = 0;
+      for (size_t idx : approx) {
+        if (std::find(truth.begin(), truth.end(), idx) != truth.end()) {
+          ++hits;
+        }
+      }
+      (ef == 10u ? narrow : wide) += static_cast<double>(hits) / 10.0;
+    }
+  }
+  EXPECT_GE(wide, narrow - 1e-9);
+}
+
+TEST(HnswTest, DuplicateVectorsHandled) {
+  HnswIndex index(2);
+  for (int i = 0; i < 10; ++i) index.Add({1.0f, 1.0f});
+  index.Add({5.0f, 5.0f});
+  const auto result = index.Nearest({1.0f, 1.0f}, 5);
+  EXPECT_EQ(result.size(), 5u);
+  for (size_t idx : result) EXPECT_LT(idx, 10u);
+}
+
+}  // namespace
+}  // namespace tmn::index

@@ -1,0 +1,148 @@
+// End-to-end pipeline tests: synthetic data -> preprocessing -> exact
+// ground truth -> training -> top-k search evaluation, plus model
+// persistence — the full quickstart flow a downstream user runs.
+#include <cstdio>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/srn.h"
+#include "baselines/traj2simvec.h"
+#include "core/sampler.h"
+#include "core/tmn_model.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "distance/distance_matrix.h"
+#include "distance/metric.h"
+#include "eval/evaluation.h"
+#include "geo/preprocess.h"
+#include "nn/serialize.h"
+
+namespace tmn {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Generate, filter and normalize — the paper's preprocessing.
+    auto raw = data::GeneratePortoLike(60, 777);
+    raw = geo::FilterByMinLength(raw, 10);
+    ASSERT_GE(raw.size(), 50u);
+    const geo::NormalizationParams params = geo::ComputeNormalization(raw);
+    all_ = geo::NormalizeTrajectories(raw, params);
+
+    const data::Split split = data::SplitTrainTest(all_.size(), 0.4, 1);
+    train_ = data::Gather(all_, split.train_indices);
+    test_ = data::Gather(all_, split.test_indices);
+
+    metric_ = dist::CreateMetric(dist::MetricType::kDtw);
+    train_dist_ = dist::ComputeDistanceMatrix(train_, *metric_, 1);
+    test_dist_ = dist::ComputeDistanceMatrix(test_, *metric_, 1);
+  }
+
+  core::TrainConfig Config() const {
+    core::TrainConfig config;
+    config.epochs = 5;
+    config.sampling_num = 8;
+    config.alpha = core::SuggestAlpha(train_dist_);
+    return config;
+  }
+
+  std::vector<geo::Trajectory> all_, train_, test_;
+  std::unique_ptr<dist::DistanceMetric> metric_;
+  DoubleMatrix train_dist_, test_dist_;
+};
+
+TEST_F(IntegrationTest, TmnFullPipelineBeatsRandomRanking) {
+  core::TmnModelConfig model_config;
+  model_config.hidden_dim = 16;
+  core::TmnModel model(model_config);
+  core::RandomSortSampler sampler(&train_dist_, 8);
+  core::PairTrainer trainer(&model, &train_, &train_dist_, metric_.get(),
+                            &sampler, Config());
+  trainer.Train();
+
+  eval::EvalOptions options;
+  options.num_queries = 12;
+  options.k_small = 3;
+  options.k_large = 10;
+  const eval::SearchQuality quality =
+      eval::EvaluateSearch(model, test_, test_dist_, options);
+  // A random ranking recovers ~k/n of the truth: 10/35 ~ 0.29 for
+  // R10@50-style and 3/35 ~ 0.09 for HR. Trained TMN must beat random
+  // comfortably on the training metric.
+  EXPECT_GT(quality.r10_at_50, 0.35);
+  EXPECT_GT(quality.hr10, 0.12);
+}
+
+TEST_F(IntegrationTest, BaselineTrainsThroughSharedTrainer) {
+  baselines::SrnConfig srn_config;
+  srn_config.hidden_dim = 16;
+  baselines::Srn srn(srn_config);
+  core::RandomSortSampler sampler(&train_dist_, 8);
+  core::TrainConfig config = Config();
+  config.use_sub_loss = false;
+  config.use_rank_weights = false;
+  core::PairTrainer trainer(&srn, &train_, &train_dist_, nullptr, &sampler,
+                            config);
+  const auto losses = trainer.Train();
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST_F(IntegrationTest, Traj2SimVecPipelineWithKdSamplerAndSubLoss) {
+  baselines::Traj2SimVecConfig t2sv_config;
+  t2sv_config.hidden_dim = 16;
+  t2sv_config.segments = 20;
+  baselines::Traj2SimVec model(t2sv_config);
+  core::KdTreeSampler sampler(train_, &train_dist_, 8);
+  core::PairTrainer trainer(&model, &train_, &train_dist_, metric_.get(),
+                            &sampler, Config());
+  const auto losses = trainer.Train();
+  for (double l : losses) EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST_F(IntegrationTest, SaveLoadPreservesPredictions) {
+  core::TmnModelConfig model_config;
+  model_config.hidden_dim = 16;
+  core::TmnModel model(model_config);
+  core::RandomSortSampler sampler(&train_dist_, 8);
+  core::TrainConfig config = Config();
+  config.epochs = 2;
+  core::PairTrainer trainer(&model, &train_, &train_dist_, metric_.get(),
+                            &sampler, config);
+  trainer.Train();
+
+  const std::string path = ::testing::TempDir() + "/tmn_model.bin";
+  ASSERT_TRUE(nn::SaveParameters(path, model.Parameters()));
+
+  core::TmnModel restored(model_config);
+  std::vector<nn::Tensor> params = restored.Parameters();
+  ASSERT_TRUE(nn::LoadParameters(path, params));
+
+  const double original = eval::PredictDistance(model, test_[0], test_[1]);
+  const double reloaded =
+      eval::PredictDistance(restored, test_[0], test_[1]);
+  EXPECT_DOUBLE_EQ(original, reloaded);
+  std::remove(path.c_str());
+}
+
+TEST_F(IntegrationTest, CsvRoundTripFeedsPipeline) {
+  const std::string path = ::testing::TempDir() + "/pipeline.csv";
+  ASSERT_TRUE(data::SaveCsv(path, train_));
+  std::vector<geo::Trajectory> loaded;
+  ASSERT_TRUE(data::LoadCsv(path, &loaded));
+  ASSERT_EQ(loaded.size(), train_.size());
+  // Ground truth on reloaded data matches (up to printed precision).
+  const DoubleMatrix reloaded_dist =
+      dist::ComputeDistanceMatrix(loaded, *metric_, 1);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(reloaded_dist.at(i, j), train_dist_.at(i, j), 1e-6);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tmn

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "index/kd_tree.h"
+#include "nn/rng.h"
+
+namespace tmn::index {
+namespace {
+
+std::vector<float> RandomPoints(size_t n, size_t dim, uint64_t seed) {
+  nn::Rng rng(seed);
+  std::vector<float> points(n * dim);
+  for (float& v : points) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return points;
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree tree({}, 3);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Nearest({0, 0, 0}, 5).empty());
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  KdTree tree({1.0f, 2.0f}, 2);
+  const auto result = tree.Nearest({0.0f, 0.0f}, 3);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], 0u);
+}
+
+TEST(KdTreeTest, ExactNearestOnKnownLayout) {
+  // Points on a line: query near index 2.
+  std::vector<float> points{0, 0, 1, 0, 2, 0, 3, 0, 4, 0};
+  KdTree tree(std::move(points), 2);
+  const auto result = tree.Nearest({2.1f, 0.0f}, 3);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0], 2u);
+  EXPECT_EQ(result[1], 3u);
+  EXPECT_EQ(result[2], 1u);
+}
+
+TEST(KdTreeTest, ExcludeRemovesIndex) {
+  std::vector<float> points{0, 0, 1, 0, 2, 0};
+  KdTree tree(std::move(points), 2);
+  const auto result = tree.NearestExcluding({0.0f, 0.0f}, 2, 0);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], 1u);
+  EXPECT_EQ(result[1], 2u);
+}
+
+TEST(KdTreeTest, KClampedToSize) {
+  std::vector<float> points{0, 0, 1, 0};
+  KdTree tree(std::move(points), 2);
+  EXPECT_EQ(tree.Nearest({0, 0}, 100).size(), 2u);
+  EXPECT_EQ(tree.NearestExcluding({0, 0}, 100, 1).size(), 1u);
+}
+
+struct KdTreeCase {
+  size_t n;
+  size_t dim;
+  size_t k;
+};
+
+class KdTreeVsBruteForce : public ::testing::TestWithParam<KdTreeCase> {};
+
+TEST_P(KdTreeVsBruteForce, MatchesBruteForce) {
+  const KdTreeCase& c = GetParam();
+  const std::vector<float> points = RandomPoints(c.n, c.dim, 31 + c.n);
+  KdTree tree(points, c.dim);
+  nn::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> query(c.dim);
+    for (float& v : query) v = static_cast<float>(rng.Uniform(-1.2, 1.2));
+    const auto expected = BruteForceNearest(points, c.dim, query, c.k);
+    const auto actual = tree.Nearest(query, c.k);
+    EXPECT_EQ(actual, expected) << "n=" << c.n << " dim=" << c.dim;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeVsBruteForce,
+    ::testing::Values(KdTreeCase{10, 2, 3}, KdTreeCase{100, 2, 5},
+                      KdTreeCase{100, 4, 10}, KdTreeCase{250, 8, 7},
+                      KdTreeCase{64, 22, 5},  // Summary-vector width.
+                      KdTreeCase{500, 3, 1}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "d" +
+             std::to_string(info.param.dim) + "k" +
+             std::to_string(info.param.k);
+    });
+
+TEST(KdTreeTest, DuplicatePointsAllReturned) {
+  std::vector<float> points{1, 1, 1, 1, 1, 1, 5, 5};
+  KdTree tree(std::move(points), 2);
+  const auto result = tree.Nearest({1, 1}, 3);
+  ASSERT_EQ(result.size(), 3u);
+  for (size_t idx : result) EXPECT_LT(idx, 3u);  // The three duplicates.
+}
+
+}  // namespace
+}  // namespace tmn::index

@@ -1,0 +1,200 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/geolife_loader.h"
+#include "data/porto_loader.h"
+#include "nn/rng.h"
+
+namespace tmn::data {
+namespace {
+
+std::string WriteTempFile(const std::string& name,
+                          const std::string& contents) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+constexpr char kPltHeader[] =
+    "Geolife trajectory\n"
+    "WGS 84\n"
+    "Altitude is in Feet\n"
+    "Reserved 3\n"
+    "0,2,255,My Track,0,0,2,8421376\n"
+    "0\n";
+
+TEST(GeolifeLoaderTest, ParsesValidPlt) {
+  const std::string path = WriteTempFile(
+      "ok.plt",
+      std::string(kPltHeader) +
+          "39.906631,116.385564,0,492,39744.245208,2008-10-23,05:53:06\n"
+          "39.906554,116.385625,0,492,39744.245266,2008-10-23,05:53:11\n"
+          "39.906539,116.385672,0,492,39744.245324,2008-10-23,05:53:16\n");
+  geo::Trajectory t;
+  ASSERT_TRUE(LoadGeolifePlt(path, &t));
+  ASSERT_EQ(t.size(), 3u);
+  // Geolife stores lat first; Point stores (lon, lat).
+  EXPECT_NEAR(t[0].lon, 116.385564, 1e-9);
+  EXPECT_NEAR(t[0].lat, 39.906631, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(GeolifeLoaderTest, SkipsMalformedAndImplausibleLines) {
+  const std::string path = WriteTempFile(
+      "mixed.plt",
+      std::string(kPltHeader) +
+          "39.9,116.3,0,492,39744.1,2008-10-23,05:53:06\n"
+          "garbage line\n"
+          "0.0,0.0,0,0,0,2008-10-23,05:53:11\n"     // Null island: dropped.
+          "95.0,116.3,0,0,0,2008-10-23,05:53:12\n"  // lat > 90: dropped.
+          "39.8,116.4,0,492,39744.2,2008-10-23,05:53:16\n");
+  geo::Trajectory t;
+  ASSERT_TRUE(LoadGeolifePlt(path, &t));
+  EXPECT_EQ(t.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(GeolifeLoaderTest, RejectsTooFewPoints) {
+  const std::string path = WriteTempFile(
+      "short.plt",
+      std::string(kPltHeader) +
+          "39.9,116.3,0,492,39744.1,2008-10-23,05:53:06\n");
+  geo::Trajectory t;
+  EXPECT_FALSE(LoadGeolifePlt(path, &t));
+  std::remove(path.c_str());
+}
+
+TEST(GeolifeLoaderTest, RejectsMissingFile) {
+  geo::Trajectory t;
+  EXPECT_FALSE(LoadGeolifePlt("/nonexistent/file.plt", &t));
+}
+
+TEST(GeolifeLoaderTest, BatchLoaderSkipsBadFiles) {
+  const std::string good = WriteTempFile(
+      "batch_good.plt",
+      std::string(kPltHeader) +
+          "39.9,116.3,0,492,39744.1,2008-10-23,05:53:06\n"
+          "39.8,116.4,0,492,39744.2,2008-10-23,05:53:16\n");
+  std::vector<geo::Trajectory> out;
+  const size_t loaded =
+      LoadGeolifePltFiles({good, "/nonexistent/x.plt", good}, &out);
+  EXPECT_EQ(loaded, 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id(), 0);
+  EXPECT_EQ(out[1].id(), 1);
+  std::remove(good.c_str());
+}
+
+TEST(PortoLoaderTest, ParsesPolyline) {
+  geo::Trajectory t;
+  ASSERT_TRUE(ParsePortoPolyline(
+      "[[-8.618643,41.141412],[-8.618499,41.141376],[-8.620326,41.14251]]",
+      &t));
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_NEAR(t[0].lon, -8.618643, 1e-9);
+  EXPECT_NEAR(t[0].lat, 41.141412, 1e-9);
+  EXPECT_NEAR(t[2].lat, 41.14251, 1e-9);
+}
+
+TEST(PortoLoaderTest, ParsesPolylineWithSpaces) {
+  geo::Trajectory t;
+  ASSERT_TRUE(ParsePortoPolyline("[[ -8.6, 41.1 ], [ -8.7, 41.2 ]]", &t));
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(PortoLoaderTest, RejectsMalformedPolylines) {
+  geo::Trajectory t;
+  EXPECT_FALSE(ParsePortoPolyline("", &t));
+  EXPECT_FALSE(ParsePortoPolyline("[]", &t));                    // Empty.
+  EXPECT_FALSE(ParsePortoPolyline("[[-8.6,41.1]]", &t));         // 1 point.
+  EXPECT_FALSE(ParsePortoPolyline("[[-8.6,41.1],[-8.7]]", &t));  // Pair cut.
+  EXPECT_FALSE(ParsePortoPolyline("[[-8.6;41.1],[-8.7,41.2]]", &t));
+  EXPECT_FALSE(ParsePortoPolyline("not json at all", &t));
+}
+
+TEST(PortoLoaderTest, LoadsCsvSkippingHeaderAndBadRows) {
+  const std::string path = WriteTempFile(
+      "porto.csv",
+      "\"TRIP_ID\",\"CALL_TYPE\",\"MISSING_DATA\",\"POLYLINE\"\n"
+      "\"T1\",\"B\",\"False\",\"[[-8.618,41.141],[-8.619,41.142]]\"\n"
+      "\"T2\",\"B\",\"True\",\"[]\"\n"
+      "\"T3\",\"A\",\"False\",\"[[-8.620,41.143],[-8.621,41.144],"
+      "[-8.622,41.145]]\"\n");
+  std::vector<geo::Trajectory> out;
+  ASSERT_TRUE(LoadPortoCsv(path, 0, &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].size(), 2u);
+  EXPECT_EQ(out[1].size(), 3u);
+  EXPECT_EQ(out[1].id(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(PortoLoaderTest, RespectsMaxTrajectories) {
+  const std::string path = WriteTempFile(
+      "porto_cap.csv",
+      "\"TRIP_ID\",\"POLYLINE\"\n"
+      "\"T1\",\"[[-8.1,41.1],[-8.2,41.2]]\"\n"
+      "\"T2\",\"[[-8.3,41.3],[-8.4,41.4]]\"\n"
+      "\"T3\",\"[[-8.5,41.5],[-8.6,41.6]]\"\n");
+  std::vector<geo::Trajectory> out;
+  ASSERT_TRUE(LoadPortoCsv(path, 2, &out));
+  EXPECT_EQ(out.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(PortoLoaderTest, MissingFileFails) {
+  std::vector<geo::Trajectory> out;
+  EXPECT_FALSE(LoadPortoCsv("/nonexistent/porto.csv", 0, &out));
+}
+
+TEST(PortoLoaderTest, FuzzPolylineNeverCrashes) {
+  // Deterministic pseudo-fuzz: random strings over a POLYLINE-ish
+  // alphabet must either parse to a valid trajectory or be rejected —
+  // never crash or produce a trajectory with < 2 points.
+  const std::string alphabet = "[]-,.0123456789 eE\"x";
+  nn::Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t len = 1 + rng.UniformInt(60);
+    std::string input;
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(alphabet[rng.UniformInt(alphabet.size())]);
+    }
+    geo::Trajectory t;
+    if (ParsePortoPolyline(input, &t)) {
+      EXPECT_GE(t.size(), 2u) << "input: " << input;
+    }
+  }
+}
+
+TEST(GeolifeLoaderTest, FuzzPltLinesNeverCrash) {
+  const std::string alphabet = "-,.0123456789:\nabcxyz ";
+  nn::Rng rng(100);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string contents(kPltHeader);
+    const size_t lines = 2 + rng.UniformInt(8);
+    for (size_t l = 0; l < lines; ++l) {
+      const size_t len = 1 + rng.UniformInt(50);
+      for (size_t i = 0; i < len; ++i) {
+        contents.push_back(alphabet[rng.UniformInt(alphabet.size())]);
+      }
+      contents.push_back('\n');
+    }
+    const std::string path = WriteTempFile("fuzz.plt", contents);
+    geo::Trajectory t;
+    if (LoadGeolifePlt(path, &t)) {
+      EXPECT_GE(t.size(), 2u);
+      for (const geo::Point& p : t) {
+        EXPECT_GE(p.lat, -90.0);
+        EXPECT_LE(p.lat, 90.0);
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace tmn::data

@@ -1,0 +1,88 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/loss.h"
+#include "nn/grad_check.h"
+#include "nn/ops.h"
+
+namespace tmn::core {
+namespace {
+
+TEST(LossTest, Names) {
+  EXPECT_EQ(LossName(LossKind::kMse), "MSE");
+  EXPECT_EQ(LossName(LossKind::kQError), "Q-error");
+}
+
+TEST(LossTest, MseValue) {
+  nn::Tensor pred = nn::Tensor::Scalar(0.8f);
+  const nn::Tensor loss = PairLoss(pred, 0.5, LossKind::kMse);
+  EXPECT_NEAR(loss.item(), 0.09f, 1e-6f);
+}
+
+TEST(LossTest, MseZeroAtTruth) {
+  nn::Tensor pred = nn::Tensor::Scalar(0.5f);
+  EXPECT_NEAR(PairLoss(pred, 0.5, LossKind::kMse).item(), 0.0f, 1e-7f);
+}
+
+TEST(LossTest, QErrorValueBothBranches) {
+  // Overestimate: pred/truth.
+  EXPECT_NEAR(PairLoss(nn::Tensor::Scalar(0.8f), 0.4, LossKind::kQError)
+                  .item(),
+              2.0f, 1e-5f);
+  // Underestimate: truth/pred (with the small floor added to pred).
+  EXPECT_NEAR(PairLoss(nn::Tensor::Scalar(0.2f), 0.4, LossKind::kQError)
+                  .item(),
+              2.0f, 1e-2f);
+}
+
+TEST(LossTest, QErrorAtLeastOne) {
+  for (float pred : {0.1f, 0.3f, 0.5f, 0.9f}) {
+    for (double truth : {0.1, 0.5, 0.9}) {
+      EXPECT_GE(PairLoss(nn::Tensor::Scalar(pred), truth,
+                         LossKind::kQError)
+                    .item(),
+                0.99f);
+    }
+  }
+}
+
+TEST(LossTest, QErrorHandlesTinyValuesWithoutInf) {
+  const nn::Tensor loss =
+      PairLoss(nn::Tensor::Scalar(1e-7f), 1e-9, LossKind::kQError);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+}
+
+TEST(LossTest, MseGradientMatchesNumeric) {
+  nn::Tensor pred = nn::Tensor::Scalar(0.7f, /*requires_grad=*/true);
+  const double err = nn::MaxGradError(
+      [&] { return PairLoss(pred, 0.4, LossKind::kMse); }, pred);
+  EXPECT_LT(err, 1e-2);
+}
+
+TEST(LossTest, QErrorGradientMatchesNumericOverestimate) {
+  nn::Tensor pred = nn::Tensor::Scalar(0.9f, /*requires_grad=*/true);
+  const double err = nn::MaxGradError(
+      [&] { return PairLoss(pred, 0.3, LossKind::kQError); }, pred);
+  EXPECT_LT(err, 1e-2);
+}
+
+TEST(LossTest, QErrorGradientMatchesNumericUnderestimate) {
+  nn::Tensor pred = nn::Tensor::Scalar(0.2f, /*requires_grad=*/true);
+  const double err = nn::MaxGradError(
+      [&] { return PairLoss(pred, 0.8, LossKind::kQError); }, pred);
+  EXPECT_LT(err, 1e-2);
+}
+
+TEST(LossTest, MseGradientPointsTowardTruth) {
+  // d/dpred (pred - truth)^2 = 2(pred - truth): positive when above truth.
+  nn::Tensor above = nn::Tensor::Scalar(0.9f, /*requires_grad=*/true);
+  PairLoss(above, 0.5, LossKind::kMse).Backward();
+  EXPECT_GT(above.grad()[0], 0.0f);
+  nn::Tensor below = nn::Tensor::Scalar(0.1f, /*requires_grad=*/true);
+  PairLoss(below, 0.5, LossKind::kMse).Backward();
+  EXPECT_LT(below.grad()[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace tmn::core

@@ -1,0 +1,81 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/model_io.h"
+#include "data/synthetic.h"
+#include "eval/evaluation.h"
+#include "geo/preprocess.h"
+
+namespace tmn::core {
+namespace {
+
+std::vector<geo::Trajectory> NormalizedTrajectories(int n, uint64_t seed) {
+  auto raw = data::GeneratePortoLike(n, seed);
+  return geo::NormalizeTrajectories(raw, geo::ComputeNormalization(raw));
+}
+
+void RemoveBundle(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".params").c_str());
+}
+
+TEST(ModelIoTest, RoundTripPreservesConfigAndPredictions) {
+  const auto trajs = NormalizedTrajectories(3, 5);
+  TmnModelConfig config;
+  config.hidden_dim = 12;
+  config.mlp_layers = 3;
+  config.rnn = nn::RnnKind::kGru;
+  config.seed = 9;
+  TmnModel model(config);
+  const std::string path = ::testing::TempDir() + "/bundle.tmn";
+  ASSERT_TRUE(SaveTmnModel(path, model));
+  const auto loaded = LoadTmnModel(path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->config().hidden_dim, 12);
+  EXPECT_EQ(loaded->config().mlp_layers, 3);
+  EXPECT_EQ(loaded->config().rnn, nn::RnnKind::kGru);
+  EXPECT_TRUE(loaded->config().use_matching);
+  EXPECT_DOUBLE_EQ(eval::PredictDistance(model, trajs[0], trajs[1]),
+                   eval::PredictDistance(*loaded, trajs[0], trajs[1]));
+  RemoveBundle(path);
+}
+
+TEST(ModelIoTest, RoundTripTmnNm) {
+  TmnModelConfig config;
+  config.hidden_dim = 8;
+  config.use_matching = false;
+  TmnModel model(config);
+  const std::string path = ::testing::TempDir() + "/bundle_nm.tmn";
+  ASSERT_TRUE(SaveTmnModel(path, model));
+  const auto loaded = LoadTmnModel(path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_FALSE(loaded->config().use_matching);
+  EXPECT_FALSE(loaded->IsPairwise());
+  RemoveBundle(path);
+}
+
+TEST(ModelIoTest, LoadRejectsMissingAndCorrupt) {
+  EXPECT_EQ(LoadTmnModel("/nonexistent/model.tmn"), nullptr);
+  const std::string path = ::testing::TempDir() + "/corrupt.tmn";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("not a model", 1, 11, f);
+  std::fclose(f);
+  EXPECT_EQ(LoadTmnModel(path), nullptr);
+  RemoveBundle(path);
+}
+
+TEST(ModelIoTest, LoadRejectsMissingParamsFile) {
+  TmnModelConfig config;
+  config.hidden_dim = 8;
+  TmnModel model(config);
+  const std::string path = ::testing::TempDir() + "/orphan.tmn";
+  ASSERT_TRUE(SaveTmnModel(path, model));
+  std::remove((path + ".params").c_str());
+  EXPECT_EQ(LoadTmnModel(path), nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tmn::core

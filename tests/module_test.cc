@@ -1,0 +1,178 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/mlp.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "nn/tensor.h"
+
+namespace tmn::nn {
+namespace {
+
+TEST(LinearTest, ShapesAndParameterCount) {
+  Rng rng(1);
+  Linear linear(3, 5, rng);
+  EXPECT_EQ(linear.in_features(), 3);
+  EXPECT_EQ(linear.out_features(), 5);
+  EXPECT_EQ(linear.NumParameters(), 3u * 5u + 5u);
+  Tensor y = linear.Forward(Tensor::Zeros(4, 3));
+  EXPECT_EQ(y.rows(), 4);
+  EXPECT_EQ(y.cols(), 5);
+  // Zero input -> bias (zero-initialized).
+  for (float v : y.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(LinearTest, DeterministicForSameSeed) {
+  Rng rng1(7), rng2(7);
+  Linear a(4, 4, rng1), b(4, 4, rng2);
+  EXPECT_EQ(a.weight().data(), b.weight().data());
+}
+
+TEST(LstmTest, OutputShapeMatchesSteps) {
+  Rng rng(2);
+  Lstm lstm(3, 6, rng);
+  Tensor x = Tensor::Zeros(7, 3);
+  EXPECT_EQ(lstm.Forward(x).rows(), 7);
+  EXPECT_EQ(lstm.Forward(x).cols(), 6);
+  EXPECT_EQ(lstm.Forward(x, 4).rows(), 4);
+}
+
+TEST(LstmTest, HiddenStatesBounded) {
+  // h = o * tanh(c) is always in (-1, 1).
+  Rng rng(3);
+  Lstm lstm(2, 4, rng);
+  std::vector<float> big(20, 100.0f);
+  Tensor x = Tensor::FromData(10, 2, std::move(big));
+  Tensor z = lstm.Forward(x);
+  for (float v : z.data()) {
+    EXPECT_GT(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(LstmTest, PrefixConsistency) {
+  // Output row t only depends on inputs up to t: running the LSTM on a
+  // prefix must reproduce the corresponding rows exactly.
+  Rng rng(4);
+  Lstm lstm(2, 4, rng);
+  Rng data_rng(5);
+  std::vector<float> data(12);
+  for (float& v : data) v = static_cast<float>(data_rng.Uniform(-1, 1));
+  Tensor x = Tensor::FromData(6, 2, std::move(data));
+  Tensor full = lstm.Forward(x);
+  Tensor prefix = lstm.Forward(x, 3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(full.at(r, c), prefix.at(r, c));
+    }
+  }
+}
+
+TEST(LstmTest, ForgetGateBiasInitializedToOne) {
+  Rng rng(6);
+  LstmCell cell(2, 3, rng);
+  const Tensor& bias = cell.parameters()[2];
+  for (int j = 0; j < 3; ++j) EXPECT_EQ(bias.data()[j], 0.0f);        // i
+  for (int j = 3; j < 6; ++j) EXPECT_EQ(bias.data()[j], 1.0f);        // f
+  for (int j = 6; j < 12; ++j) EXPECT_EQ(bias.data()[j], 0.0f);       // g,o
+}
+
+TEST(MlpTest, LayerCountAndShape) {
+  Rng rng(7);
+  Mlp mlp({4, 8, 8, 2}, rng);
+  EXPECT_EQ(mlp.num_layers(), 3u);
+  Tensor y = mlp.Forward(Tensor::Zeros(5, 4));
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 2);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // f(x) = sum((x - target)^2) has a unique minimum at target.
+  Tensor x = Tensor::FromData(1, 3, {5.0f, -4.0f, 2.0f},
+                              /*requires_grad=*/true);
+  Tensor target = Tensor::FromData(1, 3, {1.0f, 2.0f, -1.0f});
+  Adam adam({x}, 0.1);
+  for (int i = 0; i < 300; ++i) {
+    adam.ZeroGrad();
+    Tensor loss = Sum(Square(Sub(x, target)));
+    loss.Backward();
+    adam.Step();
+  }
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(x.data()[j], target.data()[j], 1e-2f);
+  }
+}
+
+TEST(SgdTest, SingleStepMatchesFormula) {
+  Tensor x = Tensor::FromData(1, 2, {1.0f, 2.0f}, /*requires_grad=*/true);
+  Sgd sgd({x}, 0.5);
+  sgd.ZeroGrad();
+  Sum(Square(x)).Backward();  // grad = 2x = (2, 4).
+  sgd.Step();
+  EXPECT_FLOAT_EQ(x.data()[0], 0.0f);  // 1 - 0.5*2.
+  EXPECT_FLOAT_EQ(x.data()[1], 0.0f);  // 2 - 0.5*4.
+}
+
+TEST(ClipGradNormTest, RescalesWhenAboveThreshold) {
+  Tensor x = Tensor::FromData(1, 2, {0.0f, 0.0f}, /*requires_grad=*/true);
+  x.grad()[0] = 3.0f;
+  x.grad()[1] = 4.0f;  // Norm 5.
+  std::vector<Tensor> params{x};
+  const double norm = ClipGradNorm(params, 1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(x.grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(x.grad()[1], 0.8f, 1e-5f);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Tensor x = Tensor::FromData(1, 2, {0.0f, 0.0f}, /*requires_grad=*/true);
+  x.grad()[0] = 0.3f;
+  std::vector<Tensor> params{x};
+  ClipGradNorm(params, 1.0);
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.3f);
+}
+
+TEST(SerializeTest, RoundTripPreservesValues) {
+  Rng rng(8);
+  Linear source(3, 4, rng);
+  const std::string path = ::testing::TempDir() + "/params.bin";
+  ASSERT_TRUE(SaveParameters(path, source.parameters()));
+
+  Rng rng2(99);  // Different init.
+  Linear loaded(3, 4, rng2);
+  std::vector<Tensor> params = loaded.parameters();
+  ASSERT_TRUE(LoadParameters(path, params));
+  EXPECT_EQ(loaded.weight().data(), source.weight().data());
+  EXPECT_EQ(loaded.bias().data(), source.bias().data());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  Rng rng(9);
+  Linear source(3, 4, rng);
+  const std::string path = ::testing::TempDir() + "/params_mismatch.bin";
+  ASSERT_TRUE(SaveParameters(path, source.parameters()));
+  Linear other(4, 3, rng);
+  std::vector<Tensor> params = other.parameters();
+  EXPECT_FALSE(LoadParameters(path, params));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsMissingFileAndBadMagic) {
+  std::vector<Tensor> params{Tensor::Zeros(1, 1, true)};
+  EXPECT_FALSE(LoadParameters("/nonexistent/file.bin", params));
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("garbage!", 1, 8, f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadParameters(path, params));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tmn::nn

@@ -1,0 +1,188 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace tmn::nn {
+namespace {
+
+void ExpectTensorNear(const Tensor& t, const std::vector<float>& expected,
+                      float tol = 1e-6f) {
+  ASSERT_EQ(t.data().size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(t.data()[i], expected[i], tol) << "index " << i;
+  }
+}
+
+TEST(OpsTest, ElementwiseArithmetic) {
+  Tensor a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData(2, 2, {10, 20, 30, 40});
+  ExpectTensorNear(Add(a, b), {11, 22, 33, 44});
+  ExpectTensorNear(Sub(b, a), {9, 18, 27, 36});
+  ExpectTensorNear(Mul(a, b), {10, 40, 90, 160});
+  ExpectTensorNear(Div(b, a), {10, 10, 10, 10});
+}
+
+TEST(OpsTest, AddRowVectorBroadcasts) {
+  Tensor m = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor r = Tensor::FromData(1, 3, {10, 20, 30});
+  ExpectTensorNear(AddRowVector(m, r), {11, 22, 33, 14, 25, 36});
+}
+
+TEST(OpsTest, ScalarOps) {
+  Tensor a = Tensor::FromData(1, 3, {1, -2, 3});
+  ExpectTensorNear(MulScalar(a, 2.0), {2, -4, 6});
+  ExpectTensorNear(AddConst(a, 1.0), {2, -1, 4});
+}
+
+TEST(OpsTest, MatMulKnownValues) {
+  Tensor a = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData(3, 2, {7, 8, 9, 10, 11, 12});
+  ExpectTensorNear(MatMul(a, b), {58, 64, 139, 154});
+}
+
+TEST(OpsTest, MatMulIdentity) {
+  Tensor a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  Tensor eye = Tensor::FromData(2, 2, {1, 0, 0, 1});
+  ExpectTensorNear(MatMul(a, eye), {1, 2, 3, 4});
+  ExpectTensorNear(MatMul(eye, a), {1, 2, 3, 4});
+}
+
+TEST(OpsTest, TransposeRoundTrip) {
+  Tensor a = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(a);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  ExpectTensorNear(t, {1, 4, 2, 5, 3, 6});
+  ExpectTensorNear(Transpose(t), {1, 2, 3, 4, 5, 6});
+}
+
+TEST(OpsTest, Nonlinearities) {
+  Tensor a = Tensor::FromData(1, 3, {-2, 0, 2});
+  ExpectTensorNear(LeakyRelu(a), {-0.2f, 0.0f, 2.0f});
+  ExpectTensorNear(Relu(a), {0, 0, 2});
+  ExpectTensorNear(Tanh(a),
+                   {std::tanh(-2.0f), 0.0f, std::tanh(2.0f)});
+  ExpectTensorNear(
+      Sigmoid(a),
+      {1.0f / (1.0f + std::exp(2.0f)), 0.5f, 1.0f / (1.0f + std::exp(-2.0f))});
+  ExpectTensorNear(Exp(Tensor::FromData(1, 2, {0, 1})),
+                   {1.0f, std::exp(1.0f)});
+  ExpectTensorNear(Square(a), {4, 0, 4});
+  ExpectTensorNear(Sqrt(Tensor::FromData(1, 2, {4, 9})), {2, 3});
+}
+
+TEST(OpsTest, LeakyReluCustomSlope) {
+  Tensor a = Tensor::FromData(1, 2, {-10, 10});
+  ExpectTensorNear(LeakyRelu(a, 0.01), {-0.1f, 10.0f});
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor a = Tensor::FromData(2, 3, {1, 2, 3, -1, 0, 1});
+  Tensor s = SoftmaxRows(a);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 3; ++c) sum += s.at(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  }
+  // Larger logit -> larger probability.
+  EXPECT_GT(s.at(0, 2), s.at(0, 1));
+  EXPECT_GT(s.at(0, 1), s.at(0, 0));
+}
+
+TEST(OpsTest, SoftmaxNumericallyStableForLargeLogits) {
+  Tensor a = Tensor::FromData(1, 2, {1000.0f, 1000.0f});
+  Tensor s = SoftmaxRows(a);
+  EXPECT_NEAR(s.at(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(s.at(0, 1), 0.5f, 1e-6f);
+}
+
+TEST(OpsTest, SoftmaxRowsMaskedZerosPaddedColumns) {
+  Tensor a = Tensor::FromData(1, 4, {1, 2, 100, 100});
+  Tensor s = SoftmaxRowsMasked(a, 2);
+  EXPECT_EQ(s.at(0, 2), 0.0f);
+  EXPECT_EQ(s.at(0, 3), 0.0f);
+  EXPECT_NEAR(s.at(0, 0) + s.at(0, 1), 1.0f, 1e-6f);
+}
+
+TEST(OpsTest, MaskedSoftmaxEqualsUnpaddedSoftmax) {
+  // The paper pads trajectories and masks the attention; computing on the
+  // unpadded matrix must give the same probabilities.
+  Tensor unpadded = Tensor::FromData(2, 2, {0.3f, -0.7f, 1.2f, 0.1f});
+  Tensor padded =
+      Tensor::FromData(2, 4, {0.3f, -0.7f, 9.0f, 9.0f, 1.2f, 0.1f, 9.0f, 9.0f});
+  Tensor s_unpadded = SoftmaxRows(unpadded);
+  Tensor s_padded = SoftmaxRowsMasked(padded, 2);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_NEAR(s_unpadded.at(r, c), s_padded.at(r, c), 1e-6f);
+    }
+  }
+}
+
+TEST(OpsTest, ZeroRowsBeyondMasksPadding) {
+  Tensor a = Tensor::FromData(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor masked = ZeroRowsBeyond(a, 2);
+  ExpectTensorNear(masked, {1, 2, 3, 4, 0, 0});
+  ExpectTensorNear(ZeroRowsBeyond(a, 3), {1, 2, 3, 4, 5, 6});
+  ExpectTensorNear(ZeroRowsBeyond(a, 0), {0, 0, 0, 0, 0, 0});
+}
+
+TEST(OpsTest, ConcatColsLayout) {
+  Tensor a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData(2, 1, {9, 8});
+  Tensor c = ConcatCols(a, b);
+  EXPECT_EQ(c.cols(), 3);
+  ExpectTensorNear(c, {1, 2, 9, 3, 4, 8});
+}
+
+TEST(OpsTest, StackRowsLayout) {
+  Tensor r0 = Tensor::FromData(1, 2, {1, 2});
+  Tensor r1 = Tensor::FromData(1, 2, {3, 4});
+  Tensor s = StackRows({r0, r1});
+  EXPECT_EQ(s.rows(), 2);
+  ExpectTensorNear(s, {1, 2, 3, 4});
+}
+
+TEST(OpsTest, RowAndSliceCols) {
+  Tensor a = Tensor::FromData(2, 4, {1, 2, 3, 4, 5, 6, 7, 8});
+  ExpectTensorNear(Row(a, 1), {5, 6, 7, 8});
+  Tensor s = SliceCols(a, 1, 2);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.cols(), 2);
+  ExpectTensorNear(s, {2, 3, 6, 7});
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(Sum(a).item(), 10.0f);
+  EXPECT_FLOAT_EQ(Mean(a).item(), 2.5f);
+  ExpectTensorNear(MeanRows(a), {2, 3});
+}
+
+TEST(OpsTest, ScaleByScalarAndTileRows) {
+  Tensor a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  Tensor s = Tensor::Scalar(3.0f);
+  ExpectTensorNear(ScaleByScalar(a, s), {3, 6, 9, 12});
+  Tensor row = Tensor::FromData(1, 2, {5, 6});
+  Tensor tiled = TileRows(row, 3);
+  EXPECT_EQ(tiled.rows(), 3);
+  ExpectTensorNear(tiled, {5, 6, 5, 6, 5, 6});
+}
+
+TEST(OpsTest, EuclideanDistanceComposite) {
+  Tensor a = Tensor::FromData(1, 2, {0, 0});
+  Tensor b = Tensor::FromData(1, 2, {3, 4});
+  EXPECT_NEAR(EuclideanDistance(a, b).item(), 5.0f, 1e-4f);
+}
+
+TEST(OpsTest, WeightedSumScalars) {
+  std::vector<Tensor> terms{Tensor::Scalar(1.0f), Tensor::Scalar(2.0f),
+                            Tensor::Scalar(3.0f)};
+  EXPECT_FLOAT_EQ(WeightedSumScalars(terms, {1.0, 0.5, 2.0}).item(), 8.0f);
+}
+
+}  // namespace
+}  // namespace tmn::nn

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "nn/grad_check.h"
+#include "nn/gru.h"
+#include "nn/ops.h"
+#include "nn/rnn.h"
+
+namespace tmn::nn {
+namespace {
+
+Tensor RandomLeaf(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(static_cast<size_t>(rows) * cols);
+  for (float& v : data) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return Tensor::FromData(rows, cols, std::move(data),
+                          /*requires_grad=*/true);
+}
+
+Tensor Probe(const Tensor& t) {
+  std::vector<float> weights(t.numel());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 0.2f + 0.07f * static_cast<float>(i % 5);
+  }
+  return Sum(Mul(t, Tensor::FromData(t.rows(), t.cols(),
+                                     std::move(weights))));
+}
+
+TEST(GruTest, OutputShape) {
+  Rng rng(1);
+  Gru gru(3, 5, rng);
+  Tensor x = Tensor::Zeros(7, 3);
+  Tensor z = gru.Forward(x);
+  EXPECT_EQ(z.rows(), 7);
+  EXPECT_EQ(z.cols(), 5);
+  EXPECT_EQ(gru.Forward(x, 2).rows(), 2);
+}
+
+TEST(GruTest, ZeroInputZeroStateGivesZeroHidden) {
+  // With zero biases, x = 0 and h = 0: n = tanh(0) = 0, so h' = 0.
+  Rng rng(2);
+  GruCell cell(2, 3, rng);
+  Tensor h = cell.Step(Tensor::Zeros(1, 2), cell.InitialState());
+  for (float v : h.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(GruTest, HiddenStatesBounded) {
+  // h' is a convex combination of tanh outputs and the previous h, so
+  // |h| <= 1 (tanh saturates to exactly 1.0f in float for large inputs).
+  Rng rng(3);
+  Gru gru(2, 4, rng);
+  std::vector<float> big(20, 50.0f);
+  Tensor x = Tensor::FromData(10, 2, std::move(big));
+  Tensor z = gru.Forward(x);
+  for (float v : z.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(GruTest, PrefixConsistency) {
+  Rng rng(4);
+  Gru gru(2, 4, rng);
+  Tensor x = RandomLeaf(6, 2, 5).Detach();
+  Tensor full = gru.Forward(x);
+  Tensor prefix = gru.Forward(x, 3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(full.at(r, c), prefix.at(r, c));
+    }
+  }
+}
+
+TEST(GruTest, GradientsMatchNumeric) {
+  Rng rng(6);
+  GruCell cell(3, 4, rng);
+  Tensor x = RandomLeaf(1, 3, 7);
+  const auto loss = [&] {
+    Tensor h = cell.InitialState();
+    h = cell.Step(x, h);
+    h = cell.Step(x, h);
+    return Probe(h);
+  };
+  EXPECT_LT(MaxGradError(loss, x), 2e-2);
+  for (Tensor& p : cell.mutable_parameters()) {
+    EXPECT_LT(MaxGradError(loss, p), 2e-2);
+  }
+}
+
+TEST(RnnTest, Names) {
+  EXPECT_EQ(RnnName(RnnKind::kLstm), "LSTM");
+  EXPECT_EQ(RnnName(RnnKind::kGru), "GRU");
+}
+
+TEST(RnnTest, FacadeMatchesUnderlyingCell) {
+  Rng rng1(8), rng2(8);
+  Rnn rnn(RnnKind::kGru, 2, 3, rng1);
+  Gru gru(2, 3, rng2);
+  Tensor x = RandomLeaf(5, 2, 9).Detach();
+  EXPECT_EQ(rnn.Forward(x).data(), gru.Forward(x).data());
+}
+
+TEST(RnnTest, LstmAndGruDiffer) {
+  Rng rng1(10), rng2(10);
+  Rnn lstm(RnnKind::kLstm, 2, 3, rng1);
+  Rnn gru(RnnKind::kGru, 2, 3, rng2);
+  Tensor x = RandomLeaf(4, 2, 11).Detach();
+  EXPECT_NE(lstm.Forward(x).data(), gru.Forward(x).data());
+}
+
+TEST(RnnTest, ParameterCounts) {
+  Rng rng(12);
+  Rnn lstm(RnnKind::kLstm, 4, 8, rng);
+  Rnn gru(RnnKind::kGru, 4, 8, rng);
+  // LSTM: 4h gates -> (4+8)*32 + 32; GRU: 3h gates -> (4+8)*24 + 2*24.
+  EXPECT_EQ(lstm.NumParameters(), (4u + 8u) * 32u + 32u);
+  EXPECT_EQ(gru.NumParameters(), (4u + 8u) * 24u + 48u);
+}
+
+}  // namespace
+}  // namespace tmn::nn

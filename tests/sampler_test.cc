@@ -1,0 +1,158 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/sampler.h"
+#include "data/synthetic.h"
+#include "distance/distance_matrix.h"
+#include "distance/metric.h"
+#include "geo/preprocess.h"
+
+namespace tmn::core {
+namespace {
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto raw = data::GeneratePortoLike(40, 101);
+    const geo::NormalizationParams params = geo::ComputeNormalization(raw);
+    trajs_ = geo::NormalizeTrajectories(raw, params);
+    metric_ = dist::CreateMetric(dist::MetricType::kDtw);
+    distances_ = dist::ComputeDistanceMatrix(trajs_, *metric_, 1);
+  }
+
+  std::vector<geo::Trajectory> trajs_;
+  std::unique_ptr<dist::DistanceMetric> metric_;
+  DoubleMatrix distances_;
+};
+
+TEST(RankWeightsTest, MatchesPaperFormulaAndSumsToOne) {
+  const auto w = RankWeights(4);
+  ASSERT_EQ(w.size(), 4u);
+  // [2n/(n^2+n), ...] with n=4 -> denom 20: 8/20, 6/20, 4/20, 2/20.
+  EXPECT_DOUBLE_EQ(w[0], 0.4);
+  EXPECT_DOUBLE_EQ(w[1], 0.3);
+  EXPECT_DOUBLE_EQ(w[2], 0.2);
+  EXPECT_DOUBLE_EQ(w[3], 0.1);
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(RankWeightsTest, DecreasingForAllSizes) {
+  for (size_t n : {1u, 2u, 5u, 10u, 25u}) {
+    const auto w = RankWeights(n);
+    for (size_t i = 1; i < w.size(); ++i) EXPECT_GT(w[i - 1], w[i]);
+  }
+}
+
+TEST_F(SamplerTest, RandomSortProducesNearThenFar) {
+  RandomSortSampler sampler(&distances_, 10);
+  nn::Rng rng(5);
+  const auto samples = sampler.SampleFor(3, rng);
+  ASSERT_EQ(samples.size(), 10u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_TRUE(samples[i].is_near);
+  for (size_t i = 5; i < 10; ++i) EXPECT_FALSE(samples[i].is_near);
+}
+
+TEST_F(SamplerTest, RandomSortNearAlwaysCloserThanFar) {
+  RandomSortSampler sampler(&distances_, 12);
+  nn::Rng rng(6);
+  for (size_t anchor = 0; anchor < 10; ++anchor) {
+    const auto samples = sampler.SampleFor(anchor, rng);
+    double max_near = 0.0;
+    double min_far = 1e300;
+    for (const auto& s : samples) {
+      const double d = distances_.at(anchor, s.index);
+      if (s.is_near) {
+        max_near = std::max(max_near, d);
+      } else {
+        min_far = std::min(min_far, d);
+      }
+    }
+    EXPECT_LE(max_near, min_far);
+  }
+}
+
+TEST_F(SamplerTest, RandomSortExcludesAnchorAndIsDistinct) {
+  RandomSortSampler sampler(&distances_, 20);
+  nn::Rng rng(7);
+  for (size_t anchor = 0; anchor < trajs_.size(); ++anchor) {
+    const auto samples = sampler.SampleFor(anchor, rng);
+    std::set<size_t> seen;
+    for (const auto& s : samples) {
+      EXPECT_NE(s.index, anchor);
+      EXPECT_LT(s.index, trajs_.size());
+      EXPECT_TRUE(seen.insert(s.index).second) << "duplicate sample";
+    }
+  }
+}
+
+TEST_F(SamplerTest, RandomSortWeightsAreRankWeights) {
+  RandomSortSampler sampler(&distances_, 8);
+  nn::Rng rng(8);
+  const auto samples = sampler.SampleFor(0, rng);
+  const auto expected = RankWeights(4);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(samples[i].weight, expected[i]);
+    EXPECT_DOUBLE_EQ(samples[4 + i].weight, expected[i]);
+  }
+  // Near half ordered most-similar first.
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_LE(distances_.at(0, samples[i - 1].index),
+              distances_.at(0, samples[i].index));
+  }
+}
+
+TEST_F(SamplerTest, KdTreeSamplerNearComesFromSummaryNeighbors) {
+  KdTreeSampler sampler(trajs_, &distances_, 10);
+  nn::Rng rng(9);
+  const auto samples = sampler.SampleFor(2, rng);
+  ASSERT_EQ(samples.size(), 10u);
+  std::set<size_t> seen;
+  for (const auto& s : samples) {
+    EXPECT_NE(s.index, 2u);
+    EXPECT_TRUE(seen.insert(s.index).second);
+  }
+  size_t near_count = 0;
+  for (const auto& s : samples) near_count += s.is_near ? 1 : 0;
+  EXPECT_EQ(near_count, 5u);
+}
+
+TEST_F(SamplerTest, KdTreeNearSetIsDeterministic) {
+  KdTreeSampler sampler(trajs_, &distances_, 10);
+  nn::Rng rng1(1), rng2(2);
+  const auto s1 = sampler.SampleFor(4, rng1);
+  const auto s2 = sampler.SampleFor(4, rng2);
+  // Near halves identical regardless of rng (kNN is deterministic);
+  // far halves are random.
+  std::set<size_t> near1, near2;
+  for (size_t i = 0; i < 5; ++i) {
+    near1.insert(s1[i].index);
+    near2.insert(s2[i].index);
+  }
+  EXPECT_EQ(near1, near2);
+}
+
+TEST_F(SamplerTest, SamplersDisagreeOnNearSets) {
+  // The point of Table IV: the two strategies pick different near sets.
+  RandomSortSampler random_sampler(&distances_, 10);
+  KdTreeSampler kd_sampler(trajs_, &distances_, 10);
+  nn::Rng rng(11);
+  bool any_difference = false;
+  for (size_t anchor = 0; anchor < 10 && !any_difference; ++anchor) {
+    std::set<size_t> a, b;
+    nn::Rng r1(anchor), r2(anchor);
+    for (const auto& s : random_sampler.SampleFor(anchor, r1)) {
+      if (s.is_near) a.insert(s.index);
+    }
+    for (const auto& s : kd_sampler.SampleFor(anchor, r2)) {
+      if (s.is_near) b.insert(s.index);
+    }
+    if (a != b) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace tmn::core

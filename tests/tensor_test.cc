@@ -1,0 +1,176 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+#include "nn/rng.h"
+#include "nn/tensor.h"
+
+namespace tmn::nn {
+namespace {
+
+TEST(TensorTest, ZerosAndFull) {
+  Tensor z = Tensor::Zeros(2, 3);
+  EXPECT_EQ(z.rows(), 2);
+  EXPECT_EQ(z.cols(), 3);
+  EXPECT_EQ(z.numel(), 6);
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+  Tensor f = Tensor::Full(1, 2, 3.5f);
+  for (float v : f.data()) EXPECT_EQ(v, 3.5f);
+}
+
+TEST(TensorTest, FromDataAndAt) {
+  Tensor t = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  EXPECT_EQ(Tensor::Scalar(2.5f).item(), 2.5f);
+}
+
+TEST(TensorTest, DefaultHandleIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_TRUE(Tensor::Zeros(1, 1).defined());
+}
+
+TEST(TensorTest, SharedHandleSemantics) {
+  Tensor a = Tensor::Zeros(1, 2);
+  Tensor b = a;  // Same storage.
+  b.data()[0] = 7.0f;
+  EXPECT_EQ(a.data()[0], 7.0f);
+}
+
+TEST(TensorTest, DetachCopiesValuesDropsGraph) {
+  Tensor a = Tensor::FromData(1, 2, {1, 2}, /*requires_grad=*/true);
+  Tensor b = Add(a, a);
+  Tensor d = b.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.at(0, 1), 4.0f);
+  d.data()[1] = 9.0f;  // Does not touch b.
+  EXPECT_EQ(b.at(0, 1), 4.0f);
+}
+
+TEST(TensorTest, XavierUniformBounds) {
+  Rng rng(5);
+  Tensor w = Tensor::XavierUniform(30, 50, rng);
+  EXPECT_TRUE(w.requires_grad());
+  const double bound = std::sqrt(6.0 / 80.0);
+  for (float v : w.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+  // Not all identical.
+  EXPECT_NE(w.data()[0], w.data()[1]);
+}
+
+TEST(TensorTest, BackwardOnSimpleChain) {
+  Tensor x = Tensor::Scalar(3.0f, /*requires_grad=*/true);
+  Tensor y = Mul(x, x);  // y = x^2, dy/dx = 2x = 6.
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+}
+
+TEST(TensorTest, BackwardAccumulatesAcrossCalls) {
+  Tensor x = Tensor::Scalar(2.0f, /*requires_grad=*/true);
+  Mul(x, x).Backward();
+  Mul(x, x).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 8.0f);  // 4 + 4.
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(TensorTest, DiamondGraphGradientsSumCorrectly) {
+  // z = (x + x) * x = 2x^2 -> dz/dx = 4x.
+  Tensor x = Tensor::Scalar(3.0f, /*requires_grad=*/true);
+  Tensor z = Mul(Add(x, x), x);
+  z.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);
+}
+
+TEST(TensorTest, NoGradGuardSuppressesGraph) {
+  Tensor x = Tensor::Scalar(3.0f, /*requires_grad=*/true);
+  {
+    NoGradGuard guard;
+    Tensor y = Mul(x, x);
+    EXPECT_EQ(y.item(), 9.0f);
+    // y has no recorded parents, so backward from a later graph sees
+    // nothing; x.grad stays zero because y is a leaf.
+    EXPECT_FALSE(y.requires_grad());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
+TEST(TensorTest, NoGradGuardNests) {
+  NoGradGuard outer;
+  EXPECT_FALSE(GradModeEnabled());
+  {
+    NoGradGuard inner;
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_FALSE(GradModeEnabled());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(10);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    ++counts[rng.UniformInt(7)];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // Roughly uniform.
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(12);
+  const auto picks = rng.SampleWithoutReplacement(50, 20);
+  ASSERT_EQ(picks.size(), 20u);
+  std::vector<bool> seen(50, false);
+  for (size_t p : picks) {
+    ASSERT_LT(p, 50u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+}  // namespace
+}  // namespace tmn::nn

@@ -1,0 +1,202 @@
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/sampler.h"
+#include "core/tmn_model.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "distance/distance_matrix.h"
+#include "distance/metric.h"
+#include "eval/evaluation.h"
+#include "geo/preprocess.h"
+
+namespace tmn::core {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto raw = data::GeneratePortoLike(30, 201);
+    trajs_ =
+        geo::NormalizeTrajectories(raw, geo::ComputeNormalization(raw));
+    metric_ = dist::CreateMetric(dist::MetricType::kDtw);
+    distances_ = dist::ComputeDistanceMatrix(trajs_, *metric_, 1);
+  }
+
+  TrainConfig SmallConfig() const {
+    TrainConfig config;
+    config.epochs = 2;
+    config.lr = 5e-3;
+    config.sampling_num = 6;
+    config.sub_stride = 10;
+    config.alpha = SuggestAlpha(distances_);
+    config.seed = 3;
+    return config;
+  }
+
+  std::vector<geo::Trajectory> trajs_;
+  std::unique_ptr<dist::DistanceMetric> metric_;
+  DoubleMatrix distances_;
+};
+
+TEST_F(TrainerTest, SuggestAlphaInverseOfMeanDistance) {
+  DoubleMatrix d(2, 2, 0.0);
+  d.at(0, 1) = d.at(1, 0) = 4.0;
+  EXPECT_DOUBLE_EQ(SuggestAlpha(d), 0.25);
+}
+
+TEST_F(TrainerTest, TrainingReducesLoss) {
+  TmnModelConfig model_config;
+  model_config.hidden_dim = 8;
+  model_config.seed = 4;
+  TmnModel model(model_config);
+  RandomSortSampler sampler(&distances_, 6);
+  TrainConfig config = SmallConfig();
+  config.epochs = 6;
+  PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(), &sampler,
+                      config);
+  const std::vector<double> losses = trainer.Train();
+  ASSERT_EQ(losses.size(), 6u);
+  for (double l : losses) EXPECT_TRUE(std::isfinite(l));
+  // Loss after training below the first epoch's.
+  EXPECT_LT(losses.back(), losses.front());
+  EXPECT_EQ(trainer.epochs_completed(), 6);
+}
+
+TEST_F(TrainerTest, ParametersActuallyChange) {
+  TmnModelConfig model_config;
+  model_config.hidden_dim = 8;
+  TmnModel model(model_config);
+  const std::vector<float> before = model.Parameters()[0].data();
+  RandomSortSampler sampler(&distances_, 6);
+  PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(), &sampler,
+                      SmallConfig());
+  trainer.TrainEpoch();
+  EXPECT_NE(model.Parameters()[0].data(), before);
+}
+
+TEST_F(TrainerTest, SubLossRequiresMetric) {
+  TmnModelConfig model_config;
+  model_config.hidden_dim = 8;
+  TmnModel model(model_config);
+  RandomSortSampler sampler(&distances_, 6);
+  TrainConfig config = SmallConfig();
+  config.use_sub_loss = false;
+  // Without the sub loss, a null metric is fine.
+  PairTrainer trainer(&model, &trajs_, &distances_, nullptr, &sampler,
+                      config);
+  const double loss = trainer.TrainEpoch();
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST_F(TrainerTest, TrainingImprovesRankingOverUntrained) {
+  TmnModelConfig model_config;
+  model_config.hidden_dim = 16;
+  model_config.seed = 5;
+
+  eval::EvalOptions options;
+  options.num_queries = 15;
+  options.k_small = 3;
+  options.k_large = 10;
+
+  TmnModel untrained(model_config);
+  const eval::SearchQuality before =
+      eval::EvaluateSearch(untrained, trajs_, distances_, options);
+
+  TmnModel model(model_config);
+  RandomSortSampler sampler(&distances_, 10);
+  TrainConfig config = SmallConfig();
+  config.sampling_num = 10;
+  config.epochs = 8;
+  PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(), &sampler,
+                      config);
+  trainer.Train();
+  const eval::SearchQuality after =
+      eval::EvaluateSearch(model, trajs_, distances_, options);
+  // Training on DTW must improve (or at least not hurt) the DTW ranking.
+  EXPECT_GE(after.hr10 + 1e-9, before.hr10);
+  EXPECT_GT(after.r10_at_50, 0.2);
+}
+
+TEST_F(TrainerTest, QErrorLossTrainsWithoutNan) {
+  TmnModelConfig model_config;
+  model_config.hidden_dim = 8;
+  TmnModel model(model_config);
+  RandomSortSampler sampler(&distances_, 6);
+  TrainConfig config = SmallConfig();
+  config.loss = LossKind::kQError;
+  PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(), &sampler,
+                      config);
+  const auto losses = trainer.Train();
+  for (double l : losses) EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST_F(TrainerTest, NanParametersAreSkippedNotFatal) {
+  // Failure injection: poison a parameter with NaN. Every batch loss
+  // becomes non-finite; the trainer must skip all updates (leaving the
+  // other parameters untouched) instead of propagating NaN or crashing.
+  TmnModelConfig model_config;
+  model_config.hidden_dim = 8;
+  TmnModel model(model_config);
+  nn::Tensor poisoned = model.Parameters()[0];
+  poisoned.data()[0] = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> other_before = model.Parameters()[2].data();
+  RandomSortSampler sampler(&distances_, 6);
+  PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(), &sampler,
+                      SmallConfig());
+  const double loss = trainer.TrainEpoch();
+  EXPECT_EQ(loss, 0.0);  // No batch contributed.
+  EXPECT_EQ(model.Parameters()[2].data(), other_before);
+}
+
+TEST_F(TrainerTest, HugeLearningRateDoesNotProduceNanWithClipping) {
+  TmnModelConfig model_config;
+  model_config.hidden_dim = 8;
+  TmnModel model(model_config);
+  RandomSortSampler sampler(&distances_, 6);
+  TrainConfig config = SmallConfig();
+  config.lr = 1.0;  // Absurd, but clipping + NaN guard must keep us alive.
+  config.epochs = 2;
+  PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(), &sampler,
+                      config);
+  const auto losses = trainer.Train();
+  for (double l : losses) EXPECT_TRUE(std::isfinite(l));
+  for (const nn::Tensor& p : model.Parameters()) {
+    for (float v : p.data()) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_F(TrainerTest, GruBackboneTrains) {
+  TmnModelConfig model_config;
+  model_config.hidden_dim = 8;
+  model_config.rnn = nn::RnnKind::kGru;
+  TmnModel model(model_config);
+  RandomSortSampler sampler(&distances_, 6);
+  TrainConfig config = SmallConfig();
+  config.epochs = 4;
+  PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(), &sampler,
+                      config);
+  const auto losses = trainer.Train();
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST_F(TrainerTest, DeterministicGivenSeeds) {
+  auto run = [&]() {
+    TmnModelConfig model_config;
+    model_config.hidden_dim = 8;
+    model_config.seed = 6;
+    TmnModel model(model_config);
+    RandomSortSampler sampler(&distances_, 6);
+    PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(),
+                        &sampler, SmallConfig());
+    trainer.TrainEpoch();
+    return model.Parameters()[0].data();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace tmn::core

@@ -1,0 +1,60 @@
+#ifndef TMN_TOOLS_FLAGS_H_
+#define TMN_TOOLS_FLAGS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace tmn::tools {
+
+// Minimal --key=value / --key value command-line flag parser for the CLI
+// tools. Unknown flags are collected; positional arguments (the
+// subcommand) are read by the caller before constructing this.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) !=
+                                     0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.contains(key); }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoll(it->second.c_str(), nullptr,
+                                              10);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tmn::tools
+
+#endif  // TMN_TOOLS_FLAGS_H_

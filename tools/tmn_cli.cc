@@ -1,0 +1,251 @@
+// tmn_cli — command-line front end for the library.
+//
+//   tmn_cli generate  --kind porto|geolife --n 200 --seed 7 --out t.csv
+//   tmn_cli distance  --input t.csv --metric dtw [--i 0 --j 1]
+//   tmn_cli train     --input t.csv --metric dtw --model m.tmn
+//                     [--dim 32 --epochs 6 --lr 5e-3 --sn 10 --train-ratio
+//                      0.3 --no-matching --rnn lstm|gru]
+//   tmn_cli search    --input t.csv --model m.tmn --query 0 --k 5
+//   tmn_cli eval      --input t.csv --model m.tmn --metric dtw
+//                     [--queries 25]
+//
+// Input CSVs use the library's `id,point_index,lon,lat` format; train
+// normalizes coordinates internally and search/eval expect the same file.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/model_io.h"
+#include "core/sampler.h"
+#include "core/tmn_model.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "distance/distance_matrix.h"
+#include "distance/metric.h"
+#include "eval/evaluation.h"
+#include "eval/metrics.h"
+#include "geo/preprocess.h"
+#include "tools/flags.h"
+
+namespace {
+
+using tmn::tools::Flags;
+
+// Alpha for the similarity transform: explicit flag or data-derived.
+double AlphaFor(const Flags& flags, const tmn::DoubleMatrix& distances) {
+  return flags.Has("alpha") ? flags.GetDouble("alpha", 8.0)
+                            : tmn::core::SuggestAlpha(distances);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tmn_cli <generate|distance|train|search|eval> "
+               "[--flags]\n"
+               "run with a subcommand and see tools/tmn_cli.cc for the "
+               "full flag list\n");
+  return 2;
+}
+
+bool LoadNormalized(const std::string& path,
+                    std::vector<tmn::geo::Trajectory>* out) {
+  std::vector<tmn::geo::Trajectory> raw;
+  if (!tmn::data::LoadCsv(path, &raw) || raw.empty()) {
+    std::fprintf(stderr, "error: cannot read trajectories from %s\n",
+                 path.c_str());
+    return false;
+  }
+  raw = tmn::geo::FilterByMinLength(raw, 2);
+  const tmn::geo::NormalizationParams params =
+      tmn::geo::ComputeNormalization(raw);
+  *out = tmn::geo::NormalizeTrajectories(raw, params);
+  return true;
+}
+
+int CmdGenerate(const Flags& flags) {
+  tmn::data::SyntheticConfig config;
+  const std::string kind = flags.GetString("kind", "porto");
+  config.kind = kind == "geolife" ? tmn::data::SyntheticKind::kGeolifeLike
+                                  : tmn::data::SyntheticKind::kPortoLike;
+  config.num_trajectories = static_cast<int>(flags.GetInt("n", 200));
+  config.min_length = static_cast<int>(flags.GetInt("min-len", 15));
+  config.max_length = static_cast<int>(flags.GetInt("max-len", 45));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const std::string out = flags.GetString("out", "trajectories.csv");
+  const auto trajs = tmn::data::GenerateSynthetic(config);
+  if (!tmn::data::SaveCsv(out, trajs)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu %s-like trajectories to %s\n", trajs.size(),
+              kind.c_str(), out.c_str());
+  return 0;
+}
+
+int CmdDistance(const Flags& flags) {
+  std::vector<tmn::geo::Trajectory> trajs;
+  if (!LoadNormalized(flags.GetString("input", "trajectories.csv"), &trajs)) {
+    return 1;
+  }
+  const auto metric_type =
+      tmn::dist::MetricFromName(flags.GetString("metric", "dtw"));
+  if (!metric_type) {
+    std::fprintf(stderr, "error: unknown metric\n");
+    return 1;
+  }
+  tmn::dist::MetricParams params;
+  params.epsilon = flags.GetDouble("epsilon", 0.01);
+  const auto metric = tmn::dist::CreateMetric(*metric_type, params);
+  if (flags.Has("i") || flags.Has("j")) {
+    const size_t i = static_cast<size_t>(flags.GetInt("i", 0));
+    const size_t j = static_cast<size_t>(flags.GetInt("j", 1));
+    if (i >= trajs.size() || j >= trajs.size()) {
+      std::fprintf(stderr, "error: index out of range (have %zu)\n",
+                   trajs.size());
+      return 1;
+    }
+    std::printf("%s(%zu, %zu) = %.6f\n", metric->name().c_str(), i, j,
+                metric->Compute(trajs[i], trajs[j]));
+    return 0;
+  }
+  const tmn::DoubleMatrix d =
+      tmn::dist::ComputeDistanceMatrix(trajs, *metric);
+  std::printf("%s over %zu trajectories: mean off-diagonal %.6f\n",
+              metric->name().c_str(), trajs.size(),
+              tmn::dist::MeanOffDiagonal(d));
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  std::vector<tmn::geo::Trajectory> trajs;
+  if (!LoadNormalized(flags.GetString("input", "trajectories.csv"), &trajs)) {
+    return 1;
+  }
+  const auto metric_type =
+      tmn::dist::MetricFromName(flags.GetString("metric", "dtw"));
+  if (!metric_type) {
+    std::fprintf(stderr, "error: unknown metric\n");
+    return 1;
+  }
+  tmn::dist::MetricParams params;
+  params.epsilon = flags.GetDouble("epsilon", 0.01);
+  const auto metric = tmn::dist::CreateMetric(*metric_type, params);
+
+  const double train_ratio = flags.GetDouble("train-ratio", 0.3);
+  const tmn::data::Split split = tmn::data::SplitTrainTest(
+      trajs.size(), train_ratio, static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  const auto train = tmn::data::Gather(trajs, split.train_indices);
+  std::printf("training on %zu / %zu trajectories\n", train.size(),
+              trajs.size());
+
+  const tmn::DoubleMatrix distances =
+      tmn::dist::ComputeDistanceMatrix(train, *metric);
+
+  tmn::core::TmnModelConfig model_config;
+  model_config.hidden_dim = static_cast<int>(flags.GetInt("dim", 32));
+  model_config.use_matching = !flags.Has("no-matching");
+  model_config.rnn = flags.GetString("rnn", "lstm") == "gru"
+                         ? tmn::nn::RnnKind::kGru
+                         : tmn::nn::RnnKind::kLstm;
+  tmn::core::TmnModel model(model_config);
+
+  tmn::core::TrainConfig train_config;
+  train_config.epochs = static_cast<int>(flags.GetInt("epochs", 6));
+  train_config.lr = flags.GetDouble("lr", 5e-3);
+  train_config.sampling_num =
+      static_cast<size_t>(flags.GetInt("sn", 10));
+  train_config.alpha = AlphaFor(flags, distances);
+  tmn::core::RandomSortSampler sampler(&distances,
+                                       train_config.sampling_num);
+  tmn::core::PairTrainer trainer(&model, &train, &distances, metric.get(),
+                                 &sampler, train_config);
+  const auto losses = trainer.Train();
+  for (size_t e = 0; e < losses.size(); ++e) {
+    std::printf("epoch %zu: loss %.6f\n", e + 1, losses[e]);
+  }
+  const std::string out = flags.GetString("model", "model.tmn");
+  if (!tmn::core::SaveTmnModel(out, model)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("saved model (%zu parameters) to %s\n", model.NumParameters(),
+              out.c_str());
+  return 0;
+}
+
+int CmdSearch(const Flags& flags) {
+  std::vector<tmn::geo::Trajectory> trajs;
+  if (!LoadNormalized(flags.GetString("input", "trajectories.csv"), &trajs)) {
+    return 1;
+  }
+  const auto model =
+      tmn::core::LoadTmnModel(flags.GetString("model", "model.tmn"));
+  if (model == nullptr) {
+    std::fprintf(stderr, "error: cannot load model\n");
+    return 1;
+  }
+  const size_t query = static_cast<size_t>(flags.GetInt("query", 0));
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 5));
+  if (query >= trajs.size()) {
+    std::fprintf(stderr, "error: query index out of range\n");
+    return 1;
+  }
+  std::vector<double> scores(trajs.size(), 0.0);
+  for (size_t c = 0; c < trajs.size(); ++c) {
+    if (c == query) continue;
+    scores[c] = tmn::eval::PredictDistance(*model, trajs[query], trajs[c]);
+  }
+  const auto top = tmn::eval::TopKIndices(scores, k, query);
+  std::printf("top-%zu matches for trajectory %zu:\n", k, query);
+  for (size_t r = 0; r < top.size(); ++r) {
+    std::printf("  %2zu. trajectory %zu (predicted distance %.5f)\n",
+                r + 1, top[r], scores[top[r]]);
+  }
+  return 0;
+}
+
+int CmdEval(const Flags& flags) {
+  std::vector<tmn::geo::Trajectory> trajs;
+  if (!LoadNormalized(flags.GetString("input", "trajectories.csv"), &trajs)) {
+    return 1;
+  }
+  const auto model =
+      tmn::core::LoadTmnModel(flags.GetString("model", "model.tmn"));
+  if (model == nullptr) {
+    std::fprintf(stderr, "error: cannot load model\n");
+    return 1;
+  }
+  const auto metric_type =
+      tmn::dist::MetricFromName(flags.GetString("metric", "dtw"));
+  if (!metric_type) {
+    std::fprintf(stderr, "error: unknown metric\n");
+    return 1;
+  }
+  tmn::dist::MetricParams params;
+  params.epsilon = flags.GetDouble("epsilon", 0.01);
+  const auto metric = tmn::dist::CreateMetric(*metric_type, params);
+  const tmn::DoubleMatrix truth =
+      tmn::dist::ComputeDistanceMatrix(trajs, *metric);
+  tmn::eval::EvalOptions options;
+  options.num_queries = static_cast<size_t>(flags.GetInt("queries", 25));
+  const tmn::eval::SearchQuality q =
+      tmn::eval::EvaluateSearch(*model, trajs, truth, options);
+  std::printf("HR-10 %.4f   HR-50 %.4f   R10@50 %.4f\n", q.hr10, q.hr50,
+              q.r10_at_50);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "distance") return CmdDistance(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "search") return CmdSearch(flags);
+  if (command == "eval") return CmdEval(flags);
+  return Usage();
+}
