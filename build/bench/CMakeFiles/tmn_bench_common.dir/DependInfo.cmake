@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/harness.cc" "bench/CMakeFiles/tmn_bench_common.dir/harness.cc.o" "gcc" "bench/CMakeFiles/tmn_bench_common.dir/harness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/tmn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/tmn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tmn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tmn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/tmn_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/tmn_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tmn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tmn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmn_bench_common.dir/harness.cc.o"
+  "CMakeFiles/tmn_bench_common.dir/harness.cc.o.d"
+  "libtmn_bench_common.a"
+  "libtmn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmn_bench_common.a"
+)

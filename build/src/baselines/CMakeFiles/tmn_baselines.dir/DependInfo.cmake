@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/neutraj.cc" "src/baselines/CMakeFiles/tmn_baselines.dir/neutraj.cc.o" "gcc" "src/baselines/CMakeFiles/tmn_baselines.dir/neutraj.cc.o.d"
+  "/root/repo/src/baselines/srn.cc" "src/baselines/CMakeFiles/tmn_baselines.dir/srn.cc.o" "gcc" "src/baselines/CMakeFiles/tmn_baselines.dir/srn.cc.o.d"
+  "/root/repo/src/baselines/t3s.cc" "src/baselines/CMakeFiles/tmn_baselines.dir/t3s.cc.o" "gcc" "src/baselines/CMakeFiles/tmn_baselines.dir/t3s.cc.o.d"
+  "/root/repo/src/baselines/traj2simvec.cc" "src/baselines/CMakeFiles/tmn_baselines.dir/traj2simvec.cc.o" "gcc" "src/baselines/CMakeFiles/tmn_baselines.dir/traj2simvec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/tmn_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/tmn_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tmn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tmn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tmn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

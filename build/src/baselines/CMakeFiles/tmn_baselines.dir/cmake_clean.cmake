@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmn_baselines.dir/neutraj.cc.o"
+  "CMakeFiles/tmn_baselines.dir/neutraj.cc.o.d"
+  "CMakeFiles/tmn_baselines.dir/srn.cc.o"
+  "CMakeFiles/tmn_baselines.dir/srn.cc.o.d"
+  "CMakeFiles/tmn_baselines.dir/t3s.cc.o"
+  "CMakeFiles/tmn_baselines.dir/t3s.cc.o.d"
+  "CMakeFiles/tmn_baselines.dir/traj2simvec.cc.o"
+  "CMakeFiles/tmn_baselines.dir/traj2simvec.cc.o.d"
+  "libtmn_baselines.a"
+  "libtmn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/tmn_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/tmn_core.dir/features.cc.o.d"
+  "/root/repo/src/core/loss.cc" "src/core/CMakeFiles/tmn_core.dir/loss.cc.o" "gcc" "src/core/CMakeFiles/tmn_core.dir/loss.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/tmn_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/tmn_core.dir/model.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/tmn_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/tmn_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/sampler.cc" "src/core/CMakeFiles/tmn_core.dir/sampler.cc.o" "gcc" "src/core/CMakeFiles/tmn_core.dir/sampler.cc.o.d"
+  "/root/repo/src/core/tmn_model.cc" "src/core/CMakeFiles/tmn_core.dir/tmn_model.cc.o" "gcc" "src/core/CMakeFiles/tmn_core.dir/tmn_model.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/tmn_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/tmn_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tmn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tmn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/tmn_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/tmn_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tmn_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmn_core.dir/features.cc.o"
+  "CMakeFiles/tmn_core.dir/features.cc.o.d"
+  "CMakeFiles/tmn_core.dir/loss.cc.o"
+  "CMakeFiles/tmn_core.dir/loss.cc.o.d"
+  "CMakeFiles/tmn_core.dir/model.cc.o"
+  "CMakeFiles/tmn_core.dir/model.cc.o.d"
+  "CMakeFiles/tmn_core.dir/model_io.cc.o"
+  "CMakeFiles/tmn_core.dir/model_io.cc.o.d"
+  "CMakeFiles/tmn_core.dir/sampler.cc.o"
+  "CMakeFiles/tmn_core.dir/sampler.cc.o.d"
+  "CMakeFiles/tmn_core.dir/tmn_model.cc.o"
+  "CMakeFiles/tmn_core.dir/tmn_model.cc.o.d"
+  "CMakeFiles/tmn_core.dir/trainer.cc.o"
+  "CMakeFiles/tmn_core.dir/trainer.cc.o.d"
+  "libtmn_core.a"
+  "libtmn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

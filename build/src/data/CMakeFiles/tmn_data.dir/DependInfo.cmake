@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/tmn_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/tmn_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/geolife_loader.cc" "src/data/CMakeFiles/tmn_data.dir/geolife_loader.cc.o" "gcc" "src/data/CMakeFiles/tmn_data.dir/geolife_loader.cc.o.d"
+  "/root/repo/src/data/grid.cc" "src/data/CMakeFiles/tmn_data.dir/grid.cc.o" "gcc" "src/data/CMakeFiles/tmn_data.dir/grid.cc.o.d"
+  "/root/repo/src/data/porto_loader.cc" "src/data/CMakeFiles/tmn_data.dir/porto_loader.cc.o" "gcc" "src/data/CMakeFiles/tmn_data.dir/porto_loader.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/tmn_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/tmn_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/tmn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tmn_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmn_data.dir/dataset.cc.o"
+  "CMakeFiles/tmn_data.dir/dataset.cc.o.d"
+  "CMakeFiles/tmn_data.dir/geolife_loader.cc.o"
+  "CMakeFiles/tmn_data.dir/geolife_loader.cc.o.d"
+  "CMakeFiles/tmn_data.dir/grid.cc.o"
+  "CMakeFiles/tmn_data.dir/grid.cc.o.d"
+  "CMakeFiles/tmn_data.dir/porto_loader.cc.o"
+  "CMakeFiles/tmn_data.dir/porto_loader.cc.o.d"
+  "CMakeFiles/tmn_data.dir/synthetic.cc.o"
+  "CMakeFiles/tmn_data.dir/synthetic.cc.o.d"
+  "libtmn_data.a"
+  "libtmn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distance/distance_matrix.cc" "src/distance/CMakeFiles/tmn_distance.dir/distance_matrix.cc.o" "gcc" "src/distance/CMakeFiles/tmn_distance.dir/distance_matrix.cc.o.d"
+  "/root/repo/src/distance/dtw.cc" "src/distance/CMakeFiles/tmn_distance.dir/dtw.cc.o" "gcc" "src/distance/CMakeFiles/tmn_distance.dir/dtw.cc.o.d"
+  "/root/repo/src/distance/edr.cc" "src/distance/CMakeFiles/tmn_distance.dir/edr.cc.o" "gcc" "src/distance/CMakeFiles/tmn_distance.dir/edr.cc.o.d"
+  "/root/repo/src/distance/erp.cc" "src/distance/CMakeFiles/tmn_distance.dir/erp.cc.o" "gcc" "src/distance/CMakeFiles/tmn_distance.dir/erp.cc.o.d"
+  "/root/repo/src/distance/frechet.cc" "src/distance/CMakeFiles/tmn_distance.dir/frechet.cc.o" "gcc" "src/distance/CMakeFiles/tmn_distance.dir/frechet.cc.o.d"
+  "/root/repo/src/distance/hausdorff.cc" "src/distance/CMakeFiles/tmn_distance.dir/hausdorff.cc.o" "gcc" "src/distance/CMakeFiles/tmn_distance.dir/hausdorff.cc.o.d"
+  "/root/repo/src/distance/lcss.cc" "src/distance/CMakeFiles/tmn_distance.dir/lcss.cc.o" "gcc" "src/distance/CMakeFiles/tmn_distance.dir/lcss.cc.o.d"
+  "/root/repo/src/distance/metric.cc" "src/distance/CMakeFiles/tmn_distance.dir/metric.cc.o" "gcc" "src/distance/CMakeFiles/tmn_distance.dir/metric.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/tmn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmn_distance.dir/distance_matrix.cc.o"
+  "CMakeFiles/tmn_distance.dir/distance_matrix.cc.o.d"
+  "CMakeFiles/tmn_distance.dir/dtw.cc.o"
+  "CMakeFiles/tmn_distance.dir/dtw.cc.o.d"
+  "CMakeFiles/tmn_distance.dir/edr.cc.o"
+  "CMakeFiles/tmn_distance.dir/edr.cc.o.d"
+  "CMakeFiles/tmn_distance.dir/erp.cc.o"
+  "CMakeFiles/tmn_distance.dir/erp.cc.o.d"
+  "CMakeFiles/tmn_distance.dir/frechet.cc.o"
+  "CMakeFiles/tmn_distance.dir/frechet.cc.o.d"
+  "CMakeFiles/tmn_distance.dir/hausdorff.cc.o"
+  "CMakeFiles/tmn_distance.dir/hausdorff.cc.o.d"
+  "CMakeFiles/tmn_distance.dir/lcss.cc.o"
+  "CMakeFiles/tmn_distance.dir/lcss.cc.o.d"
+  "CMakeFiles/tmn_distance.dir/metric.cc.o"
+  "CMakeFiles/tmn_distance.dir/metric.cc.o.d"
+  "libtmn_distance.a"
+  "libtmn_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmn_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmn_eval.dir/embedding_search.cc.o"
+  "CMakeFiles/tmn_eval.dir/embedding_search.cc.o.d"
+  "CMakeFiles/tmn_eval.dir/evaluation.cc.o"
+  "CMakeFiles/tmn_eval.dir/evaluation.cc.o.d"
+  "CMakeFiles/tmn_eval.dir/metrics.cc.o"
+  "CMakeFiles/tmn_eval.dir/metrics.cc.o.d"
+  "libtmn_eval.a"
+  "libtmn_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmn_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

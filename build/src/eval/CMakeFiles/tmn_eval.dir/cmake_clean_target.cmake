@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmn_eval.a"
+)

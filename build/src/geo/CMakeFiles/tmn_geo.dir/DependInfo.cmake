@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/point.cc" "src/geo/CMakeFiles/tmn_geo.dir/point.cc.o" "gcc" "src/geo/CMakeFiles/tmn_geo.dir/point.cc.o.d"
+  "/root/repo/src/geo/preprocess.cc" "src/geo/CMakeFiles/tmn_geo.dir/preprocess.cc.o" "gcc" "src/geo/CMakeFiles/tmn_geo.dir/preprocess.cc.o.d"
+  "/root/repo/src/geo/simplify.cc" "src/geo/CMakeFiles/tmn_geo.dir/simplify.cc.o" "gcc" "src/geo/CMakeFiles/tmn_geo.dir/simplify.cc.o.d"
+  "/root/repo/src/geo/trajectory.cc" "src/geo/CMakeFiles/tmn_geo.dir/trajectory.cc.o" "gcc" "src/geo/CMakeFiles/tmn_geo.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

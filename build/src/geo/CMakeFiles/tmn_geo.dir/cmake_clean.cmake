@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmn_geo.dir/point.cc.o"
+  "CMakeFiles/tmn_geo.dir/point.cc.o.d"
+  "CMakeFiles/tmn_geo.dir/preprocess.cc.o"
+  "CMakeFiles/tmn_geo.dir/preprocess.cc.o.d"
+  "CMakeFiles/tmn_geo.dir/simplify.cc.o"
+  "CMakeFiles/tmn_geo.dir/simplify.cc.o.d"
+  "CMakeFiles/tmn_geo.dir/trajectory.cc.o"
+  "CMakeFiles/tmn_geo.dir/trajectory.cc.o.d"
+  "libtmn_geo.a"
+  "libtmn_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmn_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmn_index.dir/hnsw.cc.o"
+  "CMakeFiles/tmn_index.dir/hnsw.cc.o.d"
+  "CMakeFiles/tmn_index.dir/kd_tree.cc.o"
+  "CMakeFiles/tmn_index.dir/kd_tree.cc.o.d"
+  "libtmn_index.a"
+  "libtmn_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmn_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

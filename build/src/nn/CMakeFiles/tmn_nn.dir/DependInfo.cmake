@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/batched_lstm.cc" "src/nn/CMakeFiles/tmn_nn.dir/batched_lstm.cc.o" "gcc" "src/nn/CMakeFiles/tmn_nn.dir/batched_lstm.cc.o.d"
+  "/root/repo/src/nn/grad_check.cc" "src/nn/CMakeFiles/tmn_nn.dir/grad_check.cc.o" "gcc" "src/nn/CMakeFiles/tmn_nn.dir/grad_check.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/tmn_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/tmn_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/tmn_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/tmn_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/tmn_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/tmn_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/tmn_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/tmn_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/rng.cc" "src/nn/CMakeFiles/tmn_nn.dir/rng.cc.o" "gcc" "src/nn/CMakeFiles/tmn_nn.dir/rng.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/nn/CMakeFiles/tmn_nn.dir/rnn.cc.o" "gcc" "src/nn/CMakeFiles/tmn_nn.dir/rnn.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/tmn_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/tmn_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/tmn_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/tmn_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmn_nn.dir/batched_lstm.cc.o"
+  "CMakeFiles/tmn_nn.dir/batched_lstm.cc.o.d"
+  "CMakeFiles/tmn_nn.dir/grad_check.cc.o"
+  "CMakeFiles/tmn_nn.dir/grad_check.cc.o.d"
+  "CMakeFiles/tmn_nn.dir/gru.cc.o"
+  "CMakeFiles/tmn_nn.dir/gru.cc.o.d"
+  "CMakeFiles/tmn_nn.dir/lstm.cc.o"
+  "CMakeFiles/tmn_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/tmn_nn.dir/ops.cc.o"
+  "CMakeFiles/tmn_nn.dir/ops.cc.o.d"
+  "CMakeFiles/tmn_nn.dir/optimizer.cc.o"
+  "CMakeFiles/tmn_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/tmn_nn.dir/rng.cc.o"
+  "CMakeFiles/tmn_nn.dir/rng.cc.o.d"
+  "CMakeFiles/tmn_nn.dir/rnn.cc.o"
+  "CMakeFiles/tmn_nn.dir/rnn.cc.o.d"
+  "CMakeFiles/tmn_nn.dir/serialize.cc.o"
+  "CMakeFiles/tmn_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/tmn_nn.dir/tensor.cc.o"
+  "CMakeFiles/tmn_nn.dir/tensor.cc.o.d"
+  "libtmn_nn.a"
+  "libtmn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batched_lstm_test.dir/batched_lstm_test.cc.o"
+  "CMakeFiles/batched_lstm_test.dir/batched_lstm_test.cc.o.d"
+  "batched_lstm_test"
+  "batched_lstm_test.pdb"
+  "batched_lstm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batched_lstm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_reference_test.dir/distance_reference_test.cc.o"
+  "CMakeFiles/distance_reference_test.dir/distance_reference_test.cc.o.d"
+  "distance_reference_test"
+  "distance_reference_test.pdb"
+  "distance_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

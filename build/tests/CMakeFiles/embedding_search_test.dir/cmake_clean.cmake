@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_search_test.dir/embedding_search_test.cc.o"
+  "CMakeFiles/embedding_search_test.dir/embedding_search_test.cc.o.d"
+  "embedding_search_test"
+  "embedding_search_test.pdb"
+  "embedding_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

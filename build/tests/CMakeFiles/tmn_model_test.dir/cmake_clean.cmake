@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmn_model_test.dir/tmn_model_test.cc.o"
+  "CMakeFiles/tmn_model_test.dir/tmn_model_test.cc.o.d"
+  "tmn_model_test"
+  "tmn_model_test.pdb"
+  "tmn_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmn_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

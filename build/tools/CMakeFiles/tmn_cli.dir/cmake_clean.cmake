@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmn_cli.dir/tmn_cli.cc.o"
+  "CMakeFiles/tmn_cli.dir/tmn_cli.cc.o.d"
+  "tmn_cli"
+  "tmn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/tmn_cli" "generate" "--kind" "porto" "--n" "40" "--seed" "3" "--out" "/root/repo/build/cli_smoke.csv")
+set_tests_properties(cli_generate PROPERTIES  FIXTURES_SETUP "cli_data" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_distance "/root/repo/build/tools/tmn_cli" "distance" "--input" "/root/repo/build/cli_smoke.csv" "--metric" "dtw" "--i" "0" "--j" "1")
+set_tests_properties(cli_distance PROPERTIES  FIXTURES_REQUIRED "cli_data" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_train "/root/repo/build/tools/tmn_cli" "train" "--input" "/root/repo/build/cli_smoke.csv" "--metric" "dtw" "--model" "/root/repo/build/cli_smoke.tmn" "--dim" "8" "--epochs" "1" "--sn" "4")
+set_tests_properties(cli_train PROPERTIES  FIXTURES_REQUIRED "cli_data" FIXTURES_SETUP "cli_trained" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_search "/root/repo/build/tools/tmn_cli" "search" "--input" "/root/repo/build/cli_smoke.csv" "--model" "/root/repo/build/cli_smoke.tmn" "--query" "2" "--k" "3")
+set_tests_properties(cli_search PROPERTIES  FIXTURES_REQUIRED "cli_data;cli_trained" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_eval "/root/repo/build/tools/tmn_cli" "eval" "--input" "/root/repo/build/cli_smoke.csv" "--model" "/root/repo/build/cli_smoke.tmn" "--metric" "dtw" "--queries" "10")
+set_tests_properties(cli_eval PROPERTIES  FIXTURES_REQUIRED "cli_data;cli_trained" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/tmn_cli" "bogus-subcommand")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;36;add_test;/root/repo/tools/CMakeLists.txt;0;")
