@@ -1,0 +1,107 @@
+// Measures data-parallel training throughput: wall-clock seconds per
+// PairTrainer epoch at 1/2/4/8 worker threads on the same corpus, model
+// seed and sampler. Also cross-checks the determinism contract — the
+// per-epoch loss must be bitwise identical at every thread count.
+// Emits BENCH_train.json next to the binary for tracking.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/sampler.h"
+#include "core/tmn_model.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "distance/distance_matrix.h"
+#include "distance/metric.h"
+#include "geo/preprocess.h"
+
+namespace {
+
+struct ThreadResult {
+  int threads = 0;
+  double seconds_per_epoch = 0.0;
+  double speedup = 1.0;
+  std::vector<double> losses;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("TMN reproduction — micro-benchmark: parallel training\n");
+
+  auto raw = tmn::data::GeneratePortoLike(60, 4242);
+  const auto trajs = tmn::geo::NormalizeTrajectories(
+      raw, tmn::geo::ComputeNormalization(raw));
+  auto metric = tmn::dist::CreateMetric(tmn::dist::MetricType::kDtw);
+  const tmn::DoubleMatrix distances =
+      tmn::dist::ComputeDistanceMatrix(trajs, *metric, 0);
+
+  constexpr int kEpochs = 2;
+  std::vector<ThreadResult> results;
+  for (int threads : {1, 2, 4, 8}) {
+    tmn::core::TmnModelConfig model_config;
+    model_config.hidden_dim = 16;
+    model_config.seed = 9;
+    tmn::core::TmnModel model(model_config);
+    tmn::core::RandomSortSampler sampler(&distances, 10);
+    tmn::core::TrainConfig config;
+    config.epochs = kEpochs;
+    config.sampling_num = 10;
+    config.alpha = tmn::core::SuggestAlpha(distances);
+    config.seed = 7;
+    config.num_threads = threads;
+    tmn::core::PairTrainer trainer(&model, &trajs, &distances, metric.get(),
+                                   &sampler, config);
+
+    ThreadResult result;
+    result.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    for (int e = 0; e < kEpochs; ++e) {
+      result.losses.push_back(trainer.TrainEpoch());
+    }
+    const auto end = std::chrono::steady_clock::now();
+    result.seconds_per_epoch =
+        std::chrono::duration<double>(end - start).count() / kEpochs;
+    results.push_back(result);
+  }
+
+  bool deterministic = true;
+  for (const ThreadResult& r : results) {
+    if (r.losses != results.front().losses) deterministic = false;
+    // losses vector compare is bitwise (double ==), which is the contract.
+  }
+
+  tmn::bench::PrintTableHeader("Training epoch wall time vs threads",
+                               {"sec/epoch", "speedup", "loss[0]"});
+  for (ThreadResult& r : results) {
+    r.speedup = results.front().seconds_per_epoch / r.seconds_per_epoch;
+    tmn::bench::PrintRow("threads=" + std::to_string(r.threads),
+                         {r.seconds_per_epoch, r.speedup, r.losses[0]});
+  }
+  std::printf("deterministic across thread counts: %s\n",
+              deterministic ? "yes" : "NO — BUG");
+
+  std::FILE* out = std::fopen("BENCH_train.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n  \"bench\": \"micro_train\",\n");
+    std::fprintf(out, "  \"epochs\": %d,\n", kEpochs);
+    std::fprintf(out, "  \"deterministic\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(out, "  \"runs\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ThreadResult& r = results[i];
+      std::fprintf(out,
+                   "    {\"threads\": %d, \"seconds_per_epoch\": %.6f, "
+                   "\"speedup\": %.3f, \"loss\": %.17g}%s\n",
+                   r.threads, r.seconds_per_epoch, r.speedup, r.losses[0],
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_train.json\n");
+  }
+  return deterministic ? 0 : 1;
+}

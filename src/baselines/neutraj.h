@@ -45,6 +45,10 @@ class NeuTraj : public SingleEncoderModel {
 
   void OnTrainStep() override;
 
+  // The grad-mode forward appends to pending_writes_, so concurrent
+  // forwards over shared state would race (and reorder the SAM writes).
+  bool SupportsParallelTraining() const override { return false; }
+
   size_t MemorySize() const { return memory_.size(); }
 
  private:

@@ -1,0 +1,115 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace tmn::common {
+
+namespace {
+thread_local bool g_on_pool_thread = false;
+}  // namespace
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("TMN_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = DefaultThreadCount();
+  workers_.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  g_on_pool_thread = true;
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();  // packaged_task stores any exception in the future.
+  }
+}
+
+bool ThreadPool::OnPoolThread() { return g_on_pool_thread; }
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool =
+      new ThreadPool(std::max(4, DefaultThreadCount()));
+  return *pool;
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn,
+                 int max_parallelism) {
+  if (end <= begin) return;
+  const size_t range = end - begin;
+  if (range == 1 || max_parallelism == 1 || ThreadPool::OnPoolThread()) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::Global();
+  size_t helpers = static_cast<size_t>(pool.size());
+  if (max_parallelism > 0) {
+    helpers = std::min(helpers, static_cast<size_t>(max_parallelism - 1));
+  }
+  helpers = std::min(helpers, range - 1);
+  if (helpers == 0) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{begin};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  const auto body = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= end) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (size_t t = 0; t < helpers; ++t) futures.push_back(pool.Submit(body));
+  body();  // The caller works too: progress even on a busy pool.
+  for (std::future<void>& f : futures) f.get();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace tmn::common

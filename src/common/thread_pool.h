@@ -1,0 +1,74 @@
+#ifndef TMN_COMMON_THREAD_POOL_H_
+#define TMN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tmn::common {
+
+// Persistent worker pool shared by every parallel code path (ground-truth
+// distance matrices, data-parallel training, batch encoding). Replaces the
+// per-call std::thread spawning the distance layer used to do: workers are
+// created once and sleep on a condition variable between bursts, so a hot
+// training loop pays no thread start-up cost per anchor batch.
+class ThreadPool {
+ public:
+  // num_threads <= 0 selects DefaultThreadCount().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `fn` for execution on a worker. The future completes when the
+  // task finishes and rethrows any exception the task threw.
+  std::future<void> Submit(std::function<void()> fn);
+
+  // True when the calling thread is a worker of *any* ThreadPool. Used by
+  // ParallelFor to run nested parallel loops inline instead of deadlocking
+  // on a saturated pool.
+  static bool OnPoolThread();
+
+  // The process-wide shared pool. Sized by TMN_NUM_THREADS when set, else
+  // hardware concurrency (but at least 4, so concurrency bugs surface even
+  // on small CI machines). Constructed on first use, never destroyed
+  // before exit.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// The thread count "0 threads" resolves to: TMN_NUM_THREADS when set and
+// positive, else std::thread::hardware_concurrency(), at least 1.
+int DefaultThreadCount();
+
+// Runs fn(i) for every i in [begin, end) across the global pool, handing
+// indices out via an atomic counter so uneven per-index costs balance. The
+// calling thread participates as a worker, which guarantees forward
+// progress even when the pool is saturated; calls made from inside a pool
+// worker run the whole range inline (nested ParallelFor never deadlocks).
+// `max_parallelism` caps the number of threads touching the range
+// (<= 0: pool size + caller; 1: fully sequential, in index order).
+// The first exception thrown by `fn` is rethrown on the caller after every
+// index has been handed out and all workers have drained.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn,
+                 int max_parallelism = 0);
+
+}  // namespace tmn::common
+
+#endif  // TMN_COMMON_THREAD_POOL_H_

@@ -54,6 +54,13 @@ class SimilarityModel {
   // Hook invoked by the trainer after each optimizer step; stateful models
   // (NeuTraj's SAM memory) use it to refresh their side state.
   virtual void OnTrainStep() {}
+
+  // False for models whose grad-mode forward pass mutates shared side
+  // state (NeuTraj's pending SAM writes): the trainer then runs its
+  // per-anchor batch sequentially instead of across the thread pool. The
+  // chunked gradient accumulation is identical either way, so results do
+  // not depend on this flag's interaction with the thread count.
+  virtual bool SupportsParallelTraining() const { return true; }
 };
 
 // The final (whole-trajectory) representation from a PairOutput side.

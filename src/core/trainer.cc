@@ -4,10 +4,27 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "distance/distance_matrix.h"
 #include "nn/ops.h"
 
 namespace tmn::core {
+
+namespace {
+
+// Samples per gradient chunk. Each chunk accumulates its parameter
+// gradients into its own GradSink and the sinks are reduced in chunk
+// order, so the arithmetic depends only on this constant — never on the
+// thread count. Small enough to spread an anchor batch across many
+// workers, large enough to amortize the per-sink hash-map overhead.
+constexpr size_t kGradChunkSamples = 2;
+
+uint64_t PairKey(size_t anchor, size_t sample) {
+  return (static_cast<uint64_t>(anchor) << 32) |
+         static_cast<uint64_t>(sample);
+}
+
+}  // namespace
 
 double SuggestAlpha(const DoubleMatrix& distances) {
   const double mean = dist::MeanOffDiagonal(distances);
@@ -32,30 +49,61 @@ PairTrainer::PairTrainer(SimilarityModel* model,
   TMN_CHECK(distances_->cols() == train_set_->size());
   TMN_CHECK(!config_.use_sub_loss || metric_ != nullptr);
   TMN_CHECK(config_.alpha > 0.0);
+  TMN_CHECK(config_.sub_cache_max_pairs > 0);
   params_ = model_->Parameters();
   optimizer_ = std::make_unique<nn::Adam>(params_, config_.lr);
 }
 
-const std::vector<double>& PairTrainer::SubDistances(
-    size_t anchor, size_t sample, const geo::Trajectory& a,
-    const geo::Trajectory& b) {
-  const uint64_t key = (static_cast<uint64_t>(anchor) << 32) |
-                       static_cast<uint64_t>(sample);
-  auto it = sub_cache_.find(key);
-  if (it != sub_cache_.end()) return it->second;
-  std::vector<double> values;
-  const size_t limit = std::min(a.size(), b.size());
-  for (size_t len = config_.sub_stride; len <= limit;
-       len += config_.sub_stride) {
-    values.push_back(metric_->Compute(a.Prefix(len), b.Prefix(len)));
+std::vector<const std::vector<double>*> PairTrainer::PrepareSubDistances(
+    size_t anchor, const std::vector<TrainingSample>& samples) {
+  std::vector<const std::vector<double>*> out(samples.size(), nullptr);
+  if (!config_.use_sub_loss) return out;
+  // Bound the cache with wholesale eviction: recently used pairs resample
+  // soon anyway (each epoch redraws partners for the same anchors).
+  if (sub_cache_.size() + samples.size() > config_.sub_cache_max_pairs) {
+    sub_cache_.clear();
   }
-  return sub_cache_.emplace(key, std::move(values)).first->second;
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (!sub_cache_.contains(PairKey(anchor, samples[i].index))) {
+      missing.push_back(i);
+    }
+  }
+  if (!missing.empty()) {
+    const geo::Trajectory loss_a =
+        model_->LossTrajectory((*train_set_)[anchor]);
+    std::vector<std::vector<double>> computed(missing.size());
+    common::ParallelFor(
+        0, missing.size(),
+        [&](size_t mi) {
+          const geo::Trajectory loss_b =
+              model_->LossTrajectory((*train_set_)[samples[missing[mi]].index]);
+          const size_t limit = std::min(loss_a.size(), loss_b.size());
+          std::vector<double>& values = computed[mi];
+          for (size_t len = config_.sub_stride; len <= limit;
+               len += config_.sub_stride) {
+            values.push_back(
+                metric_->Compute(loss_a.Prefix(len), loss_b.Prefix(len)));
+          }
+        },
+        config_.num_threads);
+    // Insert on this thread only; emplace dedupes repeated keys.
+    for (size_t mi = 0; mi < missing.size(); ++mi) {
+      sub_cache_.emplace(PairKey(anchor, samples[missing[mi]].index),
+                         std::move(computed[mi]));
+    }
+  }
+  for (size_t i = 0; i < samples.size(); ++i) {
+    out[i] = &sub_cache_.at(PairKey(anchor, samples[i].index));
+  }
+  return out;
 }
 
 void PairTrainer::AccumulatePairLoss(size_t anchor,
                                      const TrainingSample& sample,
+                                     const std::vector<double>* sub_dists,
                                      std::vector<nn::Tensor>* terms,
-                                     std::vector<double>* weights) {
+                                     std::vector<double>* weights) const {
   const geo::Trajectory& traj_a = (*train_set_)[anchor];
   const geo::Trajectory& traj_s = (*train_set_)[sample.index];
   const double weight = config_.use_rank_weights ? sample.weight : 1.0;
@@ -73,22 +121,20 @@ void PairTrainer::AccumulatePairLoss(size_t anchor,
   if (!config_.use_sub_loss) return;
 
   // L_sub (Eq. 15): prefix pairs at stride sub_stride, averaged over r.
-  // Prefix ground truths come from the model's loss trajectories so a
-  // model that pre-simplifies its input (Traj2SimVec) stays consistent.
-  const geo::Trajectory loss_a = model_->LossTrajectory(traj_a);
-  const geo::Trajectory loss_s = model_->LossTrajectory(traj_s);
-  const std::vector<double>& sub_dists =
-      SubDistances(anchor, sample.index, loss_a, loss_s);
-  if (sub_dists.empty()) return;
-  const double r = static_cast<double>(sub_dists.size());
-  for (size_t k = 0; k < sub_dists.size(); ++k) {
+  // Prefix ground truths were precomputed on the model's loss
+  // trajectories so a model that pre-simplifies its input (Traj2SimVec)
+  // stays consistent.
+  TMN_CHECK(sub_dists != nullptr);
+  if (sub_dists->empty()) return;
+  const double r = static_cast<double>(sub_dists->size());
+  for (size_t k = 0; k < sub_dists->size(); ++k) {
     const size_t len = (k + 1) * static_cast<size_t>(config_.sub_stride);
     TMN_CHECK(static_cast<int>(len) <= out.oa.rows());
     TMN_CHECK(static_cast<int>(len) <= out.ob.rows());
     const nn::Tensor pred_sub = PredictedSimilarity(
         nn::Row(out.oa, static_cast<int>(len) - 1),
         nn::Row(out.ob, static_cast<int>(len) - 1));
-    const double truth_sub = std::exp(-config_.alpha * sub_dists[k]);
+    const double truth_sub = std::exp(-config_.alpha * (*sub_dists)[k]);
     terms->push_back(PairLoss(pred_sub, truth_sub, config_.loss));
     weights->push_back(weight / r);
   }
@@ -100,22 +146,63 @@ double PairTrainer::TrainEpoch() {
   for (size_t i = 0; i < n; ++i) anchors[i] = i;
   rng_.Shuffle(anchors);
 
+  const int fan_out =
+      model_->SupportsParallelTraining() ? config_.num_threads : 1;
+
   double loss_sum = 0.0;
   size_t pair_count = 0;
   for (size_t anchor : anchors) {
     const std::vector<TrainingSample> samples =
         sampler_->SampleFor(anchor, rng_);
-    std::vector<nn::Tensor> terms;
-    std::vector<double> weights;
-    for (const TrainingSample& sample : samples) {
-      AccumulatePairLoss(anchor, sample, &terms, &weights);
-    }
-    if (terms.empty()) continue;
-    nn::Tensor total = nn::WeightedSumScalars(terms, weights);
-    const double value = static_cast<double>(total.item());
+    if (samples.empty()) continue;
+    const std::vector<const std::vector<double>*> subs =
+        PrepareSubDistances(anchor, samples);
+
+    // Data-parallel forward + backward over fixed-size sample chunks.
+    // Workers never touch param.grad(): each chunk's gradients land in its
+    // own GradSink (leaf writes are redirected by the thread-local
+    // GradSinkScope), and the sinks are reduced below in chunk order —
+    // so the update is bitwise identical for any thread count.
+    const size_t num_chunks =
+        (samples.size() + kGradChunkSamples - 1) / kGradChunkSamples;
+    std::vector<nn::GradSink> sinks(num_chunks);
+    std::vector<double> chunk_values(num_chunks, 0.0);
+    common::ParallelFor(
+        0, num_chunks,
+        [&](size_t ci) {
+          nn::GradSinkScope scope(&sinks[ci]);
+          const size_t first = ci * kGradChunkSamples;
+          const size_t last =
+              std::min(first + kGradChunkSamples, samples.size());
+          for (size_t s = first; s < last; ++s) {
+            std::vector<nn::Tensor> terms;
+            std::vector<double> weights;
+            AccumulatePairLoss(anchor, samples[s], subs[s], &terms,
+                               &weights);
+            if (terms.empty()) continue;
+            nn::Tensor total = nn::WeightedSumScalars(terms, weights);
+            chunk_values[ci] += static_cast<double>(total.item());
+            // Backward into this chunk's sink. If the batch turns out
+            // non-finite the sinks are simply dropped, so running it
+            // before the NaN check below is safe.
+            total.Backward();
+          }
+        },
+        fan_out);
+
+    double value = 0.0;
+    for (double v : chunk_values) value += v;
     if (!std::isfinite(value)) continue;  // NaN guard: skip this batch.
+
     optimizer_->ZeroGrad();
-    total.Backward();
+    for (const nn::GradSink& sink : sinks) {
+      for (nn::Tensor& p : params_) {
+        const std::vector<float>* buf = sink.Find(p.impl().get());
+        if (buf == nullptr) continue;
+        std::vector<float>& g = p.grad();
+        for (size_t i = 0; i < g.size(); ++i) g[i] += (*buf)[i];
+      }
+    }
     nn::ClipGradNorm(params_, config_.grad_clip);
     optimizer_->Step();
     model_->OnTrainStep();

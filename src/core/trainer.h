@@ -29,6 +29,14 @@ struct TrainConfig {
   double alpha = 8.0;                // S = exp(-alpha * D).
   double grad_clip = 5.0;            // Global-norm gradient clipping.
   uint64_t seed = 99;                // Sampling shuffle seed.
+  // Worker threads for the per-anchor forward/backward fan-out and the
+  // sub-distance precompute (0 = all hardware threads, 1 = sequential).
+  // Results are bitwise identical for every value: see docs/PARALLELISM.md.
+  int num_threads = 0;
+  // Upper bound on cached (anchor, sample) prefix-distance vectors; the
+  // whole cache is dropped before it would grow past this, so long runs
+  // with many distinct pairs cannot grow memory without bound.
+  size_t sub_cache_max_pairs = 1u << 18;
 };
 
 // A sensible alpha for a distance matrix: 1 / mean off-diagonal distance,
@@ -62,15 +70,21 @@ class PairTrainer {
 
  private:
   // Loss term for one (anchor, sample) pair; adds into `terms`/`weights`.
+  // `sub_dists` holds the pair's precomputed prefix ground truths (null
+  // when config.use_sub_loss is off). Called concurrently by workers; must
+  // not touch trainer state beyond const reads.
   void AccumulatePairLoss(size_t anchor, const TrainingSample& sample,
+                          const std::vector<double>* sub_dists,
                           std::vector<nn::Tensor>* terms,
-                          std::vector<double>* weights);
+                          std::vector<double>* weights) const;
 
-  // Cached prefix ground-truth distances for a pair, at prefix lengths
-  // sub_stride, 2*sub_stride, ... <= min(|a|, |b|).
-  const std::vector<double>& SubDistances(size_t anchor, size_t sample,
-                                          const geo::Trajectory& a,
-                                          const geo::Trajectory& b);
+  // Ensures the prefix ground-truth distances of every (anchor, sample)
+  // pair are cached — missing entries are computed across the pool — and
+  // returns one pointer per sample, aligned with `samples`. The cache is
+  // only mutated here, on the calling thread, so the returned pointers are
+  // safe for concurrent reads until the next call.
+  std::vector<const std::vector<double>*> PrepareSubDistances(
+      size_t anchor, const std::vector<TrainingSample>& samples);
 
   SimilarityModel* model_;
   const std::vector<geo::Trajectory>* train_set_;

@@ -1,57 +1,27 @@
 #include "distance/distance_matrix.h"
 
-#include <atomic>
 #include <cmath>
-#include <thread>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace tmn::dist {
-
-namespace {
-
-int ResolveThreads(int num_threads) {
-  if (num_threads > 0) return num_threads;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
-}
-
-// Runs fn(row) for every row in [0, rows) across `num_threads` workers,
-// handing out rows via an atomic counter so uneven row costs balance.
-template <typename Fn>
-void ParallelRows(size_t rows, int num_threads, Fn fn) {
-  num_threads = ResolveThreads(num_threads);
-  if (num_threads <= 1 || rows <= 1) {
-    for (size_t r = 0; r < rows; ++r) fn(r);
-    return;
-  }
-  std::atomic<size_t> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (int t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&]() {
-      while (true) {
-        const size_t r = next.fetch_add(1);
-        if (r >= rows) return;
-        fn(r);
-      }
-    });
-  }
-  for (std::thread& w : workers) w.join();
-}
-
-}  // namespace
 
 DoubleMatrix ComputeDistanceMatrix(
     const std::vector<geo::Trajectory>& trajectories,
     const DistanceMetric& metric, int num_threads) {
   const size_t n = trajectories.size();
   DoubleMatrix out(n, n, 0.0);
-  ParallelRows(n, num_threads, [&](size_t i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      out.at(i, j) = metric.Compute(trajectories[i], trajectories[j]);
-    }
-  });
+  // Rows land in disjoint slices of `out`, so any thread count produces
+  // bitwise identical matrices.
+  common::ParallelFor(
+      0, n,
+      [&](size_t i) {
+        for (size_t j = i + 1; j < n; ++j) {
+          out.at(i, j) = metric.Compute(trajectories[i], trajectories[j]);
+        }
+      },
+      num_threads);
   // Mirror the upper triangle; diagonal holds f(T, T).
   for (size_t i = 0; i < n; ++i) {
     out.at(i, i) = metric.Compute(trajectories[i], trajectories[i]);
@@ -65,11 +35,14 @@ DoubleMatrix ComputeCrossDistanceMatrix(
     const std::vector<geo::Trajectory>& base, const DistanceMetric& metric,
     int num_threads) {
   DoubleMatrix out(queries.size(), base.size(), 0.0);
-  ParallelRows(queries.size(), num_threads, [&](size_t i) {
-    for (size_t j = 0; j < base.size(); ++j) {
-      out.at(i, j) = metric.Compute(queries[i], base[j]);
-    }
-  });
+  common::ParallelFor(
+      0, queries.size(),
+      [&](size_t i) {
+        for (size_t j = 0; j < base.size(); ++j) {
+          out.at(i, j) = metric.Compute(queries[i], base[j]);
+        }
+      },
+      num_threads);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "eval/metrics.h"
 #include "nn/ops.h"
 
@@ -34,12 +35,13 @@ std::vector<std::vector<float>> EncodeAll(
     const std::vector<geo::Trajectory>& trajectories) {
   TMN_CHECK_MSG(!model.IsPairwise(),
                 "pairwise models cannot pre-embed a database");
-  nn::NoGradGuard no_grad;
-  std::vector<std::vector<float>> out;
-  out.reserve(trajectories.size());
-  for (const geo::Trajectory& t : trajectories) {
-    out.push_back(FinalEmbedding(model, t));
-  }
+  std::vector<std::vector<float>> out(trajectories.size());
+  // Each worker disables grad recording on its own thread (the grad mode
+  // is thread-local) and writes only its own slot.
+  common::ParallelFor(0, trajectories.size(), [&](size_t i) {
+    nn::NoGradGuard no_grad;
+    out[i] = FinalEmbedding(model, trajectories[i]);
+  });
   return out;
 }
 
@@ -58,13 +60,16 @@ DoubleMatrix PredictDistanceMatrix(
   TMN_CHECK(num_queries <= base.size());
   DoubleMatrix out(num_queries, base.size());
   if (model.IsPairwise()) {
-    nn::NoGradGuard no_grad;
-    for (size_t q = 0; q < num_queries; ++q) {
+    // One joint forward per (query, candidate) — the inference cost Table
+    // III charges TMN for. Queries fan out across the pool; each row is a
+    // disjoint slice of `out`, so results match the sequential order.
+    common::ParallelFor(0, num_queries, [&](size_t q) {
+      nn::NoGradGuard no_grad;
       for (size_t c = 0; c < base.size(); ++c) {
         if (q == c) continue;
         out.at(q, c) = PredictDistance(model, base[q], base[c]);
       }
-    }
+    });
     return out;
   }
   const std::vector<std::vector<float>> embeddings = EncodeAll(model, base);

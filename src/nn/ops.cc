@@ -62,14 +62,14 @@ Tensor Add(const Tensor& a, const Tensor& b) {
                 [pa, pb](TensorImpl* o) {
                   return [pa, pb, o]() {
                     if (InGraph(pa)) {
-                      pa->EnsureGrad();
+                      std::vector<float>& ga = GradBufferFor(pa.get());
                       for (size_t i = 0; i < o->grad.size(); ++i)
-                        pa->grad[i] += o->grad[i];
+                        ga[i] += o->grad[i];
                     }
                     if (InGraph(pb)) {
-                      pb->EnsureGrad();
+                      std::vector<float>& gb = GradBufferFor(pb.get());
                       for (size_t i = 0; i < o->grad.size(); ++i)
-                        pb->grad[i] += o->grad[i];
+                        gb[i] += o->grad[i];
                     }
                   };
                 });
@@ -86,14 +86,14 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
                 [pa, pb](TensorImpl* o) {
                   return [pa, pb, o]() {
                     if (InGraph(pa)) {
-                      pa->EnsureGrad();
+                      std::vector<float>& ga = GradBufferFor(pa.get());
                       for (size_t i = 0; i < o->grad.size(); ++i)
-                        pa->grad[i] += o->grad[i];
+                        ga[i] += o->grad[i];
                     }
                     if (InGraph(pb)) {
-                      pb->EnsureGrad();
+                      std::vector<float>& gb = GradBufferFor(pb.get());
                       for (size_t i = 0; i < o->grad.size(); ++i)
-                        pb->grad[i] -= o->grad[i];
+                        gb[i] -= o->grad[i];
                     }
                   };
                 });
@@ -110,14 +110,14 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
                 [pa, pb](TensorImpl* o) {
                   return [pa, pb, o]() {
                     if (InGraph(pa)) {
-                      pa->EnsureGrad();
+                      std::vector<float>& ga = GradBufferFor(pa.get());
                       for (size_t i = 0; i < o->grad.size(); ++i)
-                        pa->grad[i] += o->grad[i] * pb->data[i];
+                        ga[i] += o->grad[i] * pb->data[i];
                     }
                     if (InGraph(pb)) {
-                      pb->EnsureGrad();
+                      std::vector<float>& gb = GradBufferFor(pb.get());
                       for (size_t i = 0; i < o->grad.size(); ++i)
-                        pb->grad[i] += o->grad[i] * pa->data[i];
+                        gb[i] += o->grad[i] * pa->data[i];
                     }
                   };
                 });
@@ -134,15 +134,15 @@ Tensor Div(const Tensor& a, const Tensor& b) {
                 [pa, pb](TensorImpl* o) {
                   return [pa, pb, o]() {
                     if (InGraph(pa)) {
-                      pa->EnsureGrad();
+                      std::vector<float>& ga = GradBufferFor(pa.get());
                       for (size_t i = 0; i < o->grad.size(); ++i)
-                        pa->grad[i] += o->grad[i] / pb->data[i];
+                        ga[i] += o->grad[i] / pb->data[i];
                     }
                     if (InGraph(pb)) {
-                      pb->EnsureGrad();
+                      std::vector<float>& gb = GradBufferFor(pb.get());
                       for (size_t i = 0; i < o->grad.size(); ++i)
-                        pb->grad[i] -= o->grad[i] * pa->data[i] /
-                                       (pb->data[i] * pb->data[i]);
+                        gb[i] -= o->grad[i] * pa->data[i] /
+                                 (pb->data[i] * pb->data[i]);
                     }
                   };
                 });
@@ -166,16 +166,15 @@ Tensor AddRowVector(const Tensor& matrix, const Tensor& row) {
                 [pm, pr, m, d](TensorImpl* o) {
                   return [pm, pr, o, m, d]() {
                     if (InGraph(pm)) {
-                      pm->EnsureGrad();
+                      std::vector<float>& gm = GradBufferFor(pm.get());
                       for (size_t i = 0; i < o->grad.size(); ++i)
-                        pm->grad[i] += o->grad[i];
+                        gm[i] += o->grad[i];
                     }
                     if (InGraph(pr)) {
-                      pr->EnsureGrad();
+                      std::vector<float>& gr = GradBufferFor(pr.get());
                       for (int r = 0; r < m; ++r) {
                         for (int c = 0; c < d; ++c) {
-                          pr->grad[c] +=
-                              o->grad[static_cast<size_t>(r) * d + c];
+                          gr[c] += o->grad[static_cast<size_t>(r) * d + c];
                         }
                       }
                     }
@@ -193,9 +192,9 @@ Tensor MulScalar(const Tensor& a, double s) {
                 [pa, fs](TensorImpl* o) {
                   return [pa, o, fs]() {
                     if (!InGraph(pa)) return;
-                    pa->EnsureGrad();
+                    std::vector<float>& ga = GradBufferFor(pa.get());
                     for (size_t i = 0; i < o->grad.size(); ++i)
-                      pa->grad[i] += o->grad[i] * fs;
+                      ga[i] += o->grad[i] * fs;
                   };
                 });
 }
@@ -210,9 +209,9 @@ Tensor AddConst(const Tensor& a, double s) {
                 [pa](TensorImpl* o) {
                   return [pa, o]() {
                     if (!InGraph(pa)) return;
-                    pa->EnsureGrad();
+                    std::vector<float>& ga = GradBufferFor(pa.get());
                     for (size_t i = 0; i < o->grad.size(); ++i)
-                      pa->grad[i] += o->grad[i];
+                      ga[i] += o->grad[i];
                   };
                 });
 }
@@ -241,10 +240,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         return [pa, pb, o, m, k, n]() {
           // dA = dO * B^T ; dB = A^T * dO.
           if (InGraph(pa)) {
-            pa->EnsureGrad();
+            std::vector<float>& ga = GradBufferFor(pa.get());
             for (int i = 0; i < m; ++i) {
               const float* gorow = &o->grad[static_cast<size_t>(i) * n];
-              float* garow = &pa->grad[static_cast<size_t>(i) * k];
+              float* garow = &ga[static_cast<size_t>(i) * k];
               for (int kk = 0; kk < k; ++kk) {
                 const float* brow = &pb->data[static_cast<size_t>(kk) * n];
                 float acc = 0.0f;
@@ -254,9 +253,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
             }
           }
           if (InGraph(pb)) {
-            pb->EnsureGrad();
+            std::vector<float>& gb = GradBufferFor(pb.get());
             for (int kk = 0; kk < k; ++kk) {
-              float* gbrow = &pb->grad[static_cast<size_t>(kk) * n];
+              float* gbrow = &gb[static_cast<size_t>(kk) * n];
               for (int i = 0; i < m; ++i) {
                 const float aik = pa->data[static_cast<size_t>(i) * k + kk];
                 if (aik == 0.0f) continue;
@@ -283,10 +282,10 @@ Tensor Transpose(const Tensor& a) {
   return MakeOp(n, m, std::move(out), {pa}, [pa, m, n](TensorImpl* o) {
     return [pa, o, m, n]() {
       if (!InGraph(pa)) return;
-      pa->EnsureGrad();
+      std::vector<float>& ga = GradBufferFor(pa.get());
       for (int i = 0; i < m; ++i) {
         for (int j = 0; j < n; ++j) {
-          pa->grad[static_cast<size_t>(i) * n + j] +=
+          ga[static_cast<size_t>(i) * n + j] +=
               o->grad[static_cast<size_t>(j) * m + i];
         }
       }
@@ -308,10 +307,9 @@ Tensor UnaryOp(const Tensor& a, F fn, DF dfn) {
                 [pa, dfn](TensorImpl* o) {
                   return [pa, o, dfn]() {
                     if (!InGraph(pa)) return;
-                    pa->EnsureGrad();
+                    std::vector<float>& ga = GradBufferFor(pa.get());
                     for (size_t i = 0; i < o->grad.size(); ++i) {
-                      pa->grad[i] +=
-                          o->grad[i] * dfn(pa->data[i], o->data[i]);
+                      ga[i] += o->grad[i] * dfn(pa->data[i], o->data[i]);
                     }
                   };
                 });
@@ -389,12 +387,12 @@ Tensor SoftmaxImpl(const Tensor& a, int valid_cols) {
                 [pa, m, n, valid_cols](TensorImpl* o) {
                   return [pa, o, m, n, valid_cols]() {
                     if (!InGraph(pa)) return;
-                    pa->EnsureGrad();
+                    std::vector<float>& ga = GradBufferFor(pa.get());
                     // dx_j = y_j * (dy_j - sum_k dy_k y_k), per row.
                     for (int i = 0; i < m; ++i) {
                       const float* y = &o->data[static_cast<size_t>(i) * n];
                       const float* gy = &o->grad[static_cast<size_t>(i) * n];
-                      float* gx = &pa->grad[static_cast<size_t>(i) * n];
+                      float* gx = &ga[static_cast<size_t>(i) * n];
                       float dot = 0.0f;
                       for (int j = 0; j < valid_cols; ++j) dot += gy[j] * y[j];
                       for (int j = 0; j < valid_cols; ++j) {
@@ -425,11 +423,11 @@ Tensor ZeroRowsBeyond(const Tensor& a, int valid_rows) {
                 [pa, valid_rows, d](TensorImpl* o) {
                   return [pa, o, valid_rows, d]() {
                     if (!InGraph(pa)) return;
-                    pa->EnsureGrad();
+                    std::vector<float>& ga = GradBufferFor(pa.get());
                     const size_t limit =
                         static_cast<size_t>(valid_rows) * d;
                     for (size_t i = 0; i < limit; ++i) {
-                      pa->grad[i] += o->grad[i];
+                      ga[i] += o->grad[i];
                     }
                   };
                 });
@@ -455,19 +453,19 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
                   return [pa, pb, o, m, d1, d2]() {
                     const int d = d1 + d2;
                     if (InGraph(pa)) {
-                      pa->EnsureGrad();
+                      std::vector<float>& ga = GradBufferFor(pa.get());
                       for (int i = 0; i < m; ++i) {
                         for (int j = 0; j < d1; ++j) {
-                          pa->grad[static_cast<size_t>(i) * d1 + j] +=
+                          ga[static_cast<size_t>(i) * d1 + j] +=
                               o->grad[static_cast<size_t>(i) * d + j];
                         }
                       }
                     }
                     if (InGraph(pb)) {
-                      pb->EnsureGrad();
+                      std::vector<float>& gb = GradBufferFor(pb.get());
                       for (int i = 0; i < m; ++i) {
                         for (int j = 0; j < d2; ++j) {
-                          pb->grad[static_cast<size_t>(i) * d2 + j] +=
+                          gb[static_cast<size_t>(i) * d2 + j] +=
                               o->grad[static_cast<size_t>(i) * d + d1 + j];
                         }
                       }
@@ -495,9 +493,9 @@ Tensor StackRows(const std::vector<Tensor>& rows) {
                     for (size_t i = 0; i < captured.size(); ++i) {
                       const ImplPtr& p = captured[i];
                       if (!InGraph(p)) continue;
-                      p->EnsureGrad();
+                      std::vector<float>& gp = GradBufferFor(p.get());
                       for (int j = 0; j < d; ++j) {
-                        p->grad[j] += o->grad[i * d + j];
+                        gp[j] += o->grad[i * d + j];
                       }
                     }
                   };
@@ -513,9 +511,9 @@ Tensor Row(const Tensor& a, int i) {
   return MakeOp(1, d, std::move(out), {pa}, [pa, i, d](TensorImpl* o) {
     return [pa, o, i, d]() {
       if (!InGraph(pa)) return;
-      pa->EnsureGrad();
+      std::vector<float>& ga = GradBufferFor(pa.get());
       for (int j = 0; j < d; ++j) {
-        pa->grad[static_cast<size_t>(i) * d + j] += o->grad[j];
+        ga[static_cast<size_t>(i) * d + j] += o->grad[j];
       }
     };
   });
@@ -536,10 +534,10 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
                 [pa, m, n, start, len](TensorImpl* o) {
                   return [pa, o, m, n, start, len]() {
                     if (!InGraph(pa)) return;
-                    pa->EnsureGrad();
+                    std::vector<float>& ga = GradBufferFor(pa.get());
                     for (int i = 0; i < m; ++i) {
                       for (int j = 0; j < len; ++j) {
-                        pa->grad[static_cast<size_t>(i) * n + start + j] +=
+                        ga[static_cast<size_t>(i) * n + start + j] +=
                             o->grad[static_cast<size_t>(i) * len + j];
                       }
                     }
@@ -558,17 +556,17 @@ Tensor ScaleByScalar(const Tensor& a, const Tensor& s) {
                 [pa, ps](TensorImpl* o) {
                   return [pa, ps, o]() {
                     if (InGraph(pa)) {
-                      pa->EnsureGrad();
+                      std::vector<float>& ga = GradBufferFor(pa.get());
                       const float sv = ps->data[0];
                       for (size_t i = 0; i < o->grad.size(); ++i)
-                        pa->grad[i] += o->grad[i] * sv;
+                        ga[i] += o->grad[i] * sv;
                     }
                     if (InGraph(ps)) {
-                      ps->EnsureGrad();
+                      std::vector<float>& gs = GradBufferFor(ps.get());
                       float acc = 0.0f;
                       for (size_t i = 0; i < o->grad.size(); ++i)
                         acc += o->grad[i] * pa->data[i];
-                      ps->grad[0] += acc;
+                      gs[0] += acc;
                     }
                   };
                 });
@@ -592,24 +590,24 @@ Tensor MulColVector(const Tensor& a, const Tensor& col) {
                 [pa, pc, m, d](TensorImpl* o) {
                   return [pa, pc, o, m, d]() {
                     if (InGraph(pa)) {
-                      pa->EnsureGrad();
+                      std::vector<float>& ga = GradBufferFor(pa.get());
                       for (int r = 0; r < m; ++r) {
                         for (int c = 0; c < d; ++c) {
-                          pa->grad[static_cast<size_t>(r) * d + c] +=
+                          ga[static_cast<size_t>(r) * d + c] +=
                               o->grad[static_cast<size_t>(r) * d + c] *
                               pc->data[r];
                         }
                       }
                     }
                     if (InGraph(pc)) {
-                      pc->EnsureGrad();
+                      std::vector<float>& gc = GradBufferFor(pc.get());
                       for (int r = 0; r < m; ++r) {
                         float acc = 0.0f;
                         for (int c = 0; c < d; ++c) {
                           acc += o->grad[static_cast<size_t>(r) * d + c] *
                                  pa->data[static_cast<size_t>(r) * d + c];
                         }
-                        pc->grad[r] += acc;
+                        gc[r] += acc;
                       }
                     }
                   };
@@ -628,10 +626,10 @@ Tensor TileRows(const Tensor& row, int m) {
   return MakeOp(m, d, std::move(out), {pr}, [pr, m, d](TensorImpl* o) {
     return [pr, o, m, d]() {
       if (!InGraph(pr)) return;
-      pr->EnsureGrad();
+      std::vector<float>& gr = GradBufferFor(pr.get());
       for (int i = 0; i < m; ++i) {
         for (int j = 0; j < d; ++j) {
-          pr->grad[j] += o->grad[static_cast<size_t>(i) * d + j];
+          gr[j] += o->grad[static_cast<size_t>(i) * d + j];
         }
       }
     };
@@ -646,8 +644,8 @@ Tensor Sum(const Tensor& a) {
   return MakeOp(1, 1, {total}, {pa}, [pa](TensorImpl* o) {
     return [pa, o]() {
       if (!InGraph(pa)) return;
-      pa->EnsureGrad();
-      for (float& g : pa->grad) g += o->grad[0];
+      std::vector<float>& ga = GradBufferFor(pa.get());
+      for (float& g : ga) g += o->grad[0];
     };
   });
 }
@@ -670,11 +668,11 @@ Tensor MeanRows(const Tensor& a) {
   return MakeOp(1, d, std::move(out), {pa}, [pa, m, d](TensorImpl* o) {
     return [pa, o, m, d]() {
       if (!InGraph(pa)) return;
-      pa->EnsureGrad();
+      std::vector<float>& ga = GradBufferFor(pa.get());
       const float inv = 1.0f / static_cast<float>(m);
       for (int i = 0; i < m; ++i) {
         for (int j = 0; j < d; ++j) {
-          pa->grad[static_cast<size_t>(i) * d + j] += o->grad[j] * inv;
+          ga[static_cast<size_t>(i) * d + j] += o->grad[j] * inv;
         }
       }
     };
@@ -705,8 +703,8 @@ Tensor WeightedSumScalars(const std::vector<Tensor>& scalars,
                     for (size_t i = 0; i < captured.size(); ++i) {
                       const ImplPtr& p = captured[i];
                       if (!InGraph(p)) continue;
-                      p->EnsureGrad();
-                      p->grad[0] += o->grad[0] * static_cast<float>(w[i]);
+                      GradBufferFor(p.get())[0] +=
+                          o->grad[0] * static_cast<float>(w[i]);
                     }
                   };
                 });

@@ -8,9 +8,38 @@ namespace tmn::nn {
 
 namespace {
 thread_local bool g_grad_mode = true;
+thread_local GradSink* g_grad_sink = nullptr;
 }  // namespace
 
 bool GradModeEnabled() { return g_grad_mode; }
+
+std::vector<float>& GradSink::BufferFor(TensorImpl* impl) {
+  auto [it, inserted] = buffers_.try_emplace(impl);
+  if (inserted) it->second.assign(impl->data.size(), 0.0f);
+  return it->second;
+}
+
+const std::vector<float>* GradSink::Find(const TensorImpl* impl) const {
+  auto it = buffers_.find(impl);
+  return it == buffers_.end() ? nullptr : &it->second;
+}
+
+GradSinkScope::GradSinkScope(GradSink* sink) : previous_(g_grad_sink) {
+  g_grad_sink = sink;
+}
+
+GradSinkScope::~GradSinkScope() { g_grad_sink = previous_; }
+
+std::vector<float>& GradBufferFor(TensorImpl* impl) {
+  // Only requires-grad leaves (parameters) are shared across tapes; every
+  // interior node belongs to exactly one tape, so its own buffer is safe.
+  if (g_grad_sink != nullptr && impl->requires_grad &&
+      impl->backward_fn == nullptr) {
+    return g_grad_sink->BufferFor(impl);
+  }
+  impl->EnsureGrad();
+  return impl->grad;
+}
 
 NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
 NoGradGuard::~NoGradGuard() { g_grad_mode = previous_; }

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -93,6 +94,48 @@ struct TensorImpl {
 // Thread-local switch: while disabled, ops compute values but record no
 // graph, making forward-only encoding cheap (used for test-time search).
 bool GradModeEnabled();
+
+// Shadow accumulation buffers for the gradients of requires-grad leaves
+// (parameters), keyed by the leaf's TensorImpl. While a GradSinkScope is
+// installed on a thread, every backward pass on that thread accumulates
+// parameter gradients into the sink instead of the shared param.grad()
+// buffers — so data-parallel workers can run independent tapes over shared
+// parameters without racing, and the trainer can reduce the sinks into
+// param.grad() in a fixed order for thread-count-independent results.
+// A GradSink is NOT internally synchronized: one sink per thread/chunk.
+class GradSink {
+ public:
+  // The accumulation buffer for `impl`, zero-initialized to the leaf's
+  // element count on first use.
+  std::vector<float>& BufferFor(TensorImpl* impl);
+
+  // The buffer for `impl`, or nullptr if no gradient reached it.
+  const std::vector<float>* Find(const TensorImpl* impl) const;
+
+  bool empty() const { return buffers_.empty(); }
+
+ private:
+  std::unordered_map<const TensorImpl*, std::vector<float>> buffers_;
+};
+
+// RAII: installs `sink` as the calling thread's gradient sink for the
+// scope's lifetime (restores the previous sink on destruction).
+class GradSinkScope {
+ public:
+  explicit GradSinkScope(GradSink* sink);
+  ~GradSinkScope();
+  GradSinkScope(const GradSinkScope&) = delete;
+  GradSinkScope& operator=(const GradSinkScope&) = delete;
+
+ private:
+  GradSink* previous_;
+};
+
+// The buffer gradients for `impl` must accumulate into: the calling
+// thread's sink buffer when a GradSinkScope is active and `impl` is a
+// requires-grad leaf, else impl->grad (allocated on demand). Every
+// backward closure in ops.cc writes through this hook.
+std::vector<float>& GradBufferFor(TensorImpl* impl);
 
 class NoGradGuard {
  public:

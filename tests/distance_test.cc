@@ -291,6 +291,36 @@ TEST(DistanceMatrixTest, ParallelMatchesSerial) {
   }
 }
 
+TEST(DistanceMatrixTest, PoolDefaultMatchesSerialBitwise) {
+  // num_threads = 0 routes through the shared thread pool; results must be
+  // bitwise identical to the sequential path since each cell is computed
+  // independently and written to a disjoint slot.
+  const auto trajs = data::GeneratePortoLike(12, 25);
+  DtwMetric dtw;
+  const DoubleMatrix serial = ComputeDistanceMatrix(trajs, dtw, 1);
+  const DoubleMatrix pooled = ComputeDistanceMatrix(trajs, dtw, 0);
+  for (size_t i = 0; i < serial.rows(); ++i) {
+    for (size_t j = 0; j < serial.cols(); ++j) {
+      EXPECT_EQ(serial.at(i, j), pooled.at(i, j));
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, CrossMatrixPoolMatchesSerialBitwise) {
+  const auto base = data::GeneratePortoLike(8, 26);
+  const auto queries = data::GeneratePortoLike(4, 27);
+  FrechetMetric frechet;
+  const DoubleMatrix serial =
+      ComputeCrossDistanceMatrix(queries, base, frechet, 1);
+  const DoubleMatrix pooled =
+      ComputeCrossDistanceMatrix(queries, base, frechet, 0);
+  for (size_t i = 0; i < serial.rows(); ++i) {
+    for (size_t j = 0; j < serial.cols(); ++j) {
+      EXPECT_EQ(serial.at(i, j), pooled.at(i, j));
+    }
+  }
+}
+
 TEST(DistanceMatrixTest, CrossMatrixMatchesDirectComputation) {
   const auto base = data::GeneratePortoLike(6, 23);
   const auto queries = data::GeneratePortoLike(3, 24);

@@ -1,0 +1,107 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tmn::common {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountAtLeastOne) {
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, GlobalPoolHasWorkers) {
+  EXPECT_GE(ThreadPool::Global().size(), 4);
+  // Same instance every time.
+  EXPECT_EQ(&ThreadPool::Global(), &ThreadPool::Global());
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  pool.Submit([&] { value = 42; }).get();
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  std::future<void> f =
+      pool.Submit([] { throw std::runtime_error("worker failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count, 100);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  ParallelFor(0, hits.size(), [&](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, EmptyAndSingleRanges) {
+  int calls = 0;
+  ParallelFor(3, 3, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(7, 8, [&](size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 7u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, MaxParallelismOneIsSequentialInOrder) {
+  std::vector<size_t> order;
+  ParallelFor(0, 16, [&](size_t i) { order.push_back(i); },
+              /*max_parallelism=*/1);
+  std::vector<size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, RethrowsWorkerException) {
+  std::atomic<int> done{0};
+  EXPECT_THROW(ParallelFor(0, 64,
+                           [&](size_t i) {
+                             if (i == 13) throw std::runtime_error("boom");
+                             ++done;
+                           }),
+               std::runtime_error);
+  // Every other index still ran (exceptions don't abort the range).
+  EXPECT_EQ(done, 63);
+}
+
+TEST(ParallelForTest, NestedCallsCompleteWithoutDeadlock) {
+  // Inner loops run inline on pool workers, so even a deeply saturated
+  // pool makes progress. 8 x 8 = 64 increments expected.
+  std::atomic<int> count{0};
+  ParallelFor(0, 8, [&](size_t) {
+    ParallelFor(0, 8, [&](size_t) { ++count; });
+  });
+  EXPECT_EQ(count, 64);
+}
+
+TEST(ParallelForTest, ParallelSumMatchesSequential) {
+  constexpr size_t kN = 1000;
+  std::vector<long> partial(kN, 0);
+  ParallelFor(0, kN, [&](size_t i) { partial[i] = static_cast<long>(i * i); });
+  long sum = std::accumulate(partial.begin(), partial.end(), 0L);
+  long expected = 0;
+  for (size_t i = 0; i < kN; ++i) expected += static_cast<long>(i * i);
+  EXPECT_EQ(sum, expected);
+}
+
+}  // namespace
+}  // namespace tmn::common

@@ -1,6 +1,8 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -181,6 +183,36 @@ TEST_F(TrainerTest, GruBackboneTrains) {
                       config);
   const auto losses = trainer.Train();
   EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST_F(TrainerTest, DeterministicAcrossThreadCounts) {
+  // The data-parallel trainer accumulates gradients into fixed-size chunk
+  // sinks reduced in a fixed order, so the result must be bitwise
+  // identical for ANY worker count at a fixed seed.
+  auto run = [&](int num_threads) {
+    TmnModelConfig model_config;
+    model_config.hidden_dim = 8;
+    model_config.seed = 6;
+    TmnModel model(model_config);
+    RandomSortSampler sampler(&distances_, 6);
+    TrainConfig config = SmallConfig();
+    config.num_threads = num_threads;
+    PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(),
+                        &sampler, config);
+    const double loss = trainer.TrainEpoch();
+    std::vector<std::vector<float>> params;
+    for (const nn::Tensor& p : model.Parameters()) {
+      params.push_back(p.data());
+    }
+    return std::make_pair(loss, params);
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  const auto eight = run(8);
+  EXPECT_EQ(one.first, four.first);
+  EXPECT_EQ(one.first, eight.first);
+  EXPECT_EQ(one.second, four.second);
+  EXPECT_EQ(one.second, eight.second);
 }
 
 TEST_F(TrainerTest, DeterministicGivenSeeds) {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI check: build + full test suite, then rebuild under ThreadSanitizer and
+# re-run the concurrency-sensitive tests (thread pool, trainer, distance
+# matrix, eval). Any TSan report fails the run (halt_on_error).
+#
+# Usage: tools/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== Standard build + full ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== ThreadSanitizer build + concurrency tests =="
+TSAN_TESTS=(thread_pool_test trainer_test distance_test eval_test
+            integration_test)
+cmake -B build-tsan -S . -DTMN_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
+# Run the binaries directly: ctest registers gtest-discovered case names
+# (e.g. ThreadPoolTest.*), so filtering by binary name would match nothing.
+for t in "${TSAN_TESTS[@]}"; do
+  echo "-- TSan: $t"
+  TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
+done
+
+echo "== All checks passed =="
