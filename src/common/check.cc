@@ -1,0 +1,13 @@
+#include "common/check.h"
+
+namespace tmn::common {
+
+bool DChecksEnabled() {
+#ifdef TMN_ENABLE_DCHECKS
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace tmn::common

@@ -1,6 +1,7 @@
 #ifndef TMN_COMMON_CHECK_H_
 #define TMN_COMMON_CHECK_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -23,5 +24,75 @@
       std::abort();                                                      \
     }                                                                    \
   } while (0)
+
+// Debug-only invariant checks. TMN_DCHECK* compile to nothing unless
+// TMN_ENABLE_DCHECKS is defined (CMake: Debug builds by default, or any
+// build with -DTMN_DCHECKS=ON), so hot autograd paths can carry thorough
+// shape/finiteness validation without a Release-mode cost. The disabled
+// form still "sees" its operands via an unevaluated sizeof, so variables
+// used only in dchecks do not trigger -Wunused warnings.
+#ifdef TMN_ENABLE_DCHECKS
+
+#define TMN_DCHECK(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "TMN_DCHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define TMN_DCHECK_MSG(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "TMN_DCHECK failed at %s:%d: %s (%s)\n",      \
+                   __FILE__, __LINE__, #cond, msg);                      \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+// Aborts when `val` is NaN or infinite; `what` names the quantity in the
+// diagnostic (e.g. "loss"). Used at tensor-graph boundaries so a NaN is
+// caught at the op that produced it, not three layers downstream.
+#define TMN_DCHECK_FINITE(val, what)                                       \
+  do {                                                                     \
+    const double tmn_dcheck_v_ = static_cast<double>(val);                 \
+    if (!std::isfinite(tmn_dcheck_v_)) {                                   \
+      std::fprintf(stderr,                                                 \
+                   "TMN_DCHECK_FINITE failed at %s:%d: %s = %g (%s)\n",    \
+                   __FILE__, __LINE__, #val, tmn_dcheck_v_, what);         \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#else  // !TMN_ENABLE_DCHECKS
+
+#define TMN_DCHECK(cond) \
+  do {                   \
+    (void)sizeof(!(cond)); \
+  } while (0)
+
+#define TMN_DCHECK_MSG(cond, msg) \
+  do {                            \
+    (void)sizeof(!(cond));        \
+    (void)sizeof(msg);            \
+  } while (0)
+
+#define TMN_DCHECK_FINITE(val, what) \
+  do {                               \
+    (void)sizeof(val);               \
+    (void)sizeof(what);              \
+  } while (0)
+
+#endif  // TMN_ENABLE_DCHECKS
+
+namespace tmn::common {
+
+// Whether the library itself was compiled with TMN_DCHECK* active. Tests
+// use this to decide if a malformed call will die via a TMN_DCHECK (debug
+// builds) or must be skipped / will die later via a hard TMN_CHECK.
+bool DChecksEnabled();
+
+}  // namespace tmn::common
 
 #endif  // TMN_COMMON_CHECK_H_

@@ -2,18 +2,37 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace tmn::common {
 
 namespace {
 thread_local bool g_on_pool_thread = false;
+
+// Sanity ceiling for TMN_NUM_THREADS: large enough for any real machine,
+// small enough to catch "4096000" typos and units mistakes.
+constexpr long kMaxThreads = 1024;
 }  // namespace
 
 int DefaultThreadCount() {
   if (const char* env = std::getenv("TMN_NUM_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
+    // strtol instead of atoi: atoi returns 0 on garbage, which silently
+    // fell through to hardware concurrency with no way to tell a typo
+    // ("8 threads" / "auto") from an intentionally unset variable.
+    char* end = nullptr;
+    errno = 0;
+    const long n = std::strtol(env, &end, 10);
+    const bool parsed = end != env && *end == '\0' && errno == 0;
+    if (parsed && n >= 1 && n <= kMaxThreads) return static_cast<int>(n);
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "tmn: ignoring invalid TMN_NUM_THREADS='%s' (expected an "
+                   "integer in [1, %ld]); using hardware concurrency\n",
+                   env, kMaxThreads);
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -65,8 +84,10 @@ void ThreadPool::WorkerLoop() {
 bool ThreadPool::OnPoolThread() { return g_on_pool_thread; }
 
 ThreadPool& ThreadPool::Global() {
+  // Intentionally leaked: joining workers from a static destructor
+  // deadlocks if any task outlives main().
   static ThreadPool* pool =
-      new ThreadPool(std::max(4, DefaultThreadCount()));
+      new ThreadPool(std::max(4, DefaultThreadCount()));  // tmn-lint: allow(raw-alloc)
   return *pool;
 }
 
@@ -96,9 +117,11 @@ void ParallelFor(size_t begin, size_t end,
     while (true) {
       const size_t i = next.fetch_add(1);
       if (i >= end) return;
-      try {
+      // The pool must survive a throwing task and hand the exception back
+      // to the caller; this is the one sanctioned catch in library code.
+      try {  // tmn-lint: allow(no-exceptions)
         fn(i);
-      } catch (...) {
+      } catch (...) {  // tmn-lint: allow(no-exceptions)
         std::lock_guard<std::mutex> lock(error_mu);
         if (!error) error = std::current_exception();
       }

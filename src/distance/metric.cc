@@ -13,7 +13,9 @@
 namespace tmn::dist {
 
 const std::vector<MetricType>& AllMetricTypes() {
+  // Intentionally leaked function-local static (no destruction-order risk).
   static const std::vector<MetricType>* const kAll =
+      // tmn-lint: allow(raw-alloc)
       new std::vector<MetricType>{MetricType::kDtw,  MetricType::kFrechet,
                                   MetricType::kErp,  MetricType::kEdr,
                                   MetricType::kHausdorff, MetricType::kLcss};

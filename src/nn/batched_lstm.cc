@@ -36,6 +36,11 @@ std::vector<Tensor> BatchedLstmForward(const LstmCell& cell,
       all_active = all_active && active;
     }
     const LstmCell::State next = cell.Step(StackRows(step_rows), state);
+    TMN_DCHECK_MSG(next.h.rows() == batch &&
+                       next.h.cols() == cell.hidden_size() &&
+                       next.c.rows() == batch &&
+                       next.c.cols() == cell.hidden_size(),
+                   "LSTM step produced a state of the wrong shape");
     if (all_active) {
       state = next;
     } else {

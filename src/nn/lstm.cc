@@ -27,6 +27,14 @@ LstmCell::State LstmCell::InitialState(int batch) const {
 
 LstmCell::State LstmCell::Step(const Tensor& x, const State& state) const {
   TMN_CHECK(x.cols() == input_size_);
+  // A state whose batch does not match x would otherwise only die three ops
+  // downstream, inside Add() after both matmuls; fail at the entry point.
+  TMN_DCHECK_MSG(
+      state.h.rows() == x.rows() && state.h.cols() == hidden_size_,
+      "LSTM state.h shape does not match step input batch / hidden size");
+  TMN_DCHECK_MSG(
+      state.c.rows() == x.rows() && state.c.cols() == hidden_size_,
+      "LSTM state.c shape does not match step input batch / hidden size");
   const int h = hidden_size_;
   const Tensor z =
       AddRowVector(Add(MatMul(x, wx_), MatMul(state.h, wh_)), bias_);

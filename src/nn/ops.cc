@@ -15,6 +15,16 @@ bool InGraph(const ImplPtr& impl) {
   return impl->requires_grad || impl->backward_fn != nullptr;
 }
 
+// Debug-only: a tensor whose data vector no longer matches its declared
+// shape (e.g. resized through the mutable data() accessor) turns every op
+// that touches it into an out-of-bounds access; catch it at the op that
+// received it instead of in a downstream loop.
+void DCheckWellFormed(const Tensor& t) {
+  TMN_DCHECK_MSG(
+      t.data().size() == static_cast<size_t>(t.rows()) * t.cols(),
+      "malformed tensor: data size does not match rows*cols");
+}
+
 // Creates the output node for an op. `backward_builder` is invoked (only
 // when the tape should record) with the raw output pointer and must return
 // the backward closure. The closure may capture parent shared_ptrs — the
@@ -23,6 +33,8 @@ bool InGraph(const ImplPtr& impl) {
 template <typename BackwardBuilder>
 Tensor MakeOp(int rows, int cols, std::vector<float> data,
               std::vector<ImplPtr> parents, BackwardBuilder backward_builder) {
+  TMN_DCHECK_MSG(data.size() == static_cast<size_t>(rows) * cols,
+                 "op produced a data buffer inconsistent with its shape");
   auto impl = std::make_shared<TensorImpl>();
   impl->rows = rows;
   impl->cols = cols;
@@ -47,6 +59,8 @@ Tensor MakeOp(int rows, int cols, std::vector<float> data,
 void CheckSameShape(const Tensor& a, const Tensor& b) {
   TMN_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
                 "shape mismatch");
+  DCheckWellFormed(a);
+  DCheckWellFormed(b);
 }
 
 }  // namespace
@@ -218,6 +232,8 @@ Tensor AddConst(const Tensor& a, double s) {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   TMN_CHECK_MSG(a.cols() == b.rows(), "matmul inner-dim mismatch");
+  DCheckWellFormed(a);
+  DCheckWellFormed(b);
   const int m = a.rows();
   const int k = a.cols();
   const int n = b.cols();
@@ -299,6 +315,7 @@ namespace {
 // input and output values — and returns dy/dx.
 template <typename F, typename DF>
 Tensor UnaryOp(const Tensor& a, F fn, DF dfn) {
+  DCheckWellFormed(a);
   const auto& av = a.data();
   std::vector<float> out(av.size());
   for (size_t i = 0; i < av.size(); ++i) out[i] = fn(av[i]);

@@ -16,6 +16,8 @@ bool GradModeEnabled() { return g_grad_mode; }
 std::vector<float>& GradSink::BufferFor(TensorImpl* impl) {
   auto [it, inserted] = buffers_.try_emplace(impl);
   if (inserted) it->second.assign(impl->data.size(), 0.0f);
+  TMN_DCHECK_MSG(it->second.size() == impl->data.size(),
+                 "grad sink buffer size does not match leaf data size");
   return it->second;
 }
 
@@ -38,6 +40,8 @@ std::vector<float>& GradBufferFor(TensorImpl* impl) {
     return g_grad_sink->BufferFor(impl);
   }
   impl->EnsureGrad();
+  TMN_DCHECK_MSG(impl->grad.size() == impl->data.size(),
+                 "grad buffer size does not match data size");
   return impl->grad;
 }
 
@@ -152,6 +156,9 @@ void Tensor::Backward() {
   TMN_CHECK(impl_ != nullptr);
   TMN_CHECK_MSG(impl_->rows == 1 && impl_->cols == 1,
                 "Backward() must start from a scalar");
+  // Graph boundary: a NaN/inf loss poisons every parameter gradient on the
+  // tape, so catch it here rather than after the optimizer step.
+  TMN_DCHECK_FINITE(impl_->data[0], "Backward() root (loss)");
   // Iterative post-order DFS to get a topological order of the tape.
   std::vector<TensorImpl*> topo;
   std::unordered_set<TensorImpl*> visited;
@@ -175,6 +182,11 @@ void Tensor::Backward() {
   impl_->EnsureGrad();
   impl_->grad[0] += 1.0f;
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    // Reverse-topological order guarantees every child already propagated
+    // into this node, so its grad buffer must be allocated and sized.
+    TMN_DCHECK_MSG((*it)->backward_fn == nullptr ||
+                       (*it)->grad.size() == (*it)->data.size(),
+                   "tape node grad buffer not sized before its backward fn");
     if ((*it)->backward_fn) (*it)->backward_fn();
   }
 }

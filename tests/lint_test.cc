@@ -1,0 +1,121 @@
+// End-to-end tests for tools/tmn_lint.cc: every rule fires on its seeded
+// fixture (tests/testdata/lint), suppression comments silence findings,
+// and the real repository is lint-clean.
+//
+// The binary path and repo root come from compile definitions set in
+// tests/CMakeLists.txt, so the test works from any build directory.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+// Runs tmn_lint on `args` (paths relative to the repo root) and captures
+// stdout. popen is fine here: this is test code, not library code.
+LintRun RunLint(const std::string& args) {
+  const std::string cmd = std::string("cd ") + TMN_REPO_ROOT + " && " +
+                          TMN_LINT_BIN + " " + args + " 2>/dev/null";
+  LintRun result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buf;
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    result.output += buf.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+// Parses "file:line: [rule] message" lines into file -> rule ids.
+std::multimap<std::string, std::string> ParseFindings(
+    const std::string& output) {
+  std::multimap<std::string, std::string> findings;
+  std::istringstream in(output);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t open = line.find(" [");
+    const size_t close = line.find("] ", open);
+    const size_t colon = line.find(':');
+    if (open == std::string::npos || close == std::string::npos ||
+        colon == std::string::npos) {
+      continue;
+    }
+    std::string file = line.substr(0, colon);
+    const size_t slash = file.rfind('/');
+    if (slash != std::string::npos) file = file.substr(slash + 1);
+    findings.emplace(file, line.substr(open + 2, close - open - 2));
+  }
+  return findings;
+}
+
+TEST(LintTest, FixtureCorpusReportsExactRuleIds) {
+  const LintRun run = RunLint("tests/testdata/lint");
+  ASSERT_EQ(run.exit_code, 1) << run.output;
+
+  const auto findings = ParseFindings(run.output);
+  const std::multimap<std::string, std::string> expected = {
+      {"fixture_raw_thread.cc", "raw-thread"},
+      {"fixture_no_exceptions.cc", "no-exceptions"},
+      {"fixture_raw_rng.cc", "raw-rng"},
+      {"fixture_stdout_io.cc", "stdout-io"},
+      {"fixture_bad_guard.h", "header-guard"},
+      {"fixture_raw_alloc.cc", "raw-alloc"},
+  };
+  EXPECT_EQ(findings, expected) << run.output;
+}
+
+TEST(LintTest, SuppressedFixtureIsSilent) {
+  const LintRun run = RunLint("tests/testdata/lint/src/fixture_suppressed.cc");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(LintTest, RepositoryIsClean) {
+  const LintRun run = RunLint("src tests bench tools");
+  EXPECT_EQ(run.exit_code, 0) << "repository has lint findings:\n"
+                              << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(LintTest, OutputIsMachineReadable) {
+  const LintRun run = RunLint("tests/testdata/lint/src/fixture_raw_thread.cc");
+  ASSERT_EQ(run.exit_code, 1);
+  // file:line: [rule] message
+  EXPECT_TRUE(run.output.find(
+                  "fixture_raw_thread.cc:5: [raw-thread]") !=
+              std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, ListRulesCoversCatalogue) {
+  const LintRun run = RunLint("--list-rules");
+  ASSERT_EQ(run.exit_code, 0);
+  for (const char* rule : {"raw-thread", "no-exceptions", "raw-rng",
+                           "stdout-io", "header-guard", "raw-alloc"}) {
+    EXPECT_TRUE(run.output.find(rule) != std::string::npos) << rule;
+  }
+}
+
+TEST(LintTest, UsageErrorOnNoArguments) {
+  const LintRun run = RunLint("");
+  EXPECT_EQ(run.exit_code, 2);
+}
+
+TEST(LintTest, MissingPathIsAnError) {
+  const LintRun run = RunLint("no/such/dir");
+  EXPECT_EQ(run.exit_code, 2);
+}
+
+}  // namespace

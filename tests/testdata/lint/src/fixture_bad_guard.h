@@ -1,0 +1,7 @@
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+// Lint fixture: exactly one header-guard violation (never compiled).
+// Expected guard for this path: TMN_FIXTURE_BAD_GUARD_H_.
+
+#endif  // WRONG_GUARD_NAME_H

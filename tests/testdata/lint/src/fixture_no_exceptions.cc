@@ -1,0 +1,6 @@
+// Lint fixture: exactly one no-exceptions violation (never compiled).
+// The word "try" in a comment or in try_emplace must NOT count.
+
+void ThrowsInLibraryCode(int x) {
+  if (x < 0) throw 42;
+}

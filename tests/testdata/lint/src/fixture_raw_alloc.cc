@@ -1,0 +1,6 @@
+// Lint fixture: exactly one raw-alloc violation (never compiled).
+// "new" in comments (a new trajectory) and make_shared must NOT count.
+
+int* LeaksRawAllocation() {
+  return new int[16];
+}

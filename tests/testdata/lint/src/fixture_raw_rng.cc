@@ -1,0 +1,8 @@
+// Lint fixture: exactly one raw-rng violation (never compiled).
+// "rand" inside identifiers (operand, strands) must NOT count.
+#include <random>
+
+int UnseededRandomness() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}

@@ -1,0 +1,7 @@
+// Lint fixture: exactly one raw-thread violation (never compiled).
+#include <thread>
+
+void SpawnsRawThread() {
+  std::thread t([]() {});
+  t.join();
+}

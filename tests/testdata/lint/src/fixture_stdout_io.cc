@@ -1,0 +1,8 @@
+// Lint fixture: exactly one stdout-io violation (never compiled).
+// std::fprintf(stderr, ...) and snprintf must NOT count.
+#include <cstdio>
+#include <iostream>
+
+void WritesToStdout() {
+  std::cout << "library code must not write to stdout\n";
+}

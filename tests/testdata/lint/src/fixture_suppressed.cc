@@ -1,0 +1,8 @@
+// Lint fixture: a real violation silenced by a suppression comment —
+// must produce zero findings.
+#include <thread>
+
+void SanctionedRawThread() {
+  std::thread t([]() {});  // tmn-lint: allow(raw-thread)
+  t.join();
+}

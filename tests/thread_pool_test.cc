@@ -1,8 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -12,6 +14,49 @@ namespace {
 
 TEST(ThreadPoolTest, DefaultThreadCountAtLeastOne) {
   EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+// RAII for TMN_NUM_THREADS so a failing assertion can't leak the variable
+// into later tests.
+class ScopedNumThreadsEnv {
+ public:
+  explicit ScopedNumThreadsEnv(const char* value) {
+    const char* old = getenv("TMN_NUM_THREADS");
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    setenv("TMN_NUM_THREADS", value, /*overwrite=*/1);
+  }
+  ~ScopedNumThreadsEnv() {
+    if (had_value_) {
+      setenv("TMN_NUM_THREADS", saved_.c_str(), 1);
+    } else {
+      unsetenv("TMN_NUM_THREADS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(ThreadPoolTest, NumThreadsEnvParsedStrictly) {
+  ScopedNumThreadsEnv env("8");
+  EXPECT_EQ(DefaultThreadCount(), 8);
+}
+
+TEST(ThreadPoolTest, InvalidNumThreadsEnvFallsBackToHardware) {
+  const int hardware_default = [] {
+    ScopedNumThreadsEnv cleared("");
+    unsetenv("TMN_NUM_THREADS");
+    return DefaultThreadCount();
+  }();
+  // atoi would have parsed "8 threads" as 8 and "garbage" as 0; strtol
+  // parsing rejects anything that is not a bare in-range integer.
+  for (const char* bad : {"garbage", "8 threads", "", "0", "-3", "2.5",
+                          "999999999999999999999", "4096000"}) {
+    ScopedNumThreadsEnv env(bad);
+    EXPECT_EQ(DefaultThreadCount(), hardware_default) << "value: " << bad;
+  }
 }
 
 TEST(ThreadPoolTest, GlobalPoolHasWorkers) {

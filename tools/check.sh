@@ -1,7 +1,15 @@
 #!/usr/bin/env bash
-# CI check: build + full test suite, then rebuild under ThreadSanitizer and
-# re-run the concurrency-sensitive tests (thread pool, trainer, distance
-# matrix, eval). Any TSan report fails the run (halt_on_error).
+# The repository's one-command correctness gate:
+#
+#   1. tmn_lint        — project-specific static rules (tools/tmn_lint.cc)
+#   2. build + ctest   — full Release test suite with -Werror
+#   3. Debug invariants — TMN_DCHECK layer active; death tests must fire
+#   4. UBSan           — numeric core tests under -fsanitize=undefined
+#   5. TSan            — concurrency tests under -fsanitize=thread
+#   6. clang-tidy      — bugprone/performance/concurrency checks (optional:
+#                        skipped with a notice when clang-tidy is absent)
+#
+# Any finding in any stage exits non-zero. See docs/STATIC_ANALYSIS.md.
 #
 # Usage: tools/check.sh [jobs]
 set -euo pipefail
@@ -9,21 +17,61 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== Standard build + full ctest =="
-cmake -B build -S . >/dev/null
+echo "== [1/6] Standard build (-Werror) + full ctest =="
+cmake -B build -S . -DTMN_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== ThreadSanitizer build + concurrency tests =="
+echo "== [2/6] tmn_lint gate =="
+./build/tools/tmn_lint src tests bench tools
+echo "-- lint clean"
+
+echo "== [3/6] Debug build: TMN_DCHECK invariant layer =="
+cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug -DTMN_WERROR=ON >/dev/null
+cmake --build build-debug -j "$JOBS" --target invariants_test
+# In a Debug build the library-level death tests must RUN (not skip): a
+# malformed op call has to abort via TMN_DCHECK.
+./build-debug/tests/invariants_test \
+    --gtest_filter='InvariantLayer*' 2>&1 | tee /tmp/tmn_invariants.log
+if grep -q "SKIPPED" /tmp/tmn_invariants.log; then
+  echo "error: invariant death tests skipped in a Debug build" >&2
+  exit 1
+fi
+
+echo "== [4/6] UndefinedBehaviorSanitizer: numeric core tests =="
+UBSAN_TESTS=(tensor_test ops_test autograd_test batched_lstm_test rnn_test
+             loss_test distance_test sampler_test trainer_test eval_test)
+cmake -B build-ubsan -S . -DTMN_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "$JOBS" --target "${UBSAN_TESTS[@]}"
+# Run binaries directly: ctest registers gtest-discovered case names, so
+# filtering by binary name would match nothing.
+for t in "${UBSAN_TESTS[@]}"; do
+  echo "-- UBSan: $t"
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" "./build-ubsan/tests/$t"
+done
+
+echo "== [5/6] ThreadSanitizer: concurrency tests =="
 TSAN_TESTS=(thread_pool_test trainer_test distance_test eval_test
             integration_test)
 cmake -B build-tsan -S . -DTMN_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
-# Run the binaries directly: ctest registers gtest-discovered case names
-# (e.g. ThreadPoolTest.*), so filtering by binary name would match nothing.
 for t in "${TSAN_TESTS[@]}"; do
   echo "-- TSan: $t"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
 done
+
+echo "== [6/6] clang-tidy (bugprone-*, performance-*, concurrency-*) =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json is emitted by the standard build in stage 1.
+  mapfile -t TIDY_SOURCES < <(find src tools -name '*.cc' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build -quiet "${TIDY_SOURCES[@]}"
+  else
+    clang-tidy -p build --quiet "${TIDY_SOURCES[@]}"
+  fi
+else
+  echo "-- notice: clang-tidy not installed; skipping tidy pass" \
+       "(install clang-tidy to enable it)"
+fi
 
 echo "== All checks passed =="

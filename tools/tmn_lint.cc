@@ -1,0 +1,468 @@
+// tmn_lint — project-specific static analysis for the TMN repository.
+//
+// A dependency-free, from-scratch linter that enforces the invariants the
+// compiler cannot: every thread comes from the shared pool, library code
+// never throws, all randomness flows through the seeded Rng, headers carry
+// canonical include guards, and raw allocations are either banned or
+// explicitly acknowledged. clang-tidy covers generic C++ bugs; this tool
+// covers the rules that are specific to this codebase's design contracts
+// (see docs/STATIC_ANALYSIS.md for the catalogue).
+//
+// Usage:
+//   tmn_lint [--list-rules] <file-or-dir>...
+//
+// Output is machine readable, one finding per line:
+//   <file>:<line>: [<rule-id>] <message>
+// Exit code: 0 clean, 1 findings, 2 usage/IO error.
+//
+// Suppression: append `// tmn-lint: allow(<rule-id>)` to the offending
+// line, or place it alone on the immediately preceding line. Several rules
+// may be listed comma-separated: `// tmn-lint: allow(raw-alloc,raw-thread)`.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Rule catalogue. Kept as data so --list-rules, the docs and the tests stay
+// in sync with one table.
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+constexpr RuleInfo kRules[] = {
+    {"raw-thread",
+     "std::thread outside src/common/thread_pool.* (use the shared pool / "
+     "ParallelFor)"},
+    {"no-exceptions",
+     "throw/try/catch in library code (the library is no-exceptions by "
+     "design; invariants abort via TMN_CHECK)"},
+    {"raw-rng",
+     "rand()/srand()/std::random_device/std::mt19937 outside src/nn/rng.* "
+     "(breaks bit-for-bit seeded determinism)"},
+    {"stdout-io",
+     "std::cout/printf in library code (library code must not write to "
+     "stdout; diagnostics go to stderr, results to the caller)"},
+    {"header-guard",
+     "missing or non-canonical TMN_*_H_ include guard (guard must be the "
+     "upper-cased path with the src/ prefix dropped)"},
+    {"raw-alloc",
+     "raw new/malloc in library code (use containers/std::make_shared; "
+     "intentional leak-on-exit singletons need a suppression)"},
+};
+
+// ---------------------------------------------------------------------------
+// Path classification.
+
+std::string NormalizePath(const fs::path& p) {
+  std::string s = p.generic_string();
+  while (s.rfind("./", 0) == 0) s.erase(0, 2);
+  return s;
+}
+
+// True when `path` has `segment` as a whole path component.
+bool HasSegment(const std::string& path, const std::string& segment) {
+  size_t pos = 0;
+  while ((pos = path.find(segment, pos)) != std::string::npos) {
+    const bool start_ok = pos == 0 || path[pos - 1] == '/';
+    const size_t end = pos + segment.size();
+    const bool end_ok = end == path.size() || path[end] == '/';
+    if (start_ok && end_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+// Library code lives under a src/ path segment; tests, benches and tools
+// are application code where stdout, exceptions and raw allocation are
+// acceptable.
+bool IsLibraryPath(const std::string& path) { return HasSegment(path, "src"); }
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// The two sanctioned homes for the primitives the rules ban elsewhere.
+bool IsThreadPoolSource(const std::string& path) {
+  return EndsWith(path, "common/thread_pool.h") ||
+         EndsWith(path, "common/thread_pool.cc");
+}
+
+bool IsRngSource(const std::string& path) {
+  return EndsWith(path, "nn/rng.h") || EndsWith(path, "nn/rng.cc");
+}
+
+// Canonical guard symbol for a header: upper-cased path with '/' and '.'
+// mapped to '_', prefixed TMN_, with everything up to and including the
+// last src/ segment dropped (src/nn/tensor.h -> TMN_NN_TENSOR_H_,
+// tools/flags.h -> TMN_TOOLS_FLAGS_H_). Falls back to the last two path
+// components for absolute paths outside the repo layout.
+std::string ExpectedGuard(const std::string& path) {
+  std::string rel = path;
+  size_t pos = rel.rfind("src/");
+  if (pos != std::string::npos &&
+      (pos == 0 || rel[pos - 1] == '/')) {
+    rel = rel.substr(pos + 4);
+  } else {
+    size_t slash = rel.rfind('/');
+    if (slash != std::string::npos) {
+      size_t prev = rel.rfind('/', slash - 1);
+      rel = prev == std::string::npos ? rel : rel.substr(prev + 1);
+    }
+  }
+  std::string guard = "TMN_";
+  for (char c : rel) {
+    if (c == '/' || c == '.') {
+      guard += '_';
+    } else {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal lexer: blanks out comments and string/char literals so token
+// searches only see code. Comment *text* is preserved separately for
+// suppression parsing.
+
+struct ScrubState {
+  bool in_block_comment = false;
+};
+
+// Returns `line` with comments and literals replaced by spaces; appends the
+// text of any comment on the line to `comment_out`.
+std::string ScrubLine(const std::string& line, ScrubState& state,
+                      std::string& comment_out) {
+  std::string out(line.size(), ' ');
+  size_t i = 0;
+  while (i < line.size()) {
+    if (state.in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        state.in_block_comment = false;
+        comment_out += ' ';
+        i += 2;
+      } else {
+        comment_out += line[i];
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      comment_out.append(line, i + 2, std::string::npos);
+      break;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      state.in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+        } else if (line[i] == quote) {
+          ++i;
+          break;
+        } else {
+          ++i;
+        }
+      }
+      continue;
+    }
+    out[i] = c;
+    ++i;
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// True when `token` occurs in `code` as a standalone token: the preceding
+// character must not be an identifier character (':' is allowed so
+// std::rand matches a bare `rand` pattern), and the following character
+// must not be an identifier character. When `require_call` is set the
+// token must be followed (after optional blanks) by '('.
+bool HasToken(const std::string& code, const std::string& token,
+              bool require_call = false) {
+  size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool start_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool end_ok = end == code.size() || !IsIdentChar(code[end]);
+    if (start_ok && end_ok) {
+      if (!require_call) return true;
+      size_t j = end;
+      while (j < code.size() && code[j] == ' ') ++j;
+      if (j < code.size() && code[j] == '(') return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
+// Parses every `tmn-lint: allow(a,b,...)` marker in a comment.
+void ParseSuppressions(const std::string& comment, std::set<std::string>& out) {
+  const std::string marker = "tmn-lint: allow(";
+  size_t pos = 0;
+  while ((pos = comment.find(marker, pos)) != std::string::npos) {
+    size_t start = pos + marker.size();
+    size_t close = comment.find(')', start);
+    if (close == std::string::npos) break;
+    std::string inside = comment.substr(start, close - start);
+    std::string current;
+    for (char c : inside) {
+      if (c == ',') {
+        if (!current.empty()) out.insert(current);
+        current.clear();
+      } else if (c != ' ') {
+        current += c;
+      }
+    }
+    if (!current.empty()) out.insert(current);
+    pos = close;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scan.
+
+void LintFile(const std::string& path, std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) {
+    findings.push_back({path, 0, "io-error", "cannot open file"});
+    return;
+  }
+  const bool is_header = EndsWith(path, ".h");
+  const bool library = IsLibraryPath(path);
+  const bool pool_source = IsThreadPoolSource(path);
+  const bool rng_source = IsRngSource(path);
+
+  ScrubState scrub;
+  std::set<std::string> carried;  // Suppressions from the previous line.
+  std::string line;
+  int lineno = 0;
+
+  std::string guard_symbol;     // From the first #ifndef.
+  int guard_line = 0;
+  bool guard_defined = false;   // Matching #define seen right after.
+  bool saw_code_before_guard = false;
+
+  std::vector<Finding> local;
+  auto report = [&](int at, const char* rule, const std::string& msg,
+                    const std::set<std::string>& active) {
+    if (active.count(rule)) return;
+    local.push_back({path, at, rule, msg});
+  };
+
+  bool expect_guard_define = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string comment;
+    const std::string code = ScrubLine(line, scrub, comment);
+
+    std::set<std::string> active = carried;
+    ParseSuppressions(comment, active);
+    carried.clear();
+    // A marker on a line with no code applies to the next line instead.
+    if (code.find_first_not_of(' ') == std::string::npos) {
+      ParseSuppressions(comment, carried);
+    }
+
+    // --- Include-guard bookkeeping (headers only). -----------------------
+    if (is_header) {
+      std::string trimmed = code;
+      size_t first = trimmed.find_first_not_of(" \t");
+      trimmed = first == std::string::npos ? "" : trimmed.substr(first);
+      if (expect_guard_define) {
+        expect_guard_define = false;
+        if (trimmed.rfind("#define", 0) == 0) {
+          std::string sym = trimmed.substr(7);
+          size_t b = sym.find_first_not_of(" \t");
+          size_t e = sym.find_last_not_of(" \t");
+          sym = b == std::string::npos ? "" : sym.substr(b, e - b + 1);
+          guard_defined = sym == guard_symbol;
+        }
+      } else if (guard_symbol.empty() && !trimmed.empty()) {
+        if (trimmed.rfind("#ifndef", 0) == 0) {
+          std::string sym = trimmed.substr(7);
+          size_t b = sym.find_first_not_of(" \t");
+          size_t e = sym.find_last_not_of(" \t");
+          guard_symbol = b == std::string::npos ? "" : sym.substr(b, e - b + 1);
+          guard_line = lineno;
+          expect_guard_define = true;
+        } else if (trimmed.rfind("#pragma once", 0) != 0) {
+          saw_code_before_guard = true;
+        }
+      }
+    }
+
+    // --- Token rules. ----------------------------------------------------
+    if (!pool_source && HasToken(code, "std::thread")) {
+      report(lineno, "raw-thread",
+             "raw std::thread; use tmn::common::ThreadPool / ParallelFor",
+             active);
+    }
+    if (library) {
+      if (HasToken(code, "throw") || HasToken(code, "try") ||
+          HasToken(code, "catch")) {
+        report(lineno, "no-exceptions",
+               "exceptions in library code; abort via TMN_CHECK instead",
+               active);
+      }
+      if (HasToken(code, "std::cout") || HasToken(code, "printf", true)) {
+        report(lineno, "stdout-io",
+               "stdout I/O in library code; use std::fprintf(stderr, ...) "
+               "for diagnostics",
+               active);
+      }
+      if (HasToken(code, "new") || HasToken(code, "malloc", true)) {
+        report(lineno, "raw-alloc",
+               "raw allocation in library code; use containers or "
+               "std::make_shared/std::make_unique",
+               active);
+      }
+    }
+    if (!rng_source &&
+        (HasToken(code, "std::random_device") ||
+         HasToken(code, "std::mt19937") || HasToken(code, "rand", true) ||
+         HasToken(code, "srand", true))) {
+      report(lineno, "raw-rng",
+             "unseeded/global randomness; route through tmn::nn::Rng",
+             active);
+    }
+  }
+
+  if (is_header) {
+    const std::string expected = ExpectedGuard(path);
+    if (guard_symbol.empty()) {
+      local.push_back({path, 1, "header-guard",
+                       "missing include guard; expected #ifndef " + expected});
+    } else if (guard_symbol != expected || saw_code_before_guard) {
+      local.push_back({path, guard_line, "header-guard",
+                       "include guard '" + guard_symbol + "' should be '" +
+                           expected + "'"});
+    } else if (!guard_defined) {
+      local.push_back({path, guard_line, "header-guard",
+                       "#ifndef " + expected +
+                           " not followed by a matching #define"});
+    }
+  }
+
+  findings.insert(findings.end(), local.begin(), local.end());
+}
+
+// ---------------------------------------------------------------------------
+// Directory walk.
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+// Directories never descended into while recursing (explicitly passed
+// roots are always scanned, which is how the test fixtures are linted).
+bool SkipDirectory(const std::string& name) {
+  if (name.empty() || name[0] == '.') return true;
+  if (name == "testdata") return true;
+  if (name.rfind("build", 0) == 0) return true;
+  return name == "third_party" || name == "external";
+}
+
+void CollectFiles(const fs::path& root, std::vector<std::string>& out,
+                  bool& error) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    if (IsSourceFile(root)) out.push_back(NormalizePath(root));
+    return;
+  }
+  if (!fs::is_directory(root, ec)) {
+    std::fprintf(stderr, "tmn_lint: no such file or directory: %s\n",
+                 root.string().c_str());
+    error = true;
+    return;
+  }
+  std::vector<fs::path> stack = {root};
+  while (!stack.empty()) {
+    const fs::path dir = stack.back();
+    stack.pop_back();
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const fs::path& p = entry.path();
+      if (entry.is_directory()) {
+        if (!SkipDirectory(p.filename().string())) stack.push_back(p);
+      } else if (entry.is_regular_file() && IsSourceFile(p)) {
+        out.push_back(NormalizePath(p));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const RuleInfo& r : kRules) {
+        std::printf("%-14s %s\n", r.id, r.summary);
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: tmn_lint [--list-rules] <file-or-dir>...\n");
+      return 0;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: tmn_lint [--list-rules] <file-or-dir>...\n");
+    return 2;
+  }
+
+  bool io_error = false;
+  std::vector<std::string> files;
+  for (const std::string& r : roots) CollectFiles(r, files, io_error);
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& f : files) LintFile(f, findings);
+
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (io_error) return 2;
+  if (!findings.empty()) {
+    std::fprintf(stderr, "tmn_lint: %zu finding(s) in %zu file(s) scanned\n",
+                 findings.size(), files.size());
+    return 1;
+  }
+  return 0;
+}
