@@ -1,17 +1,32 @@
 // Microbenchmarks for the exact distance metrics (google-benchmark):
 // per-pair cost as a function of trajectory length, for each metric.
+//
+// Before the timing loops run, a fixed-seed 40x40 distance matrix is
+// computed per metric and its entry sum recorded as a stable checksum
+// gauge; the RunReport (default BENCH_distance.json, or the first
+// non-flag argument) is the artifact tools/bench_compare gates on in CI.
+// Checksums hard-fail on drift, so a kernel change that alters results
+// cannot slip through as "just a perf delta"; the google-benchmark
+// timings stay on stdout and are not part of the gate.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
 #include "data/synthetic.h"
+#include "distance/distance_matrix.h"
 #include "distance/metric.h"
 #include "geo/preprocess.h"
+#include "obs/metrics.h"
 
 namespace {
 
-std::vector<tmn::geo::Trajectory> MakeTrajectories(int length) {
+std::vector<tmn::geo::Trajectory> MakeTrajectories(int count, int length) {
   tmn::data::SyntheticConfig config;
   config.kind = tmn::data::SyntheticKind::kPortoLike;
-  config.num_trajectories = 2;
+  config.num_trajectories = count;
   config.min_length = length;
   config.max_length = length;
   config.seed = 5;
@@ -21,7 +36,7 @@ std::vector<tmn::geo::Trajectory> MakeTrajectories(int length) {
 }
 
 void BM_Metric(benchmark::State& state, tmn::dist::MetricType type) {
-  const auto trajs = MakeTrajectories(static_cast<int>(state.range(0)));
+  const auto trajs = MakeTrajectories(2, static_cast<int>(state.range(0)));
   const auto metric = tmn::dist::CreateMetric(type);
   for (auto _ : state) {
     benchmark::DoNotOptimize(metric->Compute(trajs[0], trajs[1]));
@@ -42,12 +57,58 @@ void RegisterMetricBenchmarks() {
   }
 }
 
+// Deterministic accuracy gate: per metric, the sum of a fixed-seed
+// pairwise matrix, written as a stable gauge. Runs through the
+// instrumented ComputeDistanceMatrix so the report also exercises the
+// tmn.distance.* counters.
+void RecordChecksums() {
+  constexpr int kCount = 40;
+  constexpr int kLength = 32;
+  const auto trajs = MakeTrajectories(kCount, kLength);
+  auto& reg = tmn::obs::Registry::Global();
+  for (tmn::dist::MetricType type : tmn::dist::AllMetricTypes()) {
+    const auto metric = tmn::dist::CreateMetric(type);
+    const tmn::DoubleMatrix m =
+        tmn::dist::ComputeDistanceMatrix(trajs, *metric, 0);
+    double sum = 0.0;
+    for (double v : m.data()) sum += v;
+    reg.GetGauge("bench.distance.checksum." +
+                 tmn::dist::MetricName(type))
+        .Set(sum);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // First non-flag argument = report path; everything else goes to
+  // google-benchmark untouched.
+  std::string out_path = "BENCH_distance.json";
+  std::vector<char*> bench_args;
+  bench_args.push_back(argv[0]);
+  bool path_taken = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!path_taken && argv[i][0] != '-') {
+      out_path = argv[i];
+      path_taken = true;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+
+  RecordChecksums();
+  const std::map<std::string, std::string> config = {
+      {"checksum_corpus", "40"},
+      {"checksum_length", "32"},
+      {"checksum_seed", "5"},
+  };
+  const bool wrote =
+      tmn::bench::WriteRunReport("micro_distance", out_path, config);
+
   RegisterMetricBenchmarks();
-  benchmark::Initialize(&argc, argv);
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return wrote ? 0 : 1;
 }

@@ -2,10 +2,16 @@
 // PairTrainer epoch at 1/2/4/8 worker threads on the same corpus, model
 // seed and sampler. Also cross-checks the determinism contract — the
 // per-epoch loss must be bitwise identical at every thread count.
-// Emits BENCH_train.json next to the binary for tracking.
-#include <chrono>
+//
+// Emits a RunReport (schema tmn.run_report/1) holding every metric the
+// instrumented library recorded plus bench-level gauges. The committed
+// baseline lives at bench/baselines/BENCH_train.json; CI regenerates the
+// report and gates with tools/bench_compare (counters and losses are
+// stable and hard-fail on drift; timings are unstable and warn-only).
+//
+// Usage: bench_micro_train [output.json]   (default: BENCH_train.json)
 #include <cstdio>
-#include <memory>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -17,6 +23,8 @@
 #include "distance/distance_matrix.h"
 #include "distance/metric.h"
 #include "geo/preprocess.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 
 namespace {
 
@@ -27,19 +35,23 @@ struct ThreadResult {
   std::vector<double> losses;
 };
 
+constexpr int kEpochs = 2;
+constexpr int kCorpusSize = 60;
+constexpr uint64_t kCorpusSeed = 4242;
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_train.json";
   std::printf("TMN reproduction — micro-benchmark: parallel training\n");
 
-  auto raw = tmn::data::GeneratePortoLike(60, 4242);
+  auto raw = tmn::data::GeneratePortoLike(kCorpusSize, kCorpusSeed);
   const auto trajs = tmn::geo::NormalizeTrajectories(
       raw, tmn::geo::ComputeNormalization(raw));
   auto metric = tmn::dist::CreateMetric(tmn::dist::MetricType::kDtw);
   const tmn::DoubleMatrix distances =
       tmn::dist::ComputeDistanceMatrix(trajs, *metric, 0);
 
-  constexpr int kEpochs = 2;
   std::vector<ThreadResult> results;
   for (int threads : {1, 2, 4, 8}) {
     tmn::core::TmnModelConfig model_config;
@@ -58,13 +70,11 @@ int main() {
 
     ThreadResult result;
     result.threads = threads;
-    const auto start = std::chrono::steady_clock::now();
+    tmn::obs::ScopedTimer timer("bench.train_sweep");
     for (int e = 0; e < kEpochs; ++e) {
       result.losses.push_back(trainer.TrainEpoch());
     }
-    const auto end = std::chrono::steady_clock::now();
-    result.seconds_per_epoch =
-        std::chrono::duration<double>(end - start).count() / kEpochs;
+    result.seconds_per_epoch = timer.Stop() / kEpochs;
     results.push_back(result);
   }
 
@@ -84,24 +94,33 @@ int main() {
   std::printf("deterministic across thread counts: %s\n",
               deterministic ? "yes" : "NO — BUG");
 
-  std::FILE* out = std::fopen("BENCH_train.json", "w");
-  if (out != nullptr) {
-    std::fprintf(out, "{\n  \"bench\": \"micro_train\",\n");
-    std::fprintf(out, "  \"epochs\": %d,\n", kEpochs);
-    std::fprintf(out, "  \"deterministic\": %s,\n",
-                 deterministic ? "true" : "false");
-    std::fprintf(out, "  \"runs\": [\n");
-    for (size_t i = 0; i < results.size(); ++i) {
-      const ThreadResult& r = results[i];
-      std::fprintf(out,
-                   "    {\"threads\": %d, \"seconds_per_epoch\": %.6f, "
-                   "\"speedup\": %.3f, \"loss\": %.17g}%s\n",
-                   r.threads, r.seconds_per_epoch, r.speedup, r.losses[0],
-                   i + 1 < results.size() ? "," : "");
-    }
-    std::fprintf(out, "  ]\n}\n");
-    std::fclose(out);
-    std::printf("wrote BENCH_train.json\n");
+  // Bench-level results become registry gauges so the RunReport carries
+  // them alongside the library's own counters/timers. Losses are the
+  // accuracy gate: stable, bitwise reproducible per the determinism
+  // contract. Per-thread timings are machine-dependent: unstable.
+  auto& reg = tmn::obs::Registry::Global();
+  reg.GetGauge("bench.train.deterministic").Set(deterministic ? 1.0 : 0.0);
+  for (int e = 0; e < kEpochs; ++e) {
+    reg.GetGauge("bench.train.loss_epoch" + std::to_string(e))
+        .Set(results.front().losses[e]);
   }
-  return deterministic ? 0 : 1;
+  for (const ThreadResult& r : results) {
+    const std::string suffix = "_t" + std::to_string(r.threads);
+    reg.GetGauge("bench.train.seconds_per_epoch" + suffix,
+                 tmn::obs::Stability::kUnstable)
+        .Set(r.seconds_per_epoch);
+    reg.GetGauge("bench.train.speedup" + suffix,
+                 tmn::obs::Stability::kUnstable)
+        .Set(r.speedup);
+  }
+
+  const std::map<std::string, std::string> config = {
+      {"epochs", std::to_string(kEpochs)},
+      {"corpus", std::to_string(kCorpusSize)},
+      {"corpus_seed", std::to_string(kCorpusSeed)},
+      {"thread_sweep", "1,2,4,8"},
+  };
+  const bool wrote =
+      tmn::bench::WriteRunReport("micro_train", out_path, config);
+  return deterministic && wrote ? 0 : 1;
 }

@@ -12,8 +12,9 @@
 #include "core/trainer.h"
 #include "data/dataset.h"
 #include "distance/distance_matrix.h"
-#include "eval/timer.h"
 #include "geo/preprocess.h"
+#include "obs/run_report.h"
+#include "obs/scoped_timer.h"
 
 namespace tmn::bench {
 
@@ -136,19 +137,35 @@ RunResult RunMethod(const PreparedData& data, const RunConfig& config) {
   core::PairTrainer trainer(model.get(), &data.train, &truth.train_dist,
                             metric.get(), sampler.get(), train_config);
   RunResult result;
-  eval::WallTimer timer;
-  trainer.Train();
-  result.total_train_seconds = timer.Seconds();
+  {
+    obs::ScopedTimer train_timer("bench.train");
+    trainer.Train();
+    result.total_train_seconds = train_timer.Stop();
+  }
   result.train_seconds_per_epoch =
       result.total_train_seconds / config.epochs;
 
   eval::EvalOptions options;
   options.num_queries = config.num_queries;
-  timer.Restart();
+  obs::ScopedTimer eval_timer("bench.eval");
   result.quality =
       eval::EvaluateSearch(*model, data.test, truth.test_dist, options);
-  result.eval_seconds = timer.Seconds();
+  result.eval_seconds = eval_timer.Stop();
   return result;
+}
+
+bool WriteRunReport(const std::string& bench_name, const std::string& path,
+                    const std::map<std::string, std::string>& config) {
+  obs::RunReport report(bench_name);
+  for (const auto& [key, value] : config) report.SetConfig(key, value);
+  const bool ok = report.WriteFile(path);
+  if (ok) {
+    std::printf("wrote RunReport %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "bench: failed to write RunReport to %s\n",
+                 path.c_str());
+  }
+  return ok;
 }
 
 void PrintTableHeader(const std::string& title,

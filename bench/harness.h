@@ -93,6 +93,14 @@ void PrintTableHeader(const std::string& title,
                       const std::vector<std::string>& columns);
 void PrintRow(const std::string& label, const std::vector<double>& values);
 
+// Serializes the global metric registry (everything the instrumented
+// library code recorded during this bench, plus any bench-set gauges) as
+// a RunReport named `bench_name` at `path`, attaching `config` entries.
+// tools/bench_compare diffs two such reports; CI gates on the result.
+// Returns false (and prints a notice to stderr) on I/O failure.
+bool WriteRunReport(const std::string& bench_name, const std::string& path,
+                    const std::map<std::string, std::string>& config);
+
 }  // namespace tmn::bench
 
 #endif  // TMN_BENCH_HARNESS_H_

@@ -6,6 +6,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
 namespace tmn::common {
 
 namespace {
@@ -56,11 +59,28 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
-  std::packaged_task<void()> task(std::move(fn));
+  // Pool metrics are all kUnstable: how many tasks a workload submits
+  // (and how long they queue) depends on the pool size, so they are
+  // reported but never hard-gated. One relaxed increment + one clock
+  // read per task; the wait-time observation happens on the worker.
+  static obs::Counter& submitted = obs::Registry::Global().GetCounter(
+      "tmn.common.pool.tasks_submitted", obs::Stability::kUnstable);
+  static obs::Gauge& queue_depth = obs::Registry::Global().GetGauge(
+      "tmn.common.pool.queue_depth", obs::Stability::kUnstable);
+  static obs::Histogram& wait_time =
+      obs::Registry::Global().GetTimer("tmn.common.pool.task_wait_seconds");
+  submitted.Increment();
+  const double enqueued = obs::MonotonicSeconds();
+  std::packaged_task<void()> task(
+      [fn = std::move(fn), enqueued]() {
+        wait_time.Observe(obs::MonotonicSeconds() - enqueued);
+        fn();
+      });
   std::future<void> future = task.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push_back(std::move(task));
+    queue_depth.Set(static_cast<double>(tasks_.size()));
   }
   cv_.notify_one();
   return future;
@@ -95,6 +115,9 @@ void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& fn,
                  int max_parallelism) {
   if (end <= begin) return;
+  static obs::Counter& calls = obs::Registry::Global().GetCounter(
+      "tmn.common.pool.parallel_for_calls", obs::Stability::kUnstable);
+  calls.Increment();
   const size_t range = end - begin;
   if (range == 1 || max_parallelism == 1 || ThreadPool::OnPoolThread()) {
     for (size_t i = begin; i < end; ++i) fn(i);

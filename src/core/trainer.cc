@@ -7,6 +7,8 @@
 #include "common/thread_pool.h"
 #include "distance/distance_matrix.h"
 #include "nn/ops.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 
 namespace tmn::core {
 
@@ -23,6 +25,39 @@ uint64_t PairKey(size_t anchor, size_t sample) {
   return (static_cast<uint64_t>(anchor) << 32) |
          static_cast<uint64_t>(sample);
 }
+
+// Trainer metrics. Counters are kStable: for a fixed seed and corpus the
+// pair/chunk/cache arithmetic is bitwise identical at any thread count
+// (the determinism contract), so tools/bench_compare hard-gates them.
+struct TrainerMetrics {
+  obs::Counter& epochs;
+  obs::Counter& anchors;
+  obs::Counter& pairs;
+  obs::Counter& grad_chunks;
+  obs::Counter& nonfinite_batches;
+  obs::Counter& sub_cache_hits;
+  obs::Counter& sub_cache_misses;
+  obs::Counter& sub_cache_evictions;
+  obs::Histogram& epoch_seconds;
+  obs::Histogram& sub_distance_seconds;
+
+  static TrainerMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static TrainerMetrics m{
+        reg.GetCounter("tmn.core.trainer.epochs"),
+        reg.GetCounter("tmn.core.trainer.anchors"),
+        reg.GetCounter("tmn.core.trainer.pairs"),
+        reg.GetCounter("tmn.core.trainer.grad_chunks"),
+        reg.GetCounter("tmn.core.trainer.nonfinite_batches"),
+        reg.GetCounter("tmn.core.trainer.sub_cache_hits"),
+        reg.GetCounter("tmn.core.trainer.sub_cache_misses"),
+        reg.GetCounter("tmn.core.trainer.sub_cache_evictions"),
+        reg.GetTimer("tmn.core.trainer.epoch_seconds"),
+        reg.GetTimer("tmn.core.trainer.sub_distance_seconds"),
+    };
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -58,10 +93,12 @@ std::vector<const std::vector<double>*> PairTrainer::PrepareSubDistances(
     size_t anchor, const std::vector<TrainingSample>& samples) {
   std::vector<const std::vector<double>*> out(samples.size(), nullptr);
   if (!config_.use_sub_loss) return out;
+  TrainerMetrics& metrics = TrainerMetrics::Get();
   // Bound the cache with wholesale eviction: recently used pairs resample
   // soon anyway (each epoch redraws partners for the same anchors).
   if (sub_cache_.size() + samples.size() > config_.sub_cache_max_pairs) {
     sub_cache_.clear();
+    metrics.sub_cache_evictions.Increment();
   }
   std::vector<size_t> missing;
   for (size_t i = 0; i < samples.size(); ++i) {
@@ -69,7 +106,10 @@ std::vector<const std::vector<double>*> PairTrainer::PrepareSubDistances(
       missing.push_back(i);
     }
   }
+  metrics.sub_cache_misses.Increment(missing.size());
+  metrics.sub_cache_hits.Increment(samples.size() - missing.size());
   if (!missing.empty()) {
+    obs::ScopedTimer timer(metrics.sub_distance_seconds);
     const geo::Trajectory loss_a =
         model_->LossTrajectory((*train_set_)[anchor]);
     std::vector<std::vector<double>> computed(missing.size());
@@ -141,6 +181,8 @@ void PairTrainer::AccumulatePairLoss(size_t anchor,
 }
 
 double PairTrainer::TrainEpoch() {
+  TrainerMetrics& metrics = TrainerMetrics::Get();
+  obs::ScopedTimer epoch_timer(metrics.epoch_seconds);
   const size_t n = train_set_->size();
   std::vector<size_t> anchors(n);
   for (size_t i = 0; i < n; ++i) anchors[i] = i;
@@ -165,6 +207,8 @@ double PairTrainer::TrainEpoch() {
     // so the update is bitwise identical for any thread count.
     const size_t num_chunks =
         (samples.size() + kGradChunkSamples - 1) / kGradChunkSamples;
+    metrics.anchors.Increment();
+    metrics.grad_chunks.Increment(num_chunks);
     std::vector<nn::GradSink> sinks(num_chunks);
     std::vector<double> chunk_values(num_chunks, 0.0);
     common::ParallelFor(
@@ -192,7 +236,10 @@ double PairTrainer::TrainEpoch() {
 
     double value = 0.0;
     for (double v : chunk_values) value += v;
-    if (!std::isfinite(value)) continue;  // NaN guard: skip this batch.
+    if (!std::isfinite(value)) {  // NaN guard: skip this batch.
+      metrics.nonfinite_batches.Increment();
+      continue;
+    }
 
     optimizer_->ZeroGrad();
     for (const nn::GradSink& sink : sinks) {
@@ -209,6 +256,8 @@ double PairTrainer::TrainEpoch() {
     loss_sum += value;
     pair_count += samples.size();
   }
+  metrics.pairs.Increment(pair_count);
+  metrics.epochs.Increment();
   ++epochs_completed_;
   return pair_count > 0 ? loss_sum / static_cast<double>(pair_count) : 0.0;
 }

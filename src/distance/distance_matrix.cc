@@ -4,13 +4,23 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 
 namespace tmn::dist {
 
 DoubleMatrix ComputeDistanceMatrix(
     const std::vector<geo::Trajectory>& trajectories,
     const DistanceMetric& metric, int num_threads) {
+  // Counted once per matrix (upper triangle + diagonal), not per pair:
+  // the per-pair Compute is far too hot for an atomic in its path.
+  static obs::Counter& pairs = obs::Registry::Global().GetCounter(
+      "tmn.distance.matrix_pairs");
+  static obs::Histogram& seconds =
+      obs::Registry::Global().GetTimer("tmn.distance.matrix_seconds");
+  obs::ScopedTimer timer(seconds);
   const size_t n = trajectories.size();
+  pairs.Increment(n * (n + 1) / 2);
   DoubleMatrix out(n, n, 0.0);
   // Rows land in disjoint slices of `out`, so any thread count produces
   // bitwise identical matrices.
@@ -34,6 +44,12 @@ DoubleMatrix ComputeCrossDistanceMatrix(
     const std::vector<geo::Trajectory>& queries,
     const std::vector<geo::Trajectory>& base, const DistanceMetric& metric,
     int num_threads) {
+  static obs::Counter& pairs = obs::Registry::Global().GetCounter(
+      "tmn.distance.cross_pairs");
+  static obs::Histogram& seconds =
+      obs::Registry::Global().GetTimer("tmn.distance.cross_seconds");
+  obs::ScopedTimer timer(seconds);
+  pairs.Increment(queries.size() * base.size());
   DoubleMatrix out(queries.size(), base.size(), 0.0);
   common::ParallelFor(
       0, queries.size(),

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 
 namespace tmn::eval {
 
@@ -23,6 +25,12 @@ EmbeddingSearch::EmbeddingSearch(
     const index::HnswConfig& hnsw_config)
     : backend_(backend), count_(embeddings.size()) {
   TMN_CHECK_MSG(!embeddings.empty(), "need at least one embedding");
+  static obs::Counter& indexed = obs::Registry::Global().GetCounter(
+      "tmn.index.embeddings_indexed");
+  static obs::Histogram& build_seconds =
+      obs::Registry::Global().GetTimer("tmn.index.build_seconds");
+  obs::ScopedTimer timer(build_seconds);
+  indexed.Increment(embeddings.size());
   dim_ = embeddings[0].size();
   flat_.reserve(count_ * dim_);
   for (const auto& e : embeddings) {
@@ -45,12 +53,26 @@ EmbeddingSearch::EmbeddingSearch(
 std::vector<size_t> EmbeddingSearch::Nearest(const std::vector<float>& query,
                                              size_t k) const {
   TMN_CHECK(query.size() == dim_);
+  // One counter per backend so a bench that flips backends shows up as a
+  // counter change, not just a timing change.
+  static obs::Counter& brute_queries = obs::Registry::Global().GetCounter(
+      "tmn.index.brute_force.queries");
+  static obs::Counter& kd_queries =
+      obs::Registry::Global().GetCounter("tmn.index.kd_tree.queries");
+  static obs::Counter& hnsw_queries =
+      obs::Registry::Global().GetCounter("tmn.index.hnsw.queries");
+  static obs::Histogram& seconds =
+      obs::Registry::Global().GetTimer("tmn.index.query_seconds");
+  obs::ScopedTimer timer(seconds);
   switch (backend_) {
     case SearchBackend::kBruteForce:
+      brute_queries.Increment();
       return index::BruteForceNearest(flat_, dim_, query, k);
     case SearchBackend::kKdTree:
+      kd_queries.Increment();
       return kd_tree_->Nearest(query, k);
     case SearchBackend::kHnsw:
+      hnsw_queries.Increment();
       return hnsw_->Nearest(query, k);
   }
   return {};

@@ -6,6 +6,8 @@
 #include "common/thread_pool.h"
 #include "eval/metrics.h"
 #include "nn/ops.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 
 namespace tmn::eval {
 
@@ -35,6 +37,12 @@ std::vector<std::vector<float>> EncodeAll(
     const std::vector<geo::Trajectory>& trajectories) {
   TMN_CHECK_MSG(!model.IsPairwise(),
                 "pairwise models cannot pre-embed a database");
+  static obs::Counter& encoded =
+      obs::Registry::Global().GetCounter("tmn.eval.encoded_trajectories");
+  static obs::Histogram& seconds =
+      obs::Registry::Global().GetTimer("tmn.eval.encode_seconds");
+  obs::ScopedTimer timer(seconds);
+  encoded.Increment(trajectories.size());
   std::vector<std::vector<float>> out(trajectories.size());
   // Each worker disables grad recording on its own thread (the grad mode
   // is thread-local) and writes only its own slot.
@@ -58,8 +66,14 @@ DoubleMatrix PredictDistanceMatrix(
     const core::SimilarityModel& model,
     const std::vector<geo::Trajectory>& base, size_t num_queries) {
   TMN_CHECK(num_queries <= base.size());
+  static obs::Counter& pair_predictions = obs::Registry::Global().GetCounter(
+      "tmn.eval.pair_predictions");
+  static obs::Histogram& seconds =
+      obs::Registry::Global().GetTimer("tmn.eval.predict_matrix_seconds");
+  obs::ScopedTimer timer(seconds);
   DoubleMatrix out(num_queries, base.size());
   if (model.IsPairwise()) {
+    pair_predictions.Increment(num_queries * (base.size() - 1));
     // One joint forward per (query, candidate) — the inference cost Table
     // III charges TMN for. Queries fan out across the pool; each row is a
     // disjoint slice of `out`, so results match the sequential order.
@@ -117,10 +131,13 @@ SearchQuality EvaluateSearch(const core::SimilarityModel& model,
                              const DoubleMatrix& true_distances,
                              const EvalOptions& options) {
   TMN_CHECK(true_distances.rows() == test.size());
+  static obs::Counter& queries =
+      obs::Registry::Global().GetCounter("tmn.eval.search_queries");
   const size_t num_queries =
       options.num_queries == 0
           ? test.size()
           : std::min(options.num_queries, test.size());
+  queries.Increment(num_queries);
   const DoubleMatrix predicted =
       PredictDistanceMatrix(model, test, num_queries);
   return EvaluateRankings(predicted, true_distances, options);

@@ -1,24 +1,24 @@
 #ifndef TMN_EVAL_TIMER_H_
 #define TMN_EVAL_TIMER_H_
 
-#include <chrono>
+#include "obs/clock.h"
 
 namespace tmn::eval {
 
 // Monotonic wall-clock timer for the efficiency studies (Table III).
+// Thin wrapper over the observability clock so all timing in src/ flows
+// through src/obs/ (enforced by the tmn_lint `raw-timing` rule); prefer
+// obs::ScopedTimer when the measurement should land in a metric.
 class WallTimer {
  public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  WallTimer() : start_(obs::MonotonicSeconds()) {}
 
-  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  void Restart() { start_ = obs::MonotonicSeconds(); }
 
-  double Seconds() const {
-    const auto now = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(now - start_).count();
-  }
+  double Seconds() const { return obs::MonotonicSeconds() - start_; }
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  double start_;
 };
 
 }  // namespace tmn::eval

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace tmn::index {
 
@@ -89,6 +90,12 @@ std::vector<Candidate> HnswIndex::SearchLayer(const std::vector<float>& query,
     result[i - 1] = best.top();
     best.pop();
   }
+  // One aggregated add per layer search (covers both construction and
+  // queries): the graph walk is seeded-deterministic, so this is a
+  // stable "search effort" measure a perf regression cannot hide from.
+  static obs::Counter& visited_nodes = obs::Registry::Global().GetCounter(
+      "tmn.index.hnsw.nodes_visited");
+  visited_nodes.Increment(visited.size());
   return result;
 }
 
@@ -124,6 +131,9 @@ void HnswIndex::Connect(uint32_t node, int level,
 
 size_t HnswIndex::Add(const std::vector<float>& point) {
   TMN_CHECK(point.size() == dim_);
+  static obs::Counter& added =
+      obs::Registry::Global().GetCounter("tmn.index.hnsw.points_added");
+  added.Increment();
   const size_t id = count_++;
   points_.insert(points_.end(), point.begin(), point.end());
   const int level = static_cast<int>(

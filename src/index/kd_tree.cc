@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace tmn::index {
 
@@ -88,9 +89,13 @@ std::vector<size_t> KdTree::NearestExcluding(const std::vector<float>& query,
   k = std::min(k, usable);
   if (k == 0) return {};
   BoundedHeap heap;
+  // Pruning effectiveness metric: visited nodes are tallied locally and
+  // added once per query, keeping atomics out of the recursion.
+  size_t visited_nodes = 0;
   // Recursive search with pruning on the splitting hyperplane distance.
   const auto visit = [&](auto&& self, int node_id) -> void {
     if (node_id < 0) return;
+    ++visited_nodes;
     const Node& node = nodes_[node_id];
     const float* p = PointAt(node.point);
     if (node.point != exclude) {
@@ -106,6 +111,9 @@ std::vector<size_t> KdTree::NearestExcluding(const std::vector<float>& query,
     }
   };
   visit(visit, root_);
+  static obs::Counter& visited_total = obs::Registry::Global().GetCounter(
+      "tmn.index.kd_tree.nodes_visited");
+  visited_total.Increment(visited_nodes);
   return DrainHeap(heap);
 }
 

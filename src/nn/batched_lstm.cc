@@ -4,18 +4,31 @@
 
 #include "common/check.h"
 #include "nn/ops.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 
 namespace tmn::nn {
 
 std::vector<Tensor> BatchedLstmForward(const LstmCell& cell,
                                        const std::vector<Tensor>& inputs) {
   TMN_CHECK(!inputs.empty());
+  static obs::Counter& calls =
+      obs::Registry::Global().GetCounter("tmn.nn.batched_lstm.calls");
+  static obs::Counter& steps =
+      obs::Registry::Global().GetCounter("tmn.nn.batched_lstm.steps");
+  static obs::Counter& padded_steps = obs::Registry::Global().GetCounter(
+      "tmn.nn.batched_lstm.padded_steps");
+  static obs::Histogram& seconds = obs::Registry::Global().GetTimer(
+      "tmn.nn.batched_lstm.forward_seconds");
+  obs::ScopedTimer timer(seconds);
+  calls.Increment();
   const int batch = static_cast<int>(inputs.size());
   int max_len = 0;
   for (const Tensor& x : inputs) {
     TMN_CHECK(x.cols() == cell.input_size());
     max_len = std::max(max_len, x.rows());
   }
+  steps.Increment(static_cast<uint64_t>(max_len));
 
   LstmCell::State state = cell.InitialState(batch);
   std::vector<std::vector<Tensor>> outputs(inputs.size());
@@ -44,6 +57,7 @@ std::vector<Tensor> BatchedLstmForward(const LstmCell& cell,
     if (all_active) {
       state = next;
     } else {
+      padded_steps.Increment();
       const Tensor mask_col = Tensor::FromData(batch, 1, mask);
       const Tensor keep_col = Tensor::FromData(batch, 1, keep);
       state.h = Add(MulColVector(next.h, mask_col),

@@ -1,0 +1,12 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace tmn::obs {
+
+double MonotonicSeconds() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace tmn::obs

@@ -1,0 +1,17 @@
+#ifndef TMN_OBS_CLOCK_H_
+#define TMN_OBS_CLOCK_H_
+
+// The library's one monotonic clock. All timing in src/ goes through
+// this header (or ScopedTimer, which uses it); ad-hoc std::chrono reads
+// elsewhere in library code are rejected by the tmn_lint `raw-timing`
+// rule so instrumentation stays centralized and mockable.
+
+namespace tmn::obs {
+
+// Seconds on a monotonic clock with an arbitrary epoch. Only differences
+// are meaningful.
+double MonotonicSeconds();
+
+}  // namespace tmn::obs
+
+#endif  // TMN_OBS_CLOCK_H_

@@ -1,0 +1,196 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace tmn::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// fetch_add on atomic<double> is C++20; a CAS loop keeps the layer
+// buildable on older standard libraries and pins down the memory order.
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value < cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value > cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+    case MetricKind::kTimer:
+      return "timer";
+  }
+  return "unknown";
+}
+
+const char* StabilityName(Stability stability) {
+  return stability == Stability::kStable ? "stable" : "unstable";
+}
+
+void Gauge::Add(double delta) { AtomicAdd(value_, delta); }
+
+Histogram::Histogram(std::string name, MetricKind kind, Stability stability,
+                     std::vector<double> bounds)
+    : Metric(std::move(name), kind, stability),
+      bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1) {
+  TMN_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bucket bounds must be sorted ascending");
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  // +-inf sentinels make Observe a pure min/max race; min()/max() report
+  // 0.0 until the first observation so the sentinels never leak out.
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+uint64_t Histogram::bucket(size_t i) const {
+  TMN_CHECK(i < counts_.size());
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  // Intentionally leaked, like ThreadPool::Global(): instrumentation
+  // sites hold references across the whole process lifetime and pool
+  // workers may record into the registry during static destruction.
+  static Registry* registry = new Registry();  // tmn-lint: allow(raw-alloc)
+  return *registry;
+}
+
+Metric& Registry::GetOrCreate(const std::string& name, MetricKind kind,
+                              Stability stability,
+                              std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    TMN_CHECK_MSG(it->second->kind() == kind,
+                  "metric re-registered with a different kind");
+    return *it->second;
+  }
+  std::unique_ptr<Metric> metric;
+  switch (kind) {
+    case MetricKind::kCounter:
+      metric.reset(new Counter(name, stability));  // tmn-lint: allow(raw-alloc)
+      break;
+    case MetricKind::kGauge:
+      metric.reset(new Gauge(name, stability));  // tmn-lint: allow(raw-alloc)
+      break;
+    case MetricKind::kHistogram:
+    case MetricKind::kTimer:
+      // Private constructors keep creation behind the registry, which is
+      // why make_unique cannot be used here.
+      metric.reset(new Histogram(  // tmn-lint: allow(raw-alloc)
+          name, kind, stability, std::move(bounds)));
+      break;
+  }
+  Metric& ref = *metric;
+  metrics_.emplace(name, std::move(metric));
+  return ref;
+}
+
+Counter& Registry::GetCounter(const std::string& name, Stability stability) {
+  return static_cast<Counter&>(
+      GetOrCreate(name, MetricKind::kCounter, stability, {}));
+}
+
+Gauge& Registry::GetGauge(const std::string& name, Stability stability) {
+  return static_cast<Gauge&>(
+      GetOrCreate(name, MetricKind::kGauge, stability, {}));
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds,
+                                  Stability stability) {
+  return static_cast<Histogram&>(
+      GetOrCreate(name, MetricKind::kHistogram, stability, std::move(bounds)));
+}
+
+Histogram& Registry::GetTimer(const std::string& name) {
+  return static_cast<Histogram&>(GetOrCreate(
+      name, MetricKind::kTimer, Stability::kUnstable, DefaultTimeBounds()));
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, metric] : metrics_) metric->Reset();
+}
+
+std::vector<const Metric*> Registry::SortedMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Metric*> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) out.push_back(metric.get());
+  return out;  // std::map iterates in name order already.
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+std::vector<double> DefaultTimeBounds() {
+  // 1us .. ~1074s, x4 per bucket: 16 buckets cover everything from a
+  // single pool task to a full training run.
+  std::vector<double> bounds;
+  double b = 1e-6;
+  for (int i = 0; i < 16; ++i) {
+    bounds.push_back(b);
+    b *= 4.0;
+  }
+  return bounds;
+}
+
+}  // namespace tmn::obs

@@ -1,0 +1,175 @@
+#ifndef TMN_OBS_METRICS_H_
+#define TMN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Process-wide metric registry: the one sanctioned home for counters,
+// gauges, histograms and timers (see docs/OBSERVABILITY.md). All value
+// updates are lock-free atomics so instrumented hot paths (trainer
+// chunks, distance matrices, pool tasks) pay one relaxed RMW per event;
+// the registry mutex is only taken when a metric is first created or a
+// report snapshot is built.
+//
+// Usage at an instrumentation site (the static reference makes the
+// registry lookup a one-time cost):
+//
+//   static obs::Counter& pairs =
+//       obs::Registry::Global().GetCounter("tmn.distance.matrix_pairs");
+//   pairs.Increment(n);
+
+namespace tmn::obs {
+
+// How a metric behaves across runs of the same deterministic workload.
+// kStable values must be bitwise reproducible for any thread count and
+// are hard-gated by tools/bench_compare; kUnstable values (wall-clock
+// timings, pool queue depths) vary run to run and are warn-only.
+enum class Stability { kStable, kUnstable };
+
+enum class MetricKind { kCounter, kGauge, kHistogram, kTimer };
+
+const char* MetricKindName(MetricKind kind);
+const char* StabilityName(Stability stability);
+
+class Metric {
+ public:
+  virtual ~Metric() = default;
+  Metric(const Metric&) = delete;
+  Metric& operator=(const Metric&) = delete;
+
+  const std::string& name() const { return name_; }
+  MetricKind kind() const { return kind_; }
+  Stability stability() const { return stability_; }
+
+  // Zeroes the recorded values; registration (name/kind/buckets) stays.
+  virtual void Reset() = 0;
+
+ protected:
+  Metric(std::string name, MetricKind kind, Stability stability)
+      : name_(std::move(name)), kind_(kind), stability_(stability) {}
+
+ private:
+  const std::string name_;
+  const MetricKind kind_;
+  const Stability stability_;
+};
+
+// Monotonically increasing event count.
+class Counter : public Metric {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() override { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Counter(std::string name, Stability stability)
+      : Metric(std::move(name), MetricKind::kCounter, stability) {}
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written point-in-time value (queue depth, final loss, ...).
+class Gauge : public Metric {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() override { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Gauge(std::string name, Stability stability)
+      : Metric(std::move(name), MetricKind::kGauge, stability) {}
+  std::atomic<double> value_{0.0};
+};
+
+// Distribution over fixed upper-bound buckets plus count/sum/min/max.
+// Bucket i counts observations v with v <= bounds[i] (and > bounds[i-1]);
+// one extra overflow bucket collects everything past the last bound.
+class Histogram : public Metric {
+ public:
+  void Observe(double value);
+
+  // bounds().size() + 1 buckets; bucket(bounds().size()) is the overflow.
+  const std::vector<double>& bounds() const { return bounds_; }
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t bucket(size_t i) const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // 0.0 while count() == 0.
+  double min() const;
+  double max() const;
+
+  void Reset() override;
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, MetricKind kind, Stability stability,
+            std::vector<double> bounds);
+
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// Name -> metric map. Metrics are created on first use, owned by the
+// registry and never destroyed, so references handed out stay valid for
+// the life of the process.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // The process-wide registry every instrumentation site talks to.
+  static Registry& Global();
+
+  // Get-or-create by name. Re-requesting an existing name returns the
+  // same object; requesting it with a different kind is a programmer
+  // error and aborts via TMN_CHECK.
+  Counter& GetCounter(const std::string& name,
+                      Stability stability = Stability::kStable);
+  Gauge& GetGauge(const std::string& name,
+                  Stability stability = Stability::kStable);
+  Histogram& GetHistogram(const std::string& name, std::vector<double> bounds,
+                          Stability stability = Stability::kStable);
+  // A timer is a histogram of seconds over exponential buckets; always
+  // kUnstable (wall-clock never reproduces bitwise).
+  Histogram& GetTimer(const std::string& name);
+
+  // Zeroes every registered metric's values (registration is kept).
+  // Intended for tests and for benches that want a clean slate.
+  void ResetValues();
+
+  // Registered metrics in name order. Pointers stay valid forever; the
+  // values read through them are live (snapshot consistency is per-field,
+  // which is fine for reporting).
+  std::vector<const Metric*> SortedMetrics() const;
+
+  size_t size() const;
+
+ private:
+  Metric& GetOrCreate(const std::string& name, MetricKind kind,
+                      Stability stability, std::vector<double> bounds);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Metric>> metrics_;
+};
+
+// Default bucket bounds for timers: exponential from 1us to ~17min.
+std::vector<double> DefaultTimeBounds();
+
+}  // namespace tmn::obs
+
+#endif  // TMN_OBS_METRICS_H_

@@ -1,0 +1,176 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+
+namespace tmn::obs {
+
+namespace {
+
+// Build-configuration stamps, injected by src/obs/CMakeLists.txt so the
+// report records which build produced it. Compare tools treat the build
+// block as informational only.
+#ifndef TMN_OBS_BUILD_TYPE
+#define TMN_OBS_BUILD_TYPE "unknown"
+#endif
+#ifndef TMN_OBS_SANITIZER
+#define TMN_OBS_SANITIZER ""
+#endif
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  // %.17g round-trips every finite double; snprintf with the C locale
+  // keeps the decimal point a '.' regardless of environment.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JsonUint(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void AppendHistogramFields(const Histogram& h, std::string& out) {
+  out += "\"count\": " + JsonUint(h.count());
+  out += ", \"sum\": " + JsonDouble(h.sum());
+  out += ", \"min\": " + JsonDouble(h.min());
+  out += ", \"max\": " + JsonDouble(h.max());
+  out += ", \"bounds\": [";
+  for (size_t i = 0; i < h.bounds().size(); ++i) {
+    if (i > 0) out += ", ";
+    out += JsonDouble(h.bounds()[i]);
+  }
+  out += "], \"buckets\": [";
+  for (size_t i = 0; i < h.num_buckets(); ++i) {
+    if (i > 0) out += ", ";
+    out += JsonUint(h.bucket(i));
+  }
+  out += "]";
+}
+
+void AppendMetric(const Metric& m, std::string& out) {
+  out += "    {\"name\": \"" + JsonEscape(m.name()) + "\", \"type\": \"";
+  out += MetricKindName(m.kind());
+  out += "\", \"stability\": \"";
+  out += StabilityName(m.stability());
+  out += "\", ";
+  switch (m.kind()) {
+    case MetricKind::kCounter:
+      out += "\"value\": " +
+             JsonUint(static_cast<const Counter&>(m).value());
+      break;
+    case MetricKind::kGauge:
+      out += "\"value\": " +
+             JsonDouble(static_cast<const Gauge&>(m).value());
+      break;
+    case MetricKind::kHistogram:
+    case MetricKind::kTimer:
+      AppendHistogramFields(static_cast<const Histogram&>(m), out);
+      break;
+  }
+  out += "}";
+}
+
+}  // namespace
+
+RunReport::RunReport(std::string name) : name_(std::move(name)) {}
+
+void RunReport::SetConfig(const std::string& key, const std::string& value) {
+  config_[key] = value;
+}
+
+void RunReport::SetConfig(const std::string& key, long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  config_[key] = buf;
+}
+
+void RunReport::SetConfig(const std::string& key, double value) {
+  config_[key] = JsonDouble(value);
+}
+
+std::string RunReport::ToJson(const RunReportOptions& options) const {
+  std::string out = "{\n";
+  out += "  \"schema\": \"";
+  out += kSchema;
+  out += "\",\n";
+  out += "  \"name\": \"" + JsonEscape(name_) + "\",\n";
+
+  out += "  \"build\": {";
+  out += "\"build_type\": \"" TMN_OBS_BUILD_TYPE "\", ";
+  out += "\"compiler\": \"" + JsonEscape(__VERSION__) + "\", ";
+#ifdef TMN_ENABLE_DCHECKS
+  out += "\"dchecks\": true, ";
+#else
+  out += "\"dchecks\": false, ";
+#endif
+  out += "\"sanitizer\": \"" TMN_OBS_SANITIZER "\"},\n";
+
+  out += "  \"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : config_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(key) + "\": \"" + JsonEscape(value) + "\"";
+  }
+  out += "},\n";
+
+  out += "  \"metrics\": [\n";
+  first = true;
+  for (const Metric* m : Registry::Global().SortedMetrics()) {
+    if (!options.include_unstable && m->stability() == Stability::kUnstable) {
+      continue;
+    }
+    if (!first) out += ",\n";
+    first = false;
+    AppendMetric(*m, out);
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool RunReport::WriteFile(const std::string& path,
+                          const RunReportOptions& options) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ToJson(options);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+}  // namespace tmn::obs

@@ -1,0 +1,52 @@
+#ifndef TMN_OBS_RUN_REPORT_H_
+#define TMN_OBS_RUN_REPORT_H_
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace tmn::obs {
+
+struct RunReportOptions {
+  // When false, metrics whose stability is kUnstable (all timers, pool
+  // queue metrics, wall-clock gauges) are omitted, which makes the JSON
+  // bitwise reproducible for a deterministic workload at any thread
+  // count. tools/bench_compare reads full reports and applies the
+  // stability split itself; tests use stable-only output.
+  bool include_unstable = true;
+};
+
+// Serializes a named snapshot of the global registry — plus build and
+// caller-supplied config metadata — as deterministic JSON: keys are
+// emitted in sorted order, doubles with "%.17g" (round-trip exact), no
+// locale dependence. Schema documented in docs/OBSERVABILITY.md; the
+// schema id below bumps on breaking changes so tools/bench_compare can
+// refuse mismatched files.
+class RunReport {
+ public:
+  static constexpr const char* kSchema = "tmn.run_report/1";
+
+  // `name` identifies the workload ("micro_train", ...).
+  explicit RunReport(std::string name);
+
+  // Free-form run configuration (seed, corpus size, thread sweep...).
+  // Values are stored verbatim and emitted as JSON strings.
+  void SetConfig(const std::string& key, const std::string& value);
+  void SetConfig(const std::string& key, long long value);
+  void SetConfig(const std::string& key, double value);
+
+  std::string ToJson(const RunReportOptions& options = {}) const;
+
+  // Writes ToJson() to `path` (truncating); false on I/O failure.
+  bool WriteFile(const std::string& path,
+                 const RunReportOptions& options = {}) const;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string> config_;
+};
+
+}  // namespace tmn::obs
+
+#endif  // TMN_OBS_RUN_REPORT_H_

@@ -1,0 +1,59 @@
+#include "obs/scoped_timer.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "obs/clock.h"
+
+namespace tmn::obs {
+
+namespace {
+// Per-thread stack of full span paths. Pool workers get their own stack,
+// so a span opened inside a ParallelFor body nests under nothing rather
+// than under whatever the submitting thread had open (the submitting
+// thread's stack is not safely readable from a worker).
+thread_local std::vector<std::string> g_span_stack;
+}  // namespace
+
+ScopedTimer::ScopedTimer(const std::string& name)
+    : start_(MonotonicSeconds()) {
+  TMN_CHECK_MSG(!name.empty() && name.find('/') == std::string::npos,
+                "span names must be non-empty and '/'-free");
+  path_ = g_span_stack.empty() ? name : g_span_stack.back() + "/" + name;
+  g_span_stack.push_back(path_);
+}
+
+ScopedTimer::ScopedTimer(Histogram& timer)
+    : timer_(&timer), start_(MonotonicSeconds()) {
+  TMN_CHECK_MSG(timer.kind() == MetricKind::kTimer,
+                "ScopedTimer needs a kTimer histogram (Registry::GetTimer)");
+}
+
+ScopedTimer::~ScopedTimer() { Stop(); }
+
+double ScopedTimer::Stop() {
+  if (stopped_) return recorded_;
+  stopped_ = true;
+  recorded_ = MonotonicSeconds() - start_;
+  if (timer_ != nullptr) {
+    timer_->Observe(recorded_);
+  } else {
+    // Spans must close innermost-first; a mismatch means interleaved
+    // (non-stack) lifetimes, which the span model cannot represent.
+    TMN_CHECK_MSG(!g_span_stack.empty() && g_span_stack.back() == path_,
+                  "ScopedTimer spans closed out of order");
+    g_span_stack.pop_back();
+    Registry::Global().GetTimer(path_).Observe(recorded_);
+  }
+  return recorded_;
+}
+
+double ScopedTimer::ElapsedSeconds() const {
+  return stopped_ ? recorded_ : MonotonicSeconds() - start_;
+}
+
+std::string ScopedTimer::CurrentSpanPath() {
+  return g_span_stack.empty() ? std::string() : g_span_stack.back();
+}
+
+}  // namespace tmn::obs

@@ -1,0 +1,57 @@
+#ifndef TMN_OBS_SCOPED_TIMER_H_
+#define TMN_OBS_SCOPED_TIMER_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace tmn::obs {
+
+// RAII phase timing with two flavours:
+//
+//  * Span mode — `ScopedTimer t("train")`: the name is pushed on a
+//    thread-local span stack; nested spans join with '/' and the full
+//    path becomes the timer metric name ("train", "train/epoch", ...).
+//    Meant for application/bench phase structure, where the nesting is
+//    the information.
+//
+//  * Fixed-metric mode — `ScopedTimer t(my_timer)`: records into an
+//    already-registered timer histogram and does not touch the span
+//    stack. Meant for library hot paths, whose metric names must not
+//    depend on what the caller happens to have on its span stack.
+//
+// Either way the elapsed time is recorded exactly once, at Stop() or
+// destruction, into a kTimer histogram in the global registry.
+class ScopedTimer {
+ public:
+  // Span mode. `name` must not contain '/'.
+  explicit ScopedTimer(const std::string& name);
+  // Fixed-metric mode. `timer` must outlive this object (registry-owned
+  // timers always do).
+  explicit ScopedTimer(Histogram& timer);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  // Records the elapsed seconds now (and pops the span, in span mode);
+  // returns them. Further calls return the recorded value.
+  double Stop();
+
+  // Elapsed seconds so far without stopping.
+  double ElapsedSeconds() const;
+
+  // The calling thread's current span path ("" outside any span).
+  static std::string CurrentSpanPath();
+
+ private:
+  std::string path_;        // Span mode only; empty in fixed-metric mode.
+  Histogram* timer_ = nullptr;  // Fixed-metric mode only.
+  double start_ = 0.0;
+  double recorded_ = 0.0;
+  bool stopped_ = false;
+};
+
+}  // namespace tmn::obs
+
+#endif  // TMN_OBS_SCOPED_TIMER_H_

@@ -72,6 +72,7 @@ TEST(LintTest, FixtureCorpusReportsExactRuleIds) {
       {"fixture_stdout_io.cc", "stdout-io"},
       {"fixture_bad_guard.h", "header-guard"},
       {"fixture_raw_alloc.cc", "raw-alloc"},
+      {"fixture_raw_timing.cc", "raw-timing"},
   };
   EXPECT_EQ(findings, expected) << run.output;
 }
@@ -79,6 +80,16 @@ TEST(LintTest, FixtureCorpusReportsExactRuleIds) {
 TEST(LintTest, SuppressedFixtureIsSilent) {
   const LintRun run = RunLint("tests/testdata/lint/src/fixture_suppressed.cc");
   EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+// The observability layer is library code and its clock.cc is the one
+// sanctioned std::chrono home — src/obs/ must satisfy every rule,
+// including raw-timing, raw-thread and stdout-io.
+TEST(LintTest, ObservabilityLayerIsClean) {
+  const LintRun run = RunLint("src/obs");
+  EXPECT_EQ(run.exit_code, 0) << "src/obs has lint findings:\n"
+                              << run.output;
   EXPECT_EQ(run.output, "");
 }
 
@@ -103,7 +114,8 @@ TEST(LintTest, ListRulesCoversCatalogue) {
   const LintRun run = RunLint("--list-rules");
   ASSERT_EQ(run.exit_code, 0);
   for (const char* rule : {"raw-thread", "no-exceptions", "raw-rng",
-                           "stdout-io", "header-guard", "raw-alloc"}) {
+                           "stdout-io", "header-guard", "raw-alloc",
+                           "raw-timing"}) {
     EXPECT_TRUE(run.output.find(rule) != std::string::npos) << rule;
   }
 }

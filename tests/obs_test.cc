@@ -1,0 +1,190 @@
+// Tests for the observability layer (src/obs/): registry identity and
+// reset semantics, histogram bucket boundaries, nested ScopedTimer spans,
+// and RunReport JSON determinism across thread counts.
+//
+// The registry is process-global, so every test uses its own metric name
+// prefix; tests that need a clean slate call ResetValues() (which zeroes
+// values but keeps registrations).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/scoped_timer.h"
+
+namespace tmn::obs {
+namespace {
+
+TEST(RegistryTest, SameNameReturnsSameMetric) {
+  auto& a = Registry::Global().GetCounter("test.registry.same");
+  auto& b = Registry::Global().GetCounter("test.registry.same");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(RegistryTest, RegistrationSurvivesResetButValuesDoNot) {
+  auto& counter = Registry::Global().GetCounter("test.registry.reset");
+  auto& gauge = Registry::Global().GetGauge("test.registry.reset_gauge");
+  counter.Increment(7);
+  gauge.Set(2.5);
+  const size_t size_before = Registry::Global().size();
+
+  Registry::Global().ResetValues();
+  EXPECT_EQ(Registry::Global().size(), size_before);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  // Same object after reset: instrumentation sites hold references.
+  EXPECT_EQ(&Registry::Global().GetCounter("test.registry.reset"), &counter);
+}
+
+TEST(RegistryTest, KindMismatchAborts) {
+  Registry::Global().GetCounter("test.registry.kind_clash");
+  EXPECT_DEATH(Registry::Global().GetGauge("test.registry.kind_clash"),
+               "different kind");
+}
+
+TEST(RegistryTest, SortedMetricsAreSortedByName) {
+  Registry::Global().GetCounter("test.sorted.b");
+  Registry::Global().GetCounter("test.sorted.a");
+  const auto metrics = Registry::Global().SortedMetrics();
+  for (size_t i = 1; i < metrics.size(); ++i) {
+    EXPECT_LT(metrics[i - 1]->name(), metrics[i]->name());
+  }
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  auto& gauge = Registry::Global().GetGauge("test.gauge.basic");
+  gauge.Set(1.5);
+  EXPECT_EQ(gauge.value(), 1.5);
+  gauge.Add(0.25);
+  EXPECT_EQ(gauge.value(), 1.75);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpper) {
+  auto& h = Registry::Global().GetHistogram("test.histogram.bounds",
+                                            {1.0, 2.0, 4.0});
+  ASSERT_EQ(h.num_buckets(), 4u);  // 3 bounds + overflow.
+  h.Observe(0.5);   // <= 1.0       -> bucket 0
+  h.Observe(1.0);   // == bound[0]  -> bucket 0 (inclusive upper edge)
+  h.Observe(1.5);   // <= 2.0       -> bucket 1
+  h.Observe(4.0);   // == bound[2]  -> bucket 2
+  h.Observe(100.0); // > last bound -> overflow bucket
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+  EXPECT_EQ(h.min(), 0.5);
+  EXPECT_EQ(h.max(), 100.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeroMinMax) {
+  auto& h = Registry::Global().GetHistogram("test.histogram.empty", {1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(ClockTest, MonotonicSecondsNeverGoesBackwards) {
+  const double t0 = MonotonicSeconds();
+  const double t1 = MonotonicSeconds();
+  EXPECT_GE(t1, t0);
+}
+
+TEST(ScopedTimerTest, NestedSpansJoinWithSlash) {
+  EXPECT_EQ(ScopedTimer::CurrentSpanPath(), "");
+  {
+    ScopedTimer outer("test_outer");
+    EXPECT_EQ(ScopedTimer::CurrentSpanPath(), "test_outer");
+    {
+      ScopedTimer inner("test_inner");
+      EXPECT_EQ(ScopedTimer::CurrentSpanPath(), "test_outer/test_inner");
+    }
+    EXPECT_EQ(ScopedTimer::CurrentSpanPath(), "test_outer");
+  }
+  EXPECT_EQ(ScopedTimer::CurrentSpanPath(), "");
+  // Each span recorded once under its full path.
+  EXPECT_EQ(Registry::Global().GetTimer("test_outer").count(), 1u);
+  EXPECT_EQ(Registry::Global().GetTimer("test_outer/test_inner").count(),
+            1u);
+}
+
+TEST(ScopedTimerTest, StopIsIdempotentAndReturnsElapsed) {
+  ScopedTimer timer("test_stop_once");
+  const double first = timer.Stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(timer.Stop(), first);
+  EXPECT_EQ(Registry::Global().GetTimer("test_stop_once").count(), 1u);
+}
+
+TEST(ScopedTimerTest, FixedMetricModeSkipsSpanStack) {
+  auto& timer = Registry::Global().GetTimer("test.timer.fixed");
+  const uint64_t before = timer.count();
+  {
+    ScopedTimer t(timer);
+    EXPECT_EQ(ScopedTimer::CurrentSpanPath(), "");
+  }
+  EXPECT_EQ(timer.count(), before + 1);
+}
+
+// The determinism contract behind the bench_compare gate: for a
+// deterministic workload, the stable-only RunReport is bitwise identical
+// at any parallelism. Unstable metrics (timers, pool stats) are recorded
+// either way but omitted from the stable view.
+TEST(RunReportTest, StableJsonIsIdenticalAcrossThreadCounts) {
+  constexpr size_t kItems = 64;
+  auto run = [](int max_parallelism) {
+    Registry::Global().ResetValues();
+    auto& processed =
+        Registry::Global().GetCounter("test.report.items_processed");
+    auto& total = Registry::Global().GetGauge("test.report.total");
+    std::atomic<long long> sum{0};
+    common::ParallelFor(
+        0, kItems,
+        [&](size_t i) {
+          processed.Increment();
+          sum.fetch_add(static_cast<long long>(i * i));
+        },
+        max_parallelism);
+    total.Set(static_cast<double>(sum.load()));
+    RunReport report("obs_test");
+    report.SetConfig("items", static_cast<long long>(kItems));
+    RunReportOptions options;
+    options.include_unstable = false;
+    return report.ToJson(options);
+  };
+
+  const std::string sequential = run(1);
+  const std::string parallel = run(4);
+  EXPECT_EQ(sequential, parallel);
+  EXPECT_NE(sequential.find("\"test.report.items_processed\""),
+            std::string::npos);
+  EXPECT_NE(sequential.find("\"value\": 64"), std::string::npos);
+  // Pool metrics exist (ParallelFor ran) but are unstable -> omitted.
+  EXPECT_EQ(sequential.find("tmn.common.pool"), std::string::npos);
+}
+
+TEST(RunReportTest, JsonCarriesSchemaBuildAndEscapedConfig) {
+  RunReport report("obs \"quoted\" name");
+  report.SetConfig("path", "a\\b\ttab");
+  report.SetConfig("count", static_cast<long long>(3));
+  report.SetConfig("ratio", 0.5);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"schema\": \"tmn.run_report/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"obs \\\"quoted\\\" name\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\\\\b\\ttab\""), std::string::npos);
+  EXPECT_NE(json.find("\"build\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": \"3\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tmn::obs

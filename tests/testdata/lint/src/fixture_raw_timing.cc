@@ -1,0 +1,6 @@
+// Lint fixture: exactly one raw-timing violation (never compiled).
+#include <chrono>
+
+long AdHocTiming() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

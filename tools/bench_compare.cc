@@ -1,0 +1,511 @@
+// bench_compare — diffs two RunReport JSON files (schema tmn.run_report/1,
+// written by obs::RunReport) and decides whether the candidate run is an
+// acceptable successor of the baseline. This is the artifact CI gates on:
+//
+//   * stable metrics (counters, checksum/loss gauges, histogram counts)
+//     must reproduce bitwise-or-within --value-tol -> HARD FAIL on drift;
+//   * unstable metrics (timers, pool queue stats, wall-clock gauges) are
+//     machine noise -> WARN only, beyond --timing-tol relative delta;
+//   * config differences and metrics present on one side only -> WARN
+//     (stable metrics missing from the candidate still FAIL).
+//
+// Usage:
+//   bench_compare [--value-tol F] [--timing-tol F] baseline.json new.json
+//
+// Exit code: 0 pass (possibly with warnings), 1 regression, 2 usage or
+// parse error. Dependency-free: carries its own minimal JSON reader.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser. Covers the subset the
+// RunReport writer emits (objects, arrays, strings, numbers, booleans,
+// null) with enough error reporting to diagnose a truncated file.
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  // Vector keeps the file's key order; lookups are by linear scan (the
+  // documents are small).
+  std::vector<std::pair<std::string, Json>> object;
+
+  const Json* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const {
+    const Json* v = Find(key);
+    return v != nullptr && v->kind == Kind::kString ? v->string : fallback;
+  }
+  double NumberOr(const std::string& key, double fallback) const {
+    const Json* v = Find(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(Json& out) {
+    SkipSpace();
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing data");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      std::ostringstream msg;
+      msg << what << " at offset " << pos_;
+      error_ = msg.str();
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return Fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseString(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        switch (text_[pos_]) {
+          case '"':
+            c = '"';
+            break;
+          case '\\':
+            c = '\\';
+            break;
+          case '/':
+            c = '/';
+            break;
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case 'r':
+            c = '\r';
+            break;
+          case 'b':
+            c = '\b';
+            break;
+          case 'f':
+            c = '\f';
+            break;
+          case 'u':
+            // Unicode escapes never appear in our reports; decode to '?'
+            // rather than failing so foreign files still diff.
+            if (pos_ + 4 >= text_.size()) return Fail("bad \\u escape");
+            pos_ += 4;
+            c = '?';
+            break;
+          default:
+            return Fail("bad escape");
+        }
+      }
+      out += c;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool ParseValue(Json& out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      out.kind = Json::Kind::kObject;
+      ++pos_;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        SkipSpace();
+        std::string key;
+        if (!ParseString(key)) return false;
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          return Fail("expected ':'");
+        }
+        ++pos_;
+        Json value;
+        if (!ParseValue(value)) return false;
+        out.object.emplace_back(std::move(key), std::move(value));
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      out.kind = Json::Kind::kArray;
+      ++pos_;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        Json value;
+        if (!ParseValue(value)) return false;
+        out.array.push_back(std::move(value));
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.kind = Json::Kind::kString;
+      return ParseString(out.string);
+    }
+    if (c == 't') {
+      out.kind = Json::Kind::kBool;
+      out.boolean = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out.kind = Json::Kind::kBool;
+      out.boolean = false;
+      return Literal("false");
+    }
+    if (c == 'n') {
+      out.kind = Json::Kind::kNull;
+      return Literal("null");
+    }
+    // Number.
+    char* end = nullptr;
+    out.kind = Json::Kind::kNumber;
+    out.number = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return Fail("bad number");
+    pos_ = static_cast<size_t>(end - text_.c_str());
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Report model and comparison.
+
+struct Tolerances {
+  double value = 1e-6;    // Stable gauges/sums: relative, hard gate.
+  double timing = 0.50;   // Unstable metrics: relative, warn gate.
+};
+
+double RelDiff(double a, double b) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  if (scale == 0.0) return 0.0;
+  return std::abs(a - b) / scale;
+}
+
+struct Outcome {
+  int failures = 0;
+  int warnings = 0;
+  int compared = 0;
+
+  void FailMetric(const std::string& name, const std::string& why) {
+    std::printf("FAIL  %-46s %s\n", name.c_str(), why.c_str());
+    ++failures;
+  }
+  void Warn(const std::string& name, const std::string& why) {
+    std::printf("warn  %-46s %s\n", name.c_str(), why.c_str());
+    ++warnings;
+  }
+};
+
+std::string FormatDelta(double base, double cand) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "baseline %.17g vs %.17g (rel %.3g)",
+                base, cand, RelDiff(base, cand));
+  return buf;
+}
+
+// Loads a report, validating schema and indexing metrics by name.
+struct Report {
+  Json root;
+  std::map<std::string, const Json*> metrics;
+  std::string path;
+
+  bool Load(const std::string& file) {
+    path = file;
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "bench_compare: cannot open %s\n", file.c_str());
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    Parser parser(text);
+    if (!parser.Parse(root) || root.kind != Json::Kind::kObject) {
+      std::fprintf(stderr, "bench_compare: %s: parse error: %s\n",
+                   file.c_str(), parser.error().c_str());
+      return false;
+    }
+    const std::string schema = root.StringOr("schema", "");
+    if (schema != "tmn.run_report/1") {
+      std::fprintf(stderr,
+                   "bench_compare: %s: unsupported schema '%s' (expected "
+                   "tmn.run_report/1)\n",
+                   file.c_str(), schema.c_str());
+      return false;
+    }
+    const Json* list = root.Find("metrics");
+    if (list == nullptr || list->kind != Json::Kind::kArray) {
+      std::fprintf(stderr, "bench_compare: %s: missing metrics array\n",
+                   file.c_str());
+      return false;
+    }
+    for (const Json& m : list->array) {
+      const std::string name = m.StringOr("name", "");
+      if (name.empty()) {
+        std::fprintf(stderr, "bench_compare: %s: metric without a name\n",
+                     file.c_str());
+        return false;
+      }
+      metrics[name] = &m;
+    }
+    return true;
+  }
+};
+
+void CompareHistogram(const std::string& name, const Json& base,
+                      const Json& cand, bool stable, const Tolerances& tol,
+                      Outcome& outcome) {
+  const double base_count = base.NumberOr("count", 0.0);
+  const double cand_count = cand.NumberOr("count", 0.0);
+  const double base_sum = base.NumberOr("sum", 0.0);
+  const double cand_sum = cand.NumberOr("sum", 0.0);
+  if (stable) {
+    if (base_count != cand_count) {
+      outcome.FailMetric(name + ".count", FormatDelta(base_count, cand_count));
+    }
+    if (RelDiff(base_sum, cand_sum) > tol.value) {
+      outcome.FailMetric(name + ".sum", FormatDelta(base_sum, cand_sum));
+    }
+    const Json* base_buckets = base.Find("buckets");
+    const Json* cand_buckets = cand.Find("buckets");
+    if (base_buckets != nullptr && cand_buckets != nullptr) {
+      if (base_buckets->array.size() != cand_buckets->array.size()) {
+        outcome.FailMetric(name + ".buckets", "bucket layout changed");
+      } else {
+        for (size_t i = 0; i < base_buckets->array.size(); ++i) {
+          if (base_buckets->array[i].number != cand_buckets->array[i].number) {
+            outcome.FailMetric(
+                name + ".buckets[" + std::to_string(i) + "]",
+                FormatDelta(base_buckets->array[i].number,
+                            cand_buckets->array[i].number));
+            break;
+          }
+        }
+      }
+    }
+  } else if (RelDiff(base_sum, cand_sum) > tol.timing) {
+    outcome.Warn(name + ".sum", FormatDelta(base_sum, cand_sum));
+  }
+}
+
+void CompareMetric(const std::string& name, const Json& base,
+                   const Json& cand, const Tolerances& tol,
+                   Outcome& outcome) {
+  const std::string type = base.StringOr("type", "?");
+  const std::string stability = base.StringOr("stability", "stable");
+  if (type != cand.StringOr("type", "?")) {
+    outcome.FailMetric(name, "type changed: " + type + " -> " +
+                                 cand.StringOr("type", "?"));
+    return;
+  }
+  if (stability != cand.StringOr("stability", "stable")) {
+    outcome.FailMetric(name,
+                       "stability changed: " + stability + " -> " +
+                           cand.StringOr("stability", "stable"));
+    return;
+  }
+  ++outcome.compared;
+  const bool stable = stability == "stable";
+  if (type == "counter") {
+    const double b = base.NumberOr("value", 0.0);
+    const double c = cand.NumberOr("value", 0.0);
+    if (stable) {
+      // Counters are event counts of a deterministic workload: any
+      // difference is a behaviour change, not noise.
+      if (b != c) outcome.FailMetric(name, FormatDelta(b, c));
+    } else if (RelDiff(b, c) > tol.timing) {
+      outcome.Warn(name, FormatDelta(b, c));
+    }
+    return;
+  }
+  if (type == "gauge") {
+    const double b = base.NumberOr("value", 0.0);
+    const double c = cand.NumberOr("value", 0.0);
+    if (stable) {
+      if (RelDiff(b, c) > tol.value) {
+        outcome.FailMetric(name, FormatDelta(b, c));
+      }
+    } else if (RelDiff(b, c) > tol.timing) {
+      outcome.Warn(name, FormatDelta(b, c));
+    }
+    return;
+  }
+  // histogram / timer.
+  CompareHistogram(name, base, cand, stable && type != "timer", tol,
+                   outcome);
+}
+
+void CompareConfig(const Report& baseline, const Report& candidate,
+                   Outcome& outcome) {
+  const Json* base_cfg = baseline.root.Find("config");
+  const Json* cand_cfg = candidate.root.Find("config");
+  if (base_cfg == nullptr || cand_cfg == nullptr) return;
+  for (const auto& [key, value] : base_cfg->object) {
+    const Json* other = cand_cfg->Find(key);
+    if (other == nullptr) {
+      outcome.Warn("config." + key, "missing from candidate");
+    } else if (other->string != value.string) {
+      outcome.Warn("config." + key,
+                   "'" + value.string + "' vs '" + other->string + "'");
+    }
+  }
+  for (const auto& [key, value] : cand_cfg->object) {
+    if (base_cfg->Find(key) == nullptr) {
+      outcome.Warn("config." + key, "new in candidate");
+    }
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare [--value-tol F] [--timing-tol F] "
+               "baseline.json candidate.json\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Tolerances tol;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--value-tol" || arg == "--timing-tol") {
+      if (i + 1 >= argc) return Usage();
+      char* end = nullptr;
+      const double v = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || v < 0.0) return Usage();
+      (arg == "--value-tol" ? tol.value : tol.timing) = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) return Usage();
+
+  Report baseline;
+  Report candidate;
+  if (!baseline.Load(files[0]) || !candidate.Load(files[1])) return 2;
+
+  const std::string base_name = baseline.root.StringOr("name", "?");
+  const std::string cand_name = candidate.root.StringOr("name", "?");
+  Outcome outcome;
+  if (base_name != cand_name) {
+    outcome.FailMetric("name",
+                       "'" + base_name + "' vs '" + cand_name + "'");
+  }
+
+  CompareConfig(baseline, candidate, outcome);
+
+  for (const auto& [name, metric] : baseline.metrics) {
+    const auto it = candidate.metrics.find(name);
+    if (it == candidate.metrics.end()) {
+      const std::string stability = metric->StringOr("stability", "stable");
+      if (stability == "stable") {
+        outcome.FailMetric(name, "stable metric missing from candidate");
+      } else {
+        outcome.Warn(name, "missing from candidate");
+      }
+      continue;
+    }
+    CompareMetric(name, *metric, *it->second, tol, outcome);
+  }
+  for (const auto& [name, metric] : candidate.metrics) {
+    if (baseline.metrics.find(name) == baseline.metrics.end()) {
+      outcome.Warn(name, "new metric (not in baseline)");
+    }
+  }
+
+  std::printf(
+      "bench_compare: %s vs %s: %d metric(s) compared, %d warning(s), "
+      "%d failure(s)\n",
+      baseline.path.c_str(), candidate.path.c_str(), outcome.compared,
+      outcome.warnings, outcome.failures);
+  if (outcome.failures > 0) {
+    std::printf("bench_compare: FAIL\n");
+    return 1;
+  }
+  std::printf("bench_compare: PASS\n");
+  return 0;
+}

@@ -9,31 +9,42 @@
 #   6. clang-tidy      — bugprone/performance/concurrency checks (optional:
 #                        skipped with a notice when clang-tidy is absent)
 #
-# Any finding in any stage exits non-zero. See docs/STATIC_ANALYSIS.md.
+# Any finding in any stage exits non-zero; the clang-tidy exit code is
+# captured explicitly so a findings-only run cannot be swallowed. Each
+# stage's output is mirrored to build/check-logs/<stage>.log (CI uploads
+# these as artifacts). See docs/STATIC_ANALYSIS.md.
 #
 # Usage: tools/check.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
+LOG_DIR=build/check-logs
+mkdir -p "$LOG_DIR"
 
 echo "== [1/6] Standard build (-Werror) + full ctest =="
-cmake -B build -S . -DTMN_WERROR=ON >/dev/null
-cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+{
+  cmake -B build -S . -DTMN_WERROR=ON >/dev/null
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+} 2>&1 | tee "$LOG_DIR/1-build-ctest.log"
 
 echo "== [2/6] tmn_lint gate =="
-./build/tools/tmn_lint src tests bench tools
-echo "-- lint clean"
+{
+  ./build/tools/tmn_lint src tests bench tools
+  echo "-- lint clean"
+} 2>&1 | tee "$LOG_DIR/2-lint.log"
 
 echo "== [3/6] Debug build: TMN_DCHECK invariant layer =="
-cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug -DTMN_WERROR=ON >/dev/null
-cmake --build build-debug -j "$JOBS" --target invariants_test
-# In a Debug build the library-level death tests must RUN (not skip): a
-# malformed op call has to abort via TMN_DCHECK.
-./build-debug/tests/invariants_test \
-    --gtest_filter='InvariantLayer*' 2>&1 | tee /tmp/tmn_invariants.log
-if grep -q "SKIPPED" /tmp/tmn_invariants.log; then
+{
+  cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug -DTMN_WERROR=ON \
+      >/dev/null
+  cmake --build build-debug -j "$JOBS" --target invariants_test
+  # In a Debug build the library-level death tests must RUN (not skip): a
+  # malformed op call has to abort via TMN_DCHECK.
+  ./build-debug/tests/invariants_test --gtest_filter='InvariantLayer*'
+} 2>&1 | tee "$LOG_DIR/3-invariants.log"
+if grep -q "SKIPPED" "$LOG_DIR/3-invariants.log"; then
   echo "error: invariant death tests skipped in a Debug build" >&2
   exit 1
 fi
@@ -41,37 +52,49 @@ fi
 echo "== [4/6] UndefinedBehaviorSanitizer: numeric core tests =="
 UBSAN_TESTS=(tensor_test ops_test autograd_test batched_lstm_test rnn_test
              loss_test distance_test sampler_test trainer_test eval_test)
-cmake -B build-ubsan -S . -DTMN_SANITIZE=undefined >/dev/null
-cmake --build build-ubsan -j "$JOBS" --target "${UBSAN_TESTS[@]}"
-# Run binaries directly: ctest registers gtest-discovered case names, so
-# filtering by binary name would match nothing.
-for t in "${UBSAN_TESTS[@]}"; do
-  echo "-- UBSan: $t"
-  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" "./build-ubsan/tests/$t"
-done
+{
+  cmake -B build-ubsan -S . -DTMN_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "$JOBS" --target "${UBSAN_TESTS[@]}"
+  # Run binaries directly: ctest registers gtest-discovered case names, so
+  # filtering by binary name would match nothing.
+  for t in "${UBSAN_TESTS[@]}"; do
+    echo "-- UBSan: $t"
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        "./build-ubsan/tests/$t"
+  done
+} 2>&1 | tee "$LOG_DIR/4-ubsan.log"
 
 echo "== [5/6] ThreadSanitizer: concurrency tests =="
 TSAN_TESTS=(thread_pool_test trainer_test distance_test eval_test
             integration_test)
-cmake -B build-tsan -S . -DTMN_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
-for t in "${TSAN_TESTS[@]}"; do
-  echo "-- TSan: $t"
-  TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
-done
+{
+  cmake -B build-tsan -S . -DTMN_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
+  for t in "${TSAN_TESTS[@]}"; do
+    echo "-- TSan: $t"
+    TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
+  done
+} 2>&1 | tee "$LOG_DIR/5-tsan.log"
 
 echo "== [6/6] clang-tidy (bugprone-*, performance-*, concurrency-*) =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json is emitted by the standard build in stage 1.
   mapfile -t TIDY_SOURCES < <(find src tools -name '*.cc' | sort)
+  TIDY_RC=0
   if command -v run-clang-tidy >/dev/null 2>&1; then
-    run-clang-tidy -p build -quiet "${TIDY_SOURCES[@]}"
+    run-clang-tidy -p build -quiet "${TIDY_SOURCES[@]}" 2>&1 \
+        | tee "$LOG_DIR/6-clang-tidy.log" || TIDY_RC=$?
   else
-    clang-tidy -p build --quiet "${TIDY_SOURCES[@]}"
+    clang-tidy -p build --quiet "${TIDY_SOURCES[@]}" 2>&1 \
+        | tee "$LOG_DIR/6-clang-tidy.log" || TIDY_RC=$?
+  fi
+  if [ "$TIDY_RC" -ne 0 ]; then
+    echo "error: clang-tidy reported findings (exit $TIDY_RC)" >&2
+    exit "$TIDY_RC"
   fi
 else
   echo "-- notice: clang-tidy not installed; skipping tidy pass" \
-       "(install clang-tidy to enable it)"
+       "(install clang-tidy to enable it)" | tee "$LOG_DIR/6-clang-tidy.log"
 fi
 
 echo "== All checks passed =="

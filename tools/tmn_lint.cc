@@ -67,6 +67,10 @@ constexpr RuleInfo kRules[] = {
     {"raw-alloc",
      "raw new/malloc in library code (use containers/std::make_shared; "
      "intentional leak-on-exit singletons need a suppression)"},
+    {"raw-timing",
+     "std::chrono in library code outside src/obs/ (time via "
+     "obs::MonotonicSeconds / obs::ScopedTimer so instrumentation stays "
+     "centralized)"},
 };
 
 // ---------------------------------------------------------------------------
@@ -109,6 +113,16 @@ bool IsThreadPoolSource(const std::string& path) {
 
 bool IsRngSource(const std::string& path) {
   return EndsWith(path, "nn/rng.h") || EndsWith(path, "nn/rng.cc");
+}
+
+// src/obs/ is the sanctioned home for clock reads (raw-timing rule).
+bool IsObsSource(const std::string& path) {
+  size_t pos = 0;
+  while ((pos = path.find("src/obs/", pos)) != std::string::npos) {
+    if (pos == 0 || path[pos - 1] == '/') return true;
+    ++pos;
+  }
+  return false;
 }
 
 // Canonical guard symbol for a header: upper-cased path with '/' and '.'
@@ -262,6 +276,7 @@ void LintFile(const std::string& path, std::vector<Finding>& findings) {
   const bool library = IsLibraryPath(path);
   const bool pool_source = IsThreadPoolSource(path);
   const bool rng_source = IsRngSource(path);
+  const bool obs_source = IsObsSource(path);
 
   ScrubState scrub;
   std::set<std::string> carried;  // Suppressions from the previous line.
@@ -345,6 +360,12 @@ void LintFile(const std::string& path, std::vector<Finding>& findings) {
         report(lineno, "raw-alloc",
                "raw allocation in library code; use containers or "
                "std::make_shared/std::make_unique",
+               active);
+      }
+      if (!obs_source && HasToken(code, "std::chrono")) {
+        report(lineno, "raw-timing",
+               "ad-hoc std::chrono timing; use obs::MonotonicSeconds or "
+               "obs::ScopedTimer (src/obs/)",
                active);
       }
     }
