@@ -1,0 +1,182 @@
+#include "common/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace tmn::common {
+
+namespace {
+
+struct Site {
+  uint64_t hits = 0;
+  bool armed = false;
+  uint64_t fire_at = 0;  // 1-based hit index at which to fire.
+  FailpointAction action = FailpointAction::kFail;
+};
+
+// Registry of sites. A mutex (not atomics) is fine: failpoints only exist
+// in failpoint builds and guard cold paths (file IO, row parsing).
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Get() {
+    static FailpointRegistry registry;
+    return registry;
+  }
+
+  void Activate(const std::string& name, uint64_t nth,
+                FailpointAction action) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Site& site = sites_[name];
+    site.hits = 0;
+    site.armed = nth > 0;
+    site.fire_at = nth;
+    site.action = action;
+  }
+
+  void Deactivate(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(name);
+    if (it != sites_.end()) it->second.armed = false;
+  }
+
+  void DeactivateAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, site] : sites_) site.armed = false;
+  }
+
+  uint64_t Hits(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(name);
+    return it == sites_.end() ? 0 : it->second.hits;
+  }
+
+  bool Hit(const char* name) {
+    FailpointAction action = FailpointAction::kFail;
+    uint64_t hit_index = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ApplyEnvSpecLocked();
+      Site& site = sites_[name];
+      ++site.hits;
+      if (!site.armed || site.hits != site.fire_at) return false;
+      site.armed = false;  // One-shot.
+      action = site.action;
+      hit_index = site.hits;
+    }
+    if (action == FailpointAction::kCrash) {
+      std::fprintf(stderr,
+                   "TMN_FAILPOINT '%s' fired on hit %llu: crashing (exit "
+                   "%d)\n",
+                   name, static_cast<unsigned long long>(hit_index),
+                   kFailpointCrashExitCode);
+      // Simulated power cut: no stream flushing, no atexit handlers.
+      std::_Exit(kFailpointCrashExitCode);
+    }
+    std::fprintf(stderr, "TMN_FAILPOINT '%s' fired on hit %llu: failing\n",
+                 name, static_cast<unsigned long long>(hit_index));
+    return true;
+  }
+
+  void ActivateFromSpec(const std::string& spec) {
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+      size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      const std::string entry = spec.substr(pos, comma - pos);
+      pos = comma + 1;
+      if (entry.empty()) continue;
+      const size_t at = entry.find('@');
+      if (at == std::string::npos || at == 0) {
+        std::fprintf(stderr,
+                     "tmn::common: ignoring malformed failpoint spec "
+                     "entry '%s' (want name@N[:fail|:crash])\n",
+                     entry.c_str());
+        continue;
+      }
+      const std::string name = entry.substr(0, at);
+      std::string rest = entry.substr(at + 1);
+      FailpointAction action = FailpointAction::kFail;
+      const size_t colon = rest.find(':');
+      if (colon != std::string::npos) {
+        const std::string action_name = rest.substr(colon + 1);
+        rest = rest.substr(0, colon);
+        if (action_name == "crash") {
+          action = FailpointAction::kCrash;
+        } else if (action_name != "fail") {
+          std::fprintf(stderr,
+                       "tmn::common: ignoring failpoint entry '%s': unknown "
+                       "action '%s'\n",
+                       entry.c_str(), action_name.c_str());
+          continue;
+        }
+      }
+      char* end = nullptr;
+      const unsigned long long nth = std::strtoull(rest.c_str(), &end, 10);
+      if (end == rest.c_str() || *end != '\0' || nth == 0) {
+        std::fprintf(stderr,
+                     "tmn::common: ignoring failpoint entry '%s': bad hit "
+                     "count '%s'\n",
+                     entry.c_str(), rest.c_str());
+        continue;
+      }
+      Activate(name, nth, action);
+    }
+  }
+
+ private:
+  // Applies TMN_FAILPOINTS exactly once, lazily, under mu_ (callers hold
+  // it). Lazy so tests that set the variable via a spawned child process
+  // see it no matter when the library is first touched.
+  void ApplyEnvSpecLocked() {
+    if (env_applied_) return;
+    env_applied_ = true;
+    const char* spec = std::getenv("TMN_FAILPOINTS");
+    if (spec == nullptr || spec[0] == '\0') return;
+    // ActivateFromSpec re-acquires mu_ per entry; drop it around the call
+    // (env_applied_ is already set, so re-entry cannot recurse here).
+    mu_.unlock();
+    ActivateFromSpec(spec);
+    mu_.lock();
+  }
+
+  std::mutex mu_;
+  std::map<std::string, Site> sites_;
+  bool env_applied_ = false;
+};
+
+}  // namespace
+
+bool FailpointsEnabled() {
+#ifdef TMN_ENABLE_FAILPOINTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+void ActivateFailpoint(const std::string& name, uint64_t nth,
+                       FailpointAction action) {
+  FailpointRegistry::Get().Activate(name, nth, action);
+}
+
+void DeactivateFailpoint(const std::string& name) {
+  FailpointRegistry::Get().Deactivate(name);
+}
+
+void DeactivateAllFailpoints() { FailpointRegistry::Get().DeactivateAll(); }
+
+uint64_t FailpointHits(const std::string& name) {
+  return FailpointRegistry::Get().Hits(name);
+}
+
+void ActivateFailpointsFromSpec(const std::string& spec) {
+  FailpointRegistry::Get().ActivateFromSpec(spec);
+}
+
+bool FailpointShouldFail(const char* name) {
+  return FailpointRegistry::Get().Hit(name);
+}
+
+}  // namespace tmn::common

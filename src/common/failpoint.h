@@ -1,0 +1,72 @@
+#ifndef TMN_COMMON_FAILPOINT_H_
+#define TMN_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+// Deterministic fault injection (docs/ROBUSTNESS.md). Library IO and
+// checkpoint paths carry named TMN_FAILPOINT sites; a test (or the
+// TMN_FAILPOINTS environment variable) arms a site to fire on its Nth hit,
+// either failing the operation (the site returns an error Status) or
+// crashing the process mid-operation — simulating a power cut without
+// flushing buffers or running atexit handlers.
+//
+// The sites compile to a constant `false` unless the library is built
+// with -DTMN_FAILPOINTS=ON (default ON for Debug builds), so Release hot
+// paths pay nothing.
+//
+// Naming convention: <layer>.<operation>[.<step>], e.g.
+//   io.atomic_write.rename   data.porto.row   trainer.after_checkpoint
+//
+// Environment activation (parsed once, at the first site hit):
+//   TMN_FAILPOINTS="io.atomic_write.rename@1:crash,data.porto.row@3:fail"
+// `name@N` fires on the Nth hit (1-based); the optional `:crash` action
+// terminates the process with exit code kFailpointCrashExitCode instead
+// of failing the operation. Every armed site is one-shot: it disarms
+// after firing, so recovery code re-running the same path succeeds.
+
+namespace tmn::common {
+
+// Exit code of a `crash` action — distinct from abort/signal codes so the
+// crash-recovery harness can tell an injected crash from a real one.
+inline constexpr int kFailpointCrashExitCode = 42;
+
+enum class FailpointAction {
+  kFail,   // The instrumented site reports failure (returns true).
+  kCrash,  // std::_Exit(kFailpointCrashExitCode) inside the site.
+};
+
+// Whether the library was compiled with failpoint sites active.
+bool FailpointsEnabled();
+
+// Arms `name` to fire on its `nth` hit counted from now (1-based; the
+// site's hit counter is reset). One-shot: disarms after firing.
+void ActivateFailpoint(const std::string& name, uint64_t nth,
+                       FailpointAction action = FailpointAction::kFail);
+
+void DeactivateFailpoint(const std::string& name);
+void DeactivateAllFailpoints();
+
+// Total hits observed for `name` since activation (or since the first
+// hit, for sites never armed). Only meaningful in failpoint builds.
+uint64_t FailpointHits(const std::string& name);
+
+// Arms every `name@N[:fail|:crash]` entry of a comma-separated spec (the
+// TMN_FAILPOINTS format). Malformed entries are reported to stderr and
+// skipped. Exposed so tests can exercise the env parser directly.
+void ActivateFailpointsFromSpec(const std::string& spec);
+
+// Called by TMN_FAILPOINT sites; true when the operation should fail.
+// Applies the TMN_FAILPOINTS environment spec on first use. A kCrash
+// action does not return.
+bool FailpointShouldFail(const char* name);
+
+}  // namespace tmn::common
+
+#ifdef TMN_ENABLE_FAILPOINTS
+#define TMN_FAILPOINT(name) ::tmn::common::FailpointShouldFail(name)
+#else
+#define TMN_FAILPOINT(name) false
+#endif
+
+#endif  // TMN_COMMON_FAILPOINT_H_

@@ -1,0 +1,405 @@
+#include "common/io_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace tmn::common {
+
+namespace {
+
+std::string Errno(const char* op, const std::string& path) {
+  return std::string(op) + " '" + path + "': " + std::strerror(errno);
+}
+
+// Parent directory of `path` ("." when it has no directory component);
+// fsync'd after rename so the directory entry itself is durable.
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// CRC-32 lookup table for the reflected IEEE polynomial 0xEDB88320,
+// generated once on first use.
+const uint32_t* Crc32Table() {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+uint32_t LoadU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | static_cast<uint32_t>(b[1]) << 8 |
+         static_cast<uint32_t>(b[2]) << 16 | static_cast<uint32_t>(b[3]) << 24;
+}
+
+uint64_t LoadU64(const char* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         static_cast<uint64_t>(LoadU32(p + 4)) << 32;
+}
+
+class FdCloser {
+ public:
+  explicit FdCloser(int fd) : fd_(fd) {}
+  ~FdCloser() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdCloser(const FdCloser&) = delete;
+  FdCloser& operator=(const FdCloser&) = delete;
+  // Hands the fd back for an explicit, error-checked close.
+  int Release() { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_;
+};
+
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(Errno("write", path));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = ~seed;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+Status EnsureDirectory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return IoError("create directory '" + path + "': " + ec.message());
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  if (TMN_FAILPOINT("io.read.open")) {
+    return IoError("read '" + path + "': injected failure (io.read.open)");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return NotFoundError("no such file: '" + path + "'");
+    }
+    return IoError(Errno("open", path));
+  }
+  FdCloser closer(fd);
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(Errno("read", path));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  if (TMN_FAILPOINT("io.atomic_write.open")) {
+    return IoError("open '" + tmp +
+                   "': injected failure (io.atomic_write.open)");
+  }
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError(Errno("open", tmp));
+  {
+    FdCloser closer(fd);
+    if (TMN_FAILPOINT("io.atomic_write.write")) {
+      // Simulated short write: leave a truncated tmp file behind, as a
+      // full disk would.
+      (void)WriteAll(fd, data.substr(0, data.size() / 2), tmp);
+      return IoError("write '" + tmp +
+                     "': injected failure (io.atomic_write.write)");
+    }
+    TMN_RETURN_IF_ERROR(WriteAll(fd, data, tmp));
+    if (TMN_FAILPOINT("io.atomic_write.fsync")) {
+      return IoError("fsync '" + tmp +
+                     "': injected failure (io.atomic_write.fsync)");
+    }
+    if (::fsync(fd) != 0) return IoError(Errno("fsync", tmp));
+    if (::close(closer.Release()) != 0) return IoError(Errno("close", tmp));
+  }
+  // A crash armed here models losing power after the data is durable in
+  // the tmp file but before it is published: recovery sees the old file.
+  if (TMN_FAILPOINT("io.atomic_write.rename")) {
+    return IoError("rename '" + tmp + "' -> '" + path +
+                   "': injected failure (io.atomic_write.rename)");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return IoError(Errno("rename", tmp));
+  }
+  // Make the new directory entry durable too. Failure to open the parent
+  // is tolerated (e.g. path with no readable dir fd on odd filesystems);
+  // the rename itself has already happened atomically.
+  const std::string dir = ParentDir(path);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd >= 0) {
+    FdCloser dir_closer(dirfd);
+    if (::fsync(dirfd) != 0) return IoError(Errno("fsync dir", dir));
+  }
+  return Status::Ok();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return IoError(Errno("unlink", path));
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void PayloadWriter::PutU32(uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xFFu);
+  b[1] = static_cast<char>((v >> 8) & 0xFFu);
+  b[2] = static_cast<char>((v >> 16) & 0xFFu);
+  b[3] = static_cast<char>((v >> 24) & 0xFFu);
+  data_.append(b, 4);
+}
+
+void PayloadWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(static_cast<uint32_t>(v >> 32));
+}
+
+void PayloadWriter::PutF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits);
+}
+
+void PayloadWriter::PutF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void PayloadWriter::PutString(std::string_view s) {
+  PutU64(s.size());
+  data_.append(s.data(), s.size());
+}
+
+void PayloadWriter::PutRaw(const void* data, size_t size) {
+  data_.append(static_cast<const char*>(data), size);
+}
+
+bool PayloadReader::ReadRaw(void* out, size_t size) {
+  if (!ok_ || data_.size() - pos_ < size) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, data_.data() + pos_, size);
+  pos_ += size;
+  return true;
+}
+
+bool PayloadReader::ReadU32(uint32_t* out) {
+  char b[4];
+  if (!ReadRaw(b, 4)) return false;
+  *out = LoadU32(b);
+  return true;
+}
+
+bool PayloadReader::ReadU64(uint64_t* out) {
+  char b[8];
+  if (!ReadRaw(b, 8)) return false;
+  *out = LoadU64(b);
+  return true;
+}
+
+bool PayloadReader::ReadI64(int64_t* out) {
+  uint64_t v;
+  if (!ReadU64(&v)) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool PayloadReader::ReadF32(float* out) {
+  uint32_t bits;
+  if (!ReadU32(&bits)) return false;
+  std::memcpy(out, &bits, sizeof(bits));
+  return true;
+}
+
+bool PayloadReader::ReadF64(double* out) {
+  uint64_t bits;
+  if (!ReadU64(&bits)) return false;
+  std::memcpy(out, &bits, sizeof(bits));
+  return true;
+}
+
+bool PayloadReader::ReadString(std::string* out) {
+  uint64_t size;
+  if (!ReadU64(&size)) return false;
+  if (data_.size() - pos_ < size) {
+    ok_ = false;
+    return false;
+  }
+  out->assign(data_.data() + pos_, size);
+  pos_ += size;
+  return true;
+}
+
+void BundleWriter::AddSection(std::string_view tag, std::string payload) {
+  TMN_CHECK_MSG(tag.size() == 4, "bundle section tag must be 4 chars");
+  sections_.push_back(Section{std::string(tag), std::move(payload)});
+}
+
+std::string BundleWriter::Serialize() const {
+  PayloadWriter w;
+  w.PutU32(magic_);
+  w.PutU32(version_);
+  w.PutU32(static_cast<uint32_t>(sections_.size()));
+  for (const Section& s : sections_) {
+    w.PutRaw(s.tag.data(), 4);
+    w.PutU64(s.payload.size());
+    w.PutU32(Crc32(s.payload));
+    w.PutRaw(s.payload.data(), s.payload.size());
+  }
+  return w.Take();
+}
+
+Status BundleWriter::WriteAtomic(const std::string& path) const {
+  return AtomicWriteFile(path, Serialize());
+}
+
+Status BundleReader::Init(std::string data, uint32_t expect_magic,
+                          uint32_t expect_version, const std::string& what) {
+  data_ = std::move(data);
+  sections_.clear();
+  what_ = what;
+  constexpr size_t kHeaderSize = 12;   // magic + version + section_count
+  constexpr size_t kSectionHeader = 16;  // tag + size + crc
+  if (data_.size() < kHeaderSize) {
+    return CorruptionError(what_ + ": file truncated (" +
+                           std::to_string(data_.size()) +
+                           " bytes, header needs " +
+                           std::to_string(kHeaderSize) + ")");
+  }
+  const uint32_t magic = LoadU32(data_.data());
+  if (magic != expect_magic) {
+    return CorruptionError(what_ + ": bad magic 0x" + [&] {
+      char buf[9];
+      std::snprintf(buf, sizeof(buf), "%08x", magic);
+      return std::string(buf);
+    }() + " (not a " + what_ + " file)");
+  }
+  const uint32_t version = LoadU32(data_.data() + 4);
+  if (version != expect_version) {
+    return VersionSkewError(what_ + ": format version " +
+                            std::to_string(version) + " (this build reads " +
+                            std::to_string(expect_version) + ")");
+  }
+  const uint32_t count = LoadU32(data_.data() + 8);
+  size_t pos = kHeaderSize;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (data_.size() - pos < kSectionHeader) {
+      return CorruptionError(what_ + ": truncated header of section " +
+                             std::to_string(i + 1) + "/" +
+                             std::to_string(count));
+    }
+    std::string tag(data_.data() + pos, 4);
+    const uint64_t size = LoadU64(data_.data() + pos + 4);
+    const uint32_t crc = LoadU32(data_.data() + pos + 12);
+    pos += kSectionHeader;
+    if (data_.size() - pos < size) {
+      return CorruptionError(what_ + ": truncated payload of section '" +
+                             tag + "' (" + std::to_string(data_.size() - pos) +
+                             " of " + std::to_string(size) + " bytes)");
+    }
+    const std::string_view payload(data_.data() + pos, size);
+    pos += size;
+    const uint32_t actual = Crc32(payload);
+    if (actual != crc) {
+      return CorruptionError(what_ + ": checksum mismatch in section '" +
+                             tag + "'");
+    }
+    for (const Entry& e : sections_) {
+      if (e.tag == tag) {
+        return CorruptionError(what_ + ": duplicate section '" + tag + "'");
+      }
+    }
+    sections_.push_back(Entry{std::move(tag), payload});
+  }
+  if (pos != data_.size()) {
+    return CorruptionError(what_ + ": " + std::to_string(data_.size() - pos) +
+                           " trailing bytes after last section");
+  }
+  return Status::Ok();
+}
+
+Status BundleReader::InitFromFile(const std::string& path,
+                                  uint32_t expect_magic,
+                                  uint32_t expect_version,
+                                  const std::string& what) {
+  StatusOr<std::string> data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+  Status status =
+      Init(std::move(data.value()), expect_magic, expect_version, what);
+  if (!status.ok()) {
+    return Status(status.code(), "'" + path + "': " + status.message());
+  }
+  return Status::Ok();
+}
+
+const std::string_view* BundleReader::Section(std::string_view tag) const {
+  for (const Entry& e : sections_) {
+    if (e.tag == tag) return &e.payload;
+  }
+  return nullptr;
+}
+
+StatusOr<std::string_view> BundleReader::RequiredSection(
+    std::string_view tag) const {
+  const std::string_view* payload = Section(tag);
+  if (payload == nullptr) {
+    return CorruptionError(what_ + ": missing section '" + std::string(tag) +
+                           "'");
+  }
+  return *payload;
+}
+
+}  // namespace tmn::common

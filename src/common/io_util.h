@@ -1,0 +1,156 @@
+#ifndef TMN_COMMON_IO_UTIL_H_
+#define TMN_COMMON_IO_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+// Durable file IO for model/checkpoint artifacts (docs/ROBUSTNESS.md).
+//
+// Two layers:
+//  - AtomicWriteFile / ReadFileToString: whole-file primitives. Writes go
+//    to `<path>.tmp`, are fsync'd, then renamed over `path` (and the
+//    parent directory fsync'd), so readers observe either the old file or
+//    the complete new one — never a torn write.
+//  - Bundle{Writer,Reader} + Payload{Writer,Reader}: a little-endian,
+//    section-based container. Every section is tagged (4 ASCII chars),
+//    length-prefixed and CRC32-checksummed, so loads distinguish
+//    truncation, bit-flips, bad magic and version skew with dedicated
+//    Status values instead of returning garbage.
+//
+// tmn_lint's raw-file-write rule funnels all library writes through this
+// file: everything else that opens a file for writing fails the lint gate.
+
+namespace tmn::common {
+
+// CRC-32 (IEEE 802.3, the zlib polynomial). `seed` chains incremental
+// computation: Crc32(b, Crc32(a)) == Crc32(a+b).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+// Creates `path` (and missing parents) as a directory; OK if it already
+// exists as one.
+Status EnsureDirectory(const std::string& path);
+
+// Reads the whole file. kNotFound when it does not exist, kIoError for
+// any other failure.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Writes `data` to `path` atomically and durably: `<path>.tmp` + fsync +
+// rename + parent-directory fsync. Failpoints: io.atomic_write.open,
+// io.atomic_write.write, io.atomic_write.fsync, io.atomic_write.rename
+// (a crash armed on the rename site simulates a power cut that leaves
+// only the tmp file behind).
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
+// Removes `path` if it exists (kIoError only on a real failure, not on
+// absence). Used by checkpoint rotation.
+Status RemoveFileIfExists(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+// Little-endian scalar encoder appending to an internal buffer.
+class PayloadWriter {
+ public:
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF32(float v);
+  void PutF64(double v);
+  // Length-prefixed (u64) byte string.
+  void PutString(std::string_view s);
+  void PutRaw(const void* data, size_t size);
+
+  const std::string& data() const { return data_; }
+  std::string&& Take() { return std::move(data_); }
+
+ private:
+  std::string data_;
+};
+
+// Little-endian scalar decoder over a borrowed buffer. Failure is sticky:
+// the first short read flips ok() to false and every later Read* returns
+// false, so callers can decode a whole record and check ok() once.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  bool ReadU32(uint32_t* out);
+  bool ReadU64(uint64_t* out);
+  bool ReadI64(int64_t* out);
+  bool ReadF32(float* out);
+  bool ReadF64(double* out);
+  // Counterpart of PayloadWriter::PutString.
+  bool ReadString(std::string* out);
+  bool ReadRaw(void* out, size_t size);
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Builds a bundle: [magic u32][version u32][section_count u32] followed by
+// one [tag 4B][size u64][crc32 u32][payload] record per section.
+class BundleWriter {
+ public:
+  BundleWriter(uint32_t magic, uint32_t version)
+      : magic_(magic), version_(version) {}
+
+  // `tag` must be exactly 4 ASCII characters (e.g. "PARM").
+  void AddSection(std::string_view tag, std::string payload);
+
+  std::string Serialize() const;
+  Status WriteAtomic(const std::string& path) const;
+
+ private:
+  struct Section {
+    std::string tag;
+    std::string payload;
+  };
+  uint32_t magic_;
+  uint32_t version_;
+  std::vector<Section> sections_;
+};
+
+// Parses and validates a bundle. Init returns, with distinct messages:
+//   kCorruption  — truncated header / truncated section header or payload
+//                  / checksum mismatch / duplicate tag / trailing bytes
+//   kCorruption  — magic mismatch ("not a <what> file")
+//   kVersionSkew — right magic, unsupported version
+// `what` names the artifact in diagnostics (e.g. "TMN checkpoint").
+class BundleReader {
+ public:
+  // Takes ownership of `data`; sections are views into it.
+  Status Init(std::string data, uint32_t expect_magic,
+              uint32_t expect_version, const std::string& what);
+
+  // Convenience: ReadFileToString + Init, prefixing errors with `path`.
+  Status InitFromFile(const std::string& path, uint32_t expect_magic,
+                      uint32_t expect_version, const std::string& what);
+
+  // nullptr when the bundle has no such section. Views remain valid for
+  // the reader's lifetime.
+  const std::string_view* Section(std::string_view tag) const;
+
+  // Section that must exist: kCorruption naming the tag when absent.
+  StatusOr<std::string_view> RequiredSection(std::string_view tag) const;
+
+ private:
+  struct Entry {
+    std::string tag;
+    std::string_view payload;
+  };
+  std::string data_;
+  std::vector<Entry> sections_;
+  std::string what_;
+};
+
+}  // namespace tmn::common
+
+#endif  // TMN_COMMON_IO_UTIL_H_

@@ -1,0 +1,130 @@
+#ifndef TMN_COMMON_STATUS_H_
+#define TMN_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+// Lightweight error propagation for recoverable failures (I/O, corrupt
+// artifacts, malformed data). The library is no-exceptions by design
+// (tmn_lint enforces it); TMN_CHECK covers programmer errors, Status
+// covers everything the environment can do to us. Each failure carries a
+// category (StatusCode) and a human-readable message, so a caller — or a
+// test — can tell a truncated file from a flipped bit from a version
+// mismatch without parsing strings.
+
+namespace tmn::common {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,     // Caller-supplied data does not fit (shape skew...).
+  kNotFound,            // Missing file / no checkpoint to resume from.
+  kIoError,             // open/write/fsync/rename failed.
+  kCorruption,          // Truncation, checksum mismatch, bad magic.
+  kVersionSkew,         // Recognized file, unsupported format version.
+  kQuarantined,         // Too large a fraction of a dataset is malformed.
+  kFailedPrecondition,  // Operation not valid in the current state.
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kVersionSkew: return "VERSION_SKEW";
+    case StatusCode::kQuarantined: return "QUARANTINED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  // Default-constructed status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "CORRUPTION: checksum mismatch in section 'PARM'".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status IoError(std::string message) {
+  return Status(StatusCode::kIoError, std::move(message));
+}
+inline Status CorruptionError(std::string message) {
+  return Status(StatusCode::kCorruption, std::move(message));
+}
+inline Status VersionSkewError(std::string message) {
+  return Status(StatusCode::kVersionSkew, std::move(message));
+}
+inline Status QuarantinedError(std::string message) {
+  return Status(StatusCode::kQuarantined, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+
+// Status-or-value. Accessing value() on an error status is a programmer
+// error and aborts via TMN_CHECK; callers must branch on ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit from an error status (must not be OK: an OK StatusOr needs a
+  // value) and from a value.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    TMN_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    TMN_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  const T& value() const {
+    TMN_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tmn::common
+
+// Early-returns the enclosing function with the evaluated Status when it
+// is not OK. The enclosing function must itself return Status.
+#define TMN_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::tmn::common::Status tmn_status_ = (expr);   \
+    if (!tmn_status_.ok()) return tmn_status_;    \
+  } while (0)
+
+#endif  // TMN_COMMON_STATUS_H_

@@ -1,0 +1,283 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/io_util.h"
+#include "obs/metrics.h"
+
+namespace tmn::core {
+
+namespace {
+
+constexpr char kMetaSection[] = "META";
+constexpr char kParamsSection[] = "PARM";
+constexpr char kRngSection[] = "RNGS";
+constexpr char kAdamSection[] = "ADAM";
+constexpr char kManifestSection[] = "MANI";
+constexpr char kCheckpointWhat[] = "TMN checkpoint";
+constexpr char kManifestWhat[] = "TMN checkpoint manifest";
+
+// Checkpoint metrics. Only ever created from checkpoint code paths, which
+// the bench binaries never execute, so the committed bench baselines are
+// unaffected by this instrumentation.
+struct CheckpointMetrics {
+  obs::Counter& saves;
+  obs::Counter& restores;
+  obs::Counter& invalid_skipped;
+  obs::Counter& pruned;
+
+  static CheckpointMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static CheckpointMetrics m{
+        reg.GetCounter("tmn.core.checkpoint.saves"),
+        reg.GetCounter("tmn.core.checkpoint.restores"),
+        reg.GetCounter("tmn.core.checkpoint.invalid_skipped"),
+        reg.GetCounter("tmn.core.checkpoint.pruned"),
+    };
+    return m;
+  }
+};
+
+std::string EncodeMeta(const TrainerCheckpoint& checkpoint) {
+  common::PayloadWriter w;
+  w.PutU64(checkpoint.epoch);
+  w.PutU64(checkpoint.pair_cursor);
+  w.PutU64(checkpoint.losses.size());
+  for (const double loss : checkpoint.losses) w.PutF64(loss);
+  return w.Take();
+}
+
+common::Status DecodeMeta(std::string_view payload,
+                          TrainerCheckpoint* checkpoint) {
+  common::PayloadReader r(payload);
+  uint64_t loss_count = 0;
+  r.ReadU64(&checkpoint->epoch);
+  r.ReadU64(&checkpoint->pair_cursor);
+  if (!r.ReadU64(&loss_count)) {
+    return common::CorruptionError("checkpoint META section truncated");
+  }
+  if (loss_count != checkpoint->epoch) {
+    return common::CorruptionError(
+        "checkpoint META inconsistent: " + std::to_string(loss_count) +
+        " losses for " + std::to_string(checkpoint->epoch) + " epochs");
+  }
+  checkpoint->losses.assign(loss_count, 0.0);
+  for (double& loss : checkpoint->losses) r.ReadF64(&loss);
+  if (!r.ok() || r.remaining() != 0) {
+    return common::CorruptionError("checkpoint META section has wrong size");
+  }
+  return common::Status::Ok();
+}
+
+std::string EncodeRng(const nn::RngState& rng) {
+  common::PayloadWriter w;
+  for (const uint64_t word : rng.state) w.PutU64(word);
+  w.PutU32(rng.has_cached_normal ? 1 : 0);
+  w.PutF64(rng.cached_normal);
+  return w.Take();
+}
+
+common::Status DecodeRng(std::string_view payload, nn::RngState* rng) {
+  common::PayloadReader r(payload);
+  for (uint64_t& word : rng->state) r.ReadU64(&word);
+  uint32_t has_cached = 0;
+  r.ReadU32(&has_cached);
+  r.ReadF64(&rng->cached_normal);
+  if (!r.ok() || r.remaining() != 0 || has_cached > 1) {
+    return common::CorruptionError("checkpoint RNGS section has wrong size");
+  }
+  rng->has_cached_normal = has_cached != 0;
+  return common::Status::Ok();
+}
+
+std::string EncodeAdam(const nn::AdamState& adam) {
+  common::PayloadWriter w;
+  w.PutI64(adam.t);
+  w.PutU32(static_cast<uint32_t>(adam.m.size()));
+  for (size_t k = 0; k < adam.m.size(); ++k) {
+    w.PutU64(adam.m[k].size());
+    for (const float f : adam.m[k]) w.PutF32(f);
+    for (const float f : adam.v[k]) w.PutF32(f);
+  }
+  return w.Take();
+}
+
+common::Status DecodeAdam(std::string_view payload, nn::AdamState* adam) {
+  common::PayloadReader r(payload);
+  uint32_t count = 0;
+  r.ReadI64(&adam->t);
+  if (!r.ReadU32(&count)) {
+    return common::CorruptionError("checkpoint ADAM section truncated");
+  }
+  adam->m.assign(count, {});
+  adam->v.assign(count, {});
+  for (uint32_t k = 0; k < count; ++k) {
+    uint64_t numel = 0;
+    if (!r.ReadU64(&numel) || numel > r.remaining() / sizeof(float)) {
+      return common::CorruptionError("checkpoint ADAM section truncated");
+    }
+    adam->m[k].assign(numel, 0.0f);
+    adam->v[k].assign(numel, 0.0f);
+    for (float& f : adam->m[k]) r.ReadF32(&f);
+    for (float& f : adam->v[k]) r.ReadF32(&f);
+  }
+  if (!r.ok() || r.remaining() != 0) {
+    return common::CorruptionError("checkpoint ADAM section has wrong size");
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+common::Status SaveTrainerCheckpoint(const std::string& path,
+                                     const TrainerCheckpoint& checkpoint) {
+  common::BundleWriter bundle(kCheckpointMagic, kCheckpointVersion);
+  bundle.AddSection(kMetaSection, EncodeMeta(checkpoint));
+  bundle.AddSection(kParamsSection, checkpoint.params_payload);
+  bundle.AddSection(kRngSection, EncodeRng(checkpoint.rng));
+  bundle.AddSection(kAdamSection, EncodeAdam(checkpoint.adam));
+  return bundle.WriteAtomic(path);
+}
+
+common::Status LoadTrainerCheckpoint(const std::string& path,
+                                     TrainerCheckpoint* checkpoint) {
+  common::BundleReader reader;
+  TMN_RETURN_IF_ERROR(reader.InitFromFile(path, kCheckpointMagic,
+                                          kCheckpointVersion,
+                                          kCheckpointWhat));
+  common::StatusOr<std::string_view> meta =
+      reader.RequiredSection(kMetaSection);
+  if (!meta.ok()) return meta.status();
+  TMN_RETURN_IF_ERROR(DecodeMeta(meta.value(), checkpoint));
+  common::StatusOr<std::string_view> parm =
+      reader.RequiredSection(kParamsSection);
+  if (!parm.ok()) return parm.status();
+  checkpoint->params_payload = std::string(parm.value());
+  common::StatusOr<std::string_view> rngs =
+      reader.RequiredSection(kRngSection);
+  if (!rngs.ok()) return rngs.status();
+  TMN_RETURN_IF_ERROR(DecodeRng(rngs.value(), &checkpoint->rng));
+  common::StatusOr<std::string_view> adam =
+      reader.RequiredSection(kAdamSection);
+  if (!adam.ok()) return adam.status();
+  TMN_RETURN_IF_ERROR(DecodeAdam(adam.value(), &checkpoint->adam));
+  return common::Status::Ok();
+}
+
+CheckpointManager::CheckpointManager(Options options)
+    : options_(std::move(options)) {
+  TMN_CHECK_MSG(!options_.dir.empty(), "CheckpointManager needs a directory");
+  TMN_CHECK_MSG(options_.keep_last > 0,
+                "CheckpointManager must keep at least one checkpoint");
+}
+
+std::string CheckpointManager::CheckpointPath(uint64_t epoch) const {
+  return options_.dir + "/ckpt-" + std::to_string(epoch) + ".tmnc";
+}
+
+std::string CheckpointManager::ManifestPath() const {
+  return options_.dir + "/MANIFEST.tmnm";
+}
+
+common::StatusOr<std::vector<std::string>> CheckpointManager::ListManifest()
+    const {
+  common::BundleReader reader;
+  common::Status status = reader.InitFromFile(
+      ManifestPath(), kManifestMagic, kManifestVersion, kManifestWhat);
+  if (!status.ok()) return status;
+  common::StatusOr<std::string_view> mani =
+      reader.RequiredSection(kManifestSection);
+  if (!mani.ok()) return mani.status();
+  common::PayloadReader r(mani.value());
+  uint32_t count = 0;
+  if (!r.ReadU32(&count)) {
+    return common::CorruptionError("checkpoint manifest truncated");
+  }
+  std::vector<std::string> names(count);
+  for (std::string& name : names) r.ReadString(&name);
+  if (!r.ok() || r.remaining() != 0) {
+    return common::CorruptionError("checkpoint manifest has wrong size");
+  }
+  return names;
+}
+
+common::Status CheckpointManager::WriteManifest(
+    const std::vector<std::string>& names) const {
+  common::PayloadWriter w;
+  w.PutU32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) w.PutString(name);
+  common::BundleWriter bundle(kManifestMagic, kManifestVersion);
+  bundle.AddSection(kManifestSection, w.Take());
+  return bundle.WriteAtomic(ManifestPath());
+}
+
+common::Status CheckpointManager::Save(const TrainerCheckpoint& checkpoint) {
+  TMN_RETURN_IF_ERROR(common::EnsureDirectory(options_.dir));
+  const std::string path = CheckpointPath(checkpoint.epoch);
+  const std::string name = "ckpt-" + std::to_string(checkpoint.epoch) +
+                           ".tmnc";
+  TMN_RETURN_IF_ERROR(SaveTrainerCheckpoint(path, checkpoint));
+
+  // Fold the new name into the manifest (a prior manifest that is missing
+  // or unreadable degrades to a fresh single-entry one: the files it
+  // listed stay on disk, they are just no longer rotated).
+  std::vector<std::string> names;
+  common::StatusOr<std::vector<std::string>> existing = ListManifest();
+  if (existing.ok()) names = std::move(existing.value());
+  std::erase(names, name);
+  names.push_back(name);
+  std::vector<std::string> pruned;
+  while (names.size() > options_.keep_last) {
+    pruned.push_back(names.front());
+    names.erase(names.begin());
+  }
+  TMN_RETURN_IF_ERROR(WriteManifest(names));
+
+  // Only after the manifest no longer references them are old files
+  // removed; a crash between the two steps leaks a file, never loses one.
+  CheckpointMetrics& metrics = CheckpointMetrics::Get();
+  for (const std::string& old : pruned) {
+    TMN_RETURN_IF_ERROR(common::RemoveFileIfExists(options_.dir + "/" + old));
+    metrics.pruned.Increment();
+  }
+  metrics.saves.Increment();
+  return common::Status::Ok();
+}
+
+common::Status CheckpointManager::LoadLatestValid(
+    TrainerCheckpoint* checkpoint) const {
+  common::StatusOr<std::vector<std::string>> names_or = ListManifest();
+  if (!names_or.ok()) {
+    if (names_or.status().code() == common::StatusCode::kNotFound) {
+      return common::NotFoundError("no checkpoint manifest in '" +
+                                   options_.dir + "'");
+    }
+    return names_or.status();
+  }
+  const std::vector<std::string>& names = names_or.value();
+  if (names.empty()) {
+    return common::NotFoundError("checkpoint manifest in '" + options_.dir +
+                                 "' lists no checkpoints");
+  }
+  CheckpointMetrics& metrics = CheckpointMetrics::Get();
+  common::Status newest_error = common::Status::Ok();
+  for (size_t i = names.size(); i-- > 0;) {
+    const std::string path = options_.dir + "/" + names[i];
+    common::Status status = LoadTrainerCheckpoint(path, checkpoint);
+    if (status.ok()) {
+      metrics.restores.Increment();
+      return common::Status::Ok();
+    }
+    if (newest_error.ok()) newest_error = status;
+    metrics.invalid_skipped.Increment();
+    std::fprintf(stderr,
+                 "CheckpointManager: skipping invalid checkpoint: %s\n",
+                 status.ToString().c_str());
+  }
+  return common::Status(newest_error.code(),
+                        "no valid checkpoint in '" + options_.dir +
+                            "'; newest failure: " + newest_error.message());
+}
+
+}  // namespace tmn::core

@@ -1,0 +1,78 @@
+#ifndef TMN_CORE_CHECKPOINT_H_
+#define TMN_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/optimizer.h"
+#include "nn/rng.h"
+
+namespace tmn::core {
+
+// Checkpoint bundle magic ("TMNC") and the manifest's ("TMNM").
+inline constexpr uint32_t kCheckpointMagic = 0x544d4e43;
+inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kManifestMagic = 0x544d4e4d;
+inline constexpr uint32_t kManifestVersion = 1;
+
+// Everything PairTrainer needs to continue a run bit-exactly from an
+// epoch boundary: the exact parameter bits, Adam's step counter and
+// moment vectors, the sampling Rng's full state, the epoch cursor and the
+// per-epoch losses already produced (docs/ROBUSTNESS.md). Saved as one
+// atomically-written, per-section-checksummed bundle (common/io_util):
+// META + PARM + RNGS + ADAM.
+struct TrainerCheckpoint {
+  uint64_t epoch = 0;          // Epochs completed when captured.
+  uint64_t pair_cursor = 0;    // Reserved for intra-epoch resume; always 0.
+  std::vector<double> losses;  // Mean loss of epochs [0, epoch).
+  std::string params_payload;  // nn::EncodeParameters of the model params.
+  nn::RngState rng;
+  nn::AdamState adam;
+};
+
+common::Status SaveTrainerCheckpoint(const std::string& path,
+                                     const TrainerCheckpoint& checkpoint);
+common::Status LoadTrainerCheckpoint(const std::string& path,
+                                     TrainerCheckpoint* checkpoint);
+
+// Rotating checkpoint store: `dir/ckpt-<epoch>.tmnc` files plus a
+// `dir/MANIFEST.tmnm` listing them oldest-first. Save publishes the
+// checkpoint atomically, then the manifest, then prunes files beyond
+// keep_last — in that order, so a crash anywhere leaves a loadable store.
+// LoadLatestValid walks the manifest newest-first and skips (with a
+// stderr warning and an obs counter) entries that are missing or fail
+// validation, so one corrupt file degrades to the previous checkpoint
+// instead of killing the run.
+class CheckpointManager {
+ public:
+  struct Options {
+    std::string dir;
+    size_t keep_last = 3;
+  };
+
+  explicit CheckpointManager(Options options);
+
+  common::Status Save(const TrainerCheckpoint& checkpoint);
+
+  // kNotFound when there is no manifest or it is empty; otherwise the
+  // newest entry that loads, or — when every entry fails — the newest
+  // entry's own error prefixed with "no valid checkpoint".
+  common::Status LoadLatestValid(TrainerCheckpoint* checkpoint) const;
+
+  std::string CheckpointPath(uint64_t epoch) const;
+  std::string ManifestPath() const;
+
+  // Manifest filenames, oldest first (empty when there is no manifest).
+  common::StatusOr<std::vector<std::string>> ListManifest() const;
+
+ private:
+  common::Status WriteManifest(const std::vector<std::string>& names) const;
+
+  Options options_;
+};
+
+}  // namespace tmn::core
+
+#endif  // TMN_CORE_CHECKPOINT_H_

@@ -1,62 +1,94 @@
 #include "core/model_io.h"
 
-#include <cstdint>
-#include <cstdio>
+#include <utility>
 #include <vector>
 
+#include "common/io_util.h"
 #include "nn/serialize.h"
 
 namespace tmn::core {
 
 namespace {
-constexpr uint32_t kBundleMagic = 0x544d4e42;  // "TMNB"
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-struct BundleHeader {
-  uint32_t magic = kBundleMagic;
-  int32_t hidden_dim = 0;
-  int32_t mlp_layers = 0;
-  int32_t use_matching = 0;
-  int32_t rnn_kind = 0;
-};
+constexpr char kConfigSection[] = "CONF";
+constexpr char kParamsSection[] = "PARM";
+constexpr char kWhat[] = "TMN model bundle";
 }  // namespace
 
-bool SaveTmnModel(const std::string& path, const TmnModel& model) {
-  const std::string params_path = path + ".params";
-  if (!nn::SaveParameters(params_path, model.Parameters())) return false;
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) return false;
-  BundleHeader header;
-  header.hidden_dim = model.config().hidden_dim;
-  header.mlp_layers = model.config().mlp_layers;
-  header.use_matching = model.config().use_matching ? 1 : 0;
-  header.rnn_kind = static_cast<int32_t>(model.config().rnn);
-  return std::fwrite(&header, sizeof(header), 1, f.get()) == 1;
+std::string EncodeTmnModelConfig(const TmnModelConfig& config) {
+  common::PayloadWriter w;
+  w.PutU32(static_cast<uint32_t>(config.hidden_dim));
+  w.PutU32(static_cast<uint32_t>(config.mlp_layers));
+  w.PutU32(config.use_matching ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(config.rnn));
+  w.PutU64(config.seed);
+  return w.Take();
 }
 
-std::unique_ptr<TmnModel> LoadTmnModel(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) return nullptr;
-  BundleHeader header;
-  if (std::fread(&header, sizeof(header), 1, f.get()) != 1) return nullptr;
-  if (header.magic != kBundleMagic) return nullptr;
-  if (header.hidden_dim < 2 || header.hidden_dim % 2 != 0) return nullptr;
-  if (header.mlp_layers < 1) return nullptr;
-  if (header.rnn_kind < 0 || header.rnn_kind > 1) return nullptr;
+common::Status DecodeTmnModelConfig(std::string_view payload,
+                                    TmnModelConfig* config) {
+  common::PayloadReader r(payload);
+  uint32_t hidden_dim = 0;
+  uint32_t mlp_layers = 0;
+  uint32_t use_matching = 0;
+  uint32_t rnn_kind = 0;
+  uint64_t seed = 0;
+  r.ReadU32(&hidden_dim);
+  r.ReadU32(&mlp_layers);
+  r.ReadU32(&use_matching);
+  r.ReadU32(&rnn_kind);
+  r.ReadU64(&seed);
+  if (!r.ok() || r.remaining() != 0) {
+    return common::CorruptionError("model config payload has wrong size");
+  }
+  if (hidden_dim < 2 || hidden_dim % 2 != 0 || hidden_dim > 1u << 20) {
+    return common::InvalidArgumentError("model config: bad hidden_dim " +
+                                        std::to_string(hidden_dim));
+  }
+  if (mlp_layers < 1 || mlp_layers > 1u << 10) {
+    return common::InvalidArgumentError("model config: bad mlp_layers " +
+                                        std::to_string(mlp_layers));
+  }
+  if (use_matching > 1) {
+    return common::InvalidArgumentError("model config: bad use_matching " +
+                                        std::to_string(use_matching));
+  }
+  if (rnn_kind > 1) {
+    return common::InvalidArgumentError("model config: bad rnn kind " +
+                                        std::to_string(rnn_kind));
+  }
+  config->hidden_dim = static_cast<int>(hidden_dim);
+  config->mlp_layers = static_cast<int>(mlp_layers);
+  config->use_matching = use_matching != 0;
+  config->rnn = static_cast<nn::RnnKind>(rnn_kind);
+  config->seed = seed;
+  return common::Status::Ok();
+}
+
+common::Status SaveTmnModel(const std::string& path, const TmnModel& model) {
+  common::BundleWriter bundle(kModelBundleMagic, kModelBundleVersion);
+  bundle.AddSection(kConfigSection, EncodeTmnModelConfig(model.config()));
+  bundle.AddSection(kParamsSection,
+                    nn::EncodeParameters(model.Parameters()));
+  return bundle.WriteAtomic(path);
+}
+
+common::StatusOr<std::unique_ptr<TmnModel>> LoadTmnModel(
+    const std::string& path) {
+  common::BundleReader reader;
+  TMN_RETURN_IF_ERROR(reader.InitFromFile(path, kModelBundleMagic,
+                                          kModelBundleVersion, kWhat));
+  common::StatusOr<std::string_view> conf =
+      reader.RequiredSection(kConfigSection);
+  if (!conf.ok()) return conf.status();
   TmnModelConfig config;
-  config.hidden_dim = header.hidden_dim;
-  config.mlp_layers = header.mlp_layers;
-  config.use_matching = header.use_matching != 0;
-  config.rnn = static_cast<nn::RnnKind>(header.rnn_kind);
+  TMN_RETURN_IF_ERROR(DecodeTmnModelConfig(conf.value(), &config));
+
   auto model = std::make_unique<TmnModel>(config);
+  common::StatusOr<std::string_view> parm =
+      reader.RequiredSection(kParamsSection);
+  if (!parm.ok()) return parm.status();
   std::vector<nn::Tensor> params = model->Parameters();
-  if (!nn::LoadParameters(path + ".params", params)) return nullptr;
+  TMN_RETURN_IF_ERROR(nn::DecodeParameters(parm.value(), params));
   return model;
 }
 

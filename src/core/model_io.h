@@ -1,19 +1,36 @@
 #ifndef TMN_CORE_MODEL_IO_H_
 #define TMN_CORE_MODEL_IO_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
+#include "common/status.h"
 #include "core/tmn_model.h"
 
 namespace tmn::core {
 
-// Single-file persistence for a TmnModel: stores the architecture config
-// alongside the parameter tensors so a model can be reloaded without the
-// caller knowing how it was configured. Returns false / nullptr on I/O
-// failure or corrupt data.
-bool SaveTmnModel(const std::string& path, const TmnModel& model);
-std::unique_ptr<TmnModel> LoadTmnModel(const std::string& path);
+// Model-bundle magic ("TMNB"). v1 files had no version field — the config
+// sat where v2 keeps the format version — so loading one reports
+// VERSION_SKEW rather than a mystery corruption.
+inline constexpr uint32_t kModelBundleMagic = 0x544d4e42;
+inline constexpr uint32_t kModelBundleVersion = 2;
+
+// Single-file persistence of a TmnModel: one atomically-written,
+// CRC32-checksummed bundle (common/io_util) holding the architecture
+// config (CONF section) and the parameter tensors (PARM section), so a
+// model reloads without the caller knowing how it was configured and a
+// torn or bit-rotted file is rejected with a diagnosable Status instead
+// of silently yielding garbage.
+common::Status SaveTmnModel(const std::string& path, const TmnModel& model);
+common::StatusOr<std::unique_ptr<TmnModel>> LoadTmnModel(
+    const std::string& path);
+
+// Codec for the CONF section, shared with trainer checkpoints.
+std::string EncodeTmnModelConfig(const TmnModelConfig& config);
+common::Status DecodeTmnModelConfig(std::string_view payload,
+                                    TmnModelConfig* config);
 
 }  // namespace tmn::core
 

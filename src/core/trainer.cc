@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
+#include "nn/serialize.h"
 #include "distance/distance_matrix.h"
 #include "nn/ops.h"
 #include "obs/metrics.h"
@@ -267,6 +270,75 @@ std::vector<double> PairTrainer::Train() {
   losses.reserve(config_.epochs);
   for (int e = 0; e < config_.epochs; ++e) {
     losses.push_back(TrainEpoch());
+  }
+  return losses;
+}
+
+TrainerCheckpoint PairTrainer::CaptureCheckpoint(
+    const std::vector<double>& losses) const {
+  TMN_CHECK_MSG(losses.size() == static_cast<size_t>(epochs_completed_),
+                "CaptureCheckpoint needs one loss per completed epoch");
+  TrainerCheckpoint checkpoint;
+  checkpoint.epoch = static_cast<uint64_t>(epochs_completed_);
+  checkpoint.losses = losses;
+  checkpoint.params_payload = nn::EncodeParameters(params_);
+  checkpoint.rng = rng_.SaveState();
+  checkpoint.adam = optimizer_->ExportState();
+  return checkpoint;
+}
+
+common::Status PairTrainer::RestoreCheckpoint(
+    const TrainerCheckpoint& checkpoint, std::vector<double>* losses) {
+  if (checkpoint.pair_cursor != 0) {
+    return common::InvalidArgumentError(
+        "checkpoint has a mid-epoch pair cursor; this build only resumes "
+        "at epoch boundaries");
+  }
+  TMN_RETURN_IF_ERROR(
+      nn::DecodeParameters(checkpoint.params_payload, params_));
+  if (!optimizer_->RestoreState(checkpoint.adam)) {
+    return common::InvalidArgumentError(
+        "checkpoint optimizer state does not match the model's parameter "
+        "shapes");
+  }
+  rng_.RestoreState(checkpoint.rng);
+  epochs_completed_ = static_cast<int>(checkpoint.epoch);
+  *losses = checkpoint.losses;
+  // Pure memoization of deterministic ground truths; dropping it cannot
+  // change any computed value.
+  sub_cache_.clear();
+  return common::Status::Ok();
+}
+
+std::vector<double> PairTrainer::TrainWithCheckpoints(
+    CheckpointManager& manager, int checkpoint_every) {
+  TMN_CHECK(checkpoint_every > 0);
+  std::vector<double> losses;
+  TrainerCheckpoint checkpoint;
+  common::Status found = manager.LoadLatestValid(&checkpoint);
+  if (found.ok()) {
+    common::Status restored = RestoreCheckpoint(checkpoint, &losses);
+    TMN_CHECK_MSG(restored.ok(), restored.ToString().c_str());
+    std::fprintf(stderr, "PairTrainer: resuming from epoch %d\n",
+                 epochs_completed_);
+  } else if (found.code() != common::StatusCode::kNotFound) {
+    std::fprintf(stderr,
+                 "PairTrainer: starting fresh; checkpoint store unusable: "
+                 "%s\n",
+                 found.ToString().c_str());
+  }
+  for (int e = epochs_completed_; e < config_.epochs; ++e) {
+    losses.push_back(TrainEpoch());
+    if ((e + 1) % checkpoint_every != 0 && e + 1 != config_.epochs) continue;
+    const common::Status saved = manager.Save(CaptureCheckpoint(losses));
+    if (!saved.ok()) {
+      std::fprintf(stderr, "PairTrainer: checkpoint failed (continuing): %s\n",
+                   saved.ToString().c_str());
+      continue;
+    }
+    // Crash site for the recovery harness: dying here models a power cut
+    // right after a checkpoint was published.
+    (void)TMN_FAILPOINT("trainer.after_checkpoint");
   }
   return losses;
 }

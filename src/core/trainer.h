@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/status.h"
+#include "core/checkpoint.h"
 #include "core/loss.h"
 #include "core/model.h"
 #include "core/sampler.h"
@@ -65,6 +67,30 @@ class PairTrainer {
 
   // Runs config.epochs epochs; returns the per-epoch mean losses.
   std::vector<double> Train();
+
+  // Train() with fault tolerance: if `manager` holds a valid checkpoint it
+  // is restored first, then training continues to config.epochs with a
+  // checkpoint published every `checkpoint_every` epochs. The returned
+  // losses always cover all config.epochs epochs (restored ones included),
+  // and — by the determinism contract — are bitwise identical to an
+  // uninterrupted Train() at any thread count, as are the final
+  // parameters. A checkpoint that fails to save is reported to stderr and
+  // training continues (losing at most the progress since the last one).
+  std::vector<double> TrainWithCheckpoints(CheckpointManager& manager,
+                                           int checkpoint_every = 1);
+
+  // Snapshot of the trainer at the current epoch boundary. `losses` are
+  // the per-epoch losses produced so far (the trainer does not retain
+  // them); its size must equal epochs_completed().
+  TrainerCheckpoint CaptureCheckpoint(const std::vector<double>& losses) const;
+
+  // Restores parameters, optimizer moments, Rng stream and epoch cursor
+  // from `checkpoint`, filling `losses` with the restored history.
+  // kInvalidArgument / kCorruption when the checkpoint does not fit this
+  // trainer's model; the trainer is left unusable in that case and must
+  // not train on.
+  common::Status RestoreCheckpoint(const TrainerCheckpoint& checkpoint,
+                                   std::vector<double>* losses);
 
   int epochs_completed() const { return epochs_completed_; }
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/io_util.h"
 #include "nn/rng.h"
 
 namespace tmn::data {
@@ -19,17 +20,21 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 bool SaveCsv(const std::string& path,
              const std::vector<geo::Trajectory>& trajectories) {
-  FilePtr f(std::fopen(path.c_str(), "w"));
-  if (f == nullptr) return false;
-  if (std::fprintf(f.get(), "id,point_index,lon,lat\n") < 0) return false;
+  std::string csv = "id,point_index,lon,lat\n";
+  char row[128];
   for (const geo::Trajectory& t : trajectories) {
     for (size_t i = 0; i < t.size(); ++i) {
-      if (std::fprintf(f.get(), "%lld,%zu,%.9f,%.9f\n",
-                       static_cast<long long>(t.id()), i, t[i].lon,
-                       t[i].lat) < 0) {
-        return false;
-      }
+      std::snprintf(row, sizeof(row), "%lld,%zu,%.9f,%.9f\n",
+                    static_cast<long long>(t.id()), i, t[i].lon, t[i].lat);
+      csv += row;
     }
+  }
+  // Atomic write: readers never observe a half-written CSV, and a crash
+  // mid-save leaves any previous file intact.
+  const common::Status status = common::AtomicWriteFile(path, csv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "SaveCsv: %s\n", status.ToString().c_str());
+    return false;
   }
   return true;
 }

@@ -1,9 +1,13 @@
 #include "data/geolife_loader.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "common/check.h"
+#include "common/failpoint.h"
+#include "data/loader_common.h"
 
 namespace tmn::data {
 
@@ -23,27 +27,81 @@ bool PlausibleCoordinate(double lat, double lon) {
 }
 }  // namespace
 
-bool LoadGeolifePlt(const std::string& path, geo::Trajectory* out) {
+common::Status LoadGeolifePltChecked(const std::string& path,
+                                     const LoadOptions& options,
+                                     geo::Trajectory* out,
+                                     LoadReport* report) {
   TMN_CHECK(out != nullptr);
+  LoadReport local;
+  LoadReport& rep = report != nullptr ? *report : local;
+  rep = LoadReport{};
+  if (TMN_FAILPOINT("data.geolife.open")) {
+    return common::IoError("open '" + path +
+                           "': injected failure (data.geolife.open)");
+  }
   FilePtr f(std::fopen(path.c_str(), "r"));
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    if (errno == ENOENT) {
+      return common::NotFoundError("no such file: '" + path + "'");
+    }
+    return common::IoError("open '" + path + "': " + std::strerror(errno));
+  }
+  WarningLimiter warner(options, "geolife loader '" + path + "'");
   char line[512];
   std::vector<geo::Point> points;
-  int line_number = 0;
+  size_t line_number = 0;
   while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
     ++line_number;
-    if (line_number <= kHeaderLines) continue;
+    if (line_number <= static_cast<size_t>(kHeaderLines)) continue;
+    ++rep.rows_total;
+    if (TMN_FAILPOINT("data.geolife.line")) {
+      ++rep.injected;
+      warner.Warn(line_number, "injected failure (data.geolife.line)");
+      continue;
+    }
     double lat = 0.0;
     double lon = 0.0;
     // Only the first two fields matter; the rest of the record (flag,
     // altitude, timestamps) is ignored for similarity computation.
-    if (std::sscanf(line, "%lf,%lf", &lat, &lon) != 2) continue;
-    if (!PlausibleCoordinate(lat, lon)) continue;
+    if (std::sscanf(line, "%lf,%lf", &lat, &lon) != 2) {
+      ++rep.bad_float;
+      warner.Warn(line_number, "unparseable lat,lon record");
+      continue;
+    }
+    if (!PlausibleCoordinate(lat, lon)) {
+      ++rep.out_of_range;
+      warner.Warn(line_number, "implausible lat/lon");
+      continue;
+    }
     points.push_back(geo::Point{lon, lat});
   }
-  if (points.size() < 2) return false;
+  if (static_cast<double>(rep.BadRows()) >
+      options.max_bad_row_fraction * static_cast<double>(rep.rows_total)) {
+    LoaderMetrics::Get().quarantined_loads.Increment();
+    return common::QuarantinedError(
+        "'" + path + "': " + std::to_string(rep.BadRows()) + " of " +
+        std::to_string(rep.rows_total) + " records are malformed (cap " +
+        std::to_string(options.max_bad_row_fraction) +
+        "); refusing to use the remainder");
+  }
+  if (points.size() < 2) {
+    ++rep.too_short;
+    LoaderMetrics::Get().Add(rep);
+    return common::InvalidArgumentError(
+        "'" + path + "': fewer than 2 plausible points");
+  }
+  rep.rows_loaded = points.size();
+  LoaderMetrics::Get().Add(rep);
   *out = geo::Trajectory(std::move(points));
-  return true;
+  return common::Status::Ok();
+}
+
+bool LoadGeolifePlt(const std::string& path, geo::Trajectory* out) {
+  LoadOptions options;
+  options.max_bad_row_fraction = 1.0;  // Legacy behavior: never quarantine.
+  options.log_warnings = false;
+  const common::Status status = LoadGeolifePltChecked(path, options, out);
+  return status.ok();
 }
 
 size_t LoadGeolifePltFiles(const std::vector<std::string>& paths,

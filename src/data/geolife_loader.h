@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+#include "data/load_report.h"
 #include "geo/trajectory.h"
 
 namespace tmn::data {
@@ -11,14 +13,26 @@ namespace tmn::data {
 // Parser for the Microsoft Geolife GPS trajectory format: one `.plt` file
 // per trajectory, six header lines, then one record per line:
 //   lat,lon,0,altitude_feet,days_since_1899,date,time
-// (note the dataset stores latitude first). Lines that fail to parse are
-// skipped; a file yielding fewer than two valid points is rejected.
+// (note the dataset stores latitude first).
 //
 // The synthetic generators stand in for the real corpus in the benches
 // (DESIGN.md §3); this loader lets a user with the actual Geolife dump
 // feed it through the identical pipeline.
 
-// Parses one .plt file. Returns false on I/O failure or no usable points.
+// Parses one .plt file. Unusable records are skipped and counted per
+// category into `report` (and the tmn.data.loader.* obs counters) with a
+// capped stderr warning. kQuarantined when more than
+// options.max_bad_row_fraction of the records are bad, kInvalidArgument
+// when fewer than two plausible points remain, kNotFound / kIoError when
+// the file cannot be read. Failpoints: data.geolife.open,
+// data.geolife.line.
+common::Status LoadGeolifePltChecked(const std::string& path,
+                                     const LoadOptions& options,
+                                     geo::Trajectory* out,
+                                     LoadReport* report = nullptr);
+
+// Legacy API: returns false on I/O failure or no usable points; bad lines
+// are skipped silently (no quarantine cap, no warnings).
 bool LoadGeolifePlt(const std::string& path, geo::Trajectory* out);
 
 // Loads every `.plt` file listed in `paths` (e.g. collected by globbing

@@ -1,0 +1,44 @@
+#ifndef TMN_DATA_LOAD_REPORT_H_
+#define TMN_DATA_LOAD_REPORT_H_
+
+#include <cstddef>
+
+namespace tmn::data {
+
+// Shared knobs of the hardened dataset loaders (porto_loader,
+// geolife_loader). Real dumps contain torn rows, non-numeric fields and
+// GPS glitches; the loaders skip those, count them per category, and warn
+// with a cap — but a corpus where more than max_bad_row_fraction of the
+// rows are bad is assumed to be the wrong file (or the wrong format) and
+// the load fails with kQuarantined instead of silently training on the
+// remainder.
+struct LoadOptions {
+  // Stop after this many trajectories (0 = no limit; Porto CSV only).
+  size_t max_trajectories = 0;
+  // Fail the load when bad rows exceed this fraction of all rows seen.
+  double max_bad_row_fraction = 0.2;
+  // At most this many per-row warnings are printed per load.
+  size_t max_warnings = 5;
+  bool log_warnings = true;
+};
+
+// Per-load row accounting, also mirrored into the obs counters
+// tmn.data.loader.*. One category per failure mode so a bad corpus is
+// diagnosable from the report alone.
+struct LoadReport {
+  size_t rows_total = 0;     // Candidate data rows seen (header excluded).
+  size_t rows_loaded = 0;    // Trajectories appended (Porto) / points kept.
+  size_t bad_field = 0;      // Required field missing (no POLYLINE array).
+  size_t bad_float = 0;      // Field present but not parseable as numbers.
+  size_t out_of_range = 0;   // Implausible lat/lon (incl. null island).
+  size_t too_short = 0;      // Trajectory with fewer than two points.
+  size_t injected = 0;       // Failpoint-forced failures (data.*.row).
+
+  size_t BadRows() const {
+    return bad_field + bad_float + out_of_range + too_short + injected;
+  }
+};
+
+}  // namespace tmn::data
+
+#endif  // TMN_DATA_LOAD_REPORT_H_

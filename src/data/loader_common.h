@@ -1,0 +1,76 @@
+#ifndef TMN_DATA_LOADER_COMMON_H_
+#define TMN_DATA_LOADER_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "data/load_report.h"
+#include "obs/metrics.h"
+
+// Internals shared by the hardened dataset loaders: the obs counters the
+// per-load reports are mirrored into, and the capped stderr warner.
+
+namespace tmn::data {
+
+struct LoaderMetrics {
+  obs::Counter& rows_loaded;
+  obs::Counter& bad_field;
+  obs::Counter& bad_float;
+  obs::Counter& out_of_range;
+  obs::Counter& too_short;
+  obs::Counter& injected;
+  obs::Counter& quarantined_loads;
+
+  static LoaderMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static LoaderMetrics m{
+        reg.GetCounter("tmn.data.loader.rows_loaded"),
+        reg.GetCounter("tmn.data.loader.bad_field"),
+        reg.GetCounter("tmn.data.loader.bad_float"),
+        reg.GetCounter("tmn.data.loader.out_of_range"),
+        reg.GetCounter("tmn.data.loader.too_short"),
+        reg.GetCounter("tmn.data.loader.injected"),
+        reg.GetCounter("tmn.data.loader.quarantined_loads"),
+    };
+    return m;
+  }
+
+  void Add(const LoadReport& report) {
+    rows_loaded.Increment(report.rows_loaded);
+    bad_field.Increment(report.bad_field);
+    bad_float.Increment(report.bad_float);
+    out_of_range.Increment(report.out_of_range);
+    too_short.Increment(report.too_short);
+    injected.Increment(report.injected);
+  }
+};
+
+// Per-load stderr warner with a cap, so one rotten corpus cannot flood
+// the log: the first options.max_warnings rows warn individually, then a
+// single suppression note is printed.
+class WarningLimiter {
+ public:
+  WarningLimiter(const LoadOptions& options, std::string context)
+      : options_(options), context_(std::move(context)) {}
+
+  void Warn(size_t row, const char* what) {
+    if (!options_.log_warnings) return;
+    ++emitted_;
+    if (emitted_ <= options_.max_warnings) {
+      std::fprintf(stderr, "%s row %zu: %s (skipped)\n", context_.c_str(),
+                   row, what);
+    } else if (emitted_ == options_.max_warnings + 1) {
+      std::fprintf(stderr, "%s: further row warnings suppressed\n",
+                   context_.c_str());
+    }
+  }
+
+ private:
+  const LoadOptions& options_;
+  std::string context_;
+  size_t emitted_ = 0;
+};
+
+}  // namespace tmn::data
+
+#endif  // TMN_DATA_LOADER_COMMON_H_

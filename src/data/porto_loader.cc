@@ -1,10 +1,14 @@
 #include "data/porto_loader.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "common/check.h"
+#include "common/failpoint.h"
+#include "data/loader_common.h"
 
 namespace tmn::data {
 
@@ -44,15 +48,14 @@ bool ExtractPolylineField(const std::string& row, std::string* polyline) {
   *polyline = row.substr(open_bracket, close_bracket - open_bracket + 1);
   return true;
 }
-}  // namespace
 
-bool ParsePortoPolyline(const std::string& polyline, geo::Trajectory* out) {
-  TMN_CHECK(out != nullptr);
-  // Expected shape: [[lon,lat],[lon,lat],...] with optional whitespace.
+// Syntactic parse of [[lon,lat],...]; point-count and plausibility
+// judgements are the caller's.
+bool ParsePolylinePoints(const std::string& polyline,
+                         std::vector<geo::Point>* points) {
   const char* p = polyline.c_str();
   if (*p != '[') return false;
   ++p;
-  std::vector<geo::Point> points;
   while (true) {
     while (*p == ' ' || *p == ',') ++p;
     if (*p == ']') break;  // End of the outer array.
@@ -71,35 +74,124 @@ bool ParsePortoPolyline(const std::string& polyline, geo::Trajectory* out) {
     while (*p == ' ') ++p;
     if (*p != ']') return false;
     ++p;
-    points.push_back(geo::Point{lon, lat});
+    points->push_back(geo::Point{lon, lat});
   }
+  return true;
+}
+
+bool PlausibleCoordinate(double lat, double lon) {
+  return lat >= -90.0 && lat <= 90.0 && lon >= -180.0 && lon <= 180.0 &&
+         !(lat == 0.0 && lon == 0.0);
+}
+}  // namespace
+
+bool ParsePortoPolyline(const std::string& polyline, geo::Trajectory* out) {
+  TMN_CHECK(out != nullptr);
+  std::vector<geo::Point> points;
+  if (!ParsePolylinePoints(polyline, &points)) return false;
   if (points.size() < 2) return false;
   *out = geo::Trajectory(std::move(points));
   return true;
 }
 
-bool LoadPortoCsv(const std::string& path, size_t max_trajectories,
-                  std::vector<geo::Trajectory>* out) {
+common::Status LoadPortoCsvChecked(const std::string& path,
+                                   const LoadOptions& options,
+                                   std::vector<geo::Trajectory>* out,
+                                   LoadReport* report) {
   TMN_CHECK(out != nullptr);
+  LoadReport local;
+  LoadReport& rep = report != nullptr ? *report : local;
+  rep = LoadReport{};
+  if (TMN_FAILPOINT("data.porto.open")) {
+    return common::IoError("open '" + path +
+                           "': injected failure (data.porto.open)");
+  }
   FilePtr f(std::fopen(path.c_str(), "r"));
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    if (errno == ENOENT) {
+      return common::NotFoundError("no such file: '" + path + "'");
+    }
+    return common::IoError("open '" + path + "': " + std::strerror(errno));
+  }
+  WarningLimiter warner(options, "porto loader '" + path + "'");
+  const size_t start_size = out->size();
   std::string row;
+  size_t row_number = 0;
   bool first = true;
   while (ReadLine(f.get(), &row)) {
+    ++row_number;
     if (first) {
       first = false;
       // Skip the header row when present.
       if (row.find("POLYLINE") != std::string::npos) continue;
     }
-    if (max_trajectories != 0 && out->size() >= max_trajectories) break;
+    if (options.max_trajectories != 0 &&
+        out->size() - start_size >= options.max_trajectories) {
+      break;
+    }
+    ++rep.rows_total;
+    if (TMN_FAILPOINT("data.porto.row")) {
+      ++rep.injected;
+      warner.Warn(row_number, "injected failure (data.porto.row)");
+      continue;
+    }
     std::string polyline;
-    if (!ExtractPolylineField(row, &polyline)) continue;
-    geo::Trajectory t;
-    if (!ParsePortoPolyline(polyline, &t)) continue;
+    if (!ExtractPolylineField(row, &polyline)) {
+      ++rep.bad_field;
+      warner.Warn(row_number, "no POLYLINE array");
+      continue;
+    }
+    std::vector<geo::Point> points;
+    if (!ParsePolylinePoints(polyline, &points)) {
+      ++rep.bad_float;
+      warner.Warn(row_number, "malformed POLYLINE");
+      continue;
+    }
+    if (points.size() < 2) {
+      ++rep.too_short;
+      warner.Warn(row_number, "fewer than 2 points");
+      continue;
+    }
+    bool plausible = true;
+    for (const geo::Point& p : points) {
+      if (!PlausibleCoordinate(p.lat, p.lon)) {
+        plausible = false;
+        break;
+      }
+    }
+    if (!plausible) {
+      ++rep.out_of_range;
+      warner.Warn(row_number, "implausible lat/lon");
+      continue;
+    }
+    geo::Trajectory t(std::move(points));
     t.set_id(static_cast<int64_t>(out->size()));
     out->push_back(std::move(t));
   }
-  return true;
+  if (static_cast<double>(rep.BadRows()) >
+      options.max_bad_row_fraction * static_cast<double>(rep.rows_total)) {
+    out->resize(start_size);
+    LoaderMetrics::Get().quarantined_loads.Increment();
+    return common::QuarantinedError(
+        "'" + path + "': " + std::to_string(rep.BadRows()) + " of " +
+        std::to_string(rep.rows_total) +
+        " rows are malformed (cap " +
+        std::to_string(options.max_bad_row_fraction) +
+        "); refusing to train on the remainder");
+  }
+  rep.rows_loaded = out->size() - start_size;
+  LoaderMetrics::Get().Add(rep);
+  return common::Status::Ok();
+}
+
+bool LoadPortoCsv(const std::string& path, size_t max_trajectories,
+                  std::vector<geo::Trajectory>* out) {
+  LoadOptions options;
+  options.max_trajectories = max_trajectories;
+  options.max_bad_row_fraction = 1.0;  // Legacy behavior: never quarantine.
+  options.log_warnings = false;
+  const common::Status status = LoadPortoCsvChecked(path, options, out);
+  return status.ok();
 }
 
 }  // namespace tmn::data

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+#include "data/load_report.h"
 #include "geo/trajectory.h"
 
 namespace tmn::data {
@@ -23,9 +25,20 @@ namespace tmn::data {
 // malformed array or fewer than two points.
 bool ParsePortoPolyline(const std::string& polyline, geo::Trajectory* out);
 
-// Streams a Porto-format CSV, extracting up to `max_trajectories`
-// trajectories (0 = no limit). Returns false only when the file cannot be
-// opened; malformed rows are skipped.
+// Streams a Porto-format CSV. Malformed rows are skipped and counted per
+// category into `report` (and the tmn.data.loader.* obs counters) with a
+// capped stderr warning; a load whose bad-row fraction exceeds
+// options.max_bad_row_fraction fails with kQuarantined and appends
+// nothing. kNotFound / kIoError when the file cannot be read. Failpoints:
+// data.porto.open, data.porto.row.
+common::Status LoadPortoCsvChecked(const std::string& path,
+                                   const LoadOptions& options,
+                                   std::vector<geo::Trajectory>* out,
+                                   LoadReport* report = nullptr);
+
+// Legacy API: extracts up to `max_trajectories` trajectories (0 = no
+// limit). Returns false only when the file cannot be opened; malformed
+// rows are skipped silently (no quarantine cap, no warnings).
 bool LoadPortoCsv(const std::string& path, size_t max_trajectories,
                   std::vector<geo::Trajectory>* out);
 

@@ -41,6 +41,30 @@ void Adam::Step() {
   }
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.t = t_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+bool Adam::RestoreState(const AdamState& state) {
+  if (state.m.size() != m_.size() || state.v.size() != v_.size()) {
+    return false;
+  }
+  for (size_t k = 0; k < m_.size(); ++k) {
+    if (state.m[k].size() != m_[k].size() ||
+        state.v[k].size() != v_[k].size()) {
+      return false;
+    }
+  }
+  t_ = state.t;
+  m_ = state.m;
+  v_ = state.v;
+  return true;
+}
+
 void Sgd::Step() {
   for (Tensor& p : params_) {
     std::vector<float>& data = p.data();

@@ -28,6 +28,15 @@ class Optimizer {
   std::vector<Tensor> params_;
 };
 
+// Complete serializable Adam state: the step counter and first/second
+// moment vectors (exact float bits). Together with the parameters and the
+// Rng state this is everything a checkpoint needs for bit-exact resume.
+struct AdamState {
+  int64_t t = 0;
+  std::vector<std::vector<float>> m;
+  std::vector<std::vector<float>> v;
+};
+
 // Adam (Kingma & Ba, ICLR'15) — the optimizer the paper trains TMN with.
 class Adam : public Optimizer {
  public:
@@ -38,6 +47,12 @@ class Adam : public Optimizer {
 
   double lr() const { return lr_; }
   void set_lr(double lr) { lr_ = lr; }
+
+  // Snapshot / restore of the moment estimates and step counter. Restore
+  // returns false (and leaves the optimizer untouched) when the state's
+  // moment shapes do not match this optimizer's parameter list.
+  AdamState ExportState() const;
+  bool RestoreState(const AdamState& state);
 
  private:
   double lr_;

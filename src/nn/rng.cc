@@ -70,6 +70,20 @@ uint64_t Rng::UniformInt(uint64_t n) {
   return x % n;
 }
 
+RngState Rng::SaveState() const {
+  RngState s;
+  for (int i = 0; i < 4; ++i) s.state[i] = state_[i];
+  s.has_cached_normal = has_cached_normal_;
+  s.cached_normal = cached_normal_;
+  return s;
+}
+
+void Rng::RestoreState(const RngState& s) {
+  for (int i = 0; i < 4; ++i) state_[i] = s.state[i];
+  has_cached_normal_ = s.has_cached_normal;
+  cached_normal_ = s.cached_normal;
+}
+
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   TMN_CHECK(k <= n);
   std::vector<size_t> all(n);

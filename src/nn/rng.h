@@ -8,6 +8,16 @@
 
 namespace tmn::nn {
 
+// Complete serializable Rng state: the xoshiro256** words plus the
+// Box-Muller carry. Restoring it resumes the exact random stream, which
+// is what makes checkpointed training bit-identical to an uninterrupted
+// run (see docs/ROBUSTNESS.md).
+struct RngState {
+  uint64_t state[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 // Deterministic, seedable PRNG (xoshiro256** seeded via SplitMix64).
 // Every source of randomness in the library — synthetic data, parameter
 // initialization, training-pair sampling — flows through an Rng instance so
@@ -47,6 +57,10 @@ class Rng {
 
   // k distinct indices sampled uniformly from [0, n) (k <= n).
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  // Snapshot / restore of the full generator state.
+  RngState SaveState() const;
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t state_[4];

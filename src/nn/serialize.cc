@@ -1,65 +1,104 @@
 #include "nn/serialize.h"
 
-#include <cstdint>
 #include <cstdio>
-#include <memory>
+
+#include "common/io_util.h"
 
 namespace tmn::nn {
 
 namespace {
-constexpr uint32_t kMagic = 0x544d4e31;  // "TMN1"
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+constexpr char kParamsSection[] = "PARM";
 }  // namespace
+
+std::string EncodeParameters(const std::vector<Tensor>& params) {
+  common::PayloadWriter w;
+  w.PutU32(static_cast<uint32_t>(params.size()));
+  for (const Tensor& p : params) {
+    w.PutU32(static_cast<uint32_t>(p.rows()));
+    w.PutU32(static_cast<uint32_t>(p.cols()));
+    for (const float f : p.data()) w.PutF32(f);
+  }
+  return w.Take();
+}
+
+common::Status DecodeParameters(std::string_view payload,
+                                std::vector<Tensor>& params) {
+  common::PayloadReader r(payload);
+  uint32_t count = 0;
+  if (!r.ReadU32(&count)) {
+    return common::CorruptionError("parameter payload truncated");
+  }
+  if (count != params.size()) {
+    return common::InvalidArgumentError(
+        "parameter count mismatch: file has " + std::to_string(count) +
+        " tensors, model expects " + std::to_string(params.size()));
+  }
+  for (size_t k = 0; k < params.size(); ++k) {
+    Tensor& p = params[k];
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    if (!r.ReadU32(&rows) || !r.ReadU32(&cols)) {
+      return common::CorruptionError("parameter payload truncated");
+    }
+    if (rows != static_cast<uint32_t>(p.rows()) ||
+        cols != static_cast<uint32_t>(p.cols())) {
+      return common::InvalidArgumentError(
+          "parameter " + std::to_string(k) + " shape mismatch: file has " +
+          std::to_string(rows) + "x" + std::to_string(cols) +
+          ", model expects " + std::to_string(p.rows()) + "x" +
+          std::to_string(p.cols()));
+    }
+    for (float& f : p.data()) {
+      if (!r.ReadF32(&f)) {
+        return common::CorruptionError("parameter payload truncated");
+      }
+    }
+  }
+  if (r.remaining() != 0) {
+    return common::CorruptionError(
+        std::to_string(r.remaining()) +
+        " trailing bytes in parameter payload");
+  }
+  return common::Status::Ok();
+}
+
+common::Status SaveParametersAtomic(const std::string& path,
+                                    const std::vector<Tensor>& params) {
+  common::BundleWriter bundle(kParamsMagic, kParamsVersion);
+  bundle.AddSection(kParamsSection, EncodeParameters(params));
+  return bundle.WriteAtomic(path);
+}
+
+common::Status LoadParametersChecked(const std::string& path,
+                                     std::vector<Tensor>& params) {
+  common::BundleReader reader;
+  TMN_RETURN_IF_ERROR(reader.InitFromFile(path, kParamsMagic, kParamsVersion,
+                                          "TMN parameters"));
+  common::StatusOr<std::string_view> payload =
+      reader.RequiredSection(kParamsSection);
+  if (!payload.ok()) return payload.status();
+  common::Status status = DecodeParameters(payload.value(), params);
+  if (!status.ok()) {
+    return common::Status(status.code(), "'" + path + "': " + status.message());
+  }
+  return common::Status::Ok();
+}
 
 bool SaveParameters(const std::string& path,
                     const std::vector<Tensor>& params) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) return false;
-  const uint32_t count = static_cast<uint32_t>(params.size());
-  if (std::fwrite(&kMagic, sizeof(kMagic), 1, f.get()) != 1) return false;
-  if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1) return false;
-  for (const Tensor& p : params) {
-    const int32_t rows = p.rows();
-    const int32_t cols = p.cols();
-    if (std::fwrite(&rows, sizeof(rows), 1, f.get()) != 1) return false;
-    if (std::fwrite(&cols, sizeof(cols), 1, f.get()) != 1) return false;
-    const std::vector<float>& data = p.data();
-    if (std::fwrite(data.data(), sizeof(float), data.size(), f.get()) !=
-        data.size()) {
-      return false;
-    }
+  const common::Status status = SaveParametersAtomic(path, params);
+  if (!status.ok()) {
+    std::fprintf(stderr, "SaveParameters: %s\n", status.ToString().c_str());
   }
-  return true;
+  return status.ok();
 }
 
 bool LoadParameters(const std::string& path, std::vector<Tensor>& params) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) return false;
-  uint32_t magic = 0;
-  uint32_t count = 0;
-  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1) return false;
-  if (magic != kMagic) return false;
-  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) return false;
-  if (count != params.size()) return false;
-  for (Tensor& p : params) {
-    int32_t rows = 0;
-    int32_t cols = 0;
-    if (std::fread(&rows, sizeof(rows), 1, f.get()) != 1) return false;
-    if (std::fread(&cols, sizeof(cols), 1, f.get()) != 1) return false;
-    if (rows != p.rows() || cols != p.cols()) return false;
-    std::vector<float>& data = p.data();
-    if (std::fread(data.data(), sizeof(float), data.size(), f.get()) !=
-        data.size()) {
-      return false;
-    }
+  const common::Status status = LoadParametersChecked(path, params);
+  if (!status.ok()) {
+    std::fprintf(stderr, "LoadParameters: %s\n", status.ToString().c_str());
   }
-  return true;
+  return status.ok();
 }
 
 }  // namespace tmn::nn

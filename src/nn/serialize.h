@@ -1,17 +1,42 @@
 #ifndef TMN_NN_SERIALIZE_H_
 #define TMN_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "nn/tensor.h"
 
 namespace tmn::nn {
 
-// Binary save/load of a parameter list (shapes + float data, little
-// endian, with a magic header). Loading requires the exact same parameter
-// shapes, i.e. the same model configuration. Returns false on I/O error or
-// shape mismatch.
+// Parameter-file magic. Kept from the v1 format ("TMN1") on purpose: v1
+// files had the parameter count where v2 bundles carry a format version,
+// so loading an old file reports VERSION_SKEW instead of a mystery error.
+inline constexpr uint32_t kParamsMagic = 0x544d4e31;
+inline constexpr uint32_t kParamsVersion = 2;
+
+// Binary persistence of a parameter list (shapes + exact float bits,
+// little endian). v2 files are checksummed bundles written atomically via
+// common/io_util, so a load can tell truncation from bit-rot from shape
+// or version skew. Loading requires the exact same parameter shapes, i.e.
+// the same model configuration.
+
+// Payload codec: the body of a "PARM" bundle section. Exposed so model
+// bundles and trainer checkpoints embed parameters without an extra file.
+std::string EncodeParameters(const std::vector<Tensor>& params);
+common::Status DecodeParameters(std::string_view payload,
+                                std::vector<Tensor>& params);
+
+// Standalone parameter file = bundle with a single PARM section.
+common::Status SaveParametersAtomic(const std::string& path,
+                                    const std::vector<Tensor>& params);
+common::Status LoadParametersChecked(const std::string& path,
+                                     std::vector<Tensor>& params);
+
+// Legacy bool API, kept for callers that only branch on success; failures
+// are reported to stderr. New code should use the Status variants.
 bool SaveParameters(const std::string& path,
                     const std::vector<Tensor>& params);
 bool LoadParameters(const std::string& path, std::vector<Tensor>& params);

@@ -165,7 +165,9 @@ std::string RunReport::ToJson(const RunReportOptions& options) const {
 
 bool RunReport::WriteFile(const std::string& path,
                           const RunReportOptions& options) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  // obs sits below common in the layering, so it cannot use
+  // common::AtomicWriteFile; a torn run report is diagnostic-only data.
+  std::FILE* f = std::fopen(path.c_str(), "w");  // tmn-lint: allow(raw-file-write)
   if (f == nullptr) return false;
   const std::string json = ToJson(options);
   const size_t written = std::fwrite(json.data(), 1, json.size(), f);

@@ -1,0 +1,396 @@
+// Tests for core/checkpoint: checkpoint/manifest round trips, the
+// corrupted-artifact matrix (each failure mode a distinct Status), keep-K
+// rotation, newest-valid fallback, and the bit-exact resume contract:
+// an interrupted-and-resumed run produces bitwise-identical losses and
+// parameters to an uninterrupted one, at any thread count.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/io_util.h"
+#include "common/status.h"
+#include "core/checkpoint.h"
+#include "core/sampler.h"
+#include "core/tmn_model.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "distance/distance_matrix.h"
+#include "distance/metric.h"
+#include "geo/preprocess.h"
+#include "nn/serialize.h"
+
+namespace tmn::core {
+namespace {
+
+// Fresh (pre-cleaned) per-test scratch directory.
+std::string ScratchDir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "/ckpt_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TrainerCheckpoint MakeCheckpoint(uint64_t epoch) {
+  TrainerCheckpoint c;
+  c.epoch = epoch;
+  c.losses.assign(epoch, 0.0);
+  for (uint64_t i = 0; i < epoch; ++i) {
+    c.losses[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  c.params_payload = "pretend parameter bytes";
+  c.rng.state[0] = 1;
+  c.rng.state[1] = 2;
+  c.rng.state[2] = 3;
+  c.rng.state[3] = 4 + epoch;
+  c.rng.has_cached_normal = true;
+  c.rng.cached_normal = -0.75;
+  c.adam.t = static_cast<int64_t>(epoch) * 10;
+  c.adam.m = {{0.5f, -0.5f}, {1.0f}};
+  c.adam.v = {{0.25f, 0.25f}, {2.0f}};
+  return c;
+}
+
+TEST(CheckpointTest, RoundTripPreservesEveryField) {
+  const std::string dir = ScratchDir("roundtrip");
+  ASSERT_TRUE(common::EnsureDirectory(dir).ok());
+  const std::string path = dir + "/one.tmnc";
+  const TrainerCheckpoint saved = MakeCheckpoint(3);
+  ASSERT_TRUE(SaveTrainerCheckpoint(path, saved).ok());
+
+  TrainerCheckpoint loaded;
+  ASSERT_TRUE(LoadTrainerCheckpoint(path, &loaded).ok());
+  EXPECT_EQ(loaded.epoch, 3u);
+  EXPECT_EQ(loaded.pair_cursor, 0u);
+  EXPECT_EQ(loaded.losses, saved.losses);
+  EXPECT_EQ(loaded.params_payload, saved.params_payload);
+  EXPECT_EQ(loaded.rng.state[0], saved.rng.state[0]);
+  EXPECT_EQ(loaded.rng.state[3], saved.rng.state[3]);
+  EXPECT_TRUE(loaded.rng.has_cached_normal);
+  EXPECT_EQ(loaded.rng.cached_normal, saved.rng.cached_normal);
+  EXPECT_EQ(loaded.adam.t, saved.adam.t);
+  EXPECT_EQ(loaded.adam.m, saved.adam.m);
+  EXPECT_EQ(loaded.adam.v, saved.adam.v);
+}
+
+// --- Corrupted-artifact matrix: each failure is a distinct Status. -------
+
+class CorruptedCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test case: ctest runs cases as parallel processes.
+    dir_ = ScratchDir(
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    ASSERT_TRUE(common::EnsureDirectory(dir_).ok());
+    path_ = dir_ + "/victim.tmnc";
+    ASSERT_TRUE(SaveTrainerCheckpoint(path_, MakeCheckpoint(2)).ok());
+    auto data = common::ReadFileToString(path_);
+    ASSERT_TRUE(data.ok());
+    bytes_ = std::move(data.value());
+  }
+
+  common::Status LoadAfterRewrite(const std::string& bytes) {
+    EXPECT_TRUE(common::AtomicWriteFile(path_, bytes).ok());
+    TrainerCheckpoint c;
+    return LoadTrainerCheckpoint(path_, &c);
+  }
+
+  std::string dir_;
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(CorruptedCheckpointTest, TruncationIsCorruption) {
+  const common::Status s =
+      LoadAfterRewrite(bytes_.substr(0, bytes_.size() / 2));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("truncated"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(CorruptedCheckpointTest, FlippedByteIsChecksumMismatch) {
+  std::string bytes = bytes_;
+  bytes[bytes.size() - 3] ^= 0x40;  // Inside the last section's payload.
+  const common::Status s = LoadAfterRewrite(bytes);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("checksum mismatch"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(CorruptedCheckpointTest, StaleMagicIsCorruption) {
+  const common::Status s =
+      LoadAfterRewrite("STALE-FORMAT-FILE-WITH-ENOUGH-BYTES");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("bad magic"), std::string::npos) << s.ToString();
+}
+
+TEST_F(CorruptedCheckpointTest, FutureVersionIsVersionSkew) {
+  common::BundleWriter future(kCheckpointMagic, kCheckpointVersion + 7);
+  future.AddSection("META", "whatever");
+  const common::Status s = LoadAfterRewrite(future.Serialize());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kVersionSkew);
+}
+
+TEST_F(CorruptedCheckpointTest, InconsistentMetaIsCorruption) {
+  // A checkpoint whose META claims 2 epochs but carries 1 loss: the
+  // sections checksum fine, the cross-field invariant does not.
+  TrainerCheckpoint bad = MakeCheckpoint(2);
+  bad.losses.pop_back();
+  ASSERT_TRUE(SaveTrainerCheckpoint(path_, bad).ok());
+  TrainerCheckpoint c;
+  const common::Status s = LoadTrainerCheckpoint(path_, &c);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("inconsistent"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(CorruptedCheckpointTest, MissingFileIsNotFound) {
+  TrainerCheckpoint c;
+  const common::Status s =
+      LoadTrainerCheckpoint(dir_ + "/never-written.tmnc", &c);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kNotFound);
+}
+
+// --- Manager: rotation, manifest, newest-valid fallback. -----------------
+
+TEST(CheckpointManagerTest, EmptyDirectoryIsNotFound) {
+  CheckpointManager manager({ScratchDir("empty"), 3});
+  TrainerCheckpoint c;
+  const common::Status s = manager.LoadLatestValid(&c);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kNotFound);
+}
+
+TEST(CheckpointManagerTest, KeepsLastKAndPrunesOldFiles) {
+  CheckpointManager manager({ScratchDir("rotate"), 2});
+  for (uint64_t epoch = 1; epoch <= 4; ++epoch) {
+    ASSERT_TRUE(manager.Save(MakeCheckpoint(epoch)).ok());
+  }
+  auto names = manager.ListManifest();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(),
+            (std::vector<std::string>{"ckpt-3.tmnc", "ckpt-4.tmnc"}));
+  EXPECT_FALSE(common::FileExists(manager.CheckpointPath(1)));
+  EXPECT_FALSE(common::FileExists(manager.CheckpointPath(2)));
+  EXPECT_TRUE(common::FileExists(manager.CheckpointPath(3)));
+  EXPECT_TRUE(common::FileExists(manager.CheckpointPath(4)));
+
+  TrainerCheckpoint latest;
+  ASSERT_TRUE(manager.LoadLatestValid(&latest).ok());
+  EXPECT_EQ(latest.epoch, 4u);
+}
+
+TEST(CheckpointManagerTest, FallsBackWhenNewestIsCorrupt) {
+  CheckpointManager manager({ScratchDir("fallback"), 3});
+  ASSERT_TRUE(manager.Save(MakeCheckpoint(1)).ok());
+  ASSERT_TRUE(manager.Save(MakeCheckpoint(2)).ok());
+  // Bit-rot the newest checkpoint on disk.
+  auto data = common::ReadFileToString(manager.CheckpointPath(2));
+  ASSERT_TRUE(data.ok());
+  std::string bytes = data.value();
+  bytes[bytes.size() - 3] ^= 0x01;
+  ASSERT_TRUE(
+      common::AtomicWriteFile(manager.CheckpointPath(2), bytes).ok());
+
+  TrainerCheckpoint restored;
+  ASSERT_TRUE(manager.LoadLatestValid(&restored).ok());
+  EXPECT_EQ(restored.epoch, 1u);
+}
+
+TEST(CheckpointManagerTest, FallsBackWhenManifestNamesAMissingFile) {
+  CheckpointManager manager({ScratchDir("missing"), 3});
+  ASSERT_TRUE(manager.Save(MakeCheckpoint(1)).ok());
+  ASSERT_TRUE(manager.Save(MakeCheckpoint(2)).ok());
+  ASSERT_TRUE(common::RemoveFileIfExists(manager.CheckpointPath(2)).ok());
+
+  TrainerCheckpoint restored;
+  ASSERT_TRUE(manager.LoadLatestValid(&restored).ok());
+  EXPECT_EQ(restored.epoch, 1u);
+}
+
+TEST(CheckpointManagerTest, AllInvalidReportsNewestFailure) {
+  CheckpointManager manager({ScratchDir("all_bad"), 3});
+  ASSERT_TRUE(manager.Save(MakeCheckpoint(1)).ok());
+  ASSERT_TRUE(manager.Save(MakeCheckpoint(2)).ok());
+  ASSERT_TRUE(common::RemoveFileIfExists(manager.CheckpointPath(1)).ok());
+  ASSERT_TRUE(common::RemoveFileIfExists(manager.CheckpointPath(2)).ok());
+
+  TrainerCheckpoint restored;
+  const common::Status s = manager.LoadLatestValid(&restored);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("no valid checkpoint"), std::string::npos)
+      << s.ToString();
+}
+
+// --- Bit-exact resume. ---------------------------------------------------
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto raw = data::GeneratePortoLike(30, 201);
+    trajs_ = geo::NormalizeTrajectories(raw, geo::ComputeNormalization(raw));
+    metric_ = dist::CreateMetric(dist::MetricType::kDtw);
+    distances_ = dist::ComputeDistanceMatrix(trajs_, *metric_, 1);
+  }
+
+  TrainConfig Config(int epochs, int num_threads) const {
+    TrainConfig config;
+    config.epochs = epochs;
+    config.lr = 5e-3;
+    config.sampling_num = 6;
+    config.sub_stride = 10;
+    config.alpha = SuggestAlpha(distances_);
+    config.seed = 3;
+    config.num_threads = num_threads;
+    return config;
+  }
+
+  TmnModelConfig ModelConfig() const {
+    TmnModelConfig model_config;
+    model_config.hidden_dim = 8;
+    model_config.seed = 6;
+    return model_config;
+  }
+
+  static std::vector<std::vector<float>> Params(const TmnModel& model) {
+    std::vector<std::vector<float>> out;
+    for (const nn::Tensor& p : model.Parameters()) out.push_back(p.data());
+    return out;
+  }
+
+  // One uninterrupted reference run of `epochs` epochs.
+  std::pair<std::vector<double>, std::vector<std::vector<float>>> Baseline(
+      int epochs, int num_threads) {
+    TmnModel model(ModelConfig());
+    RandomSortSampler sampler(&distances_, 6);
+    PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(),
+                        &sampler, Config(epochs, num_threads));
+    const std::vector<double> losses = trainer.Train();
+    return {losses, Params(model)};
+  }
+
+  // The same run interrupted after `stop_after` epochs: the first trainer
+  // checkpoints every epoch and stops; a brand-new trainer resumes from
+  // the store and finishes.
+  std::pair<std::vector<double>, std::vector<std::vector<float>>> Resumed(
+      int epochs, int stop_after, int num_threads, const std::string& dir) {
+    CheckpointManager manager({dir, 3});
+    {
+      TmnModel model(ModelConfig());
+      RandomSortSampler sampler(&distances_, 6);
+      PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(),
+                          &sampler, Config(stop_after, num_threads));
+      trainer.TrainWithCheckpoints(manager);
+    }
+    TmnModel model(ModelConfig());
+    RandomSortSampler sampler(&distances_, 6);
+    PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(),
+                        &sampler, Config(epochs, num_threads));
+    const std::vector<double> losses = trainer.TrainWithCheckpoints(manager);
+    EXPECT_EQ(trainer.epochs_completed(), epochs);
+    return {losses, Params(model)};
+  }
+
+  std::vector<geo::Trajectory> trajs_;
+  std::unique_ptr<dist::DistanceMetric> metric_;
+  DoubleMatrix distances_;
+};
+
+TEST_F(ResumeTest, ResumeIsBitwiseIdenticalSingleThread) {
+  const auto baseline = Baseline(4, 1);
+  const auto resumed = Resumed(4, 2, 1, ScratchDir("resume_t1"));
+  EXPECT_EQ(baseline.first, resumed.first);    // Exact double bits.
+  EXPECT_EQ(baseline.second, resumed.second);  // Exact float bits.
+}
+
+TEST_F(ResumeTest, ResumeIsBitwiseIdenticalFourThreads) {
+  const auto baseline = Baseline(4, 4);
+  const auto resumed = Resumed(4, 2, 4, ScratchDir("resume_t4"));
+  EXPECT_EQ(baseline.first, resumed.first);
+  EXPECT_EQ(baseline.second, resumed.second);
+}
+
+TEST_F(ResumeTest, ResumeAfterCorruptingNewestStillMatchesBaseline) {
+  // Corrupt the newest checkpoint: resume falls back one epoch and
+  // deterministically re-trains it, so the final state is still identical.
+  const std::string dir = ScratchDir("resume_corrupt");
+  const auto baseline = Baseline(3, 1);
+  CheckpointManager manager({dir, 3});
+  {
+    TmnModel model(ModelConfig());
+    RandomSortSampler sampler(&distances_, 6);
+    PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(),
+                        &sampler, Config(2, 1));
+    trainer.TrainWithCheckpoints(manager);
+  }
+  auto data = common::ReadFileToString(manager.CheckpointPath(2));
+  ASSERT_TRUE(data.ok());
+  std::string bytes = data.value();
+  bytes[bytes.size() - 3] ^= 0x20;
+  ASSERT_TRUE(
+      common::AtomicWriteFile(manager.CheckpointPath(2), bytes).ok());
+
+  TmnModel model(ModelConfig());
+  RandomSortSampler sampler(&distances_, 6);
+  PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(), &sampler,
+                      Config(3, 1));
+  const std::vector<double> losses = trainer.TrainWithCheckpoints(manager);
+  EXPECT_EQ(losses, baseline.first);
+  EXPECT_EQ(Params(model), baseline.second);
+}
+
+TEST_F(ResumeTest, RestoreIntoMismatchedModelIsInvalidArgument) {
+  TmnModel small(ModelConfig());
+  RandomSortSampler sampler(&distances_, 6);
+  PairTrainer small_trainer(&small, &trajs_, &distances_, metric_.get(),
+                            &sampler, Config(1, 1));
+  small_trainer.Train();
+  const TrainerCheckpoint checkpoint =
+      small_trainer.CaptureCheckpoint({0.5});
+
+  TmnModelConfig big_config = ModelConfig();
+  big_config.hidden_dim = 16;
+  TmnModel big(big_config);
+  PairTrainer big_trainer(&big, &trajs_, &distances_, metric_.get(),
+                          &sampler, Config(1, 1));
+  std::vector<double> losses;
+  const common::Status s = big_trainer.RestoreCheckpoint(checkpoint, &losses);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(ResumeTest, CompletedRunDoesNotRetrain) {
+  // Resuming a store that already holds the final epoch returns the full
+  // loss history without training any further.
+  const std::string dir = ScratchDir("resume_done");
+  CheckpointManager manager({dir, 3});
+  std::vector<double> first_losses;
+  {
+    TmnModel model(ModelConfig());
+    RandomSortSampler sampler(&distances_, 6);
+    PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(),
+                        &sampler, Config(2, 1));
+    first_losses = trainer.TrainWithCheckpoints(manager);
+  }
+  TmnModel model(ModelConfig());
+  RandomSortSampler sampler(&distances_, 6);
+  PairTrainer trainer(&model, &trajs_, &distances_, metric_.get(), &sampler,
+                      Config(2, 1));
+  const std::vector<double> losses = trainer.TrainWithCheckpoints(manager);
+  EXPECT_EQ(losses, first_losses);
+  EXPECT_EQ(trainer.epochs_completed(), 2);
+}
+
+}  // namespace
+}  // namespace tmn::core

@@ -1,0 +1,177 @@
+// Crash-recovery harness: re-executes this binary as a child that trains
+// with checkpointing while a TMN_FAILPOINTS crash site is armed, verifies
+// the child dies with the injected exit code, then re-runs it without
+// injection and checks the recovered run's losses and parameters are
+// byte-identical to an uninterrupted in-process baseline.
+//
+// The child mode is dispatched on the TMN_CRASH_CHILD environment
+// variable from a custom main(), so this target links GTest::gtest (not
+// gtest_main). Both scenarios skip when the library was built without
+// failpoint sites (-DTMN_FAILPOINTS=OFF); the CI fault-injection job runs
+// them for real.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/io_util.h"
+#include "common/status.h"
+#include "core/checkpoint.h"
+#include "core/sampler.h"
+#include "core/tmn_model.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "distance/distance_matrix.h"
+#include "distance/metric.h"
+#include "geo/preprocess.h"
+#include "nn/serialize.h"
+
+namespace tmn::core {
+namespace {
+
+std::string g_self_exe;  // Absolute path of this binary, set in main().
+
+constexpr int kEpochs = 4;
+
+// The deterministic workload both the child processes and the in-process
+// baseline run: must be bit-identical across processes (seeded synthetic
+// data, single-threaded). Returns the encoded losses + parameter bits.
+// With a manager, trains via the fault-tolerant path (resuming whatever
+// the store holds); without one, runs the plain uninterrupted loop.
+std::string TrainAndEncode(CheckpointManager* manager) {
+  auto raw = data::GeneratePortoLike(30, 201);
+  const auto trajs =
+      geo::NormalizeTrajectories(raw, geo::ComputeNormalization(raw));
+  const auto metric = dist::CreateMetric(dist::MetricType::kDtw);
+  const DoubleMatrix distances =
+      dist::ComputeDistanceMatrix(trajs, *metric, 1);
+
+  TmnModelConfig model_config;
+  model_config.hidden_dim = 8;
+  model_config.seed = 6;
+  TmnModel model(model_config);
+  RandomSortSampler sampler(&distances, 6);
+
+  TrainConfig config;
+  config.epochs = kEpochs;
+  config.lr = 5e-3;
+  config.sampling_num = 6;
+  config.sub_stride = 10;
+  config.alpha = SuggestAlpha(distances);
+  config.seed = 3;
+  config.num_threads = 1;
+  PairTrainer trainer(&model, &trajs, &distances, metric.get(), &sampler,
+                      config);
+  const std::vector<double> losses =
+      manager != nullptr ? trainer.TrainWithCheckpoints(*manager)
+                         : trainer.Train();
+
+  common::PayloadWriter w;
+  w.PutU64(losses.size());
+  for (const double loss : losses) w.PutF64(loss);
+  w.PutString(nn::EncodeParameters(model.Parameters()));
+  return w.data();
+}
+
+// Child mode: train with checkpoints in $TMN_CRASH_DIR/store (any armed
+// TMN_FAILPOINTS crash site fires mid-run), then publish the result.
+int CrashChildMain() {
+  const char* dir = std::getenv("TMN_CRASH_DIR");
+  if (dir == nullptr) return 3;
+  CheckpointManager manager({std::string(dir) + "/store", 3});
+  const std::string result = TrainAndEncode(&manager);
+  const common::Status status =
+      common::AtomicWriteFile(std::string(dir) + "/result.bin", result);
+  if (!status.ok()) {
+    std::fprintf(stderr, "child: %s\n", status.ToString().c_str());
+    return 4;
+  }
+  return 0;
+}
+
+std::string ScratchDir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "/crash_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Re-runs this binary in child mode; returns its exit code. Child stderr
+// (failpoint firings, resume notices) is appended to <dir>/child.log.
+int RunChild(const std::string& dir, const std::string& failpoints) {
+  std::string cmd = "TMN_CRASH_CHILD=1 TMN_CRASH_DIR='" + dir + "'";
+  if (!failpoints.empty()) cmd += " TMN_FAILPOINTS='" + failpoints + "'";
+  cmd += " '" + g_self_exe + "' >/dev/null 2>>'" + dir + "/child.log'";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+void RunScenario(const char* name, const std::string& crash_spec) {
+  if (!common::FailpointsEnabled()) {
+    GTEST_SKIP() << "library built without failpoint sites";
+  }
+  const std::string dir = ScratchDir(name);
+  ASSERT_TRUE(common::EnsureDirectory(dir).ok());
+
+  // First run: the armed site kills the process mid-training with the
+  // dedicated injected-crash exit code — no result was published.
+  ASSERT_EQ(RunChild(dir, crash_spec), common::kFailpointCrashExitCode);
+  EXPECT_FALSE(common::FileExists(dir + "/result.bin"));
+
+  // The store the crash left behind must still hold a loadable checkpoint.
+  CheckpointManager manager({dir + "/store", 3});
+  TrainerCheckpoint recovered;
+  ASSERT_TRUE(manager.LoadLatestValid(&recovered).ok());
+  EXPECT_GE(recovered.epoch, 1u);
+  EXPECT_LT(recovered.epoch, static_cast<uint64_t>(kEpochs));
+
+  // Second run: no injection; it resumes from the store and completes.
+  ASSERT_EQ(RunChild(dir, ""), 0);
+  const auto result = common::ReadFileToString(dir + "/result.bin");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Bit-exact recovery: identical losses and parameter bits to an
+  // uninterrupted run.
+  EXPECT_EQ(result.value(), TrainAndEncode(nullptr));
+}
+
+TEST(CrashRecoveryTest, CrashAfterCheckpointPublishRecoversBitExact) {
+  // Dies right after the epoch-2 checkpoint is published: recovery
+  // resumes from epoch 2.
+  RunScenario("after_publish", "trainer.after_checkpoint@2:crash");
+}
+
+TEST(CrashRecoveryTest, CrashMidCheckpointWriteRecoversBitExact) {
+  // Dies inside AtomicWriteFile while publishing the epoch-2 checkpoint
+  // (rename hit 3 = ckpt-2's own rename; hits 1-2 were ckpt-1 and its
+  // manifest): the tmp file is orphaned, the manifest still names only
+  // ckpt-1, and recovery resumes from epoch 1.
+  RunScenario("mid_write", "io.atomic_write.rename@3:crash");
+}
+
+}  // namespace
+}  // namespace tmn::core
+
+int main(int argc, char** argv) {
+  if (std::getenv("TMN_CRASH_CHILD") != nullptr) {
+    return tmn::core::CrashChildMain();
+  }
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) {
+    std::fprintf(stderr, "cannot resolve /proc/self/exe\n");
+    return 1;
+  }
+  buf[n] = '\0';
+  tmn::core::g_self_exe = buf;
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

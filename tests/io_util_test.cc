@@ -1,0 +1,252 @@
+// Tests for common/io_util: CRC32, atomic writes, payload codecs and the
+// checksummed bundle container's corruption matrix.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/io_util.h"
+#include "common/status.h"
+
+namespace tmn::common {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementally) {
+  EXPECT_EQ(Crc32("456789", Crc32("123")), Crc32("123456789"));
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlip) {
+  std::string a = "payload";
+  std::string b = a;
+  b[3] ^= 0x01;
+  EXPECT_NE(Crc32(a), Crc32(b));
+}
+
+TEST(IoUtilTest, AtomicWriteRoundTripsAndLeavesNoTmp) {
+  const std::string path = TempPath("atomic.bin");
+  const std::string data("binary\0data\xff", 12);
+  ASSERT_TRUE(AtomicWriteFile(path, data).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), data);
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  // Overwrite is also atomic.
+  ASSERT_TRUE(AtomicWriteFile(path, "second").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "second");
+  std::remove(path.c_str());
+}
+
+TEST(IoUtilTest, ReadMissingFileIsNotFound) {
+  const auto read = ReadFileToString("/nonexistent/file.bin");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IoUtilTest, EnsureDirectoryCreatesNestedAndIsIdempotent) {
+  const std::string dir = TempPath("nested/a/b");
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  EXPECT_TRUE(FileExists(dir));
+}
+
+TEST(IoUtilTest, RemoveFileIfExistsToleratesAbsence) {
+  EXPECT_TRUE(RemoveFileIfExists(TempPath("never_created")).ok());
+  const std::string path = TempPath("removable");
+  ASSERT_TRUE(AtomicWriteFile(path, "x").ok());
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(PayloadTest, ScalarAndStringRoundTrip) {
+  PayloadWriter w;
+  w.PutU32(0xDEADBEEFu);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI64(-42);
+  w.PutF32(3.25f);
+  w.PutF64(-1e300);
+  w.PutString("hello");
+
+  PayloadReader r(w.data());
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  float f32 = 0;
+  double f64 = 0;
+  std::string s;
+  EXPECT_TRUE(r.ReadU32(&u32));
+  EXPECT_TRUE(r.ReadU64(&u64));
+  EXPECT_TRUE(r.ReadI64(&i64));
+  EXPECT_TRUE(r.ReadF32(&f32));
+  EXPECT_TRUE(r.ReadF64(&f64));
+  EXPECT_TRUE(r.ReadString(&s));
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(f32, 3.25f);
+  EXPECT_EQ(f64, -1e300);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(PayloadTest, ShortReadIsSticky) {
+  PayloadWriter w;
+  w.PutU32(7);
+  PayloadReader r(w.data());
+  uint64_t u64 = 0;
+  EXPECT_FALSE(r.ReadU64(&u64));  // Only 4 bytes available.
+  EXPECT_FALSE(r.ok());
+  uint32_t u32 = 0;
+  // The 4 bytes are still unread, but failure is sticky by design.
+  EXPECT_FALSE(r.ReadU32(&u32));
+}
+
+TEST(PayloadTest, StringWithOversizedLengthFails) {
+  PayloadWriter w;
+  w.PutU64(1u << 20);  // Claims 1 MiB follows; nothing does.
+  PayloadReader r(w.data());
+  std::string s;
+  EXPECT_FALSE(r.ReadString(&s));
+  EXPECT_FALSE(r.ok());
+}
+
+// --- Bundle corruption matrix --------------------------------------------
+
+constexpr uint32_t kMagic = 0x54534554;  // "TEST"
+constexpr uint32_t kVersion = 3;
+
+std::string MakeBundle() {
+  BundleWriter w(kMagic, kVersion);
+  w.AddSection("AAAA", "first payload");
+  w.AddSection("BBBB", std::string("\x00\x01\x02", 3));
+  return w.Serialize();
+}
+
+TEST(BundleTest, RoundTripAndSectionLookup) {
+  BundleReader r;
+  ASSERT_TRUE(r.Init(MakeBundle(), kMagic, kVersion, "test bundle").ok());
+  const std::string_view* a = r.Section("AAAA");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*a, "first payload");
+  auto b = r.RequiredSection("BBBB");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), std::string_view("\x00\x01\x02", 3));
+  EXPECT_EQ(r.Section("ZZZZ"), nullptr);
+  const auto missing = r.RequiredSection("ZZZZ");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(missing.status().message().find("ZZZZ"), std::string::npos);
+}
+
+TEST(BundleTest, TruncatedHeaderIsCorruption) {
+  BundleReader r;
+  const Status s = r.Init("short", kMagic, kVersion, "test bundle");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("truncated"), std::string::npos);
+}
+
+TEST(BundleTest, BadMagicIsCorruption) {
+  std::string data = MakeBundle();
+  data[0] ^= 0xFF;
+  BundleReader r;
+  const Status s = r.Init(std::move(data), kMagic, kVersion, "test bundle");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("bad magic"), std::string::npos);
+}
+
+TEST(BundleTest, WrongVersionIsVersionSkew) {
+  BundleReader r;
+  const Status s =
+      r.Init(MakeBundle(), kMagic, kVersion + 1, "test bundle");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kVersionSkew);
+}
+
+TEST(BundleTest, TruncatedPayloadIsCorruption) {
+  std::string data = MakeBundle();
+  data.resize(data.size() - 2);
+  BundleReader r;
+  const Status s = r.Init(std::move(data), kMagic, kVersion, "test bundle");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("truncated"), std::string::npos);
+}
+
+TEST(BundleTest, FlippedPayloadByteIsChecksumMismatch) {
+  std::string data = MakeBundle();
+  // Bundle header (12B) + section header (16B) put the first payload at
+  // byte 28; flip a bit a couple of bytes into it.
+  data[30] ^= 0x08;
+  BundleReader r;
+  const Status s = r.Init(std::move(data), kMagic, kVersion, "test bundle");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("checksum mismatch"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(BundleTest, TrailingBytesAreCorruption) {
+  std::string data = MakeBundle() + "junk";
+  BundleReader r;
+  const Status s = r.Init(std::move(data), kMagic, kVersion, "test bundle");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("trailing"), std::string::npos);
+}
+
+TEST(BundleTest, DuplicateSectionIsCorruption) {
+  BundleWriter w(kMagic, kVersion);
+  w.AddSection("AAAA", "one");
+  w.AddSection("AAAA", "two");
+  BundleReader r;
+  const Status s = r.Init(w.Serialize(), kMagic, kVersion, "test bundle");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("duplicate"), std::string::npos);
+}
+
+TEST(BundleTest, InitFromFileMissingIsNotFoundAndErrorsNamePath) {
+  BundleReader r;
+  const Status missing = r.InitFromFile(TempPath("no_bundle"), kMagic,
+                                        kVersion, "test bundle");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+
+  const std::string path = TempPath("magic_bundle");
+  ASSERT_TRUE(AtomicWriteFile(path, "definitely not a bundle").ok());
+  const Status corrupt =
+      r.InitFromFile(path, kMagic, kVersion, "test bundle");
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.code(), StatusCode::kCorruption);
+  EXPECT_NE(corrupt.message().find(path), std::string::npos)
+      << corrupt.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(BundleTest, WriteAtomicRoundTripsThroughDisk) {
+  const std::string path = TempPath("bundle.bin");
+  BundleWriter w(kMagic, kVersion);
+  w.AddSection("DATA", "persisted");
+  ASSERT_TRUE(w.WriteAtomic(path).ok());
+  BundleReader r;
+  ASSERT_TRUE(r.InitFromFile(path, kMagic, kVersion, "test bundle").ok());
+  EXPECT_EQ(r.RequiredSection("DATA").value(), "persisted");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tmn::common

@@ -73,6 +73,8 @@ TEST(LintTest, FixtureCorpusReportsExactRuleIds) {
       {"fixture_bad_guard.h", "header-guard"},
       {"fixture_raw_alloc.cc", "raw-alloc"},
       {"fixture_raw_timing.cc", "raw-timing"},
+      {"fixture_raw_file_write.cc", "raw-file-write"},
+      {"fixture_raw_file_write.cc", "raw-file-write"},
   };
   EXPECT_EQ(findings, expected) << run.output;
 }
@@ -115,7 +117,7 @@ TEST(LintTest, ListRulesCoversCatalogue) {
   ASSERT_EQ(run.exit_code, 0);
   for (const char* rule : {"raw-thread", "no-exceptions", "raw-rng",
                            "stdout-io", "header-guard", "raw-alloc",
-                           "raw-timing"}) {
+                           "raw-timing", "raw-file-write"}) {
     EXPECT_TRUE(run.output.find(rule) != std::string::npos) << rule;
   }
 }

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
+#include "common/status.h"
 #include "data/geolife_loader.h"
 #include "data/porto_loader.h"
 #include "nn/rng.h"
@@ -168,6 +170,183 @@ TEST(PortoLoaderTest, FuzzPolylineNeverCrashes) {
       EXPECT_GE(t.size(), 2u) << "input: " << input;
     }
   }
+}
+
+TEST(PortoLoaderTest, CheckedReportsPerRowCategories) {
+  const std::string path = WriteTempFile(
+      "porto_checked.csv",
+      "\"TRIP_ID\",\"POLYLINE\"\n"
+      "\"T1\",\"[[-8.618,41.141],[-8.619,41.142]]\"\n"
+      "\"T2\",\"no brackets here\"\n"                  // bad_field
+      "\"T3\",\"[[-8.620,oops],[-8.621,41.144]]\"\n"   // bad_float
+      "\"T4\",\"[[-8.622,41.145]]\"\n"                 // too_short
+      "\"T5\",\"[[-8.623,95.0],[-8.624,41.146]]\"\n"   // out_of_range
+      "\"T6\",\"[[-8.625,41.147],[-8.626,41.148]]\"\n");
+  LoadOptions options;
+  options.max_bad_row_fraction = 0.9;  // Tolerate this corpus.
+  options.log_warnings = false;
+  std::vector<geo::Trajectory> out;
+  LoadReport report;
+  ASSERT_TRUE(LoadPortoCsvChecked(path, options, &out, &report).ok());
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(report.rows_total, 6u);
+  EXPECT_EQ(report.rows_loaded, 2u);
+  EXPECT_EQ(report.bad_field, 1u);
+  EXPECT_EQ(report.bad_float, 1u);
+  EXPECT_EQ(report.too_short, 1u);
+  EXPECT_EQ(report.out_of_range, 1u);
+  EXPECT_EQ(report.BadRows(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(PortoLoaderTest, CheckedQuarantinesRottenCorpus) {
+  const std::string path = WriteTempFile(
+      "porto_rotten.csv",
+      "\"TRIP_ID\",\"POLYLINE\"\n"
+      "\"T1\",\"[[-8.618,41.141],[-8.619,41.142]]\"\n"
+      "\"T2\",\"junk\"\n"
+      "\"T3\",\"junk\"\n"
+      "\"T4\",\"junk\"\n");
+  LoadOptions options;
+  options.max_bad_row_fraction = 0.2;
+  options.log_warnings = false;
+  std::vector<geo::Trajectory> out;
+  const common::Status s = LoadPortoCsvChecked(path, options, &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kQuarantined);
+  // A quarantined load appends nothing: better no data than mostly-junk.
+  EXPECT_TRUE(out.empty());
+  std::remove(path.c_str());
+}
+
+TEST(PortoLoaderTest, CheckedMissingFileIsNotFound) {
+  std::vector<geo::Trajectory> out;
+  const common::Status s =
+      LoadPortoCsvChecked("/nonexistent/porto.csv", LoadOptions{}, &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kNotFound);
+}
+
+TEST(PortoLoaderTest, RowFailpointCountsAsInjected) {
+  if (!common::FailpointsEnabled()) {
+    GTEST_SKIP() << "library built without failpoint sites";
+  }
+  const std::string path = WriteTempFile(
+      "porto_inject.csv",
+      "\"TRIP_ID\",\"POLYLINE\"\n"
+      "\"T1\",\"[[-8.1,41.1],[-8.2,41.2]]\"\n"
+      "\"T2\",\"[[-8.3,41.3],[-8.4,41.4]]\"\n");
+  common::ActivateFailpoint("data.porto.row", 2);
+  LoadOptions options;
+  options.max_bad_row_fraction = 0.9;  // The injected row counts as bad.
+  options.log_warnings = false;
+  std::vector<geo::Trajectory> out;
+  LoadReport report;
+  ASSERT_TRUE(LoadPortoCsvChecked(path, options, &out, &report).ok());
+  common::DeactivateAllFailpoints();
+  EXPECT_EQ(out.size(), 1u);  // The injected row was dropped.
+  EXPECT_EQ(report.injected, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PortoLoaderTest, OpenFailpointIsIoError) {
+  if (!common::FailpointsEnabled()) {
+    GTEST_SKIP() << "library built without failpoint sites";
+  }
+  common::ActivateFailpoint("data.porto.open", 1);
+  std::vector<geo::Trajectory> out;
+  const common::Status s =
+      LoadPortoCsvChecked("/nonexistent/porto.csv", LoadOptions{}, &out);
+  common::DeactivateAllFailpoints();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kIoError);
+  EXPECT_NE(s.message().find("injected"), std::string::npos);
+}
+
+TEST(GeolifeLoaderTest, CheckedReportsPerLineCategories) {
+  const std::string path = WriteTempFile(
+      "geolife_checked.plt",
+      std::string(kPltHeader) +
+          "39.9,116.3,0,492,39744.1,2008-10-23,05:53:06\n"
+          "garbage line\n"                           // bad_float
+          "95.0,116.3,0,0,0,2008-10-23,05:53:12\n"   // out_of_range
+          "39.8,116.4,0,492,39744.2,2008-10-23,05:53:16\n");
+  LoadOptions options;
+  options.max_bad_row_fraction = 0.9;
+  options.log_warnings = false;
+  geo::Trajectory t;
+  LoadReport report;
+  ASSERT_TRUE(LoadGeolifePltChecked(path, options, &t, &report).ok());
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(report.rows_total, 4u);
+  EXPECT_EQ(report.rows_loaded, 2u);
+  EXPECT_EQ(report.bad_float, 1u);
+  EXPECT_EQ(report.out_of_range, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(GeolifeLoaderTest, CheckedQuarantinesRottenFile) {
+  const std::string path = WriteTempFile(
+      "geolife_rotten.plt",
+      std::string(kPltHeader) +
+          "39.9,116.3,0,492,39744.1,2008-10-23,05:53:06\n"
+          "junk\n"
+          "junk\n"
+          "junk\n"
+          "39.8,116.4,0,492,39744.2,2008-10-23,05:53:16\n");
+  LoadOptions options;
+  options.max_bad_row_fraction = 0.2;
+  options.log_warnings = false;
+  geo::Trajectory t;
+  const common::Status s = LoadGeolifePltChecked(path, options, &t);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kQuarantined);
+  std::remove(path.c_str());
+}
+
+TEST(GeolifeLoaderTest, CheckedTooFewPointsIsInvalidArgument) {
+  const std::string path = WriteTempFile(
+      "geolife_short.plt",
+      std::string(kPltHeader) +
+          "39.9,116.3,0,492,39744.1,2008-10-23,05:53:06\n");
+  LoadOptions options;
+  options.log_warnings = false;
+  geo::Trajectory t;
+  const common::Status s = LoadGeolifePltChecked(path, options, &t);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(GeolifeLoaderTest, CheckedMissingFileIsNotFound) {
+  geo::Trajectory t;
+  const common::Status s =
+      LoadGeolifePltChecked("/nonexistent/file.plt", LoadOptions{}, &t);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kNotFound);
+}
+
+TEST(GeolifeLoaderTest, LineFailpointCountsAsInjected) {
+  if (!common::FailpointsEnabled()) {
+    GTEST_SKIP() << "library built without failpoint sites";
+  }
+  const std::string path = WriteTempFile(
+      "geolife_inject.plt",
+      std::string(kPltHeader) +
+          "39.9,116.3,0,492,39744.1,2008-10-23,05:53:06\n"
+          "39.8,116.4,0,492,39744.2,2008-10-23,05:53:16\n"
+          "39.7,116.5,0,492,39744.3,2008-10-23,05:53:26\n");
+  common::ActivateFailpoint("data.geolife.line", 2);
+  LoadOptions options;
+  options.max_bad_row_fraction = 0.9;  // The injected line counts as bad.
+  options.log_warnings = false;
+  geo::Trajectory t;
+  LoadReport report;
+  ASSERT_TRUE(LoadGeolifePltChecked(path, options, &t, &report).ok());
+  common::DeactivateAllFailpoints();
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(report.injected, 1u);
+  std::remove(path.c_str());
 }
 
 TEST(GeolifeLoaderTest, FuzzPltLinesNeverCrash) {

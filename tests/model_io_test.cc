@@ -1,8 +1,11 @@
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "common/io_util.h"
+#include "common/status.h"
 #include "core/model_io.h"
 #include "data/synthetic.h"
 #include "eval/evaluation.h"
@@ -16,11 +19,6 @@ std::vector<geo::Trajectory> NormalizedTrajectories(int n, uint64_t seed) {
   return geo::NormalizeTrajectories(raw, geo::ComputeNormalization(raw));
 }
 
-void RemoveBundle(const std::string& path) {
-  std::remove(path.c_str());
-  std::remove((path + ".params").c_str());
-}
-
 TEST(ModelIoTest, RoundTripPreservesConfigAndPredictions) {
   const auto trajs = NormalizedTrajectories(3, 5);
   TmnModelConfig config;
@@ -30,16 +28,18 @@ TEST(ModelIoTest, RoundTripPreservesConfigAndPredictions) {
   config.seed = 9;
   TmnModel model(config);
   const std::string path = ::testing::TempDir() + "/bundle.tmn";
-  ASSERT_TRUE(SaveTmnModel(path, model));
-  const auto loaded = LoadTmnModel(path);
-  ASSERT_NE(loaded, nullptr);
+  ASSERT_TRUE(SaveTmnModel(path, model).ok());
+  auto loaded_or = LoadTmnModel(path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const auto loaded = std::move(loaded_or.value());
   EXPECT_EQ(loaded->config().hidden_dim, 12);
   EXPECT_EQ(loaded->config().mlp_layers, 3);
   EXPECT_EQ(loaded->config().rnn, nn::RnnKind::kGru);
+  EXPECT_EQ(loaded->config().seed, 9u);
   EXPECT_TRUE(loaded->config().use_matching);
   EXPECT_DOUBLE_EQ(eval::PredictDistance(model, trajs[0], trajs[1]),
                    eval::PredictDistance(*loaded, trajs[0], trajs[1]));
-  RemoveBundle(path);
+  std::remove(path.c_str());
 }
 
 TEST(ModelIoTest, RoundTripTmnNm) {
@@ -48,32 +48,99 @@ TEST(ModelIoTest, RoundTripTmnNm) {
   config.use_matching = false;
   TmnModel model(config);
   const std::string path = ::testing::TempDir() + "/bundle_nm.tmn";
-  ASSERT_TRUE(SaveTmnModel(path, model));
-  const auto loaded = LoadTmnModel(path);
-  ASSERT_NE(loaded, nullptr);
-  EXPECT_FALSE(loaded->config().use_matching);
-  EXPECT_FALSE(loaded->IsPairwise());
-  RemoveBundle(path);
+  ASSERT_TRUE(SaveTmnModel(path, model).ok());
+  auto loaded_or = LoadTmnModel(path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  EXPECT_FALSE(loaded_or.value()->config().use_matching);
+  EXPECT_FALSE(loaded_or.value()->IsPairwise());
+  std::remove(path.c_str());
 }
 
-TEST(ModelIoTest, LoadRejectsMissingAndCorrupt) {
-  EXPECT_EQ(LoadTmnModel("/nonexistent/model.tmn"), nullptr);
-  const std::string path = ::testing::TempDir() + "/corrupt.tmn";
-  FILE* f = std::fopen(path.c_str(), "wb");
-  std::fwrite("not a model", 1, 11, f);
-  std::fclose(f);
-  EXPECT_EQ(LoadTmnModel(path), nullptr);
-  RemoveBundle(path);
-}
-
-TEST(ModelIoTest, LoadRejectsMissingParamsFile) {
+TEST(ModelIoTest, SaveIsSingleFileWithNoSidecar) {
   TmnModelConfig config;
   config.hidden_dim = 8;
   TmnModel model(config);
-  const std::string path = ::testing::TempDir() + "/orphan.tmn";
-  ASSERT_TRUE(SaveTmnModel(path, model));
-  std::remove((path + ".params").c_str());
-  EXPECT_EQ(LoadTmnModel(path), nullptr);
+  const std::string path = ::testing::TempDir() + "/single.tmn";
+  ASSERT_TRUE(SaveTmnModel(path, model).ok());
+  EXPECT_TRUE(common::FileExists(path));
+  // The v1 format left a sidecar .params file (and could tear across the
+  // two); v2 is one atomic bundle.
+  EXPECT_FALSE(common::FileExists(path + ".params"));
+  EXPECT_FALSE(common::FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, LoadReportsMissingFile) {
+  const auto loaded = LoadTmnModel("/nonexistent/model.tmn");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(ModelIoTest, LoadReportsBadMagic) {
+  const std::string path = ::testing::TempDir() + "/corrupt.tmn";
+  ASSERT_TRUE(
+      common::AtomicWriteFile(path, "not a model, but 12+ bytes").ok());
+  const auto loaded = LoadTmnModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("bad magic"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, LoadReportsVersionSkewForV1Layout) {
+  // A v1 bundle header: magic then the config ints — hidden_dim lands in
+  // the v2 version slot, so the load must say "version skew", not
+  // "corrupt".
+  common::PayloadWriter w;
+  w.PutU32(kModelBundleMagic);
+  w.PutU32(32);  // v1 hidden_dim.
+  w.PutU32(2);   // v1 mlp_layers.
+  w.PutU32(1);   // v1 use_matching.
+  w.PutU32(0);   // v1 rnn_kind.
+  const std::string path = ::testing::TempDir() + "/v1.tmn";
+  ASSERT_TRUE(common::AtomicWriteFile(path, w.data()).ok());
+  const auto loaded = LoadTmnModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kVersionSkew);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, LoadReportsFlippedByte) {
+  TmnModelConfig config;
+  config.hidden_dim = 8;
+  TmnModel model(config);
+  const std::string path = ::testing::TempDir() + "/bitrot.tmn";
+  ASSERT_TRUE(SaveTmnModel(path, model).ok());
+  auto data = common::ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  std::string bytes = data.value();
+  bytes[bytes.size() - 5] ^= 0x10;  // Flip a bit inside the PARM payload.
+  ASSERT_TRUE(common::AtomicWriteFile(path, bytes).ok());
+  const auto loaded = LoadTmnModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, LoadReportsTruncation) {
+  TmnModelConfig config;
+  config.hidden_dim = 8;
+  TmnModel model(config);
+  const std::string path = ::testing::TempDir() + "/truncated.tmn";
+  ASSERT_TRUE(SaveTmnModel(path, model).ok());
+  auto data = common::ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  const std::string torn = data.value().substr(0, data.value().size() / 2);
+  ASSERT_TRUE(common::AtomicWriteFile(path, torn).ok());
+  const auto loaded = LoadTmnModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos)
+      << loaded.status().ToString();
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,11 @@
+// Lint fixture: two raw-file-write violations (never compiled) — a
+// write-mode fopen and a direct rename, both of which must route through
+// common::AtomicWriteFile in library code.
+#include <cstdio>
+
+bool UncheckedSave(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return std::rename("file.tmp", path) == 0;
+}

@@ -6,7 +6,9 @@
 #   3. Debug invariants — TMN_DCHECK layer active; death tests must fire
 #   4. UBSan           — numeric core tests under -fsanitize=undefined
 #   5. TSan            — concurrency tests under -fsanitize=thread
-#   6. clang-tidy      — bugprone/performance/concurrency checks (optional:
+#   6. fault injection — failpoint build (-DTMN_FAILPOINTS=ON); the
+#                        crash-recovery and injection tests must run, not skip
+#   7. clang-tidy      — bugprone/performance/concurrency checks (optional:
 #                        skipped with a notice when clang-tidy is absent)
 #
 # Any finding in any stage exits non-zero; the clang-tidy exit code is
@@ -22,20 +24,20 @@ JOBS="${1:-$(nproc)}"
 LOG_DIR=build/check-logs
 mkdir -p "$LOG_DIR"
 
-echo "== [1/6] Standard build (-Werror) + full ctest =="
+echo "== [1/7] Standard build (-Werror) + full ctest =="
 {
   cmake -B build -S . -DTMN_WERROR=ON >/dev/null
   cmake --build build -j "$JOBS"
   ctest --test-dir build --output-on-failure -j "$JOBS"
 } 2>&1 | tee "$LOG_DIR/1-build-ctest.log"
 
-echo "== [2/6] tmn_lint gate =="
+echo "== [2/7] tmn_lint gate =="
 {
   ./build/tools/tmn_lint src tests bench tools
   echo "-- lint clean"
 } 2>&1 | tee "$LOG_DIR/2-lint.log"
 
-echo "== [3/6] Debug build: TMN_DCHECK invariant layer =="
+echo "== [3/7] Debug build: TMN_DCHECK invariant layer =="
 {
   cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug -DTMN_WERROR=ON \
       >/dev/null
@@ -49,7 +51,7 @@ if grep -q "SKIPPED" "$LOG_DIR/3-invariants.log"; then
   exit 1
 fi
 
-echo "== [4/6] UndefinedBehaviorSanitizer: numeric core tests =="
+echo "== [4/7] UndefinedBehaviorSanitizer: numeric core tests =="
 UBSAN_TESTS=(tensor_test ops_test autograd_test batched_lstm_test rnn_test
              loss_test distance_test sampler_test trainer_test eval_test)
 {
@@ -64,7 +66,7 @@ UBSAN_TESTS=(tensor_test ops_test autograd_test batched_lstm_test rnn_test
   done
 } 2>&1 | tee "$LOG_DIR/4-ubsan.log"
 
-echo "== [5/6] ThreadSanitizer: concurrency tests =="
+echo "== [5/7] ThreadSanitizer: concurrency tests =="
 TSAN_TESTS=(thread_pool_test trainer_test distance_test eval_test
             integration_test)
 {
@@ -76,17 +78,32 @@ TSAN_TESTS=(thread_pool_test trainer_test distance_test eval_test
   done
 } 2>&1 | tee "$LOG_DIR/5-tsan.log"
 
-echo "== [6/6] clang-tidy (bugprone-*, performance-*, concurrency-*) =="
+echo "== [6/7] Fault injection: failpoint build + crash recovery =="
+FAULT_TESTS="Failpoint|CrashRecovery|Checkpoint|Resume|Loader|IoUtil|Bundle|Payload|Crc32|ModelIo"
+{
+  cmake -B build-failpoints -S . -DTMN_WERROR=ON -DTMN_FAILPOINTS=ON \
+      >/dev/null
+  cmake --build build-failpoints -j "$JOBS"
+  ctest --test-dir build-failpoints --output-on-failure -j "$JOBS" \
+      -R "$FAULT_TESTS"
+} 2>&1 | tee "$LOG_DIR/6-fault-injection.log"
+# In a failpoint build the injection-gated tests must RUN (not skip).
+if grep -q "built without failpoint sites" "$LOG_DIR/6-fault-injection.log"; then
+  echo "error: failpoint tests skipped in a failpoint build" >&2
+  exit 1
+fi
+
+echo "== [7/7] clang-tidy (bugprone-*, performance-*, concurrency-*) =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json is emitted by the standard build in stage 1.
   mapfile -t TIDY_SOURCES < <(find src tools -name '*.cc' | sort)
   TIDY_RC=0
   if command -v run-clang-tidy >/dev/null 2>&1; then
     run-clang-tidy -p build -quiet "${TIDY_SOURCES[@]}" 2>&1 \
-        | tee "$LOG_DIR/6-clang-tidy.log" || TIDY_RC=$?
+        | tee "$LOG_DIR/7-clang-tidy.log" || TIDY_RC=$?
   else
     clang-tidy -p build --quiet "${TIDY_SOURCES[@]}" 2>&1 \
-        | tee "$LOG_DIR/6-clang-tidy.log" || TIDY_RC=$?
+        | tee "$LOG_DIR/7-clang-tidy.log" || TIDY_RC=$?
   fi
   if [ "$TIDY_RC" -ne 0 ]; then
     echo "error: clang-tidy reported findings (exit $TIDY_RC)" >&2
@@ -94,7 +111,7 @@ if command -v clang-tidy >/dev/null 2>&1; then
   fi
 else
   echo "-- notice: clang-tidy not installed; skipping tidy pass" \
-       "(install clang-tidy to enable it)" | tee "$LOG_DIR/6-clang-tidy.log"
+       "(install clang-tidy to enable it)" | tee "$LOG_DIR/7-clang-tidy.log"
 fi
 
 echo "== All checks passed =="

@@ -165,8 +165,10 @@ int CmdTrain(const Flags& flags) {
     std::printf("epoch %zu: loss %.6f\n", e + 1, losses[e]);
   }
   const std::string out = flags.GetString("model", "model.tmn");
-  if (!tmn::core::SaveTmnModel(out, model)) {
-    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+  const tmn::common::Status save_status = tmn::core::SaveTmnModel(out, model);
+  if (!save_status.ok()) {
+    std::fprintf(stderr, "error: cannot write %s: %s\n", out.c_str(),
+                 save_status.ToString().c_str());
     return 1;
   }
   std::printf("saved model (%zu parameters) to %s\n", model.NumParameters(),
@@ -179,12 +181,14 @@ int CmdSearch(const Flags& flags) {
   if (!LoadNormalized(flags.GetString("input", "trajectories.csv"), &trajs)) {
     return 1;
   }
-  const auto model =
+  auto model_or =
       tmn::core::LoadTmnModel(flags.GetString("model", "model.tmn"));
-  if (model == nullptr) {
-    std::fprintf(stderr, "error: cannot load model\n");
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "error: cannot load model: %s\n",
+                 model_or.status().ToString().c_str());
     return 1;
   }
+  const auto model = std::move(model_or.value());
   const size_t query = static_cast<size_t>(flags.GetInt("query", 0));
   const size_t k = static_cast<size_t>(flags.GetInt("k", 5));
   if (query >= trajs.size()) {
@@ -210,12 +214,14 @@ int CmdEval(const Flags& flags) {
   if (!LoadNormalized(flags.GetString("input", "trajectories.csv"), &trajs)) {
     return 1;
   }
-  const auto model =
+  auto model_or =
       tmn::core::LoadTmnModel(flags.GetString("model", "model.tmn"));
-  if (model == nullptr) {
-    std::fprintf(stderr, "error: cannot load model\n");
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "error: cannot load model: %s\n",
+                 model_or.status().ToString().c_str());
     return 1;
   }
+  const auto model = std::move(model_or.value());
   const auto metric_type =
       tmn::dist::MetricFromName(flags.GetString("metric", "dtw"));
   if (!metric_type) {

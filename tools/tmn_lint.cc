@@ -71,6 +71,10 @@ constexpr RuleInfo kRules[] = {
      "std::chrono in library code outside src/obs/ (time via "
      "obs::MonotonicSeconds / obs::ScopedTimer so instrumentation stays "
      "centralized)"},
+    {"raw-file-write",
+     "write-mode fopen or direct rename in library code outside "
+     "src/common/io_util.cc (route writes through common::AtomicWriteFile "
+     "so they are atomic and durable)"},
 };
 
 // ---------------------------------------------------------------------------
@@ -113,6 +117,13 @@ bool IsThreadPoolSource(const std::string& path) {
 
 bool IsRngSource(const std::string& path) {
   return EndsWith(path, "nn/rng.h") || EndsWith(path, "nn/rng.cc");
+}
+
+// src/common/io_util.cc is the sanctioned home for raw file writes and
+// renames (raw-file-write rule); everything else goes through
+// common::AtomicWriteFile.
+bool IsIoUtilSource(const std::string& path) {
+  return EndsWith(path, "common/io_util.cc");
 }
 
 // src/obs/ is the sanctioned home for clock reads (raw-timing rule).
@@ -240,6 +251,26 @@ bool HasToken(const std::string& code, const std::string& token,
   return false;
 }
 
+// True when the raw source line passes fopen a write/append mode. The
+// mode lives in a string literal, which ScrubLine blanks out, so this
+// scans the raw line from the fopen token onward: any short literal made
+// only of mode characters and containing 'w', 'a' or '+' counts.
+bool FopenWriteMode(const std::string& raw, size_t from) {
+  size_t i = from;
+  while ((i = raw.find('"', i)) != std::string::npos) {
+    const size_t close = raw.find('"', i + 1);
+    if (close == std::string::npos) return false;
+    const std::string lit = raw.substr(i + 1, close - i - 1);
+    if (!lit.empty() && lit.size() <= 3 &&
+        lit.find_first_not_of("rwab+") == std::string::npos &&
+        lit.find_first_of("wa+") != std::string::npos) {
+      return true;
+    }
+    i = close + 1;
+  }
+  return false;
+}
+
 // Parses every `tmn-lint: allow(a,b,...)` marker in a comment.
 void ParseSuppressions(const std::string& comment, std::set<std::string>& out) {
   const std::string marker = "tmn-lint: allow(";
@@ -277,6 +308,7 @@ void LintFile(const std::string& path, std::vector<Finding>& findings) {
   const bool pool_source = IsThreadPoolSource(path);
   const bool rng_source = IsRngSource(path);
   const bool obs_source = IsObsSource(path);
+  const bool io_util_source = IsIoUtilSource(path);
 
   ScrubState scrub;
   std::set<std::string> carried;  // Suppressions from the previous line.
@@ -367,6 +399,21 @@ void LintFile(const std::string& path, std::vector<Finding>& findings) {
                "ad-hoc std::chrono timing; use obs::MonotonicSeconds or "
                "obs::ScopedTimer (src/obs/)",
                active);
+      }
+      if (!io_util_source) {
+        if (HasToken(code, "rename", true)) {
+          report(lineno, "raw-file-write",
+                 "direct rename in library code; route writes through "
+                 "common::AtomicWriteFile (src/common/io_util.cc)",
+                 active);
+        }
+        if (HasToken(code, "fopen", true) &&
+            FopenWriteMode(line, code.find("fopen"))) {
+          report(lineno, "raw-file-write",
+                 "write-mode fopen in library code; route writes through "
+                 "common::AtomicWriteFile (src/common/io_util.cc)",
+                 active);
+        }
       }
     }
     if (!rng_source &&
