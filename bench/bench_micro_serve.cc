@@ -1,0 +1,186 @@
+// Measures the online serving path (src/serve): per-query top-k latency
+// at each tier of the degradation ladder — embedding-ann (TMN-NM encode +
+// HNSW), exact-rerank (sketch index + exact metric) and exact-brute-force
+// — plus the deterministic shed rate of an over-capacity burst.
+//
+// The tiers are exercised by construction, not by fault injection: the
+// lower-tier servers are built with the upper tiers disabled in
+// ServerConfig, so this bench runs in any build. Latency quantiles are
+// machine-dependent (unstable, warn-only in bench_compare); the served /
+// shed counts and the tier each server answers from are part of the
+// serving contract and gate as stable metrics.
+//
+// Emits a RunReport (schema tmn.run_report/1). The committed baseline
+// lives at bench/baselines/BENCH_serve.json; CI regenerates the report
+// and gates with tools/bench_compare.
+//
+// Usage: bench_micro_serve [output.json]   (default: BENCH_serve.json)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/tmn_model.h"
+#include "data/synthetic.h"
+#include "distance/metric.h"
+#include "geo/preprocess.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "serve/similarity_server.h"
+
+namespace {
+
+constexpr int kCorpusSize = 256;
+constexpr uint64_t kCorpusSeed = 4242;
+constexpr size_t kQueries = 48;
+constexpr size_t kTopK = 10;
+constexpr size_t kBurstCapacity = 16;
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = p * static_cast<double>(values.size() - 1);
+  return values[static_cast<size_t>(std::lround(pos))];
+}
+
+struct TierRun {
+  const char* label;        // Gauge suffix: tier1 / tier2 / tier3.
+  tmn::serve::ServeTier expected_tier;
+  size_t served = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  std::printf("TMN reproduction — micro-benchmark: online serving\n");
+
+  auto raw = tmn::data::GeneratePortoLike(kCorpusSize, kCorpusSeed);
+  const auto trajs = tmn::geo::NormalizeTrajectories(
+      raw, tmn::geo::ComputeNormalization(raw));
+  const std::vector<tmn::geo::Trajectory> queries(trajs.begin(),
+                                                  trajs.begin() + kQueries);
+
+  // An untrained TMN-NM encoder: serving latency does not depend on the
+  // weights, and a fixed seed keeps the embeddings (and therefore the
+  // HNSW graph) bitwise reproducible.
+  tmn::core::TmnModelConfig model_config;
+  model_config.hidden_dim = 16;
+  model_config.use_matching = false;
+  model_config.seed = 9;
+
+  std::vector<TierRun> runs = {
+      {"tier1", tmn::serve::ServeTier::kEmbeddingAnn},
+      {"tier2", tmn::serve::ServeTier::kExactRerank},
+      {"tier3", tmn::serve::ServeTier::kExactBruteForce},
+  };
+  for (TierRun& run : runs) {
+    tmn::serve::ServerConfig config;
+    config.enable_embedding_tier =
+        run.expected_tier == tmn::serve::ServeTier::kEmbeddingAnn;
+    config.enable_rerank_tier =
+        run.expected_tier != tmn::serve::ServeTier::kExactBruteForce;
+    auto server_or = tmn::serve::SimilarityServer::Create(
+        config, trajs, tmn::dist::CreateMetric(tmn::dist::MetricType::kHausdorff),
+        config.enable_embedding_tier
+            ? std::make_unique<tmn::core::TmnModel>(model_config)
+            : nullptr);
+    if (!server_or.ok()) {
+      std::fprintf(stderr, "server construction failed: %s\n",
+                   server_or.status().ToString().c_str());
+      return 1;
+    }
+    const auto& server = *server_or.value();
+
+    std::vector<double> latencies;
+    latencies.reserve(kQueries);
+    for (size_t q = 0; q < kQueries; ++q) {
+      const double start = tmn::obs::MonotonicSeconds();
+      const auto response = server.TopK(queries[q], kTopK);
+      const double elapsed = tmn::obs::MonotonicSeconds() - start;
+      if (response.ok() && response.value().tier == run.expected_tier) {
+        ++run.served;
+        latencies.push_back(1e6 * elapsed);
+      }
+    }
+    run.p50_us = Percentile(latencies, 0.50);
+    run.p99_us = Percentile(latencies, 0.99);
+  }
+
+  // Over-capacity burst: batch admission is positional, so exactly the
+  // first kBurstCapacity queries are served and the rest shed.
+  tmn::serve::ServerConfig burst_config;
+  burst_config.queue_capacity = kBurstCapacity;
+  auto burst_or = tmn::serve::SimilarityServer::Create(
+      burst_config, trajs,
+      tmn::dist::CreateMetric(tmn::dist::MetricType::kHausdorff),
+      std::make_unique<tmn::core::TmnModel>(model_config));
+  if (!burst_or.ok()) {
+    std::fprintf(stderr, "burst server construction failed: %s\n",
+                 burst_or.status().ToString().c_str());
+    return 1;
+  }
+  const auto burst = burst_or.value()->TopKBatch(queries, kTopK);
+  size_t burst_served = 0;
+  size_t burst_shed = 0;
+  for (const auto& response : burst) {
+    if (response.ok()) {
+      ++burst_served;
+    } else if (response.status().code() ==
+               tmn::common::StatusCode::kResourceExhausted) {
+      ++burst_shed;
+    }
+  }
+  const double shed_rate =
+      static_cast<double>(burst_shed) / static_cast<double>(burst.size());
+
+  tmn::bench::PrintTableHeader("Top-" + std::to_string(kTopK) +
+                                   " serving latency by tier",
+                               {"served", "p50 (us)", "p99 (us)"});
+  for (const TierRun& run : runs) {
+    tmn::bench::PrintRow(std::string(run.label) + " (" +
+                             tmn::serve::ServeTierName(run.expected_tier) +
+                             ")",
+                         {static_cast<double>(run.served), run.p50_us,
+                          run.p99_us});
+  }
+  std::printf("burst of %zu over capacity %zu: %zu served, %zu shed "
+              "(shed rate %.3f)\n",
+              kQueries, kBurstCapacity, burst_served, burst_shed, shed_rate);
+
+  // Served/shed counts are part of the serving contract: stable, gated.
+  // Latency quantiles are machine-dependent: unstable, warn-only.
+  auto& reg = tmn::obs::Registry::Global();
+  for (const TierRun& run : runs) {
+    const std::string prefix = std::string("bench.serve.") + run.label;
+    reg.GetGauge(prefix + ".served").Set(static_cast<double>(run.served));
+    reg.GetGauge(prefix + ".p50_us", tmn::obs::Stability::kUnstable)
+        .Set(run.p50_us);
+    reg.GetGauge(prefix + ".p99_us", tmn::obs::Stability::kUnstable)
+        .Set(run.p99_us);
+  }
+  reg.GetGauge("bench.serve.burst.served")
+      .Set(static_cast<double>(burst_served));
+  reg.GetGauge("bench.serve.burst.shed").Set(static_cast<double>(burst_shed));
+  reg.GetGauge("bench.serve.burst.shed_rate").Set(shed_rate);
+
+  const std::map<std::string, std::string> config = {
+      {"corpus", std::to_string(kCorpusSize)},
+      {"corpus_seed", std::to_string(kCorpusSeed)},
+      {"queries", std::to_string(kQueries)},
+      {"k", std::to_string(kTopK)},
+      {"burst_capacity", std::to_string(kBurstCapacity)},
+  };
+  const bool all_served =
+      std::all_of(runs.begin(), runs.end(),
+                  [](const TierRun& r) { return r.served == kQueries; });
+  const bool wrote =
+      tmn::bench::WriteRunReport("micro_serve", out_path, config);
+  return all_served && burst_served == kBurstCapacity && wrote ? 0 : 1;
+}

@@ -15,6 +15,7 @@
 #include "data/synthetic.h"
 #include "distance/distance_matrix.h"
 #include "eval/evaluation.h"
+#include "example_util.h"
 #include "geo/preprocess.h"
 #include "nn/rng.h"
 
@@ -36,15 +37,26 @@ Trajectory Jitter(const Trajectory& base, double sigma, tmn::nn::Rng& rng,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tmn;
   constexpr int kRoutes = 3;
   constexpr int kPerRoute = 30;
   constexpr int kAnomalies = 10;
   constexpr int kNormal = kRoutes * kPerRoute;
 
-  // Normal fleet: noisy repetitions of 3 template routes.
-  const auto templates = data::GeneratePortoLike(kRoutes, /*seed=*/8);
+  // Normal fleet: noisy repetitions of 3 template routes, taken from a
+  // real dump (checked loaders) when one is given on the command line.
+  std::vector<Trajectory> templates;
+  const int loaded = examples::LoadRequestedDataset(
+      argc, argv, /*max_trajectories=*/kRoutes, &templates);
+  if (loaded < 0) return 1;
+  if (loaded == 0) {
+    templates = data::GeneratePortoLike(kRoutes, /*seed=*/8);
+  } else if (templates.size() < kRoutes) {
+    std::fprintf(stderr, "need at least %d usable trajectories, got %zu\n",
+                 kRoutes, templates.size());
+    return 1;
+  }
   nn::Rng rng(21);
   std::vector<Trajectory> raw;
   for (int r = 0; r < kRoutes; ++r) {

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/model.h"
+#include "example_util.h"
 #include "core/sampler.h"
 #include "core/tmn_model.h"
 #include "core/trainer.h"
@@ -17,13 +18,26 @@
 #include "eval/evaluation.h"
 #include "geo/preprocess.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tmn;
 
-  // 1. Data.
-  std::printf("Generating 120 Porto-like trajectories...\n");
-  auto raw = data::GeneratePortoLike(120, /*seed=*/2024);
+  // 1. Data: a real dump through the checked loaders when requested on
+  // the command line, the synthetic generator otherwise.
+  std::vector<geo::Trajectory> raw;
+  const int loaded =
+      examples::LoadRequestedDataset(argc, argv, /*max_trajectories=*/120,
+                                     &raw);
+  if (loaded < 0) return 1;
+  if (loaded == 0) {
+    std::printf("Generating 120 Porto-like trajectories...\n");
+    raw = data::GeneratePortoLike(120, /*seed=*/2024);
+  }
   raw = geo::FilterByMinLength(raw, 10);
+  if (raw.size() < 20) {
+    std::fprintf(stderr, "need at least 20 usable trajectories, got %zu\n",
+                 raw.size());
+    return 1;
+  }
   const geo::NormalizationParams norm = geo::ComputeNormalization(raw);
   const auto trajs = geo::NormalizeTrajectories(raw, norm);
   const data::Split split = data::SplitTrainTest(trajs.size(), 0.4, 1);

@@ -16,13 +16,25 @@
 #include "eval/embedding_search.h"
 #include "eval/evaluation.h"
 #include "eval/timer.h"
+#include "example_util.h"
 #include "geo/preprocess.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tmn;
 
   // A training split plus a larger database to index.
-  auto raw = data::GeneratePortoLike(1200, /*seed=*/77);
+  std::vector<geo::Trajectory> raw;
+  const int loaded =
+      examples::LoadRequestedDataset(argc, argv, /*max_trajectories=*/1200,
+                                     &raw);
+  if (loaded < 0) return 1;
+  if (loaded == 0) {
+    raw = data::GeneratePortoLike(1200, /*seed=*/77);
+  } else if (raw.size() < 160) {
+    std::fprintf(stderr, "need at least 160 usable trajectories, got %zu\n",
+                 raw.size());
+    return 1;
+  }
   const auto trajs =
       geo::NormalizeTrajectories(raw, geo::ComputeNormalization(raw));
   const std::vector<geo::Trajectory> train(trajs.begin(),

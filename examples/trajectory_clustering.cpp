@@ -12,6 +12,7 @@
 #include "data/synthetic.h"
 #include "distance/distance_matrix.h"
 #include "eval/evaluation.h"
+#include "example_util.h"
 #include "geo/preprocess.h"
 #include "nn/rng.h"
 
@@ -103,13 +104,25 @@ std::vector<int> KMedoids(const std::vector<std::vector<float>>& points,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tmn;
   constexpr int kClusters = 4;
   constexpr int kPerCluster = 15;
 
-  // Plant clusters: 4 template routes, 15 noisy variants each.
-  const auto templates = data::GeneratePortoLike(kClusters, /*seed=*/91);
+  // Plant clusters: 4 template routes, 15 noisy variants each. The
+  // templates come from a real dump (checked loaders) when one is given
+  // on the command line, from the synthetic generator otherwise.
+  std::vector<Trajectory> templates;
+  const int loaded = examples::LoadRequestedDataset(
+      argc, argv, /*max_trajectories=*/kClusters, &templates);
+  if (loaded < 0) return 1;
+  if (loaded == 0) {
+    templates = data::GeneratePortoLike(kClusters, /*seed=*/91);
+  } else if (templates.size() < kClusters) {
+    std::fprintf(stderr, "need at least %d usable trajectories, got %zu\n",
+                 kClusters, templates.size());
+    return 1;
+  }
   nn::Rng rng(17);
   std::vector<Trajectory> raw;
   std::vector<int> labels;

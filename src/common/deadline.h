@@ -1,0 +1,72 @@
+#ifndef TMN_COMMON_DEADLINE_H_
+#define TMN_COMMON_DEADLINE_H_
+
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+#include "obs/clock.h"
+
+// Per-request time budgets for the online query path (docs/SERVING.md).
+// A Deadline is captured once when a request is admitted and then
+// propagated through every pipeline stage (encode, index search, exact
+// rerank); each stage calls CheckDeadline before doing work and
+// long-running loops poll Expired() every few iterations, so an
+// overrunning request fails with kDeadlineExceeded instead of holding a
+// worker hostage. The clock is injectable (a plain function pointer, so a
+// Deadline stays trivially copyable) which lets tests drive expiry with a
+// deterministic fake clock.
+
+namespace tmn::common {
+
+class Deadline {
+ public:
+  // Seconds on a monotonic clock; only differences are meaningful.
+  using ClockFn = double (*)();
+
+  // Default-constructed deadline never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  // Expires `budget_seconds` from now. `clock` defaults to the library
+  // monotonic clock; tests inject a fake. A non-positive budget is
+  // already expired at the first check.
+  static Deadline AfterSeconds(double budget_seconds,
+                               ClockFn clock = nullptr) {
+    Deadline d;
+    d.clock_ = clock == nullptr ? &obs::MonotonicSeconds : clock;
+    d.expires_at_ = d.clock_() + budget_seconds;
+    return d;
+  }
+
+  bool infinite() const { return clock_ == nullptr; }
+
+  // One clock read; false for an infinite deadline.
+  bool Expired() const { return !infinite() && clock_() > expires_at_; }
+
+  // +inf for an infinite deadline; can go negative once expired.
+  double RemainingSeconds() const {
+    if (infinite()) return std::numeric_limits<double>::infinity();
+    return expires_at_ - clock_();
+  }
+
+ private:
+  ClockFn clock_ = nullptr;  // nullptr = infinite.
+  double expires_at_ = 0.0;
+};
+
+// Stage-boundary deadline check: kDeadlineExceeded naming the pipeline
+// stage that observed the overrun, so a caller (or a test) can tell
+// where the budget ran out.
+inline Status CheckDeadline(const Deadline& deadline, const char* stage) {
+  if (deadline.Expired()) {
+    return DeadlineExceededError(std::string("deadline expired at stage '") +
+                                 stage + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace tmn::common
+
+#endif  // TMN_COMMON_DEADLINE_H_

@@ -26,6 +26,9 @@ enum class StatusCode : int {
   kVersionSkew,         // Recognized file, unsupported format version.
   kQuarantined,         // Too large a fraction of a dataset is malformed.
   kFailedPrecondition,  // Operation not valid in the current state.
+  kDeadlineExceeded,    // Per-request time budget ran out mid-pipeline.
+  kResourceExhausted,   // Load shed: admission queue above high water.
+  kUnavailable,         // A serving dependency (model, index) is down.
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -38,6 +41,9 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kVersionSkew: return "VERSION_SKEW";
     case StatusCode::kQuarantined: return "QUARANTINED";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -86,6 +92,15 @@ inline Status QuarantinedError(std::string message) {
 }
 inline Status FailedPreconditionError(std::string message) {
   return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 // Status-or-value. Accessing value() on an error status is a programmer

@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/io_util.h"
 #include "nn/serialize.h"
 
@@ -74,6 +75,9 @@ common::Status SaveTmnModel(const std::string& path, const TmnModel& model) {
 
 common::StatusOr<std::unique_ptr<TmnModel>> LoadTmnModel(
     const std::string& path) {
+  if (TMN_FAILPOINT("core.model_io.load")) {
+    return common::IoError("injected model load failure: " + path);
+  }
   common::BundleReader reader;
   TMN_RETURN_IF_ERROR(reader.InitFromFile(path, kModelBundleMagic,
                                           kModelBundleVersion, kWhat));

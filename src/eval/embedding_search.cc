@@ -1,8 +1,12 @@
 #include "eval/embedding_search.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
+#include "common/failpoint.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 
@@ -78,6 +82,62 @@ std::vector<size_t> EmbeddingSearch::Nearest(const std::vector<float>& query,
   return {};
 }
 
+common::StatusOr<std::vector<size_t>> EmbeddingSearch::NearestChecked(
+    const std::vector<float>& query, size_t k,
+    const common::Deadline& deadline) const {
+  switch (backend_) {
+    case SearchBackend::kKdTree:
+      return kd_tree_->NearestChecked(query, k, deadline);
+    case SearchBackend::kHnsw:
+      return hnsw_->NearestChecked(query, k, /*ef=*/0, deadline);
+    case SearchBackend::kBruteForce:
+      break;
+  }
+  if (k == 0) {
+    return common::InvalidArgumentError("embedding search with k == 0");
+  }
+  if (query.size() != dim_) {
+    return common::InvalidArgumentError(
+        "embedding query dimension " + std::to_string(query.size()) +
+        " does not match index dimension " + std::to_string(dim_));
+  }
+  for (float v : query) {
+    if (!std::isfinite(v)) {
+      return common::InvalidArgumentError(
+          "embedding query contains a non-finite coordinate");
+    }
+  }
+  TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, "index-search"));
+  // The scan is linear, so run it in blocks and poll the deadline between
+  // blocks, the same way the HNSW walk polls between expansions. The
+  // partial heaps merge through std::partial_sort at the end.
+  constexpr size_t kBlock = 256;
+  std::vector<std::pair<float, size_t>> best;
+  for (size_t start = 0; start < count_; start += kBlock) {
+    if (start != 0 && deadline.Expired()) {
+      return common::DeadlineExceededError(
+          "deadline expired at stage 'index-search' (brute-force scan)");
+    }
+    const size_t end = std::min(count_, start + kBlock);
+    const std::vector<float> block(flat_.begin() + start * dim_,
+                                   flat_.begin() + end * dim_);
+    for (size_t local : index::BruteForceNearest(block, dim_, query, k)) {
+      const size_t i = start + local;
+      float d = 0.0f;
+      for (size_t j = 0; j < dim_; ++j) {
+        const float diff = flat_[i * dim_ + j] - query[j];
+        d += diff * diff;
+      }
+      best.emplace_back(d, i);
+    }
+  }
+  const size_t take = std::min(k, best.size());
+  std::partial_sort(best.begin(), best.begin() + take, best.end());
+  std::vector<size_t> result(take);
+  for (size_t i = 0; i < take; ++i) result[i] = best[i].second;
+  return result;
+}
+
 std::vector<size_t> EmbeddingSearch::NearestToStored(size_t i,
                                                      size_t k) const {
   TMN_CHECK(i < count_);
@@ -88,6 +148,44 @@ std::vector<size_t> EmbeddingSearch::NearestToStored(size_t i,
   result.erase(std::remove(result.begin(), result.end(), i), result.end());
   if (result.size() > k) result.resize(k);
   return result;
+}
+
+common::StatusOr<std::vector<float>> EncodeTrajectory(
+    const core::SimilarityModel& model, const geo::Trajectory& trajectory,
+    const common::Deadline& deadline) {
+  if (model.IsPairwise()) {
+    return common::FailedPreconditionError(
+        "pairwise models cannot encode a single trajectory");
+  }
+  if (trajectory.empty()) {
+    return common::InvalidArgumentError("cannot encode an empty trajectory");
+  }
+  for (const geo::Point& p : trajectory.points()) {
+    if (!std::isfinite(p.lon) || !std::isfinite(p.lat)) {
+      return common::InvalidArgumentError(
+          "trajectory contains a non-finite coordinate");
+    }
+  }
+  TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, "encode"));
+  if (TMN_FAILPOINT("eval.encode")) {
+    return common::UnavailableError("injected encode failure");
+  }
+  static obs::Counter& encoded =
+      obs::Registry::Global().GetCounter("tmn.eval.encoded_trajectories");
+  static obs::Histogram& seconds =
+      obs::Registry::Global().GetTimer("tmn.eval.encode_seconds");
+  obs::ScopedTimer timer(seconds);
+  encoded.Increment();
+  nn::NoGradGuard no_grad;
+  const nn::Tensor o = model.ForwardSingle(trajectory);
+  std::vector<float> embedding = nn::Row(o, o.rows() - 1).data();
+  for (float v : embedding) {
+    if (!std::isfinite(v)) {
+      return common::CorruptionError(
+          "model produced a non-finite embedding value");
+    }
+  }
+  return embedding;
 }
 
 }  // namespace tmn::eval

@@ -5,6 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
+#include "core/model.h"
+#include "geo/trajectory.h"
 #include "index/hnsw.h"
 #include "index/kd_tree.h"
 
@@ -38,6 +42,14 @@ class EmbeddingSearch {
   std::vector<size_t> Nearest(const std::vector<float>& query,
                               size_t k) const;
 
+  // Validated, deadline-aware variant for the online query path: bad
+  // input returns kInvalidArgument instead of aborting, and the backend
+  // search is interruptible (kDeadlineExceeded on overrun). See
+  // docs/SERVING.md.
+  common::StatusOr<std::vector<size_t>> NearestChecked(
+      const std::vector<float>& query, size_t k,
+      const common::Deadline& deadline = common::Deadline()) const;
+
   // kNN of the i-th stored embedding, excluding i itself.
   std::vector<size_t> NearestToStored(size_t i, size_t k) const;
 
@@ -49,6 +61,18 @@ class EmbeddingSearch {
   std::unique_ptr<index::KdTree> kd_tree_;
   std::unique_ptr<index::HnswIndex> hnsw_;
 };
+
+// Final embedding of one trajectory under a non-pairwise model, as a
+// Status-returning, deadline-aware operation for the online query path:
+// a pairwise model is kFailedPrecondition, an empty trajectory
+// kInvalidArgument, an expired budget kDeadlineExceeded, a non-finite
+// model output kCorruption (a healthy model never produces one — it
+// signals bit rot or a broken load), and the `eval.encode` failpoint
+// injects kUnavailable. The batch path (EncodeAll) keeps its unchecked
+// abort-on-misuse contract.
+common::StatusOr<std::vector<float>> EncodeTrajectory(
+    const core::SimilarityModel& model, const geo::Trajectory& trajectory,
+    const common::Deadline& deadline = common::Deadline());
 
 }  // namespace tmn::eval
 

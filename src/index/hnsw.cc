@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 
 namespace tmn::index {
@@ -18,6 +19,10 @@ struct Farther {
     return a.first > b.first;
   }
 };
+
+// Deadline polling stride inside the graph walk: one clock read per this
+// many node expansions bounds both the overshoot and the clock cost.
+constexpr size_t kDeadlineStride = 64;
 }  // namespace
 
 HnswIndex::HnswIndex(size_t dim, const HnswConfig& config)
@@ -41,12 +46,18 @@ float HnswIndex::Distance(const float* a, const float* b) const {
 
 size_t HnswIndex::GreedyDescend(const std::vector<float>& query,
                                 size_t entry, int from_level,
-                                int target_level) const {
+                                int target_level,
+                                const common::Deadline* deadline,
+                                bool* expired) const {
   size_t current = entry;
   float current_dist = Distance(query.data(), PointAt(current));
   for (int level = from_level; level > target_level; --level) {
     bool improved = true;
     while (improved) {
+      if (deadline != nullptr && deadline->Expired()) {
+        if (expired != nullptr) *expired = true;
+        return current;
+      }
       improved = false;
       for (uint32_t neighbor : nodes_[current].neighbors[level]) {
         const float d = Distance(query.data(), PointAt(neighbor));
@@ -63,7 +74,9 @@ size_t HnswIndex::GreedyDescend(const std::vector<float>& query,
 
 std::vector<Candidate> HnswIndex::SearchLayer(const std::vector<float>& query,
                                               size_t entry, size_t ef,
-                                              int level) const {
+                                              int level,
+                                              const common::Deadline* deadline,
+                                              bool* expired) const {
   std::unordered_set<uint32_t> visited;
   std::priority_queue<Candidate, std::vector<Candidate>, Farther> frontier;
   std::priority_queue<Candidate> best;  // Max-heap: worst of the ef best.
@@ -71,7 +84,13 @@ std::vector<Candidate> HnswIndex::SearchLayer(const std::vector<float>& query,
   frontier.emplace(entry_dist, static_cast<uint32_t>(entry));
   best.emplace(entry_dist, static_cast<uint32_t>(entry));
   visited.insert(static_cast<uint32_t>(entry));
+  size_t expansions = 0;
   while (!frontier.empty()) {
+    if (deadline != nullptr && ++expansions % kDeadlineStride == 0 &&
+        deadline->Expired()) {
+      if (expired != nullptr) *expired = true;
+      break;
+    }
     const Candidate current = frontier.top();
     frontier.pop();
     if (current.first > best.top().first && best.size() >= ef) break;
@@ -174,6 +193,54 @@ std::vector<size_t> HnswIndex::Nearest(const std::vector<float>& query,
   ef = std::max(ef, k);
   const size_t entry = GreedyDescend(query, entry_point_, max_level_, 0);
   std::vector<Candidate> found = SearchLayer(query, entry, ef, 0);
+  std::vector<size_t> result;
+  result.reserve(std::min(k, found.size()));
+  for (size_t i = 0; i < found.size() && i < k; ++i) {
+    result.push_back(found[i].second);
+  }
+  return result;
+}
+
+common::StatusOr<std::vector<size_t>> HnswIndex::NearestChecked(
+    const std::vector<float>& query, size_t k, size_t ef,
+    const common::Deadline& deadline) const {
+  if (TMN_FAILPOINT("index.hnsw.search")) {
+    return common::UnavailableError("injected HNSW search failure");
+  }
+  if (count_ == 0) {
+    return common::FailedPreconditionError("HNSW search on an empty index");
+  }
+  if (k == 0) {
+    return common::InvalidArgumentError("HNSW search with k == 0");
+  }
+  if (query.size() != dim_) {
+    return common::InvalidArgumentError(
+        "HNSW query dimension " + std::to_string(query.size()) +
+        " does not match index dimension " + std::to_string(dim_));
+  }
+  for (float v : query) {
+    if (!std::isfinite(v)) {
+      return common::InvalidArgumentError(
+          "HNSW query contains a non-finite coordinate");
+    }
+  }
+  TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, "index-search"));
+  if (ef == 0) ef = config_.ef_search;
+  ef = std::max(ef, k);
+  const common::Deadline* poll = deadline.infinite() ? nullptr : &deadline;
+  bool expired = false;
+  const size_t entry =
+      GreedyDescend(query, entry_point_, max_level_, 0, poll, &expired);
+  if (expired) {
+    return common::DeadlineExceededError(
+        "deadline expired at stage 'index-search' (greedy descent)");
+  }
+  std::vector<Candidate> found = SearchLayer(query, entry, ef, 0, poll,
+                                             &expired);
+  if (expired) {
+    return common::DeadlineExceededError(
+        "deadline expired at stage 'index-search' (beam search)");
+  }
   std::vector<size_t> result;
   result.reserve(std::min(k, found.size()));
   for (size_t i = 0; i < found.size() && i < k; ++i) {

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "nn/rng.h"
 
 namespace tmn::index {
@@ -35,9 +37,20 @@ class HnswIndex {
   size_t Add(const std::vector<float>& point);
 
   // Approximate k nearest neighbors, nearest first. `ef` overrides the
-  // beam width (clamped up to k).
+  // beam width (clamped up to k). Aborts on a dimension mismatch; the
+  // serving path uses NearestChecked instead.
   std::vector<size_t> Nearest(const std::vector<float>& query, size_t k,
                               size_t ef = 0) const;
+
+  // Validated, interruptible search for the online query path: malformed
+  // input (dimension mismatch, k == 0, non-finite coordinates) returns
+  // kInvalidArgument, an empty index kFailedPrecondition, and the graph
+  // walk polls `deadline` every few node expansions so an overrunning
+  // query returns kDeadlineExceeded instead of finishing late. The
+  // `index.hnsw.search` failpoint injects kUnavailable.
+  common::StatusOr<std::vector<size_t>> NearestChecked(
+      const std::vector<float>& query, size_t k, size_t ef = 0,
+      const common::Deadline& deadline = common::Deadline()) const;
 
  private:
   struct Node {
@@ -50,14 +63,20 @@ class HnswIndex {
   const float* PointAt(size_t i) const { return &points_[i * dim_]; }
 
   // Greedy descent to the closest node at layers above `target_level`.
+  // `deadline` (nullable) is polled between improvement sweeps; on expiry
+  // `*expired` is set and the best node so far is returned.
   size_t GreedyDescend(const std::vector<float>& query, size_t entry,
-                       int from_level, int target_level) const;
+                       int from_level, int target_level,
+                       const common::Deadline* deadline = nullptr,
+                       bool* expired = nullptr) const;
 
   // Beam search at one layer; returns up to `ef` (distance, id) pairs,
-  // best first.
+  // best first. `deadline` (nullable) is polled every few expansions; on
+  // expiry `*expired` is set and the search stops early.
   std::vector<std::pair<float, uint32_t>> SearchLayer(
-      const std::vector<float>& query, size_t entry, size_t ef,
-      int level) const;
+      const std::vector<float>& query, size_t entry, size_t ef, int level,
+      const common::Deadline* deadline = nullptr,
+      bool* expired = nullptr) const;
 
   // Heuristic-free neighbor selection: keep the m closest.
   void Connect(uint32_t node, int level,

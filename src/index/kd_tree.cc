@@ -81,6 +81,31 @@ std::vector<size_t> KdTree::Nearest(const std::vector<float>& query,
   return NearestExcluding(query, k, count_);  // count_ excludes nothing.
 }
 
+common::StatusOr<std::vector<size_t>> KdTree::NearestChecked(
+    const std::vector<float>& query, size_t k,
+    const common::Deadline& deadline) const {
+  if (count_ == 0) {
+    return common::FailedPreconditionError(
+        "k-d tree search on an empty index");
+  }
+  if (k == 0) {
+    return common::InvalidArgumentError("k-d tree search with k == 0");
+  }
+  if (query.size() != dim_) {
+    return common::InvalidArgumentError(
+        "k-d tree query dimension " + std::to_string(query.size()) +
+        " does not match index dimension " + std::to_string(dim_));
+  }
+  for (float v : query) {
+    if (!std::isfinite(v)) {
+      return common::InvalidArgumentError(
+          "k-d tree query contains a non-finite coordinate");
+    }
+  }
+  TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, "index-search"));
+  return NearestExcluding(query, k, count_);
+}
+
 std::vector<size_t> KdTree::NearestExcluding(const std::vector<float>& query,
                                              size_t k,
                                              size_t exclude) const {

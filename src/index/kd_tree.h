@@ -4,6 +4,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
+
 namespace tmn::index {
 
 // Static k-d tree over fixed-dimension float vectors, built once from a
@@ -26,6 +29,15 @@ class KdTree {
   // Like Nearest but excludes one index (e.g. the anchor itself).
   std::vector<size_t> NearestExcluding(const std::vector<float>& query,
                                        size_t k, size_t exclude) const;
+
+  // Validated search for the online query path: a dimension mismatch,
+  // k == 0 or a non-finite coordinate returns kInvalidArgument and an
+  // empty index kFailedPrecondition, instead of the abort/UB the
+  // unchecked API risks. `deadline` is checked once before descending
+  // (tree descent is logarithmic, so no mid-walk polling is needed).
+  common::StatusOr<std::vector<size_t>> NearestChecked(
+      const std::vector<float>& query, size_t k,
+      const common::Deadline& deadline = common::Deadline()) const;
 
  private:
   struct Node {

@@ -1,0 +1,46 @@
+#ifndef TMN_SERVE_ADMISSION_H_
+#define TMN_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace tmn::serve {
+
+// Bounded-queue admission with deterministic load shedding
+// (docs/SERVING.md): at most `capacity` requests are in flight at once;
+// a request arriving above the high-water mark is rejected immediately
+// (reject-newest — the queued work is older and therefore closer to its
+// deadline, so finishing it first wastes the least already-spent effort).
+// Accepted/shed counts feed the tmn.serve.* observability counters via
+// the server; this class only keeps the occupancy bookkeeping, so it is
+// trivially testable.
+class Admission {
+ public:
+  explicit Admission(size_t capacity) : capacity_(capacity) {}
+
+  // True when the request was admitted; the caller must Exit() once the
+  // request finishes (any outcome). False = shed, nothing to release.
+  bool TryEnter() {
+    size_t current = active_.load(std::memory_order_relaxed);
+    while (current < capacity_) {
+      if (active_.compare_exchange_weak(current, current + 1,
+                                        std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Exit() { active_.fetch_sub(1, std::memory_order_relaxed); }
+
+  size_t active() const { return active_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::atomic<size_t> active_{0};
+};
+
+}  // namespace tmn::serve
+
+#endif  // TMN_SERVE_ADMISSION_H_

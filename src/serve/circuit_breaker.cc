@@ -1,0 +1,118 @@
+#include "serve/circuit_breaker.h"
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace tmn::serve {
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerConfig& config)
+    : config_(config) {}
+
+void CircuitBreaker::OpenLocked() {
+  state_ = State::kOpen;
+  opened_at_ = (config_.clock == nullptr ? &obs::MonotonicSeconds
+                                         : config_.clock)();
+  probe_in_flight_ = false;
+  probe_successes_ = 0;
+  ++times_opened_;
+  // Breaker transitions depend on wall-clock cooldowns in production, so
+  // the counter is unstable (deterministic tests pin a fake clock).
+  static obs::Counter& opened = obs::Registry::Global().GetCounter(
+      "tmn.serve.breaker.opened", obs::Stability::kUnstable);
+  opened.Increment();
+}
+
+bool CircuitBreaker::AllowRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      const double now = (config_.clock == nullptr ? &obs::MonotonicSeconds
+                                                   : config_.clock)();
+      if (now - opened_at_ < config_.open_seconds) {
+        static obs::Counter& short_circuited =
+            obs::Registry::Global().GetCounter(
+                "tmn.serve.breaker.short_circuited",
+                obs::Stability::kUnstable);
+        short_circuited.Increment();
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probe_successes_ = 0;
+      probe_in_flight_ = true;  // This caller is the probe.
+      return true;
+    }
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      return;
+    case State::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++probe_successes_ >= config_.close_successes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        probe_successes_ = 0;
+        static obs::Counter& closed = obs::Registry::Global().GetCounter(
+            "tmn.serve.breaker.closed", obs::Stability::kUnstable);
+        closed.Increment();
+      }
+      return;
+    case State::kOpen:
+      // A success can land here when a request admitted just before the
+      // breaker opened finishes late; the cooldown still applies.
+      return;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        OpenLocked();
+      }
+      return;
+    case State::kHalfOpen:
+      OpenLocked();
+      return;
+    case State::kOpen:
+      return;
+  }
+}
+
+void CircuitBreaker::RecordAbandoned() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) probe_in_flight_ = false;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::times_opened() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return times_opened_;
+}
+
+}  // namespace tmn::serve

@@ -1,0 +1,70 @@
+#ifndef TMN_SERVE_CIRCUIT_BREAKER_H_
+#define TMN_SERVE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/deadline.h"
+
+namespace tmn::serve {
+
+// Failure-isolation around model inference (docs/SERVING.md). The server
+// asks AllowRequest() before every tier-1 encode and reports the outcome
+// back; a run of consecutive failures opens the breaker, which short-
+// circuits further inference attempts (queries degrade straight to the
+// exact-metric tiers) until a cooldown elapses. After the cooldown one
+// probe request at a time is let through (half-open); enough consecutive
+// probe successes close the breaker, any probe failure reopens it.
+struct CircuitBreakerConfig {
+  // Consecutive failures in the closed state that open the breaker.
+  uint64_t failure_threshold = 3;
+  // Seconds the breaker stays open before allowing a half-open probe.
+  double open_seconds = 5.0;
+  // Consecutive half-open probe successes needed to close again.
+  uint64_t close_successes = 2;
+  // Injectable clock (tests drive transitions with a fake).
+  common::Deadline::ClockFn clock = nullptr;  // nullptr = monotonic clock.
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+  static const char* StateName(State state);
+
+  explicit CircuitBreaker(const CircuitBreakerConfig& config = {});
+
+  // Whether the protected operation may run now. In the open state this
+  // transitions to half-open once the cooldown has elapsed and admits the
+  // caller as the probe; in the half-open state at most one probe is in
+  // flight at a time. A caller granted a request MUST report the outcome
+  // via RecordSuccess/RecordFailure.
+  bool AllowRequest();
+
+  void RecordSuccess();
+  void RecordFailure();
+  // The granted request finished with an outcome that says nothing about
+  // the protected dependency (a deadline expiry): releases a half-open
+  // probe slot without counting for or against closing.
+  void RecordAbandoned();
+
+  State state() const;
+
+  // Total open transitions since construction (observability and tests).
+  uint64_t times_opened() const;
+
+ private:
+  void OpenLocked();
+
+  const CircuitBreakerConfig config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  uint64_t consecutive_failures_ = 0;
+  uint64_t probe_successes_ = 0;
+  bool probe_in_flight_ = false;
+  double opened_at_ = 0.0;
+  uint64_t times_opened_ = 0;
+};
+
+}  // namespace tmn::serve
+
+#endif  // TMN_SERVE_CIRCUIT_BREAKER_H_

@@ -1,0 +1,448 @@
+#include "serve/similarity_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/failpoint.h"
+#include "common/thread_pool.h"
+#include "core/model_io.h"
+#include "eval/embedding_search.h"
+#include "obs/metrics.h"
+
+namespace tmn::serve {
+
+namespace {
+
+// Serve counters are kUnstable: shed/timeout outcomes depend on arrival
+// timing and wall-clock budgets in production. Deterministic tests assert
+// on responses, not on these.
+obs::Counter& ServeCounter(const char* name) {
+  return obs::Registry::Global().GetCounter(name, obs::Stability::kUnstable);
+}
+
+common::Status ValidateQuery(const geo::Trajectory& query, size_t k) {
+  if (k == 0) {
+    return common::InvalidArgumentError("top-k query with k == 0");
+  }
+  if (query.empty()) {
+    return common::InvalidArgumentError("top-k query trajectory is empty");
+  }
+  for (const geo::Point& p : query.points()) {
+    if (!std::isfinite(p.lon) || !std::isfinite(p.lat)) {
+      return common::InvalidArgumentError(
+          "top-k query contains a non-finite coordinate");
+    }
+  }
+  return common::Status::Ok();
+}
+
+// Deterministic ordering: by exact distance, index breaking ties.
+void SortAndTruncate(std::vector<std::pair<double, size_t>>& scored,
+                     size_t k) {
+  const size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end());
+  scored.resize(take);
+}
+
+QueryResult ToResult(std::vector<std::pair<double, size_t>> scored,
+                     ServeTier tier) {
+  QueryResult result;
+  result.tier = tier;
+  result.indices.reserve(scored.size());
+  result.distances.reserve(scored.size());
+  for (const auto& [d, i] : scored) {
+    result.indices.push_back(i);
+    result.distances.push_back(d);
+  }
+  return result;
+}
+
+// RAII release of an admission slot.
+struct AdmissionGuard {
+  explicit AdmissionGuard(Admission& admission) : admission(admission) {}
+  ~AdmissionGuard() { admission.Exit(); }
+  Admission& admission;
+};
+
+}  // namespace
+
+const char* ServeTierName(ServeTier tier) {
+  switch (tier) {
+    case ServeTier::kEmbeddingAnn: return "embedding-ann";
+    case ServeTier::kExactRerank: return "exact-rerank";
+    case ServeTier::kExactBruteForce: return "exact-brute-force";
+  }
+  return "unknown";
+}
+
+std::vector<float> SimilarityServer::SketchTrajectory(
+    const geo::Trajectory& t, size_t sketch_points) {
+  TMN_CHECK_MSG(sketch_points > 0, "sketch needs at least one point");
+  TMN_CHECK_MSG(!t.empty(), "cannot sketch an empty trajectory");
+  const size_t n = t.size();
+  std::vector<float> sketch;
+  sketch.reserve(2 * sketch_points);
+  for (size_t j = 0; j < sketch_points; ++j) {
+    // Equally spaced positions along the index axis, endpoints included.
+    const double pos = sketch_points == 1
+                           ? 0.0
+                           : static_cast<double>(j) * (n - 1) /
+                                 (sketch_points - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, n - 1);
+    const double frac = pos - static_cast<double>(lo);
+    sketch.push_back(
+        static_cast<float>(t[lo].lon + frac * (t[hi].lon - t[lo].lon)));
+    sketch.push_back(
+        static_cast<float>(t[lo].lat + frac * (t[hi].lat - t[lo].lat)));
+  }
+  return sketch;
+}
+
+SimilarityServer::SimilarityServer(
+    const ServerConfig& config, std::vector<geo::Trajectory> database,
+    std::unique_ptr<dist::DistanceMetric> metric,
+    std::unique_ptr<core::SimilarityModel> model)
+    : config_(config),
+      database_(std::move(database)),
+      metric_(std::move(metric)),
+      model_(std::move(model)),
+      admission_(config.queue_capacity),
+      breaker_([&] {
+        CircuitBreakerConfig breaker = config.breaker;
+        if (breaker.clock == nullptr) breaker.clock = config.clock;
+        return breaker;
+      }()) {}
+
+common::StatusOr<std::unique_ptr<SimilarityServer>> SimilarityServer::Create(
+    const ServerConfig& config, std::vector<geo::Trajectory> database,
+    std::unique_ptr<dist::DistanceMetric> metric,
+    std::unique_ptr<core::SimilarityModel> model) {
+  if (metric == nullptr) {
+    return common::InvalidArgumentError(
+        "serving requires an exact distance metric");
+  }
+  if (config.queue_capacity == 0) {
+    return common::InvalidArgumentError(
+        "serving queue_capacity must be positive");
+  }
+  if (config.sketch_points == 0) {
+    return common::InvalidArgumentError(
+        "serving sketch_points must be positive");
+  }
+  if (config.max_brute_force == 0) {
+    return common::InvalidArgumentError(
+        "serving max_brute_force must be positive");
+  }
+  if (database.empty()) {
+    return common::InvalidArgumentError("serving database is empty");
+  }
+  for (size_t i = 0; i < database.size(); ++i) {
+    if (database[i].empty()) {
+      return common::InvalidArgumentError("database trajectory " +
+                                          std::to_string(i) + " is empty");
+    }
+    for (const geo::Point& p : database[i].points()) {
+      if (!std::isfinite(p.lon) || !std::isfinite(p.lat)) {
+        return common::InvalidArgumentError(
+            "database trajectory " + std::to_string(i) +
+            " contains a non-finite coordinate");
+      }
+    }
+  }
+
+  // make_unique cannot reach the private constructor.
+  std::unique_ptr<SimilarityServer> server(new SimilarityServer(  // tmn-lint: allow(raw-alloc)
+      config, std::move(database), std::move(metric), std::move(model)));
+
+  // Tier 1: pre-embed the database. Any failure leaves the server up but
+  // degraded; the cause stays readable through model_status().
+  if (!config.enable_embedding_tier) {
+    server->model_status_ = common::FailedPreconditionError(
+        "embedding tier disabled by config");
+  } else if (server->model_ == nullptr) {
+    server->model_status_ = common::FailedPreconditionError(
+        "no model provided; serving from exact tiers");
+  } else if (server->model_->IsPairwise()) {
+    server->model_status_ = common::FailedPreconditionError(
+        "pairwise model cannot pre-embed the database");
+  } else {
+    const size_t n = server->database_.size();
+    std::vector<std::vector<float>> embeddings(n);
+    std::vector<common::Status> statuses(n);
+    common::ParallelFor(0, n, [&](size_t i) {
+      common::StatusOr<std::vector<float>> e =
+          eval::EncodeTrajectory(*server->model_, server->database_[i]);
+      if (e.ok()) {
+        embeddings[i] = std::move(e.value());
+      } else {
+        statuses[i] = e.status();
+      }
+    });
+    common::Status first_error;  // First failed index: deterministic pick.
+    for (const common::Status& s : statuses) {
+      if (!s.ok()) {
+        first_error = s;
+        break;
+      }
+    }
+    if (!first_error.ok()) {
+      server->model_status_ = first_error;
+    } else {
+      server->embedding_index_ = std::make_unique<index::HnswIndex>(
+          embeddings[0].size(), config.embedding_hnsw);
+      for (const std::vector<float>& e : embeddings) {
+        server->embedding_index_->Add(e);
+      }
+      server->embedding_tier_ok_ = true;
+    }
+  }
+
+  // Tier 2: the model-free sketch index, so exact-metric rerank has a
+  // candidate pool that never depends on the model being healthy.
+  if (!config.enable_rerank_tier) {
+    server->feature_status_ =
+        common::FailedPreconditionError("rerank tier disabled by config");
+  } else if (TMN_FAILPOINT("serve.feature_index.build")) {
+    server->feature_status_ =
+        common::UnavailableError("injected feature index build failure");
+  } else {
+    const size_t n = server->database_.size();
+    std::vector<std::vector<float>> sketches(n);
+    common::ParallelFor(0, n, [&](size_t i) {
+      sketches[i] =
+          SketchTrajectory(server->database_[i], config.sketch_points);
+    });
+    server->feature_index_ = std::make_unique<index::HnswIndex>(
+        2 * config.sketch_points, config.feature_hnsw);
+    for (const std::vector<float>& s : sketches) {
+      server->feature_index_->Add(s);
+    }
+    server->rerank_tier_ok_ = true;
+  }
+
+  return server;
+}
+
+common::StatusOr<std::unique_ptr<SimilarityServer>>
+SimilarityServer::CreateFromFile(const ServerConfig& config,
+                                 std::vector<geo::Trajectory> database,
+                                 std::unique_ptr<dist::DistanceMetric> metric,
+                                 const std::string& model_path) {
+  common::StatusOr<std::unique_ptr<core::TmnModel>> model =
+      core::LoadTmnModel(model_path);
+  if (model.ok()) {
+    return Create(config, std::move(database), std::move(metric),
+                  std::move(model.value()));
+  }
+  // A missing or corrupt model bundle is an environment failure, not a
+  // reason to refuse queries: come up degraded and keep the load status.
+  common::StatusOr<std::unique_ptr<SimilarityServer>> server =
+      Create(config, std::move(database), std::move(metric), nullptr);
+  if (server.ok()) server.value()->model_status_ = model.status();
+  return server;
+}
+
+common::StatusOr<std::vector<double>> SimilarityServer::ExactDistances(
+    const geo::Trajectory& query, const std::vector<size_t>& indices,
+    const common::Deadline& deadline, const char* stage) const {
+  std::vector<double> distances;
+  distances.reserve(indices.size());
+  for (size_t i : indices) {
+    TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, stage));
+    distances.push_back(metric_->Compute(query, database_[i]));
+  }
+  return distances;
+}
+
+common::StatusOr<QueryResult> SimilarityServer::TryEmbeddingTier(
+    const geo::Trajectory& query, size_t k,
+    const common::Deadline& deadline) const {
+  if (!breaker_.AllowRequest()) {
+    return common::UnavailableError(
+        "circuit breaker open: tier-1 inference short-circuited");
+  }
+  common::StatusOr<std::vector<float>> embedding =
+      eval::EncodeTrajectory(*model_, query, deadline);
+  if (!embedding.ok()) {
+    // A deadline expiry says nothing about model health; anything else
+    // counts toward opening the breaker.
+    if (embedding.status().code() == common::StatusCode::kDeadlineExceeded) {
+      breaker_.RecordAbandoned();
+    } else {
+      breaker_.RecordFailure();
+    }
+    return embedding.status();
+  }
+  breaker_.RecordSuccess();
+  common::StatusOr<std::vector<size_t>> nearest =
+      embedding_index_->NearestChecked(
+          embedding.value(), std::min(k, database_.size()), /*ef=*/0,
+          deadline);
+  // Index failures fall through to tier 2 without a breaker penalty: the
+  // breaker isolates the model, not the index.
+  if (!nearest.ok()) return nearest.status();
+  common::StatusOr<std::vector<double>> distances =
+      ExactDistances(query, nearest.value(), deadline, "tier1-distances");
+  if (!distances.ok()) return distances.status();
+  QueryResult result;
+  result.indices = std::move(nearest.value());
+  result.distances = std::move(distances.value());
+  result.tier = ServeTier::kEmbeddingAnn;
+  return result;
+}
+
+common::StatusOr<QueryResult> SimilarityServer::TryRerankTier(
+    const geo::Trajectory& query, size_t k,
+    const common::Deadline& deadline) const {
+  const std::vector<float> sketch =
+      SketchTrajectory(query, config_.sketch_points);
+  const size_t pool = std::min(std::max(config_.rerank_candidates, k),
+                               database_.size());
+  common::StatusOr<std::vector<size_t>> candidates =
+      feature_index_->NearestChecked(sketch, pool, /*ef=*/0, deadline);
+  if (!candidates.ok()) return candidates.status();
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(candidates.value().size());
+  for (size_t i : candidates.value()) {
+    TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, "rerank"));
+    scored.emplace_back(metric_->Compute(query, database_[i]), i);
+  }
+  SortAndTruncate(scored, k);
+  return ToResult(std::move(scored), ServeTier::kExactRerank);
+}
+
+common::StatusOr<QueryResult> SimilarityServer::TryBruteForceTier(
+    const geo::Trajectory& query, size_t k,
+    const common::Deadline& deadline) const {
+  if (TMN_FAILPOINT("serve.brute_force")) {
+    return common::UnavailableError("injected brute-force scan failure");
+  }
+  // Bounded: the last-resort tier must not turn one slow query into an
+  // unbounded scan of a huge database.
+  const size_t limit = std::min(database_.size(), config_.max_brute_force);
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, "brute-force"));
+    scored.emplace_back(metric_->Compute(query, database_[i]), i);
+  }
+  SortAndTruncate(scored, k);
+  return ToResult(std::move(scored), ServeTier::kExactBruteForce);
+}
+
+common::StatusOr<QueryResult> SimilarityServer::ServeOne(
+    const geo::Trajectory& query, size_t k, const common::Deadline& deadline,
+    bool record_timeout) const {
+  static obs::Counter& timed_out = ServeCounter("tmn.serve.timed_out");
+  static obs::Counter& tier1 = ServeCounter("tmn.serve.tier1_served");
+  static obs::Counter& tier2 = ServeCounter("tmn.serve.tier2_served");
+  static obs::Counter& tier3 = ServeCounter("tmn.serve.tier3_served");
+
+  TMN_RETURN_IF_ERROR(ValidateQuery(query, k));
+  {
+    const common::Status admitted =
+        common::CheckDeadline(deadline, "admission");
+    if (!admitted.ok()) {
+      if (record_timeout) timed_out.Increment();
+      return admitted;
+    }
+  }
+
+  common::Status last_error;
+  if (embedding_tier_ok_) {
+    common::StatusOr<QueryResult> r = TryEmbeddingTier(query, k, deadline);
+    if (r.ok()) {
+      tier1.Increment();
+      return r;
+    }
+    // A deadline expiry ends the query — degrading further would only
+    // blow the budget by more, not less.
+    if (r.status().code() == common::StatusCode::kDeadlineExceeded) {
+      if (record_timeout) timed_out.Increment();
+      return r.status();
+    }
+    last_error = r.status();
+  }
+  if (rerank_tier_ok_) {
+    common::StatusOr<QueryResult> r = TryRerankTier(query, k, deadline);
+    if (r.ok()) {
+      tier2.Increment();
+      return r;
+    }
+    if (r.status().code() == common::StatusCode::kDeadlineExceeded) {
+      if (record_timeout) timed_out.Increment();
+      return r.status();
+    }
+    last_error = r.status();
+  }
+  {
+    common::StatusOr<QueryResult> r = TryBruteForceTier(query, k, deadline);
+    if (r.ok()) {
+      tier3.Increment();
+      return r;
+    }
+    if (r.status().code() == common::StatusCode::kDeadlineExceeded) {
+      if (record_timeout) timed_out.Increment();
+      return r.status();
+    }
+    last_error = r.status();
+  }
+  return common::UnavailableError("no serving tier available (last: " +
+                                  last_error.ToString() + ")");
+}
+
+common::StatusOr<QueryResult> SimilarityServer::TopK(
+    const geo::Trajectory& query, size_t k,
+    const common::Deadline& deadline) const {
+  static obs::Counter& accepted = ServeCounter("tmn.serve.accepted");
+  static obs::Counter& shed = ServeCounter("tmn.serve.shed");
+  if (!admission_.TryEnter()) {
+    shed.Increment();
+    return common::ResourceExhaustedError(
+        "load shed: " + std::to_string(admission_.capacity()) +
+        " queries already in flight");
+  }
+  accepted.Increment();
+  AdmissionGuard guard(admission_);
+  common::Deadline budget = deadline;
+  if (budget.infinite() && config_.default_deadline_seconds > 0) {
+    budget = common::Deadline::AfterSeconds(config_.default_deadline_seconds,
+                                            config_.clock);
+  }
+  return ServeOne(query, k, budget, /*record_timeout=*/true);
+}
+
+std::vector<common::StatusOr<QueryResult>> SimilarityServer::TopKBatch(
+    const std::vector<geo::Trajectory>& queries, size_t k,
+    int max_parallelism) const {
+  static obs::Counter& accepted = ServeCounter("tmn.serve.accepted");
+  static obs::Counter& shed = ServeCounter("tmn.serve.shed");
+  // Admission is decided up front by arrival order — the first
+  // queue_capacity queries are admitted, the rest shed — so the shed set
+  // is a function of the batch alone, never of worker scheduling.
+  const size_t admitted = std::min(queries.size(), config_.queue_capacity);
+  accepted.Increment(admitted);
+  shed.Increment(queries.size() - admitted);
+  std::vector<common::StatusOr<QueryResult>> results(
+      queries.size(),
+      common::StatusOr<QueryResult>(common::ResourceExhaustedError(
+          "load shed: batch position past queue capacity " +
+          std::to_string(config_.queue_capacity))));
+  common::ParallelFor(
+      0, admitted,
+      [&](size_t i) {
+        common::Deadline budget;
+        if (config_.default_deadline_seconds > 0) {
+          budget = common::Deadline::AfterSeconds(
+              config_.default_deadline_seconds, config_.clock);
+        }
+        results[i] = ServeOne(queries[i], k, budget, /*record_timeout=*/true);
+      },
+      max_parallelism);
+  return results;
+}
+
+}  // namespace tmn::serve

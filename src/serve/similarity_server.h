@@ -1,0 +1,181 @@
+#ifndef TMN_SERVE_SIMILARITY_SERVER_H_
+#define TMN_SERVE_SIMILARITY_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "core/model.h"
+#include "distance/metric.h"
+#include "geo/trajectory.h"
+#include "index/hnsw.h"
+#include "serve/admission.h"
+#include "serve/circuit_breaker.h"
+
+namespace tmn::serve {
+
+// Which degradation tier produced a response (docs/SERVING.md).
+enum class ServeTier {
+  kEmbeddingAnn,     // Tier 1: TMN encode + HNSW over learned embeddings.
+  kExactRerank,      // Tier 2: model-free sketch ANN + exact-metric rerank.
+  kExactBruteForce,  // Tier 3: bounded exact-metric scan.
+};
+
+const char* ServeTierName(ServeTier tier);
+
+struct ServerConfig {
+  // Admission: max queries in flight; arrivals above this are shed with
+  // kResourceExhausted (reject-newest).
+  size_t queue_capacity = 64;
+  // Per-query time budget when the caller passes no deadline; <= 0 means
+  // queries without an explicit deadline run unbounded.
+  double default_deadline_seconds = 0.0;
+  // Injectable clock shared by deadlines and the breaker (tests pin a
+  // fake); nullptr = the monotonic clock.
+  common::Deadline::ClockFn clock = nullptr;
+  // Breaker around tier-1 model inference.
+  CircuitBreakerConfig breaker;
+  // Index parameters for the two ANN structures.
+  index::HnswConfig embedding_hnsw;
+  index::HnswConfig feature_hnsw;
+  // Tier 2 fetches max(rerank_candidates, k) sketch-ANN candidates and
+  // reranks them with the exact metric.
+  size_t rerank_candidates = 32;
+  // Points each trajectory is resampled to for the model-free sketch
+  // (sketch vectors are 2 * sketch_points floats wide).
+  size_t sketch_points = 8;
+  // Tier 3 scans at most this many database entries, so the worst-case
+  // fallback cost is bounded even for huge databases.
+  size_t max_brute_force = 4096;
+  // Tier toggles, mainly for benches that want to time one tier.
+  bool enable_embedding_tier = true;
+  bool enable_rerank_tier = true;
+};
+
+// One answered query. `indices` are database positions, nearest first
+// under the server's exact metric ordering for tiers 2/3 and under
+// embedding distance for tier 1; `distances` are always the exact metric
+// distances of those candidates to the query, so callers can compare
+// responses across tiers. Never more than min(k, database size) entries.
+struct QueryResult {
+  std::vector<size_t> indices;
+  std::vector<double> distances;
+  ServeTier tier = ServeTier::kEmbeddingAnn;
+};
+
+// Online top-k similarity serving with graceful degradation
+// (docs/SERVING.md): every query is admitted against a bounded queue,
+// carries a deadline that is checked between pipeline stages, and walks
+// down the tier ladder — learned-embedding ANN, exact-metric rerank over
+// a model-free candidate pool, bounded exact scan — until one tier
+// answers. A circuit breaker around model inference turns a failing
+// model into a fast, deterministic skip of tier 1 instead of a per-query
+// failure. Thread-safe: TopK may be called concurrently.
+class SimilarityServer {
+ public:
+  // Builds a server over `database`. `model` may be null (or pairwise):
+  // the server then starts with tier 1 unavailable and serves from the
+  // exact tiers; the reason is kept in model_status(). A malformed
+  // database (empty, an empty trajectory, non-finite coordinates) is the
+  // caller's bug and returns kInvalidArgument. `metric` must be non-null.
+  static common::StatusOr<std::unique_ptr<SimilarityServer>> Create(
+      const ServerConfig& config, std::vector<geo::Trajectory> database,
+      std::unique_ptr<dist::DistanceMetric> metric,
+      std::unique_ptr<core::SimilarityModel> model);
+
+  // As above, loading the model from a checksummed bundle (core::
+  // LoadTmnModel). A load/validation failure is NOT fatal: the server
+  // comes up degraded with the load Status recorded in model_status().
+  static common::StatusOr<std::unique_ptr<SimilarityServer>> CreateFromFile(
+      const ServerConfig& config, std::vector<geo::Trajectory> database,
+      std::unique_ptr<dist::DistanceMetric> metric,
+      const std::string& model_path);
+
+  // Top-k neighbors of `query`, nearest first, at most min(k, size())
+  // entries. Non-OK statuses a caller must expect:
+  //   kResourceExhausted  — shed at admission (over queue_capacity).
+  //   kDeadlineExceeded   — budget ran out; message names the stage.
+  //   kInvalidArgument    — malformed query (empty, non-finite, k == 0).
+  //   kUnavailable        — every tier is down.
+  common::StatusOr<QueryResult> TopK(
+      const geo::Trajectory& query, size_t k,
+      const common::Deadline& deadline = common::Deadline()) const;
+
+  // Serves a batch. Admission is decided up front in arrival order — the
+  // first queue_capacity queries are admitted, the rest shed — so the
+  // outcome is identical for every max_parallelism (<= 0: default pool
+  // width; 1: sequential).
+  std::vector<common::StatusOr<QueryResult>> TopKBatch(
+      const std::vector<geo::Trajectory>& queries, size_t k,
+      int max_parallelism = 0) const;
+
+  size_t size() const { return database_.size(); }
+
+  // Tier health, for operators and tests.
+  bool embedding_tier_available() const { return embedding_tier_ok_; }
+  bool rerank_tier_available() const { return rerank_tier_ok_; }
+  // Why tier 1 (model) or tier 2 (feature index) is down; Ok when up.
+  const common::Status& model_status() const { return model_status_; }
+  const common::Status& feature_index_status() const {
+    return feature_status_;
+  }
+  CircuitBreaker::State breaker_state() const { return breaker_.state(); }
+  const CircuitBreaker& breaker() const { return breaker_; }
+
+  // The model-free sketch vector tier 2 indexes: the trajectory resampled
+  // to sketch_points equally spaced positions, flattened to (lon, lat)
+  // pairs. Exposed for tests.
+  static std::vector<float> SketchTrajectory(const geo::Trajectory& t,
+                                             size_t sketch_points);
+
+ private:
+  SimilarityServer(const ServerConfig& config,
+                   std::vector<geo::Trajectory> database,
+                   std::unique_ptr<dist::DistanceMetric> metric,
+                   std::unique_ptr<core::SimilarityModel> model);
+
+  // The post-admission pipeline: validate, then try tiers 1..3.
+  common::StatusOr<QueryResult> ServeOne(const geo::Trajectory& query,
+                                         size_t k,
+                                         const common::Deadline& deadline,
+                                         bool record_timeout) const;
+  common::StatusOr<QueryResult> TryEmbeddingTier(
+      const geo::Trajectory& query, size_t k,
+      const common::Deadline& deadline) const;
+  common::StatusOr<QueryResult> TryRerankTier(
+      const geo::Trajectory& query, size_t k,
+      const common::Deadline& deadline) const;
+  common::StatusOr<QueryResult> TryBruteForceTier(
+      const geo::Trajectory& query, size_t k,
+      const common::Deadline& deadline) const;
+
+  // Exact metric distances of `indices` to `query` (tier-1 responses are
+  // tagged with exact distances too, so tiers stay comparable).
+  common::StatusOr<std::vector<double>> ExactDistances(
+      const geo::Trajectory& query, const std::vector<size_t>& indices,
+      const common::Deadline& deadline, const char* stage) const;
+
+  const ServerConfig config_;
+  const std::vector<geo::Trajectory> database_;
+  const std::unique_ptr<dist::DistanceMetric> metric_;
+  std::unique_ptr<core::SimilarityModel> model_;
+
+  mutable Admission admission_;
+  mutable CircuitBreaker breaker_;
+
+  // Tier 1 state: embeddings of the database under the model.
+  std::unique_ptr<index::HnswIndex> embedding_index_;
+  bool embedding_tier_ok_ = false;
+  common::Status model_status_ = common::Status::Ok();
+
+  // Tier 2 state: model-free sketch index.
+  std::unique_ptr<index::HnswIndex> feature_index_;
+  bool rerank_tier_ok_ = false;
+  common::Status feature_status_ = common::Status::Ok();
+};
+
+}  // namespace tmn::serve
+
+#endif  // TMN_SERVE_SIMILARITY_SERVER_H_

@@ -1,7 +1,10 @@
 #include <algorithm>
+#include <limits>
 
 #include <gtest/gtest.h>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "index/hnsw.h"
 #include "index/kd_tree.h"
 #include "nn/rng.h"
@@ -146,6 +149,56 @@ TEST(HnswTest, DuplicateVectorsHandled) {
   const auto result = index.Nearest({1.0f, 1.0f}, 5);
   EXPECT_EQ(result.size(), 5u);
   for (size_t idx : result) EXPECT_LT(idx, 10u);
+}
+
+// NearestChecked: the validated entry point the serving path uses, where
+// inputs that would be programmer errors (aborts) on Nearest come back as
+// typed Statuses instead.
+TEST(HnswTest, NearestCheckedRejectsMalformedInput) {
+  HnswIndex empty(3);
+  EXPECT_EQ(empty.NearestChecked({1, 2, 3}, 2).status().code(),
+            common::StatusCode::kFailedPrecondition);
+
+  HnswIndex index(3);
+  index.Add({0, 0, 0});
+  index.Add({1, 1, 1});
+  EXPECT_EQ(index.NearestChecked({1, 2, 3}, 0).status().code(),
+            common::StatusCode::kInvalidArgument);  // k == 0.
+  EXPECT_EQ(index.NearestChecked({1, 2}, 2).status().code(),
+            common::StatusCode::kInvalidArgument);  // Dimension mismatch.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(index.NearestChecked({1, nan, 3}, 2).status().code(),
+            common::StatusCode::kInvalidArgument);  // Non-finite.
+}
+
+TEST(HnswTest, NearestCheckedClampsKAndMatchesNearest) {
+  const size_t dim = 4;
+  const auto flat = RandomPoints(50, dim, 17);
+  HnswIndex index(dim);
+  for (size_t i = 0; i < 50; ++i) {
+    index.Add({flat.begin() + i * dim, flat.begin() + (i + 1) * dim});
+  }
+  const std::vector<float> q(dim, 0.25f);
+  const auto checked = index.NearestChecked(q, 5);
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+  EXPECT_EQ(checked.value(), index.Nearest(q, 5));
+  // k far beyond the index size returns everything, not garbage.
+  const auto all = index.NearestChecked(q, 500);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 50u);
+}
+
+TEST(HnswTest, NearestCheckedHonorsAnExpiredDeadline) {
+  HnswIndex index(2);
+  for (int i = 0; i < 8; ++i) index.Add({float(i), float(i)});
+  // A deadline that expired in the past: the search must not run at all.
+  static double now;
+  now = 10.0;
+  const auto clock = +[] { return now; };
+  const auto deadline = common::Deadline::AfterSeconds(1.0, clock);
+  now = 20.0;
+  const auto r = index.NearestChecked({0, 0}, 3, 0, deadline);
+  EXPECT_EQ(r.status().code(), common::StatusCode::kDeadlineExceeded);
 }
 
 }  // namespace

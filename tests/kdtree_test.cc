@@ -1,5 +1,8 @@
+#include <limits>
+
 #include <gtest/gtest.h>
 
+#include "common/status.h"
 #include "index/kd_tree.h"
 #include "nn/rng.h"
 
@@ -93,6 +96,33 @@ TEST(KdTreeTest, DuplicatePointsAllReturned) {
   const auto result = tree.Nearest({1, 1}, 3);
   ASSERT_EQ(result.size(), 3u);
   for (size_t idx : result) EXPECT_LT(idx, 3u);  // The three duplicates.
+}
+
+// NearestChecked: the validated entry point the serving path uses.
+TEST(KdTreeTest, NearestCheckedRejectsMalformedInput) {
+  KdTree empty({}, 3);
+  EXPECT_EQ(empty.NearestChecked({0, 0, 0}, 2).status().code(),
+            common::StatusCode::kFailedPrecondition);
+
+  KdTree tree(RandomPoints(10, 3, 4), 3);
+  EXPECT_EQ(tree.NearestChecked({0, 0, 0}, 0).status().code(),
+            common::StatusCode::kInvalidArgument);  // k == 0.
+  EXPECT_EQ(tree.NearestChecked({0, 0}, 2).status().code(),
+            common::StatusCode::kInvalidArgument);  // Dimension mismatch.
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(tree.NearestChecked({0, inf, 0}, 2).status().code(),
+            common::StatusCode::kInvalidArgument);  // Non-finite.
+}
+
+TEST(KdTreeTest, NearestCheckedClampsKAndMatchesNearest) {
+  KdTree tree(RandomPoints(20, 2, 5), 2);
+  const std::vector<float> q{0.1f, -0.2f};
+  const auto checked = tree.NearestChecked(q, 4);
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+  EXPECT_EQ(checked.value(), tree.Nearest(q, 4));
+  const auto all = tree.NearestChecked(q, 200);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 20u);
 }
 
 }  // namespace

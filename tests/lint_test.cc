@@ -75,6 +75,8 @@ TEST(LintTest, FixtureCorpusReportsExactRuleIds) {
       {"fixture_raw_timing.cc", "raw-timing"},
       {"fixture_raw_file_write.cc", "raw-file-write"},
       {"fixture_raw_file_write.cc", "raw-file-write"},
+      {"fixture_raw_serve.cc", "raw-serve"},
+      {"fixture_raw_serve.cc", "raw-serve"},
   };
   EXPECT_EQ(findings, expected) << run.output;
 }
@@ -96,7 +98,7 @@ TEST(LintTest, ObservabilityLayerIsClean) {
 }
 
 TEST(LintTest, RepositoryIsClean) {
-  const LintRun run = RunLint("src tests bench tools");
+  const LintRun run = RunLint("src tests bench tools examples");
   EXPECT_EQ(run.exit_code, 0) << "repository has lint findings:\n"
                               << run.output;
   EXPECT_EQ(run.output, "");
@@ -117,7 +119,7 @@ TEST(LintTest, ListRulesCoversCatalogue) {
   ASSERT_EQ(run.exit_code, 0);
   for (const char* rule : {"raw-thread", "no-exceptions", "raw-rng",
                            "stdout-io", "header-guard", "raw-alloc",
-                           "raw-timing", "raw-file-write"}) {
+                           "raw-timing", "raw-file-write", "raw-serve"}) {
     EXPECT_TRUE(run.output.find(rule) != std::string::npos) << rule;
   }
 }

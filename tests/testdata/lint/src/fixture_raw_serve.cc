@@ -1,0 +1,14 @@
+// Lint fixture: exactly two raw-serve violations (never compiled).
+// Raw trajectory encoding and a hand-built ANN index bypass the serving
+// layer's deadlines, shedding and degradation; a suppressed use is fine.
+#include <vector>
+
+std::vector<float> BypassesTheServingLayer() {
+  tmn::index::HnswIndex index(8);
+  return tmn::eval::EncodeTrajectory(g_model, g_query).value();
+}
+
+void SanctionedOfflineUse() {
+  // Offline embedding sweep, not an online query path.
+  tmn::index::HnswIndex index(8);  // tmn-lint: allow(raw-serve)
+}

@@ -33,7 +33,7 @@ echo "== [1/7] Standard build (-Werror) + full ctest =="
 
 echo "== [2/7] tmn_lint gate =="
 {
-  ./build/tools/tmn_lint src tests bench tools
+  ./build/tools/tmn_lint src tests bench tools examples
   echo "-- lint clean"
 } 2>&1 | tee "$LOG_DIR/2-lint.log"
 
@@ -79,7 +79,7 @@ TSAN_TESTS=(thread_pool_test trainer_test distance_test eval_test
 } 2>&1 | tee "$LOG_DIR/5-tsan.log"
 
 echo "== [6/7] Fault injection: failpoint build + crash recovery =="
-FAULT_TESTS="Failpoint|CrashRecovery|Checkpoint|Resume|Loader|IoUtil|Bundle|Payload|Crc32|ModelIo"
+FAULT_TESTS="Failpoint|CrashRecovery|Checkpoint|Resume|Loader|IoUtil|Bundle|Payload|Crc32|ModelIo|Serve"
 {
   cmake -B build-failpoints -S . -DTMN_WERROR=ON -DTMN_FAILPOINTS=ON \
       >/dev/null

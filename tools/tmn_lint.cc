@@ -75,6 +75,10 @@ constexpr RuleInfo kRules[] = {
      "write-mode fopen or direct rename in library code outside "
      "src/common/io_util.cc (route writes through common::AtomicWriteFile "
      "so they are atomic and durable)"},
+    {"raw-serve",
+     "direct EncodeTrajectory / HnswIndex use outside src/serve, src/eval "
+     "and src/index (online queries go through serve::SimilarityServer so "
+     "deadlines, shedding and degradation apply)"},
 };
 
 // ---------------------------------------------------------------------------
@@ -132,6 +136,20 @@ bool IsObsSource(const std::string& path) {
   while ((pos = path.find("src/obs/", pos)) != std::string::npos) {
     if (pos == 0 || path[pos - 1] == '/') return true;
     ++pos;
+  }
+  return false;
+}
+
+// src/serve/, src/eval/ and src/index/ are the sanctioned homes for raw
+// trajectory encoding and ANN-index calls (raw-serve rule); other library
+// code and the examples answer queries through serve::SimilarityServer.
+bool IsServeExemptSource(const std::string& path) {
+  for (const char* dir : {"src/serve/", "src/eval/", "src/index/"}) {
+    size_t pos = 0;
+    while ((pos = path.find(dir, pos)) != std::string::npos) {
+      if (pos == 0 || path[pos - 1] == '/') return true;
+      ++pos;
+    }
   }
   return false;
 }
@@ -309,6 +327,10 @@ void LintFile(const std::string& path, std::vector<Finding>& findings) {
   const bool rng_source = IsRngSource(path);
   const bool obs_source = IsObsSource(path);
   const bool io_util_source = IsIoUtilSource(path);
+  // raw-serve also covers the examples: they are the user-facing idiom and
+  // must demonstrate the robust query path, not raw encode/index calls.
+  const bool serve_scope =
+      (library || HasSegment(path, "examples")) && !IsServeExemptSource(path);
 
   ScrubState scrub;
   std::set<std::string> carried;  // Suppressions from the previous line.
@@ -415,6 +437,14 @@ void LintFile(const std::string& path, std::vector<Finding>& findings) {
                  active);
         }
       }
+    }
+    if (serve_scope && (HasToken(code, "EncodeTrajectory") ||
+                        HasToken(code, "HnswIndex"))) {
+      report(lineno, "raw-serve",
+             "direct encode/ANN-index use; answer online queries through "
+             "serve::SimilarityServer so deadlines, shedding and "
+             "degradation apply",
+             active);
     }
     if (!rng_source &&
         (HasToken(code, "std::random_device") ||
