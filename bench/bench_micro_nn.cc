@@ -1,8 +1,22 @@
 // Microbenchmarks for the neural-network engine: matmul, softmax, LSTM
 // steps, and full TMN pair forward/backward — the primitives whose cost
 // dominates training in Table III.
+//
+// Before the timing loops run, fixed-seed forward passes are recorded as
+// stable checksum gauges in a RunReport (default BENCH_nn.json, or the
+// first non-flag argument) that tools/bench_compare gates on in CI. The
+// no-tape checksum and the tape checksum are recorded separately, so the
+// report itself documents that the fused inference path matches the op
+// graph; both are backend-independent by the kernel determinism contract
+// (docs/KERNELS.md). The encode-path latency lands as an unstable gauge
+// (warn-gated), which is where this layer's speedups get locked in.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
 #include "core/model.h"
 #include "core/tmn_model.h"
 #include "data/synthetic.h"
@@ -11,6 +25,8 @@
 #include "nn/ops.h"
 #include "nn/rng.h"
 #include "nn/tensor.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -98,6 +114,117 @@ void BM_TmnPairForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_TmnPairForwardBackward)->Arg(16)->Arg(32);
 
+// ---------------------------------------------------------------------------
+// RunReport gate.
+
+constexpr int kChecksumHidden = 32;
+constexpr int kEncodeIters = 300;
+
+double SumData(const Tensor& t) {
+  double sum = 0.0;
+  for (float v : t.data()) sum += v;
+  return sum;
+}
+
+// Deterministic accuracy gate: fixed-seed forwards through every layer
+// this PR touched, summed into stable gauges. The pair forward is
+// recorded twice — once under NoGradGuard (fused kernels + arena) and
+// once on the tape path — so a fusion bug shows up as two checksums
+// disagreeing with each other, not just with history.
+void RecordChecksums() {
+  auto& reg = tmn::obs::Registry::Global();
+  const auto a = BenchTrajectory(30, 7);
+  const auto b = BenchTrajectory(40, 8);
+  tmn::core::TmnModelConfig config;
+  config.hidden_dim = kChecksumHidden;
+  const tmn::core::TmnModel model(config);
+  {
+    tmn::nn::NoGradGuard no_grad;
+    const tmn::core::PairOutput out = model.ForwardPair(a, b);
+    reg.GetGauge("bench.nn.checksum.pair_forward")
+        .Set(SumData(out.oa) + SumData(out.ob));
+  }
+  {
+    const tmn::core::PairOutput out = model.ForwardPair(a, b);
+    reg.GetGauge("bench.nn.checksum.pair_forward_tape")
+        .Set(SumData(out.oa) + SumData(out.ob));
+  }
+  tmn::core::TmnModelConfig nm = config;
+  nm.use_matching = false;
+  const tmn::core::TmnModel tmn_nm(nm);
+  {
+    tmn::nn::NoGradGuard no_grad;
+    reg.GetGauge("bench.nn.checksum.single_forward")
+        .Set(SumData(tmn_nm.ForwardSingle(a)));
+  }
+  Rng rng(3);
+  const tmn::nn::Lstm lstm(kChecksumHidden, kChecksumHidden, rng);
+  const Tensor x = RandomTensor(30, kChecksumHidden, rng);
+  {
+    tmn::nn::NoGradGuard no_grad;
+    reg.GetGauge("bench.nn.checksum.lstm_forward")
+        .Set(SumData(lstm.Forward(x)));
+  }
+}
+
+// The acceptance timer for the kernel layer: end-to-end no-grad pair
+// encodes per second. Unstable (machine-speed dependent), so
+// bench_compare warns rather than fails on drift.
+void RecordEncodeTimer() {
+  tmn::core::TmnModelConfig config;
+  config.hidden_dim = kChecksumHidden;
+  const tmn::core::TmnModel model(config);
+  const auto a = BenchTrajectory(30, 7);
+  const auto b = BenchTrajectory(40, 8);
+  tmn::nn::NoGradGuard no_grad;
+  for (int i = 0; i < 20; ++i) {
+    benchmark::DoNotOptimize(model.ForwardPair(a, b));
+  }
+  const double start = tmn::obs::MonotonicSeconds();
+  for (int i = 0; i < kEncodeIters; ++i) {
+    benchmark::DoNotOptimize(model.ForwardPair(a, b));
+  }
+  const double per_pair =
+      (tmn::obs::MonotonicSeconds() - start) / kEncodeIters;
+  auto& reg = tmn::obs::Registry::Global();
+  reg.GetGauge("bench.nn.encode.us_per_pair",
+               tmn::obs::Stability::kUnstable)
+      .Set(per_pair * 1e6);
+  reg.GetGauge("bench.nn.encode.pairs_per_sec",
+               tmn::obs::Stability::kUnstable)
+      .Set(per_pair > 0.0 ? 1.0 / per_pair : 0.0);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // First non-flag argument = report path; everything else goes to
+  // google-benchmark untouched.
+  std::string out_path = "BENCH_nn.json";
+  std::vector<char*> bench_args;
+  bench_args.push_back(argv[0]);
+  bool path_taken = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!path_taken && argv[i][0] != '-') {
+      out_path = argv[i];
+      path_taken = true;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+
+  RecordChecksums();
+  RecordEncodeTimer();
+  const std::map<std::string, std::string> config = {
+      {"checksum_hidden", std::to_string(kChecksumHidden)},
+      {"checksum_traj_lengths", "30/40"},
+      {"encode_iters", std::to_string(kEncodeIters)},
+  };
+  const bool wrote = tmn::bench::WriteRunReport("micro_nn", out_path, config);
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return wrote ? 0 : 1;
+}

@@ -13,6 +13,9 @@
 #include "data/dataset.h"
 #include "distance/distance_matrix.h"
 #include "geo/preprocess.h"
+#include "nn/kernels/arena.h"
+#include "nn/kernels/kernels.h"
+#include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/scoped_timer.h"
 
@@ -156,8 +159,23 @@ RunResult RunMethod(const PreparedData& data, const RunConfig& config) {
 
 bool WriteRunReport(const std::string& bench_name, const std::string& path,
                     const std::map<std::string, std::string>& config) {
+  // Every bench JSON records which kernel backend produced its numbers
+  // and the inference arena's high-water mark. The backend is a property
+  // of the machine (AVX2 availability) and the TMN_KERNELS override, so
+  // the gauge is unstable; the arena high-water is a deterministic
+  // function of the workload's shapes — identical across backends and
+  // thread counts — so it gates as stable.
+  auto& reg = obs::Registry::Global();
+  reg.GetGauge("tmn.nn.kernels.backend", obs::Stability::kUnstable)
+      .Set(nn::kernels::ActiveBackend() == nn::kernels::Backend::kAvx2
+               ? 1.0
+               : 0.0);
+  reg.GetGauge("tmn.nn.kernels.arena_high_water_bytes")
+      .Set(static_cast<double>(nn::kernels::Arena::GlobalHighWaterBytes()));
   obs::RunReport report(bench_name);
   for (const auto& [key, value] : config) report.SetConfig(key, value);
+  report.SetConfig("kernels_backend",
+                   nn::kernels::BackendName(nn::kernels::ActiveBackend()));
   const bool ok = report.WriteFile(path);
   if (ok) {
     std::printf("wrote RunReport %s\n", path.c_str());

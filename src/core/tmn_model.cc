@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "core/features.h"
+#include "nn/kernels/arena.h"
+#include "nn/kernels/kernels.h"
 #include "nn/ops.h"
 
 namespace tmn::core {
@@ -18,6 +20,53 @@ int EmbedDim(const TmnModelConfig& config) {
 std::vector<int> MlpDims(const TmnModelConfig& config) {
   TMN_CHECK(config.mlp_layers >= 1);
   return std::vector<int>(config.mlp_layers + 1, config.hidden_dim);
+}
+
+// No-tape inference version of the matching block: computes
+// X ++ (X − softmax(X·otherᵀ)·other) in one kernel pass with no
+// intermediate tensor nodes. Each stage reproduces the op-graph
+// arithmetic exactly (transpose-then-matmul, masked row softmax with the
+// sequential denominator, i-k-j summary matmul, elementwise subtract), so
+// the result is bitwise identical to the tape path below.
+nn::Tensor FusedMatchingInput(const nn::Tensor& x, const nn::Tensor& other) {
+  const nn::kernels::KernelTable& K = nn::kernels::Active();
+  const int m = x.rows();
+  const int d = x.cols();
+  const int n = other.rows();
+  TMN_CHECK(other.cols() == d);
+  const auto& xv = x.data();
+  const auto& ov = other.data();
+  // otherᵀ (d x n), exactly as the Transpose op materializes it.
+  std::vector<float> bt =
+      nn::kernels::AcquireBuffer(static_cast<size_t>(d) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) {
+      bt[static_cast<size_t>(j) * n + i] = ov[static_cast<size_t>(i) * d + j];
+    }
+  }
+  std::vector<float> scores =
+      nn::kernels::AcquireZeroed(static_cast<size_t>(m) * n);
+  K.matmul(xv.data(), bt.data(), scores.data(), m, d, n);
+  std::vector<float> pattern =
+      nn::kernels::AcquireZeroed(static_cast<size_t>(m) * n);
+  K.softmax_rows(scores.data(), pattern.data(), m, n, n);
+  std::vector<float> summary =
+      nn::kernels::AcquireZeroed(static_cast<size_t>(m) * d);
+  K.matmul(pattern.data(), ov.data(), summary.data(), m, n, d);
+  std::vector<float> out =
+      nn::kernels::AcquireBuffer(static_cast<size_t>(m) * 2 * d);
+  for (int i = 0; i < m; ++i) {
+    const float* xrow = &xv[static_cast<size_t>(i) * d];
+    float* orow = &out[static_cast<size_t>(i) * 2 * d];
+    std::copy_n(xrow, d, orow);
+    K.sub(xrow, &summary[static_cast<size_t>(i) * d], orow + d,
+          static_cast<size_t>(d));
+  }
+  nn::kernels::RecycleBuffer(std::move(bt));
+  nn::kernels::RecycleBuffer(std::move(scores));
+  nn::kernels::RecycleBuffer(std::move(pattern));
+  nn::kernels::RecycleBuffer(std::move(summary));
+  return nn::Tensor::FromData(m, 2 * d, std::move(out));
 }
 
 }  // namespace
@@ -51,12 +100,16 @@ nn::Tensor TmnModel::EncodeSide(const nn::Tensor& x,
                                 const nn::Tensor& other) const {
   nn::Tensor rnn_input = x;
   if (config_.use_matching) {
-    // Eqs. 6-11: match pattern, weighted partner summary, discrepancy.
-    const nn::Tensor pattern =
-        nn::SoftmaxRows(nn::MatMul(x, nn::Transpose(other)));
-    const nn::Tensor summary = nn::MatMul(pattern, other);  // S_{a<-b}
-    const nn::Tensor discrepancy = nn::Sub(x, summary);     // M_{a<-b}
-    rnn_input = nn::ConcatCols(x, discrepancy);             // X ++ M
+    if (!nn::GradModeEnabled()) {
+      rnn_input = FusedMatchingInput(x, other);
+    } else {
+      // Eqs. 6-11: match pattern, weighted partner summary, discrepancy.
+      const nn::Tensor pattern =
+          nn::SoftmaxRows(nn::MatMul(x, nn::Transpose(other)));
+      const nn::Tensor summary = nn::MatMul(pattern, other);  // S_{a<-b}
+      const nn::Tensor discrepancy = nn::Sub(x, summary);     // M_{a<-b}
+      rnn_input = nn::ConcatCols(x, discrepancy);             // X ++ M
+    }
   }
   const nn::Tensor z = rnn_.Forward(rnn_input);  // Eq. 12.
   return mlp_.Forward(z);                          // Eq. 13.
@@ -64,6 +117,10 @@ nn::Tensor TmnModel::EncodeSide(const nn::Tensor& x,
 
 PairOutput TmnModel::ForwardPair(const geo::Trajectory& a,
                                  const geo::Trajectory& b) const {
+  // Engages the thread-local inference arena under NoGradGuard (no-op
+  // while training): op outputs recycle through a buffer pool instead of
+  // per-op heap churn. See src/nn/kernels/arena.h.
+  nn::kernels::ArenaScope arena;
   const nn::Tensor xa = EmbedPoints(a);
   const nn::Tensor xb = EmbedPoints(b);
   return PairOutput{EncodeSide(xa, xb), EncodeSide(xb, xa)};
@@ -87,6 +144,7 @@ nn::Tensor PaddedCoordinateTensor(const geo::Trajectory& t,
 PairOutput TmnModel::ForwardPairPadded(const geo::Trajectory& a,
                                        const geo::Trajectory& b) const {
   TMN_CHECK(config_.use_matching);
+  nn::kernels::ArenaScope arena;
   const int m = static_cast<int>(a.size());
   const int n = static_cast<int>(b.size());
   const int padded_len = std::max(m, n);
@@ -112,6 +170,7 @@ PairOutput TmnModel::ForwardPairPadded(const geo::Trajectory& a,
 nn::Tensor TmnModel::ForwardSingle(const geo::Trajectory& t) const {
   TMN_CHECK_MSG(!config_.use_matching,
                 "TMN is pairwise; ForwardSingle is only valid for TMN-NM");
+  nn::kernels::ArenaScope arena;
   return EncodeSide(EmbedPoints(t), nn::Tensor());
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "nn/kernels/arena.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
 #include "obs/metrics.h"
@@ -177,6 +178,9 @@ common::StatusOr<std::vector<float>> EncodeTrajectory(
   obs::ScopedTimer timer(seconds);
   encoded.Increment();
   nn::NoGradGuard no_grad;
+  // Inference arena: the forward's tensor buffers recycle through a
+  // thread-local pool instead of the heap (src/nn/kernels/arena.h).
+  nn::kernels::ArenaScope arena;
   const nn::Tensor o = model.ForwardSingle(trajectory);
   std::vector<float> embedding = nn::Row(o, o.rows() - 1).data();
   for (float v : embedding) {

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "eval/metrics.h"
+#include "nn/kernels/arena.h"
 #include "nn/ops.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
@@ -48,6 +49,7 @@ std::vector<std::vector<float>> EncodeAll(
   // is thread-local) and writes only its own slot.
   common::ParallelFor(0, trajectories.size(), [&](size_t i) {
     nn::NoGradGuard no_grad;
+    nn::kernels::ArenaScope arena;  // Per-worker buffer recycling.
     out[i] = FinalEmbedding(model, trajectories[i]);
   });
   return out;
@@ -56,6 +58,7 @@ std::vector<std::vector<float>> EncodeAll(
 double PredictDistance(const core::SimilarityModel& model,
                        const geo::Trajectory& a, const geo::Trajectory& b) {
   nn::NoGradGuard no_grad;
+  nn::kernels::ArenaScope arena;
   const core::PairOutput out = model.ForwardPair(a, b);
   return static_cast<double>(
       nn::EuclideanDistance(core::FinalRow(out.oa), core::FinalRow(out.ob))
@@ -79,6 +82,7 @@ DoubleMatrix PredictDistanceMatrix(
     // disjoint slice of `out`, so results match the sequential order.
     common::ParallelFor(0, num_queries, [&](size_t q) {
       nn::NoGradGuard no_grad;
+      nn::kernels::ArenaScope arena;  // Per-worker buffer recycling.
       for (size_t c = 0; c < base.size(); ++c) {
         if (q == c) continue;
         out.at(q, c) = PredictDistance(model, base[q], base[c]);

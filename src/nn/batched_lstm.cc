@@ -1,13 +1,109 @@
 #include "nn/batched_lstm.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "nn/kernels/arena.h"
+#include "nn/kernels/kernels.h"
 #include "nn/ops.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 
 namespace tmn::nn {
+
+namespace {
+
+// No-tape inference path: the same per-step computation as the op-graph
+// loop below — gather step rows, one fused gate pass, masked blend for
+// finished sequences — but on raw kernel buffers. The blend keeps the
+// exact Add(MulColVector, MulColVector) arithmetic (scale by the 0/1 mask
+// then add) rather than a select, so results stay bitwise identical to
+// the tape path.
+std::vector<Tensor> BatchedForwardInference(
+    const LstmCell& cell, const std::vector<Tensor>& inputs, int max_len,
+    obs::Counter& padded_steps) {
+  kernels::ArenaScope arena;
+  const kernels::KernelTable& K = kernels::Active();
+  const int batch = static_cast<int>(inputs.size());
+  const int in = cell.input_size();
+  const int h = cell.hidden_size();
+  const int g4 = 4 * h;
+  const auto& wx = cell.wx().data();
+  const auto& wh = cell.wh().data();
+  const auto& bias = cell.bias().data();
+  const size_t bh = static_cast<size_t>(batch) * h;
+  std::vector<float> xt(static_cast<size_t>(batch) * in);
+  std::vector<float> zx(static_cast<size_t>(batch) * g4);
+  std::vector<float> zh(static_cast<size_t>(batch) * g4);
+  std::vector<float> z(static_cast<size_t>(batch) * g4);
+  std::vector<float> hs(bh, 0.0f);
+  std::vector<float> cs(bh, 0.0f);
+  std::vector<float> h_next(bh);
+  std::vector<float> c_next(bh);
+  std::vector<float> t1(static_cast<size_t>(h));
+  std::vector<float> t2(static_cast<size_t>(h));
+  std::vector<std::vector<float>> out(inputs.size());
+  for (int i = 0; i < batch; ++i) {
+    out[i] = kernels::AcquireBuffer(
+        static_cast<size_t>(inputs[i].rows()) * h);
+  }
+  for (int t = 0; t < max_len; ++t) {
+    bool all_active = true;
+    for (int i = 0; i < batch; ++i) {
+      const int len = inputs[i].rows();
+      const bool active = t < len;
+      const int row = active ? t : len - 1;
+      std::copy_n(&inputs[i].data()[static_cast<size_t>(row) * in], in,
+                  &xt[static_cast<size_t>(i) * in]);
+      all_active = all_active && active;
+    }
+    std::fill(zx.begin(), zx.end(), 0.0f);
+    std::fill(zh.begin(), zh.end(), 0.0f);
+    K.matmul(xt.data(), wx.data(), zx.data(), batch, in, g4);
+    K.matmul(hs.data(), wh.data(), zh.data(), batch, h, g4);
+    K.add(zx.data(), zh.data(), z.data(), z.size());
+    K.add_row_vector(z.data(), bias.data(), z.data(), batch, g4);
+    K.lstm_gates(z.data(), cs.data(), c_next.data(), h_next.data(), batch,
+                 h);
+    if (all_active) {
+      std::swap(hs, h_next);
+      std::swap(cs, c_next);
+    } else {
+      padded_steps.Increment();
+      for (int i = 0; i < batch; ++i) {
+        const bool active = t < inputs[i].rows();
+        const float mask = active ? 1.0f : 0.0f;
+        const float keep = active ? 0.0f : 1.0f;
+        float* hrow = &hs[static_cast<size_t>(i) * h];
+        float* crow = &cs[static_cast<size_t>(i) * h];
+        K.scale(&h_next[static_cast<size_t>(i) * h], mask, t1.data(),
+                static_cast<size_t>(h));
+        K.scale(hrow, keep, t2.data(), static_cast<size_t>(h));
+        K.add(t1.data(), t2.data(), hrow, static_cast<size_t>(h));
+        K.scale(&c_next[static_cast<size_t>(i) * h], mask, t1.data(),
+                static_cast<size_t>(h));
+        K.scale(crow, keep, t2.data(), static_cast<size_t>(h));
+        K.add(t1.data(), t2.data(), crow, static_cast<size_t>(h));
+      }
+    }
+    for (int i = 0; i < batch; ++i) {
+      if (t < inputs[i].rows()) {
+        std::copy_n(&hs[static_cast<size_t>(i) * h], h,
+                    &out[i][static_cast<size_t>(t) * h]);
+      }
+    }
+  }
+  std::vector<Tensor> result;
+  result.reserve(inputs.size());
+  for (int i = 0; i < batch; ++i) {
+    result.push_back(
+        Tensor::FromData(inputs[i].rows(), h, std::move(out[i])));
+  }
+  return result;
+}
+
+}  // namespace
 
 std::vector<Tensor> BatchedLstmForward(const LstmCell& cell,
                                        const std::vector<Tensor>& inputs) {
@@ -29,6 +125,9 @@ std::vector<Tensor> BatchedLstmForward(const LstmCell& cell,
     max_len = std::max(max_len, x.rows());
   }
   steps.Increment(static_cast<uint64_t>(max_len));
+  if (!GradModeEnabled()) {
+    return BatchedForwardInference(cell, inputs, max_len, padded_steps);
+  }
 
   LstmCell::State state = cell.InitialState(batch);
   std::vector<std::vector<Tensor>> outputs(inputs.size());

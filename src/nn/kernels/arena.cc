@@ -1,0 +1,106 @@
+#include "nn/kernels/arena.h"
+
+#include <atomic>
+#include <utility>
+
+#include "nn/tensor.h"
+
+namespace tmn::nn::kernels {
+
+namespace {
+
+// Pool retention caps (per thread). Beyond these, released buffers free
+// normally — a backstop against one oversized batch pinning memory.
+constexpr size_t kMaxPooledBuffers = 256;
+constexpr size_t kMaxPooledBytes = size_t{64} << 20;  // 64 MiB (capacity).
+
+std::atomic<size_t>& GlobalHighWater() {
+  static std::atomic<size_t> high_water{0};
+  return high_water;
+}
+
+}  // namespace
+
+Arena& Arena::ThreadLocal() {
+  thread_local Arena arena;
+  return arena;
+}
+
+void Arena::UpdateHighWater() {
+  if (stats_.live_bytes <= stats_.high_water_bytes) return;
+  stats_.high_water_bytes = stats_.live_bytes;
+  std::atomic<size_t>& global = GlobalHighWater();
+  size_t seen = global.load(std::memory_order_relaxed);
+  while (seen < stats_.high_water_bytes &&
+         !global.compare_exchange_weak(seen, stats_.high_water_bytes,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+size_t Arena::GlobalHighWaterBytes() {
+  return GlobalHighWater().load(std::memory_order_relaxed);
+}
+
+std::vector<float> Arena::Acquire(size_t n) {
+  if (!active()) return std::vector<float>(n);
+  ++stats_.acquires;
+  stats_.live_bytes += n * sizeof(float);
+  UpdateHighWater();
+  if (pool_.empty()) return std::vector<float>(n);
+  ++stats_.pool_hits;
+  std::vector<float> buf = std::move(pool_.back());
+  pool_.pop_back();
+  pool_bytes_ -= buf.capacity() * sizeof(float);
+  // Contents beyond value-initialized growth are stale pool data; callers
+  // of Acquire contractually overwrite every element.
+  buf.resize(n);
+  return buf;
+}
+
+std::vector<float> Arena::AcquireZeroed(size_t n) {
+  if (!active()) return std::vector<float>(n, 0.0f);
+  std::vector<float> buf = Acquire(n);
+  buf.assign(n, 0.0f);
+  return buf;
+}
+
+void Arena::Release(std::vector<float>&& buf) {
+  if (!active() || buf.capacity() == 0) return;
+  const size_t requested = buf.size() * sizeof(float);
+  stats_.live_bytes -= requested < stats_.live_bytes ? requested
+                                                     : stats_.live_bytes;
+  if (pool_.size() >= kMaxPooledBuffers ||
+      pool_bytes_ + buf.capacity() * sizeof(float) > kMaxPooledBytes) {
+    return;  // `buf` frees normally.
+  }
+  pool_bytes_ += buf.capacity() * sizeof(float);
+  pool_.push_back(std::move(buf));
+}
+
+void Arena::Clear() {
+  pool_.clear();
+  pool_bytes_ = 0;
+  stats_ = Stats{};
+}
+
+ArenaScope::ArenaScope() : engaged_(!GradModeEnabled()) {
+  if (engaged_) ++Arena::ThreadLocal().depth_;
+}
+
+ArenaScope::~ArenaScope() {
+  if (engaged_) --Arena::ThreadLocal().depth_;
+}
+
+std::vector<float> AcquireBuffer(size_t n) {
+  return Arena::ThreadLocal().Acquire(n);
+}
+
+std::vector<float> AcquireZeroed(size_t n) {
+  return Arena::ThreadLocal().AcquireZeroed(n);
+}
+
+void RecycleBuffer(std::vector<float>&& buf) {
+  Arena::ThreadLocal().Release(std::move(buf));
+}
+
+}  // namespace tmn::nn::kernels

@@ -1,0 +1,102 @@
+#ifndef TMN_NN_KERNELS_ARENA_H_
+#define TMN_NN_KERNELS_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tmn::nn::kernels {
+
+// Thread-local inference arena: a buffer-recycling pool behind the
+// unchanged `std::vector<float>` tensor storage API.
+//
+// While an ArenaScope is active on a thread (and grad mode is off), tensor
+// ops acquire their output buffers from the pool instead of the heap, and
+// every TensorImpl destroyed on that thread returns its buffer to the
+// pool. Under NoGradGuard intermediates carry no parent edges, so they die
+// as soon as the next op consumes them — which means a steady-state
+// forward pass recycles the same handful of buffers and performs zero
+// heap allocations for tensor data.
+//
+// Ownership rules:
+//  - A buffer acquired from the pool is owned by exactly one TensorImpl
+//    (or local scratch) at a time; it re-enters the pool only when that
+//    owner is destroyed. There is therefore no aliasing window: live
+//    tensors can never observe a recycled buffer.
+//  - Tensors that escape the scope (model outputs) keep their buffers;
+//    those free normally on the owning thread later.
+//  - Everything is thread-local: no locks, no cross-thread reuse.
+//
+// Determinism: high-water statistics count *requested* bytes (not vector
+// capacities), so they are bit-reproducible across runs and thread counts.
+class Arena {
+ public:
+  struct Stats {
+    uint64_t acquires = 0;        // Total buffer requests.
+    uint64_t pool_hits = 0;       // Requests served from the pool.
+    size_t live_bytes = 0;        // Requested bytes currently checked out.
+    size_t high_water_bytes = 0;  // Max live_bytes ever seen on this thread.
+  };
+
+  // The calling thread's arena.
+  static Arena& ThreadLocal();
+
+  // True while at least one ArenaScope is active on this thread.
+  bool active() const { return depth_ > 0; }
+
+  // A buffer resized to `n` floats. Contents are unspecified (possibly
+  // stale pool data): the caller must fully overwrite it, or use
+  // AcquireZeroed. Pops from the pool when active, else heap-allocates.
+  std::vector<float> Acquire(size_t n);
+
+  // A buffer of `n` floats, all exactly 0.0f.
+  std::vector<float> AcquireZeroed(size_t n);
+
+  // Returns `buf` to the pool if a scope is active (and the pool has
+  // room); otherwise lets it free normally. Called by ~TensorImpl.
+  void Release(std::vector<float>&& buf);
+
+  // Drops all pooled buffers and zeroes live/high-water accounting.
+  void Clear();
+
+  const Stats& stats() const { return stats_; }
+
+  // Process-wide maximum of every thread's high_water_bytes (monotonic).
+  // Deterministic across thread counts: each thread's high-water is a
+  // per-forward-call property, not a function of work distribution.
+  static size_t GlobalHighWaterBytes();
+
+ private:
+  friend class ArenaScope;
+
+  void UpdateHighWater();
+
+  int depth_ = 0;
+  std::vector<std::vector<float>> pool_;
+  size_t pool_bytes_ = 0;
+  Stats stats_;
+};
+
+// RAII activation of the calling thread's arena. Construction is a no-op
+// while grad mode is enabled — training tapes keep ordinary heap
+// ownership — so scopes can be installed unconditionally at model entry
+// points. Scopes nest (depth counted).
+class ArenaScope {
+ public:
+  ArenaScope();
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  bool engaged_;
+};
+
+// Convenience wrappers used by ops.cc / tensor.cc.
+std::vector<float> AcquireBuffer(size_t n);
+std::vector<float> AcquireZeroed(size_t n);
+void RecycleBuffer(std::vector<float>&& buf);
+
+}  // namespace tmn::nn::kernels
+
+#endif  // TMN_NN_KERNELS_ARENA_H_

@@ -1,0 +1,171 @@
+#include "nn/kernels/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tmn::nn::kernels {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Portable scalar baseline. These loops define the numeric contract: every
+// other backend must reproduce them bit-for-bit (see kernels.h).
+// ---------------------------------------------------------------------------
+
+void MatMulScalar(const float* a, const float* b, float* c, int m, int k,
+                  int n) {
+  // i-k-j loop order: streams through b and c rows (cache friendly).
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = a[static_cast<size_t>(i) * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = &b[static_cast<size_t>(kk) * n];
+      float* crow = &c[static_cast<size_t>(i) * n];
+      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void AddScalar(const float* a, const float* b, float* o, size_t n) {
+  for (size_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
+}
+
+void SubScalar(const float* a, const float* b, float* o, size_t n) {
+  for (size_t i = 0; i < n; ++i) o[i] = a[i] - b[i];
+}
+
+void MulScalarKernel(const float* a, const float* b, float* o, size_t n) {
+  for (size_t i = 0; i < n; ++i) o[i] = a[i] * b[i];
+}
+
+void AxpyScalar(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void MulAccScalar(const float* a, const float* b, float* o, size_t n) {
+  for (size_t i = 0; i < n; ++i) o[i] += a[i] * b[i];
+}
+
+void ScaleScalar(const float* a, float s, float* o, size_t n) {
+  for (size_t i = 0; i < n; ++i) o[i] = a[i] * s;
+}
+
+void AddRowVectorScalar(const float* a, const float* row, float* o, int m,
+                        int d) {
+  for (int r = 0; r < m; ++r) {
+    const float* arow = &a[static_cast<size_t>(r) * d];
+    float* orow = &o[static_cast<size_t>(r) * d];
+    for (int c = 0; c < d; ++c) orow[c] = arow[c] + row[c];
+  }
+}
+
+void LeakyReluScalar(const float* a, float slope, float* o, size_t n) {
+  for (size_t i = 0; i < n; ++i) o[i] = a[i] >= 0.0f ? a[i] : slope * a[i];
+}
+
+void SoftmaxRowsScalar(const float* a, float* o, int m, int n,
+                       int valid_cols) {
+  for (int i = 0; i < m; ++i) {
+    const float* row = &a[static_cast<size_t>(i) * n];
+    float* orow = &o[static_cast<size_t>(i) * n];
+    float max_v = row[0];
+    for (int j = 1; j < valid_cols; ++j) max_v = std::max(max_v, row[j]);
+    float denom = 0.0f;
+    for (int j = 0; j < valid_cols; ++j) {
+      orow[j] = std::exp(row[j] - max_v);
+      denom += orow[j];
+    }
+    for (int j = 0; j < valid_cols; ++j) orow[j] /= denom;
+    // Columns >= valid_cols stay exactly 0 (masked padding).
+  }
+}
+
+void LstmGatesScalar(float* z, const float* c_prev, float* c_next,
+                     float* h_next, int batch, int hidden) {
+  const int g4 = 4 * hidden;
+  for (int r = 0; r < batch; ++r) {
+    float* zi = &z[static_cast<size_t>(r) * g4];
+    float* zf = zi + hidden;
+    float* zg = zi + 2 * hidden;
+    float* zo = zi + 3 * hidden;
+    const float* c0 = &c_prev[static_cast<size_t>(r) * hidden];
+    float* c1 = &c_next[static_cast<size_t>(r) * hidden];
+    float* h1 = &h_next[static_cast<size_t>(r) * hidden];
+    for (int j = 0; j < hidden; ++j) {
+      zi[j] = 1.0f / (1.0f + std::exp(-zi[j]));
+      zf[j] = 1.0f / (1.0f + std::exp(-zf[j]));
+      zg[j] = std::tanh(zg[j]);
+      zo[j] = 1.0f / (1.0f + std::exp(-zo[j]));
+    }
+    for (int j = 0; j < hidden; ++j) {
+      const float fc = zf[j] * c0[j];
+      const float ig = zi[j] * zg[j];
+      c1[j] = fc + ig;
+    }
+    for (int j = 0; j < hidden; ++j) {
+      h1[j] = zo[j] * std::tanh(c1[j]);
+    }
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    MatMulScalar,    AddScalar,        SubScalar,
+    MulScalarKernel, AxpyScalar,       MulAccScalar,
+    ScaleScalar,     AddRowVectorScalar, LeakyReluScalar,
+    SoftmaxRowsScalar, LstmGatesScalar,
+};
+
+Backend SelectBackend() {
+  const char* env = std::getenv("TMN_KERNELS");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return Backend::kScalar;
+  }
+  const bool requested_avx2 =
+      env != nullptr && std::strcmp(env, "avx2") == 0;
+  if (env != nullptr && !requested_avx2) {
+    std::fprintf(stderr,
+                 "tmn: unknown TMN_KERNELS value '%s'; using auto-detect\n",
+                 env);
+  }
+  if (Avx2() != nullptr) return Backend::kAvx2;
+  if (requested_avx2) {
+    std::fprintf(stderr,
+                 "tmn: TMN_KERNELS=avx2 requested but AVX2 is unavailable "
+                 "on this build/CPU; falling back to scalar kernels\n");
+  }
+  return Backend::kScalar;
+}
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const KernelTable& Scalar() { return kScalarTable; }
+
+#if !defined(TMN_HAVE_AVX2)
+const KernelTable* Avx2() { return nullptr; }
+#endif
+
+Backend ActiveBackend() {
+  static const Backend backend = SelectBackend();
+  return backend;
+}
+
+const KernelTable& Active() {
+  static const KernelTable& table =
+      ActiveBackend() == Backend::kAvx2 ? *Avx2() : Scalar();
+  return table;
+}
+
+}  // namespace tmn::nn::kernels

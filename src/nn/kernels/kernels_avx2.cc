@@ -1,0 +1,238 @@
+// AVX2 kernel backend. This TU is compiled with -mavx2 -mfma
+// -ffp-contract=off (see src/nn/CMakeLists.txt) and is the only place —
+// enforced by the raw-simd lint rule — where intrinsics may appear.
+//
+// Bitwise-parity rules (the whole point; see kernels.h):
+//  - Vectorize only across independent output elements, never across a
+//    reduction. The matmul SIMD axis is the output column j; each c[j]
+//    still receives its kk-ordered sequence of `c[j] + aik*b[j]` updates.
+//  - Separate _mm256_mul_ps + _mm256_add_ps everywhere — no FMA
+//    intrinsics, and -ffp-contract=off stops the compiler introducing any.
+//  - Transcendentals stay scalar std::exp/std::tanh.
+//  - Softmax: the row max is vectorized (max is an exact selection, so
+//    reassociation cannot change the value) and the final divide is
+//    element-wise _mm256_div_ps; the exp+denominator loop stays scalar
+//    and sequential.
+// Tail elements (n % 8) run the scalar loop — elementwise kernels have no
+// cross-lane interaction, so lane partitioning cannot change results.
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/kernels/kernels.h"
+
+namespace tmn::nn::kernels {
+
+namespace {
+
+void MatMulAvx2(const float* a, const float* b, float* c, int m, int k,
+                int n) {
+  const int n8 = n & ~7;
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = a[static_cast<size_t>(i) * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = &b[static_cast<size_t>(kk) * n];
+      float* crow = &c[static_cast<size_t>(i) * n];
+      const __m256 va = _mm256_set1_ps(aik);
+      int j = 0;
+      for (; j < n8; j += 8) {
+        const __m256 vb = _mm256_loadu_ps(brow + j);
+        const __m256 vc = _mm256_loadu_ps(crow + j);
+        _mm256_storeu_ps(crow + j,
+                         _mm256_add_ps(vc, _mm256_mul_ps(va, vb)));
+      }
+      for (; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void AddAvx2(const float* a, const float* b, float* o, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        o + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] + b[i];
+}
+
+void SubAvx2(const float* a, const float* b, float* o, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        o + i, _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] - b[i];
+}
+
+void MulAvx2(const float* a, const float* b, float* o, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        o + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] * b[i];
+}
+
+void AxpyAvx2(float alpha, const float* x, float* y, size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(vy, _mm256_mul_ps(va, vx)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void MulAccAvx2(const float* a, const float* b, float* o, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vo = _mm256_loadu_ps(o + i);
+    const __m256 prod =
+        _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(o + i, _mm256_add_ps(vo, prod));
+  }
+  for (; i < n; ++i) o[i] += a[i] * b[i];
+}
+
+void ScaleAvx2(const float* a, float s, float* o, size_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), vs));
+  }
+  for (; i < n; ++i) o[i] = a[i] * s;
+}
+
+void AddRowVectorAvx2(const float* a, const float* row, float* o, int m,
+                      int d) {
+  const int d8 = d & ~7;
+  for (int r = 0; r < m; ++r) {
+    const float* arow = &a[static_cast<size_t>(r) * d];
+    float* orow = &o[static_cast<size_t>(r) * d];
+    int c = 0;
+    for (; c < d8; c += 8) {
+      _mm256_storeu_ps(orow + c, _mm256_add_ps(_mm256_loadu_ps(arow + c),
+                                               _mm256_loadu_ps(row + c)));
+    }
+    for (; c < d; ++c) orow[c] = arow[c] + row[c];
+  }
+}
+
+void LeakyReluAvx2(const float* a, float slope, float* o, size_t n) {
+  const __m256 vs = _mm256_set1_ps(slope);
+  const __m256 zero = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 neg = _mm256_mul_ps(va, vs);
+    const __m256 keep = _mm256_cmp_ps(va, zero, _CMP_GE_OQ);
+    _mm256_storeu_ps(o + i, _mm256_blendv_ps(neg, va, keep));
+  }
+  for (; i < n; ++i) o[i] = a[i] >= 0.0f ? a[i] : slope * a[i];
+}
+
+void SoftmaxRowsAvx2(const float* a, float* o, int m, int n,
+                     int valid_cols) {
+  const int v8 = valid_cols & ~7;
+  for (int i = 0; i < m; ++i) {
+    const float* row = &a[static_cast<size_t>(i) * n];
+    float* orow = &o[static_cast<size_t>(i) * n];
+    // Row max: an exact selection, so lane partitioning cannot change the
+    // value (and a ±0 sign difference is erased by exp(x - max)).
+    float max_v = row[0];
+    int j = 1;
+    if (valid_cols >= 16) {
+      __m256 vmax = _mm256_loadu_ps(row);
+      for (j = 8; j + 8 <= valid_cols; j += 8) {
+        vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(row + j));
+      }
+      alignas(32) float lanes[8];
+      _mm256_store_ps(lanes, vmax);
+      max_v = lanes[0];
+      for (int l = 1; l < 8; ++l) max_v = std::max(max_v, lanes[l]);
+    }
+    for (; j < valid_cols; ++j) max_v = std::max(max_v, row[j]);
+    // exp + denominator stay scalar-sequential (determinism contract).
+    float denom = 0.0f;
+    for (int c = 0; c < valid_cols; ++c) {
+      orow[c] = std::exp(row[c] - max_v);
+      denom += orow[c];
+    }
+    const __m256 vd = _mm256_set1_ps(denom);
+    int c = 0;
+    for (; c < v8; c += 8) {
+      _mm256_storeu_ps(orow + c,
+                       _mm256_div_ps(_mm256_loadu_ps(orow + c), vd));
+    }
+    for (; c < valid_cols; ++c) orow[c] /= denom;
+  }
+}
+
+void LstmGatesAvx2(float* z, const float* c_prev, float* c_next,
+                   float* h_next, int batch, int hidden) {
+  const int h8 = hidden & ~7;
+  for (int r = 0; r < batch; ++r) {
+    float* zi = &z[static_cast<size_t>(r) * 4 * hidden];
+    float* zf = zi + hidden;
+    float* zg = zi + 2 * hidden;
+    float* zo = zi + 3 * hidden;
+    const float* c0 = &c_prev[static_cast<size_t>(r) * hidden];
+    float* c1 = &c_next[static_cast<size_t>(r) * hidden];
+    float* h1 = &h_next[static_cast<size_t>(r) * hidden];
+    // Activations stay scalar: vector exp/tanh approximations would break
+    // bitwise parity with the scalar backend.
+    for (int j = 0; j < hidden; ++j) {
+      zi[j] = 1.0f / (1.0f + std::exp(-zi[j]));
+      zf[j] = 1.0f / (1.0f + std::exp(-zf[j]));
+      zg[j] = std::tanh(zg[j]);
+      zo[j] = 1.0f / (1.0f + std::exp(-zo[j]));
+    }
+    int j = 0;
+    for (; j < h8; j += 8) {
+      const __m256 fc =
+          _mm256_mul_ps(_mm256_loadu_ps(zf + j), _mm256_loadu_ps(c0 + j));
+      const __m256 ig =
+          _mm256_mul_ps(_mm256_loadu_ps(zi + j), _mm256_loadu_ps(zg + j));
+      _mm256_storeu_ps(c1 + j, _mm256_add_ps(fc, ig));
+    }
+    for (; j < hidden; ++j) {
+      const float fc = zf[j] * c0[j];
+      const float ig = zi[j] * zg[j];
+      c1[j] = fc + ig;
+    }
+    for (j = 0; j < hidden; ++j) h1[j] = std::tanh(c1[j]);
+    j = 0;
+    for (; j < h8; j += 8) {
+      _mm256_storeu_ps(h1 + j, _mm256_mul_ps(_mm256_loadu_ps(zo + j),
+                                             _mm256_loadu_ps(h1 + j)));
+    }
+    for (; j < hidden; ++j) h1[j] = zo[j] * h1[j];
+  }
+}
+
+constexpr KernelTable kAvx2Table = {
+    MatMulAvx2,  AddAvx2,          SubAvx2,       MulAvx2,
+    AxpyAvx2,    MulAccAvx2,       ScaleAvx2,     AddRowVectorAvx2,
+    LeakyReluAvx2, SoftmaxRowsAvx2, LstmGatesAvx2,
+};
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const KernelTable* Avx2() {
+  static const KernelTable* table = CpuHasAvx2() ? &kAvx2Table : nullptr;
+  return table;
+}
+
+}  // namespace tmn::nn::kernels

@@ -1,9 +1,59 @@
 #include "nn/lstm.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/check.h"
+#include "nn/kernels/arena.h"
+#include "nn/kernels/kernels.h"
 #include "nn/ops.h"
 
 namespace tmn::nn {
+
+namespace {
+
+// No-tape inference forward: one fused kernel pass per time step instead
+// of ~12 tape ops. Reproduces the op-graph arithmetic bit-for-bit:
+//   z      = (x_t·wx + h·wh) + bias        (two matmuls, add, bias add)
+//   gates  = kernels lstm_gates            (matches Sigmoid/Tanh + Add(Mul,Mul))
+// so Forward() under NoGradGuard equals the tape path exactly (verified
+// by tests/kernels_test.cc).
+Tensor ForwardInference(const LstmCell& cell, const Tensor& x, int steps) {
+  kernels::ArenaScope arena;
+  const kernels::KernelTable& K = kernels::Active();
+  const int in = cell.input_size();
+  const int h = cell.hidden_size();
+  const int g4 = 4 * h;
+  const auto& xv = x.data();
+  const auto& wx = cell.wx().data();
+  const auto& wh = cell.wh().data();
+  const auto& bias = cell.bias().data();
+  std::vector<float> out =
+      kernels::AcquireBuffer(static_cast<size_t>(steps) * h);
+  std::vector<float> zx(static_cast<size_t>(g4));
+  std::vector<float> zh(static_cast<size_t>(g4));
+  std::vector<float> z(static_cast<size_t>(g4));
+  std::vector<float> c(static_cast<size_t>(h), 0.0f);
+  std::vector<float> h_prev(static_cast<size_t>(h), 0.0f);
+  std::vector<float> c_next(static_cast<size_t>(h));
+  std::vector<float> h_next(static_cast<size_t>(h));
+  for (int t = 0; t < steps; ++t) {
+    std::fill(zx.begin(), zx.end(), 0.0f);
+    std::fill(zh.begin(), zh.end(), 0.0f);
+    K.matmul(&xv[static_cast<size_t>(t) * in], wx.data(), zx.data(), 1, in,
+             g4);
+    K.matmul(h_prev.data(), wh.data(), zh.data(), 1, h, g4);
+    K.add(zx.data(), zh.data(), z.data(), static_cast<size_t>(g4));
+    K.add_row_vector(z.data(), bias.data(), z.data(), 1, g4);
+    K.lstm_gates(z.data(), c.data(), c_next.data(), h_next.data(), 1, h);
+    std::copy_n(h_next.data(), h, &out[static_cast<size_t>(t) * h]);
+    std::swap(c, c_next);
+    std::swap(h_prev, h_next);
+  }
+  return Tensor::FromData(steps, h, std::move(out));
+}
+
+}  // namespace
 
 LstmCell::LstmCell(int input_size, int hidden_size, Rng& rng)
     : input_size_(input_size),
@@ -54,6 +104,8 @@ Lstm::Lstm(int input_size, int hidden_size, Rng& rng)
 
 Tensor Lstm::Forward(const Tensor& x, int steps) const {
   TMN_CHECK(steps >= 1 && steps <= x.rows());
+  TMN_CHECK(x.cols() == cell_.input_size());
+  if (!GradModeEnabled()) return ForwardInference(cell_, x, steps);
   LstmCell::State state = cell_.InitialState(/*batch=*/1);
   std::vector<Tensor> outputs;
   outputs.reserve(steps);

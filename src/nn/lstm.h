@@ -31,6 +31,13 @@ class LstmCell : public Module {
   int input_size() const { return input_size_; }
   int hidden_size() const { return hidden_size_; }
 
+  // Raw parameter access for the kernel-backed no-tape inference paths
+  // (lstm.cc, batched_lstm.cc). Layout: wx (in x 4h), wh (h x 4h),
+  // bias (1 x 4h), gate order [i, f, g, o].
+  const Tensor& wx() const { return wx_; }
+  const Tensor& wh() const { return wh_; }
+  const Tensor& bias() const { return bias_; }
+
  private:
   int input_size_;
   int hidden_size_;

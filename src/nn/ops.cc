@@ -3,11 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels/arena.h"
+#include "nn/kernels/kernels.h"
+
 namespace tmn::nn {
 
 namespace {
 
 using ImplPtr = std::shared_ptr<TensorImpl>;
+
+// Forward loops (and the order-insensitive backward loops) run on the
+// process-selected kernel backend; reductions that define accumulation
+// order stay as explicit scalar loops. See src/nn/kernels/kernels.h for
+// the bitwise-parity contract.
+const kernels::KernelTable& K() { return kernels::Active(); }
 
 // A node participates in the autograd graph if it is a leaf that requires
 // grad or an interior node with a recorded backward function.
@@ -69,21 +78,21 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   const auto& av = a.data();
   const auto& bv = b.data();
-  std::vector<float> out(av.size());
-  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] + bv[i];
+  std::vector<float> out = kernels::AcquireBuffer(av.size());
+  K().add(av.data(), bv.data(), out.data(), av.size());
   ImplPtr pa = a.impl(), pb = b.impl();
   return MakeOp(a.rows(), a.cols(), std::move(out), {pa, pb},
                 [pa, pb](TensorImpl* o) {
                   return [pa, pb, o]() {
                     if (InGraph(pa)) {
                       std::vector<float>& ga = GradBufferFor(pa.get());
-                      for (size_t i = 0; i < o->grad.size(); ++i)
-                        ga[i] += o->grad[i];
+                      K().axpy(1.0f, o->grad.data(), ga.data(),
+                               o->grad.size());
                     }
                     if (InGraph(pb)) {
                       std::vector<float>& gb = GradBufferFor(pb.get());
-                      for (size_t i = 0; i < o->grad.size(); ++i)
-                        gb[i] += o->grad[i];
+                      K().axpy(1.0f, o->grad.data(), gb.data(),
+                               o->grad.size());
                     }
                   };
                 });
@@ -93,21 +102,21 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   const auto& av = a.data();
   const auto& bv = b.data();
-  std::vector<float> out(av.size());
-  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] - bv[i];
+  std::vector<float> out = kernels::AcquireBuffer(av.size());
+  K().sub(av.data(), bv.data(), out.data(), av.size());
   ImplPtr pa = a.impl(), pb = b.impl();
   return MakeOp(a.rows(), a.cols(), std::move(out), {pa, pb},
                 [pa, pb](TensorImpl* o) {
                   return [pa, pb, o]() {
                     if (InGraph(pa)) {
                       std::vector<float>& ga = GradBufferFor(pa.get());
-                      for (size_t i = 0; i < o->grad.size(); ++i)
-                        ga[i] += o->grad[i];
+                      K().axpy(1.0f, o->grad.data(), ga.data(),
+                               o->grad.size());
                     }
                     if (InGraph(pb)) {
                       std::vector<float>& gb = GradBufferFor(pb.get());
-                      for (size_t i = 0; i < o->grad.size(); ++i)
-                        gb[i] -= o->grad[i];
+                      K().axpy(-1.0f, o->grad.data(), gb.data(),
+                               o->grad.size());
                     }
                   };
                 });
@@ -117,21 +126,21 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   const auto& av = a.data();
   const auto& bv = b.data();
-  std::vector<float> out(av.size());
-  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] * bv[i];
+  std::vector<float> out = kernels::AcquireBuffer(av.size());
+  K().mul(av.data(), bv.data(), out.data(), av.size());
   ImplPtr pa = a.impl(), pb = b.impl();
   return MakeOp(a.rows(), a.cols(), std::move(out), {pa, pb},
                 [pa, pb](TensorImpl* o) {
                   return [pa, pb, o]() {
                     if (InGraph(pa)) {
                       std::vector<float>& ga = GradBufferFor(pa.get());
-                      for (size_t i = 0; i < o->grad.size(); ++i)
-                        ga[i] += o->grad[i] * pb->data[i];
+                      K().mul_acc(o->grad.data(), pb->data.data(), ga.data(),
+                                  o->grad.size());
                     }
                     if (InGraph(pb)) {
                       std::vector<float>& gb = GradBufferFor(pb.get());
-                      for (size_t i = 0; i < o->grad.size(); ++i)
-                        gb[i] += o->grad[i] * pa->data[i];
+                      K().mul_acc(o->grad.data(), pa->data.data(), gb.data(),
+                                  o->grad.size());
                     }
                   };
                 });
@@ -141,7 +150,7 @@ Tensor Div(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   const auto& av = a.data();
   const auto& bv = b.data();
-  std::vector<float> out(av.size());
+  std::vector<float> out = kernels::AcquireBuffer(av.size());
   for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] / bv[i];
   ImplPtr pa = a.impl(), pb = b.impl();
   return MakeOp(a.rows(), a.cols(), std::move(out), {pa, pb},
@@ -168,21 +177,16 @@ Tensor AddRowVector(const Tensor& matrix, const Tensor& row) {
   const int d = matrix.cols();
   const auto& mv = matrix.data();
   const auto& rv = row.data();
-  std::vector<float> out(mv.size());
-  for (int r = 0; r < m; ++r) {
-    for (int c = 0; c < d; ++c) {
-      out[static_cast<size_t>(r) * d + c] =
-          mv[static_cast<size_t>(r) * d + c] + rv[c];
-    }
-  }
+  std::vector<float> out = kernels::AcquireBuffer(mv.size());
+  K().add_row_vector(mv.data(), rv.data(), out.data(), m, d);
   ImplPtr pm = matrix.impl(), pr = row.impl();
   return MakeOp(m, d, std::move(out), {pm, pr},
                 [pm, pr, m, d](TensorImpl* o) {
                   return [pm, pr, o, m, d]() {
                     if (InGraph(pm)) {
                       std::vector<float>& gm = GradBufferFor(pm.get());
-                      for (size_t i = 0; i < o->grad.size(); ++i)
-                        gm[i] += o->grad[i];
+                      K().axpy(1.0f, o->grad.data(), gm.data(),
+                               o->grad.size());
                     }
                     if (InGraph(pr)) {
                       std::vector<float>& gr = GradBufferFor(pr.get());
@@ -198,24 +202,23 @@ Tensor AddRowVector(const Tensor& matrix, const Tensor& row) {
 
 Tensor MulScalar(const Tensor& a, double s) {
   const auto& av = a.data();
-  std::vector<float> out(av.size());
+  std::vector<float> out = kernels::AcquireBuffer(av.size());
   const float fs = static_cast<float>(s);
-  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] * fs;
+  K().scale(av.data(), fs, out.data(), av.size());
   ImplPtr pa = a.impl();
   return MakeOp(a.rows(), a.cols(), std::move(out), {pa},
                 [pa, fs](TensorImpl* o) {
                   return [pa, o, fs]() {
                     if (!InGraph(pa)) return;
                     std::vector<float>& ga = GradBufferFor(pa.get());
-                    for (size_t i = 0; i < o->grad.size(); ++i)
-                      ga[i] += o->grad[i] * fs;
+                    K().axpy(fs, o->grad.data(), ga.data(), o->grad.size());
                   };
                 });
 }
 
 Tensor AddConst(const Tensor& a, double s) {
   const auto& av = a.data();
-  std::vector<float> out(av.size());
+  std::vector<float> out = kernels::AcquireBuffer(av.size());
   const float fs = static_cast<float>(s);
   for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] + fs;
   ImplPtr pa = a.impl();
@@ -224,8 +227,8 @@ Tensor AddConst(const Tensor& a, double s) {
                   return [pa, o]() {
                     if (!InGraph(pa)) return;
                     std::vector<float>& ga = GradBufferFor(pa.get());
-                    for (size_t i = 0; i < o->grad.size(); ++i)
-                      ga[i] += o->grad[i];
+                    K().axpy(1.0f, o->grad.data(), ga.data(),
+                             o->grad.size());
                   };
                 });
 }
@@ -239,17 +242,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int n = b.cols();
   const auto& av = a.data();
   const auto& bv = b.data();
-  std::vector<float> out(static_cast<size_t>(m) * n, 0.0f);
-  // i-k-j loop order: streams through b and out rows (cache friendly).
-  for (int i = 0; i < m; ++i) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float aik = av[static_cast<size_t>(i) * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = &bv[static_cast<size_t>(kk) * n];
-      float* orow = &out[static_cast<size_t>(i) * n];
-      for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
-    }
-  }
+  std::vector<float> out =
+      kernels::AcquireZeroed(static_cast<size_t>(m) * n);
+  K().matmul(av.data(), bv.data(), out.data(), m, k, n);
   ImplPtr pa = a.impl(), pb = b.impl();
   return MakeOp(
       m, n, std::move(out), {pa, pb}, [pa, pb, m, k, n](TensorImpl* o) {
@@ -257,6 +252,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
           // dA = dO * B^T ; dB = A^T * dO.
           if (InGraph(pa)) {
             std::vector<float>& ga = GradBufferFor(pa.get());
+            // Each ga entry is a dot product over n: a reduction whose
+            // sequential order is part of the determinism contract, so it
+            // stays a scalar loop.
             for (int i = 0; i < m; ++i) {
               const float* gorow = &o->grad[static_cast<size_t>(i) * n];
               float* garow = &ga[static_cast<size_t>(i) * k];
@@ -276,7 +274,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                 const float aik = pa->data[static_cast<size_t>(i) * k + kk];
                 if (aik == 0.0f) continue;
                 const float* gorow = &o->grad[static_cast<size_t>(i) * n];
-                for (int j = 0; j < n; ++j) gbrow[j] += aik * gorow[j];
+                K().axpy(aik, gorow, gbrow, static_cast<size_t>(n));
               }
             }
           }
@@ -288,7 +286,7 @@ Tensor Transpose(const Tensor& a) {
   const int m = a.rows();
   const int n = a.cols();
   const auto& av = a.data();
-  std::vector<float> out(av.size());
+  std::vector<float> out = kernels::AcquireBuffer(av.size());
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < n; ++j) {
       out[static_cast<size_t>(j) * m + i] = av[static_cast<size_t>(i) * n + j];
@@ -317,7 +315,7 @@ template <typename F, typename DF>
 Tensor UnaryOp(const Tensor& a, F fn, DF dfn) {
   DCheckWellFormed(a);
   const auto& av = a.data();
-  std::vector<float> out(av.size());
+  std::vector<float> out = kernels::AcquireBuffer(av.size());
   for (size_t i = 0; i < av.size(); ++i) out[i] = fn(av[i]);
   ImplPtr pa = a.impl();
   return MakeOp(a.rows(), a.cols(), std::move(out), {pa},
@@ -335,10 +333,23 @@ Tensor UnaryOp(const Tensor& a, F fn, DF dfn) {
 }  // namespace
 
 Tensor LeakyRelu(const Tensor& a, double slope) {
+  DCheckWellFormed(a);
   const float s = static_cast<float>(slope);
-  return UnaryOp(
-      a, [s](float x) { return x >= 0.0f ? x : s * x; },
-      [s](float x, float) { return x >= 0.0f ? 1.0f : s; });
+  const auto& av = a.data();
+  std::vector<float> out = kernels::AcquireBuffer(av.size());
+  K().leaky_relu(av.data(), s, out.data(), av.size());
+  ImplPtr pa = a.impl();
+  return MakeOp(a.rows(), a.cols(), std::move(out), {pa},
+                [pa, s](TensorImpl* o) {
+                  return [pa, o, s]() {
+                    if (!InGraph(pa)) return;
+                    std::vector<float>& ga = GradBufferFor(pa.get());
+                    for (size_t i = 0; i < o->grad.size(); ++i) {
+                      ga[i] +=
+                          o->grad[i] * (pa->data[i] >= 0.0f ? 1.0f : s);
+                    }
+                  };
+                });
 }
 
 Tensor Relu(const Tensor& a) {
@@ -385,20 +396,8 @@ Tensor SoftmaxImpl(const Tensor& a, int valid_cols) {
   const int n = a.cols();
   TMN_CHECK(valid_cols >= 1 && valid_cols <= n);
   const auto& av = a.data();
-  std::vector<float> out(av.size(), 0.0f);
-  for (int i = 0; i < m; ++i) {
-    const float* row = &av[static_cast<size_t>(i) * n];
-    float* orow = &out[static_cast<size_t>(i) * n];
-    float max_v = row[0];
-    for (int j = 1; j < valid_cols; ++j) max_v = std::max(max_v, row[j]);
-    float denom = 0.0f;
-    for (int j = 0; j < valid_cols; ++j) {
-      orow[j] = std::exp(row[j] - max_v);
-      denom += orow[j];
-    }
-    for (int j = 0; j < valid_cols; ++j) orow[j] /= denom;
-    // Columns >= valid_cols stay exactly 0 (masked padding).
-  }
+  std::vector<float> out = kernels::AcquireZeroed(av.size());
+  K().softmax_rows(av.data(), out.data(), m, n, valid_cols);
   ImplPtr pa = a.impl();
   return MakeOp(m, n, std::move(out), {pa},
                 [pa, m, n, valid_cols](TensorImpl* o) {
@@ -432,9 +431,11 @@ Tensor ZeroRowsBeyond(const Tensor& a, int valid_rows) {
   TMN_CHECK(valid_rows >= 0 && valid_rows <= a.rows());
   const int m = a.rows();
   const int d = a.cols();
-  std::vector<float> out = a.data();
-  std::fill(out.begin() + static_cast<size_t>(valid_rows) * d, out.end(),
-            0.0f);
+  const auto& av = a.data();
+  std::vector<float> out = kernels::AcquireBuffer(av.size());
+  const size_t keep = static_cast<size_t>(valid_rows) * d;
+  std::copy_n(av.data(), keep, out.data());
+  std::fill(out.begin() + keep, out.end(), 0.0f);
   ImplPtr pa = a.impl();
   return MakeOp(m, d, std::move(out), {pa},
                 [pa, valid_rows, d](TensorImpl* o) {
@@ -443,9 +444,7 @@ Tensor ZeroRowsBeyond(const Tensor& a, int valid_rows) {
                     std::vector<float>& ga = GradBufferFor(pa.get());
                     const size_t limit =
                         static_cast<size_t>(valid_rows) * d;
-                    for (size_t i = 0; i < limit; ++i) {
-                      ga[i] += o->grad[i];
-                    }
+                    K().axpy(1.0f, o->grad.data(), ga.data(), limit);
                   };
                 });
 }
@@ -457,7 +456,8 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   const int d2 = b.cols();
   const auto& av = a.data();
   const auto& bv = b.data();
-  std::vector<float> out(static_cast<size_t>(m) * (d1 + d2));
+  std::vector<float> out =
+      kernels::AcquireBuffer(static_cast<size_t>(m) * (d1 + d2));
   for (int i = 0; i < m; ++i) {
     std::copy_n(&av[static_cast<size_t>(i) * d1], d1,
                 &out[static_cast<size_t>(i) * (d1 + d2)]);
@@ -472,19 +472,18 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
                     if (InGraph(pa)) {
                       std::vector<float>& ga = GradBufferFor(pa.get());
                       for (int i = 0; i < m; ++i) {
-                        for (int j = 0; j < d1; ++j) {
-                          ga[static_cast<size_t>(i) * d1 + j] +=
-                              o->grad[static_cast<size_t>(i) * d + j];
-                        }
+                        K().axpy(1.0f, &o->grad[static_cast<size_t>(i) * d],
+                                 &ga[static_cast<size_t>(i) * d1],
+                                 static_cast<size_t>(d1));
                       }
                     }
                     if (InGraph(pb)) {
                       std::vector<float>& gb = GradBufferFor(pb.get());
                       for (int i = 0; i < m; ++i) {
-                        for (int j = 0; j < d2; ++j) {
-                          gb[static_cast<size_t>(i) * d2 + j] +=
-                              o->grad[static_cast<size_t>(i) * d + d1 + j];
-                        }
+                        K().axpy(
+                            1.0f, &o->grad[static_cast<size_t>(i) * d + d1],
+                            &gb[static_cast<size_t>(i) * d2],
+                            static_cast<size_t>(d2));
                       }
                     }
                   };
@@ -495,7 +494,8 @@ Tensor StackRows(const std::vector<Tensor>& rows) {
   TMN_CHECK(!rows.empty());
   const int d = rows[0].cols();
   const int m = static_cast<int>(rows.size());
-  std::vector<float> out(static_cast<size_t>(m) * d);
+  std::vector<float> out =
+      kernels::AcquireBuffer(static_cast<size_t>(m) * d);
   std::vector<ImplPtr> parents;
   parents.reserve(rows.size());
   for (int i = 0; i < m; ++i) {
@@ -511,9 +511,8 @@ Tensor StackRows(const std::vector<Tensor>& rows) {
                       const ImplPtr& p = captured[i];
                       if (!InGraph(p)) continue;
                       std::vector<float>& gp = GradBufferFor(p.get());
-                      for (int j = 0; j < d; ++j) {
-                        gp[j] += o->grad[i * d + j];
-                      }
+                      K().axpy(1.0f, &o->grad[i * d], gp.data(),
+                               static_cast<size_t>(d));
                     }
                   };
                 });
@@ -522,16 +521,15 @@ Tensor StackRows(const std::vector<Tensor>& rows) {
 Tensor Row(const Tensor& a, int i) {
   TMN_CHECK(i >= 0 && i < a.rows());
   const int d = a.cols();
-  std::vector<float> out(a.data().begin() + static_cast<size_t>(i) * d,
-                         a.data().begin() + static_cast<size_t>(i + 1) * d);
+  std::vector<float> out = kernels::AcquireBuffer(static_cast<size_t>(d));
+  std::copy_n(a.data().data() + static_cast<size_t>(i) * d, d, out.data());
   ImplPtr pa = a.impl();
   return MakeOp(1, d, std::move(out), {pa}, [pa, i, d](TensorImpl* o) {
     return [pa, o, i, d]() {
       if (!InGraph(pa)) return;
       std::vector<float>& ga = GradBufferFor(pa.get());
-      for (int j = 0; j < d; ++j) {
-        ga[static_cast<size_t>(i) * d + j] += o->grad[j];
-      }
+      K().axpy(1.0f, o->grad.data(), &ga[static_cast<size_t>(i) * d],
+               static_cast<size_t>(d));
     };
   });
 }
@@ -541,7 +539,8 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
   const int m = a.rows();
   const int n = a.cols();
   const auto& av = a.data();
-  std::vector<float> out(static_cast<size_t>(m) * len);
+  std::vector<float> out =
+      kernels::AcquireBuffer(static_cast<size_t>(m) * len);
   for (int i = 0; i < m; ++i) {
     std::copy_n(&av[static_cast<size_t>(i) * n + start], len,
                 &out[static_cast<size_t>(i) * len]);
@@ -553,10 +552,10 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
                     if (!InGraph(pa)) return;
                     std::vector<float>& ga = GradBufferFor(pa.get());
                     for (int i = 0; i < m; ++i) {
-                      for (int j = 0; j < len; ++j) {
-                        ga[static_cast<size_t>(i) * n + start + j] +=
-                            o->grad[static_cast<size_t>(i) * len + j];
-                      }
+                      K().axpy(1.0f,
+                               &o->grad[static_cast<size_t>(i) * len],
+                               &ga[static_cast<size_t>(i) * n + start],
+                               static_cast<size_t>(len));
                     }
                   };
                 });
@@ -566,8 +565,8 @@ Tensor ScaleByScalar(const Tensor& a, const Tensor& s) {
   TMN_CHECK(s.numel() == 1);
   const auto& av = a.data();
   const float sv = s.data()[0];
-  std::vector<float> out(av.size());
-  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] * sv;
+  std::vector<float> out = kernels::AcquireBuffer(av.size());
+  K().scale(av.data(), sv, out.data(), av.size());
   ImplPtr pa = a.impl(), ps = s.impl();
   return MakeOp(a.rows(), a.cols(), std::move(out), {pa, ps},
                 [pa, ps](TensorImpl* o) {
@@ -575,8 +574,8 @@ Tensor ScaleByScalar(const Tensor& a, const Tensor& s) {
                     if (InGraph(pa)) {
                       std::vector<float>& ga = GradBufferFor(pa.get());
                       const float sv = ps->data[0];
-                      for (size_t i = 0; i < o->grad.size(); ++i)
-                        ga[i] += o->grad[i] * sv;
+                      K().axpy(sv, o->grad.data(), ga.data(),
+                               o->grad.size());
                     }
                     if (InGraph(ps)) {
                       std::vector<float>& gs = GradBufferFor(ps.get());
@@ -595,12 +594,10 @@ Tensor MulColVector(const Tensor& a, const Tensor& col) {
   const int d = a.cols();
   const auto& av = a.data();
   const auto& cv = col.data();
-  std::vector<float> out(av.size());
+  std::vector<float> out = kernels::AcquireBuffer(av.size());
   for (int r = 0; r < m; ++r) {
-    for (int c = 0; c < d; ++c) {
-      out[static_cast<size_t>(r) * d + c] =
-          av[static_cast<size_t>(r) * d + c] * cv[r];
-    }
+    K().scale(&av[static_cast<size_t>(r) * d], cv[r],
+              &out[static_cast<size_t>(r) * d], static_cast<size_t>(d));
   }
   ImplPtr pa = a.impl(), pc = col.impl();
   return MakeOp(m, d, std::move(out), {pa, pc},
@@ -609,11 +606,10 @@ Tensor MulColVector(const Tensor& a, const Tensor& col) {
                     if (InGraph(pa)) {
                       std::vector<float>& ga = GradBufferFor(pa.get());
                       for (int r = 0; r < m; ++r) {
-                        for (int c = 0; c < d; ++c) {
-                          ga[static_cast<size_t>(r) * d + c] +=
-                              o->grad[static_cast<size_t>(r) * d + c] *
-                              pc->data[r];
-                        }
+                        K().axpy(pc->data[r],
+                                 &o->grad[static_cast<size_t>(r) * d],
+                                 &ga[static_cast<size_t>(r) * d],
+                                 static_cast<size_t>(d));
                       }
                     }
                     if (InGraph(pc)) {
@@ -635,7 +631,8 @@ Tensor TileRows(const Tensor& row, int m) {
   TMN_CHECK(row.rows() == 1 && m >= 1);
   const int d = row.cols();
   const auto& rv = row.data();
-  std::vector<float> out(static_cast<size_t>(m) * d);
+  std::vector<float> out =
+      kernels::AcquireBuffer(static_cast<size_t>(m) * d);
   for (int i = 0; i < m; ++i) {
     std::copy_n(rv.data(), d, &out[static_cast<size_t>(i) * d]);
   }
@@ -645,9 +642,8 @@ Tensor TileRows(const Tensor& row, int m) {
       if (!InGraph(pr)) return;
       std::vector<float>& gr = GradBufferFor(pr.get());
       for (int i = 0; i < m; ++i) {
-        for (int j = 0; j < d; ++j) {
-          gr[j] += o->grad[static_cast<size_t>(i) * d + j];
-        }
+        K().axpy(1.0f, &o->grad[static_cast<size_t>(i) * d], gr.data(),
+                 static_cast<size_t>(d));
       }
     };
   });
@@ -675,7 +671,7 @@ Tensor MeanRows(const Tensor& a) {
   const int m = a.rows();
   const int d = a.cols();
   const auto& av = a.data();
-  std::vector<float> out(d, 0.0f);
+  std::vector<float> out = kernels::AcquireZeroed(static_cast<size_t>(d));
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < d; ++j) out[j] += av[static_cast<size_t>(i) * d + j];
   }

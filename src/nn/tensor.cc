@@ -3,8 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
+
+#include "nn/kernels/arena.h"
 
 namespace tmn::nn {
+
+TensorImpl::~TensorImpl() {
+  kernels::RecycleBuffer(std::move(data));
+}
 
 namespace {
 thread_local bool g_grad_mode = true;
@@ -57,7 +64,8 @@ Tensor Tensor::Full(int rows, int cols, float value, bool requires_grad) {
   auto impl = std::make_shared<TensorImpl>();
   impl->rows = rows;
   impl->cols = cols;
-  impl->data.assign(static_cast<size_t>(rows) * cols, value);
+  impl->data = kernels::AcquireBuffer(static_cast<size_t>(rows) * cols);
+  std::fill(impl->data.begin(), impl->data.end(), value);
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }

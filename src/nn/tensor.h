@@ -22,6 +22,19 @@ namespace tmn::nn {
 // Gradient recording is controlled by (a) requires_grad on leaf tensors
 // (parameters) and (b) the thread-local grad mode (see NoGradGuard) used to
 // make inference cheap.
+//
+// Compute and memory back ends:
+//  - Op arithmetic runs on the runtime-dispatched kernel layer
+//    (src/nn/kernels/kernels.h): one scalar and one AVX2 implementation of
+//    each hot loop, selected once per process and bitwise-identical by
+//    contract, so tensors never care which backend executed them.
+//  - Buffer ownership: each TensorImpl exclusively owns its data vector.
+//    While a kernels::ArenaScope is active on the thread (inference fast
+//    path), op outputs draw their vectors from a thread-local recycling
+//    pool and ~TensorImpl returns them to it; a buffer is pooled only
+//    after its sole owner dies, so live tensors can never alias recycled
+//    storage. Escaping tensors (model outputs) simply keep their buffers.
+//    See src/nn/kernels/arena.h and docs/KERNELS.md.
 
 struct TensorImpl;
 
@@ -77,6 +90,13 @@ class Tensor {
 };
 
 struct TensorImpl {
+  TensorImpl() = default;
+  // Recycles `data` into the thread-local inference arena when a
+  // kernels::ArenaScope is active on the destroying thread (see arena.h).
+  ~TensorImpl();
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+
   int rows = 0;
   int cols = 0;
   std::vector<float> data;

@@ -1,0 +1,397 @@
+// Tests for the dispatched kernel layer (src/nn/kernels/):
+//
+//  * bitwise scalar-vs-AVX2 parity for every KernelTable entry, swept
+//    over shapes from 1x1 up to 65x67 so partial SIMD lanes (n % 8 != 0)
+//    and the zero-skip matmul path are exercised;
+//  * the inference arena's ownership contract — buffer reuse across
+//    forwards never aliases live tensor data, and Clear() resets it;
+//  * the fused no-tape forwards (Lstm, BatchedLstmForward, TmnModel)
+//    match the op-graph tape path bit for bit.
+#include "nn/kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/tmn_model.h"
+#include "data/synthetic.h"
+#include "eval/evaluation.h"
+#include "geo/preprocess.h"
+#include "nn/batched_lstm.h"
+#include "nn/kernels/arena.h"
+#include "nn/lstm.h"
+#include "nn/ops.h"
+#include "nn/rng.h"
+#include "nn/tensor.h"
+
+namespace {
+
+using tmn::nn::Rng;
+using tmn::nn::Tensor;
+using tmn::nn::kernels::Arena;
+using tmn::nn::kernels::ArenaScope;
+using tmn::nn::kernels::Avx2;
+using tmn::nn::kernels::KernelTable;
+using tmn::nn::kernels::Scalar;
+
+// Bitwise comparison: float operator== would call -0.0f equal to 0.0f
+// and NaN unequal to itself, but the determinism contract is about bit
+// patterns, not numeric equality.
+::testing::AssertionResult BitwiseEq(const std::vector<float>& a,
+                                     const std::vector<float>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  if (a.empty() ||
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(float)) != 0) {
+      return ::testing::AssertionFailure()
+             << "first bit difference at [" << i << "]: " << a[i] << " vs "
+             << b[i];
+    }
+  }
+  return ::testing::AssertionFailure() << "unreachable";
+}
+
+// Deterministic data with exact zeros (matmul skip path) and negative
+// zeros (sign-bit handling) sprinkled in.
+std::vector<float> RandomVec(size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(rng.Uniform(-2, 2));
+    if (i % 7 == 3) v[i] = 0.0f;
+    if (i % 11 == 5) v[i] = -0.0f;
+  }
+  return v;
+}
+
+// Dimension sweep crossing the 8-lane AVX2 width on both sides, plus the
+// 65x67 tail shapes called out in the test plan.
+const int kDims[] = {1, 2, 3, 7, 8, 9, 16, 17, 31, 33, 65, 67};
+const int kInnerDims[] = {1, 3, 8, 17, 33, 67};
+
+TEST(KernelParity, MatMulSweep) {
+  const KernelTable* avx2 = Avx2();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 backend unavailable";
+  const KernelTable& scalar = Scalar();
+  Rng rng(11);
+  for (int m : kDims) {
+    for (int k : kInnerDims) {
+      for (int n : kDims) {
+        const auto a = RandomVec(static_cast<size_t>(m) * k, rng);
+        const auto b = RandomVec(static_cast<size_t>(k) * n, rng);
+        std::vector<float> cs(static_cast<size_t>(m) * n, 0.0f);
+        std::vector<float> cv(static_cast<size_t>(m) * n, 0.0f);
+        scalar.matmul(a.data(), b.data(), cs.data(), m, k, n);
+        avx2->matmul(a.data(), b.data(), cv.data(), m, k, n);
+        ASSERT_TRUE(BitwiseEq(cs, cv)) << m << "x" << k << "x" << n;
+      }
+    }
+  }
+}
+
+TEST(KernelParity, ElementwiseSweep) {
+  const KernelTable* avx2 = Avx2();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 backend unavailable";
+  const KernelTable& scalar = Scalar();
+  Rng rng(12);
+  for (int dim : kDims) {
+    const size_t n = static_cast<size_t>(dim) * 67;  // Up to 65*67 floats.
+    const auto a = RandomVec(n, rng);
+    const auto b = RandomVec(n, rng);
+    std::vector<float> os(n), ov(n);
+    scalar.add(a.data(), b.data(), os.data(), n);
+    avx2->add(a.data(), b.data(), ov.data(), n);
+    ASSERT_TRUE(BitwiseEq(os, ov)) << "add n=" << n;
+    scalar.sub(a.data(), b.data(), os.data(), n);
+    avx2->sub(a.data(), b.data(), ov.data(), n);
+    ASSERT_TRUE(BitwiseEq(os, ov)) << "sub n=" << n;
+    scalar.mul(a.data(), b.data(), os.data(), n);
+    avx2->mul(a.data(), b.data(), ov.data(), n);
+    ASSERT_TRUE(BitwiseEq(os, ov)) << "mul n=" << n;
+    scalar.scale(a.data(), 0.3f, os.data(), n);
+    avx2->scale(a.data(), 0.3f, ov.data(), n);
+    ASSERT_TRUE(BitwiseEq(os, ov)) << "scale n=" << n;
+    scalar.leaky_relu(a.data(), 0.01f, os.data(), n);
+    avx2->leaky_relu(a.data(), 0.01f, ov.data(), n);
+    ASSERT_TRUE(BitwiseEq(os, ov)) << "leaky_relu n=" << n;
+    for (float alpha : {1.0f, -1.0f, 0.5f}) {
+      os = b;
+      ov = b;
+      scalar.axpy(alpha, a.data(), os.data(), n);
+      avx2->axpy(alpha, a.data(), ov.data(), n);
+      ASSERT_TRUE(BitwiseEq(os, ov)) << "axpy alpha=" << alpha;
+    }
+    os = b;
+    ov = b;
+    scalar.mul_acc(a.data(), a.data(), os.data(), n);
+    avx2->mul_acc(a.data(), a.data(), ov.data(), n);
+    ASSERT_TRUE(BitwiseEq(os, ov)) << "mul_acc n=" << n;
+  }
+}
+
+TEST(KernelParity, AddRowVectorSweep) {
+  const KernelTable* avx2 = Avx2();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 backend unavailable";
+  const KernelTable& scalar = Scalar();
+  Rng rng(13);
+  for (int m : kDims) {
+    for (int d : kDims) {
+      const auto a = RandomVec(static_cast<size_t>(m) * d, rng);
+      const auto row = RandomVec(static_cast<size_t>(d), rng);
+      std::vector<float> os(a.size()), ov(a.size());
+      scalar.add_row_vector(a.data(), row.data(), os.data(), m, d);
+      avx2->add_row_vector(a.data(), row.data(), ov.data(), m, d);
+      ASSERT_TRUE(BitwiseEq(os, ov)) << m << "x" << d;
+    }
+  }
+}
+
+TEST(KernelParity, SoftmaxRowsSweepIncludingMasked) {
+  const KernelTable* avx2 = Avx2();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 backend unavailable";
+  const KernelTable& scalar = Scalar();
+  Rng rng(14);
+  for (int m : kDims) {
+    for (int n : kDims) {
+      const auto a = RandomVec(static_cast<size_t>(m) * n, rng);
+      for (int valid : {1, (n + 1) / 2, n}) {
+        std::vector<float> os(a.size(), 0.0f);
+        std::vector<float> ov(a.size(), 0.0f);
+        scalar.softmax_rows(a.data(), os.data(), m, n, valid);
+        avx2->softmax_rows(a.data(), ov.data(), m, n, valid);
+        ASSERT_TRUE(BitwiseEq(os, ov))
+            << m << "x" << n << " valid=" << valid;
+      }
+    }
+  }
+}
+
+TEST(KernelParity, LstmGatesSweep) {
+  const KernelTable* avx2 = Avx2();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 backend unavailable";
+  const KernelTable& scalar = Scalar();
+  Rng rng(15);
+  for (int batch : {1, 2, 5}) {
+    for (int hidden : {1, 3, 8, 17, 32, 67}) {
+      const size_t bh = static_cast<size_t>(batch) * hidden;
+      const auto z0 = RandomVec(bh * 4, rng);
+      const auto c_prev = RandomVec(bh, rng);
+      std::vector<float> zs = z0, zv = z0;
+      std::vector<float> cs(bh), cv(bh), hs(bh), hv(bh);
+      scalar.lstm_gates(zs.data(), c_prev.data(), cs.data(), hs.data(),
+                        batch, hidden);
+      avx2->lstm_gates(zv.data(), c_prev.data(), cv.data(), hv.data(),
+                       batch, hidden);
+      ASSERT_TRUE(BitwiseEq(zs, zv)) << batch << "x" << hidden;
+      ASSERT_TRUE(BitwiseEq(cs, cv)) << batch << "x" << hidden;
+      ASSERT_TRUE(BitwiseEq(hs, hv)) << batch << "x" << hidden;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused no-tape forwards vs the op-graph tape path.
+
+Tensor RandomTensor(int rows, int cols, Rng& rng) {
+  return Tensor::FromData(rows, cols, RandomVec(
+      static_cast<size_t>(rows) * cols, rng));
+}
+
+std::vector<tmn::geo::Trajectory> TestTrajectories(int count, uint64_t seed) {
+  tmn::data::SyntheticConfig config;
+  config.num_trajectories = count;
+  config.min_length = 9;
+  config.max_length = 14;
+  config.seed = seed;
+  auto raw = tmn::data::GenerateSynthetic(config);
+  return tmn::geo::NormalizeTrajectories(raw,
+                                         tmn::geo::ComputeNormalization(raw));
+}
+
+TEST(InferenceFastPath, LstmForwardMatchesTapeBitwise) {
+  Rng rng(21);
+  const tmn::nn::Lstm lstm(6, 8, rng);
+  const Tensor x = RandomTensor(10, 6, rng);
+  const Tensor tape = lstm.Forward(x);  // Grad mode on: op-graph path.
+  tmn::nn::NoGradGuard no_grad;
+  const Tensor fused = lstm.Forward(x);
+  EXPECT_TRUE(BitwiseEq(tape.data(), fused.data()));
+}
+
+TEST(InferenceFastPath, BatchedLstmForwardMatchesTapeBitwise) {
+  Rng rng(22);
+  const tmn::nn::LstmCell cell(5, 7, rng);
+  // Mixed lengths so the padded-step masked blend runs.
+  const std::vector<Tensor> inputs = {RandomTensor(9, 5, rng),
+                                      RandomTensor(4, 5, rng),
+                                      RandomTensor(12, 5, rng)};
+  const std::vector<Tensor> tape = tmn::nn::BatchedLstmForward(cell, inputs);
+  tmn::nn::NoGradGuard no_grad;
+  const std::vector<Tensor> fused = tmn::nn::BatchedLstmForward(cell, inputs);
+  ASSERT_EQ(tape.size(), fused.size());
+  for (size_t i = 0; i < tape.size(); ++i) {
+    EXPECT_TRUE(BitwiseEq(tape[i].data(), fused[i].data())) << "seq " << i;
+  }
+}
+
+TEST(InferenceFastPath, TmnPairForwardMatchesTapeBitwise) {
+  const auto trajs = TestTrajectories(2, 31);
+  tmn::core::TmnModelConfig config;
+  config.hidden_dim = 16;
+  const tmn::core::TmnModel model(config);
+  const tmn::core::PairOutput tape = model.ForwardPair(trajs[0], trajs[1]);
+  tmn::nn::NoGradGuard no_grad;
+  const tmn::core::PairOutput fused = model.ForwardPair(trajs[0], trajs[1]);
+  EXPECT_TRUE(BitwiseEq(tape.oa.data(), fused.oa.data()));
+  EXPECT_TRUE(BitwiseEq(tape.ob.data(), fused.ob.data()));
+}
+
+TEST(InferenceFastPath, TmnPairForwardPaddedMatchesTapeBitwise) {
+  const auto trajs = TestTrajectories(2, 32);
+  tmn::core::TmnModelConfig config;
+  config.hidden_dim = 16;
+  const tmn::core::TmnModel model(config);
+  const tmn::core::PairOutput tape =
+      model.ForwardPairPadded(trajs[0], trajs[1]);
+  tmn::nn::NoGradGuard no_grad;
+  const tmn::core::PairOutput fused =
+      model.ForwardPairPadded(trajs[0], trajs[1]);
+  EXPECT_TRUE(BitwiseEq(tape.oa.data(), fused.oa.data()));
+  EXPECT_TRUE(BitwiseEq(tape.ob.data(), fused.ob.data()));
+}
+
+TEST(InferenceFastPath, TmnSingleForwardMatchesTapeBitwise) {
+  const auto trajs = TestTrajectories(1, 33);
+  tmn::core::TmnModelConfig config;
+  config.hidden_dim = 16;
+  config.use_matching = false;
+  const tmn::core::TmnModel model(config);
+  const Tensor tape = model.ForwardSingle(trajs[0]);
+  tmn::nn::NoGradGuard no_grad;
+  const Tensor fused = model.ForwardSingle(trajs[0]);
+  EXPECT_TRUE(BitwiseEq(tape.data(), fused.data()));
+}
+
+// Parallel batch encode (thread pool + per-worker arenas) must equal the
+// sequential single-thread loop bit for bit, whatever the pool size.
+TEST(InferenceFastPath, ParallelEncodeMatchesSequentialBitwise) {
+  const auto trajs = TestTrajectories(6, 34);
+  tmn::core::TmnModelConfig config;
+  config.hidden_dim = 16;
+  config.use_matching = false;
+  const tmn::core::TmnModel model(config);
+  const auto parallel = tmn::eval::EncodeAll(model, trajs);
+  tmn::nn::NoGradGuard no_grad;
+  for (size_t i = 0; i < trajs.size(); ++i) {
+    const Tensor o = model.ForwardSingle(trajs[i]);
+    EXPECT_TRUE(
+        BitwiseEq(parallel[i], tmn::nn::Row(o, o.rows() - 1).data()))
+        << "trajectory " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena ownership.
+
+TEST(ArenaTest, InactiveOutsideScopeAndWhileGradEnabled) {
+  EXPECT_FALSE(Arena::ThreadLocal().active());
+  {
+    ArenaScope scope;  // Grad mode on: must stay disengaged.
+    EXPECT_FALSE(Arena::ThreadLocal().active());
+  }
+  tmn::nn::NoGradGuard no_grad;
+  {
+    ArenaScope scope;
+    EXPECT_TRUE(Arena::ThreadLocal().active());
+  }
+  EXPECT_FALSE(Arena::ThreadLocal().active());
+}
+
+TEST(ArenaTest, ReuseAcrossForwardsNeverAliasesLiveTensors) {
+  const auto trajs = TestTrajectories(3, 41);
+  tmn::core::TmnModelConfig config;
+  config.hidden_dim = 16;
+  const tmn::core::TmnModel model(config);
+  tmn::nn::NoGradGuard no_grad;
+  ArenaScope scope;
+  // Hold the first forward's outputs across a second forward that
+  // recycles every intermediate buffer through the pool.
+  const tmn::core::PairOutput first = model.ForwardPair(trajs[0], trajs[1]);
+  const std::vector<float> oa_snapshot = first.oa.data();
+  const std::vector<float> ob_snapshot = first.ob.data();
+  const uint64_t acquires_before = Arena::ThreadLocal().stats().acquires;
+  const tmn::core::PairOutput second = model.ForwardPair(trajs[1], trajs[2]);
+  const Arena::Stats& stats = Arena::ThreadLocal().stats();
+  EXPECT_GT(stats.acquires, acquires_before);
+  EXPECT_GT(stats.pool_hits, 0u) << "second forward never hit the pool";
+  // A live tensor's buffer must never have been handed to the pool.
+  EXPECT_TRUE(BitwiseEq(first.oa.data(), oa_snapshot));
+  EXPECT_TRUE(BitwiseEq(first.ob.data(), ob_snapshot));
+}
+
+TEST(ArenaTest, AcquireZeroedIsZeroEvenAfterPoolReuse) {
+  tmn::nn::NoGradGuard no_grad;
+  ArenaScope scope;
+  std::vector<float> dirty = tmn::nn::kernels::AcquireBuffer(64);
+  for (float& v : dirty) v = 123.0f;
+  tmn::nn::kernels::RecycleBuffer(std::move(dirty));
+  const std::vector<float> zeroed = tmn::nn::kernels::AcquireZeroed(64);
+  EXPECT_TRUE(BitwiseEq(zeroed, std::vector<float>(64, 0.0f)));
+}
+
+TEST(ArenaTest, ClearResetsPoolAndAccounting) {
+  Arena& arena = Arena::ThreadLocal();
+  {
+    tmn::nn::NoGradGuard no_grad;
+    ArenaScope scope;
+    tmn::nn::kernels::RecycleBuffer(tmn::nn::kernels::AcquireBuffer(128));
+  }
+  arena.Clear();
+  EXPECT_EQ(arena.stats().acquires, 0u);
+  EXPECT_EQ(arena.stats().pool_hits, 0u);
+  EXPECT_EQ(arena.stats().live_bytes, 0u);
+  EXPECT_EQ(arena.stats().high_water_bytes, 0u);
+  // After Clear the next acquire is a clean heap allocation.
+  tmn::nn::NoGradGuard no_grad;
+  ArenaScope scope;
+  const std::vector<float> buf = tmn::nn::kernels::AcquireBuffer(8);
+  EXPECT_EQ(arena.stats().acquires, 1u);
+  EXPECT_EQ(arena.stats().pool_hits, 0u);
+}
+
+TEST(ArenaTest, HighWaterTracksRequestedBytes) {
+  Arena& arena = Arena::ThreadLocal();
+  arena.Clear();
+  tmn::nn::NoGradGuard no_grad;
+  ArenaScope scope;
+  std::vector<float> a = tmn::nn::kernels::AcquireBuffer(100);
+  std::vector<float> b = tmn::nn::kernels::AcquireBuffer(28);
+  EXPECT_EQ(arena.stats().live_bytes, 128 * sizeof(float));
+  EXPECT_EQ(arena.stats().high_water_bytes, 128 * sizeof(float));
+  tmn::nn::kernels::RecycleBuffer(std::move(a));
+  EXPECT_EQ(arena.stats().live_bytes, 28 * sizeof(float));
+  EXPECT_EQ(arena.stats().high_water_bytes, 128 * sizeof(float));
+  EXPECT_GE(Arena::GlobalHighWaterBytes(), 128 * sizeof(float));
+}
+
+TEST(KernelDispatch, BackendNamesAndActiveTableAreConsistent) {
+  using tmn::nn::kernels::Backend;
+  EXPECT_STREQ(tmn::nn::kernels::BackendName(Backend::kScalar), "scalar");
+  EXPECT_STREQ(tmn::nn::kernels::BackendName(Backend::kAvx2), "avx2");
+  const Backend active = tmn::nn::kernels::ActiveBackend();
+  if (active == Backend::kAvx2) {
+    ASSERT_NE(Avx2(), nullptr);
+    EXPECT_EQ(&tmn::nn::kernels::Active(), Avx2());
+  } else {
+    EXPECT_EQ(&tmn::nn::kernels::Active(), &Scalar());
+  }
+}
+
+}  // namespace

@@ -77,6 +77,8 @@ TEST(LintTest, FixtureCorpusReportsExactRuleIds) {
       {"fixture_raw_file_write.cc", "raw-file-write"},
       {"fixture_raw_serve.cc", "raw-serve"},
       {"fixture_raw_serve.cc", "raw-serve"},
+      {"fixture_raw_simd.cc", "raw-simd"},
+      {"fixture_raw_simd.cc", "raw-simd"},
   };
   EXPECT_EQ(findings, expected) << run.output;
 }
@@ -119,7 +121,8 @@ TEST(LintTest, ListRulesCoversCatalogue) {
   ASSERT_EQ(run.exit_code, 0);
   for (const char* rule : {"raw-thread", "no-exceptions", "raw-rng",
                            "stdout-io", "header-guard", "raw-alloc",
-                           "raw-timing", "raw-file-write", "raw-serve"}) {
+                           "raw-timing", "raw-file-write", "raw-serve",
+                           "raw-simd"}) {
     EXPECT_TRUE(run.output.find(rule) != std::string::npos) << rule;
   }
 }

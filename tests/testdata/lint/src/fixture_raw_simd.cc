@@ -1,0 +1,8 @@
+// Lint fixture: exactly two raw-simd violations (never compiled).
+// Hand-rolled vector code outside src/nn/kernels/ bypasses the scalar
+// reference path and the bitwise-parity contract of the kernel table.
+#include <immintrin.h>
+
+void ScaleEight(float* p) {
+  _mm256_storeu_ps(p, _mm256_mul_ps(_mm256_loadu_ps(p), _mm256_set1_ps(2)));
+}

@@ -79,6 +79,10 @@ constexpr RuleInfo kRules[] = {
      "direct EncodeTrajectory / HnswIndex use outside src/serve, src/eval "
      "and src/index (online queries go through serve::SimilarityServer so "
      "deadlines, shedding and degradation apply)"},
+    {"raw-simd",
+     "SIMD intrinsics / immintrin.h outside src/nn/kernels/ (vector code "
+     "goes behind the runtime-dispatched KernelTable so the scalar "
+     "reference path and bitwise parity are preserved)"},
 };
 
 // ---------------------------------------------------------------------------
@@ -150,6 +154,18 @@ bool IsServeExemptSource(const std::string& path) {
       if (pos == 0 || path[pos - 1] == '/') return true;
       ++pos;
     }
+  }
+  return false;
+}
+
+// src/nn/kernels/ is the sanctioned home for SIMD intrinsics (raw-simd
+// rule): everything else calls through the dispatched kernel table, which
+// keeps a portable scalar path alive and the two backends bitwise-equal.
+bool IsKernelsSource(const std::string& path) {
+  size_t pos = 0;
+  while ((pos = path.find("src/nn/kernels/", pos)) != std::string::npos) {
+    if (pos == 0 || path[pos - 1] == '/') return true;
+    ++pos;
   }
   return false;
 }
@@ -269,6 +285,19 @@ bool HasToken(const std::string& code, const std::string& token,
   return false;
 }
 
+// True when an identifier starting with `prefix` occurs in `code` at an
+// identifier boundary (an `_mm` prefix matches `_mm_add_ps`,
+// `_mm256_loadu_ps`, ...; HasToken cannot, because the intrinsic
+// families are open-ended).
+bool HasTokenPrefix(const std::string& code, const std::string& prefix) {
+  size_t pos = 0;
+  while ((pos = code.find(prefix, pos)) != std::string::npos) {
+    if (pos == 0 || !IsIdentChar(code[pos - 1])) return true;
+    ++pos;
+  }
+  return false;
+}
+
 // True when the raw source line passes fopen a write/append mode. The
 // mode lives in a string literal, which ScrubLine blanks out, so this
 // scans the raw line from the fopen token onward: any short literal made
@@ -327,6 +356,7 @@ void LintFile(const std::string& path, std::vector<Finding>& findings) {
   const bool rng_source = IsRngSource(path);
   const bool obs_source = IsObsSource(path);
   const bool io_util_source = IsIoUtilSource(path);
+  const bool kernels_source = IsKernelsSource(path);
   // raw-serve also covers the examples: they are the user-facing idiom and
   // must demonstrate the robust query path, not raw encode/index calls.
   const bool serve_scope =
@@ -437,6 +467,15 @@ void LintFile(const std::string& path, std::vector<Finding>& findings) {
                  active);
         }
       }
+    }
+    if (!kernels_source &&
+        (code.find("immintrin.h") != std::string::npos ||
+         HasTokenPrefix(code, "_mm") || HasTokenPrefix(code, "__m128") ||
+         HasTokenPrefix(code, "__m256") || HasTokenPrefix(code, "__m512"))) {
+      report(lineno, "raw-simd",
+             "SIMD intrinsics outside src/nn/kernels/; add the operation "
+             "to the dispatched KernelTable instead",
+             active);
     }
     if (serve_scope && (HasToken(code, "EncodeTrajectory") ||
                         HasToken(code, "HnswIndex"))) {
