@@ -86,6 +86,49 @@
 
 #endif  // TMN_ENABLE_DCHECKS
 
+// ---------------------------------------------------------------------------
+// Thread-safety annotations (lock discipline; see docs/STATIC_ANALYSIS.md).
+//
+// These expand to clang's thread-safety-analysis attributes when the
+// compiler supports them and to nothing otherwise, so they are zero-cost
+// at runtime and a no-op under gcc. The clang CI lane compiles with
+// -Wthread-safety -Werror, which turns every unannotated access to a
+// TMN_GUARDED_BY field into a build error; the tmn_lint `lock-discipline`
+// rule independently rejects mutex-adjacent member fields that carry no
+// annotation, so the contract is visible even in gcc-only builds.
+//
+// Convention: every member field protected by a mutex is declared with
+// TMN_GUARDED_BY(mu_); private helpers that assume the lock is already
+// held take TMN_REQUIRES(mu_); public entry points that must not be
+// called with the lock held may declare TMN_EXCLUDES(mu_). Use
+// common::Mutex / common::MutexLock (src/common/mutex.h) instead of raw
+// std::mutex so the analysis can see acquisitions.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define TMN_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef TMN_THREAD_ANNOTATION_
+#define TMN_THREAD_ANNOTATION_(x)  // Not clang: annotations compile away.
+#endif
+
+#define TMN_CAPABILITY(x) TMN_THREAD_ANNOTATION_(capability(x))
+#define TMN_SCOPED_CAPABILITY TMN_THREAD_ANNOTATION_(scoped_lockable)
+#define TMN_GUARDED_BY(x) TMN_THREAD_ANNOTATION_(guarded_by(x))
+#define TMN_PT_GUARDED_BY(x) TMN_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define TMN_REQUIRES(...) \
+  TMN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define TMN_EXCLUDES(...) TMN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define TMN_ACQUIRE(...) \
+  TMN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define TMN_RELEASE(...) \
+  TMN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define TMN_TRY_ACQUIRE(...) \
+  TMN_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define TMN_NO_THREAD_SAFETY_ANALYSIS \
+  TMN_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
 namespace tmn::common {
 
 // Whether the library itself was compiled with TMN_DCHECK* active. Tests

@@ -1,0 +1,14 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace tmn::common {
+
+// The one sanctioned std::chrono read in the library (raw-timing rule):
+// every timer, deadline and wait-time observation funnels through here.
+double MonotonicSeconds() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace tmn::common

@@ -1,0 +1,20 @@
+#ifndef TMN_COMMON_CLOCK_H_
+#define TMN_COMMON_CLOCK_H_
+
+// The library's one monotonic clock primitive. It lives at the bottom of
+// the layering DAG (tools/layering.toml) so that common itself — deadlines,
+// thread-pool wait accounting — can read time without depending on the
+// observability layer above it. All other library code times through
+// obs::MonotonicSeconds / obs::ScopedTimer (which forward here); ad-hoc
+// std::chrono reads elsewhere are rejected by the tmn_lint `raw-timing`
+// rule so instrumentation stays centralized and mockable.
+
+namespace tmn::common {
+
+// Seconds on a monotonic clock with an arbitrary epoch. Only differences
+// are meaningful.
+double MonotonicSeconds();
+
+}  // namespace tmn::common
+
+#endif  // TMN_COMMON_CLOCK_H_

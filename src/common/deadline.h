@@ -4,8 +4,8 @@
 #include <limits>
 #include <string>
 
+#include "common/clock.h"
 #include "common/status.h"
-#include "obs/clock.h"
 
 // Per-request time budgets for the online query path (docs/SERVING.md).
 // A Deadline is captured once when a request is admitted and then
@@ -35,7 +35,7 @@ class Deadline {
   static Deadline AfterSeconds(double budget_seconds,
                                ClockFn clock = nullptr) {
     Deadline d;
-    d.clock_ = clock == nullptr ? &obs::MonotonicSeconds : clock;
+    d.clock_ = clock == nullptr ? &MonotonicSeconds : clock;
     d.expires_at_ = d.clock_() + budget_seconds;
     return d;
   }

@@ -3,7 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace tmn::common {
 
@@ -27,27 +28,23 @@ class FailpointRegistry {
 
   void Activate(const std::string& name, uint64_t nth,
                 FailpointAction action) {
-    std::lock_guard<std::mutex> lock(mu_);
-    Site& site = sites_[name];
-    site.hits = 0;
-    site.armed = nth > 0;
-    site.fire_at = nth;
-    site.action = action;
+    MutexLock lock(mu_);
+    ActivateLocked(name, nth, action);
   }
 
   void Deactivate(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sites_.find(name);
     if (it != sites_.end()) it->second.armed = false;
   }
 
   void DeactivateAll() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [name, site] : sites_) site.armed = false;
   }
 
   uint64_t Hits(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sites_.find(name);
     return it == sites_.end() ? 0 : it->second.hits;
   }
@@ -56,7 +53,7 @@ class FailpointRegistry {
     FailpointAction action = FailpointAction::kFail;
     uint64_t hit_index = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ApplyEnvSpecLocked();
       Site& site = sites_[name];
       ++site.hits;
@@ -80,6 +77,24 @@ class FailpointRegistry {
   }
 
   void ActivateFromSpec(const std::string& spec) {
+    MutexLock lock(mu_);
+    ActivateFromSpecLocked(spec);
+  }
+
+ private:
+  void ActivateLocked(const std::string& name, uint64_t nth,
+                      FailpointAction action) TMN_REQUIRES(mu_) {
+    Site& site = sites_[name];
+    site.hits = 0;
+    site.armed = nth > 0;
+    site.fire_at = nth;
+    site.action = action;
+  }
+
+  // Parses "name@N[:fail|:crash],..." and arms each entry. Diagnostics for
+  // malformed entries go to stderr; parsing is cold, so holding the lock
+  // across the whole spec is fine.
+  void ActivateFromSpecLocked(const std::string& spec) TMN_REQUIRES(mu_) {
     size_t pos = 0;
     while (pos <= spec.size()) {
       size_t comma = spec.find(',', pos);
@@ -121,29 +136,24 @@ class FailpointRegistry {
                      entry.c_str(), rest.c_str());
         continue;
       }
-      Activate(name, nth, action);
+      ActivateLocked(name, nth, action);
     }
   }
 
- private:
   // Applies TMN_FAILPOINTS exactly once, lazily, under mu_ (callers hold
   // it). Lazy so tests that set the variable via a spawned child process
   // see it no matter when the library is first touched.
-  void ApplyEnvSpecLocked() {
+  void ApplyEnvSpecLocked() TMN_REQUIRES(mu_) {
     if (env_applied_) return;
     env_applied_ = true;
     const char* spec = std::getenv("TMN_FAILPOINTS");
     if (spec == nullptr || spec[0] == '\0') return;
-    // ActivateFromSpec re-acquires mu_ per entry; drop it around the call
-    // (env_applied_ is already set, so re-entry cannot recurse here).
-    mu_.unlock();
-    ActivateFromSpec(spec);
-    mu_.lock();
+    ActivateFromSpecLocked(spec);
   }
 
-  std::mutex mu_;
-  std::map<std::string, Site> sites_;
-  bool env_applied_ = false;
+  Mutex mu_;
+  std::map<std::string, Site> sites_ TMN_GUARDED_BY(mu_);
+  bool env_applied_ TMN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace

@@ -1,0 +1,76 @@
+#ifndef TMN_COMMON_MUTEX_H_
+#define TMN_COMMON_MUTEX_H_
+
+#include <mutex>
+
+#include "common/check.h"
+
+// Annotated mutex primitives for the lock-discipline contract
+// (docs/STATIC_ANALYSIS.md). std::mutex from libstdc++ carries no clang
+// capability attribute, so guarded-by analysis cannot see it; this thin
+// wrapper (zero overhead — every method is an inline forward) restores the
+// annotations. Library classes with shared mutable state use
+// common::Mutex for the member, TMN_GUARDED_BY(mu_) on every protected
+// field, and MutexLock / MutexUniqueLock at the acquisition sites; the
+// clang CI lane (-Wthread-safety -Werror) then proves every access is
+// made with the lock held.
+
+namespace tmn::common {
+
+class TMN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TMN_ACQUIRE() { mu_.lock(); }
+  void unlock() TMN_RELEASE() { mu_.unlock(); }
+  bool try_lock() TMN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // The wrapped handle, for std::condition_variable waits (always through
+  // MutexUniqueLock, so the analysis still sees the acquisition).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// lock_guard equivalent: acquires in the constructor, releases in the
+// destructor, and tells the analysis the capability is held in between.
+class TMN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TMN_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() TMN_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// unique_lock equivalent for condition-variable waits: owns a
+// std::unique_lock on the native handle so std::condition_variable::wait
+// can drop and reacquire it. The analysis treats the capability as held
+// for the whole scope, which is sound — wait() only runs caller code
+// (the predicate) with the lock reacquired.
+class TMN_SCOPED_CAPABILITY MutexUniqueLock {
+ public:
+  explicit MutexUniqueLock(Mutex& mu) TMN_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexUniqueLock() TMN_RELEASE() {}  // lock_'s destructor releases.
+
+  MutexUniqueLock(const MutexUniqueLock&) = delete;
+  MutexUniqueLock& operator=(const MutexUniqueLock&) = delete;
+
+  // For std::condition_variable::wait(native(), pred); annotate the
+  // predicate lambda with TMN_REQUIRES(mu) so guarded reads inside it
+  // pass the analysis.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace tmn::common
+
+#endif  // TMN_COMMON_MUTEX_H_

@@ -48,7 +48,12 @@ inline const char* StatusCodeName(StatusCode code) {
   return "UNKNOWN";
 }
 
-class Status {
+// [[nodiscard]] on the class makes every function returning Status by
+// value warn-on-discard (-Werror=unused-result promotes it): a caller must
+// branch, propagate, or explicitly `(void)`-discard with a comment saying
+// why losing the error is sound. tmn_lint's `must-use-status` rule covers
+// the same contract across translation units.
+class [[nodiscard]] Status {
  public:
   // Default-constructed status is OK.
   Status() = default;
@@ -106,7 +111,7 @@ inline Status UnavailableError(std::string message) {
 // Status-or-value. Accessing value() on an error status is a programmer
 // error and aborts via TMN_CHECK; callers must branch on ok() first.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Implicit from an error status (must not be OK: an OK StatusOr needs a
   // value) and from a value.

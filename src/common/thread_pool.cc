@@ -5,9 +5,9 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
-#include "obs/clock.h"
-#include "obs/metrics.h"
+#include "common/clock.h"
 
 namespace tmn::common {
 
@@ -17,7 +17,16 @@ thread_local bool g_on_pool_thread = false;
 // Sanity ceiling for TMN_NUM_THREADS: large enough for any real machine,
 // small enough to catch "4096000" typos and units mistakes.
 constexpr long kMaxThreads = 1024;
+
+// Zero-initialized (constant initialization), so reads are safe even if
+// no installer ever runs. Written once from obs's static initializer,
+// before main() and therefore before any pool thread exists.
+PoolInstrumentation g_pool_hooks;
 }  // namespace
+
+void SetPoolInstrumentation(const PoolInstrumentation& hooks) {
+  g_pool_hooks = hooks;
+}
 
 int DefaultThreadCount() {
   if (const char* env = std::getenv("TMN_NUM_THREADS")) {
@@ -51,7 +60,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -59,28 +68,22 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
-  // Pool metrics are all kUnstable: how many tasks a workload submits
-  // (and how long they queue) depends on the pool size, so they are
-  // reported but never hard-gated. One relaxed increment + one clock
-  // read per task; the wait-time observation happens on the worker.
-  static obs::Counter& submitted = obs::Registry::Global().GetCounter(
-      "tmn.common.pool.tasks_submitted", obs::Stability::kUnstable);
-  static obs::Gauge& queue_depth = obs::Registry::Global().GetGauge(
-      "tmn.common.pool.queue_depth", obs::Stability::kUnstable);
-  static obs::Histogram& wait_time =
-      obs::Registry::Global().GetTimer("tmn.common.pool.task_wait_seconds");
-  submitted.Increment();
-  const double enqueued = obs::MonotonicSeconds();
-  std::packaged_task<void()> task(
-      [fn = std::move(fn), enqueued]() {
-        wait_time.Observe(obs::MonotonicSeconds() - enqueued);
-        fn();
-      });
+  // Pool metrics (task counts, queue depth, wait times) flow out through
+  // the installed instrumentation hooks; obs registers them as kUnstable
+  // metrics, since how many tasks a workload submits — and how long they
+  // queue — depends on the pool size. One clock read per task here; the
+  // wait-time observation happens on the worker.
+  const bool timed = g_pool_hooks.task_started != nullptr;
+  std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
+  size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push_back(std::move(task));
-    queue_depth.Set(static_cast<double>(tasks_.size()));
+    MutexLock lock(mu_);
+    tasks_.push_back({std::move(task), timed ? MonotonicSeconds() : 0.0});
+    depth = tasks_.size();
+  }
+  if (g_pool_hooks.task_submitted != nullptr) {
+    g_pool_hooks.task_submitted(depth);
   }
   cv_.notify_one();
   return future;
@@ -89,15 +92,19 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
 void ThreadPool::WorkerLoop() {
   g_on_pool_thread = true;
   while (true) {
-    std::packaged_task<void()> task;
+    QueuedTask entry;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return stop_ || !tasks_.empty(); });
+      MutexUniqueLock lock(mu_);
+      cv_.wait(lock.native(),
+               [this]() TMN_REQUIRES(mu_) { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
+      entry = std::move(tasks_.front());
       tasks_.pop_front();
     }
-    task();  // packaged_task stores any exception in the future.
+    if (g_pool_hooks.task_started != nullptr) {
+      g_pool_hooks.task_started(MonotonicSeconds() - entry.enqueued_seconds);
+    }
+    entry.task();  // packaged_task stores any exception in the future.
   }
 }
 
@@ -115,9 +122,9 @@ void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& fn,
                  int max_parallelism) {
   if (end <= begin) return;
-  static obs::Counter& calls = obs::Registry::Global().GetCounter(
-      "tmn.common.pool.parallel_for_calls", obs::Stability::kUnstable);
-  calls.Increment();
+  if (g_pool_hooks.parallel_for_call != nullptr) {
+    g_pool_hooks.parallel_for_call();
+  }
   const size_t range = end - begin;
   if (range == 1 || max_parallelism == 1 || ThreadPool::OnPoolThread()) {
     for (size_t i = begin; i < end; ++i) fn(i);

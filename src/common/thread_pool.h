@@ -2,14 +2,38 @@
 #define TMN_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+
 namespace tmn::common {
+
+// Instrumentation seam for the pool. common sits below obs in the
+// layering DAG (tools/layering.toml), so the pool cannot talk to the
+// metric registry directly; instead src/obs/metrics.cc installs these
+// hooks from a static initializer, which runs in any binary that links
+// the registry. A binary that never links obs simply runs the pool
+// uninstrumented. All hooks may be null.
+struct PoolInstrumentation {
+  // After a task is enqueued; `queue_depth` is the post-enqueue depth.
+  void (*task_submitted)(size_t queue_depth) = nullptr;
+  // On the worker, just before the task body runs; `wait_seconds` is the
+  // time the task spent queued.
+  void (*task_started)(double wait_seconds) = nullptr;
+  // On every ParallelFor entry.
+  void (*parallel_for_call)() = nullptr;
+};
+
+// Installs `hooks` (copied). Must be called before any pool activity —
+// in practice from a static initializer, which precedes main(). Not
+// thread-safe against concurrent pool use by design: a data race here
+// would mean hooks were installed after worker threads started.
+void SetPoolInstrumentation(const PoolInstrumentation& hooks);
 
 // Persistent worker pool shared by every parallel code path (ground-truth
 // distance matrices, data-parallel training, batch encoding). Replaces the
@@ -43,12 +67,21 @@ class ThreadPool {
   static ThreadPool& Global();
 
  private:
+  // A queued task plus its enqueue timestamp (for the wait-time hook).
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    double enqueued_seconds;
+  };
+
   void WorkerLoop();
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> tasks_;
-  bool stop_ = false;
+  std::deque<QueuedTask> tasks_ TMN_GUARDED_BY(mu_);
+  bool stop_ TMN_GUARDED_BY(mu_) = false;
+  // Written only by the constructor and joined by the destructor; const
+  // after construction, so reads (size()) need no lock.
+  // tmn-lint: allow(lock-discipline)
   std::vector<std::thread> workers_;
 };
 

@@ -1,16 +1,20 @@
 #ifndef TMN_OBS_CLOCK_H_
 #define TMN_OBS_CLOCK_H_
 
-// The library's one monotonic clock. All timing in src/ goes through
-// this header (or ScopedTimer, which uses it); ad-hoc std::chrono reads
-// elsewhere in library code are rejected by the tmn_lint `raw-timing`
-// rule so instrumentation stays centralized and mockable.
+#include "common/clock.h"
+
+// Observability-layer alias for the library's one monotonic clock. The
+// primitive itself lives in src/common/clock.{h,cc} — the bottom of the
+// layering DAG — so common's deadlines and pool accounting can read time
+// without an upward dependency on obs; instrumentation code keeps using
+// this spelling. Ad-hoc std::chrono reads elsewhere in library code are
+// rejected by the tmn_lint `raw-timing` rule.
 
 namespace tmn::obs {
 
 // Seconds on a monotonic clock with an arbitrary epoch. Only differences
 // are meaningful.
-double MonotonicSeconds();
+inline double MonotonicSeconds() { return common::MonotonicSeconds(); }
 
 }  // namespace tmn::obs
 

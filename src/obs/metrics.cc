@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace tmn::obs {
 
@@ -33,6 +34,44 @@ void AtomicMax(std::atomic<double>& target, double value) {
                             cur, value, std::memory_order_relaxed)) {
   }
 }
+
+// Thread-pool instrumentation. common sits below obs in the layering
+// DAG, so the pool cannot reach the registry directly; this TU — which
+// every registry user links — installs hooks into the pool at
+// static-initialization time instead. Metric names, kinds and stability
+// match what the pool used to register itself, so committed bench
+// baselines keep their tmn.common.pool.* entries. The function-local
+// statics keep registration lazy: the metrics appear only in processes
+// that actually run pool work, exactly as before.
+void PoolTaskSubmitted(size_t queue_depth) {
+  static Counter& submitted = Registry::Global().GetCounter(
+      "tmn.common.pool.tasks_submitted", Stability::kUnstable);
+  static Gauge& depth = Registry::Global().GetGauge(
+      "tmn.common.pool.queue_depth", Stability::kUnstable);
+  submitted.Increment();
+  depth.Set(static_cast<double>(queue_depth));
+}
+
+void PoolTaskStarted(double wait_seconds) {
+  static Histogram& wait =
+      Registry::Global().GetTimer("tmn.common.pool.task_wait_seconds");
+  wait.Observe(wait_seconds);
+}
+
+void PoolParallelForCall() {
+  static Counter& calls = Registry::Global().GetCounter(
+      "tmn.common.pool.parallel_for_calls", Stability::kUnstable);
+  calls.Increment();
+}
+
+[[maybe_unused]] const bool g_pool_hooks_installed = []() {
+  common::PoolInstrumentation hooks;
+  hooks.task_submitted = &PoolTaskSubmitted;
+  hooks.task_started = &PoolTaskStarted;
+  hooks.parallel_for_call = &PoolParallelForCall;
+  common::SetPoolInstrumentation(hooks);
+  return true;
+}();
 
 }  // namespace
 
@@ -113,7 +152,7 @@ Registry& Registry::Global() {
 Metric& Registry::GetOrCreate(const std::string& name, MetricKind kind,
                               Stability stability,
                               std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     TMN_CHECK_MSG(it->second->kind() == kind,
@@ -164,12 +203,12 @@ Histogram& Registry::GetTimer(const std::string& name) {
 }
 
 void Registry::ResetValues() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& [name, metric] : metrics_) metric->Reset();
 }
 
 std::vector<const Metric*> Registry::SortedMetrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<const Metric*> out;
   out.reserve(metrics_.size());
   for (const auto& [name, metric] : metrics_) out.push_back(metric.get());
@@ -177,7 +216,7 @@ std::vector<const Metric*> Registry::SortedMetrics() const {
 }
 
 size_t Registry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return metrics_.size();
 }
 

@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 // Process-wide metric registry: the one sanctioned home for counters,
 // gauges, histograms and timers (see docs/OBSERVABILITY.md). All value
@@ -163,8 +164,8 @@ class Registry {
   Metric& GetOrCreate(const std::string& name, MetricKind kind,
                       Stability stability, std::vector<double> bounds);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Metric>> metrics_;
+  mutable common::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Metric>> metrics_ TMN_GUARDED_BY(mu_);
 };
 
 // Default bucket bounds for timers: exponential from 1us to ~17min.

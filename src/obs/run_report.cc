@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/io_util.h"
+
 namespace tmn::obs {
 
 namespace {
@@ -165,14 +167,9 @@ std::string RunReport::ToJson(const RunReportOptions& options) const {
 
 bool RunReport::WriteFile(const std::string& path,
                           const RunReportOptions& options) const {
-  // obs sits below common in the layering, so it cannot use
-  // common::AtomicWriteFile; a torn run report is diagnostic-only data.
-  std::FILE* f = std::fopen(path.c_str(), "w");  // tmn-lint: allow(raw-file-write)
-  if (f == nullptr) return false;
-  const std::string json = ToJson(options);
-  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  const bool ok = std::fclose(f) == 0 && written == json.size();
-  return ok;
+  // obs sits above common in the layering (tools/layering.toml), so run
+  // reports get the same tmp-fsync-rename durability as model artifacts.
+  return common::AtomicWriteFile(path, ToJson(options)).ok();
 }
 
 }  // namespace tmn::obs

@@ -32,7 +32,7 @@ void CircuitBreaker::OpenLocked() {
 }
 
 bool CircuitBreaker::AllowRequest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   switch (state_) {
     case State::kClosed:
       return true;
@@ -61,7 +61,7 @@ bool CircuitBreaker::AllowRequest() {
 }
 
 void CircuitBreaker::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   switch (state_) {
     case State::kClosed:
       consecutive_failures_ = 0;
@@ -85,7 +85,7 @@ void CircuitBreaker::RecordSuccess() {
 }
 
 void CircuitBreaker::RecordFailure() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   switch (state_) {
     case State::kClosed:
       if (++consecutive_failures_ >= config_.failure_threshold) {
@@ -101,17 +101,17 @@ void CircuitBreaker::RecordFailure() {
 }
 
 void CircuitBreaker::RecordAbandoned() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (state_ == State::kHalfOpen) probe_in_flight_ = false;
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return state_;
 }
 
 uint64_t CircuitBreaker::times_opened() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return times_opened_;
 }
 

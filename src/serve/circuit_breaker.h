@@ -2,9 +2,9 @@
 #define TMN_SERVE_CIRCUIT_BREAKER_H_
 
 #include <cstdint>
-#include <mutex>
 
 #include "common/deadline.h"
+#include "common/mutex.h"
 
 namespace tmn::serve {
 
@@ -53,16 +53,16 @@ class CircuitBreaker {
   uint64_t times_opened() const;
 
  private:
-  void OpenLocked();
+  void OpenLocked() TMN_REQUIRES(mu_);
 
   const CircuitBreakerConfig config_;
-  mutable std::mutex mu_;
-  State state_ = State::kClosed;
-  uint64_t consecutive_failures_ = 0;
-  uint64_t probe_successes_ = 0;
-  bool probe_in_flight_ = false;
-  double opened_at_ = 0.0;
-  uint64_t times_opened_ = 0;
+  mutable common::Mutex mu_;
+  State state_ TMN_GUARDED_BY(mu_) = State::kClosed;
+  uint64_t consecutive_failures_ TMN_GUARDED_BY(mu_) = 0;
+  uint64_t probe_successes_ TMN_GUARDED_BY(mu_) = 0;
+  bool probe_in_flight_ TMN_GUARDED_BY(mu_) = false;
+  double opened_at_ TMN_GUARDED_BY(mu_) = 0.0;
+  uint64_t times_opened_ TMN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tmn::serve

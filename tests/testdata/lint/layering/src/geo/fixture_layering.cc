@@ -1,0 +1,13 @@
+// Lint fixture: a DAG-inverting include (never compiled). geo sits in the
+// band above obs; serve sits two bands higher, so geo -> serve inverts the
+// layering in tools/layering.toml and must be rejected. The common include
+// is a legal downward edge and must stay silent.
+#include "common/status.h"
+#include "serve/admission.h"  // tmn-lint: allow(layering)
+#include "serve/similarity_server.h"
+
+namespace tmn::geo {
+
+int FixtureUsesUpperLayer() { return 1; }
+
+}  // namespace tmn::geo

@@ -1,0 +1,11 @@
+// Lint fixture: suppression across backslash continuations — must produce
+// zero findings. The own-line marker covers the next logical line, and a
+// logical line includes every physical line a splice glues onto it, so the
+// violation on the macro's continuation line is still suppressed.
+namespace fixture {
+
+// tmn-lint: allow(raw-thread)
+#define FIXTURE_SPAWN_DETACHED(fn) \
+  std::thread(fn).detach()
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Lint fixture: exactly one lock-discipline violation (never compiled).
+// The annotated field is legal; the bare one shares the class with a
+// mutex and carries no TMN_GUARDED_BY.
+#include <mutex>
+#include <string>
+
+namespace fixture {
+
+class Cache {
+ public:
+  void Put(const std::string& value);
+
+ private:
+  std::mutex mu_;
+  std::string value_ TMN_GUARDED_BY(mu_);
+  int hits_ = 0;
+  // Const after construction; suppressed, not annotated.
+  // tmn-lint: allow(lock-discipline)
+  int capacity_ = 64;
+};
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Lint fixture: one marker suppressing two different rules on the same
+// line — must produce zero findings (and no stale-suppression, since both
+// entries are used).
+#include <thread>
+
+namespace fixture {
+
+void Spawn() {
+  std::thread([]() { srand(7); }).join();  // tmn-lint: allow(raw-thread,raw-rng)
+}
+
+}  // namespace fixture

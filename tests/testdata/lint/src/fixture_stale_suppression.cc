@@ -1,0 +1,8 @@
+// Lint fixture: exactly one stale-suppression finding — the marker below
+// allows a rule that never fires on its line, so the marker itself is the
+// violation.
+namespace fixture {
+
+int Answer() { return 42; }  // tmn-lint: allow(raw-thread)
+
+}  // namespace fixture

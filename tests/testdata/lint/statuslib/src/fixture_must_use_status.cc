@@ -1,0 +1,20 @@
+// Lint fixture: discarded Status results (never compiled). Exactly three
+// must-use-status findings — the bare call, the member call, and the call
+// in a braceless if-body. The assigned and void-cast calls are legal.
+#include "fixture_status_api.h"
+
+namespace fixture {
+
+bool ShouldValidate();
+
+void Caller(Store& store) {
+  SaveSnapshot("snap");
+  store.Flush();
+  Status ok = Validate();
+  static_cast<void>(ok);
+  (void)SaveSnapshot("again");
+  Validate();  // tmn-lint: allow(must-use-status)
+  if (ShouldValidate()) Validate();
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+#ifndef TMN_FIXTURE_STATUS_API_H_
+#define TMN_FIXTURE_STATUS_API_H_
+
+// Lint fixture: Status-returning declarations (never compiled). Phase 1
+// of the linter collects these names across every scanned file; the
+// companion fixture_must_use_status.cc discards some of their results.
+
+#include <string>
+
+namespace fixture {
+
+class Status {};
+
+Status SaveSnapshot(const std::string& path);
+Status Validate();
+
+class Store {
+ public:
+  Status Flush();
+};
+
+}  // namespace fixture
+
+#endif  // TMN_FIXTURE_STATUS_API_H_

@@ -1,0 +1,25 @@
+// Thread-safety fixture: a deliberate unlocked access to a guarded field.
+// clang++ -Wthread-safety -Werror MUST refuse to compile this file —
+// lint_test asserts the failure, proving the analysis actually bites.
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    value_ += 1;  // BUG on purpose: mu_ is not held.
+  }
+
+ private:
+  tmn::common::Mutex mu_;
+  int value_ TMN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

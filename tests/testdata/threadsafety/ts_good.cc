@@ -1,0 +1,32 @@
+// Thread-safety fixture: annotated code that holds the lock at every
+// guarded access. Must compile warning-free under
+// clang++ -Wthread-safety -Werror (lint_test drives this; gcc compiles
+// the annotations away).
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    tmn::common::MutexLock lock(mu_);
+    value_ += 1;
+  }
+
+  int Get() {
+    tmn::common::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  tmn::common::Mutex mu_;
+  int value_ TMN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get();
+}

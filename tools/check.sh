@@ -4,13 +4,18 @@
 #   1. build + ctest   — full Release test suite with -Werror
 #   2. bench gate      — bench_micro_nn RunReport diffed against the
 #                        committed baseline with tools/bench_compare
-#   3. tmn_lint        — project-specific static rules (tools/tmn_lint.cc)
-#   4. Debug invariants — TMN_DCHECK layer active; death tests must fire
-#   5. UBSan           — numeric core tests under -fsanitize=undefined
-#   6. TSan            — concurrency tests under -fsanitize=thread
-#   7. fault injection — failpoint build (-DTMN_FAILPOINTS=ON); the
+#   3. tmn_lint        — project-specific static rules (tools/tmn_lint.cc);
+#                        writes a tmn.run_report/1 metrics document
+#   4. thread-safety   — clang -Wthread-safety over the library sources;
+#                        the deliberately-broken fixture must FAIL
+#                        (optional: skipped with a notice when clang++ is
+#                        absent — gcc compiles the annotations away)
+#   5. Debug invariants — TMN_DCHECK layer active; death tests must fire
+#   6. UBSan           — numeric core tests under -fsanitize=undefined
+#   7. TSan            — concurrency tests under -fsanitize=thread
+#   8. fault injection — failpoint build (-DTMN_FAILPOINTS=ON); the
 #                        crash-recovery and injection tests must run, not skip
-#   8. clang-tidy      — bugprone/performance/concurrency checks (optional:
+#   9. clang-tidy      — bugprone/performance/concurrency checks (optional:
 #                        skipped with a notice when clang-tidy is absent)
 #
 # Any finding in any stage exits non-zero; the clang-tidy exit code is
@@ -26,14 +31,14 @@ JOBS="${1:-$(nproc)}"
 LOG_DIR=build/check-logs
 mkdir -p "$LOG_DIR"
 
-echo "== [1/8] Standard build (-Werror) + full ctest =="
+echo "== [1/9] Standard build (-Werror) + full ctest =="
 {
   cmake -B build -S . -DTMN_WERROR=ON >/dev/null
   cmake --build build -j "$JOBS"
   ctest --test-dir build --output-on-failure -j "$JOBS"
 } 2>&1 | tee "$LOG_DIR/1-build-ctest.log"
 
-echo "== [2/8] Bench gate: bench_micro_nn vs committed baseline =="
+echo "== [2/9] Bench gate: bench_micro_nn vs committed baseline =="
 {
   cmake --build build -j "$JOBS" --target bench_micro_nn bench_compare
   # Stable checksum gauges hard-fail on drift; the timer gauges only warn.
@@ -43,13 +48,45 @@ echo "== [2/8] Bench gate: bench_micro_nn vs committed baseline =="
       "$LOG_DIR/BENCH_nn.json"
 } 2>&1 | tee "$LOG_DIR/2-bench-nn.log"
 
-echo "== [3/8] tmn_lint gate =="
+echo "== [3/9] tmn_lint gate =="
 {
-  ./build/tools/tmn_lint src tests bench tools examples
-  echo "-- lint clean"
+  ./build/tools/tmn_lint --report="$LOG_DIR/LINT.json" \
+      src tests bench tools examples
+  echo "-- lint clean (metrics: $LOG_DIR/LINT.json)"
 } 2>&1 | tee "$LOG_DIR/3-lint.log"
 
-echo "== [4/8] Debug build: TMN_DCHECK invariant layer =="
+echo "== [4/9] clang thread-safety analysis (-Wthread-safety) =="
+if command -v clang++ >/dev/null 2>&1; then
+  {
+    # Syntax-only pass: proves the TMN_GUARDED_BY / TMN_REQUIRES contract
+    # on every library TU without a full clang build. Thread-safety
+    # diagnostics are errors; unrelated clang-only warnings are not.
+    mapfile -t TS_SOURCES < <(find src -name '*.cc' | sort)
+    for f in "${TS_SOURCES[@]}"; do
+      clang++ -std=c++20 -fsyntax-only -Isrc \
+          -Wthread-safety -Werror=thread-safety "$f"
+    done
+    echo "-- thread-safety clean over ${#TS_SOURCES[@]} sources"
+    # The analysis must actually bite: the deliberately-unlocked fixture
+    # has to be rejected.
+    if clang++ -std=c++20 -fsyntax-only -Isrc \
+        -Wthread-safety -Werror=thread-safety \
+        tests/testdata/threadsafety/ts_bad.cc 2>/dev/null; then
+      echo "error: ts_bad.cc compiled clean; thread-safety analysis inert" >&2
+      exit 1
+    fi
+    clang++ -std=c++20 -fsyntax-only -Isrc \
+        -Wthread-safety -Werror=thread-safety \
+        tests/testdata/threadsafety/ts_good.cc
+    echo "-- negative fixture rejected, annotated fixture accepted"
+  } 2>&1 | tee "$LOG_DIR/4-thread-safety.log"
+else
+  echo "-- notice: clang++ not installed; skipping thread-safety analysis" \
+       "(gcc compiles the annotations away)" \
+      | tee "$LOG_DIR/4-thread-safety.log"
+fi
+
+echo "== [5/9] Debug build: TMN_DCHECK invariant layer =="
 {
   cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug -DTMN_WERROR=ON \
       >/dev/null
@@ -57,13 +94,13 @@ echo "== [4/8] Debug build: TMN_DCHECK invariant layer =="
   # In a Debug build the library-level death tests must RUN (not skip): a
   # malformed op call has to abort via TMN_DCHECK.
   ./build-debug/tests/invariants_test --gtest_filter='InvariantLayer*'
-} 2>&1 | tee "$LOG_DIR/4-invariants.log"
-if grep -q "SKIPPED" "$LOG_DIR/4-invariants.log"; then
+} 2>&1 | tee "$LOG_DIR/5-invariants.log"
+if grep -q "SKIPPED" "$LOG_DIR/5-invariants.log"; then
   echo "error: invariant death tests skipped in a Debug build" >&2
   exit 1
 fi
 
-echo "== [5/8] UndefinedBehaviorSanitizer: numeric core tests =="
+echo "== [6/9] UndefinedBehaviorSanitizer: numeric core tests =="
 UBSAN_TESTS=(tensor_test ops_test autograd_test batched_lstm_test
              kernels_test rnn_test loss_test distance_test sampler_test
              trainer_test eval_test)
@@ -77,9 +114,9 @@ UBSAN_TESTS=(tensor_test ops_test autograd_test batched_lstm_test
     UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
         "./build-ubsan/tests/$t"
   done
-} 2>&1 | tee "$LOG_DIR/5-ubsan.log"
+} 2>&1 | tee "$LOG_DIR/6-ubsan.log"
 
-echo "== [6/8] ThreadSanitizer: concurrency tests =="
+echo "== [7/9] ThreadSanitizer: concurrency tests =="
 TSAN_TESTS=(thread_pool_test kernels_test trainer_test distance_test
             eval_test integration_test)
 {
@@ -89,9 +126,9 @@ TSAN_TESTS=(thread_pool_test kernels_test trainer_test distance_test
     echo "-- TSan: $t"
     TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
   done
-} 2>&1 | tee "$LOG_DIR/6-tsan.log"
+} 2>&1 | tee "$LOG_DIR/7-tsan.log"
 
-echo "== [7/8] Fault injection: failpoint build + crash recovery =="
+echo "== [8/9] Fault injection: failpoint build + crash recovery =="
 FAULT_TESTS="Failpoint|CrashRecovery|Checkpoint|Resume|Loader|IoUtil|Bundle|Payload|Crc32|ModelIo|Serve"
 {
   cmake -B build-failpoints -S . -DTMN_WERROR=ON -DTMN_FAILPOINTS=ON \
@@ -99,24 +136,24 @@ FAULT_TESTS="Failpoint|CrashRecovery|Checkpoint|Resume|Loader|IoUtil|Bundle|Payl
   cmake --build build-failpoints -j "$JOBS"
   ctest --test-dir build-failpoints --output-on-failure -j "$JOBS" \
       -R "$FAULT_TESTS"
-} 2>&1 | tee "$LOG_DIR/7-fault-injection.log"
+} 2>&1 | tee "$LOG_DIR/8-fault-injection.log"
 # In a failpoint build the injection-gated tests must RUN (not skip).
-if grep -q "built without failpoint sites" "$LOG_DIR/7-fault-injection.log"; then
+if grep -q "built without failpoint sites" "$LOG_DIR/8-fault-injection.log"; then
   echo "error: failpoint tests skipped in a failpoint build" >&2
   exit 1
 fi
 
-echo "== [8/8] clang-tidy (bugprone-*, performance-*, concurrency-*) =="
+echo "== [9/9] clang-tidy (bugprone-*, performance-*, concurrency-*) =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json is emitted by the standard build in stage 1.
   mapfile -t TIDY_SOURCES < <(find src tools -name '*.cc' | sort)
   TIDY_RC=0
   if command -v run-clang-tidy >/dev/null 2>&1; then
     run-clang-tidy -p build -quiet "${TIDY_SOURCES[@]}" 2>&1 \
-        | tee "$LOG_DIR/8-clang-tidy.log" || TIDY_RC=$?
+        | tee "$LOG_DIR/9-clang-tidy.log" || TIDY_RC=$?
   else
     clang-tidy -p build --quiet "${TIDY_SOURCES[@]}" 2>&1 \
-        | tee "$LOG_DIR/8-clang-tidy.log" || TIDY_RC=$?
+        | tee "$LOG_DIR/9-clang-tidy.log" || TIDY_RC=$?
   fi
   if [ "$TIDY_RC" -ne 0 ]; then
     echo "error: clang-tidy reported findings (exit $TIDY_RC)" >&2
@@ -124,7 +161,7 @@ if command -v clang-tidy >/dev/null 2>&1; then
   fi
 else
   echo "-- notice: clang-tidy not installed; skipping tidy pass" \
-       "(install clang-tidy to enable it)" | tee "$LOG_DIR/8-clang-tidy.log"
+       "(install clang-tidy to enable it)" | tee "$LOG_DIR/9-clang-tidy.log"
 fi
 
 echo "== All checks passed =="
