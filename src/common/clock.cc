@@ -11,4 +11,10 @@ double MonotonicSeconds() {
   return std::chrono::duration<double>(now).count();
 }
 
+void WaitFor(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+             double seconds) {
+  if (seconds <= 0.0) return;
+  cv.wait_for(lock, std::chrono::duration<double>(seconds));
+}
+
 }  // namespace tmn::common

@@ -1,6 +1,9 @@
 #ifndef TMN_COMMON_CLOCK_H_
 #define TMN_COMMON_CLOCK_H_
 
+#include <condition_variable>
+#include <mutex>
+
 // The library's one monotonic clock primitive. It lives at the bottom of
 // the layering DAG (tools/layering.toml) so that common itself — deadlines,
 // thread-pool wait accounting — can read time without depending on the
@@ -14,6 +17,16 @@ namespace tmn::common {
 // Seconds on a monotonic clock with an arbitrary epoch. Only differences
 // are meaningful.
 double MonotonicSeconds();
+
+// Timed condition-variable wait in seconds: returns after a notification,
+// a spurious wake, or once `seconds` of real time elapsed, whichever is
+// first (a non-positive budget returns immediately). This is the one
+// sanctioned bridge from double-seconds budgets to std::chrono waits —
+// callers (the serve-layer micro-batcher) re-check their predicate and
+// their injectable clock after every return, so fake-clock tests stay
+// deterministic while real waits do not spin.
+void WaitFor(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+             double seconds);
 
 }  // namespace tmn::common
 

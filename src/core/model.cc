@@ -1,8 +1,20 @@
 #include "core/model.h"
 
+#include "common/check.h"
 #include "nn/ops.h"
 
 namespace tmn::core {
+
+std::vector<nn::Tensor> SimilarityModel::ForwardSingleBatch(
+    const std::vector<const geo::Trajectory*>& batch) const {
+  std::vector<nn::Tensor> outputs;
+  outputs.reserve(batch.size());
+  for (const geo::Trajectory* t : batch) {
+    TMN_CHECK_MSG(t != nullptr, "ForwardSingleBatch: null trajectory");
+    outputs.push_back(ForwardSingle(*t));
+  }
+  return outputs;
+}
 
 nn::Tensor FinalRow(const nn::Tensor& o) {
   return nn::Row(o, o.rows() - 1);

@@ -41,6 +41,16 @@ class SimilarityModel {
   // non-pairwise models; pairwise models abort.
   virtual nn::Tensor ForwardSingle(const geo::Trajectory& t) const = 0;
 
+  // ForwardSingle over several trajectories at once; result i corresponds
+  // to batch[i] (all pointers non-null). The contract is bitwise identity
+  // with per-item ForwardSingle at every batch size — callers (the
+  // serving micro-batcher) rely on batching being an invisible
+  // performance detail. The default runs ForwardSingle per item; models
+  // with a fused batch path (TmnModel's padded+masked batched LSTM)
+  // override it to amortize the per-step matmuls across the batch.
+  virtual std::vector<nn::Tensor> ForwardSingleBatch(
+      const std::vector<const geo::Trajectory*>& batch) const;
+
   // The sequence whose prefixes correspond to rows of ForwardPair's
   // output. Defaults to the input itself; models that pre-simplify their
   // input (Traj2SimVec) override it so the sub-trajectory loss computes

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "core/features.h"
+#include "nn/batched_lstm.h"
 #include "nn/kernels/arena.h"
 #include "nn/kernels/kernels.h"
 #include "nn/ops.h"
@@ -172,6 +173,32 @@ nn::Tensor TmnModel::ForwardSingle(const geo::Trajectory& t) const {
                 "TMN is pairwise; ForwardSingle is only valid for TMN-NM");
   nn::kernels::ArenaScope arena;
   return EncodeSide(EmbedPoints(t), nn::Tensor());
+}
+
+std::vector<nn::Tensor> TmnModel::ForwardSingleBatch(
+    const std::vector<const geo::Trajectory*>& batch) const {
+  TMN_CHECK_MSG(!config_.use_matching,
+                "TMN is pairwise; ForwardSingleBatch is only valid for TMN-NM");
+  const nn::Lstm* lstm = rnn_.lstm();
+  if (batch.size() < 2 || lstm == nullptr || nn::GradModeEnabled()) {
+    // One item amortizes nothing; GRU has no batched cell; the tape path
+    // is per-sequence. All of these are the per-item computation anyway.
+    return SimilarityModel::ForwardSingleBatch(batch);
+  }
+  nn::kernels::ArenaScope arena;
+  std::vector<nn::Tensor> xs;
+  xs.reserve(batch.size());
+  for (const geo::Trajectory* t : batch) {
+    TMN_CHECK_MSG(t != nullptr, "ForwardSingleBatch: null trajectory");
+    xs.push_back(EmbedPoints(*t));
+  }
+  // Eq. 12 across the batch: one padded+masked LSTM pass whose per-item
+  // rows are bitwise identical to rnn_.Forward(xs[i]).
+  std::vector<nn::Tensor> zs = nn::BatchedLstmForward(lstm->cell(), xs);
+  std::vector<nn::Tensor> outputs;
+  outputs.reserve(zs.size());
+  for (const nn::Tensor& z : zs) outputs.push_back(mlp_.Forward(z));  // Eq. 13.
+  return outputs;
 }
 
 }  // namespace tmn::core

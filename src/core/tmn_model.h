@@ -49,6 +49,14 @@ class TmnModel : public nn::Module, public SimilarityModel {
                          const geo::Trajectory& b) const override;
   nn::Tensor ForwardSingle(const geo::Trajectory& t) const override;
 
+  // TMN-NM batched encode: embeds each trajectory, runs one padded+masked
+  // nn::BatchedLstmForward over the whole batch, then the MLP per item.
+  // Bitwise identical to per-item ForwardSingle (the batched LSTM's
+  // contract); falls back to the per-item default under grad mode or a
+  // GRU backbone.
+  std::vector<nn::Tensor> ForwardSingleBatch(
+      const std::vector<const geo::Trajectory*>& batch) const override;
+
   // The paper's literal pipeline: pads the shorter trajectory with zero
   // points to the common length, embeds the padded matrices, masks the
   // attention columns of padded partner points and zeroes padded rows

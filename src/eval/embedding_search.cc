@@ -151,9 +151,14 @@ std::vector<size_t> EmbeddingSearch::NearestToStored(size_t i,
   return result;
 }
 
-common::StatusOr<std::vector<float>> EncodeTrajectory(
-    const core::SimilarityModel& model, const geo::Trajectory& trajectory,
-    const common::Deadline& deadline) {
+namespace {
+
+// The scalar and batched encode paths share one validation sequence (and
+// one failpoint), so a batch member fails with exactly the status the
+// scalar call would have returned.
+common::Status ValidateEncodeRequest(const core::SimilarityModel& model,
+                                     const geo::Trajectory& trajectory,
+                                     const common::Deadline& deadline) {
   if (model.IsPairwise()) {
     return common::FailedPreconditionError(
         "pairwise models cannot encode a single trajectory");
@@ -171,6 +176,28 @@ common::StatusOr<std::vector<float>> EncodeTrajectory(
   if (TMN_FAILPOINT("eval.encode")) {
     return common::UnavailableError("injected encode failure");
   }
+  return common::Status::Ok();
+}
+
+// Last row of a forward output as the embedding, rejecting non-finite
+// values (a healthy model never produces one — it signals bit rot).
+common::StatusOr<std::vector<float>> FinalEmbedding(const nn::Tensor& o) {
+  std::vector<float> embedding = nn::Row(o, o.rows() - 1).data();
+  for (float v : embedding) {
+    if (!std::isfinite(v)) {
+      return common::CorruptionError(
+          "model produced a non-finite embedding value");
+    }
+  }
+  return embedding;
+}
+
+}  // namespace
+
+common::StatusOr<std::vector<float>> EncodeTrajectory(
+    const core::SimilarityModel& model, const geo::Trajectory& trajectory,
+    const common::Deadline& deadline) {
+  TMN_RETURN_IF_ERROR(ValidateEncodeRequest(model, trajectory, deadline));
   static obs::Counter& encoded =
       obs::Registry::Global().GetCounter("tmn.eval.encoded_trajectories");
   static obs::Histogram& seconds =
@@ -181,15 +208,48 @@ common::StatusOr<std::vector<float>> EncodeTrajectory(
   // Inference arena: the forward's tensor buffers recycle through a
   // thread-local pool instead of the heap (src/nn/kernels/arena.h).
   nn::kernels::ArenaScope arena;
-  const nn::Tensor o = model.ForwardSingle(trajectory);
-  std::vector<float> embedding = nn::Row(o, o.rows() - 1).data();
-  for (float v : embedding) {
-    if (!std::isfinite(v)) {
-      return common::CorruptionError(
-          "model produced a non-finite embedding value");
+  return FinalEmbedding(model.ForwardSingle(trajectory));
+}
+
+std::vector<common::StatusOr<std::vector<float>>> EncodeTrajectoriesBatched(
+    const core::SimilarityModel& model,
+    const std::vector<BatchEncodeRequest>& batch) {
+  static obs::Counter& encoded =
+      obs::Registry::Global().GetCounter("tmn.eval.encoded_trajectories");
+  static obs::Histogram& seconds =
+      obs::Registry::Global().GetTimer("tmn.eval.encode_seconds");
+  std::vector<common::StatusOr<std::vector<float>>> results(
+      batch.size(),
+      common::StatusOr<std::vector<float>>(
+          common::UnavailableError("batch encode: member not attempted")));
+  // Per-member validation first, so one malformed or expired member costs
+  // the batch nothing and the rest still share a fused forward.
+  std::vector<const geo::Trajectory*> live;
+  std::vector<size_t> live_index;
+  live.reserve(batch.size());
+  live_index.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    TMN_CHECK_MSG(batch[i].trajectory != nullptr,
+                  "batch encode: null trajectory");
+    const common::Status valid =
+        ValidateEncodeRequest(model, *batch[i].trajectory, batch[i].deadline);
+    if (!valid.ok()) {
+      results[i] = valid;
+      continue;
     }
+    live.push_back(batch[i].trajectory);
+    live_index.push_back(i);
   }
-  return embedding;
+  if (live.empty()) return results;
+  obs::ScopedTimer timer(seconds);
+  encoded.Increment(live.size());
+  nn::NoGradGuard no_grad;
+  nn::kernels::ArenaScope arena;
+  const std::vector<nn::Tensor> outputs = model.ForwardSingleBatch(live);
+  for (size_t j = 0; j < live.size(); ++j) {
+    results[live_index[j]] = FinalEmbedding(outputs[j]);
+  }
+  return results;
 }
 
 }  // namespace tmn::eval

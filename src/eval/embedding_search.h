@@ -74,6 +74,24 @@ common::StatusOr<std::vector<float>> EncodeTrajectory(
     const core::SimilarityModel& model, const geo::Trajectory& trajectory,
     const common::Deadline& deadline = common::Deadline());
 
+// One member of a batched encode: the trajectory plus its own deadline
+// (micro-batched queries each carry the budget they were admitted with).
+struct BatchEncodeRequest {
+  const geo::Trajectory* trajectory = nullptr;
+  common::Deadline deadline;
+};
+
+// EncodeTrajectory over a whole batch in one fused forward pass.
+// result[i] is exactly what the scalar call would return for member i —
+// same validation order, same per-member deadline stages, same failpoint,
+// and bitwise-identical embeddings (the model's ForwardSingleBatch
+// contract) — so serving batch size is invisible to callers. Members that
+// fail validation or expire are excluded from the forward pass; the
+// survivors share one ForwardSingleBatch.
+std::vector<common::StatusOr<std::vector<float>>> EncodeTrajectoriesBatched(
+    const core::SimilarityModel& model,
+    const std::vector<BatchEncodeRequest>& batch);
+
 }  // namespace tmn::eval
 
 #endif  // TMN_EVAL_EMBEDDING_SEARCH_H_

@@ -15,14 +15,17 @@ namespace tmn::nn {
 namespace {
 
 // No-tape inference path: the same per-step computation as the op-graph
-// loop below — gather step rows, one fused gate pass, masked blend for
-// finished sequences — but on raw kernel buffers. The blend keeps the
-// exact Add(MulColVector, MulColVector) arithmetic (scale by the 0/1 mask
-// then add) rather than a select, so results stay bitwise identical to
-// the tape path.
+// loop below, on raw kernel buffers. Sequences are packed by descending
+// length, so at step t exactly the first `active` packed rows are still
+// running and every kernel call shrinks to that prefix — no padded
+// compute at all, where the tape path pays batch x max_len and blends
+// finished rows back. Bitwise identical anyway: every per-step kernel is
+// row-independent, a finished row's state is never read again, and the
+// old masked blend (scale by exact 0/1 then add) reproduced the frozen
+// row exactly.
 std::vector<Tensor> BatchedForwardInference(
     const LstmCell& cell, const std::vector<Tensor>& inputs, int max_len,
-    obs::Counter& padded_steps) {
+    obs::Counter& shrunk_steps) {
   kernels::ArenaScope arena;
   const kernels::KernelTable& K = kernels::Active();
   const int batch = static_cast<int>(inputs.size());
@@ -32,6 +35,13 @@ std::vector<Tensor> BatchedForwardInference(
   const auto& wx = cell.wx().data();
   const auto& wh = cell.wh().data();
   const auto& bias = cell.bias().data();
+  // Packing order: longest first; stable on index so equal lengths keep
+  // a deterministic order. order[s] is the input occupying packed row s.
+  std::vector<int> order(inputs.size());
+  for (int i = 0; i < batch; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return inputs[a].rows() > inputs[b].rows();
+  });
   const size_t bh = static_cast<size_t>(batch) * h;
   std::vector<float> xt(static_cast<size_t>(batch) * in);
   std::vector<float> zx(static_cast<size_t>(batch) * g4);
@@ -41,57 +51,42 @@ std::vector<Tensor> BatchedForwardInference(
   std::vector<float> cs(bh, 0.0f);
   std::vector<float> h_next(bh);
   std::vector<float> c_next(bh);
-  std::vector<float> t1(static_cast<size_t>(h));
-  std::vector<float> t2(static_cast<size_t>(h));
   std::vector<std::vector<float>> out(inputs.size());
   for (int i = 0; i < batch; ++i) {
     out[i] = kernels::AcquireBuffer(
         static_cast<size_t>(inputs[i].rows()) * h);
   }
+  int active = batch;
   for (int t = 0; t < max_len; ++t) {
-    bool all_active = true;
-    for (int i = 0; i < batch; ++i) {
-      const int len = inputs[i].rows();
-      const bool active = t < len;
-      const int row = active ? t : len - 1;
-      std::copy_n(&inputs[i].data()[static_cast<size_t>(row) * in], in,
-                  &xt[static_cast<size_t>(i) * in]);
-      all_active = all_active && active;
+    while (active > 0 && inputs[order[active - 1]].rows() <= t) --active;
+    if (active < batch) shrunk_steps.Increment();
+    for (int s = 0; s < active; ++s) {
+      std::copy_n(
+          &inputs[order[s]].data()[static_cast<size_t>(t) * in], in,
+          &xt[static_cast<size_t>(s) * in]);
     }
-    std::fill(zx.begin(), zx.end(), 0.0f);
-    std::fill(zh.begin(), zh.end(), 0.0f);
-    K.matmul(xt.data(), wx.data(), zx.data(), batch, in, g4);
-    K.matmul(hs.data(), wh.data(), zh.data(), batch, h, g4);
-    K.add(zx.data(), zh.data(), z.data(), z.size());
-    K.add_row_vector(z.data(), bias.data(), z.data(), batch, g4);
-    K.lstm_gates(z.data(), cs.data(), c_next.data(), h_next.data(), batch,
+    const size_t ag4 = static_cast<size_t>(active) * g4;
+    std::fill(zx.begin(), zx.begin() + ag4, 0.0f);
+    std::fill(zh.begin(), zh.begin() + ag4, 0.0f);
+    K.matmul(xt.data(), wx.data(), zx.data(), active, in, g4);
+    K.matmul(hs.data(), wh.data(), zh.data(), active, h, g4);
+    K.add(zx.data(), zh.data(), z.data(), ag4);
+    K.add_row_vector(z.data(), bias.data(), z.data(), active, g4);
+    K.lstm_gates(z.data(), cs.data(), c_next.data(), h_next.data(), active,
                  h);
-    if (all_active) {
+    if (active == batch) {
       std::swap(hs, h_next);
       std::swap(cs, c_next);
     } else {
-      padded_steps.Increment();
-      for (int i = 0; i < batch; ++i) {
-        const bool active = t < inputs[i].rows();
-        const float mask = active ? 1.0f : 0.0f;
-        const float keep = active ? 0.0f : 1.0f;
-        float* hrow = &hs[static_cast<size_t>(i) * h];
-        float* crow = &cs[static_cast<size_t>(i) * h];
-        K.scale(&h_next[static_cast<size_t>(i) * h], mask, t1.data(),
-                static_cast<size_t>(h));
-        K.scale(hrow, keep, t2.data(), static_cast<size_t>(h));
-        K.add(t1.data(), t2.data(), hrow, static_cast<size_t>(h));
-        K.scale(&c_next[static_cast<size_t>(i) * h], mask, t1.data(),
-                static_cast<size_t>(h));
-        K.scale(crow, keep, t2.data(), static_cast<size_t>(h));
-        K.add(t1.data(), t2.data(), crow, static_cast<size_t>(h));
-      }
+      // Finished rows sit past the live prefix and are never read again,
+      // so only the prefix state advances.
+      const size_t ah = static_cast<size_t>(active) * h;
+      std::copy_n(h_next.data(), ah, hs.data());
+      std::copy_n(c_next.data(), ah, cs.data());
     }
-    for (int i = 0; i < batch; ++i) {
-      if (t < inputs[i].rows()) {
-        std::copy_n(&hs[static_cast<size_t>(i) * h], h,
-                    &out[i][static_cast<size_t>(t) * h]);
-      }
+    for (int s = 0; s < active; ++s) {
+      std::copy_n(&hs[static_cast<size_t>(s) * h], h,
+                  &out[order[s]][static_cast<size_t>(t) * h]);
     }
   }
   std::vector<Tensor> result;
@@ -108,12 +103,17 @@ std::vector<Tensor> BatchedForwardInference(
 std::vector<Tensor> BatchedLstmForward(const LstmCell& cell,
                                        const std::vector<Tensor>& inputs) {
   TMN_CHECK(!inputs.empty());
-  static obs::Counter& calls =
-      obs::Registry::Global().GetCounter("tmn.nn.batched_lstm.calls");
-  static obs::Counter& steps =
-      obs::Registry::Global().GetCounter("tmn.nn.batched_lstm.steps");
+  // kUnstable: in serving, batch composition depends on arrival timing,
+  // so call/step counts do not reproduce across bench runs.
+  static obs::Counter& calls = obs::Registry::Global().GetCounter(
+      "tmn.nn.batched_lstm.calls", obs::Stability::kUnstable);
+  static obs::Counter& steps = obs::Registry::Global().GetCounter(
+      "tmn.nn.batched_lstm.steps", obs::Stability::kUnstable);
+  // Steps where some sequence had already finished: the inference path
+  // shrinks the live prefix and skips the compute; the tape path pays
+  // the padded step and blends frozen rows back.
   static obs::Counter& padded_steps = obs::Registry::Global().GetCounter(
-      "tmn.nn.batched_lstm.padded_steps");
+      "tmn.nn.batched_lstm.padded_steps", obs::Stability::kUnstable);
   static obs::Histogram& seconds = obs::Registry::Global().GetTimer(
       "tmn.nn.batched_lstm.forward_seconds");
   obs::ScopedTimer timer(seconds);

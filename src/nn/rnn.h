@@ -30,6 +30,11 @@ class Rnn : public Module {
 
   RnnKind kind() const { return kind_; }
 
+  // The underlying LSTM when kind() == kLstm, else nullptr. Batched
+  // inference (nn::BatchedLstmForward) needs the raw cell; GRU has no
+  // batched path yet, so callers fall back to per-sequence Forward.
+  const Lstm* lstm() const { return lstm_.get(); }
+
  private:
   RnnKind kind_;
   std::unique_ptr<Lstm> lstm_;

@@ -220,16 +220,22 @@ size_t Registry::size() const {
   return metrics_.size();
 }
 
+std::vector<double> ExponentialBounds(double first, double factor,
+                                      size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = first;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
 std::vector<double> DefaultTimeBounds() {
   // 1us .. ~1074s, x4 per bucket: 16 buckets cover everything from a
   // single pool task to a full training run.
-  std::vector<double> bounds;
-  double b = 1e-6;
-  for (int i = 0; i < 16; ++i) {
-    bounds.push_back(b);
-    b *= 4.0;
-  }
-  return bounds;
+  return ExponentialBounds(1e-6, 4.0, 16);
 }
 
 }  // namespace tmn::obs

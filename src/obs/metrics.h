@@ -168,6 +168,11 @@ class Registry {
   std::map<std::string, std::unique_ptr<Metric>> metrics_ TMN_GUARDED_BY(mu_);
 };
 
+// `count` exponential bucket upper bounds: first, first*factor, ... —
+// the shape every latency/occupancy histogram in the library uses.
+std::vector<double> ExponentialBounds(double first, double factor,
+                                      size_t count);
+
 // Default bucket bounds for timers: exponential from 1us to ~17min.
 std::vector<double> DefaultTimeBounds();
 

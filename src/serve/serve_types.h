@@ -1,0 +1,35 @@
+#ifndef TMN_SERVE_SERVE_TYPES_H_
+#define TMN_SERVE_SERVE_TYPES_H_
+
+#include <cstddef>
+#include <vector>
+
+// Result vocabulary shared by the server and the micro-batcher
+// (docs/SERVING.md). Split from similarity_server.h so the batcher can
+// speak in QueryResult without pulling in the index/model headers.
+
+namespace tmn::serve {
+
+// Which degradation tier produced a response (docs/SERVING.md).
+enum class ServeTier {
+  kEmbeddingAnn,     // Tier 1: TMN encode + HNSW over learned embeddings.
+  kExactRerank,      // Tier 2: model-free sketch ANN + exact-metric rerank.
+  kExactBruteForce,  // Tier 3: bounded exact-metric scan.
+};
+
+const char* ServeTierName(ServeTier tier);
+
+// One answered query. `indices` are database positions, nearest first
+// under the server's exact metric ordering for tiers 2/3 and under
+// embedding distance for tier 1; `distances` are always the exact metric
+// distances of those candidates to the query, so callers can compare
+// responses across tiers. Never more than min(k, database size) entries.
+struct QueryResult {
+  std::vector<size_t> indices;
+  std::vector<double> distances;
+  ServeTier tier = ServeTier::kEmbeddingAnn;
+};
+
+}  // namespace tmn::serve
+
+#endif  // TMN_SERVE_SERVE_TYPES_H_

@@ -114,7 +114,24 @@ SimilarityServer::SimilarityServer(
         CircuitBreakerConfig breaker = config.breaker;
         if (breaker.clock == nullptr) breaker.clock = config.clock;
         return breaker;
-      }()) {}
+      }()) {
+  MicroBatcherConfig batching = config.batching;
+  if (batching.clock == nullptr) batching.clock = config.clock;
+  batcher_ = std::make_unique<MicroBatcher>(
+      batching, [this](std::vector<BatchRequest> batch,
+                       BatchFlushReason reason) {
+        ProcessBatch(std::move(batch), reason);
+      });
+}
+
+SimilarityServer::~SimilarityServer() {
+  // Stop and drain the batcher first: every queued request still flows
+  // through ProcessBatch while the server is fully alive. Then wait for
+  // the pipeline stages those (and earlier) batches put on the shared
+  // pool — they hold `this`.
+  batcher_.reset();
+  inflight_batches_.WaitForZero();
+}
 
 common::StatusOr<std::unique_ptr<SimilarityServer>> SimilarityServer::Create(
     const ServerConfig& config, std::vector<geo::Trajectory> database,
@@ -337,9 +354,6 @@ common::StatusOr<QueryResult> SimilarityServer::ServeOne(
     const geo::Trajectory& query, size_t k, const common::Deadline& deadline,
     bool record_timeout) const {
   static obs::Counter& timed_out = ServeCounter("tmn.serve.timed_out");
-  static obs::Counter& tier1 = ServeCounter("tmn.serve.tier1_served");
-  static obs::Counter& tier2 = ServeCounter("tmn.serve.tier2_served");
-  static obs::Counter& tier3 = ServeCounter("tmn.serve.tier3_served");
 
   TMN_RETURN_IF_ERROR(ValidateQuery(query, k));
   {
@@ -351,9 +365,25 @@ common::StatusOr<QueryResult> SimilarityServer::ServeOne(
     }
   }
 
-  common::Status last_error;
+  std::optional<common::StatusOr<QueryResult>> tier1;
   if (embedding_tier_ok_) {
-    common::StatusOr<QueryResult> r = TryEmbeddingTier(query, k, deadline);
+    tier1 = TryEmbeddingTier(query, k, deadline);
+  }
+  return FinishLadder(query, k, deadline, record_timeout, tier1);
+}
+
+common::StatusOr<QueryResult> SimilarityServer::FinishLadder(
+    const geo::Trajectory& query, size_t k, const common::Deadline& deadline,
+    bool record_timeout,
+    const std::optional<common::StatusOr<QueryResult>>& tier1_outcome) const {
+  static obs::Counter& timed_out = ServeCounter("tmn.serve.timed_out");
+  static obs::Counter& tier1 = ServeCounter("tmn.serve.tier1_served");
+  static obs::Counter& tier2 = ServeCounter("tmn.serve.tier2_served");
+  static obs::Counter& tier3 = ServeCounter("tmn.serve.tier3_served");
+
+  common::Status last_error;
+  if (tier1_outcome.has_value()) {
+    const common::StatusOr<QueryResult>& r = *tier1_outcome;
     if (r.ok()) {
       tier1.Increment();
       return r;
@@ -443,6 +473,184 @@ std::vector<common::StatusOr<QueryResult>> SimilarityServer::TopKBatch(
       },
       max_parallelism);
   return results;
+}
+
+// ---------------------------------------------------------------------
+// Micro-batched path (SubmitTopK). The pipeline replays the serial
+// ServeOne stage by stage: validation and the 'admission' deadline check,
+// then the tier-1 attempt (breaker gate → fused batch encode → per-member
+// index search → exact tier-1 distances), then the shared FinishLadder.
+// Every breaker rule is the serial one: AllowRequest per member before
+// encode; a deadline expiry records Abandoned (says nothing about model
+// health), any other encode failure records Failure, success records
+// Success; index failures carry no breaker penalty. A member that never
+// passed AllowRequest never records anything.
+
+struct SimilarityServer::BatchState {
+  struct Member {
+    BatchRequest request;
+    // Set once the member's outcome is fully decided before the ladder
+    // (validation failure or admission-stage expiry).
+    std::optional<common::StatusOr<QueryResult>> final;
+    // The tier-1 outcome exactly as TryEmbeddingTier would have returned
+    // it; nullopt while undecided (or when tier 1 is down).
+    std::optional<common::StatusOr<QueryResult>> tier1;
+    // Filled by the encode stage on success, consumed by search.
+    std::optional<std::vector<float>> embedding;
+    // Filled by the search stage on success, consumed by resolve.
+    std::optional<std::vector<size_t>> nearest;
+  };
+  std::vector<Member> members;
+};
+
+common::StatusOr<std::future<common::StatusOr<QueryResult>>>
+SimilarityServer::SubmitTopK(const geo::Trajectory& query, size_t k,
+                             const common::Deadline& deadline) const {
+  static obs::Counter& accepted = ServeCounter("tmn.serve.accepted");
+  static obs::Counter& shed = ServeCounter("tmn.serve.shed");
+  if (!admission_.TryEnter()) {
+    shed.Increment();
+    return common::ResourceExhaustedError(
+        "load shed: " + std::to_string(admission_.capacity()) +
+        " queries already in flight");
+  }
+  BatchRequest request;
+  request.query = query;  // Copied: the batch outlives the caller's frame.
+  request.k = k;
+  request.deadline = deadline;
+  if (request.deadline.infinite() && config_.default_deadline_seconds > 0) {
+    request.deadline = common::Deadline::AfterSeconds(
+        config_.default_deadline_seconds, config_.clock);
+  }
+  std::future<common::StatusOr<QueryResult>> future =
+      request.promise.get_future();
+  const common::Status submitted = batcher_->Submit(std::move(request));
+  if (!submitted.ok()) {
+    admission_.Exit();
+    shed.Increment();
+    return submitted;
+  }
+  accepted.Increment();
+  return future;
+}
+
+void SimilarityServer::ProcessBatch(std::vector<BatchRequest> batch,
+                                    BatchFlushReason /*reason*/) const {
+  auto state = std::make_shared<BatchState>();
+  state->members.reserve(batch.size());
+  for (BatchRequest& request : batch) {
+    BatchState::Member member;
+    member.request = std::move(request);
+    state->members.push_back(std::move(member));
+  }
+  inflight_batches_.Add();
+  // Stage completion is tracked by inflight_batches_, not the pool future.
+  static_cast<void>(common::ThreadPool::Global().Submit(
+      [this, state] { BatchEncodeStage(state); }));
+}
+
+void SimilarityServer::BatchEncodeStage(
+    const std::shared_ptr<BatchState>& state) const {
+  static obs::Counter& timed_out = ServeCounter("tmn.serve.timed_out");
+  std::vector<eval::BatchEncodeRequest> to_encode;
+  std::vector<size_t> encode_index;
+  for (size_t i = 0; i < state->members.size(); ++i) {
+    BatchState::Member& member = state->members[i];
+    const common::Status valid =
+        ValidateQuery(member.request.query, member.request.k);
+    if (!valid.ok()) {
+      member.final = common::StatusOr<QueryResult>(valid);
+      continue;
+    }
+    const common::Status admitted =
+        common::CheckDeadline(member.request.deadline, "admission");
+    if (!admitted.ok()) {
+      timed_out.Increment();
+      member.final = common::StatusOr<QueryResult>(admitted);
+      continue;
+    }
+    if (!embedding_tier_ok_) continue;  // tier1 stays nullopt, as serial.
+    if (!breaker_.AllowRequest()) {
+      member.tier1 = common::StatusOr<QueryResult>(common::UnavailableError(
+          "circuit breaker open: tier-1 inference short-circuited"));
+      continue;
+    }
+    to_encode.push_back(eval::BatchEncodeRequest{&member.request.query,
+                                                 member.request.deadline});
+    encode_index.push_back(i);
+  }
+  if (!to_encode.empty()) {
+    const std::vector<common::StatusOr<std::vector<float>>> encoded =
+        eval::EncodeTrajectoriesBatched(*model_, to_encode);
+    for (size_t j = 0; j < encoded.size(); ++j) {
+      BatchState::Member& member = state->members[encode_index[j]];
+      if (encoded[j].ok()) {
+        breaker_.RecordSuccess();
+        member.embedding = encoded[j].value();
+      } else {
+        if (encoded[j].status().code() ==
+            common::StatusCode::kDeadlineExceeded) {
+          breaker_.RecordAbandoned();
+        } else {
+          breaker_.RecordFailure();
+        }
+        member.tier1 = common::StatusOr<QueryResult>(encoded[j].status());
+      }
+    }
+  }
+  // Stage completion is tracked by inflight_batches_, not the pool future.
+  static_cast<void>(common::ThreadPool::Global().Submit(
+      [this, state] { BatchSearchStage(state); }));
+}
+
+void SimilarityServer::BatchSearchStage(
+    const std::shared_ptr<BatchState>& state) const {
+  for (BatchState::Member& member : state->members) {
+    if (!member.embedding.has_value()) continue;
+    common::StatusOr<std::vector<size_t>> nearest =
+        embedding_index_->NearestChecked(
+            *member.embedding,
+            std::min(member.request.k, database_.size()), /*ef=*/0,
+            member.request.deadline);
+    // Index failures fall through to tier 2 without a breaker penalty,
+    // exactly as in TryEmbeddingTier.
+    if (nearest.ok()) {
+      member.nearest = std::move(nearest.value());
+    } else {
+      member.tier1 = common::StatusOr<QueryResult>(nearest.status());
+    }
+  }
+  // Stage completion is tracked by inflight_batches_, not the pool future.
+  static_cast<void>(common::ThreadPool::Global().Submit(
+      [this, state] { BatchResolveStage(state); }));
+}
+
+void SimilarityServer::BatchResolveStage(
+    const std::shared_ptr<BatchState>& state) const {
+  for (BatchState::Member& member : state->members) {
+    if (!member.final.has_value()) {
+      if (member.nearest.has_value()) {
+        common::StatusOr<std::vector<double>> distances =
+            ExactDistances(member.request.query, *member.nearest,
+                           member.request.deadline, "tier1-distances");
+        if (distances.ok()) {
+          QueryResult result;
+          result.indices = std::move(*member.nearest);
+          result.distances = std::move(distances.value());
+          result.tier = ServeTier::kEmbeddingAnn;
+          member.tier1 = common::StatusOr<QueryResult>(std::move(result));
+        } else {
+          member.tier1 = common::StatusOr<QueryResult>(distances.status());
+        }
+      }
+      member.final = FinishLadder(member.request.query, member.request.k,
+                                  member.request.deadline,
+                                  /*record_timeout=*/true, member.tier1);
+    }
+    member.request.promise.set_value(std::move(*member.final));
+    admission_.Exit();
+  }
+  inflight_batches_.Remove();
 }
 
 }  // namespace tmn::serve

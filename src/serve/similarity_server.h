@@ -1,7 +1,9 @@
 #ifndef TMN_SERVE_SIMILARITY_SERVER_H_
 #define TMN_SERVE_SIMILARITY_SERVER_H_
 
+#include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,17 +15,10 @@
 #include "index/hnsw.h"
 #include "serve/admission.h"
 #include "serve/circuit_breaker.h"
+#include "serve/micro_batcher.h"
+#include "serve/serve_types.h"
 
 namespace tmn::serve {
-
-// Which degradation tier produced a response (docs/SERVING.md).
-enum class ServeTier {
-  kEmbeddingAnn,     // Tier 1: TMN encode + HNSW over learned embeddings.
-  kExactRerank,      // Tier 2: model-free sketch ANN + exact-metric rerank.
-  kExactBruteForce,  // Tier 3: bounded exact-metric scan.
-};
-
-const char* ServeTierName(ServeTier tier);
 
 struct ServerConfig {
   // Admission: max queries in flight; arrivals above this are shed with
@@ -52,17 +47,9 @@ struct ServerConfig {
   // Tier toggles, mainly for benches that want to time one tier.
   bool enable_embedding_tier = true;
   bool enable_rerank_tier = true;
-};
-
-// One answered query. `indices` are database positions, nearest first
-// under the server's exact metric ordering for tiers 2/3 and under
-// embedding distance for tier 1; `distances` are always the exact metric
-// distances of those candidates to the query, so callers can compare
-// responses across tiers. Never more than min(k, database size) entries.
-struct QueryResult {
-  std::vector<size_t> indices;
-  std::vector<double> distances;
-  ServeTier tier = ServeTier::kEmbeddingAnn;
+  // Micro-batching cutoffs for SubmitTopK (docs/SERVING.md). The batcher
+  // clock defaults to `clock` above when unset.
+  MicroBatcherConfig batching;
 };
 
 // Online top-k similarity serving with graceful degradation
@@ -99,7 +86,25 @@ class SimilarityServer {
   //   kDeadlineExceeded   — budget ran out; message names the stage.
   //   kInvalidArgument    — malformed query (empty, non-finite, k == 0).
   //   kUnavailable        — every tier is down.
+  // Waits for every in-flight micro-batch to resolve, then tears down.
+  ~SimilarityServer();
+
   common::StatusOr<QueryResult> TopK(
+      const geo::Trajectory& query, size_t k,
+      const common::Deadline& deadline = common::Deadline()) const;
+
+  // Micro-batched TopK: the query is admitted (same shedding and default-
+  // deadline rules as TopK), copied into the batcher's bounded queue, and
+  // answered through the asynchronous encode → index-search → resolve
+  // pipeline; the result — including every non-OK status TopK documents —
+  // arrives through the returned future. A non-OK return means the query
+  // was shed before enqueue (admission or batcher queue full) and no work
+  // remains in flight. The result for any query is bitwise identical to
+  // what a serial TopK with the same deadline would produce, at every
+  // batch cutoff and thread count: batching is a throughput detail, never
+  // a semantic one. Do not block on the future from a ThreadPool worker —
+  // the pipeline needs pool workers to make progress.
+  common::StatusOr<std::future<common::StatusOr<QueryResult>>> SubmitTopK(
       const geo::Trajectory& query, size_t k,
       const common::Deadline& deadline = common::Deadline()) const;
 
@@ -141,6 +146,15 @@ class SimilarityServer {
                                          size_t k,
                                          const common::Deadline& deadline,
                                          bool record_timeout) const;
+  // The degradation ladder below tier 1. `tier1` is the tier-1 outcome
+  // when it was attempted (nullopt when the embedding tier is down) —
+  // the serial path and the batched pipeline both funnel through this
+  // one function, which is what makes their results identical by
+  // construction.
+  common::StatusOr<QueryResult> FinishLadder(
+      const geo::Trajectory& query, size_t k,
+      const common::Deadline& deadline, bool record_timeout,
+      const std::optional<common::StatusOr<QueryResult>>& tier1) const;
   common::StatusOr<QueryResult> TryEmbeddingTier(
       const geo::Trajectory& query, size_t k,
       const common::Deadline& deadline) const;
@@ -156,6 +170,18 @@ class SimilarityServer {
   common::StatusOr<std::vector<double>> ExactDistances(
       const geo::Trajectory& query, const std::vector<size_t>& indices,
       const common::Deadline& deadline, const char* stage) const;
+
+  // The asynchronous batch pipeline (SubmitTopK). ProcessBatch receives a
+  // closed batch from the dispatcher and chains the stages over the
+  // shared ThreadPool; each stage re-submits the next, so stages of
+  // different batches interleave. The resolve stage fulfills every
+  // member's promise and releases its admission slot.
+  struct BatchState;
+  void ProcessBatch(std::vector<BatchRequest> batch,
+                    BatchFlushReason reason) const;
+  void BatchEncodeStage(const std::shared_ptr<BatchState>& state) const;
+  void BatchSearchStage(const std::shared_ptr<BatchState>& state) const;
+  void BatchResolveStage(const std::shared_ptr<BatchState>& state) const;
 
   const ServerConfig config_;
   const std::vector<geo::Trajectory> database_;
@@ -174,6 +200,14 @@ class SimilarityServer {
   std::unique_ptr<index::HnswIndex> feature_index_;
   bool rerank_tier_ok_ = false;
   common::Status feature_status_ = common::Status::Ok();
+
+  // In-flight batch accounting so destruction can wait for pipeline
+  // stages that still hold `this`.
+  mutable InflightTracker inflight_batches_;
+  // Declared last: destroyed first, so the dispatcher drains (through
+  // ProcessBatch, which needs every member above) before anything else
+  // tears down. The explicit destructor then waits out inflight_batches_.
+  std::unique_ptr<MicroBatcher> batcher_;
 };
 
 }  // namespace tmn::serve

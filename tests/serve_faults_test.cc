@@ -9,6 +9,7 @@
 // skip in plain builds; the baseline and determinism cases run anywhere.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <sstream>
@@ -30,8 +31,10 @@
 namespace tmn::serve {
 namespace {
 
-double g_fake_now = 0.0;
-double FakeClock() { return g_fake_now; }
+// Atomic: the batched path reads the breaker clock from pipeline
+// threads while the test thread advances it.
+std::atomic<double> g_fake_now{0.0};
+double FakeClock() { return g_fake_now.load(); }
 
 class ServeFaultsTest : public ::testing::Test {
  protected:
@@ -331,6 +334,108 @@ TEST_F(ServeFaultsTest, DegradedBatchesAreBitIdenticalAcrossThreadCounts) {
   }
   EXPECT_EQ(serialized[0], serialized[1]);
   EXPECT_NE(serialized[0].find("tier=exact-brute-force"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// The micro-batched pipeline (SubmitTopK) under the same fault matrix:
+// degradation, breaker accounting and recovery must be exactly the serial
+// story even when the failure fires inside a formed batch.
+
+// Collects one SubmitTopK result, failing the test if the query was shed
+// before enqueue (these tests stay under every capacity).
+common::StatusOr<QueryResult> SubmitOne(SimilarityServer& server,
+                                        const geo::Trajectory& query,
+                                        size_t k) {
+  auto submitted = server.SubmitTopK(query, k);
+  EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
+  if (!submitted.ok()) return submitted.status();
+  return submitted.value().get();
+}
+
+TEST_F(ServeFaultsTest, BatchedEncodeFailureFallsBackThenRecovers) {
+  REQUIRE_FAILPOINTS();
+  const auto db = TestDatabase(12, 31);
+  ServerConfig config = FullPoolConfig();
+  config.batching.max_batch_size = 1;  // One query per batch: the armed
+                                       // one-shot hits a known member.
+  auto server = SimilarityServer::Create(
+      config, db, dist::CreateMetric(dist::MetricType::kDtw), TestModel());
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server.value()->embedding_tier_available());
+  const auto metric = dist::CreateMetric(dist::MetricType::kDtw);
+  // The encode failure fires inside the batch encode stage; the member
+  // must still resolve through tier 2 with a correct answer.
+  common::ActivateFailpoint("eval.encode", 1);
+  auto degraded = SubmitOne(*server.value(), db[1], 4);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(degraded.value().tier, ServeTier::kExactRerank);
+  ExpectMatchesReference(degraded.value(),
+                         ExactReference(*metric, db, db[1], 4));
+  // One failure was recorded (not abandoned, not dropped): below the
+  // default threshold of 3, so tier 1 is immediately back.
+  auto recovered = SubmitOne(*server.value(), db[2], 4);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().tier, ServeTier::kEmbeddingAnn);
+  EXPECT_EQ(server.value()->breaker_state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(ServeFaultsTest, BatchedEncodeFailuresOpenTheBreakerThenProbeCloses) {
+  REQUIRE_FAILPOINTS();
+  g_fake_now = 0.0;
+  const auto db = TestDatabase(12, 32);
+  ServerConfig config = FullPoolConfig();
+  config.clock = &FakeClock;
+  config.breaker.failure_threshold = 2;
+  config.breaker.open_seconds = 100.0;
+  config.breaker.close_successes = 1;
+  config.batching.max_batch_size = 1;
+  auto server = SimilarityServer::Create(
+      config, db, dist::CreateMetric(dist::MetricType::kDtw), TestModel());
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server.value()->embedding_tier_available());
+  for (int i = 0; i < 2; ++i) {
+    common::ActivateFailpoint("eval.encode", 1);
+    auto r = SubmitOne(*server.value(), db[i], 4);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().tier, ServeTier::kExactRerank);
+  }
+  EXPECT_EQ(server.value()->breaker_state(), CircuitBreaker::State::kOpen);
+  // Open breaker: the batch encode stage never consults the model (no
+  // failpoint armed — a model call would succeed and wrongly probe).
+  auto shorted = SubmitOne(*server.value(), db[3], 4);
+  ASSERT_TRUE(shorted.ok());
+  EXPECT_EQ(shorted.value().tier, ServeTier::kExactRerank);
+  // After the cooldown the half-open probe flows through the batched
+  // encode, closes the breaker, and tier 1 is back.
+  g_fake_now = 200.0;
+  auto probe = SubmitOne(*server.value(), db[4], 4);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(probe.value().tier, ServeTier::kEmbeddingAnn);
+  EXPECT_EQ(server.value()->breaker_state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(server.value()->breaker().times_opened(), 1u);
+}
+
+TEST_F(ServeFaultsTest, BatchedPathOnDegradedServerMatchesSerialBitwise) {
+  REQUIRE_FAILPOINTS();
+  const auto db = TestDatabase(16, 33);
+  std::vector<geo::Trajectory> queries(db.begin(), db.begin() + 6);
+  // Tier 1 dead at construction: the database pre-embedding hits the
+  // armed encode fault, so every query walks the ladder from tier 2.
+  common::ActivateFailpoint("eval.encode", 1);
+  auto server = SimilarityServer::Create(
+      FullPoolConfig(), db, dist::CreateMetric(dist::MetricType::kDtw),
+      TestModel());
+  ASSERT_TRUE(server.ok());
+  ASSERT_FALSE(server.value()->embedding_tier_available());
+  std::vector<common::StatusOr<QueryResult>> serial;
+  for (const auto& q : queries) serial.push_back(server.value()->TopK(q, 4));
+  std::vector<common::StatusOr<QueryResult>> batched;
+  for (const auto& q : queries) {
+    batched.push_back(SubmitOne(*server.value(), q, 4));
+  }
+  EXPECT_EQ(SerializeResponses(serial), SerializeResponses(batched));
+  EXPECT_NE(SerializeResponses(serial).find("tier=exact-rerank"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // serve_faults_test.cc; everything here runs in every build flavor.
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -28,15 +29,17 @@ namespace {
 
 // ---------------------------------------------------------------------
 // Fake clocks. Deadline::ClockFn is a plain function pointer, so the
-// fakes keep their state in globals reset by each test.
+// fakes keep their state in globals reset by each test. Atomics: the
+// server owns background threads (batcher dispatcher, pool) that may
+// poll a clock while the test thread advances it.
 
-double g_fake_now = 0.0;
-double FakeClock() { return g_fake_now; }
+std::atomic<double> g_fake_now{0.0};
+double FakeClock() { return g_fake_now.load(); }
 
 // Advances one tick per read: the Nth deadline check in a pipeline sees
 // time N, so a budget of B seconds expires at exactly the (B+1)th check.
-double g_step_now = 0.0;
-double SteppingClock() { return ++g_step_now; }
+std::atomic<double> g_step_now{0.0};
+double SteppingClock() { return g_step_now.fetch_add(1.0) + 1.0; }
 
 std::vector<geo::Trajectory> TestDatabase(int n, uint64_t seed) {
   data::SyntheticConfig config;

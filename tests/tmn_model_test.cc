@@ -117,6 +117,30 @@ TEST_F(TmnModelTest, TmnNmForwardSingleMatchesPair) {
   EXPECT_EQ(single.data(), pair.oa.data());
 }
 
+TEST_F(TmnModelTest, ForwardSingleBatchBitwiseMatchesSingle) {
+  // The contract the serving micro-batcher leans on (core/model.h): the
+  // fused batched forward returns the exact bits of per-item
+  // ForwardSingle, for every batch composition over ragged lengths.
+  TmnModel tmn_nm(Config(false));
+  nn::NoGradGuard no_grad;  // Inference mode: enables the fused path.
+  std::vector<const geo::Trajectory*> batch;
+  for (const auto& t : trajs_) batch.push_back(&t);
+  const std::vector<nn::Tensor> outs = tmn_nm.ForwardSingleBatch(batch);
+  ASSERT_EQ(outs.size(), trajs_.size());
+  for (size_t i = 0; i < trajs_.size(); ++i) {
+    EXPECT_EQ(outs[i].data(), tmn_nm.ForwardSingle(trajs_[i]).data())
+        << "batch member " << i;
+  }
+  // A different batch of the same items must not change any member's bits.
+  const std::vector<nn::Tensor> pair =
+      tmn_nm.ForwardSingleBatch({batch[2], batch[0]});
+  EXPECT_EQ(pair[1].data(), outs[0].data());
+  EXPECT_EQ(pair[0].data(), outs[2].data());
+  // Size-1 batches take the scalar fallback and must agree too.
+  const std::vector<nn::Tensor> solo = tmn_nm.ForwardSingleBatch({batch[3]});
+  EXPECT_EQ(solo[0].data(), outs[3].data());
+}
+
 TEST_F(TmnModelTest, PredictedSimilarityInUnitInterval) {
   TmnModel model(Config());
   for (size_t i = 0; i < trajs_.size(); ++i) {

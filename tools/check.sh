@@ -1,22 +1,10 @@
 #!/usr/bin/env bash
-# The repository's one-command correctness gate:
-#
-#   1. build + ctest   — full Release test suite with -Werror
-#   2. bench gate      — bench_micro_nn RunReport diffed against the
-#                        committed baseline with tools/bench_compare
-#   3. tmn_lint        — project-specific static rules (tools/tmn_lint.cc);
-#                        writes a tmn.run_report/1 metrics document
-#   4. thread-safety   — clang -Wthread-safety over the library sources;
-#                        the deliberately-broken fixture must FAIL
-#                        (optional: skipped with a notice when clang++ is
-#                        absent — gcc compiles the annotations away)
-#   5. Debug invariants — TMN_DCHECK layer active; death tests must fire
-#   6. UBSan           — numeric core tests under -fsanitize=undefined
-#   7. TSan            — concurrency tests under -fsanitize=thread
-#   8. fault injection — failpoint build (-DTMN_FAILPOINTS=ON); the
-#                        crash-recovery and injection tests must run, not skip
-#   9. clang-tidy      — bugprone/performance/concurrency checks (optional:
-#                        skipped with a notice when clang-tidy is absent)
+# The repository's one-command correctness gate. The stage list lives in
+# one place — STAGE_TITLES below — which drives both the "N-stage" prose
+# and every numbered banner; the blocks follow in the same order. Two
+# stages are optional and skip with a notice when their tool is absent:
+# thread-safety (needs clang++ — gcc compiles the annotations away) and
+# clang-tidy.
 #
 # Any finding in any stage exits non-zero; the clang-tidy exit code is
 # captured explicitly so a findings-only run cannot be swallowed. Each
@@ -31,14 +19,38 @@ JOBS="${1:-$(nproc)}"
 LOG_DIR=build/check-logs
 mkdir -p "$LOG_DIR"
 
-echo "== [1/9] Standard build (-Werror) + full ctest =="
+# The stage table is the single source of truth for the stage count and
+# the numbered banners: adding a stage means adding its title here and
+# calling `stage` once before its block — the [N/total] prose renumbers
+# itself.
+STAGE_TITLES=(
+  "Standard build (-Werror) + full ctest"
+  "Bench gate: bench_micro_nn vs committed baseline"
+  "tmn_lint gate"
+  "clang thread-safety analysis (-Wthread-safety)"
+  "Debug build: TMN_DCHECK invariant layer"
+  "UndefinedBehaviorSanitizer: numeric core tests"
+  "ThreadSanitizer: concurrency tests"
+  "Fault injection: failpoint build + crash recovery"
+  "clang-tidy (bugprone-*, performance-*, concurrency-*)"
+)
+STAGE_TOTAL=${#STAGE_TITLES[@]}
+STAGE_INDEX=0
+stage() {
+  STAGE_INDEX=$((STAGE_INDEX + 1))
+  echo "== [${STAGE_INDEX}/${STAGE_TOTAL}] ${STAGE_TITLES[$((STAGE_INDEX - 1))]} =="
+}
+
+echo "tools/check.sh: ${STAGE_TOTAL}-stage correctness gate"
+
+stage
 {
   cmake -B build -S . -DTMN_WERROR=ON >/dev/null
   cmake --build build -j "$JOBS"
   ctest --test-dir build --output-on-failure -j "$JOBS"
 } 2>&1 | tee "$LOG_DIR/1-build-ctest.log"
 
-echo "== [2/9] Bench gate: bench_micro_nn vs committed baseline =="
+stage
 {
   cmake --build build -j "$JOBS" --target bench_micro_nn bench_compare
   # Stable checksum gauges hard-fail on drift; the timer gauges only warn.
@@ -48,14 +60,14 @@ echo "== [2/9] Bench gate: bench_micro_nn vs committed baseline =="
       "$LOG_DIR/BENCH_nn.json"
 } 2>&1 | tee "$LOG_DIR/2-bench-nn.log"
 
-echo "== [3/9] tmn_lint gate =="
+stage
 {
   ./build/tools/tmn_lint --report="$LOG_DIR/LINT.json" \
       src tests bench tools examples
   echo "-- lint clean (metrics: $LOG_DIR/LINT.json)"
 } 2>&1 | tee "$LOG_DIR/3-lint.log"
 
-echo "== [4/9] clang thread-safety analysis (-Wthread-safety) =="
+stage
 if command -v clang++ >/dev/null 2>&1; then
   {
     # Syntax-only pass: proves the TMN_GUARDED_BY / TMN_REQUIRES contract
@@ -86,7 +98,7 @@ else
       | tee "$LOG_DIR/4-thread-safety.log"
 fi
 
-echo "== [5/9] Debug build: TMN_DCHECK invariant layer =="
+stage
 {
   cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug -DTMN_WERROR=ON \
       >/dev/null
@@ -100,7 +112,7 @@ if grep -q "SKIPPED" "$LOG_DIR/5-invariants.log"; then
   exit 1
 fi
 
-echo "== [6/9] UndefinedBehaviorSanitizer: numeric core tests =="
+stage
 UBSAN_TESTS=(tensor_test ops_test autograd_test batched_lstm_test
              kernels_test rnn_test loss_test distance_test sampler_test
              trainer_test eval_test)
@@ -116,9 +128,9 @@ UBSAN_TESTS=(tensor_test ops_test autograd_test batched_lstm_test
   done
 } 2>&1 | tee "$LOG_DIR/6-ubsan.log"
 
-echo "== [7/9] ThreadSanitizer: concurrency tests =="
+stage
 TSAN_TESTS=(thread_pool_test kernels_test trainer_test distance_test
-            eval_test integration_test)
+            eval_test integration_test serve_batch_test)
 {
   cmake -B build-tsan -S . -DTMN_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
@@ -128,7 +140,7 @@ TSAN_TESTS=(thread_pool_test kernels_test trainer_test distance_test
   done
 } 2>&1 | tee "$LOG_DIR/7-tsan.log"
 
-echo "== [8/9] Fault injection: failpoint build + crash recovery =="
+stage
 FAULT_TESTS="Failpoint|CrashRecovery|Checkpoint|Resume|Loader|IoUtil|Bundle|Payload|Crc32|ModelIo|Serve"
 {
   cmake -B build-failpoints -S . -DTMN_WERROR=ON -DTMN_FAILPOINTS=ON \
@@ -143,7 +155,7 @@ if grep -q "built without failpoint sites" "$LOG_DIR/8-fault-injection.log"; the
   exit 1
 fi
 
-echo "== [9/9] clang-tidy (bugprone-*, performance-*, concurrency-*) =="
+stage
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json is emitted by the standard build in stage 1.
   mapfile -t TIDY_SOURCES < <(find src tools -name '*.cc' | sort)
@@ -164,4 +176,4 @@ else
        "(install clang-tidy to enable it)" | tee "$LOG_DIR/9-clang-tidy.log"
 fi
 
-echo "== All checks passed =="
+echo "== All ${STAGE_TOTAL} stages passed =="
