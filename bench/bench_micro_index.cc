@@ -1,0 +1,243 @@
+// Measures the crash-safe segmented index (src/index/segmented):
+// streaming WAL-backed ingest throughput, reopen/recovery (segment loads
+// + WAL replay), and scatter-gather top-k search latency.
+//
+// The workload is fully deterministic: fixed synthetic vectors, fixed
+// seal boundaries, fixed queries. Everything structural — records
+// ingested, segments sealed, WAL records replayed on reopen, the top-k
+// identity checksum, and the 1-thread/4-thread bitwise identity of
+// search results — gates as a stable metric; wall-clock throughput and
+// latency quantiles are machine-dependent (unstable, warn-only in
+// bench_compare). The tmn.index.segment.* family recorded by the library
+// lands in the same report.
+//
+// Emits a RunReport (schema tmn.run_report/1). The committed baseline
+// lives at bench/baselines/BENCH_index.json; CI regenerates the report
+// and gates with tools/bench_compare.
+//
+// Usage: bench_micro_index [output.json]   (default: BENCH_index.json)
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "index/segmented/segmented_index.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace {
+
+constexpr size_t kDim = 16;
+constexpr size_t kMemtableCapacity = 256;
+// 8 full segments + half a memtable left in the WAL, so the reopen
+// exercises both segment loads and replay.
+constexpr uint64_t kRecords = 8 * kMemtableCapacity + kMemtableCapacity / 2;
+constexpr size_t kQueries = 64;
+constexpr size_t kTopK = 10;
+
+std::vector<float> SyntheticVector(uint64_t i) {
+  std::vector<float> v(kDim);
+  // Deterministic, well-spread, and exactly representable in f32.
+  uint64_t state = i * 6364136223846793005ull + 1442695040888963407ull;
+  for (size_t d = 0; d < kDim; ++d) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    v[d] = static_cast<float>((state >> 40) & 0xFFFF) * (1.0f / 4096.0f);
+  }
+  return v;
+}
+
+std::vector<float> QueryVector(size_t q) {
+  return SyntheticVector(0x9E3779B9ull + q * 131ull);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = p * static_cast<double>(values.size() - 1);
+  return values[static_cast<size_t>(std::lround(pos))];
+}
+
+struct SearchRun {
+  // Order-sensitive FNV-1a over (rank, id) of every query's top-k: equal
+  // checksums mean identical rankings.
+  uint64_t checksum = 0;
+  std::vector<std::vector<uint64_t>> ids;
+  std::vector<std::vector<float>> distances;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  size_t partial = 0;
+};
+
+bool RunSearches(tmn::index::SegmentedIndex& index, SearchRun* run) {
+  uint64_t checksum = 1469598103934665603ull;  // FNV-1a offset basis.
+  auto mix = [&checksum](uint64_t value) {
+    checksum ^= value;
+    checksum *= 1099511628211ull;
+  };
+  std::vector<double> latencies;
+  latencies.reserve(kQueries);
+  for (size_t q = 0; q < kQueries; ++q) {
+    const double start = tmn::obs::MonotonicSeconds();
+    const auto result = index.SearchTopK(QueryVector(q), kTopK);
+    const double elapsed = tmn::obs::MonotonicSeconds() - start;
+    if (!result.ok()) {
+      std::fprintf(stderr, "search %zu failed: %s\n", q,
+                   result.status().ToString().c_str());
+      return false;
+    }
+    latencies.push_back(1e6 * elapsed);
+    if (result.value().partial) ++run->partial;
+    for (size_t r = 0; r < result.value().ids.size(); ++r) {
+      mix(r);
+      mix(result.value().ids[r]);
+    }
+    run->ids.push_back(result.value().ids);
+    run->distances.push_back(result.value().distances);
+  }
+  run->checksum = checksum;
+  run->p50_us = Percentile(latencies, 0.50);
+  run->p99_us = Percentile(latencies, 0.99);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_index.json";
+  std::printf("TMN reproduction — micro-benchmark: segmented index\n");
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "tmn_bench_index").string();
+  std::filesystem::remove_all(dir);
+
+  tmn::index::SegmentedIndexOptions options;
+  options.dim = kDim;
+  options.memtable_capacity = kMemtableCapacity;
+
+  // Phase 1: streaming ingest (every append is WAL-durable before ack).
+  double ingest_wall = 0.0;
+  uint64_t segments_after_ingest = 0;
+  {
+    auto index = tmn::index::SegmentedIndex::Open(dir, options);
+    if (!index.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    const double start = tmn::obs::MonotonicSeconds();
+    for (uint64_t i = 0; i < kRecords; ++i) {
+      const tmn::common::Status appended =
+          index.value()->Append(i, SyntheticVector(i));
+      if (!appended.ok()) {
+        std::fprintf(stderr, "append %llu failed: %s\n",
+                     static_cast<unsigned long long>(i),
+                     appended.ToString().c_str());
+        return 1;
+      }
+    }
+    ingest_wall = tmn::obs::MonotonicSeconds() - start;
+    segments_after_ingest = index.value()->segment_count();
+  }
+  const double appends_per_sec =
+      ingest_wall > 0.0 ? static_cast<double>(kRecords) / ingest_wall : 0.0;
+
+  // Phase 2: reopen — segment loads plus WAL replay of the unsealed tail.
+  tmn::index::RecoveryReport report;
+  const double reopen_start = tmn::obs::MonotonicSeconds();
+  auto index = tmn::index::SegmentedIndex::Open(dir, options, &report);
+  const double reopen_wall = tmn::obs::MonotonicSeconds() - reopen_start;
+  if (!index.ok()) {
+    std::fprintf(stderr, "reopen failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+
+  // Phase 3: scatter-gather search, pool-wide then sequential; the
+  // results must be bitwise identical.
+  SearchRun parallel_run;
+  if (!RunSearches(*index.value(), &parallel_run)) return 1;
+  tmn::index::SegmentedIndexOptions sequential_options = options;
+  sequential_options.max_parallelism = 1;
+  index.value().reset();
+  auto sequential_index =
+      tmn::index::SegmentedIndex::Open(dir, sequential_options);
+  if (!sequential_index.ok()) {
+    std::fprintf(stderr, "sequential reopen failed: %s\n",
+                 sequential_index.status().ToString().c_str());
+    return 1;
+  }
+  SearchRun sequential_run;
+  if (!RunSearches(*sequential_index.value(), &sequential_run)) return 1;
+  const bool identical = parallel_run.ids == sequential_run.ids &&
+                         parallel_run.distances == sequential_run.distances;
+
+  tmn::bench::PrintTableHeader(
+      "Segmented index (dim " + std::to_string(kDim) + ", capacity " +
+          std::to_string(kMemtableCapacity) + ")",
+      {"value"});
+  tmn::bench::PrintRow("records ingested", {static_cast<double>(kRecords)});
+  tmn::bench::PrintRow("segments sealed",
+                       {static_cast<double>(segments_after_ingest)});
+  tmn::bench::PrintRow("appends/sec", {appends_per_sec});
+  tmn::bench::PrintRow("WAL records replayed on reopen",
+                       {static_cast<double>(report.wal_records_replayed)});
+  tmn::bench::PrintRow("reopen (ms)", {1e3 * reopen_wall});
+  tmn::bench::PrintRow("search p50 (us)", {parallel_run.p50_us});
+  tmn::bench::PrintRow("search p99 (us)", {parallel_run.p99_us});
+  std::printf("top-%zu checksum %016llx over %zu queries; 1-thread vs "
+              "pool results %s\n",
+              kTopK, static_cast<unsigned long long>(parallel_run.checksum),
+              kQueries, identical ? "bit-identical" : "DIVERGED");
+
+  // Structural outcomes are the contract: stable, gated. Wall clocks and
+  // quantiles are machine-dependent: unstable, warn-only.
+  auto& reg = tmn::obs::Registry::Global();
+  reg.GetGauge("bench.index.ingest.records")
+      .Set(static_cast<double>(kRecords));
+  reg.GetGauge("bench.index.ingest.segments")
+      .Set(static_cast<double>(segments_after_ingest));
+  reg.GetGauge("bench.index.recovery.segments_loaded")
+      .Set(static_cast<double>(report.segments_loaded));
+  reg.GetGauge("bench.index.recovery.wal_records_replayed")
+      .Set(static_cast<double>(report.wal_records_replayed));
+  reg.GetGauge("bench.index.recovery.quarantined")
+      .Set(static_cast<double>(report.segments_quarantined));
+  reg.GetGauge("bench.index.search.checksum")
+      .Set(static_cast<double>(parallel_run.checksum % (1ull << 52)));
+  reg.GetGauge("bench.index.search.identical").Set(identical ? 1.0 : 0.0);
+  reg.GetGauge("bench.index.search.partial")
+      .Set(static_cast<double>(parallel_run.partial));
+  reg.GetGauge("bench.index.ingest.appends_per_sec",
+               tmn::obs::Stability::kUnstable)
+      .Set(appends_per_sec);
+  reg.GetGauge("bench.index.ingest.wall_ms", tmn::obs::Stability::kUnstable)
+      .Set(1e3 * ingest_wall);
+  reg.GetGauge("bench.index.recovery.reopen_ms",
+               tmn::obs::Stability::kUnstable)
+      .Set(1e3 * reopen_wall);
+  reg.GetGauge("bench.index.search.p50_us", tmn::obs::Stability::kUnstable)
+      .Set(parallel_run.p50_us);
+  reg.GetGauge("bench.index.search.p99_us", tmn::obs::Stability::kUnstable)
+      .Set(parallel_run.p99_us);
+
+  const std::map<std::string, std::string> config = {
+      {"dim", std::to_string(kDim)},
+      {"memtable_capacity", std::to_string(kMemtableCapacity)},
+      {"records", std::to_string(kRecords)},
+      {"queries", std::to_string(kQueries)},
+      {"k", std::to_string(kTopK)},
+  };
+  const bool wrote =
+      tmn::bench::WriteRunReport("micro_index", out_path, config);
+  std::filesystem::remove_all(dir);
+  return identical && parallel_run.partial == 0 &&
+                 report.segments_quarantined == 0 && wrote
+             ? 0
+             : 1;
+}

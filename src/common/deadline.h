@@ -67,6 +67,51 @@ inline Status CheckDeadline(const Deadline& deadline, const char* stage) {
   return Status::Ok();
 }
 
+// Amortized deadline polling for tight loops. A raw Expired() call costs
+// a clock read, which dominates a cheap loop body (a distance accumulate,
+// a heap push), so every long-running scan polls the clock once every
+// `stride` iterations. The stride used to be re-declared ad hoc at each
+// call site (hnsw.cc, serve) — DeadlinePoller is the one shared knob. The
+// first Tick() polls immediately so a budget that is already blown fails
+// before any work, and expiry is sticky: once observed, every later
+// Tick()/Check() reports expired without touching the clock again.
+class DeadlinePoller {
+ public:
+  static constexpr int kDefaultStride = 64;
+
+  explicit DeadlinePoller(const Deadline* deadline,
+                          int stride = kDefaultStride)
+      : deadline_(deadline), stride_(stride < 1 ? 1 : stride) {}
+
+  // True when the deadline has expired; reads the clock on the first call
+  // and then every `stride` calls.
+  bool Tick() {
+    if (expired_) return true;
+    if (--countdown_ > 0) return false;
+    countdown_ = stride_;
+    expired_ = deadline_->Expired();
+    return expired_;
+  }
+
+  // Tick() plus the stage-labelled error, for loops that propagate Status.
+  Status Check(const char* stage) {
+    if (Tick()) {
+      return DeadlineExceededError(
+          std::string("deadline expired at stage '") + stage + "'");
+    }
+    return Status::Ok();
+  }
+
+  // Sticky result of the most recent poll (no clock read).
+  bool expired() const { return expired_; }
+
+ private:
+  const Deadline* deadline_;  // Borrowed; must outlive the poller.
+  int stride_;
+  int countdown_ = 1;  // First Tick() polls immediately.
+  bool expired_ = false;
+};
+
 }  // namespace tmn::common
 
 #endif  // TMN_COMMON_DEADLINE_H_

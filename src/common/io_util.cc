@@ -191,6 +191,61 @@ bool FileExists(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0;
 }
 
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return IoError(Errno("truncate", path));
+  }
+  return Status::Ok();
+}
+
+FileAppender::~FileAppender() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileAppender::Open(const std::string& path, bool truncate) {
+  TMN_CHECK_MSG(fd_ < 0, "FileAppender::Open on an open appender");
+  if (TMN_FAILPOINT("io.append.open")) {
+    return IoError("open '" + path + "': injected failure (io.append.open)");
+  }
+  int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+  if (truncate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return IoError(Errno("open", path));
+  fd_ = fd;
+  path_ = path;
+  return Status::Ok();
+}
+
+Status FileAppender::Append(std::string_view data) {
+  TMN_CHECK_MSG(fd_ >= 0, "FileAppender::Append on a closed appender");
+  if (TMN_FAILPOINT("io.append.write")) {
+    // Simulated torn write: half the record reaches the file before the
+    // error, exactly the tail a power cut mid-write leaves behind. Replay
+    // must detect and truncate it.
+    (void)WriteAll(fd_, data.substr(0, data.size() / 2), path_);
+    return IoError("write '" + path_ +
+                   "': injected failure (io.append.write)");
+  }
+  return WriteAll(fd_, data, path_);
+}
+
+Status FileAppender::Sync() {
+  TMN_CHECK_MSG(fd_ >= 0, "FileAppender::Sync on a closed appender");
+  if (TMN_FAILPOINT("io.append.sync")) {
+    return IoError("fsync '" + path_ +
+                   "': injected failure (io.append.sync)");
+  }
+  if (::fsync(fd_) != 0) return IoError(Errno("fsync", path_));
+  return Status::Ok();
+}
+
+Status FileAppender::Close() {
+  if (fd_ < 0) return Status::Ok();
+  const int fd = std::exchange(fd_, -1);
+  if (::close(fd) != 0) return IoError(Errno("close", path_));
+  return Status::Ok();
+}
+
 void PayloadWriter::PutU32(uint32_t v) {
   char b[4];
   b[0] = static_cast<char>(v & 0xFFu);
@@ -354,8 +409,8 @@ Status BundleReader::Init(std::string data, uint32_t expect_magic,
     pos += size;
     const uint32_t actual = Crc32(payload);
     if (actual != crc) {
-      return CorruptionError(what_ + ": checksum mismatch in section '" +
-                             tag + "'");
+      return ChecksumMismatchError(what_ + ": checksum mismatch in section '" +
+                                   tag + "'");
     }
     for (const Entry& e : sections_) {
       if (e.tag == tag) {

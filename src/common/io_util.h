@@ -51,6 +51,37 @@ Status RemoveFileIfExists(const std::string& path);
 
 bool FileExists(const std::string& path);
 
+// Truncates `path` to `size` bytes. Used by WAL replay to cut a torn tail
+// back to the last whole record.
+Status TruncateFile(const std::string& path, uint64_t size);
+
+// Append-mode file handle for write-ahead logs: the one writer in the
+// library whose durability unit is a record, not a whole file. Open
+// creates the file when missing (or empties it with `truncate`); Append
+// adds bytes at the tail; Sync fsyncs — an append is only "acked" (safe to
+// acknowledge to a client) once Sync has returned OK. Failpoints:
+// io.append.open, io.append.write (tears the record: half is written
+// before the error, as a power cut mid-write would leave), io.append.sync.
+class FileAppender {
+ public:
+  FileAppender() = default;
+  ~FileAppender();
+  FileAppender(const FileAppender&) = delete;
+  FileAppender& operator=(const FileAppender&) = delete;
+
+  Status Open(const std::string& path, bool truncate = false);
+  Status Append(std::string_view data);
+  Status Sync();
+  // Close is idempotent; the destructor closes without error reporting.
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
 // Little-endian scalar encoder appending to an internal buffer.
 class PayloadWriter {
  public:
@@ -119,10 +150,11 @@ class BundleWriter {
 };
 
 // Parses and validates a bundle. Init returns, with distinct messages:
-//   kCorruption  — truncated header / truncated section header or payload
-//                  / checksum mismatch / duplicate tag / trailing bytes
-//   kCorruption  — magic mismatch ("not a <what> file")
-//   kVersionSkew — right magic, unsupported version
+//   kCorruption        — truncated header / truncated section header or
+//                        payload / duplicate tag / trailing bytes
+//   kCorruption        — magic mismatch ("not a <what> file")
+//   kChecksumMismatch  — section payload present but its CRC disagrees
+//   kVersionSkew       — right magic, unsupported version
 // `what` names the artifact in diagnostics (e.g. "TMN checkpoint").
 class BundleReader {
  public:

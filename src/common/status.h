@@ -22,7 +22,8 @@ enum class StatusCode : int {
   kInvalidArgument,     // Caller-supplied data does not fit (shape skew...).
   kNotFound,            // Missing file / no checkpoint to resume from.
   kIoError,             // open/write/fsync/rename failed.
-  kCorruption,          // Truncation, checksum mismatch, bad magic.
+  kCorruption,          // Truncation, bad magic, structural damage.
+  kChecksumMismatch,    // Payload present but its CRC disagrees.
   kVersionSkew,         // Recognized file, unsupported format version.
   kQuarantined,         // Too large a fraction of a dataset is malformed.
   kFailedPrecondition,  // Operation not valid in the current state.
@@ -38,6 +39,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kIoError: return "IO_ERROR";
     case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kChecksumMismatch: return "CHECKSUM_MISMATCH";
     case StatusCode::kVersionSkew: return "VERSION_SKEW";
     case StatusCode::kQuarantined: return "QUARANTINED";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
@@ -88,6 +90,9 @@ inline Status IoError(std::string message) {
 }
 inline Status CorruptionError(std::string message) {
   return Status(StatusCode::kCorruption, std::move(message));
+}
+inline Status ChecksumMismatchError(std::string message) {
+  return Status(StatusCode::kChecksumMismatch, std::move(message));
 }
 inline Status VersionSkewError(std::string message) {
   return Status(StatusCode::kVersionSkew, std::move(message));

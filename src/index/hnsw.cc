@@ -20,9 +20,6 @@ struct Farther {
   }
 };
 
-// Deadline polling stride inside the graph walk: one clock read per this
-// many node expansions bounds both the overshoot and the clock cost.
-constexpr size_t kDeadlineStride = 64;
 }  // namespace
 
 HnswIndex::HnswIndex(size_t dim, const HnswConfig& config)
@@ -47,17 +44,13 @@ float HnswIndex::Distance(const float* a, const float* b) const {
 size_t HnswIndex::GreedyDescend(const std::vector<float>& query,
                                 size_t entry, int from_level,
                                 int target_level,
-                                const common::Deadline* deadline,
-                                bool* expired) const {
+                                common::DeadlinePoller* poller) const {
   size_t current = entry;
   float current_dist = Distance(query.data(), PointAt(current));
   for (int level = from_level; level > target_level; --level) {
     bool improved = true;
     while (improved) {
-      if (deadline != nullptr && deadline->Expired()) {
-        if (expired != nullptr) *expired = true;
-        return current;
-      }
+      if (poller != nullptr && poller->Tick()) return current;
       improved = false;
       for (uint32_t neighbor : nodes_[current].neighbors[level]) {
         const float d = Distance(query.data(), PointAt(neighbor));
@@ -75,8 +68,8 @@ size_t HnswIndex::GreedyDescend(const std::vector<float>& query,
 std::vector<Candidate> HnswIndex::SearchLayer(const std::vector<float>& query,
                                               size_t entry, size_t ef,
                                               int level,
-                                              const common::Deadline* deadline,
-                                              bool* expired) const {
+                                              common::DeadlinePoller* poller)
+    const {
   std::unordered_set<uint32_t> visited;
   std::priority_queue<Candidate, std::vector<Candidate>, Farther> frontier;
   std::priority_queue<Candidate> best;  // Max-heap: worst of the ef best.
@@ -84,13 +77,8 @@ std::vector<Candidate> HnswIndex::SearchLayer(const std::vector<float>& query,
   frontier.emplace(entry_dist, static_cast<uint32_t>(entry));
   best.emplace(entry_dist, static_cast<uint32_t>(entry));
   visited.insert(static_cast<uint32_t>(entry));
-  size_t expansions = 0;
   while (!frontier.empty()) {
-    if (deadline != nullptr && ++expansions % kDeadlineStride == 0 &&
-        deadline->Expired()) {
-      if (expired != nullptr) *expired = true;
-      break;
-    }
+    if (poller != nullptr && poller->Tick()) break;
     const Candidate current = frontier.top();
     frontier.pop();
     if (current.first > best.top().first && best.size() >= ef) break;
@@ -227,17 +215,16 @@ common::StatusOr<std::vector<size_t>> HnswIndex::NearestChecked(
   TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, "index-search"));
   if (ef == 0) ef = config_.ef_search;
   ef = std::max(ef, k);
-  const common::Deadline* poll = deadline.infinite() ? nullptr : &deadline;
-  bool expired = false;
+  common::DeadlinePoller poller(&deadline);
+  common::DeadlinePoller* poll = deadline.infinite() ? nullptr : &poller;
   const size_t entry =
-      GreedyDescend(query, entry_point_, max_level_, 0, poll, &expired);
-  if (expired) {
+      GreedyDescend(query, entry_point_, max_level_, 0, poll);
+  if (poller.expired()) {
     return common::DeadlineExceededError(
         "deadline expired at stage 'index-search' (greedy descent)");
   }
-  std::vector<Candidate> found = SearchLayer(query, entry, ef, 0, poll,
-                                             &expired);
-  if (expired) {
+  std::vector<Candidate> found = SearchLayer(query, entry, ef, 0, poll);
+  if (poller.expired()) {
     return common::DeadlineExceededError(
         "deadline expired at stage 'index-search' (beam search)");
   }

@@ -63,20 +63,18 @@ class HnswIndex {
   const float* PointAt(size_t i) const { return &points_[i * dim_]; }
 
   // Greedy descent to the closest node at layers above `target_level`.
-  // `deadline` (nullable) is polled between improvement sweeps; on expiry
-  // `*expired` is set and the best node so far is returned.
+  // `poller` (nullable) is ticked between improvement sweeps; on expiry
+  // the best node so far is returned (poller->expired() reports it).
   size_t GreedyDescend(const std::vector<float>& query, size_t entry,
                        int from_level, int target_level,
-                       const common::Deadline* deadline = nullptr,
-                       bool* expired = nullptr) const;
+                       common::DeadlinePoller* poller = nullptr) const;
 
   // Beam search at one layer; returns up to `ef` (distance, id) pairs,
-  // best first. `deadline` (nullable) is polled every few expansions; on
-  // expiry `*expired` is set and the search stops early.
+  // best first. `poller` (nullable) is ticked per expansion — the poller's
+  // stride amortizes the clock reads; on expiry the search stops early.
   std::vector<std::pair<float, uint32_t>> SearchLayer(
       const std::vector<float>& query, size_t entry, size_t ef, int level,
-      const common::Deadline* deadline = nullptr,
-      bool* expired = nullptr) const;
+      common::DeadlinePoller* poller = nullptr) const;
 
   // Heuristic-free neighbor selection: keep the m closest.
   void Connect(uint32_t node, int level,

@@ -103,12 +103,25 @@ common::StatusOr<std::vector<size_t>> KdTree::NearestChecked(
     }
   }
   TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, "index-search"));
-  return NearestExcluding(query, k, count_);
+  common::DeadlinePoller poller(&deadline);
+  std::vector<size_t> result =
+      Search(query, k, count_, deadline.infinite() ? nullptr : &poller);
+  if (poller.expired()) {
+    return common::DeadlineExceededError(
+        "deadline expired at stage 'index-search' (tree walk)");
+  }
+  return result;
 }
 
 std::vector<size_t> KdTree::NearestExcluding(const std::vector<float>& query,
                                              size_t k,
                                              size_t exclude) const {
+  return Search(query, k, exclude, nullptr);
+}
+
+std::vector<size_t> KdTree::Search(const std::vector<float>& query, size_t k,
+                                   size_t exclude,
+                                   common::DeadlinePoller* poller) const {
   TMN_CHECK(query.size() == dim_);
   const size_t usable = exclude < count_ ? count_ - 1 : count_;
   k = std::min(k, usable);
@@ -120,6 +133,7 @@ std::vector<size_t> KdTree::NearestExcluding(const std::vector<float>& query,
   // Recursive search with pruning on the splitting hyperplane distance.
   const auto visit = [&](auto&& self, int node_id) -> void {
     if (node_id < 0) return;
+    if (poller != nullptr && poller->Tick()) return;
     ++visited_nodes;
     const Node& node = nodes_[node_id];
     const float* p = PointAt(node.point);

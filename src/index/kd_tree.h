@@ -33,8 +33,10 @@ class KdTree {
   // Validated search for the online query path: a dimension mismatch,
   // k == 0 or a non-finite coordinate returns kInvalidArgument and an
   // empty index kFailedPrecondition, instead of the abort/UB the
-  // unchecked API risks. `deadline` is checked once before descending
-  // (tree descent is logarithmic, so no mid-walk polling is needed).
+  // unchecked API risks. The walk ticks a DeadlinePoller per visited node
+  // (descent is logarithmic but backtracking is not, so degenerate trees
+  // and large k do revisit many nodes): on expiry the query returns
+  // kDeadlineExceeded instead of finishing late.
   common::StatusOr<std::vector<size_t>> NearestChecked(
       const std::vector<float>& query, size_t k,
       const common::Deadline& deadline = common::Deadline()) const;
@@ -49,6 +51,14 @@ class KdTree {
 
   int Build(std::vector<size_t>& idx, size_t lo, size_t hi, size_t depth);
   const float* PointAt(size_t i) const { return &points_[i * dim_]; }
+
+  // Shared pruned walk behind Nearest / NearestExcluding / NearestChecked.
+  // `poller` (nullable) is ticked per visited node; on expiry the walk
+  // stops and returns the best found so far (poller->expired() reports
+  // it — the checked API turns that into kDeadlineExceeded).
+  std::vector<size_t> Search(const std::vector<float>& query, size_t k,
+                             size_t exclude,
+                             common::DeadlinePoller* poller) const;
 
   std::vector<float> points_;
   size_t dim_;

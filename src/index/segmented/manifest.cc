@@ -1,0 +1,65 @@
+#include "index/segmented/manifest.h"
+
+#include "common/failpoint.h"
+#include "common/io_util.h"
+
+namespace tmn::index {
+
+namespace {
+constexpr char kManifestSection[] = "MANI";
+constexpr char kManifestWhat[] = "TMN index manifest";
+}  // namespace
+
+std::string IndexManifestFileName(uint64_t version) {
+  return "manifest-" + std::to_string(version) + ".tmnm";
+}
+
+common::Status WriteIndexManifest(const std::string& dir,
+                                  const IndexManifest& manifest) {
+  if (TMN_FAILPOINT("index.segmented.manifest.publish")) {
+    return common::IoError(
+        "manifest publish: injected failure "
+        "(index.segmented.manifest.publish)");
+  }
+  common::PayloadWriter w;
+  w.PutU64(manifest.version);
+  w.PutU64(manifest.wal_gen);
+  w.PutU64(manifest.next_seq);
+  w.PutU64(manifest.dim);
+  w.PutU64(manifest.segments.size());
+  for (const std::string& name : manifest.segments) w.PutString(name);
+  common::BundleWriter bundle(kIndexManifestMagic, kIndexManifestVersion);
+  bundle.AddSection(kManifestSection, w.Take());
+  return bundle.WriteAtomic(dir + "/" + IndexManifestFileName(manifest.version));
+}
+
+common::StatusOr<IndexManifest> LoadIndexManifest(const std::string& path) {
+  common::BundleReader reader;
+  common::Status init = reader.InitFromFile(path, kIndexManifestMagic,
+                                            kIndexManifestVersion,
+                                            kManifestWhat);
+  if (!init.ok()) return init;
+  common::StatusOr<std::string_view> mani =
+      reader.RequiredSection(kManifestSection);
+  if (!mani.ok()) return mani.status();
+  common::PayloadReader r(mani.value());
+  IndexManifest manifest;
+  uint64_t segment_count = 0;
+  r.ReadU64(&manifest.version);
+  r.ReadU64(&manifest.wal_gen);
+  r.ReadU64(&manifest.next_seq);
+  r.ReadU64(&manifest.dim);
+  if (!r.ReadU64(&segment_count)) {
+    return common::CorruptionError("index manifest '" + path +
+                                   "': MANI section truncated");
+  }
+  manifest.segments.assign(segment_count, {});
+  for (std::string& name : manifest.segments) r.ReadString(&name);
+  if (!r.ok() || r.remaining() != 0) {
+    return common::CorruptionError("index manifest '" + path +
+                                   "': MANI section has wrong size");
+  }
+  return manifest;
+}
+
+}  // namespace tmn::index

@@ -1,0 +1,49 @@
+#ifndef TMN_INDEX_SEGMENTED_MANIFEST_H_
+#define TMN_INDEX_SEGMENTED_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Versioned manifest naming the live state of a segmented index
+// (docs/INDEXING.md). Each publish writes a fresh `manifest-<version>.tmnm`
+// bundle atomically; older versions are only deleted after the new one is
+// durable, and segment/WAL files are only deleted once no manifest
+// references their data — so a crash at any point leaks at most a file,
+// never a record. Open() loads the newest version that validates, skipping
+// damaged ones, mirroring CheckpointManager::LoadLatestValid.
+
+namespace tmn::index {
+
+inline constexpr uint32_t kIndexManifestMagic = 0x4D534D54;  // "TMSM"
+inline constexpr uint32_t kIndexManifestVersion = 1;
+
+struct IndexManifest {
+  // Publish counter; 0 means "never published" (fresh index, no file).
+  uint64_t version = 0;
+  // Live WAL generation: appends go to wal-<wal_gen>.log. Bumped on every
+  // seal, so records sealed into a segment are never replayed.
+  uint64_t wal_gen = 1;
+  // Next segment sequence number to assign.
+  uint64_t next_seq = 1;
+  uint64_t dim = 0;
+  // Live segment file names, oldest first.
+  std::vector<std::string> segments;
+};
+
+std::string IndexManifestFileName(uint64_t version);
+
+// Atomically writes `manifest` as manifest-<version>.tmnm under `dir`.
+// Failpoint index.segmented.manifest.publish rejects the publish before
+// any byte is written; a crash armed on io.atomic_write.rename models a
+// power cut mid-publish.
+common::Status WriteIndexManifest(const std::string& dir,
+                                  const IndexManifest& manifest);
+
+common::StatusOr<IndexManifest> LoadIndexManifest(const std::string& path);
+
+}  // namespace tmn::index
+
+#endif  // TMN_INDEX_SEGMENTED_MANIFEST_H_

@@ -1,0 +1,99 @@
+#include "index/segmented/segment.h"
+
+#include <utility>
+
+#include "common/io_util.h"
+
+namespace tmn::index {
+
+namespace {
+constexpr char kMetaSection[] = "META";
+constexpr char kIdsSection[] = "IDS_";
+constexpr char kVectorsSection[] = "VECS";
+constexpr char kSegmentWhat[] = "TMN index segment";
+}  // namespace
+
+common::StatusOr<Segment> Segment::Load(const std::string& path,
+                                        const std::string& name,
+                                        size_t expect_dim) {
+  common::BundleReader reader;
+  common::Status init =
+      reader.InitFromFile(path, kSegmentMagic, kSegmentVersion, kSegmentWhat);
+  if (!init.ok()) return init;
+
+  common::StatusOr<std::string_view> meta =
+      reader.RequiredSection(kMetaSection);
+  if (!meta.ok()) return meta.status();
+  common::PayloadReader meta_reader(meta.value());
+  uint64_t seq = 0;
+  uint64_t count = 0;
+  uint64_t dim = 0;
+  meta_reader.ReadU64(&seq);
+  meta_reader.ReadU64(&count);
+  if (!meta_reader.ReadU64(&dim) || meta_reader.remaining() != 0) {
+    return common::CorruptionError("segment '" + name +
+                                   "': META section has wrong size");
+  }
+  if (dim != expect_dim) {
+    return common::FailedPreconditionError(
+        "segment '" + name + "': dimension " + std::to_string(dim) +
+        " does not match index dimension " + std::to_string(expect_dim));
+  }
+
+  common::StatusOr<std::string_view> ids_payload =
+      reader.RequiredSection(kIdsSection);
+  if (!ids_payload.ok()) return ids_payload.status();
+  if (ids_payload.value().size() != count * sizeof(uint64_t)) {
+    return common::CorruptionError("segment '" + name +
+                                   "': IDS_ section has wrong size");
+  }
+  common::StatusOr<std::string_view> vecs_payload =
+      reader.RequiredSection(kVectorsSection);
+  if (!vecs_payload.ok()) return vecs_payload.status();
+  if (vecs_payload.value().size() != count * dim * sizeof(float)) {
+    return common::CorruptionError("segment '" + name +
+                                   "': VECS section has wrong size");
+  }
+
+  Segment segment;
+  segment.name_ = name;
+  segment.seq_ = seq;
+  segment.dim_ = dim;
+  segment.ids_.assign(count, 0);
+  common::PayloadReader ids_reader(ids_payload.value());
+  for (uint64_t& id : segment.ids_) ids_reader.ReadU64(&id);
+  segment.vectors_.assign(count * dim, 0.0f);
+  common::PayloadReader vecs_reader(vecs_payload.value());
+  for (float& v : segment.vectors_) vecs_reader.ReadF32(&v);
+  TMN_CHECK(ids_reader.ok() && vecs_reader.ok());
+  return segment;
+}
+
+Segment Segment::FromMemtable(std::string name, uint64_t seq,
+                              const Memtable& memtable) {
+  Segment segment;
+  segment.name_ = std::move(name);
+  segment.seq_ = seq;
+  segment.dim_ = memtable.dim();
+  segment.ids_ = memtable.ids();
+  segment.vectors_ = memtable.vectors();
+  return segment;
+}
+
+common::Status Segment::WriteFile(const std::string& path) const {
+  common::PayloadWriter meta;
+  meta.PutU64(seq_);
+  meta.PutU64(ids_.size());
+  meta.PutU64(dim_);
+  common::PayloadWriter ids;
+  for (const uint64_t id : ids_) ids.PutU64(id);
+  common::PayloadWriter vecs;
+  for (const float v : vectors_) vecs.PutF32(v);
+  common::BundleWriter bundle(kSegmentMagic, kSegmentVersion);
+  bundle.AddSection(kMetaSection, meta.Take());
+  bundle.AddSection(kIdsSection, ids.Take());
+  bundle.AddSection(kVectorsSection, vecs.Take());
+  return bundle.WriteAtomic(path);
+}
+
+}  // namespace tmn::index

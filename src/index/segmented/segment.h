@@ -1,0 +1,94 @@
+#ifndef TMN_INDEX_SEGMENTED_SEGMENT_H_
+#define TMN_INDEX_SEGMENTED_SEGMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Storage units of the segmented index (docs/INDEXING.md): a mutable
+// Memtable absorbing streaming ingest, and immutable on-disk Segments the
+// memtable is sealed into. A segment file is an io_util bundle — magic,
+// version, and per-section CRCs — written atomically, so a loader can
+// always tell a good segment from a torn or bit-flipped one.
+
+namespace tmn::index {
+
+inline constexpr uint32_t kSegmentMagic = 0x47534D54;  // "TMSG"
+inline constexpr uint32_t kSegmentVersion = 1;
+
+// One ingested vector: caller-assigned id + embedding.
+struct VectorRecord {
+  uint64_t id = 0;
+  std::vector<float> vector;
+};
+
+// In-memory mutable run of recently ingested vectors, stored row-major.
+// Scanned as "segment zero" by queries; sealed into a Segment when full.
+class Memtable {
+ public:
+  explicit Memtable(size_t dim) : dim_(dim) {}
+
+  void Insert(uint64_t id, const float* vector) {
+    ids_.push_back(id);
+    vectors_.insert(vectors_.end(), vector, vector + dim_);
+  }
+
+  void Clear() {
+    ids_.clear();
+    vectors_.clear();
+  }
+
+  size_t size() const { return ids_.size(); }
+  size_t dim() const { return dim_; }
+  const std::vector<uint64_t>& ids() const { return ids_; }
+  const std::vector<float>& vectors() const { return vectors_; }
+
+ private:
+  size_t dim_;
+  std::vector<uint64_t> ids_;
+  std::vector<float> vectors_;
+};
+
+// Immutable sealed run. Either decoded from a segment bundle on disk
+// (Load) or built directly from the memtable being sealed (FromMemtable),
+// which spares a read-back of bytes we just wrote.
+class Segment {
+ public:
+  // Decodes and fully validates `path`. Every failure mode has a distinct
+  // code the quarantine logic preserves: kNotFound (file vanished),
+  // kCorruption (truncation, bad magic, structural damage),
+  // kChecksumMismatch (CRC disagreement), kVersionSkew (future format),
+  // kFailedPrecondition (valid file, wrong dimension).
+  static common::StatusOr<Segment> Load(const std::string& path,
+                                        const std::string& name,
+                                        size_t expect_dim);
+
+  static Segment FromMemtable(std::string name, uint64_t seq,
+                              const Memtable& memtable);
+
+  // Serializes and atomically writes this segment as a bundle.
+  common::Status WriteFile(const std::string& path) const;
+
+  const std::string& name() const { return name_; }
+  uint64_t seq() const { return seq_; }
+  size_t size() const { return ids_.size(); }
+  size_t dim() const { return dim_; }
+  const std::vector<uint64_t>& ids() const { return ids_; }
+  const std::vector<float>& vectors() const { return vectors_; }
+
+ private:
+  Segment() = default;
+
+  std::string name_;
+  uint64_t seq_ = 0;
+  size_t dim_ = 0;
+  std::vector<uint64_t> ids_;
+  std::vector<float> vectors_;
+};
+
+}  // namespace tmn::index
+
+#endif  // TMN_INDEX_SEGMENTED_SEGMENT_H_

@@ -1,0 +1,486 @@
+#include "index/segmented/segmented_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <queue>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/io_util.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+
+namespace tmn::index {
+
+namespace {
+
+// Segmented-index metrics (the tmn.index.segment.* family in
+// docs/OBSERVABILITY.md). Counts and byte totals are deterministic for a
+// deterministic ingest, so they are stable and bench-gated; partial
+// results can be deadline-induced and search timing is wall clock, so
+// those are unstable (warn-only).
+struct SegmentIndexMetrics {
+  obs::Counter& seals;
+  obs::Counter& wal_records_replayed;
+  obs::Counter& wal_bytes_truncated;
+  obs::Counter& quarantined;
+  obs::Counter& partial_results;
+  obs::Gauge& segment_count;
+  obs::Gauge& wal_bytes;
+  obs::Histogram& search_seconds;
+
+  static SegmentIndexMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static SegmentIndexMetrics m{
+        reg.GetCounter("tmn.index.segment.seals"),
+        reg.GetCounter("tmn.index.segment.wal_records_replayed"),
+        reg.GetCounter("tmn.index.segment.wal_bytes_truncated"),
+        reg.GetCounter("tmn.index.segment.quarantined"),
+        reg.GetCounter("tmn.index.segment.partial_results",
+                       obs::Stability::kUnstable),
+        reg.GetGauge("tmn.index.segment.count"),
+        reg.GetGauge("tmn.index.segment.wal_bytes"),
+        reg.GetTimer("tmn.index.segment.search_seconds"),
+    };
+    return m;
+  }
+};
+
+// Matches "<prefix><digits><suffix>" and parses the digits.
+bool ParseNumberedName(const std::string& name, std::string_view prefix,
+                       std::string_view suffix, uint64_t* out) {
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+std::string SegmentFileName(uint64_t seq) {
+  return "seg-" + std::to_string(seq) + ".tmns";
+}
+
+// One WAL frame on disk: header + (id u64, dim u64, dim x f32) payload.
+uint64_t WalFrameBytes(size_t dim) {
+  return 8 + 16 + static_cast<uint64_t>(dim) * sizeof(float);
+}
+
+// (distance, id) — ties broken toward the smaller id everywhere, which
+// makes results independent of scan partitioning and thread count.
+using ScoredId = std::pair<float, uint64_t>;
+
+// Exact bounded-heap scan of one source (memtable or segment). Both
+// pollers are nullable; ticking is unconditional on both so their strides
+// stay aligned. Returns false when a deadline cut the scan short — the
+// partial heap is discarded by the caller (a half-scanned segment is
+// "skipped", not silently under-reported).
+bool ScanSource(const std::vector<float>& vectors,
+                const std::vector<uint64_t>& ids, size_t dim,
+                const std::vector<float>& query, size_t k,
+                common::DeadlinePoller* query_poller,
+                common::DeadlinePoller* budget_poller,
+                std::vector<ScoredId>* out) {
+  std::priority_queue<ScoredId> best;  // Max-heap: worst of the k best.
+  const size_t count = ids.size();
+  for (size_t i = 0; i < count; ++i) {
+    bool expired = query_poller != nullptr && query_poller->Tick();
+    if (budget_poller != nullptr && budget_poller->Tick()) expired = true;
+    if (expired) return false;
+    const float* v = &vectors[i * dim];
+    float dist = 0.0f;
+    for (size_t d = 0; d < dim; ++d) {
+      const float delta = v[d] - query[d];
+      dist += delta * delta;
+    }
+    const ScoredId scored(dist, ids[i]);
+    if (best.size() < k) {
+      best.push(scored);
+    } else if (scored < best.top()) {
+      best.pop();
+      best.push(scored);
+    }
+  }
+  out->resize(best.size());
+  for (size_t i = best.size(); i > 0; --i) {
+    (*out)[i - 1] = best.top();
+    best.pop();
+  }
+  return true;
+}
+
+}  // namespace
+
+SegmentedIndex::SegmentedIndex(std::string dir,
+                               const SegmentedIndexOptions& options)
+    : dir_(std::move(dir)), options_(options), memtable_(options.dim) {}
+
+std::string SegmentedIndex::WalPath(uint64_t gen) const {
+  return dir_ + "/wal-" + std::to_string(gen) + ".log";
+}
+
+common::StatusOr<std::unique_ptr<SegmentedIndex>> SegmentedIndex::Open(
+    const std::string& dir, const SegmentedIndexOptions& options,
+    RecoveryReport* report) {
+  if (options.dim == 0) {
+    return common::InvalidArgumentError("segmented index needs dim > 0");
+  }
+  if (options.memtable_capacity == 0) {
+    return common::InvalidArgumentError(
+        "segmented index needs memtable_capacity > 0");
+  }
+  TMN_RETURN_IF_ERROR(common::EnsureDirectory(dir));
+
+  RecoveryReport local_report;
+  RecoveryReport& rep = report != nullptr ? *report : local_report;
+  rep = RecoveryReport{};
+  SegmentIndexMetrics& metrics = SegmentIndexMetrics::Get();
+
+  // Inventory the directory once; everything else keys off these names.
+  std::vector<std::string> entries;
+  {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+      return common::IoError("list directory '" + dir + "': " + ec.message());
+    }
+    for (const auto& entry : it) {
+      entries.push_back(entry.path().filename().string());
+    }
+    std::sort(entries.begin(), entries.end());
+  }
+
+  // Newest valid manifest wins; damaged versions are skipped (and
+  // reported), mirroring CheckpointManager::LoadLatestValid. A directory
+  // that has manifests but no valid one is an error, not a fresh start:
+  // silently re-initializing would orphan — and then GC — real segments.
+  std::vector<std::pair<uint64_t, std::string>> manifest_files;
+  for (const std::string& name : entries) {
+    uint64_t version = 0;
+    if (ParseNumberedName(name, "manifest-", ".tmnm", &version)) {
+      manifest_files.emplace_back(version, name);
+    }
+  }
+  std::sort(manifest_files.rbegin(), manifest_files.rend());
+  IndexManifest manifest;
+  bool manifest_loaded = false;
+  common::Status newest_manifest_error = common::Status::Ok();
+  for (const auto& [version, name] : manifest_files) {
+    common::StatusOr<IndexManifest> loaded =
+        LoadIndexManifest(dir + "/" + name);
+    if (loaded.ok()) {
+      manifest = std::move(loaded.value());
+      manifest_loaded = true;
+      break;
+    }
+    if (newest_manifest_error.ok()) newest_manifest_error = loaded.status();
+    ++rep.manifests_skipped;
+    std::fprintf(stderr, "SegmentedIndex: skipping invalid manifest: %s\n",
+                 loaded.status().ToString().c_str());
+  }
+  if (!manifest_loaded && !manifest_files.empty()) {
+    return common::Status(
+        newest_manifest_error.code(),
+        "no valid index manifest in '" + dir +
+            "'; newest failure: " + newest_manifest_error.message());
+  }
+  if (!manifest_loaded) {
+    manifest.version = 0;
+    manifest.wal_gen = 1;
+    manifest.next_seq = 1;
+    manifest.dim = options.dim;
+  }
+  if (manifest.dim != options.dim) {
+    return common::FailedPreconditionError(
+        "segmented index in '" + dir + "' has dim " +
+        std::to_string(manifest.dim) + ", options say " +
+        std::to_string(options.dim));
+  }
+  rep.manifest_version = manifest.version;
+
+  std::unique_ptr<SegmentedIndex> index(
+      new SegmentedIndex(dir, options));  // tmn-lint: allow(raw-alloc)
+  index->manifest_ = manifest;
+
+  // Load every referenced segment; a failure quarantines (the file stays
+  // in place, the failure Status is preserved) instead of aborting open
+  // or deleting evidence.
+  for (const std::string& name : manifest.segments) {
+    common::Status failure = common::Status::Ok();
+    if (TMN_FAILPOINT("index.segmented.segment.load")) {
+      failure = common::UnavailableError(
+          "segment '" + name +
+          "': injected load failure (index.segmented.segment.load)");
+    } else {
+      common::StatusOr<Segment> segment =
+          Segment::Load(dir + "/" + name, name, options.dim);
+      if (segment.ok()) {
+        index->segments_.push_back(
+            std::make_shared<const Segment>(std::move(segment.value())));
+        ++rep.segments_loaded;
+        continue;
+      }
+      failure = segment.status();
+    }
+    index->quarantined_.push_back(QuarantinedSegment{name, failure});
+    rep.quarantined.push_back(index->quarantined_.back());
+    ++rep.segments_quarantined;
+    metrics.quarantined.Increment();
+    std::fprintf(stderr, "SegmentedIndex: quarantining segment: %s\n",
+                 failure.ToString().c_str());
+  }
+
+  // GC pass: only files the manifest does not reference. An orphan
+  // segment (crash between seal and publish) still has its records in the
+  // live WAL; an orphan WAL generation (crash between publish and WAL
+  // removal) has its records in a published segment — both safe to drop.
+  for (const std::string& name : entries) {
+    uint64_t number = 0;
+    bool remove = false;
+    if (ParseNumberedName(name, "seg-", ".tmns", &number)) {
+      remove = std::find(manifest.segments.begin(), manifest.segments.end(),
+                         name) == manifest.segments.end();
+    } else if (ParseNumberedName(name, "wal-", ".log", &number)) {
+      remove = number != manifest.wal_gen;
+    } else if (ParseNumberedName(name, "manifest-", ".tmnm", &number)) {
+      remove = number != manifest.version;
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      remove = true;  // Unpublished AtomicWriteFile residue.
+    }
+    if (remove) {
+      TMN_RETURN_IF_ERROR(common::RemoveFileIfExists(dir + "/" + name));
+    }
+  }
+
+  // Replay the live WAL into a fresh memtable, truncating a torn tail.
+  common::StatusOr<WalReplayResult> replay =
+      ReplayWal(index->WalPath(manifest.wal_gen), options.dim);
+  if (!replay.ok()) return replay.status();
+  for (const VectorRecord& record : replay.value().records) {
+    index->memtable_.Insert(record.id, record.vector.data());
+  }
+  index->wal_bytes_ = replay.value().bytes_replayed;
+  rep.wal_records_replayed = replay.value().records.size();
+  rep.wal_bytes_truncated = replay.value().bytes_truncated;
+  rep.wal_damage = replay.value().damage;
+  metrics.wal_records_replayed.Increment(replay.value().records.size());
+  metrics.wal_bytes_truncated.Increment(replay.value().bytes_truncated);
+  if (!replay.value().damage.ok()) {
+    std::fprintf(stderr, "SegmentedIndex: WAL damage (truncated): %s\n",
+                 replay.value().damage.ToString().c_str());
+  }
+
+  TMN_RETURN_IF_ERROR(
+      index->wal_.Open(index->WalPath(manifest.wal_gen), /*truncate=*/false));
+
+  metrics.segment_count.Set(static_cast<double>(index->segments_.size()));
+  metrics.wal_bytes.Set(static_cast<double>(index->wal_bytes_));
+
+  // A replayed memtable at or over capacity seals immediately, mirroring
+  // the append-time policy so crash/resume and uninterrupted runs agree
+  // on state. A failed seal is not fatal: the records are in the WAL.
+  if (index->memtable_.size() >= options.memtable_capacity) {
+    const common::Status sealed = index->Seal();
+    if (!sealed.ok()) {
+      std::fprintf(stderr, "SegmentedIndex: deferred seal after replay: %s\n",
+                   sealed.ToString().c_str());
+    }
+  }
+  return index;
+}
+
+common::Status SegmentedIndex::Append(uint64_t id,
+                                      const std::vector<float>& vector) {
+  if (vector.size() != options_.dim) {
+    return common::InvalidArgumentError(
+        "append dimension " + std::to_string(vector.size()) +
+        " does not match index dimension " + std::to_string(options_.dim));
+  }
+  for (const float v : vector) {
+    if (!std::isfinite(v)) {
+      return common::InvalidArgumentError(
+          "append vector contains a non-finite coordinate");
+    }
+  }
+  if (!wal_.is_open()) {
+    return common::FailedPreconditionError(
+        "segmented index WAL is not open (a prior rotation failed)");
+  }
+  TMN_RETURN_IF_ERROR(wal_.Append(id, vector.data(), options_.dim));
+  // The record is durable past this point: a crash armed on this site
+  // proves an acked append survives recovery.
+  (void)TMN_FAILPOINT("index.segmented.append.acked");
+  memtable_.Insert(id, vector.data());
+  wal_bytes_ += WalFrameBytes(options_.dim);
+  SegmentIndexMetrics::Get().wal_bytes.Set(static_cast<double>(wal_bytes_));
+  if (memtable_.size() >= options_.memtable_capacity) {
+    const common::Status sealed = Seal();
+    if (!sealed.ok()) {
+      // The append itself is acked and durable; the seal retries on the
+      // next append (the size check stays satisfied).
+      std::fprintf(stderr, "SegmentedIndex: seal deferred: %s\n",
+                   sealed.ToString().c_str());
+    }
+  }
+  return common::Status::Ok();
+}
+
+common::Status SegmentedIndex::Flush() {
+  if (memtable_.size() == 0) return common::Status::Ok();
+  return Seal();
+}
+
+common::Status SegmentedIndex::Seal() {
+  if (TMN_FAILPOINT("index.segmented.seal")) {
+    return common::IoError("seal: injected failure (index.segmented.seal)");
+  }
+  SegmentIndexMetrics& metrics = SegmentIndexMetrics::Get();
+  const uint64_t seq = manifest_.next_seq;
+  const std::string name = SegmentFileName(seq);
+  Segment segment = Segment::FromMemtable(name, seq, memtable_);
+  // Ordering invariant #1: the segment bundle is durable before any
+  // manifest references it. A crash after this write leaves an orphan
+  // file whose records are still in the WAL — GC'd on the next open.
+  TMN_RETURN_IF_ERROR(segment.WriteFile(dir_ + "/" + name));
+  IndexManifest next = manifest_;
+  next.version += 1;
+  next.wal_gen += 1;
+  next.next_seq += 1;
+  next.segments.push_back(name);
+  // Ordering invariant #2: publishing the manifest is the commit point.
+  // Before it, recovery replays the WAL; after it, recovery loads the
+  // segment and discards the superseded WAL generation.
+  TMN_RETURN_IF_ERROR(WriteIndexManifest(dir_, next));
+
+  const uint64_t old_gen = manifest_.wal_gen;
+  const uint64_t old_version = manifest_.version;
+  manifest_ = std::move(next);
+  segments_.push_back(std::make_shared<const Segment>(std::move(segment)));
+  memtable_.Clear();
+  metrics.seals.Increment();
+  metrics.segment_count.Set(static_cast<double>(segments_.size()));
+
+  // Ordering invariant #3: GC strictly after the publish. Rotate to the
+  // new WAL generation, then drop the files the new manifest no longer
+  // references; a crash anywhere in between leaks a file, never a record.
+  TMN_RETURN_IF_ERROR(wal_.Close());
+  wal_bytes_ = 0;
+  metrics.wal_bytes.Set(0.0);
+  TMN_RETURN_IF_ERROR(
+      wal_.Open(WalPath(manifest_.wal_gen), /*truncate=*/true));
+  TMN_RETURN_IF_ERROR(common::RemoveFileIfExists(WalPath(old_gen)));
+  if (old_version > 0) {
+    TMN_RETURN_IF_ERROR(common::RemoveFileIfExists(
+        dir_ + "/" + IndexManifestFileName(old_version)));
+  }
+  return common::Status::Ok();
+}
+
+size_t SegmentedIndex::size() const {
+  size_t total = memtable_.size();
+  for (const auto& segment : segments_) total += segment->size();
+  return total;
+}
+
+common::StatusOr<SegmentedSearchResult> SegmentedIndex::SearchTopK(
+    const std::vector<float>& query, size_t k,
+    const common::Deadline& deadline) const {
+  if (k == 0) {
+    return common::InvalidArgumentError("segmented search with k == 0");
+  }
+  if (query.size() != options_.dim) {
+    return common::InvalidArgumentError(
+        "segmented query dimension " + std::to_string(query.size()) +
+        " does not match index dimension " + std::to_string(options_.dim));
+  }
+  for (const float v : query) {
+    if (!std::isfinite(v)) {
+      return common::InvalidArgumentError(
+          "segmented query contains a non-finite coordinate");
+    }
+  }
+  TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, "segment-search"));
+
+  // Source 0 is the memtable (when non-empty); the rest are segments in
+  // manifest order. Slots keep the merge deterministic at any thread
+  // count: the gather below never depends on completion order.
+  struct SourceSlot {
+    std::vector<ScoredId> topk;
+    bool skipped = false;
+  };
+  const bool scan_memtable = memtable_.size() > 0;
+  const size_t source_count = segments_.size() + (scan_memtable ? 1 : 0);
+  std::vector<SourceSlot> slots(source_count);
+  SegmentIndexMetrics& metrics = SegmentIndexMetrics::Get();
+
+  common::ParallelFor(
+      0, source_count,
+      [&](size_t i) {
+        SourceSlot& slot = slots[i];
+        obs::ScopedTimer timer(metrics.search_seconds);
+        // Per-segment degradation: an injected per-source failure skips
+        // this source and flags the response partial, never fails it.
+        if (TMN_FAILPOINT("index.segmented.search")) {
+          slot.skipped = true;
+          return;
+        }
+        common::DeadlinePoller query_poller(&deadline);
+        common::Deadline budget;
+        if (options_.per_segment_budget_seconds > 0.0) {
+          budget = common::Deadline::AfterSeconds(
+              options_.per_segment_budget_seconds, options_.clock);
+        }
+        common::DeadlinePoller budget_poller(&budget);
+        common::DeadlinePoller* query_p =
+            deadline.infinite() ? nullptr : &query_poller;
+        common::DeadlinePoller* budget_p =
+            budget.infinite() ? nullptr : &budget_poller;
+        const bool memtable_source = scan_memtable && i == 0;
+        const size_t segment_i = memtable_source ? 0 : i - (scan_memtable ? 1 : 0);
+        const std::vector<float>& vectors =
+            memtable_source ? memtable_.vectors()
+                            : segments_[segment_i]->vectors();
+        const std::vector<uint64_t>& ids =
+            memtable_source ? memtable_.ids() : segments_[segment_i]->ids();
+        slot.skipped = !ScanSource(vectors, ids, options_.dim, query, k,
+                                   query_p, budget_p, &slot.topk);
+        if (slot.skipped) slot.topk.clear();
+      },
+      options_.max_parallelism);
+
+  SegmentedSearchResult result;
+  std::vector<ScoredId> merged;
+  for (const SourceSlot& slot : slots) {
+    if (slot.skipped) {
+      ++result.sources_skipped;
+      continue;
+    }
+    ++result.sources_searched;
+    merged.insert(merged.end(), slot.topk.begin(), slot.topk.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  if (merged.size() > k) merged.resize(k);
+  result.ids.reserve(merged.size());
+  result.distances.reserve(merged.size());
+  for (const ScoredId& scored : merged) {
+    result.distances.push_back(scored.first);
+    result.ids.push_back(scored.second);
+  }
+  result.sources_skipped += quarantined_.size();
+  result.partial = result.sources_skipped > 0;
+  if (result.partial) metrics.partial_results.Increment();
+  return result;
+}
+
+}  // namespace tmn::index

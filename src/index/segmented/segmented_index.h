@@ -1,0 +1,144 @@
+#ifndef TMN_INDEX_SEGMENTED_SEGMENTED_INDEX_H_
+#define TMN_INDEX_SEGMENTED_SEGMENTED_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "index/segmented/manifest.h"
+#include "index/segmented/segment.h"
+#include "index/segmented/wal.h"
+
+// Crash-safe LSM-style vector index (docs/INDEXING.md): streaming ingest
+// lands in a WAL-backed memtable, full memtables seal into immutable
+// checksummed segment bundles, and a versioned manifest names the live
+// set with write-segment-then-manifest-then-GC ordering. Queries
+// scatter-gather exact top-k across memtable + segments on the shared
+// ThreadPool; a quarantined or over-budget segment degrades the response
+// to a `partial`-flagged top-k instead of an error.
+//
+// Thread compatibility mirrors the other indexes: SearchTopK is const and
+// may run concurrently with other searches, but Append/Flush mutate and
+// require external serialization against everything else.
+
+namespace tmn::index {
+
+struct SegmentedIndexOptions {
+  // Vector dimensionality; must match any state already in the directory.
+  size_t dim = 0;
+  // Appends seal the memtable into a segment once it reaches this size.
+  size_t memtable_capacity = 1024;
+  // Per-segment scan budget inside one query; 0 disables (the query
+  // deadline still applies). A segment that overruns its budget is
+  // skipped and the response flagged partial.
+  double per_segment_budget_seconds = 0.0;
+  // Injectable clock for the per-segment budget (tests); nullptr = real.
+  common::Deadline::ClockFn clock = nullptr;
+  // Scatter-gather width (ParallelFor semantics: <=0 pool-wide, 1
+  // sequential in source order). Results are bitwise identical either way.
+  int max_parallelism = 0;
+};
+
+// A segment the manifest references but that failed to load. The file is
+// kept in place for forensics — quarantined, never deleted — and the
+// load failure's Status (kCorruption, kChecksumMismatch, kVersionSkew,
+// kNotFound, ...) is preserved verbatim.
+struct QuarantinedSegment {
+  std::string name;
+  common::Status status;
+};
+
+// What Open() recovered, lost, and skipped — the audit trail of a crash.
+struct RecoveryReport {
+  uint64_t manifest_version = 0;
+  uint64_t manifests_skipped = 0;
+  uint64_t segments_loaded = 0;
+  uint64_t segments_quarantined = 0;
+  uint64_t wal_records_replayed = 0;
+  uint64_t wal_bytes_truncated = 0;
+  // Ok for a clean WAL or an expected torn tail; a distinct code when a
+  // fully-written record was damaged in place (see WalReplayResult).
+  common::Status wal_damage;
+  std::vector<QuarantinedSegment> quarantined;
+};
+
+struct SegmentedSearchResult {
+  // Top-k by squared-Euclidean distance, nearest first, ties by id.
+  std::vector<uint64_t> ids;
+  std::vector<float> distances;
+  // True when any live data could not be consulted: a quarantined
+  // segment, a per-segment budget overrun, a mid-scan deadline expiry, or
+  // an injected per-segment failure. The top-k above is then a lower
+  // bound, not the exact answer.
+  bool partial = false;
+  size_t sources_searched = 0;
+  size_t sources_skipped = 0;  // Includes quarantined segments.
+};
+
+class SegmentedIndex {
+ public:
+  // Opens (or creates) the index rooted at `dir` and recovers
+  // deterministically: newest valid manifest, checksum-verified segment
+  // loads with quarantine on failure, orphan GC, WAL replay with
+  // torn-tail truncation. `report` (optional) receives the recovery audit
+  // trail. Fails only when the directory is unusable, options are
+  // malformed, a manifest exists but no version validates, or the live
+  // WAL cannot be opened for append — never because segments are damaged.
+  static common::StatusOr<std::unique_ptr<SegmentedIndex>> Open(
+      const std::string& dir, const SegmentedIndexOptions& options,
+      RecoveryReport* report = nullptr);
+
+  // Durably appends one vector. On OK the record is acked: it has been
+  // fsync'd into the WAL and survives any crash. May seal the memtable as
+  // a side effect; a failed opportunistic seal is retried on the next
+  // append and does not fail the (already durable) append itself.
+  common::Status Append(uint64_t id, const std::vector<float>& vector);
+
+  // Seals the current memtable into a segment regardless of fill. No-op
+  // on an empty memtable.
+  common::Status Flush();
+
+  // Exact scatter-gather top-k over memtable + live segments. Malformed
+  // input returns kInvalidArgument and an already-expired deadline
+  // kDeadlineExceeded; anything that goes wrong per segment degrades to a
+  // partial result instead. An empty index returns an empty, non-partial
+  // result. Bitwise identical at any max_parallelism.
+  common::StatusOr<SegmentedSearchResult> SearchTopK(
+      const std::vector<float>& query, size_t k,
+      const common::Deadline& deadline = common::Deadline()) const;
+
+  size_t dim() const { return options_.dim; }
+  // Records visible to queries (memtable + loaded segments).
+  size_t size() const;
+  size_t segment_count() const { return segments_.size(); }
+  size_t memtable_size() const { return memtable_.size(); }
+  const std::vector<QuarantinedSegment>& quarantined() const {
+    return quarantined_;
+  }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  SegmentedIndex(std::string dir, const SegmentedIndexOptions& options);
+
+  std::string WalPath(uint64_t gen) const;
+  // Seals the memtable: segment bundle -> manifest publish -> WAL
+  // rotation -> GC of the superseded WAL and manifest, in that order.
+  common::Status Seal();
+
+  std::string dir_;
+  SegmentedIndexOptions options_;
+  IndexManifest manifest_;
+  Memtable memtable_;
+  WalWriter wal_;
+  uint64_t wal_bytes_ = 0;  // Bytes of whole records in the live WAL.
+  std::vector<std::shared_ptr<const Segment>> segments_;
+  std::vector<QuarantinedSegment> quarantined_;
+};
+
+}  // namespace tmn::index
+
+#endif  // TMN_INDEX_SEGMENTED_SEGMENTED_INDEX_H_

@@ -1,0 +1,64 @@
+#ifndef TMN_INDEX_SEGMENTED_WAL_H_
+#define TMN_INDEX_SEGMENTED_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/io_util.h"
+#include "common/status.h"
+#include "index/segmented/segment.h"
+
+// Write-ahead log for streaming ingest (docs/INDEXING.md). Each record is
+// framed [len u32][crc u32][payload] where the payload is a PayloadWriter
+// encoding of (id u64, dim u64, dim x f32) and the CRC covers the payload.
+// A record is acked — safe to acknowledge to the ingesting client — only
+// once Append has returned OK, which includes the fsync. Replay walks the
+// frames front to back, stops at the first damaged one, and truncates the
+// file back to the last whole record, so a torn tail from a crash costs at
+// most the unacked record that was mid-write.
+
+namespace tmn::index {
+
+// Appends framed records to the live WAL. Failpoints: the io.append.*
+// sites inside FileAppender (open / torn write / sync) plus
+// index.segmented.wal.append, which rejects the record before any byte is
+// written.
+class WalWriter {
+ public:
+  common::Status Open(const std::string& path, bool truncate);
+  common::Status Append(uint64_t id, const float* vector, size_t dim);
+  common::Status Close();
+
+  bool is_open() const { return appender_.is_open(); }
+  // Bytes appended through this writer since Open (frames, not payloads).
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+ private:
+  common::FileAppender appender_;
+  uint64_t bytes_appended_ = 0;
+};
+
+struct WalReplayResult {
+  std::vector<VectorRecord> records;
+  uint64_t bytes_replayed = 0;   // Bytes of whole, valid frames.
+  uint64_t bytes_truncated = 0;  // Bytes cut off the tail, if any.
+  // Ok for a clean log and for a torn tail (the expected residue of a
+  // crash mid-append). kChecksumMismatch / kCorruption describe a damaged
+  // frame that was fully present — bit rot, not a torn write. Either way
+  // the file has been truncated back to the last good record; `damage` is
+  // reported so the RecoveryReport can surface it, never thrown as fatal.
+  common::Status damage;
+};
+
+// Replays the WAL at `path` (a missing file is an empty, clean result) and
+// truncates any damaged tail in place. `expect_dim` guards against frames
+// from a differently-configured index. Returns a Status error only for
+// real IO failures (unreadable file, failed truncate).
+common::StatusOr<WalReplayResult> ReplayWal(const std::string& path,
+                                            size_t expect_dim);
+
+}  // namespace tmn::index
+
+#endif  // TMN_INDEX_SEGMENTED_WAL_H_

@@ -14,6 +14,7 @@ namespace tmn::serve {
 enum class ServeTier {
   kEmbeddingAnn,     // Tier 1: TMN encode + HNSW over learned embeddings.
   kExactRerank,      // Tier 2: model-free sketch ANN + exact-metric rerank.
+  kSegmented,        // Tier 2.5: crash-safe segmented-index scatter-gather.
   kExactBruteForce,  // Tier 3: bounded exact-metric scan.
 };
 
@@ -28,6 +29,11 @@ struct QueryResult {
   std::vector<size_t> indices;
   std::vector<double> distances;
   ServeTier tier = ServeTier::kEmbeddingAnn;
+  // True when the answering tier could not consult all of its live data
+  // (today: a kSegmented response over an index with a quarantined or
+  // over-budget segment; docs/INDEXING.md). The result is then a correct
+  // top-k of what was searched — a lower bound, not an error.
+  bool partial = false;
 };
 
 }  // namespace tmn::serve

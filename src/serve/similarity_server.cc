@@ -72,6 +72,7 @@ const char* ServeTierName(ServeTier tier) {
   switch (tier) {
     case ServeTier::kEmbeddingAnn: return "embedding-ann";
     case ServeTier::kExactRerank: return "exact-rerank";
+    case ServeTier::kSegmented: return "segmented";
     case ServeTier::kExactBruteForce: return "exact-brute-force";
   }
   return "unknown";
@@ -155,6 +156,14 @@ common::StatusOr<std::unique_ptr<SimilarityServer>> SimilarityServer::Create(
   }
   if (database.empty()) {
     return common::InvalidArgumentError("serving database is empty");
+  }
+  if (config.segmented_index != nullptr &&
+      config.segmented_index->dim() != 2 * config.sketch_points) {
+    return common::InvalidArgumentError(
+        "segmented index dim " +
+        std::to_string(config.segmented_index->dim()) +
+        " does not match sketch width " +
+        std::to_string(2 * config.sketch_points));
   }
   for (size_t i = 0; i < database.size(); ++i) {
     if (database[i].empty()) {
@@ -267,8 +276,11 @@ common::StatusOr<std::vector<double>> SimilarityServer::ExactDistances(
     const common::Deadline& deadline, const char* stage) const {
   std::vector<double> distances;
   distances.reserve(indices.size());
+  // Exact metrics are DTW-like (quadratic in trajectory length), so one
+  // candidate is already a chunky unit of work: poll every candidate.
+  common::DeadlinePoller poller(&deadline, /*stride=*/1);
   for (size_t i : indices) {
-    TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, stage));
+    TMN_RETURN_IF_ERROR(poller.Check(stage));
     distances.push_back(metric_->Compute(query, database_[i]));
   }
   return distances;
@@ -323,12 +335,55 @@ common::StatusOr<QueryResult> SimilarityServer::TryRerankTier(
   if (!candidates.ok()) return candidates.status();
   std::vector<std::pair<double, size_t>> scored;
   scored.reserve(candidates.value().size());
+  common::DeadlinePoller poller(&deadline, /*stride=*/1);
   for (size_t i : candidates.value()) {
-    TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, "rerank"));
+    TMN_RETURN_IF_ERROR(poller.Check("rerank"));
     scored.emplace_back(metric_->Compute(query, database_[i]), i);
   }
   SortAndTruncate(scored, k);
   return ToResult(std::move(scored), ServeTier::kExactRerank);
+}
+
+common::StatusOr<QueryResult> SimilarityServer::TrySegmentedTier(
+    const geo::Trajectory& query, size_t k,
+    const common::Deadline& deadline) const {
+  static obs::Counter& partial_served =
+      ServeCounter("tmn.serve.partial_served");
+  const std::vector<float> sketch =
+      SketchTrajectory(query, config_.sketch_points);
+  // Same pool sizing as tier 2: over-fetch so the exact rerank has
+  // headroom beyond k.
+  const size_t pool = std::min(std::max(config_.rerank_candidates, k),
+                               database_.size());
+  common::StatusOr<index::SegmentedSearchResult> hits =
+      config_.segmented_index->SearchTopK(sketch, pool, deadline);
+  if (!hits.ok()) return hits.status();
+  bool partial = hits.value().partial;
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(hits.value().ids.size());
+  common::DeadlinePoller poller(&deadline, /*stride=*/1);
+  for (uint64_t id : hits.value().ids) {
+    TMN_RETURN_IF_ERROR(poller.Check("segmented-rerank"));
+    if (id >= database_.size()) {
+      // The index references a record this database no longer has (it
+      // outlived a rebuild). Some of the true candidate pool is missing,
+      // which is exactly what `partial` means.
+      partial = true;
+      continue;
+    }
+    scored.emplace_back(metric_->Compute(query, database_[id]),
+                        static_cast<size_t>(id));
+  }
+  if (scored.empty()) {
+    // An empty (or fully stale) segmented index has no opinion; let the
+    // ladder fall through to the brute-force floor.
+    return common::UnavailableError("segmented index yielded no candidates");
+  }
+  SortAndTruncate(scored, k);
+  QueryResult result = ToResult(std::move(scored), ServeTier::kSegmented);
+  result.partial = partial;
+  if (partial) partial_served.Increment();
+  return result;
 }
 
 common::StatusOr<QueryResult> SimilarityServer::TryBruteForceTier(
@@ -342,8 +397,9 @@ common::StatusOr<QueryResult> SimilarityServer::TryBruteForceTier(
   const size_t limit = std::min(database_.size(), config_.max_brute_force);
   std::vector<std::pair<double, size_t>> scored;
   scored.reserve(limit);
+  common::DeadlinePoller poller(&deadline, /*stride=*/1);
   for (size_t i = 0; i < limit; ++i) {
-    TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, "brute-force"));
+    TMN_RETURN_IF_ERROR(poller.Check("brute-force"));
     scored.emplace_back(metric_->Compute(query, database_[i]), i);
   }
   SortAndTruncate(scored, k);
@@ -379,6 +435,8 @@ common::StatusOr<QueryResult> SimilarityServer::FinishLadder(
   static obs::Counter& timed_out = ServeCounter("tmn.serve.timed_out");
   static obs::Counter& tier1 = ServeCounter("tmn.serve.tier1_served");
   static obs::Counter& tier2 = ServeCounter("tmn.serve.tier2_served");
+  static obs::Counter& segmented =
+      ServeCounter("tmn.serve.segmented_served");
   static obs::Counter& tier3 = ServeCounter("tmn.serve.tier3_served");
 
   common::Status last_error;
@@ -400,6 +458,18 @@ common::StatusOr<QueryResult> SimilarityServer::FinishLadder(
     common::StatusOr<QueryResult> r = TryRerankTier(query, k, deadline);
     if (r.ok()) {
       tier2.Increment();
+      return r;
+    }
+    if (r.status().code() == common::StatusCode::kDeadlineExceeded) {
+      if (record_timeout) timed_out.Increment();
+      return r.status();
+    }
+    last_error = r.status();
+  }
+  if (config_.segmented_index != nullptr) {
+    common::StatusOr<QueryResult> r = TrySegmentedTier(query, k, deadline);
+    if (r.ok()) {
+      segmented.Increment();
       return r;
     }
     if (r.status().code() == common::StatusCode::kDeadlineExceeded) {

@@ -13,6 +13,7 @@
 #include "distance/metric.h"
 #include "geo/trajectory.h"
 #include "index/hnsw.h"
+#include "index/segmented/segmented_index.h"
 #include "serve/admission.h"
 #include "serve/circuit_breaker.h"
 #include "serve/micro_batcher.h"
@@ -47,6 +48,16 @@ struct ServerConfig {
   // Tier toggles, mainly for benches that want to time one tier.
   bool enable_embedding_tier = true;
   bool enable_rerank_tier = true;
+  // Optional crash-safe segmented tier (docs/INDEXING.md), tried between
+  // tier 2 and the brute-force floor. The index must hold sketch vectors
+  // (dim == 2 * sketch_points) whose ids are database positions; Create
+  // rejects a dimension mismatch. Shared, not owned: the caller keeps it
+  // alive (and may keep appending — SearchTopK is safe against that only
+  // under the index's own thread contract). Like tier 2 it is model-free,
+  // so it keeps answering when the model is down; unlike tier 2 it may
+  // return `partial` results instead of failing when segments are
+  // quarantined or over budget.
+  std::shared_ptr<const index::SegmentedIndex> segmented_index;
   // Micro-batching cutoffs for SubmitTopK (docs/SERVING.md). The batcher
   // clock defaults to `clock` above when unset.
   MicroBatcherConfig batching;
@@ -121,6 +132,9 @@ class SimilarityServer {
   // Tier health, for operators and tests.
   bool embedding_tier_available() const { return embedding_tier_ok_; }
   bool rerank_tier_available() const { return rerank_tier_ok_; }
+  bool segmented_tier_available() const {
+    return config_.segmented_index != nullptr;
+  }
   // Why tier 1 (model) or tier 2 (feature index) is down; Ok when up.
   const common::Status& model_status() const { return model_status_; }
   const common::Status& feature_index_status() const {
@@ -159,6 +173,13 @@ class SimilarityServer {
       const geo::Trajectory& query, size_t k,
       const common::Deadline& deadline) const;
   common::StatusOr<QueryResult> TryRerankTier(
+      const geo::Trajectory& query, size_t k,
+      const common::Deadline& deadline) const;
+  // Tier 2.5: sketch scatter-gather over the optional segmented index,
+  // then exact-metric rerank. Propagates the index's `partial` flag; out
+  // of range ids (the index outliving a database rebuild) are dropped
+  // and flag the response partial rather than faulting.
+  common::StatusOr<QueryResult> TrySegmentedTier(
       const geo::Trajectory& query, size_t k,
       const common::Deadline& deadline) const;
   common::StatusOr<QueryResult> TryBruteForceTier(

@@ -118,7 +118,7 @@ TEST_F(CorruptedCheckpointTest, FlippedByteIsChecksumMismatch) {
   bytes[bytes.size() - 3] ^= 0x40;  // Inside the last section's payload.
   const common::Status s = LoadAfterRewrite(bytes);
   ASSERT_FALSE(s.ok());
-  EXPECT_EQ(s.code(), common::StatusCode::kCorruption);
+  EXPECT_EQ(s.code(), common::StatusCode::kChecksumMismatch);
   EXPECT_NE(s.message().find("checksum mismatch"), std::string::npos)
       << s.ToString();
 }

@@ -1,13 +1,15 @@
-// Crash-recovery harness: re-executes this binary as a child that trains
-// with checkpointing while a TMN_FAILPOINTS crash site is armed, verifies
-// the child dies with the injected exit code, then re-runs it without
-// injection and checks the recovered run's losses and parameters are
-// byte-identical to an uninterrupted in-process baseline.
+// Crash-recovery harness: re-executes this binary as a child that runs a
+// deterministic workload while a TMN_FAILPOINTS crash site is armed,
+// verifies the child dies with the injected exit code, then re-runs it
+// without injection and checks the recovered run's output is
+// byte-identical to an uninterrupted in-process baseline. Two workloads:
+// checkpointed training (TMN_CRASH_CHILD=1) and segmented-index
+// streaming ingest (TMN_CRASH_CHILD=segindex, docs/INDEXING.md).
 //
 // The child mode is dispatched on the TMN_CRASH_CHILD environment
 // variable from a custom main(), so this target links GTest::gtest (not
-// gtest_main). Both scenarios skip when the library was built without
-// failpoint sites (-DTMN_FAILPOINTS=OFF); the CI fault-injection job runs
+// gtest_main). All scenarios skip when the library was built without
+// failpoint sites (-DTMN_FAILPOINTS=OFF); the CI fault-injection jobs run
 // them for real.
 
 #include <sys/wait.h>
@@ -33,6 +35,7 @@
 #include "distance/distance_matrix.h"
 #include "distance/metric.h"
 #include "geo/preprocess.h"
+#include "index/segmented/segmented_index.h"
 #include "nn/serialize.h"
 
 namespace tmn::core {
@@ -98,6 +101,80 @@ int CrashChildMain() {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// Segmented-index workload (TMN_CRASH_CHILD=segindex): stream
+// kIngestRecords deterministic vectors into a SegmentedIndex, sealing
+// every kIngestCapacity appends. The child resumes idempotently — ids
+// are appended in order and an acked append is durable, so size() says
+// exactly where to pick up — which is what makes the recovered final
+// state comparable bit-for-bit with an uninterrupted run.
+
+constexpr uint64_t kIngestRecords = 10;
+constexpr size_t kIngestDim = 4;
+constexpr size_t kIngestCapacity = 4;
+
+std::vector<float> IngestVector(uint64_t i) {
+  std::vector<float> v(kIngestDim);
+  for (size_t d = 0; d < kIngestDim; ++d) {
+    v[d] = static_cast<float>((i * 7 + d * 3) % 23) * 0.25f;
+  }
+  return v;
+}
+
+index::SegmentedIndexOptions IngestOptions() {
+  index::SegmentedIndexOptions options;
+  options.dim = kIngestDim;
+  options.memtable_capacity = kIngestCapacity;
+  options.max_parallelism = 1;
+  return options;
+}
+
+// Opens (recovering if needed), appends the records not yet durable, and
+// encodes the final state: size, segment count, and the full ranking of
+// a fixed query with f32 distance bits.
+common::StatusOr<std::string> IngestAndEncode(const std::string& dir) {
+  common::StatusOr<std::unique_ptr<index::SegmentedIndex>> index =
+      index::SegmentedIndex::Open(dir, IngestOptions());
+  if (!index.ok()) return index.status();
+  for (uint64_t i = index.value()->size(); i < kIngestRecords; ++i) {
+    TMN_RETURN_IF_ERROR(index.value()->Append(i, IngestVector(i)));
+  }
+  common::StatusOr<index::SegmentedSearchResult> result =
+      index.value()->SearchTopK(IngestVector(3), kIngestRecords);
+  if (!result.ok()) return result.status();
+  common::PayloadWriter w;
+  w.PutU64(index.value()->size());
+  w.PutU64(index.value()->segment_count());
+  w.PutU64(result.value().partial ? 1 : 0);
+  w.PutU64(result.value().ids.size());
+  for (size_t i = 0; i < result.value().ids.size(); ++i) {
+    w.PutU64(result.value().ids[i]);
+    w.PutF32(result.value().distances[i]);
+  }
+  return w.data();
+}
+
+// Child mode "segindex": run the ingest workload in $TMN_CRASH_DIR/index
+// (any armed crash site fires mid-ingest), then publish the result.
+int IndexCrashChildMain() {
+  const char* dir = std::getenv("TMN_CRASH_DIR");
+  if (dir == nullptr) return 3;
+  const common::StatusOr<std::string> result =
+      IngestAndEncode(std::string(dir) + "/index");
+  if (!result.ok()) {
+    std::fprintf(stderr, "segindex child: %s\n",
+                 result.status().ToString().c_str());
+    return 5;
+  }
+  const common::Status status = common::AtomicWriteFile(
+      std::string(dir) + "/result.bin", result.value());
+  if (!status.ok()) {
+    std::fprintf(stderr, "segindex child: %s\n", status.ToString().c_str());
+    return 4;
+  }
+  return 0;
+}
+
 std::string ScratchDir(const char* name) {
   const std::string dir = ::testing::TempDir() + "/crash_" + name;
   std::filesystem::remove_all(dir);
@@ -106,8 +183,10 @@ std::string ScratchDir(const char* name) {
 
 // Re-runs this binary in child mode; returns its exit code. Child stderr
 // (failpoint firings, resume notices) is appended to <dir>/child.log.
-int RunChild(const std::string& dir, const std::string& failpoints) {
-  std::string cmd = "TMN_CRASH_CHILD=1 TMN_CRASH_DIR='" + dir + "'";
+int RunChild(const std::string& dir, const std::string& failpoints,
+             const std::string& mode = "1") {
+  std::string cmd =
+      "TMN_CRASH_CHILD=" + mode + " TMN_CRASH_DIR='" + dir + "'";
   if (!failpoints.empty()) cmd += " TMN_FAILPOINTS='" + failpoints + "'";
   cmd += " '" + g_self_exe + "' >/dev/null 2>>'" + dir + "/child.log'";
   const int status = std::system(cmd.c_str());
@@ -157,11 +236,75 @@ TEST(CrashRecoveryTest, CrashMidCheckpointWriteRecoversBitExact) {
   RunScenario("mid_write", "io.atomic_write.rename@3:crash");
 }
 
+// ---------------------------------------------------------------------
+// Segmented-index crash matrix: kill the ingest child at each ordering-
+// critical IO site, verify no acked record was lost, then resume and
+// compare the final state bit-for-bit with an uninterrupted run.
+
+void RunIndexScenario(const char* name, const std::string& crash_spec,
+                      uint64_t min_durable) {
+  if (!common::FailpointsEnabled()) {
+    GTEST_SKIP() << "library built without failpoint sites";
+  }
+  const std::string dir = ScratchDir(name);
+  ASSERT_TRUE(common::EnsureDirectory(dir).ok());
+
+  ASSERT_EQ(RunChild(dir, crash_spec, "segindex"),
+            common::kFailpointCrashExitCode);
+  EXPECT_FALSE(common::FileExists(dir + "/result.bin"));
+
+  // Durability floor: every append acked before the crash must survive
+  // recovery — ingest is never silently lost past an ack.
+  {
+    common::StatusOr<std::unique_ptr<index::SegmentedIndex>> recovered =
+        index::SegmentedIndex::Open(dir + "/index", IngestOptions());
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_GE(recovered.value()->size(), min_durable);
+    EXPECT_TRUE(recovered.value()->quarantined().empty());
+  }
+
+  // Resume without injection; the final state must be bit-exact with an
+  // uninterrupted run in a fresh directory.
+  ASSERT_EQ(RunChild(dir, "", "segindex"), 0);
+  const auto result = common::ReadFileToString(dir + "/result.bin");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string base = ScratchDir((std::string(name) + "_base").c_str());
+  const common::StatusOr<std::string> baseline =
+      IngestAndEncode(base + "/index");
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(result.value(), baseline.value());
+}
+
+TEST(CrashRecoveryTest, IndexCrashAfterAckedAppendKeepsEveryAckedRecord) {
+  // Dies immediately after the 6th append is acked (records 0-3 already
+  // sealed into seg-1, records 4-5 only in the generation-2 WAL): replay
+  // must bring all 6 back.
+  RunIndexScenario("seg_after_append",
+                   "index.segmented.append.acked@6:crash", 6);
+}
+
+TEST(CrashRecoveryTest, IndexCrashMidSegmentSealRecoversFromWal) {
+  // Dies inside AtomicWriteFile while renaming the first segment bundle
+  // into place: no manifest exists yet, the orphaned tmp is GC'd, and the
+  // 4 sealed-in-flight records are all still in the live WAL.
+  RunIndexScenario("seg_mid_seal", "io.atomic_write.rename@1:crash", 4);
+}
+
+TEST(CrashRecoveryTest, IndexCrashMidManifestPublishRecoversFromWal) {
+  // Dies renaming the first manifest (rename hit 2; hit 1 was seg-1's
+  // bundle): the segment file is durable but unreferenced, so recovery
+  // GCs it and rebuilds the same segment from the un-rotated WAL.
+  RunIndexScenario("seg_mid_manifest", "io.atomic_write.rename@2:crash", 4);
+}
+
 }  // namespace
 }  // namespace tmn::core
 
 int main(int argc, char** argv) {
-  if (std::getenv("TMN_CRASH_CHILD") != nullptr) {
+  if (const char* mode = std::getenv("TMN_CRASH_CHILD"); mode != nullptr) {
+    if (std::string(mode) == "segindex") {
+      return tmn::core::IndexCrashChildMain();
+    }
     return tmn::core::CrashChildMain();
   }
   char buf[4096];

@@ -194,7 +194,7 @@ TEST(BundleTest, FlippedPayloadByteIsChecksumMismatch) {
   BundleReader r;
   const Status s = r.Init(std::move(data), kMagic, kVersion, "test bundle");
   ASSERT_FALSE(s.ok());
-  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.code(), StatusCode::kChecksumMismatch);
   EXPECT_NE(s.message().find("checksum mismatch"), std::string::npos)
       << s.ToString();
 }

@@ -119,7 +119,7 @@ TEST(ModelIoTest, LoadReportsFlippedByte) {
   ASSERT_TRUE(common::AtomicWriteFile(path, bytes).ok());
   const auto loaded = LoadTmnModel(path);
   ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), common::StatusCode::kCorruption);
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kChecksumMismatch);
   EXPECT_NE(loaded.status().message().find("checksum mismatch"),
             std::string::npos)
       << loaded.status().ToString();

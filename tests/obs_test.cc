@@ -9,10 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "index/segmented/segmented_index.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
@@ -170,6 +173,54 @@ TEST(RunReportTest, StableJsonIsIdenticalAcrossThreadCounts) {
   EXPECT_NE(sequential.find("\"value\": 64"), std::string::npos);
   // Pool metrics exist (ParallelFor ran) but are unstable -> omitted.
   EXPECT_EQ(sequential.find("tmn.common.pool"), std::string::npos);
+}
+
+// The tmn.index.segment.* family (docs/INDEXING.md): a small ingest +
+// search registers every member, the deterministic members land in the
+// bench-gated stable RunReport view, and the wall-clock members stay
+// unstable (recorded, but omitted from the stable view).
+TEST(RunReportTest, SegmentIndexFamilyHasTheRightStabilitySplit) {
+  const std::string dir = ::testing::TempDir() + "/obs_segment_family";
+  std::filesystem::remove_all(dir);
+  index::SegmentedIndexOptions options;
+  options.dim = 2;
+  options.memtable_capacity = 2;
+  auto index = index::SegmentedIndex::Open(dir, options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  for (uint64_t i = 0; i < 5; ++i) {
+    const std::vector<float> v = {static_cast<float>(i), 1.0f};
+    ASSERT_TRUE(index.value()->Append(i, v).ok());
+  }
+  const auto result = index.value()->SearchTopK({0.0f, 1.0f}, 3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto& reg = Registry::Global();
+  // 5 appends at capacity 2: two seals, one record left in the WAL.
+  EXPECT_GE(reg.GetCounter("tmn.index.segment.seals").value(), 2u);
+  EXPECT_EQ(reg.GetGauge("tmn.index.segment.count").value(), 2.0);
+  EXPECT_GT(reg.GetGauge("tmn.index.segment.wal_bytes").value(), 0.0);
+  // One timed scan per source: memtable + two segments.
+  EXPECT_GE(reg.GetTimer("tmn.index.segment.search_seconds").count(), 3u);
+
+  RunReport report("obs_segment_family");
+  RunReportOptions stable_only;
+  stable_only.include_unstable = false;
+  const std::string stable = report.ToJson(stable_only);
+  EXPECT_NE(stable.find("\"tmn.index.segment.seals\""), std::string::npos);
+  EXPECT_NE(stable.find("\"tmn.index.segment.count\""), std::string::npos);
+  EXPECT_NE(stable.find("\"tmn.index.segment.wal_bytes\""),
+            std::string::npos);
+  EXPECT_NE(stable.find("\"tmn.index.segment.wal_records_replayed\""),
+            std::string::npos);
+  EXPECT_NE(stable.find("\"tmn.index.segment.quarantined\""),
+            std::string::npos);
+  EXPECT_EQ(stable.find("tmn.index.segment.search_seconds"),
+            std::string::npos);
+  EXPECT_EQ(stable.find("tmn.index.segment.partial_results"),
+            std::string::npos);
+  const std::string full = report.ToJson();
+  EXPECT_NE(full.find("tmn.index.segment.search_seconds"),
+            std::string::npos);
 }
 
 TEST(RunReportTest, JsonCarriesSchemaBuildAndEscapedConfig) {

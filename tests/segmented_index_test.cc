@@ -1,0 +1,647 @@
+// Tests for the crash-safe segmented index (src/index/segmented/): WAL
+// append/replay with torn-tail truncation, seal ordering and reopen
+// recovery, quarantine of damaged segments, deterministic scatter-gather
+// (bitwise identical at any thread count), per-segment budgets, the
+// in-process failpoint matrix, and the serve-layer segmented tier.
+// Re-exec crash scenarios (kill -9 semantics) live in
+// crash_recovery_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/failpoint.h"
+#include "common/io_util.h"
+#include "common/status.h"
+#include "data/synthetic.h"
+#include "distance/metric.h"
+#include "geo/preprocess.h"
+#include "index/segmented/segmented_index.h"
+#include "index/segmented/wal.h"
+#include "serve/similarity_server.h"
+
+namespace tmn::index {
+namespace {
+
+constexpr size_t kDim = 4;
+// One WAL frame: [len u32][crc u32] + payload (id u64, dim u64, dim*f32).
+constexpr uint64_t kFrameBytes = 8 + 16 + kDim * 4;
+
+std::atomic<double> g_fake_now{0.0};
+double FakeClock() { return g_fake_now.load(); }
+
+// Advances one tick per read: any per-segment budget below 1.0 is already
+// blown at its first poll.
+std::atomic<double> g_step_now{0.0};
+double SteppingClock() { return g_step_now.fetch_add(1.0) + 1.0; }
+
+std::string ScratchDir(const char* name) {
+  const std::string dir =
+      ::testing::TempDir() + "/segmented_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Deterministic vector for id `i`.
+std::vector<float> Vec(uint64_t i) {
+  std::vector<float> v(kDim);
+  for (size_t d = 0; d < kDim; ++d) {
+    v[d] = static_cast<float>((i * 7 + d * 3) % 23) * 0.25f;
+  }
+  return v;
+}
+
+SegmentedIndexOptions SmallOptions(size_t capacity = 1024) {
+  SegmentedIndexOptions options;
+  options.dim = kDim;
+  options.memtable_capacity = capacity;
+  return options;
+}
+
+// Ground truth: exact squared-L2 top-k over ids [0, n), ties by id.
+std::vector<std::pair<float, uint64_t>> Reference(
+    const std::vector<float>& query, uint64_t n, size_t k) {
+  std::vector<std::pair<float, uint64_t>> scored;
+  for (uint64_t i = 0; i < n; ++i) {
+    const std::vector<float> v = Vec(i);
+    float dist = 0.0f;
+    for (size_t d = 0; d < kDim; ++d) {
+      const float delta = v[d] - query[d];
+      dist += delta * delta;
+    }
+    scored.emplace_back(dist, i);
+  }
+  std::sort(scored.begin(), scored.end());
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+void ExpectMatchesReference(const SegmentedSearchResult& result,
+                            const std::vector<float>& query, uint64_t n,
+                            size_t k) {
+  const auto expected = Reference(query, n, k);
+  ASSERT_EQ(result.ids.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.ids[i], expected[i].second) << "rank " << i;
+    EXPECT_EQ(result.distances[i], expected[i].first) << "rank " << i;
+  }
+}
+
+// Flips one byte of `path` in place (via atomic rewrite, so the file
+// stays structurally whole — only the bit pattern changes).
+void FlipByte(const std::string& path, size_t offset) {
+  auto content = common::ReadFileToString(path);
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  std::string bytes = std::move(content.value());
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0x5A);
+  ASSERT_TRUE(common::AtomicWriteFile(path, bytes).ok());
+}
+
+void AppendRawBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  ASSERT_TRUE(out.good());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  ASSERT_TRUE(out.good());
+}
+
+// ---------------------------------------------------------------------
+// Ingest + search basics.
+
+TEST(SegmentedIndexTest, OpenCreatesEmptyIndexAndEmptySearchIsNotPartial) {
+  const std::string dir = ScratchDir("empty");
+  RecoveryReport report;
+  auto index = SegmentedIndex::Open(dir, SmallOptions(), &report);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index.value()->size(), 0u);
+  EXPECT_EQ(report.manifest_version, 0u);
+  EXPECT_EQ(report.wal_records_replayed, 0u);
+  EXPECT_TRUE(report.wal_damage.ok());
+
+  const auto result = index.value()->SearchTopK(Vec(0), 3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().ids.empty());
+  EXPECT_FALSE(result.value().partial);
+  EXPECT_EQ(result.value().sources_searched, 0u);
+}
+
+TEST(SegmentedIndexTest, ValidatesAppendAndQueryInput) {
+  const std::string dir = ScratchDir("validate");
+  auto index = SegmentedIndex::Open(dir, SmallOptions());
+  ASSERT_TRUE(index.ok());
+
+  EXPECT_EQ(index.value()->Append(1, {1.0f, 2.0f}).code(),
+            common::StatusCode::kInvalidArgument);
+  std::vector<float> bad = Vec(1);
+  bad[2] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(index.value()->Append(1, bad).code(),
+            common::StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(index.value()->Append(1, Vec(1)).ok());
+  EXPECT_EQ(index.value()->SearchTopK(Vec(1), 0).status().code(),
+            common::StatusCode::kInvalidArgument);
+  EXPECT_EQ(index.value()->SearchTopK({1.0f}, 3).status().code(),
+            common::StatusCode::kInvalidArgument);
+  EXPECT_EQ(index.value()->SearchTopK(bad, 3).status().code(),
+            common::StatusCode::kInvalidArgument);
+
+  g_fake_now = 10.0;
+  const auto expired = common::Deadline::AfterSeconds(-1.0, &FakeClock);
+  EXPECT_EQ(index.value()->SearchTopK(Vec(1), 3, expired).status().code(),
+            common::StatusCode::kDeadlineExceeded);
+}
+
+TEST(SegmentedIndexTest, SealsAtCapacityAndSearchSpansAllSources) {
+  const std::string dir = ScratchDir("seal");
+  auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/4));
+  ASSERT_TRUE(index.ok());
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok()) << "record " << i;
+  }
+  // 10 appends at capacity 4: two sealed segments + 2 in the memtable.
+  EXPECT_EQ(index.value()->segment_count(), 2u);
+  EXPECT_EQ(index.value()->memtable_size(), 2u);
+  EXPECT_EQ(index.value()->size(), 10u);
+
+  const auto result = index.value()->SearchTopK(Vec(3), 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().partial);
+  EXPECT_EQ(result.value().sources_searched, 3u);  // memtable + 2 segments.
+  ExpectMatchesReference(result.value(), Vec(3), 10, 5);
+}
+
+TEST(SegmentedIndexTest, FlushSealsTheRemainderAndIsIdempotent) {
+  const std::string dir = ScratchDir("flush");
+  auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/4));
+  ASSERT_TRUE(index.ok());
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+  }
+  ASSERT_TRUE(index.value()->Flush().ok());
+  EXPECT_EQ(index.value()->memtable_size(), 0u);
+  EXPECT_EQ(index.value()->segment_count(), 2u);
+  ASSERT_TRUE(index.value()->Flush().ok());  // Empty memtable: no-op.
+  EXPECT_EQ(index.value()->segment_count(), 2u);
+
+  const auto result = index.value()->SearchTopK(Vec(2), 4);
+  ASSERT_TRUE(result.ok());
+  ExpectMatchesReference(result.value(), Vec(2), 6, 4);
+}
+
+TEST(SegmentedIndexTest, SearchIsBitwiseIdenticalAcrossThreadCounts) {
+  const std::string dir = ScratchDir("determinism");
+  {
+    auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/8));
+    ASSERT_TRUE(index.ok());
+    for (uint64_t i = 0; i < 40; ++i) {
+      ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+    }
+  }
+  auto run = [&](int max_parallelism) {
+    SegmentedIndexOptions options = SmallOptions(/*capacity=*/8);
+    options.max_parallelism = max_parallelism;
+    auto index = SegmentedIndex::Open(dir, options);
+    EXPECT_TRUE(index.ok()) << index.status().ToString();
+    auto result = index.value()->SearchTopK(Vec(17), 9);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.value();
+  };
+  const SegmentedSearchResult sequential = run(1);
+  const SegmentedSearchResult parallel = run(4);
+  EXPECT_EQ(sequential.ids, parallel.ids);
+  EXPECT_EQ(sequential.distances, parallel.distances);  // Bitwise: == on float.
+  EXPECT_EQ(sequential.sources_searched, parallel.sources_searched);
+  ExpectMatchesReference(parallel, Vec(17), 40, 9);
+}
+
+// ---------------------------------------------------------------------
+// Recovery.
+
+TEST(SegmentedIndexTest, ReopenReplaysAckedAppendsFromTheWal) {
+  const std::string dir = ScratchDir("replay");
+  {
+    auto index = SegmentedIndex::Open(dir, SmallOptions());
+    ASSERT_TRUE(index.ok());
+    for (uint64_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+    }
+    // No seal happened: everything lives in the WAL + memtable.
+    EXPECT_EQ(index.value()->segment_count(), 0u);
+  }
+  RecoveryReport report;
+  auto index = SegmentedIndex::Open(dir, SmallOptions(), &report);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(report.wal_records_replayed, 5u);
+  EXPECT_EQ(report.wal_bytes_truncated, 0u);
+  EXPECT_TRUE(report.wal_damage.ok());
+  EXPECT_EQ(index.value()->size(), 5u);
+  const auto result = index.value()->SearchTopK(Vec(2), 3);
+  ASSERT_TRUE(result.ok());
+  ExpectMatchesReference(result.value(), Vec(2), 5, 3);
+}
+
+TEST(SegmentedIndexTest, ReopenRecoversSegmentsAndWalTogether) {
+  const std::string dir = ScratchDir("mixed");
+  {
+    auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/4));
+    ASSERT_TRUE(index.ok());
+    for (uint64_t i = 0; i < 11; ++i) {
+      ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+    }
+  }
+  RecoveryReport report;
+  auto index =
+      SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/4), &report);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(report.segments_loaded, 2u);
+  EXPECT_EQ(report.wal_records_replayed, 3u);
+  EXPECT_EQ(index.value()->size(), 11u);
+  const auto result = index.value()->SearchTopK(Vec(6), 11);
+  ASSERT_TRUE(result.ok());
+  ExpectMatchesReference(result.value(), Vec(6), 11, 11);
+}
+
+TEST(SegmentedIndexTest, TornWalTailIsTruncatedWithoutDamage) {
+  const std::string dir = ScratchDir("torn");
+  {
+    auto index = SegmentedIndex::Open(dir, SmallOptions());
+    ASSERT_TRUE(index.ok());
+    for (uint64_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+    }
+  }
+  // Simulate a crash mid-append: a frame header that never finished.
+  AppendRawBytes(dir + "/wal-1.log", std::string("\x28\x00\x00", 3));
+
+  RecoveryReport report;
+  auto index = SegmentedIndex::Open(dir, SmallOptions(), &report);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(report.wal_records_replayed, 3u);
+  EXPECT_EQ(report.wal_bytes_truncated, 3u);
+  // A torn tail is the expected residue of a crash, not damage.
+  EXPECT_TRUE(report.wal_damage.ok());
+  EXPECT_EQ(index.value()->size(), 3u);
+  // The file was truncated back to whole records and appends continue.
+  ASSERT_TRUE(index.value()->Append(3, Vec(3)).ok());
+  const auto result = index.value()->SearchTopK(Vec(1), 4);
+  ASSERT_TRUE(result.ok());
+  ExpectMatchesReference(result.value(), Vec(1), 4, 4);
+}
+
+TEST(SegmentedIndexTest, BitFlippedWalRecordReportsChecksumMismatch) {
+  const std::string dir = ScratchDir("wal_bitrot");
+  {
+    auto index = SegmentedIndex::Open(dir, SmallOptions());
+    ASSERT_TRUE(index.ok());
+    for (uint64_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+    }
+  }
+  // Flip a payload byte inside the second frame: a fully-written record
+  // damaged in place, unlike a torn tail.
+  FlipByte(dir + "/wal-1.log", kFrameBytes + 12);
+
+  RecoveryReport report;
+  auto index = SegmentedIndex::Open(dir, SmallOptions(), &report);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(report.wal_records_replayed, 1u);
+  EXPECT_EQ(report.wal_bytes_truncated, 2 * kFrameBytes);
+  EXPECT_EQ(report.wal_damage.code(),
+            common::StatusCode::kChecksumMismatch);
+  EXPECT_EQ(index.value()->size(), 1u);
+}
+
+TEST(SegmentedIndexTest, QuarantinesDamagedSegmentAndDegradesToPartial) {
+  const std::string dir = ScratchDir("quarantine");
+  std::string victim;
+  {
+    auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/4));
+    ASSERT_TRUE(index.ok());
+    for (uint64_t i = 0; i < 9; ++i) {
+      ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+    }
+    ASSERT_EQ(index.value()->segment_count(), 2u);
+  }
+  victim = dir + "/seg-1.tmns";  // Holds ids 0..3.
+  ASSERT_TRUE(common::FileExists(victim));
+  FlipByte(victim, 40);  // Somewhere inside the section data.
+
+  auto run = [&](int max_parallelism, RecoveryReport* report) {
+    SegmentedIndexOptions options = SmallOptions(/*capacity=*/4);
+    options.max_parallelism = max_parallelism;
+    auto index = SegmentedIndex::Open(dir, options, report);
+    EXPECT_TRUE(index.ok()) << index.status().ToString();
+    auto result = index.value()->SearchTopK(Vec(5), 6);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.value();
+  };
+
+  RecoveryReport report;
+  const SegmentedSearchResult sequential = run(1, &report);
+  EXPECT_EQ(report.segments_loaded, 1u);
+  EXPECT_EQ(report.segments_quarantined, 1u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].name, "seg-1.tmns");
+  EXPECT_EQ(report.quarantined[0].status.code(),
+            common::StatusCode::kChecksumMismatch);
+  // Quarantine preserves the file for forensics.
+  EXPECT_TRUE(common::FileExists(victim));
+
+  // The acceptance contract: a partial-flagged top-k instead of an error,
+  // bitwise identical at 1 and 4 threads.
+  EXPECT_TRUE(sequential.partial);
+  EXPECT_EQ(sequential.sources_skipped, 1u);
+  const SegmentedSearchResult parallel = run(4, nullptr);
+  EXPECT_TRUE(parallel.partial);
+  EXPECT_EQ(sequential.ids, parallel.ids);
+  EXPECT_EQ(sequential.distances, parallel.distances);
+  // What was searched is still answered exactly: records 4..8 (the
+  // surviving segment + memtable), never a record from the damaged
+  // seg-1 (ids 0..3).
+  for (const uint64_t id : sequential.ids) EXPECT_GE(id, 4u);
+  EXPECT_FALSE(sequential.ids.empty());
+}
+
+TEST(SegmentedIndexTest, DimensionMismatchOnReopenFailsClosed) {
+  const std::string dir = ScratchDir("dim");
+  {
+    auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE(index.value()->Append(0, Vec(0)).ok());
+    ASSERT_TRUE(index.value()->Append(1, Vec(1)).ok());  // Seals: manifest.
+  }
+  SegmentedIndexOptions wrong = SmallOptions();
+  wrong.dim = kDim + 1;
+  auto index = SegmentedIndex::Open(dir, wrong);
+  EXPECT_EQ(index.status().code(), common::StatusCode::kFailedPrecondition);
+}
+
+TEST(SegmentedIndexTest, AllManifestsInvalidIsAnErrorNotAFreshStart) {
+  const std::string dir = ScratchDir("bad_manifest");
+  {
+    auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE(index.value()->Append(0, Vec(0)).ok());
+    ASSERT_TRUE(index.value()->Append(1, Vec(1)).ok());
+  }
+  FlipByte(dir + "/manifest-1.tmnm", 20);
+  auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+  EXPECT_FALSE(index.ok());
+  // Refusing to open must not GC the segments the manifest referenced.
+  EXPECT_TRUE(common::FileExists(dir + "/seg-1.tmns"));
+}
+
+TEST(SegmentedIndexTest, ReplayedMemtableAtCapacitySealsOnOpen) {
+  const std::string dir = ScratchDir("replay_seal");
+  {
+    // Capacity 64: six appends stay in the WAL.
+    auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/64));
+    ASSERT_TRUE(index.ok());
+    for (uint64_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+    }
+  }
+  // Reopen with capacity 4: the replayed memtable is over capacity and
+  // seals immediately, mirroring the append-time policy.
+  auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/4));
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index.value()->segment_count(), 1u);
+  EXPECT_EQ(index.value()->memtable_size(), 0u);
+  EXPECT_EQ(index.value()->size(), 6u);
+}
+
+// ---------------------------------------------------------------------
+// Budgets.
+
+TEST(SegmentedIndexTest, BlownPerSegmentBudgetSkipsSourcesAndFlagsPartial) {
+  const std::string dir = ScratchDir("budget");
+  g_step_now = 0.0;
+  SegmentedIndexOptions options = SmallOptions(/*capacity=*/4);
+  options.per_segment_budget_seconds = 0.5;
+  options.clock = &SteppingClock;  // Every budget is blown at first poll.
+  auto index = SegmentedIndex::Open(dir, options);
+  ASSERT_TRUE(index.ok());
+  for (uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+  }
+  const auto result = index.value()->SearchTopK(Vec(3), 4);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().partial);
+  EXPECT_EQ(result.value().sources_searched, 0u);
+  EXPECT_EQ(result.value().sources_skipped, 2u);
+  EXPECT_TRUE(result.value().ids.empty());
+}
+
+// ---------------------------------------------------------------------
+// Failpoint matrix (in-process; the re-exec crash sites live in
+// crash_recovery_test.cc). Skips without the failpoint build.
+
+class SegmentedFailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!common::FailpointsEnabled()) {
+      GTEST_SKIP() << "library built without failpoint sites";
+    }
+  }
+  void TearDown() override { common::DeactivateAllFailpoints(); }
+};
+
+TEST_F(SegmentedFailpointTest, RejectedWalAppendLeavesNoTrace) {
+  const std::string dir = ScratchDir("fp_append");
+  auto index = SegmentedIndex::Open(dir, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index.value()->Append(0, Vec(0)).ok());
+
+  common::ActivateFailpoint("index.segmented.wal.append", 1);
+  EXPECT_FALSE(index.value()->Append(1, Vec(1)).ok());
+  // The rejected record is nowhere: not in the memtable, not replayed.
+  EXPECT_EQ(index.value()->size(), 1u);
+  ASSERT_TRUE(index.value()->Append(2, Vec(2)).ok());  // One-shot site.
+  EXPECT_EQ(index.value()->size(), 2u);
+}
+
+TEST_F(SegmentedFailpointTest, FailedSealDefersWithoutFailingTheAppend) {
+  const std::string dir = ScratchDir("fp_seal");
+  auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index.value()->Append(0, Vec(0)).ok());
+  common::ActivateFailpoint("index.segmented.seal", 1);
+  // The append is acked (durable in the WAL) even though the seal failed.
+  ASSERT_TRUE(index.value()->Append(1, Vec(1)).ok());
+  EXPECT_EQ(index.value()->segment_count(), 0u);
+  EXPECT_EQ(index.value()->memtable_size(), 2u);
+  // The next append retries the deferred seal and succeeds.
+  ASSERT_TRUE(index.value()->Append(2, Vec(2)).ok());
+  EXPECT_EQ(index.value()->segment_count(), 1u);
+  EXPECT_EQ(index.value()->size(), 3u);
+}
+
+TEST_F(SegmentedFailpointTest, InjectedSegmentLoadFailureQuarantines) {
+  const std::string dir = ScratchDir("fp_load");
+  {
+    auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+    ASSERT_TRUE(index.ok());
+    for (uint64_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+    }
+  }
+  common::ActivateFailpoint("index.segmented.segment.load", 1);
+  RecoveryReport report;
+  auto index =
+      SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2), &report);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(report.segments_quarantined, 1u);
+  EXPECT_EQ(report.segments_loaded, 1u);
+  ASSERT_EQ(index.value()->quarantined().size(), 1u);
+  EXPECT_EQ(index.value()->quarantined()[0].status.code(),
+            common::StatusCode::kUnavailable);
+
+  // Undamaged on disk: a clean reopen loads both segments again.
+  common::DeactivateAllFailpoints();
+  index.value().reset();
+  auto clean = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.value()->segment_count(), 2u);
+  EXPECT_TRUE(clean.value()->quarantined().empty());
+}
+
+TEST_F(SegmentedFailpointTest, InjectedPerSourceSearchFailureIsPartial) {
+  const std::string dir = ScratchDir("fp_search");
+  SegmentedIndexOptions options = SmallOptions(/*capacity=*/4);
+  options.max_parallelism = 1;  // Hit ordering must be deterministic.
+  auto index = SegmentedIndex::Open(dir, options);
+  ASSERT_TRUE(index.ok());
+  for (uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+  }
+  common::ActivateFailpoint("index.segmented.search", 1);
+  const auto result = index.value()->SearchTopK(Vec(3), 8);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().partial);
+  EXPECT_EQ(result.value().sources_skipped, 1u);
+  EXPECT_EQ(result.value().sources_searched, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Serve integration: the optional segmented tier.
+
+std::vector<geo::Trajectory> ServeDatabase(int n) {
+  data::SyntheticConfig config;
+  config.num_trajectories = n;
+  config.min_length = 10;
+  config.max_length = 16;
+  config.seed = 99;
+  auto raw = data::GenerateSynthetic(config);
+  return geo::NormalizeTrajectories(raw, geo::ComputeNormalization(raw));
+}
+
+// Builds a segmented index holding the database's sketch vectors, keyed
+// by database position — the contract the serve tier expects.
+std::shared_ptr<const SegmentedIndex> BuildSketchIndex(
+    const std::string& dir, const std::vector<geo::Trajectory>& database,
+    size_t sketch_points, size_t capacity) {
+  SegmentedIndexOptions options;
+  options.dim = 2 * sketch_points;
+  options.memtable_capacity = capacity;
+  auto index = SegmentedIndex::Open(dir, options);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  for (size_t i = 0; i < database.size(); ++i) {
+    const std::vector<float> sketch =
+        serve::SimilarityServer::SketchTrajectory(database[i],
+                                                  sketch_points);
+    EXPECT_TRUE(index.value()->Append(i, sketch).ok());
+  }
+  EXPECT_TRUE(index.value()->Flush().ok());
+  return std::shared_ptr<const SegmentedIndex>(std::move(index.value()));
+}
+
+serve::ServerConfig SegmentedOnlyConfig(
+    std::shared_ptr<const SegmentedIndex> index) {
+  serve::ServerConfig config;
+  config.enable_embedding_tier = false;
+  config.enable_rerank_tier = false;
+  config.segmented_index = std::move(index);
+  return config;
+}
+
+TEST(SegmentedServeTest, SegmentedTierServesExactTopK) {
+  const std::string dir = ScratchDir("serve_exact");
+  auto database = ServeDatabase(24);
+  serve::ServerConfig config = SegmentedOnlyConfig(
+      BuildSketchIndex(dir, database, /*sketch_points=*/8, /*capacity=*/8));
+  // Pool the whole database so the exact rerank reproduces ground truth.
+  config.rerank_candidates = database.size();
+  auto metric = dist::CreateMetric(dist::MetricType::kDtw);
+  const geo::Trajectory query = database[5];
+  std::vector<std::pair<double, size_t>> expected;
+  for (size_t i = 0; i < database.size(); ++i) {
+    expected.emplace_back(metric->Compute(query, database[i]), i);
+  }
+  std::sort(expected.begin(), expected.end());
+
+  auto server = serve::SimilarityServer::Create(
+      config, database, dist::CreateMetric(dist::MetricType::kDtw), nullptr);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_TRUE(server.value()->segmented_tier_available());
+
+  const auto result = server.value()->TopK(query, 4);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().tier, serve::ServeTier::kSegmented);
+  EXPECT_FALSE(result.value().partial);
+  ASSERT_EQ(result.value().indices.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.value().indices[i], expected[i].second) << "rank " << i;
+    EXPECT_EQ(result.value().distances[i], expected[i].first) << "rank " << i;
+  }
+}
+
+TEST(SegmentedServeTest, QuarantinedSegmentYieldsPartialResponseNotError) {
+  const std::string dir = ScratchDir("serve_partial");
+  auto database = ServeDatabase(16);
+  // Build, then damage one sealed segment and reopen into quarantine.
+  { BuildSketchIndex(dir, database, /*sketch_points=*/8, /*capacity=*/4); }
+  FlipByte(dir + "/seg-1.tmns", 40);
+  SegmentedIndexOptions options;
+  options.dim = 16;
+  options.memtable_capacity = 4;
+  auto reopened = SegmentedIndex::Open(dir, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ(reopened.value()->quarantined().size(), 1u);
+
+  serve::ServerConfig config = SegmentedOnlyConfig(
+      std::shared_ptr<const SegmentedIndex>(std::move(reopened.value())));
+  config.rerank_candidates = database.size();
+  auto server = serve::SimilarityServer::Create(
+      config, database, dist::CreateMetric(dist::MetricType::kDtw), nullptr);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  const auto result = server.value()->TopK(database[9], 3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().tier, serve::ServeTier::kSegmented);
+  EXPECT_TRUE(result.value().partial);
+  EXPECT_FALSE(result.value().indices.empty());
+}
+
+TEST(SegmentedServeTest, DimensionMismatchIsRejectedAtCreate) {
+  const std::string dir = ScratchDir("serve_dim");
+  auto database = ServeDatabase(8);
+  serve::ServerConfig config = SegmentedOnlyConfig(
+      BuildSketchIndex(dir, database, /*sketch_points=*/8, /*capacity=*/8));
+  config.sketch_points = 4;  // Sketch width 8 != index dim 16.
+  auto server = serve::SimilarityServer::Create(
+      config, database, dist::CreateMetric(dist::MetricType::kDtw), nullptr);
+  EXPECT_EQ(server.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tmn::index

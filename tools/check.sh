@@ -32,6 +32,7 @@ STAGE_TITLES=(
   "UndefinedBehaviorSanitizer: numeric core tests"
   "ThreadSanitizer: concurrency tests"
   "Fault injection: failpoint build + crash recovery"
+  "Index recovery: segmented fault matrix + bench baseline gate"
   "clang-tidy (bugprone-*, performance-*, concurrency-*)"
 )
 STAGE_TOTAL=${#STAGE_TITLES[@]}
@@ -156,16 +157,37 @@ if grep -q "built without failpoint sites" "$LOG_DIR/8-fault-injection.log"; the
 fi
 
 stage
+{
+  # The segmented-index recovery matrix (docs/INDEXING.md) in the
+  # failpoint build from the previous stage: every IO boundary knocked
+  # out in turn, the three re-exec crash sites recovered bit-exactly,
+  # quarantine-degraded queries still answering. Then the ingest/recovery
+  # bench against its committed baseline: structural gauges (segments
+  # sealed, WAL records replayed, top-k checksum, 1-vs-4-thread
+  # identity) hard-fail on drift; wall clocks only warn.
+  ctest --test-dir build-failpoints --output-on-failure -j "$JOBS" \
+      -R "Segmented|CrashRecovery"
+  cmake --build build -j "$JOBS" --target bench_micro_index bench_compare
+  ./build/bench/bench_micro_index "$LOG_DIR/BENCH_index.json"
+  ./build/tools/bench_compare bench/baselines/BENCH_index.json \
+      "$LOG_DIR/BENCH_index.json"
+} 2>&1 | tee "$LOG_DIR/9-index-recovery.log"
+if grep -q "built without failpoint sites" "$LOG_DIR/9-index-recovery.log"; then
+  echo "error: segmented failpoint tests skipped in a failpoint build" >&2
+  exit 1
+fi
+
+stage
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json is emitted by the standard build in stage 1.
   mapfile -t TIDY_SOURCES < <(find src tools -name '*.cc' | sort)
   TIDY_RC=0
   if command -v run-clang-tidy >/dev/null 2>&1; then
     run-clang-tidy -p build -quiet "${TIDY_SOURCES[@]}" 2>&1 \
-        | tee "$LOG_DIR/9-clang-tidy.log" || TIDY_RC=$?
+        | tee "$LOG_DIR/10-clang-tidy.log" || TIDY_RC=$?
   else
     clang-tidy -p build --quiet "${TIDY_SOURCES[@]}" 2>&1 \
-        | tee "$LOG_DIR/9-clang-tidy.log" || TIDY_RC=$?
+        | tee "$LOG_DIR/10-clang-tidy.log" || TIDY_RC=$?
   fi
   if [ "$TIDY_RC" -ne 0 ]; then
     echo "error: clang-tidy reported findings (exit $TIDY_RC)" >&2
@@ -173,7 +195,7 @@ if command -v clang-tidy >/dev/null 2>&1; then
   fi
 else
   echo "-- notice: clang-tidy not installed; skipping tidy pass" \
-       "(install clang-tidy to enable it)" | tee "$LOG_DIR/9-clang-tidy.log"
+       "(install clang-tidy to enable it)" | tee "$LOG_DIR/10-clang-tidy.log"
 fi
 
 echo "== All ${STAGE_TOTAL} stages passed =="
