@@ -119,11 +119,17 @@
 #define TMN_PT_GUARDED_BY(x) TMN_THREAD_ANNOTATION_(pt_guarded_by(x))
 #define TMN_REQUIRES(...) \
   TMN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define TMN_REQUIRES_SHARED(...) \
+  TMN_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
 #define TMN_EXCLUDES(...) TMN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
 #define TMN_ACQUIRE(...) \
   TMN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define TMN_ACQUIRE_SHARED(...) \
+  TMN_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
 #define TMN_RELEASE(...) \
   TMN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define TMN_RELEASE_SHARED(...) \
+  TMN_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
 #define TMN_TRY_ACQUIRE(...) \
   TMN_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
 #define TMN_NO_THREAD_SAFETY_ANALYSIS \

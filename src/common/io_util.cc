@@ -180,6 +180,9 @@ Status AtomicWriteFile(const std::string& path, std::string_view data) {
 }
 
 Status RemoveFileIfExists(const std::string& path) {
+  if (TMN_FAILPOINT("io.remove")) {
+    return IoError("unlink '" + path + "': injected failure (io.remove)");
+  }
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
     return IoError(Errno("unlink", path));
   }
@@ -192,6 +195,9 @@ bool FileExists(const std::string& path) {
 }
 
 Status TruncateFile(const std::string& path, uint64_t size) {
+  if (TMN_FAILPOINT("io.truncate")) {
+    return IoError("truncate '" + path + "': injected failure (io.truncate)");
+  }
   if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
     return IoError(Errno("truncate", path));
   }

@@ -46,13 +46,14 @@ StatusOr<std::string> ReadFileToString(const std::string& path);
 Status AtomicWriteFile(const std::string& path, std::string_view data);
 
 // Removes `path` if it exists (kIoError only on a real failure, not on
-// absence). Used by checkpoint rotation.
+// absence). Used by checkpoint rotation and index GC. Failpoint:
+// io.remove.
 Status RemoveFileIfExists(const std::string& path);
 
 bool FileExists(const std::string& path);
 
-// Truncates `path` to `size` bytes. Used by WAL replay to cut a torn tail
-// back to the last whole record.
+// Truncates `path` to `size` bytes. Used by WAL replay and tail repair to
+// cut a torn tail back to the last whole record. Failpoint: io.truncate.
 Status TruncateFile(const std::string& path, uint64_t size);
 
 // Append-mode file handle for write-ahead logs: the one writer in the

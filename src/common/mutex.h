@@ -2,6 +2,7 @@
 #define TMN_COMMON_MUTEX_H_
 
 #include <mutex>
+#include <shared_mutex>
 
 #include "common/check.h"
 
@@ -35,6 +36,28 @@ class TMN_CAPABILITY("mutex") Mutex {
   std::mutex mu_;
 };
 
+// Reader/writer mutex with the same role as Mutex above: an annotated
+// zero-overhead forward over std::shared_mutex. For classes whose hot
+// path is concurrent reads with a rare writer (e.g. the segmented index:
+// many scatter-gather queries, one ingest writer), guard the fields with
+// TMN_GUARDED_BY(mu_), take WriterMutexLock in mutators and
+// ReaderMutexLock in const readers; the analysis then proves writes hold
+// the exclusive capability and reads hold at least the shared one.
+class TMN_CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() TMN_ACQUIRE() { mu_.lock(); }
+  void unlock() TMN_RELEASE() { mu_.unlock(); }
+  void lock_shared() TMN_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() TMN_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
 // lock_guard equivalent: acquires in the constructor, releases in the
 // destructor, and tells the analysis the capability is held in between.
 class TMN_SCOPED_CAPABILITY MutexLock {
@@ -47,6 +70,40 @@ class TMN_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+// Exclusive scoped hold of a SharedMutex (the writer side).
+class TMN_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) TMN_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() TMN_RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Shared scoped hold of a SharedMutex (the reader side): guarded fields
+// may be read but not written while it is alive.
+class TMN_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) TMN_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  // Generic release, per the clang scoped-capability contract: the
+  // destructor releases however the capability was acquired.
+  ~ReaderMutexLock() TMN_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
 };
 
 // unique_lock equivalent for condition-variable waits: owns a

@@ -210,6 +210,9 @@ common::StatusOr<std::unique_ptr<SegmentedIndex>> SegmentedIndex::Open(
 
   std::unique_ptr<SegmentedIndex> index(
       new SegmentedIndex(dir, options));  // tmn-lint: allow(raw-alloc)
+  // Nothing else can hold the index yet; the lock is for the annotation
+  // contract (every guarded access provably holds the capability).
+  common::WriterMutexLock lock(index->mu_);
   index->manifest_ = manifest;
 
   // Load every referenced segment; a failure quarantines (the file stays
@@ -244,6 +247,9 @@ common::StatusOr<std::unique_ptr<SegmentedIndex>> SegmentedIndex::Open(
   // segment (crash between seal and publish) still has its records in the
   // live WAL; an orphan WAL generation (crash between publish and WAL
   // removal) has its records in a published segment — both safe to drop.
+  // Cleanup is best-effort: all live data is intact regardless, so a
+  // file that cannot be removed (say, permissions) is reported and left
+  // for the next Open to retry — never a recovery failure.
   for (const std::string& name : entries) {
     uint64_t number = 0;
     bool remove = false;
@@ -259,7 +265,13 @@ common::StatusOr<std::unique_ptr<SegmentedIndex>> SegmentedIndex::Open(
       remove = true;  // Unpublished AtomicWriteFile residue.
     }
     if (remove) {
-      TMN_RETURN_IF_ERROR(common::RemoveFileIfExists(dir + "/" + name));
+      const common::Status removed =
+          common::RemoveFileIfExists(dir + "/" + name);
+      if (!removed.ok()) {
+        ++rep.gc_failed;
+        std::fprintf(stderr, "SegmentedIndex: deferring orphan GC: %s\n",
+                     removed.ToString().c_str());
+      }
     }
   }
 
@@ -291,7 +303,7 @@ common::StatusOr<std::unique_ptr<SegmentedIndex>> SegmentedIndex::Open(
   // the append-time policy so crash/resume and uninterrupted runs agree
   // on state. A failed seal is not fatal: the records are in the WAL.
   if (index->memtable_.size() >= options.memtable_capacity) {
-    const common::Status sealed = index->Seal();
+    const common::Status sealed = index->SealLocked();
     if (!sealed.ok()) {
       std::fprintf(stderr, "SegmentedIndex: deferred seal after replay: %s\n",
                    sealed.ToString().c_str());
@@ -313,11 +325,26 @@ common::Status SegmentedIndex::Append(uint64_t id,
           "append vector contains a non-finite coordinate");
     }
   }
-  if (!wal_.is_open()) {
-    return common::FailedPreconditionError(
-        "segmented index WAL is not open (a prior rotation failed)");
+  common::WriterMutexLock lock(mu_);
+  TMN_RETURN_IF_ERROR(EnsureWalWritableLocked());
+  const common::Status appended = wal_.Append(id, vector.data(), options_.dim);
+  if (!appended.ok()) {
+    // The failed write may have left a torn frame past the last acked
+    // record. Repair before any further append: a later frame written
+    // after that garbage would be fully present yet unreachable — replay
+    // stops at the first damaged frame — silently dropping an acked
+    // record. If the repair itself fails, the dirty flag keeps every
+    // subsequent append failing until a retry succeeds.
+    wal_tail_dirty_ = true;
+    const common::Status repaired = wal_.TruncateTail(wal_bytes_);
+    if (repaired.ok()) {
+      wal_tail_dirty_ = false;
+    } else {
+      std::fprintf(stderr, "SegmentedIndex: WAL tail repair deferred: %s\n",
+                   repaired.ToString().c_str());
+    }
+    return appended;
   }
-  TMN_RETURN_IF_ERROR(wal_.Append(id, vector.data(), options_.dim));
   // The record is durable past this point: a crash armed on this site
   // proves an acked append survives recovery.
   (void)TMN_FAILPOINT("index.segmented.append.acked");
@@ -325,7 +352,7 @@ common::Status SegmentedIndex::Append(uint64_t id,
   wal_bytes_ += WalFrameBytes(options_.dim);
   SegmentIndexMetrics::Get().wal_bytes.Set(static_cast<double>(wal_bytes_));
   if (memtable_.size() >= options_.memtable_capacity) {
-    const common::Status sealed = Seal();
+    const common::Status sealed = SealLocked();
     if (!sealed.ok()) {
       // The append itself is acked and durable; the seal retries on the
       // next append (the size check stays satisfied).
@@ -337,11 +364,25 @@ common::Status SegmentedIndex::Append(uint64_t id,
 }
 
 common::Status SegmentedIndex::Flush() {
+  common::WriterMutexLock lock(mu_);
   if (memtable_.size() == 0) return common::Status::Ok();
-  return Seal();
+  return SealLocked();
 }
 
-common::Status SegmentedIndex::Seal() {
+common::Status SegmentedIndex::EnsureWalWritableLocked() {
+  if (wal_rotation_pending_) TMN_RETURN_IF_ERROR(RotateWalLocked());
+  if (wal_tail_dirty_) {
+    TMN_RETURN_IF_ERROR(wal_.TruncateTail(wal_bytes_));
+    wal_tail_dirty_ = false;
+  }
+  if (!wal_.is_open()) {
+    return common::FailedPreconditionError(
+        "segmented index WAL is not open");
+  }
+  return common::Status::Ok();
+}
+
+common::Status SegmentedIndex::SealLocked() {
   if (TMN_FAILPOINT("index.segmented.seal")) {
     return common::IoError("seal: injected failure (index.segmented.seal)");
   }
@@ -363,34 +404,75 @@ common::Status SegmentedIndex::Seal() {
   // segment and discards the superseded WAL generation.
   TMN_RETURN_IF_ERROR(WriteIndexManifest(dir_, next));
 
-  const uint64_t old_gen = manifest_.wal_gen;
-  const uint64_t old_version = manifest_.version;
   manifest_ = std::move(next);
   segments_.push_back(std::make_shared<const Segment>(std::move(segment)));
   memtable_.Clear();
   metrics.seals.Increment();
   metrics.segment_count.Set(static_cast<double>(segments_.size()));
 
-  // Ordering invariant #3: GC strictly after the publish. Rotate to the
-  // new WAL generation, then drop the files the new manifest no longer
-  // references; a crash anywhere in between leaks a file, never a record.
+  // Ordering invariant #3: GC strictly after the publish. The seal is
+  // committed at this point, so a rotation failure must not wedge
+  // ingest: it is deferred (appends retry it) rather than surfaced — the
+  // sealed records are already durable in the published segment.
+  wal_rotation_pending_ = true;
+  const common::Status rotated = RotateWalLocked();
+  if (!rotated.ok()) {
+    std::fprintf(stderr, "SegmentedIndex: WAL rotation deferred: %s\n",
+                 rotated.ToString().c_str());
+  }
+  return common::Status::Ok();
+}
+
+common::Status SegmentedIndex::RotateWalLocked() {
+  // Close is idempotent, so retrying a half-done rotation is safe.
   TMN_RETURN_IF_ERROR(wal_.Close());
-  wal_bytes_ = 0;
-  metrics.wal_bytes.Set(0.0);
   TMN_RETURN_IF_ERROR(
       wal_.Open(WalPath(manifest_.wal_gen), /*truncate=*/true));
-  TMN_RETURN_IF_ERROR(common::RemoveFileIfExists(WalPath(old_gen)));
+  wal_rotation_pending_ = false;
+  wal_tail_dirty_ = false;  // The fresh generation starts empty and clean.
+  wal_bytes_ = 0;
+  SegmentIndexMetrics::Get().wal_bytes.Set(0.0);
+  // Drop the files the manifest no longer references; a crash anywhere in
+  // between leaks a file, never a record. Best-effort, like the Open GC
+  // pass: anything left behind is collected on the next Open.
+  const uint64_t old_gen = manifest_.wal_gen - 1;
+  const uint64_t old_version = manifest_.version - 1;
+  common::Status removed = common::RemoveFileIfExists(WalPath(old_gen));
+  if (!removed.ok()) {
+    std::fprintf(stderr, "SegmentedIndex: deferring WAL GC: %s\n",
+                 removed.ToString().c_str());
+  }
   if (old_version > 0) {
-    TMN_RETURN_IF_ERROR(common::RemoveFileIfExists(
-        dir_ + "/" + IndexManifestFileName(old_version)));
+    removed = common::RemoveFileIfExists(
+        dir_ + "/" + IndexManifestFileName(old_version));
+    if (!removed.ok()) {
+      std::fprintf(stderr, "SegmentedIndex: deferring manifest GC: %s\n",
+                   removed.ToString().c_str());
+    }
   }
   return common::Status::Ok();
 }
 
 size_t SegmentedIndex::size() const {
+  common::ReaderMutexLock lock(mu_);
   size_t total = memtable_.size();
   for (const auto& segment : segments_) total += segment->size();
   return total;
+}
+
+size_t SegmentedIndex::segment_count() const {
+  common::ReaderMutexLock lock(mu_);
+  return segments_.size();
+}
+
+size_t SegmentedIndex::memtable_size() const {
+  common::ReaderMutexLock lock(mu_);
+  return memtable_.size();
+}
+
+std::vector<QuarantinedSegment> SegmentedIndex::quarantined() const {
+  common::ReaderMutexLock lock(mu_);
+  return quarantined_;
 }
 
 common::StatusOr<SegmentedSearchResult> SegmentedIndex::SearchTopK(
@@ -412,15 +494,24 @@ common::StatusOr<SegmentedSearchResult> SegmentedIndex::SearchTopK(
   }
   TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, "segment-search"));
 
+  // The reader lock spans the whole scatter-gather: concurrent searches
+  // share it, while a concurrent Append (writer) waits — the memtable's
+  // backing vectors may not reallocate under a scan.
+  common::ReaderMutexLock lock(mu_);
+
   // Source 0 is the memtable (when non-empty); the rest are segments in
   // manifest order. Slots keep the merge deterministic at any thread
-  // count: the gather below never depends on completion order.
+  // count: the gather below never depends on completion order. Local
+  // references let the pool lambdas read the guarded state the lock
+  // already protects.
   struct SourceSlot {
     std::vector<ScoredId> topk;
     bool skipped = false;
   };
-  const bool scan_memtable = memtable_.size() > 0;
-  const size_t source_count = segments_.size() + (scan_memtable ? 1 : 0);
+  const Memtable& memtable = memtable_;
+  const std::vector<std::shared_ptr<const Segment>>& segments = segments_;
+  const bool scan_memtable = memtable.size() > 0;
+  const size_t source_count = segments.size() + (scan_memtable ? 1 : 0);
   std::vector<SourceSlot> slots(source_count);
   SegmentIndexMetrics& metrics = SegmentIndexMetrics::Get();
 
@@ -449,10 +540,10 @@ common::StatusOr<SegmentedSearchResult> SegmentedIndex::SearchTopK(
         const bool memtable_source = scan_memtable && i == 0;
         const size_t segment_i = memtable_source ? 0 : i - (scan_memtable ? 1 : 0);
         const std::vector<float>& vectors =
-            memtable_source ? memtable_.vectors()
-                            : segments_[segment_i]->vectors();
+            memtable_source ? memtable.vectors()
+                            : segments[segment_i]->vectors();
         const std::vector<uint64_t>& ids =
-            memtable_source ? memtable_.ids() : segments_[segment_i]->ids();
+            memtable_source ? memtable.ids() : segments[segment_i]->ids();
         slot.skipped = !ScanSource(vectors, ids, options_.dim, query, k,
                                    query_p, budget_p, &slot.topk);
         if (slot.skipped) slot.topk.clear();

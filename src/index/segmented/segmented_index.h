@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "index/segmented/manifest.h"
 #include "index/segmented/segment.h"
@@ -21,9 +22,12 @@
 // ThreadPool; a quarantined or over-budget segment degrades the response
 // to a `partial`-flagged top-k instead of an error.
 //
-// Thread compatibility mirrors the other indexes: SearchTopK is const and
-// may run concurrently with other searches, but Append/Flush mutate and
-// require external serialization against everything else.
+// Thread-safe: a reader/writer lock serializes mutation against queries,
+// so any mix of Append/Flush/SearchTopK/accessor calls from any threads
+// is race-free. Appends and seals hold the writer lock (readers wait);
+// searches and accessors hold the reader lock and run concurrently with
+// each other. The per-append fsync, not the lock, is the ingest
+// bottleneck.
 
 namespace tmn::index {
 
@@ -60,6 +64,9 @@ struct RecoveryReport {
   uint64_t segments_quarantined = 0;
   uint64_t wal_records_replayed = 0;
   uint64_t wal_bytes_truncated = 0;
+  // Orphan files the GC pass could not remove (logged, left in place,
+  // retried on the next Open). Cleanup failures never fail recovery.
+  uint64_t gc_failed = 0;
   // Ok for a clean WAL or an expected torn tail; a distinct code when a
   // fully-written record was damaged in place (see WalReplayResult).
   common::Status wal_damage;
@@ -93,8 +100,12 @@ class SegmentedIndex {
       RecoveryReport* report = nullptr);
 
   // Durably appends one vector. On OK the record is acked: it has been
-  // fsync'd into the WAL and survives any crash. May seal the memtable as
-  // a side effect; a failed opportunistic seal is retried on the next
+  // fsync'd into the WAL and survives any crash. On failure the record is
+  // nowhere: a torn frame the failed write may have left at the WAL tail
+  // is truncated away before any further append is accepted, so a later
+  // acked record can never land behind garbage that replay would stop
+  // at. May seal the memtable as a side effect; a failed opportunistic
+  // seal (and a failed post-seal WAL rotation) is retried on the next
   // append and does not fail the (already durable) append itself.
   common::Status Append(uint64_t id, const std::vector<float>& vector);
 
@@ -114,29 +125,46 @@ class SegmentedIndex {
   size_t dim() const { return options_.dim; }
   // Records visible to queries (memtable + loaded segments).
   size_t size() const;
-  size_t segment_count() const { return segments_.size(); }
-  size_t memtable_size() const { return memtable_.size(); }
-  const std::vector<QuarantinedSegment>& quarantined() const {
-    return quarantined_;
-  }
+  size_t segment_count() const;
+  size_t memtable_size() const;
+  // By value: the snapshot stays valid after concurrent mutation.
+  std::vector<QuarantinedSegment> quarantined() const;
   const std::string& dir() const { return dir_; }
 
  private:
   SegmentedIndex(std::string dir, const SegmentedIndexOptions& options);
 
   std::string WalPath(uint64_t gen) const;
-  // Seals the memtable: segment bundle -> manifest publish -> WAL
-  // rotation -> GC of the superseded WAL and manifest, in that order.
-  common::Status Seal();
+  // Retries deferred WAL maintenance (a pending post-seal rotation, a
+  // torn tail a failed append left behind) so the WAL is clean and open
+  // before the next frame is written. Appends fail until this succeeds.
+  common::Status EnsureWalWritableLocked() TMN_REQUIRES(mu_);
+  // Seals the memtable: segment bundle -> manifest publish (the commit
+  // point; both failures abort the seal with nothing changed) -> WAL
+  // rotation + GC via RotateWalLocked. Rotation failure does not fail
+  // the seal: it is deferred and retried on the next append.
+  common::Status SealLocked() TMN_REQUIRES(mu_);
+  // Post-publish maintenance: open the manifest's WAL generation fresh,
+  // then best-effort GC of the superseded WAL and manifest.
+  common::Status RotateWalLocked() TMN_REQUIRES(mu_);
 
-  std::string dir_;
-  SegmentedIndexOptions options_;
-  IndexManifest manifest_;
-  Memtable memtable_;
-  WalWriter wal_;
-  uint64_t wal_bytes_ = 0;  // Bytes of whole records in the live WAL.
-  std::vector<std::shared_ptr<const Segment>> segments_;
-  std::vector<QuarantinedSegment> quarantined_;
+  const std::string dir_;
+  const SegmentedIndexOptions options_;
+  mutable common::SharedMutex mu_;
+  IndexManifest manifest_ TMN_GUARDED_BY(mu_);
+  Memtable memtable_ TMN_GUARDED_BY(mu_);
+  WalWriter wal_ TMN_GUARDED_BY(mu_);
+  // Bytes of whole acked records in the live WAL — the durable offset a
+  // tail repair truncates back to.
+  uint64_t wal_bytes_ TMN_GUARDED_BY(mu_) = 0;
+  // A failed append may have torn the WAL tail; no append is accepted
+  // until TruncateTail succeeds.
+  bool wal_tail_dirty_ TMN_GUARDED_BY(mu_) = false;
+  // A seal committed but its WAL rotation failed; retried before the
+  // next append.
+  bool wal_rotation_pending_ TMN_GUARDED_BY(mu_) = false;
+  std::vector<std::shared_ptr<const Segment>> segments_ TMN_GUARDED_BY(mu_);
+  std::vector<QuarantinedSegment> quarantined_ TMN_GUARDED_BY(mu_);
 };
 
 }  // namespace tmn::index

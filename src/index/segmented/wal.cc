@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/check.h"
 #include "common/failpoint.h"
 
 namespace tmn::index {
@@ -11,7 +12,9 @@ constexpr size_t kFrameHeaderSize = 8;  // len u32 + crc u32
 }  // namespace
 
 common::Status WalWriter::Open(const std::string& path, bool truncate) {
-  return appender_.Open(path, truncate);
+  TMN_RETURN_IF_ERROR(appender_.Open(path, truncate));
+  path_ = path;
+  return common::Status::Ok();
 }
 
 common::Status WalWriter::Append(uint64_t id, const float* vector,
@@ -32,6 +35,15 @@ common::Status WalWriter::Append(uint64_t id, const float* vector,
   TMN_RETURN_IF_ERROR(appender_.Sync());
   bytes_appended_ += frame.data().size();
   return common::Status::Ok();
+}
+
+common::Status WalWriter::TruncateTail(uint64_t durable_bytes) {
+  TMN_CHECK_MSG(appender_.is_open(),
+                "WalWriter::TruncateTail on a closed WAL");
+  TMN_RETURN_IF_ERROR(common::TruncateFile(path_, durable_bytes));
+  // The appender's fd is O_APPEND, so the next write lands at the new
+  // (repaired) end of file; fsync makes the shrunk length durable first.
+  return appender_.Sync();
 }
 
 common::Status WalWriter::Close() { return appender_.Close(); }

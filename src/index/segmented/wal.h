@@ -29,6 +29,14 @@ class WalWriter {
  public:
   common::Status Open(const std::string& path, bool truncate);
   common::Status Append(uint64_t id, const float* vector, size_t dim);
+  // Repairs the tail after a failed Append: a torn write (or a full
+  // frame whose fsync never confirmed) may have left bytes past the last
+  // acked record, and a later frame appended after that garbage would be
+  // unreachable to replay — an acked record silently lost. Truncates the
+  // file back to `durable_bytes` (the caller's count of acked frame
+  // bytes) and fsyncs, so the file once again holds exactly the acked
+  // records. Must succeed before the next Append is attempted.
+  common::Status TruncateTail(uint64_t durable_bytes);
   common::Status Close();
 
   bool is_open() const { return appender_.is_open(); }
@@ -37,6 +45,7 @@ class WalWriter {
 
  private:
   common::FileAppender appender_;
+  std::string path_;
   uint64_t bytes_appended_ = 0;
 };
 

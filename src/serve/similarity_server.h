@@ -52,8 +52,10 @@ struct ServerConfig {
   // tier 2 and the brute-force floor. The index must hold sketch vectors
   // (dim == 2 * sketch_points) whose ids are database positions; Create
   // rejects a dimension mismatch. Shared, not owned: the caller keeps it
-  // alive (and may keep appending — SearchTopK is safe against that only
-  // under the index's own thread contract). Like tier 2 it is model-free,
+  // alive and may keep appending through its own non-const handle while
+  // the server queries — SegmentedIndex is internally synchronized
+  // (appends take its writer lock, queries its reader lock), so live
+  // ingest never races the worker threads. Like tier 2 it is model-free,
   // so it keeps answering when the model is down; unlike tier 2 it may
   // return `partial` results instead of failing when segments are
   // quarantined or over budget.

@@ -115,6 +115,9 @@ TEST(LintTest, FixtureCorpusReportsExactRuleIds) {
       {"fixture_raw_simd.cc", "raw-simd"},
       {"fixture_raw_simd.cc", "raw-simd"},
       {"fixture_layering.cc", "layering"},
+      // One finding per class: hits_ beside a std::mutex, misses_ beside
+      // a common::SharedMutex.
+      {"fixture_lock_discipline.cc", "lock-discipline"},
       {"fixture_lock_discipline.cc", "lock-discipline"},
       {"fixture_stale_suppression.cc", "stale-suppression"},
       {"fixture_must_use_status.cc", "must-use-status"},
@@ -189,7 +192,7 @@ TEST(LintTest, MustUseStatusFindsDiscardedCallsAcrossFiles) {
 }
 
 // In a class that owns a mutex, the annotated member passes and the bare
-// member is the one finding.
+// member is a finding — for std::mutex and common::SharedMutex alike.
 TEST(LintTest, LockDisciplineFlagsUnannotatedField) {
   const LintRun run =
       RunLint("tests/testdata/lint/src/fixture_lock_discipline.cc");
@@ -198,7 +201,8 @@ TEST(LintTest, LockDisciplineFlagsUnannotatedField) {
                               "[lock-discipline]") != std::string::npos)
       << run.output;
   EXPECT_TRUE(run.output.find("hits_") != std::string::npos) << run.output;
-  EXPECT_EQ(ParseFindings(run.output).size(), 1u) << run.output;
+  EXPECT_TRUE(run.output.find("misses_") != std::string::npos) << run.output;
+  EXPECT_EQ(ParseFindings(run.output).size(), 2u) << run.output;
 }
 
 // The observability layer is library code — src/obs/ must satisfy every

@@ -22,6 +22,7 @@
 #include "common/failpoint.h"
 #include "common/io_util.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "data/synthetic.h"
 #include "distance/metric.h"
 #include "geo/preprocess.h"
@@ -222,6 +223,45 @@ TEST(SegmentedIndexTest, SearchIsBitwiseIdenticalAcrossThreadCounts) {
   EXPECT_EQ(sequential.distances, parallel.distances);  // Bitwise: == on float.
   EXPECT_EQ(sequential.sources_searched, parallel.sources_searched);
   ExpectMatchesReference(parallel, Vec(17), 40, 9);
+}
+
+TEST(SegmentedIndexTest, ConcurrentAppendsAndSearchesAgree) {
+  // Appends take the index's writer lock, searches its reader lock; this
+  // drives both from pool workers at once (the TSAN build turns any
+  // missed synchronization into a failure). ParallelFor, not std::thread:
+  // the nested SearchTopK fan-out runs inline on a pool worker.
+  const std::string dir = ScratchDir("concurrent");
+  auto opened = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/16));
+  ASSERT_TRUE(opened.ok());
+  SegmentedIndex* index = opened.value().get();
+  for (uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(index->Append(i, Vec(i)).ok());
+  }
+  std::atomic<int> search_failures{0};
+  common::ParallelFor(
+      0, 4,
+      [&](size_t task) {
+        if (task == 0) {
+          for (uint64_t i = 8; i < 72; ++i) {
+            if (!index->Append(i, Vec(i)).ok()) ++search_failures;
+          }
+        } else {
+          for (int iter = 0; iter < 50; ++iter) {
+            const auto result = index->SearchTopK(Vec(task), 5);
+            // Sizes race with ingest; validity and completeness do not.
+            if (!result.ok() || result.value().partial ||
+                result.value().ids.size() > 5) {
+              ++search_failures;
+            }
+          }
+        }
+      },
+      /*max_parallelism=*/4);
+  EXPECT_EQ(search_failures.load(), 0);
+  EXPECT_EQ(index->size(), 72u);
+  const auto result = index->SearchTopK(Vec(17), 9);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectMatchesReference(result.value(), Vec(17), 72, 9);
 }
 
 // ---------------------------------------------------------------------
@@ -470,6 +510,84 @@ TEST_F(SegmentedFailpointTest, RejectedWalAppendLeavesNoTrace) {
   EXPECT_EQ(index.value()->size(), 2u);
 }
 
+TEST_F(SegmentedFailpointTest, TornAppendIsRepairedSoLaterAcksSurviveReplay) {
+  // The REVIEW durability hole: a torn write leaves half a frame at the
+  // tail. Without repair, the next (acked!) append lands after the
+  // garbage, and replay — which stops at the first damaged frame — would
+  // silently drop it. Repair must truncate back to the acked prefix.
+  const std::string dir = ScratchDir("fp_torn_repair");
+  auto index = SegmentedIndex::Open(dir, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index.value()->Append(0, Vec(0)).ok());
+
+  common::ActivateFailpoint("io.append.write", 1);
+  EXPECT_FALSE(index.value()->Append(1, Vec(1)).ok());
+  // The half-written frame is gone: the file holds exactly the acked set.
+  EXPECT_EQ(std::filesystem::file_size(dir + "/wal-1.log"), kFrameBytes);
+
+  ASSERT_TRUE(index.value()->Append(2, Vec(2)).ok());
+  EXPECT_EQ(std::filesystem::file_size(dir + "/wal-1.log"), 2 * kFrameBytes);
+  index.value().reset();
+
+  RecoveryReport report;
+  auto reopened = SegmentedIndex::Open(dir, SmallOptions(), &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  // Both acked records replay; nothing was truncated or damaged.
+  EXPECT_EQ(report.wal_records_replayed, 2u);
+  EXPECT_EQ(report.wal_bytes_truncated, 0u);
+  EXPECT_TRUE(report.wal_damage.ok());
+  EXPECT_EQ(reopened.value()->size(), 2u);
+}
+
+TEST_F(SegmentedFailpointTest, DeferredTailRepairRetriesOnTheNextAppend) {
+  const std::string dir = ScratchDir("fp_torn_defer");
+  auto index = SegmentedIndex::Open(dir, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index.value()->Append(0, Vec(0)).ok());
+
+  // The write tears AND the immediate repair fails: the dirty tail must
+  // stick until a retry succeeds — never ack over garbage.
+  common::ActivateFailpoint("io.append.write", 1);
+  common::ActivateFailpoint("io.truncate", 1);
+  EXPECT_FALSE(index.value()->Append(1, Vec(1)).ok());
+  EXPECT_EQ(std::filesystem::file_size(dir + "/wal-1.log"),
+            kFrameBytes + kFrameBytes / 2);
+
+  // The next append retries the truncation (the failpoint was one-shot)
+  // before writing, so the new frame lands right after the acked prefix.
+  ASSERT_TRUE(index.value()->Append(2, Vec(2)).ok());
+  EXPECT_EQ(std::filesystem::file_size(dir + "/wal-1.log"), 2 * kFrameBytes);
+  index.value().reset();
+
+  RecoveryReport report;
+  auto reopened = SegmentedIndex::Open(dir, SmallOptions(), &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(report.wal_records_replayed, 2u);
+  EXPECT_TRUE(report.wal_damage.ok());
+}
+
+TEST_F(SegmentedFailpointTest, UnsyncedFrameIsTruncatedNotAcked) {
+  // A frame that was fully written but never fsynced is not acked; repair
+  // removes it so the file and the acked set stay bitwise identical.
+  const std::string dir = ScratchDir("fp_sync");
+  auto index = SegmentedIndex::Open(dir, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index.value()->Append(0, Vec(0)).ok());
+
+  common::ActivateFailpoint("io.append.sync", 1);
+  EXPECT_FALSE(index.value()->Append(1, Vec(1)).ok());
+  EXPECT_EQ(std::filesystem::file_size(dir + "/wal-1.log"), kFrameBytes);
+  EXPECT_EQ(index.value()->size(), 1u);
+
+  ASSERT_TRUE(index.value()->Append(2, Vec(2)).ok());
+  index.value().reset();
+  RecoveryReport report;
+  auto reopened = SegmentedIndex::Open(dir, SmallOptions(), &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(report.wal_records_replayed, 2u);
+  EXPECT_EQ(reopened.value()->size(), 2u);
+}
+
 TEST_F(SegmentedFailpointTest, FailedSealDefersWithoutFailingTheAppend) {
   const std::string dir = ScratchDir("fp_seal");
   auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
@@ -484,6 +602,77 @@ TEST_F(SegmentedFailpointTest, FailedSealDefersWithoutFailingTheAppend) {
   ASSERT_TRUE(index.value()->Append(2, Vec(2)).ok());
   EXPECT_EQ(index.value()->segment_count(), 1u);
   EXPECT_EQ(index.value()->size(), 3u);
+}
+
+TEST_F(SegmentedFailpointTest, FailedWalRotationHealsOnTheNextAppend) {
+  // The seal commits (segment + manifest published) but opening the next
+  // WAL generation fails. The seal still acks — its records are durable
+  // in the published segment — and the rotation is retried by the next
+  // append instead of wedging ingest forever.
+  const std::string dir = ScratchDir("fp_rotate");
+  auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index.value()->Append(0, Vec(0)).ok());
+
+  common::ActivateFailpoint("io.append.open", 1);
+  ASSERT_TRUE(index.value()->Append(1, Vec(1)).ok());  // Seals.
+  EXPECT_EQ(index.value()->segment_count(), 1u);
+  EXPECT_EQ(index.value()->memtable_size(), 0u);
+  // Rotation never got to GC: the superseded generation is still there.
+  EXPECT_TRUE(common::FileExists(dir + "/wal-1.log"));
+  EXPECT_FALSE(common::FileExists(dir + "/wal-2.log"));
+
+  // The next append completes the rotation, then lands in the fresh WAL.
+  ASSERT_TRUE(index.value()->Append(2, Vec(2)).ok());
+  EXPECT_FALSE(common::FileExists(dir + "/wal-1.log"));
+  EXPECT_TRUE(common::FileExists(dir + "/wal-2.log"));
+  EXPECT_EQ(index.value()->size(), 3u);
+  index.value().reset();
+
+  RecoveryReport report;
+  auto reopened =
+      SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2), &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(report.segments_loaded, 1u);
+  EXPECT_EQ(report.wal_records_replayed, 1u);
+  EXPECT_EQ(reopened.value()->size(), 3u);
+  const auto result = reopened.value()->SearchTopK(Vec(1), 3);
+  ASSERT_TRUE(result.ok());
+  ExpectMatchesReference(result.value(), Vec(1), 3, 3);
+}
+
+TEST_F(SegmentedFailpointTest, FailedOrphanGcIsDeferredNotFatal) {
+  const std::string dir = ScratchDir("fp_gc");
+  {
+    auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE(index.value()->Append(0, Vec(0)).ok());
+    ASSERT_TRUE(index.value()->Append(1, Vec(1)).ok());  // Seals.
+  }
+  // An orphan segment, as a crash between seal and publish leaves behind.
+  const std::string stray = dir + "/seg-9.tmns";
+  AppendRawBytes(stray, "stray segment bytes");
+
+  common::ActivateFailpoint("io.remove", 1);
+  RecoveryReport report;
+  auto index =
+      SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2), &report);
+  // One orphan could not be removed: reported and deferred, never a
+  // recovery failure — all live data is intact regardless.
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(report.gc_failed, 1u);
+  EXPECT_TRUE(common::FileExists(stray));
+  EXPECT_EQ(index.value()->size(), 2u);
+  index.value().reset();
+
+  // The next open retries and collects it.
+  common::DeactivateAllFailpoints();
+  RecoveryReport clean;
+  auto reopened =
+      SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2), &clean);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(clean.gc_failed, 0u);
+  EXPECT_FALSE(common::FileExists(stray));
 }
 
 TEST_F(SegmentedFailpointTest, InjectedSegmentLoadFailureQuarantines) {

@@ -1,6 +1,6 @@
-// Lint fixture: exactly one lock-discipline violation (never compiled).
-// The annotated field is legal; the bare one shares the class with a
-// mutex and carries no TMN_GUARDED_BY.
+// Lint fixture: exactly two lock-discipline violations (never compiled).
+// The annotated fields are legal; the bare ones share a class with a
+// mutex (std::mutex / common::SharedMutex) and carry no TMN_GUARDED_BY.
 #include <mutex>
 #include <string>
 
@@ -17,6 +17,17 @@ class Cache {
   // Const after construction; suppressed, not annotated.
   // tmn-lint: allow(lock-discipline)
   int capacity_ = 64;
+};
+
+// A reader/writer wrapper counts as a mutex too.
+class SharedCache {
+ public:
+  int Lookup(const std::string& key) const;
+
+ private:
+  mutable tmn::common::SharedMutex mu_;
+  std::string table_ TMN_GUARDED_BY(mu_);
+  int misses_ = 0;
 };
 
 }  // namespace fixture

@@ -23,10 +23,31 @@ class Counter {
   int value_ TMN_GUARDED_BY(mu_) = 0;
 };
 
+// Reader/writer discipline: writes under WriterMutexLock, reads under
+// ReaderMutexLock.
+class Table {
+ public:
+  void Set(int value) {
+    tmn::common::WriterMutexLock lock(mu_);
+    value_ = value;
+  }
+
+  int Get() const {
+    tmn::common::ReaderMutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable tmn::common::SharedMutex mu_;
+  int value_ TMN_GUARDED_BY(mu_) = 0;
+};
+
 }  // namespace
 
 int main() {
   Counter c;
   c.Increment();
-  return c.Get();
+  Table t;
+  t.Set(c.Get());
+  return t.Get();
 }

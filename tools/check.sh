@@ -131,7 +131,8 @@ UBSAN_TESTS=(tensor_test ops_test autograd_test batched_lstm_test
 
 stage
 TSAN_TESTS=(thread_pool_test kernels_test trainer_test distance_test
-            eval_test integration_test serve_batch_test)
+            eval_test integration_test serve_batch_test
+            segmented_index_test)
 {
   cmake -B build-tsan -S . -DTMN_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"

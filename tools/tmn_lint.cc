@@ -1329,8 +1329,9 @@ class FileLinter {
         if (tok.text == "atomic" && i >= 2 && IsIdent(t[i - 2], "std")) {
           exempt = true;
         }
-        if (tok.text == "Mutex" || tok.text == "mutex" ||
-            tok.text == "shared_mutex" || tok.text == "recursive_mutex") {
+        if (tok.text == "Mutex" || tok.text == "SharedMutex" ||
+            tok.text == "mutex" || tok.text == "shared_mutex" ||
+            tok.text == "recursive_mutex") {
           is_mutex = true;
         }
         if (tok.text == "TMN_GUARDED_BY" || tok.text == "TMN_PT_GUARDED_BY") {
