@@ -1,6 +1,7 @@
 // Measures the crash-safe segmented index (src/index/segmented):
 // streaming WAL-backed ingest throughput, reopen/recovery (segment loads
-// + WAL replay), and scatter-gather top-k search latency.
+// + WAL replay), scatter-gather top-k search latency, and size-tiered
+// compaction (fan-out folded to one segment, results unchanged).
 //
 // The workload is fully deterministic: fixed synthetic vectors, fixed
 // seal boundaries, fixed queries. Everything structural — records
@@ -177,6 +178,37 @@ int main(int argc, char** argv) {
   const bool identical = parallel_run.ids == sequential_run.ids &&
                          parallel_run.distances == sequential_run.distances;
 
+  // Phase 4: size-tiered compaction until quiescent — the 8-segment
+  // ingest fan-out folds into one merged segment (the WAL tail stays in
+  // the memtable), and every query must keep its exact ranking, bit for
+  // bit. Pass structure and bytes rewritten are deterministic: stable.
+  tmn::index::CompactionPolicy policy;
+  policy.max_input_records = kRecords;  // Every segment qualifies.
+  uint64_t compact_passes = 0;
+  uint64_t compact_segments_merged = 0;
+  uint64_t compact_bytes_rewritten = 0;
+  const double compact_start = tmn::obs::MonotonicSeconds();
+  for (;;) {
+    const auto stats = sequential_index.value()->CompactOnce(policy);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "compaction failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    if (!stats.value().compacted) break;
+    ++compact_passes;
+    compact_segments_merged += stats.value().inputs.size();
+    compact_bytes_rewritten += stats.value().bytes_rewritten;
+  }
+  const double compact_wall = tmn::obs::MonotonicSeconds() - compact_start;
+  const uint64_t segments_after_compaction =
+      sequential_index.value()->segment_count();
+  SearchRun compacted_run;
+  if (!RunSearches(*sequential_index.value(), &compacted_run)) return 1;
+  const bool compact_identical =
+      compacted_run.ids == sequential_run.ids &&
+      compacted_run.distances == sequential_run.distances;
+
   tmn::bench::PrintTableHeader(
       "Segmented index (dim " + std::to_string(kDim) + ", capacity " +
           std::to_string(kMemtableCapacity) + ")",
@@ -190,10 +222,18 @@ int main(int argc, char** argv) {
   tmn::bench::PrintRow("reopen (ms)", {1e3 * reopen_wall});
   tmn::bench::PrintRow("search p50 (us)", {parallel_run.p50_us});
   tmn::bench::PrintRow("search p99 (us)", {parallel_run.p99_us});
+  tmn::bench::PrintRow("compaction passes",
+                       {static_cast<double>(compact_passes)});
+  tmn::bench::PrintRow("segments merged",
+                       {static_cast<double>(compact_segments_merged)});
+  tmn::bench::PrintRow("segments after compaction",
+                       {static_cast<double>(segments_after_compaction)});
+  tmn::bench::PrintRow("compaction (ms)", {1e3 * compact_wall});
   std::printf("top-%zu checksum %016llx over %zu queries; 1-thread vs "
-              "pool results %s\n",
+              "pool results %s; post-compaction results %s\n",
               kTopK, static_cast<unsigned long long>(parallel_run.checksum),
-              kQueries, identical ? "bit-identical" : "DIVERGED");
+              kQueries, identical ? "bit-identical" : "DIVERGED",
+              compact_identical ? "bit-identical" : "DIVERGED");
 
   // Structural outcomes are the contract: stable, gated. Wall clocks and
   // quantiles are machine-dependent: unstable, warn-only.
@@ -213,6 +253,16 @@ int main(int argc, char** argv) {
   reg.GetGauge("bench.index.search.identical").Set(identical ? 1.0 : 0.0);
   reg.GetGauge("bench.index.search.partial")
       .Set(static_cast<double>(parallel_run.partial));
+  reg.GetGauge("bench.index.compact.passes")
+      .Set(static_cast<double>(compact_passes));
+  reg.GetGauge("bench.index.compact.segments_merged")
+      .Set(static_cast<double>(compact_segments_merged));
+  reg.GetGauge("bench.index.compact.bytes_rewritten")
+      .Set(static_cast<double>(compact_bytes_rewritten));
+  reg.GetGauge("bench.index.compact.segments_after")
+      .Set(static_cast<double>(segments_after_compaction));
+  reg.GetGauge("bench.index.compact.identical")
+      .Set(compact_identical ? 1.0 : 0.0);
   reg.GetGauge("bench.index.ingest.appends_per_sec",
                tmn::obs::Stability::kUnstable)
       .Set(appends_per_sec);
@@ -225,6 +275,8 @@ int main(int argc, char** argv) {
       .Set(parallel_run.p50_us);
   reg.GetGauge("bench.index.search.p99_us", tmn::obs::Stability::kUnstable)
       .Set(parallel_run.p99_us);
+  reg.GetGauge("bench.index.compact.wall_ms", tmn::obs::Stability::kUnstable)
+      .Set(1e3 * compact_wall);
 
   const std::map<std::string, std::string> config = {
       {"dim", std::to_string(kDim)},
@@ -236,7 +288,8 @@ int main(int argc, char** argv) {
   const bool wrote =
       tmn::bench::WriteRunReport("micro_index", out_path, config);
   std::filesystem::remove_all(dir);
-  return identical && parallel_run.partial == 0 &&
+  return identical && compact_identical && parallel_run.partial == 0 &&
+                 compacted_run.partial == 0 &&
                  report.segments_quarantined == 0 && wrote
              ? 0
              : 1;

@@ -1,0 +1,73 @@
+#ifndef TMN_COMMON_BACKOFF_H_
+#define TMN_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+// Capped exponential backoff with deterministic jitter, for retry loops
+// that must neither hammer a failing resource nor synchronize with each
+// other (the segmented-index compactor's pass scheduling and IO retries).
+// Pure arithmetic over an explicit seed — no clock, no global RNG — so a
+// Backoff sequence is fully reproducible in tests: the same seed always
+// yields the same delays, and the worker that owns one decides how (and
+// whether) to actually sleep.
+
+namespace tmn::common {
+
+struct BackoffOptions {
+  // First delay handed out. Non-positive collapses every delay to 0 (a
+  // spin-retry, useful in tests that drive retries synchronously).
+  double initial_seconds = 0.1;
+  // Growth per step; clamped to >= 1 so the sequence never shrinks.
+  double multiplier = 2.0;
+  // Hard ceiling the exponential saturates at (pre-jitter).
+  double max_seconds = 5.0;
+  // Each delay is scaled by a factor drawn deterministically from
+  // [1 - jitter, 1 + jitter]; clamped to [0, 1]. Jitter decorrelates
+  // periodic retries without making them unpredictable in tests.
+  double jitter = 0.25;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(const BackoffOptions& options, uint64_t seed = 1)
+      : options_(options), state_(seed != 0 ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  // Delay for the next retry: initial * multiplier^step, saturated at
+  // max_seconds, then jittered. Advances the step and the jitter stream.
+  double NextDelaySeconds() {
+    const double base = std::max(options_.initial_seconds, 0.0);
+    const double multiplier = std::max(options_.multiplier, 1.0);
+    double delay = base;
+    for (uint32_t i = 0; i < step_ && delay < options_.max_seconds; ++i) {
+      delay *= multiplier;
+    }
+    delay = std::min(delay, std::max(options_.max_seconds, 0.0));
+    if (step_ < UINT32_MAX) ++step_;
+    const double jitter = std::clamp(options_.jitter, 0.0, 1.0);
+    // splitmix64 over the seeded state: cheap, well-mixed, and not a
+    // std:: engine (the raw-rng lint rule keeps those in src/nn/rng.*).
+    state_ += 0x9E3779B97F4A7C15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    const double unit = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+    return delay * (1.0 - jitter + 2.0 * jitter * unit);
+  }
+
+  // Back to the initial delay (after a success); the jitter stream keeps
+  // advancing so repeated fail/recover cycles stay decorrelated.
+  void Reset() { step_ = 0; }
+
+  uint32_t step() const { return step_; }
+
+ private:
+  const BackoffOptions options_;
+  uint64_t state_;
+  uint32_t step_ = 0;
+};
+
+}  // namespace tmn::common
+
+#endif  // TMN_COMMON_BACKOFF_H_

@@ -1,0 +1,120 @@
+#include "index/segmented/compactor.h"
+
+#include <utility>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace tmn::index {
+
+namespace {
+
+// Daemon metrics (the tmn.index.compact.* family, docs/OBSERVABILITY.md).
+// All unstable: pass counts and retry/backoff behavior depend on wall-
+// clock scheduling, not on the ingested data. The what-was-rewritten side
+// of the family (segments_merged, bytes_rewritten) ticks inside
+// CompactOnce so synchronous callers are counted too.
+struct CompactorMetrics {
+  obs::Counter& passes;
+  obs::Counter& retries;
+  obs::Histogram& backoff_seconds;
+
+  static CompactorMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static CompactorMetrics m{
+        reg.GetCounter("tmn.index.compact.passes",
+                       obs::Stability::kUnstable),
+        reg.GetCounter("tmn.index.compact.retries",
+                       obs::Stability::kUnstable),
+        reg.GetHistogram("tmn.index.compact.backoff_seconds",
+                         obs::ExponentialBounds(0.001, 2.0, 16),
+                         obs::Stability::kUnstable),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+Compactor::Compactor(SegmentedIndex* index, const CompactorOptions& options)
+    : index_(index), options_(options) {
+  TMN_CHECK(index_ != nullptr);
+}
+
+Compactor::~Compactor() { Stop(); }
+
+void Compactor::Start() {
+  {
+    common::MutexLock lock(mu_);
+    if (started_ || stop_) return;  // One-shot; a stopped daemon stays down.
+    started_ = true;
+  }
+  worker_ = std::thread([this] { WorkerLoop(); });  // tmn-lint: allow(raw-thread)
+}
+
+void Compactor::Stop() {
+  {
+    common::MutexLock lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::vector<CompactionReport> Compactor::reports() const {
+  common::MutexLock lock(mu_);
+  return {reports_.begin(), reports_.end()};
+}
+
+uint64_t Compactor::passes() const {
+  common::MutexLock lock(mu_);
+  return passes_;
+}
+
+void Compactor::WorkerLoop() {
+  CompactorMetrics& metrics = CompactorMetrics::Get();
+  common::Backoff backoff(options_.backoff, options_.backoff_seed);
+  uint32_t consecutive_failures = 0;
+  for (;;) {
+    {
+      common::MutexLock lock(mu_);
+      if (stop_) return;
+    }
+    CompactionReport report;
+    report.retry = consecutive_failures;
+    common::StatusOr<CompactionStats> result =
+        index_->CompactOnce(options_.policy);
+    metrics.passes.Increment();
+    if (result.ok()) {
+      report.stats = std::move(result.value());
+      consecutive_failures = 0;
+      // A productive pass resets the backoff: the merged output (or the
+      // segments that did not fit this pass) may qualify again right
+      // away. An idle pass lets the sleep grow toward the cap instead.
+      if (report.stats.compacted) backoff.Reset();
+    } else {
+      // Strictly non-fatal: record, count, back off, try again. The
+      // index itself is unharmed — CompactOnce either commits fully or
+      // changes nothing.
+      report.status = result.status();
+      ++consecutive_failures;
+      metrics.retries.Increment();
+    }
+    report.backoff_seconds = backoff.NextDelaySeconds();
+    metrics.backoff_seconds.Observe(report.backoff_seconds);
+    {
+      common::MutexLock lock(mu_);
+      report.pass = ++passes_;
+      reports_.push_back(report);
+      while (reports_.size() > options_.report_history) reports_.pop_front();
+    }
+    {
+      common::MutexUniqueLock lock(mu_);
+      if (stop_) return;
+      common::WaitFor(cv_, lock.native(), report.backoff_seconds);
+      if (stop_) return;
+    }
+  }
+}
+
+}  // namespace tmn::index

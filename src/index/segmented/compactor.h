@@ -1,0 +1,100 @@
+#ifndef TMN_INDEX_SEGMENTED_COMPACTOR_H_
+#define TMN_INDEX_SEGMENTED_COMPACTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "index/segmented/segmented_index.h"
+
+// Background compaction for the segmented index (docs/INDEXING.md): a
+// worker thread repeatedly runs SegmentedIndex::CompactOnce under a
+// size-tiered policy, pacing itself with jittered capped exponential
+// backoff — quick follow-up passes while merges are productive, long
+// sleeps when the index is quiescent, and the same capped backoff when a
+// pass fails (compaction failure is strictly non-fatal: every IO error
+// is retried, never surfaced to ingest or search). Every pass leaves a
+// CompactionReport in a bounded audit trail and ticks the
+// tmn.index.compact.* obs family, so the daemon's decisions are visible
+// without attaching a debugger.
+
+namespace tmn::index {
+
+struct CompactorOptions {
+  CompactionPolicy policy;
+  // Pass pacing. The delay after any pass is
+  // Backoff{backoff}.NextDelaySeconds(): a productive pass resets the
+  // sequence (so follow-up merges start near initial_seconds), an idle
+  // or failed pass lets it grow toward max_seconds.
+  common::BackoffOptions backoff{/*initial_seconds=*/0.05,
+                                 /*multiplier=*/2.0,
+                                 /*max_seconds=*/5.0,
+                                 /*jitter=*/0.25};
+  // Seed for the deterministic jitter stream (tests pin it).
+  uint64_t backoff_seed = 1;
+  // Bounded length of the audit trail; older reports are dropped.
+  size_t report_history = 64;
+};
+
+// One pass of the daemon, as seen from outside — the audit trail entry.
+struct CompactionReport {
+  uint64_t pass = 0;       // 1-based pass number.
+  common::Status status;   // Pass outcome; non-OK passes are retried.
+  CompactionStats stats;   // What the pass did (compacted==false: idle).
+  uint32_t retry = 0;      // > 0: consecutive failures preceding this pass.
+  double backoff_seconds = 0.0;  // Delay scheduled before the next pass.
+};
+
+// Owns the worker thread. Start/Stop are idempotent and one-shot: a
+// stopped compactor stays stopped (the owner builds a new one to
+// restart). The index must outlive the compactor. Thread-safe.
+class Compactor {
+ public:
+  Compactor(SegmentedIndex* index, const CompactorOptions& options);
+  ~Compactor();  // Stops and joins the worker.
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  void Start();
+  // Wakes the worker, waits for the in-flight pass (if any) to finish,
+  // and joins. Never interrupts a pass mid-publish: stop is only
+  // observed between passes, so the crash-safety story stays
+  // CompactOnce's alone.
+  void Stop();
+
+  // Snapshot of the bounded audit trail, oldest first.
+  std::vector<CompactionReport> reports() const;
+  uint64_t passes() const;
+
+ private:
+  void WorkerLoop();
+
+  SegmentedIndex* const index_;
+  const CompactorOptions options_;
+
+  mutable common::Mutex mu_;
+  std::condition_variable cv_;
+  bool started_ TMN_GUARDED_BY(mu_) = false;
+  bool stop_ TMN_GUARDED_BY(mu_) = false;
+  uint64_t passes_ TMN_GUARDED_BY(mu_) = 0;
+  std::deque<CompactionReport> reports_ TMN_GUARDED_BY(mu_);
+
+  // The daemon thread. Like the micro-batcher's dispatcher, the one
+  // blocking wait lives on a dedicated thread — parking a shared-pool
+  // worker on a multi-second backoff sleep would starve the scatter-
+  // gather scans the pool exists to run. Started by Start, joined by
+  // Stop; never touched in between, so it needs no lock.
+  // tmn-lint: allow(lock-discipline)
+  std::thread worker_;  // tmn-lint: allow(raw-thread)
+};
+
+}  // namespace tmn::index
+
+#endif  // TMN_INDEX_SEGMENTED_COMPACTOR_H_

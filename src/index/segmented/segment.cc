@@ -80,7 +80,31 @@ Segment Segment::FromMemtable(std::string name, uint64_t seq,
   return segment;
 }
 
-common::Status Segment::WriteFile(const std::string& path) const {
+Segment Segment::Merged(std::string name, uint64_t seq,
+                        const std::vector<const Segment*>& inputs) {
+  Segment segment;
+  segment.name_ = std::move(name);
+  segment.seq_ = seq;
+  size_t records = 0;
+  for (const Segment* input : inputs) {
+    TMN_CHECK(input != nullptr);
+    if (segment.dim_ == 0) segment.dim_ = input->dim();
+    TMN_CHECK(input->dim() == segment.dim_);
+    records += input->size();
+  }
+  segment.ids_.reserve(records);
+  segment.vectors_.reserve(records * segment.dim_);
+  for (const Segment* input : inputs) {
+    segment.ids_.insert(segment.ids_.end(), input->ids().begin(),
+                        input->ids().end());
+    segment.vectors_.insert(segment.vectors_.end(), input->vectors().begin(),
+                            input->vectors().end());
+  }
+  return segment;
+}
+
+common::Status Segment::WriteFile(const std::string& path,
+                                  uint64_t* bytes_written) const {
   common::PayloadWriter meta;
   meta.PutU64(seq_);
   meta.PutU64(ids_.size());
@@ -93,6 +117,7 @@ common::Status Segment::WriteFile(const std::string& path) const {
   bundle.AddSection(kMetaSection, meta.Take());
   bundle.AddSection(kIdsSection, ids.Take());
   bundle.AddSection(kVectorsSection, vecs.Take());
+  if (bytes_written != nullptr) *bytes_written = bundle.Serialize().size();
   return bundle.WriteAtomic(path);
 }
 

@@ -69,8 +69,19 @@ class Segment {
   static Segment FromMemtable(std::string name, uint64_t seq,
                               const Memtable& memtable);
 
+  // Concatenates already-validated segments, preserving their record
+  // order (inputs must be passed oldest first and share one dim — the
+  // compactor's merge). The merged segment scans identically to scanning
+  // the inputs back to back, which is what keeps compaction invisible to
+  // search results.
+  static Segment Merged(std::string name, uint64_t seq,
+                        const std::vector<const Segment*>& inputs);
+
   // Serializes and atomically writes this segment as a bundle.
-  common::Status WriteFile(const std::string& path) const;
+  // `bytes_written` (optional) receives the serialized bundle size — the
+  // write amplification a compaction pays.
+  common::Status WriteFile(const std::string& path,
+                           uint64_t* bytes_written = nullptr) const;
 
   const std::string& name() const { return name_; }
   uint64_t seq() const { return seq_; }

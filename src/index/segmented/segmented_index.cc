@@ -17,17 +17,29 @@ namespace tmn::index {
 
 namespace {
 
-// Segmented-index metrics (the tmn.index.segment.* family in
-// docs/OBSERVABILITY.md). Counts and byte totals are deterministic for a
-// deterministic ingest, so they are stable and bench-gated; partial
-// results can be deadline-induced and search timing is wall clock, so
-// those are unstable (warn-only).
+// Segmented-index metrics (the tmn.index.segment.* and
+// tmn.index.compact.* families in docs/OBSERVABILITY.md). Counts and
+// byte totals are deterministic for a deterministic ingest, so they are
+// stable and bench-gated; partial results can be deadline-induced,
+// search timing is wall clock, self-healing retries fire only on real
+// (or injected) IO failures, and compaction volume depends on daemon
+// scheduling — all unstable (warn-only).
 struct SegmentIndexMetrics {
   obs::Counter& seals;
   obs::Counter& wal_records_replayed;
   obs::Counter& wal_bytes_truncated;
   obs::Counter& quarantined;
   obs::Counter& partial_results;
+  // The formerly-silent self-healing paths: retries of a deferred WAL
+  // tail repair / post-seal rotation, and GC removals that failed and
+  // were left for a later pass. A counter that keeps climbing means the
+  // index is limping on a persistent IO fault — visible *before* the
+  // deferred work puts data at risk.
+  obs::Counter& wal_repair_retries;
+  obs::Counter& rotation_retries;
+  obs::Counter& gc_retry_failures;
+  obs::Counter& compact_segments_merged;
+  obs::Counter& compact_bytes_rewritten;
   obs::Gauge& segment_count;
   obs::Gauge& wal_bytes;
   obs::Histogram& search_seconds;
@@ -40,6 +52,16 @@ struct SegmentIndexMetrics {
         reg.GetCounter("tmn.index.segment.wal_bytes_truncated"),
         reg.GetCounter("tmn.index.segment.quarantined"),
         reg.GetCounter("tmn.index.segment.partial_results",
+                       obs::Stability::kUnstable),
+        reg.GetCounter("tmn.index.segment.wal_repair_retries",
+                       obs::Stability::kUnstable),
+        reg.GetCounter("tmn.index.segment.rotation_retries",
+                       obs::Stability::kUnstable),
+        reg.GetCounter("tmn.index.segment.gc_retry_failures",
+                       obs::Stability::kUnstable),
+        reg.GetCounter("tmn.index.compact.segments_merged",
+                       obs::Stability::kUnstable),
+        reg.GetCounter("tmn.index.compact.bytes_rewritten",
                        obs::Stability::kUnstable),
         reg.GetGauge("tmn.index.segment.count"),
         reg.GetGauge("tmn.index.segment.wal_bytes"),
@@ -121,6 +143,36 @@ bool ScanSource(const std::vector<float>& vectors,
 
 }  // namespace
 
+std::vector<std::string> SelectCompactionInputs(
+    const std::vector<std::pair<std::string, size_t>>& live,
+    const CompactionPolicy& policy) {
+  // Candidates under the size threshold, smallest first; the tie-break
+  // on manifest position keeps selection deterministic and biases merges
+  // toward the oldest runs.
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (live[i].second <= policy.max_input_records) candidates.push_back(i);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&live](size_t a, size_t b) {
+              if (live[a].second != live[b].second) {
+                return live[a].second < live[b].second;
+              }
+              return a < b;
+            });
+  const size_t min_inputs = std::max<size_t>(policy.min_inputs, 2);
+  if (candidates.size() < min_inputs) return {};
+  candidates.resize(std::min(candidates.size(),
+                             std::max<size_t>(policy.max_inputs, min_inputs)));
+  // Back to manifest order: the merged segment concatenates inputs
+  // oldest first, so its record order matches the original ingest.
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<std::string> names;
+  names.reserve(candidates.size());
+  for (const size_t i : candidates) names.push_back(live[i].first);
+  return names;
+}
+
 SegmentedIndex::SegmentedIndex(std::string dir,
                                const SegmentedIndexOptions& options)
     : dir_(std::move(dir)), options_(options), memtable_(options.dim) {}
@@ -132,12 +184,24 @@ std::string SegmentedIndex::WalPath(uint64_t gen) const {
 common::StatusOr<std::unique_ptr<SegmentedIndex>> SegmentedIndex::Open(
     const std::string& dir, const SegmentedIndexOptions& options,
     RecoveryReport* report) {
+  // Malformed options fail closed here, with the caller's bug named,
+  // instead of surfacing as undefined behavior deep in a seal or scan.
   if (options.dim == 0) {
     return common::InvalidArgumentError("segmented index needs dim > 0");
   }
   if (options.memtable_capacity == 0) {
     return common::InvalidArgumentError(
         "segmented index needs memtable_capacity > 0");
+  }
+  if (options.max_parallelism < 0) {
+    return common::InvalidArgumentError(
+        "segmented index max_parallelism must be >= 0 (0 = pool-wide), got " +
+        std::to_string(options.max_parallelism));
+  }
+  if (!(options.per_segment_budget_seconds >= 0.0)) {  // Rejects NaN too.
+    return common::InvalidArgumentError(
+        "segmented index per_segment_budget_seconds must be >= 0 "
+        "(0 disables the budget)");
   }
   TMN_RETURN_IF_ERROR(common::EnsureDirectory(dir));
 
@@ -269,6 +333,7 @@ common::StatusOr<std::unique_ptr<SegmentedIndex>> SegmentedIndex::Open(
           common::RemoveFileIfExists(dir + "/" + name);
       if (!removed.ok()) {
         ++rep.gc_failed;
+        metrics.gc_retry_failures.Increment();
         std::fprintf(stderr, "SegmentedIndex: deferring orphan GC: %s\n",
                      removed.ToString().c_str());
       }
@@ -369,9 +434,178 @@ common::Status SegmentedIndex::Flush() {
   return SealLocked();
 }
 
+common::StatusOr<CompactionStats> SegmentedIndex::CompactOnce(
+    const CompactionPolicy& policy) {
+  CompactionStats stats;
+  SegmentIndexMetrics& metrics = SegmentIndexMetrics::Get();
+
+  // Phase 1 — select, pin, and reserve under the writer lock (no IO).
+  // Only live segments are candidates: a quarantined segment never loads
+  // into segments_, so it can never be an input. Reserving the output
+  // seq in the in-memory manifest serializes it against concurrent
+  // seals; the reservation becomes durable only at a later publish, and
+  // an abandoned one costs a gap in the seq space, never a collision —
+  // a crashed pass leaves at most an orphan file the next Open collects.
+  std::vector<std::shared_ptr<const Segment>> inputs;
+  uint64_t output_seq = 0;
+  {
+    common::WriterMutexLock lock(mu_);
+    if (TMN_FAILPOINT("index.segmented.compact.select")) {
+      return common::IoError(
+          "compact: injected selection failure "
+          "(index.segmented.compact.select)");
+    }
+    std::vector<std::pair<std::string, size_t>> live;
+    live.reserve(segments_.size());
+    for (const auto& segment : segments_) {
+      live.emplace_back(segment->name(), segment->size());
+    }
+    const std::vector<std::string> chosen =
+        SelectCompactionInputs(live, policy);
+    if (chosen.empty()) return stats;  // compacted == false, no work.
+    for (const auto& segment : segments_) {
+      if (std::find(chosen.begin(), chosen.end(), segment->name()) !=
+          chosen.end()) {
+        inputs.push_back(segment);
+      }
+    }
+    output_seq = manifest_.next_seq;
+    manifest_.next_seq += 1;
+  }
+
+  // Phase 2 — merge and write the output, no lock held: ingest and
+  // searches proceed while the pinned inputs (immutable) are rewritten.
+  const std::string output_name = SegmentFileName(output_seq);
+  std::vector<const Segment*> raw_inputs;
+  raw_inputs.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    stats.inputs.push_back(input->name());
+    raw_inputs.push_back(input.get());
+  }
+  stats.output = output_name;
+  Segment merged = Segment::Merged(output_name, output_seq, raw_inputs);
+  stats.records = merged.size();
+  if (TMN_FAILPOINT("index.segmented.compact.write")) {
+    return common::IoError(
+        "compact: injected write failure (index.segmented.compact.write)");
+  }
+  // Ordering invariant #1 (same as a seal): the output bundle is durable
+  // before any manifest references it. A crash past this point but
+  // before the publish leaves an orphan whose every record is still live
+  // in its input segment — the pre-compaction state.
+  TMN_RETURN_IF_ERROR(
+      merged.WriteFile(dir_ + "/" + output_name, &stats.bytes_rewritten));
+
+  // Phase 3 — swap-publish under the writer lock. The manifest rename
+  // stays the single commit point: before it recovery loads the inputs,
+  // after it the output.
+  uint64_t published_version = 0;
+  {
+    common::WriterMutexLock lock(mu_);
+    // A racing pass may have consumed one of our inputs while we were
+    // writing; losing that race aborts clean (drop the orphan output).
+    for (const auto& input : inputs) {
+      if (std::find(manifest_.segments.begin(), manifest_.segments.end(),
+                    input->name()) == manifest_.segments.end()) {
+        (void)common::RemoveFileIfExists(dir_ + "/" + output_name);
+        return common::FailedPreconditionError(
+            "compact: input '" + input->name() +
+            "' no longer live (lost a concurrent compaction race)");
+      }
+    }
+    if (TMN_FAILPOINT("index.segmented.compact.publish")) {
+      (void)common::RemoveFileIfExists(dir_ + "/" + output_name);
+      return common::IoError(
+          "compact: injected publish failure "
+          "(index.segmented.compact.publish)");
+    }
+    IndexManifest next = manifest_;
+    next.version += 1;
+    // wal_gen and next_seq are untouched: compaction rewrites sealed
+    // state only and never touches the WAL. The output takes the first
+    // input's position so the list keeps naming every live record
+    // exactly once, in ingest order.
+    std::vector<std::string> swapped;
+    swapped.reserve(next.segments.size() + 1 - inputs.size());
+    for (const std::string& name : next.segments) {
+      if (name == inputs.front()->name()) {
+        swapped.push_back(output_name);
+      } else if (std::find(stats.inputs.begin(), stats.inputs.end(), name) ==
+                 stats.inputs.end()) {
+        swapped.push_back(name);
+      }
+    }
+    next.segments = std::move(swapped);
+    const common::Status published = WriteIndexManifest(dir_, next);
+    if (!published.ok()) {
+      (void)common::RemoveFileIfExists(dir_ + "/" + output_name);
+      return published;
+    }
+    manifest_ = std::move(next);
+    published_version = manifest_.version;
+    // Swap the in-memory set to match the manifest. In-flight searches
+    // pinned their own shared_ptr copies of the inputs, so dropping the
+    // index's references never invalidates a scan mid-flight.
+    std::vector<std::shared_ptr<const Segment>> next_segments;
+    next_segments.reserve(segments_.size() + 1 - inputs.size());
+    auto merged_ptr = std::make_shared<const Segment>(std::move(merged));
+    for (const auto& segment : segments_) {
+      if (segment == inputs.front()) {
+        next_segments.push_back(merged_ptr);
+      } else if (std::find(inputs.begin(), inputs.end(), segment) ==
+                 inputs.end()) {
+        next_segments.push_back(segment);
+      }
+    }
+    segments_ = std::move(next_segments);
+    metrics.segment_count.Set(static_cast<double>(segments_.size()));
+  }
+  stats.compacted = true;
+  stats.manifest_version = published_version;
+  metrics.compact_segments_merged.Increment(inputs.size());
+  metrics.compact_bytes_rewritten.Increment(stats.bytes_rewritten);
+
+  // Phase 4 — GC strictly after the commit, outside the lock and
+  // best-effort: the inputs and the superseded manifest are orphans now,
+  // so a failed (or crashed) removal leaks a file for the next Open to
+  // collect, never a record. A crash armed on this site proves the
+  // post-compaction state recovers with the inputs still on disk.
+  if (TMN_FAILPOINT("index.segmented.compact.gc")) {
+    stats.gc_failed = inputs.size();
+    metrics.gc_retry_failures.Increment(inputs.size());
+    return stats;
+  }
+  for (const auto& input : inputs) {
+    const common::Status removed =
+        common::RemoveFileIfExists(dir_ + "/" + input->name());
+    if (!removed.ok()) {
+      ++stats.gc_failed;
+      metrics.gc_retry_failures.Increment();
+      std::fprintf(stderr, "SegmentedIndex: deferring compaction GC: %s\n",
+                   removed.ToString().c_str());
+    }
+  }
+  const common::Status removed = common::RemoveFileIfExists(
+      dir_ + "/" + IndexManifestFileName(published_version - 1));
+  if (!removed.ok()) {
+    ++stats.gc_failed;
+    metrics.gc_retry_failures.Increment();
+    std::fprintf(stderr, "SegmentedIndex: deferring manifest GC: %s\n",
+                 removed.ToString().c_str());
+  }
+  return stats;
+}
+
 common::Status SegmentedIndex::EnsureWalWritableLocked() {
-  if (wal_rotation_pending_) TMN_RETURN_IF_ERROR(RotateWalLocked());
+  // Each branch below is a *retry* of maintenance that already failed
+  // once (the rotation in SealLocked, the tail repair in Append) — the
+  // counters make a persistently-limping WAL visible.
+  if (wal_rotation_pending_) {
+    SegmentIndexMetrics::Get().rotation_retries.Increment();
+    TMN_RETURN_IF_ERROR(RotateWalLocked());
+  }
   if (wal_tail_dirty_) {
+    SegmentIndexMetrics::Get().wal_repair_retries.Increment();
     TMN_RETURN_IF_ERROR(wal_.TruncateTail(wal_bytes_));
     wal_tail_dirty_ = false;
   }
@@ -439,6 +673,7 @@ common::Status SegmentedIndex::RotateWalLocked() {
   const uint64_t old_version = manifest_.version - 1;
   common::Status removed = common::RemoveFileIfExists(WalPath(old_gen));
   if (!removed.ok()) {
+    SegmentIndexMetrics::Get().gc_retry_failures.Increment();
     std::fprintf(stderr, "SegmentedIndex: deferring WAL GC: %s\n",
                  removed.ToString().c_str());
   }
@@ -446,6 +681,7 @@ common::Status SegmentedIndex::RotateWalLocked() {
     removed = common::RemoveFileIfExists(
         dir_ + "/" + IndexManifestFileName(old_version));
     if (!removed.ok()) {
+      SegmentIndexMetrics::Get().gc_retry_failures.Increment();
       std::fprintf(stderr, "SegmentedIndex: deferring manifest GC: %s\n",
                    removed.ToString().c_str());
     }
@@ -494,72 +730,82 @@ common::StatusOr<SegmentedSearchResult> SegmentedIndex::SearchTopK(
   }
   TMN_RETURN_IF_ERROR(common::CheckDeadline(deadline, "segment-search"));
 
-  // The reader lock spans the whole scatter-gather: concurrent searches
-  // share it, while a concurrent Append (writer) waits — the memtable's
-  // backing vectors may not reallocate under a scan.
-  common::ReaderMutexLock lock(mu_);
-
   // Source 0 is the memtable (when non-empty); the rest are segments in
   // manifest order. Slots keep the merge deterministic at any thread
-  // count: the gather below never depends on completion order. Local
-  // references let the pool lambdas read the guarded state the lock
-  // already protects.
+  // count: the gather below never depends on completion order.
   struct SourceSlot {
     std::vector<ScoredId> topk;
     bool skipped = false;
   };
-  const Memtable& memtable = memtable_;
-  const std::vector<std::shared_ptr<const Segment>>& segments = segments_;
-  const bool scan_memtable = memtable.size() > 0;
-  const size_t source_count = segments.size() + (scan_memtable ? 1 : 0);
-  std::vector<SourceSlot> slots(source_count);
   SegmentIndexMetrics& metrics = SegmentIndexMetrics::Get();
 
+  // One scan with all the per-source degradation policy applied: an
+  // injected per-source failure, a per-segment budget overrun, or a
+  // mid-scan deadline expiry skips the source (never fails the query).
+  const auto scan_one = [&](const std::vector<float>& vectors,
+                            const std::vector<uint64_t>& ids,
+                            SourceSlot& slot) {
+    obs::ScopedTimer timer(metrics.search_seconds);
+    if (TMN_FAILPOINT("index.segmented.search")) {
+      slot.skipped = true;
+      return;
+    }
+    common::DeadlinePoller query_poller(&deadline);
+    common::Deadline budget;
+    if (options_.per_segment_budget_seconds > 0.0) {
+      budget = common::Deadline::AfterSeconds(
+          options_.per_segment_budget_seconds, options_.clock);
+    }
+    common::DeadlinePoller budget_poller(&budget);
+    common::DeadlinePoller* query_p =
+        deadline.infinite() ? nullptr : &query_poller;
+    common::DeadlinePoller* budget_p =
+        budget.infinite() ? nullptr : &budget_poller;
+    slot.skipped = !ScanSource(vectors, ids, options_.dim, query, k,
+                               query_p, budget_p, &slot.topk);
+    if (slot.skipped) slot.topk.clear();
+  };
+
+  // The reader lock is held only to scan the memtable (whose backing
+  // vectors a concurrent Append may reallocate) and to pin the immutable
+  // segments with shared_ptr copies. The scatter-gather over the pins
+  // then runs lock-free: a concurrent compaction swap publishes a new
+  // segment set without ever invalidating these scans — the inputs this
+  // search pinned stay alive until the last pin drops.
+  SourceSlot memtable_slot;
+  bool scan_memtable = false;
+  std::vector<std::shared_ptr<const Segment>> segments;
+  size_t quarantined_count = 0;
+  {
+    common::ReaderMutexLock lock(mu_);
+    segments = segments_;
+    quarantined_count = quarantined_.size();
+    scan_memtable = memtable_.size() > 0;
+    if (scan_memtable) {
+      scan_one(memtable_.vectors(), memtable_.ids(), memtable_slot);
+    }
+  }
+
+  std::vector<SourceSlot> slots(segments.size());
   common::ParallelFor(
-      0, source_count,
+      0, segments.size(),
       [&](size_t i) {
-        SourceSlot& slot = slots[i];
-        obs::ScopedTimer timer(metrics.search_seconds);
-        // Per-segment degradation: an injected per-source failure skips
-        // this source and flags the response partial, never fails it.
-        if (TMN_FAILPOINT("index.segmented.search")) {
-          slot.skipped = true;
-          return;
-        }
-        common::DeadlinePoller query_poller(&deadline);
-        common::Deadline budget;
-        if (options_.per_segment_budget_seconds > 0.0) {
-          budget = common::Deadline::AfterSeconds(
-              options_.per_segment_budget_seconds, options_.clock);
-        }
-        common::DeadlinePoller budget_poller(&budget);
-        common::DeadlinePoller* query_p =
-            deadline.infinite() ? nullptr : &query_poller;
-        common::DeadlinePoller* budget_p =
-            budget.infinite() ? nullptr : &budget_poller;
-        const bool memtable_source = scan_memtable && i == 0;
-        const size_t segment_i = memtable_source ? 0 : i - (scan_memtable ? 1 : 0);
-        const std::vector<float>& vectors =
-            memtable_source ? memtable.vectors()
-                            : segments[segment_i]->vectors();
-        const std::vector<uint64_t>& ids =
-            memtable_source ? memtable.ids() : segments[segment_i]->ids();
-        slot.skipped = !ScanSource(vectors, ids, options_.dim, query, k,
-                                   query_p, budget_p, &slot.topk);
-        if (slot.skipped) slot.topk.clear();
+        scan_one(segments[i]->vectors(), segments[i]->ids(), slots[i]);
       },
       options_.max_parallelism);
 
   SegmentedSearchResult result;
   std::vector<ScoredId> merged;
-  for (const SourceSlot& slot : slots) {
+  const auto gather = [&result, &merged](const SourceSlot& slot) {
     if (slot.skipped) {
       ++result.sources_skipped;
-      continue;
+      return;
     }
     ++result.sources_searched;
     merged.insert(merged.end(), slot.topk.begin(), slot.topk.end());
-  }
+  };
+  if (scan_memtable) gather(memtable_slot);
+  for (const SourceSlot& slot : slots) gather(slot);
   std::sort(merged.begin(), merged.end());
   if (merged.size() > k) merged.resize(k);
   result.ids.reserve(merged.size());
@@ -568,7 +814,7 @@ common::StatusOr<SegmentedSearchResult> SegmentedIndex::SearchTopK(
     result.distances.push_back(scored.first);
     result.ids.push_back(scored.second);
   }
-  result.sources_skipped += quarantined_.size();
+  result.sources_skipped += quarantined_count;
   result.partial = result.sources_skipped > 0;
   if (result.partial) metrics.partial_results.Increment();
   return result;

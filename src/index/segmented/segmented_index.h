@@ -23,11 +23,14 @@
 // to a `partial`-flagged top-k instead of an error.
 //
 // Thread-safe: a reader/writer lock serializes mutation against queries,
-// so any mix of Append/Flush/SearchTopK/accessor calls from any threads
-// is race-free. Appends and seals hold the writer lock (readers wait);
-// searches and accessors hold the reader lock and run concurrently with
-// each other. The per-append fsync, not the lock, is the ingest
-// bottleneck.
+// so any mix of Append/Flush/CompactOnce/SearchTopK/accessor calls from
+// any threads is race-free. Appends, seals and the compaction swap hold
+// the writer lock (readers wait); searches take the reader lock only to
+// scan the memtable and to pin the immutable segments (shared_ptr
+// copies), then scatter-gather over the pins lock-free — a concurrent
+// compaction that swaps inputs for their merged output can never
+// invalidate an in-flight scan, it only drops the index's own reference.
+// The per-append fsync, not the lock, is the ingest bottleneck.
 
 namespace tmn::index {
 
@@ -42,9 +45,51 @@ struct SegmentedIndexOptions {
   double per_segment_budget_seconds = 0.0;
   // Injectable clock for the per-segment budget (tests); nullptr = real.
   common::Deadline::ClockFn clock = nullptr;
-  // Scatter-gather width (ParallelFor semantics: <=0 pool-wide, 1
-  // sequential in source order). Results are bitwise identical either way.
+  // Scatter-gather width (ParallelFor semantics: 0 pool-wide, 1
+  // sequential in source order). Results are bitwise identical either
+  // way. Negative values are rejected at Open (kInvalidArgument).
   int max_parallelism = 0;
+};
+
+// Size-tiered compaction policy (docs/INDEXING.md): merge the smallest
+// live segments below a record threshold into one larger segment, so
+// ingest-heavy workloads do not accumulate unbounded scatter-gather
+// fan-out. Quarantined segments are never candidates — they are not live.
+struct CompactionPolicy {
+  // Only segments with at most this many records are candidates; a
+  // segment that grows past the threshold graduates out of compaction.
+  size_t max_input_records = 4096;
+  // A pass merges at least this many inputs or does nothing (merging one
+  // segment into itself would be pure write amplification).
+  size_t min_inputs = 2;
+  // ... and at most this many, bounding the write amplification and the
+  // publish latency of any single pass.
+  size_t max_inputs = 8;
+};
+
+// The pure selection step, split out so tests can sweep it without an
+// index: from (name, record count) pairs of the live segments — in
+// manifest order — picks the smallest candidates under `policy`, ties
+// broken toward the older segment, and returns their names in manifest
+// order. Empty when fewer than min_inputs qualify.
+std::vector<std::string> SelectCompactionInputs(
+    const std::vector<std::pair<std::string, size_t>>& live,
+    const CompactionPolicy& policy);
+
+// What one compaction pass did — the per-pass audit record
+// (`Compactor` aggregates these into its CompactionReport trail).
+struct CompactionStats {
+  // False: no eligible input set under the policy; nothing was written,
+  // published, or removed.
+  bool compacted = false;
+  std::vector<std::string> inputs;  // Manifest order, oldest first.
+  std::string output;
+  uint64_t records = 0;          // Records rewritten into the output.
+  uint64_t bytes_rewritten = 0;  // Serialized size of the output bundle.
+  uint64_t manifest_version = 0;  // The version the swap published.
+  // Input/superseded-manifest files whose post-commit removal failed;
+  // left in place for the next Open to collect, never an error.
+  uint64_t gc_failed = 0;
 };
 
 // A segment the manifest references but that failed to load. The file is
@@ -112,6 +157,21 @@ class SegmentedIndex {
   // Seals the current memtable into a segment regardless of fill. No-op
   // on an empty memtable.
   common::Status Flush();
+
+  // One compaction pass: selects inputs under `policy` (never a
+  // quarantined segment), merges them into one segment written durably
+  // *before* any manifest references it, publishes a manifest version
+  // that atomically swaps the inputs for the output (the rename is the
+  // commit point — a crash at any step recovers to exactly the pre- or
+  // post-compaction state), and only then GCs the input files
+  // (best-effort; failures are counted, left for the next Open, and
+  // never an error). Returns `compacted == false` when nothing qualifies.
+  // Ingest and search proceed concurrently: the merge and the write run
+  // outside the lock over pinned immutable inputs, and an in-flight
+  // search holds its own shared_ptr pins, so the swap never invalidates
+  // a scan. Safe to call from any thread, including concurrently with
+  // itself (a racing pass that loses the swap aborts clean).
+  common::StatusOr<CompactionStats> CompactOnce(const CompactionPolicy& policy);
 
   // Exact scatter-gather top-k over memtable + live segments. Malformed
   // input returns kInvalidArgument and an already-expired deadline

@@ -132,6 +132,10 @@ SimilarityServer::~SimilarityServer() {
   // pool — they hold `this`.
   batcher_.reset();
   inflight_batches_.WaitForZero();
+  // Stop the compaction daemon last, after all query traffic has
+  // drained; config_'s index handles (which the daemon mutates) are
+  // still alive here and outlive it.
+  if (compactor_ != nullptr) compactor_->Stop();
 }
 
 common::StatusOr<std::unique_ptr<SimilarityServer>> SimilarityServer::Create(
@@ -164,6 +168,14 @@ common::StatusOr<std::unique_ptr<SimilarityServer>> SimilarityServer::Create(
         std::to_string(config.segmented_index->dim()) +
         " does not match sketch width " +
         std::to_string(2 * config.sketch_points));
+  }
+  if (config.enable_compaction &&
+      config.compaction_index.get() != config.segmented_index.get()) {
+    // Includes compaction_index == nullptr: compacting an index the
+    // server is not serving from would silently daemon-ize a stranger.
+    return common::InvalidArgumentError(
+        "enable_compaction requires compaction_index to be the served "
+        "segmented_index");
   }
   for (size_t i = 0; i < database.size(); ++i) {
     if (database[i].empty()) {
@@ -247,6 +259,15 @@ common::StatusOr<std::unique_ptr<SimilarityServer>> SimilarityServer::Create(
       server->feature_index_->Add(s);
     }
     server->rerank_tier_ok_ = true;
+  }
+
+  // The compaction daemon comes up last, once the server is fully
+  // serviceable: from here on the index keeps reshaping itself under
+  // live queries until the destructor stops the daemon.
+  if (config.enable_compaction) {
+    server->compactor_ = std::make_unique<index::Compactor>(
+        config.compaction_index.get(), config.compaction);
+    server->compactor_->Start();
   }
 
   return server;

@@ -13,6 +13,7 @@
 #include "distance/metric.h"
 #include "geo/trajectory.h"
 #include "index/hnsw.h"
+#include "index/segmented/compactor.h"
 #include "index/segmented/segmented_index.h"
 #include "serve/admission.h"
 #include "serve/circuit_breaker.h"
@@ -60,6 +61,16 @@ struct ServerConfig {
   // return `partial` results instead of failing when segments are
   // quarantined or over budget.
   std::shared_ptr<const index::SegmentedIndex> segmented_index;
+  // Background compaction over `segmented_index` (docs/INDEXING.md).
+  // When enabled, the server owns the daemon's lifecycle: Create starts
+  // it, destruction stops and joins it, so a served index never outlives
+  // its compactor. Compaction needs the mutation rights the const
+  // serving handle above deliberately lacks, so the caller passes the
+  // same index again through this non-const handle; Create rejects
+  // enable_compaction with a missing or different index.
+  bool enable_compaction = false;
+  std::shared_ptr<index::SegmentedIndex> compaction_index;
+  index::CompactorOptions compaction;
   // Micro-batching cutoffs for SubmitTopK (docs/SERVING.md). The batcher
   // clock defaults to `clock` above when unset.
   MicroBatcherConfig batching;
@@ -223,6 +234,10 @@ class SimilarityServer {
   std::unique_ptr<index::HnswIndex> feature_index_;
   bool rerank_tier_ok_ = false;
   common::Status feature_status_ = common::Status::Ok();
+
+  // The optional compaction daemon over config_.compaction_index. The
+  // destructor stops it before the index handles in config_ can go away.
+  std::unique_ptr<index::Compactor> compactor_;
 
   // In-flight batch accounting so destruction can wait for pipeline
   // stages that still hold `this`.

@@ -2,9 +2,10 @@
 // deterministic workload while a TMN_FAILPOINTS crash site is armed,
 // verifies the child dies with the injected exit code, then re-runs it
 // without injection and checks the recovered run's output is
-// byte-identical to an uninterrupted in-process baseline. Two workloads:
-// checkpointed training (TMN_CRASH_CHILD=1) and segmented-index
-// streaming ingest (TMN_CRASH_CHILD=segindex, docs/INDEXING.md).
+// byte-identical to an uninterrupted in-process baseline. Three
+// workloads: checkpointed training (TMN_CRASH_CHILD=1), segmented-index
+// streaming ingest (TMN_CRASH_CHILD=segindex), and ingest + background-
+// style compaction (TMN_CRASH_CHILD=segcompact) — see docs/INDEXING.md.
 //
 // The child mode is dispatched on the TMN_CRASH_CHILD environment
 // variable from a custom main(), so this target links GTest::gtest (not
@@ -175,6 +176,87 @@ int IndexCrashChildMain() {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// Compaction workload (TMN_CRASH_CHILD=segcompact): ingest
+// kIngestRecords with a tiny memtable so many small segments pile up,
+// then compact until quiescent. The script converges from either crash
+// outcome: a crash before the swap-publish leaves the pre-compaction
+// segments (the resume re-merges them), a crash after it leaves the
+// merged output (the resume finds nothing left to compact) — so the
+// final state is comparable bit-for-bit with an uninterrupted run
+// either way.
+
+constexpr size_t kCompactCapacity = 2;
+// 10 records / capacity 2 = 5 input segments before the compaction pass.
+constexpr uint64_t kPreCompactionSegments =
+    kIngestRecords / kCompactCapacity;
+
+index::SegmentedIndexOptions CompactIngestOptions() {
+  index::SegmentedIndexOptions options;
+  options.dim = kIngestDim;
+  options.memtable_capacity = kCompactCapacity;
+  options.max_parallelism = 1;
+  return options;
+}
+
+index::CompactionPolicy CompactPolicy() {
+  index::CompactionPolicy policy;
+  policy.max_input_records = 100;
+  policy.min_inputs = 2;
+  policy.max_inputs = 8;
+  return policy;
+}
+
+common::StatusOr<std::string> CompactAndEncode(const std::string& dir) {
+  common::StatusOr<std::unique_ptr<index::SegmentedIndex>> index =
+      index::SegmentedIndex::Open(dir, CompactIngestOptions());
+  if (!index.ok()) return index.status();
+  for (uint64_t i = index.value()->size(); i < kIngestRecords; ++i) {
+    TMN_RETURN_IF_ERROR(index.value()->Append(i, IngestVector(i)));
+  }
+  for (;;) {
+    common::StatusOr<index::CompactionStats> stats =
+        index.value()->CompactOnce(CompactPolicy());
+    if (!stats.ok()) return stats.status();
+    if (!stats.value().compacted) break;
+  }
+  common::StatusOr<index::SegmentedSearchResult> result =
+      index.value()->SearchTopK(IngestVector(3), kIngestRecords);
+  if (!result.ok()) return result.status();
+  common::PayloadWriter w;
+  w.PutU64(index.value()->size());
+  w.PutU64(index.value()->segment_count());
+  w.PutU64(result.value().partial ? 1 : 0);
+  w.PutU64(result.value().ids.size());
+  for (size_t i = 0; i < result.value().ids.size(); ++i) {
+    w.PutU64(result.value().ids[i]);
+    w.PutF32(result.value().distances[i]);
+  }
+  return w.data();
+}
+
+// Child mode "segcompact": the compaction workload in
+// $TMN_CRASH_DIR/index, then publish the result.
+int CompactCrashChildMain() {
+  const char* dir = std::getenv("TMN_CRASH_DIR");
+  if (dir == nullptr) return 3;
+  const common::StatusOr<std::string> result =
+      CompactAndEncode(std::string(dir) + "/index");
+  if (!result.ok()) {
+    std::fprintf(stderr, "segcompact child: %s\n",
+                 result.status().ToString().c_str());
+    return 5;
+  }
+  const common::Status status = common::AtomicWriteFile(
+      std::string(dir) + "/result.bin", result.value());
+  if (!status.ok()) {
+    std::fprintf(stderr, "segcompact child: %s\n",
+                 status.ToString().c_str());
+    return 4;
+  }
+  return 0;
+}
+
 std::string ScratchDir(const char* name) {
   const std::string dir = ::testing::TempDir() + "/crash_" + name;
   std::filesystem::remove_all(dir);
@@ -297,6 +379,98 @@ TEST(CrashRecoveryTest, IndexCrashMidManifestPublishRecoversFromWal) {
   RunIndexScenario("seg_mid_manifest", "io.atomic_write.rename@2:crash", 4);
 }
 
+// ---------------------------------------------------------------------
+// Compaction crash matrix: kill the compaction child at each ordering-
+// critical site of the merge protocol, verify the recovered manifest is
+// exactly the pre- or post-compaction state (never a mix, never a lost
+// acked record), then resume and compare bit-for-bit with an
+// uninterrupted run.
+
+void RunCompactScenario(const char* name, const std::string& crash_spec) {
+  if (!common::FailpointsEnabled()) {
+    GTEST_SKIP() << "library built without failpoint sites";
+  }
+  const std::string dir = ScratchDir(name);
+  ASSERT_TRUE(common::EnsureDirectory(dir).ok());
+
+  ASSERT_EQ(RunChild(dir, crash_spec, "segcompact"),
+            common::kFailpointCrashExitCode);
+  EXPECT_FALSE(common::FileExists(dir + "/result.bin"));
+
+  // Every compaction crash scenario fires after the full ingest, so all
+  // kIngestRecords acked appends must survive, with no quarantine and a
+  // segment count that is exactly the pre-compaction fan-out or the
+  // merged output — the commit point is the manifest rename, so nothing
+  // in between can be observed.
+  {
+    common::StatusOr<std::unique_ptr<index::SegmentedIndex>> recovered =
+        index::SegmentedIndex::Open(dir + "/index", CompactIngestOptions());
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(recovered.value()->size(), kIngestRecords);
+    EXPECT_TRUE(recovered.value()->quarantined().empty());
+    const uint64_t segments = recovered.value()->segment_count();
+    EXPECT_TRUE(segments == kPreCompactionSegments || segments == 1)
+        << "mixed pre/post-compaction state: " << segments << " segments";
+  }
+
+  // Resume without injection; the final state must be bit-exact with an
+  // uninterrupted ingest+compact run in a fresh directory.
+  ASSERT_EQ(RunChild(dir, "", "segcompact"), 0);
+  const auto result = common::ReadFileToString(dir + "/result.bin");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string base = ScratchDir((std::string(name) + "_base").c_str());
+  const common::StatusOr<std::string> baseline =
+      CompactAndEncode(base + "/index");
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(result.value(), baseline.value());
+}
+
+TEST(CrashRecoveryTest, IndexCompactionCrashDuringSelectLeavesPreState) {
+  // Dies inside phase 1 (input selection under the writer lock): nothing
+  // was written, the reserved output seq is just a gap.
+  RunCompactScenario("seg_compact_select",
+                     "index.segmented.compact.select@1:crash");
+}
+
+TEST(CrashRecoveryTest, IndexCompactionCrashBeforeWriteLeavesPreState) {
+  // Dies in phase 2 before the merged bundle is written: pre-state on
+  // disk is untouched.
+  RunCompactScenario("seg_compact_pre_write",
+                     "index.segmented.compact.write@1:crash");
+}
+
+TEST(CrashRecoveryTest, IndexCompactionCrashMidWriteLeavesPreState) {
+  // Dies inside AtomicWriteFile renaming the merged bundle into place
+  // (hits 1-10 were the 5 ingest seals x {segment, manifest}): the tmp
+  // file is orphaned and GC'd, manifest still lists the 5 inputs.
+  RunCompactScenario("seg_compact_mid_write",
+                     "io.atomic_write.rename@11:crash");
+}
+
+TEST(CrashRecoveryTest, IndexCompactionCrashBeforePublishLeavesPreState) {
+  // Dies in phase 3 after the merged bundle is durable but before the
+  // manifest swap: the output is unreferenced, recovery GCs it.
+  RunCompactScenario("seg_compact_pre_publish",
+                     "index.segmented.compact.publish@1:crash");
+}
+
+TEST(CrashRecoveryTest, IndexCompactionCrashMidPublishLeavesPreState) {
+  // Dies inside AtomicWriteFile renaming the swapped manifest (hit 12 =
+  // the compaction publish; hit 11 was the merged bundle): the commit
+  // point was never reached, so recovery sees the pre-compaction
+  // manifest plus one unreferenced output to GC.
+  RunCompactScenario("seg_compact_mid_publish",
+                     "io.atomic_write.rename@12:crash");
+}
+
+TEST(CrashRecoveryTest, IndexCompactionCrashBeforeGcKeepsPostState) {
+  // Dies in phase 4 before input GC: the swapped manifest is already
+  // durable, so recovery lands in the post-compaction state and GCs the
+  // 5 superseded input bundles itself.
+  RunCompactScenario("seg_compact_pre_gc",
+                     "index.segmented.compact.gc@1:crash");
+}
+
 }  // namespace
 }  // namespace tmn::core
 
@@ -304,6 +478,9 @@ int main(int argc, char** argv) {
   if (const char* mode = std::getenv("TMN_CRASH_CHILD"); mode != nullptr) {
     if (std::string(mode) == "segindex") {
       return tmn::core::IndexCrashChildMain();
+    }
+    if (std::string(mode) == "segcompact") {
+      return tmn::core::CompactCrashChildMain();
     }
     return tmn::core::CrashChildMain();
   }

@@ -12,12 +12,15 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/backoff.h"
+#include "common/clock.h"
 #include "common/deadline.h"
 #include "common/failpoint.h"
 #include "common/io_util.h"
@@ -26,8 +29,10 @@
 #include "data/synthetic.h"
 #include "distance/metric.h"
 #include "geo/preprocess.h"
+#include "index/segmented/compactor.h"
 #include "index/segmented/segmented_index.h"
 #include "index/segmented/wal.h"
+#include "nn/rng.h"
 #include "serve/similarity_server.h"
 
 namespace tmn::index {
@@ -722,6 +727,675 @@ TEST_F(SegmentedFailpointTest, InjectedPerSourceSearchFailureIsPartial) {
 }
 
 // ---------------------------------------------------------------------
+// Options validation at Open: malformed options fail closed with the
+// caller's bug named, never as undefined behavior deep in a seal or scan.
+
+TEST(SegmentedIndexOptionsTest, ZeroDimIsRejected) {
+  SegmentedIndexOptions options;
+  options.dim = 0;
+  const auto index = SegmentedIndex::Open(ScratchDir("opt_dim"), options);
+  EXPECT_EQ(index.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentedIndexOptionsTest, ZeroMemtableCapacityIsRejected) {
+  SegmentedIndexOptions options = SmallOptions();
+  options.memtable_capacity = 0;
+  const auto index = SegmentedIndex::Open(ScratchDir("opt_cap"), options);
+  EXPECT_EQ(index.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentedIndexOptionsTest, NegativeMaxParallelismIsRejected) {
+  SegmentedIndexOptions options = SmallOptions();
+  options.max_parallelism = -1;
+  const auto index = SegmentedIndex::Open(ScratchDir("opt_par"), options);
+  EXPECT_EQ(index.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentedIndexOptionsTest, ZeroMaxParallelismStaysThePoolWideSentinel) {
+  SegmentedIndexOptions options = SmallOptions();
+  options.max_parallelism = 0;  // Documented: pool-wide, not "none".
+  const auto index = SegmentedIndex::Open(ScratchDir("opt_par0"), options);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+}
+
+TEST(SegmentedIndexOptionsTest, NonFiniteOrNegativeBudgetIsRejected) {
+  SegmentedIndexOptions options = SmallOptions();
+  options.per_segment_budget_seconds =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(SegmentedIndex::Open(ScratchDir("opt_nan"), options)
+                .status()
+                .code(),
+            common::StatusCode::kInvalidArgument);
+  options.per_segment_budget_seconds = -1.0;
+  EXPECT_EQ(SegmentedIndex::Open(ScratchDir("opt_neg"), options)
+                .status()
+                .code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Backoff: deterministic capped exponential with jitter.
+
+TEST(BackoffTest, GrowsExponentiallyAndSaturatesWithoutJitter) {
+  common::BackoffOptions options;
+  options.initial_seconds = 0.1;
+  options.multiplier = 2.0;
+  options.max_seconds = 0.5;
+  options.jitter = 0.0;
+  common::Backoff backoff(options, /*seed=*/7);
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.1);
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.2);
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.4);
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.5);  // Capped.
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.5);  // Stays capped.
+}
+
+TEST(BackoffTest, JitterStaysInBandAndIsDeterministicPerSeed) {
+  common::BackoffOptions options;
+  options.initial_seconds = 0.1;
+  options.multiplier = 2.0;
+  options.max_seconds = 5.0;
+  options.jitter = 0.25;
+  common::Backoff a(options, /*seed=*/42);
+  common::Backoff b(options, /*seed=*/42);
+  common::Backoff c(options, /*seed=*/43);
+  bool any_seed_difference = false;
+  double base = 0.1;
+  for (int i = 0; i < 8; ++i) {
+    const double da = a.NextDelaySeconds();
+    // Same seed, same sequence — bit for bit.
+    EXPECT_EQ(da, b.NextDelaySeconds());
+    any_seed_difference |= da != c.NextDelaySeconds();
+    EXPECT_GE(da, base * 0.75);
+    EXPECT_LE(da, base * 1.25);
+    base = std::min(base * 2.0, 5.0);
+  }
+  EXPECT_TRUE(any_seed_difference);
+}
+
+TEST(BackoffTest, ResetRestartsGrowthAtTheInitialDelay) {
+  common::BackoffOptions options;
+  options.initial_seconds = 0.1;
+  options.multiplier = 2.0;
+  options.max_seconds = 5.0;
+  options.jitter = 0.25;
+  common::Backoff backoff(options, /*seed=*/5);
+  for (int i = 0; i < 6; ++i) backoff.NextDelaySeconds();
+  EXPECT_EQ(backoff.step(), 6u);
+  backoff.Reset();
+  EXPECT_EQ(backoff.step(), 0u);
+  const double first = backoff.NextDelaySeconds();
+  EXPECT_GE(first, 0.1 * 0.75);
+  EXPECT_LE(first, 0.1 * 1.25);
+}
+
+// ---------------------------------------------------------------------
+// Compaction input selection: the pure policy step.
+
+TEST(SelectCompactionInputsTest, PicksSmallestAndReturnsManifestOrder) {
+  CompactionPolicy policy;
+  policy.max_input_records = 100;
+  policy.min_inputs = 2;
+  policy.max_inputs = 2;
+  const auto picked = SelectCompactionInputs(
+      {{"a", 10}, {"b", 2}, {"c", 5}, {"d", 1}}, policy);
+  // The two smallest (d, b), returned in manifest order (b before d).
+  EXPECT_EQ(picked, (std::vector<std::string>{"b", "d"}));
+}
+
+TEST(SelectCompactionInputsTest, OversizedSegmentsGraduateOut) {
+  CompactionPolicy policy;
+  policy.max_input_records = 4;
+  const auto picked = SelectCompactionInputs(
+      {{"a", 100}, {"b", 3}, {"c", 200}, {"d", 4}}, policy);
+  EXPECT_EQ(picked, (std::vector<std::string>{"b", "d"}));
+}
+
+TEST(SelectCompactionInputsTest, FewerThanMinInputsSelectsNothing) {
+  CompactionPolicy policy;
+  policy.max_input_records = 10;
+  policy.min_inputs = 3;
+  EXPECT_TRUE(SelectCompactionInputs({{"a", 1}, {"b", 1}}, policy).empty());
+  EXPECT_TRUE(SelectCompactionInputs({{"a", 1}}, policy).empty());
+  EXPECT_TRUE(SelectCompactionInputs({}, policy).empty());
+}
+
+TEST(SelectCompactionInputsTest, SizeTiesBreakTowardTheOlderSegment) {
+  CompactionPolicy policy;
+  policy.max_input_records = 10;
+  policy.min_inputs = 2;
+  policy.max_inputs = 2;
+  const auto picked = SelectCompactionInputs(
+      {{"a", 5}, {"b", 5}, {"c", 5}}, policy);
+  EXPECT_EQ(picked, (std::vector<std::string>{"a", "b"}));
+}
+
+// ---------------------------------------------------------------------
+// CompactOnce: the crash-safe merge pass.
+
+CompactionPolicy MergeAllPolicy() {
+  CompactionPolicy policy;
+  policy.max_input_records = 1 << 20;
+  policy.min_inputs = 2;
+  policy.max_inputs = 8;
+  return policy;
+}
+
+// Polls `pred` until it holds or `timeout_seconds` passes. Busy-wait by
+// design: the daemon backoffs in these tests are sub-millisecond, and the
+// raw-timing rule keeps ad-hoc sleeps out of test code.
+bool WaitUntil(const std::function<bool()>& pred, double timeout_seconds) {
+  const double deadline = common::MonotonicSeconds() + timeout_seconds;
+  while (common::MonotonicSeconds() < deadline) {
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+TEST(SegmentedCompactionTest, CompactOnceMergesSmallSegmentsIntoOne) {
+  const std::string dir = ScratchDir("compact_basic");
+  auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+  ASSERT_TRUE(index.ok());
+  for (uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+  }
+  ASSERT_EQ(index.value()->segment_count(), 4u);
+
+  const auto stats = index.value()->CompactOnce(MergeAllPolicy());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats.value().compacted);
+  EXPECT_EQ(stats.value().inputs.size(), 4u);
+  EXPECT_EQ(stats.value().records, 8u);
+  EXPECT_GT(stats.value().bytes_rewritten, 0u);
+  EXPECT_EQ(stats.value().gc_failed, 0u);
+  EXPECT_EQ(index.value()->segment_count(), 1u);
+  EXPECT_EQ(index.value()->size(), 8u);
+
+  // The merged index answers exactly what the fan-out answered.
+  const auto result = index.value()->SearchTopK(Vec(3), 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().partial);
+  ExpectMatchesReference(result.value(), Vec(3), 8, 8);
+
+  // Quiescent: a second pass has nothing to merge.
+  const auto idle = index.value()->CompactOnce(MergeAllPolicy());
+  ASSERT_TRUE(idle.ok());
+  EXPECT_FALSE(idle.value().compacted);
+
+  // The inputs and the superseded manifest are gone from disk.
+  for (const std::string& input : stats.value().inputs) {
+    EXPECT_FALSE(common::FileExists(dir + "/" + input)) << input;
+  }
+  EXPECT_TRUE(common::FileExists(dir + "/" + stats.value().output));
+}
+
+TEST(SegmentedCompactionTest, CompactionSurvivesReopenBitExact) {
+  const std::string dir = ScratchDir("compact_reopen");
+  {
+    auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+    ASSERT_TRUE(index.ok());
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+    }
+    const auto stats = index.value()->CompactOnce(MergeAllPolicy());
+    ASSERT_TRUE(stats.ok());
+    ASSERT_TRUE(stats.value().compacted);
+  }
+  RecoveryReport report;
+  auto reopened =
+      SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2), &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(report.segments_loaded, 1u);
+  EXPECT_EQ(report.gc_failed, 0u);
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_EQ(reopened.value()->size(), 10u);
+  const auto result = reopened.value()->SearchTopK(Vec(3), 10);
+  ASSERT_TRUE(result.ok());
+  ExpectMatchesReference(result.value(), Vec(3), 10, 10);
+}
+
+TEST(SegmentedCompactionTest, SearchIsBitwiseIdenticalToUncompactedTwin) {
+  // The acceptance bar: compaction is a storage detail, never a semantic
+  // one — same ids, same float bits, at every thread count.
+  const std::string compacted_dir = ScratchDir("compact_twin_a");
+  const std::string plain_dir = ScratchDir("compact_twin_b");
+  constexpr uint64_t kN = 24;
+  for (const std::string& dir : {compacted_dir, plain_dir}) {
+    auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/4));
+    ASSERT_TRUE(index.ok());
+    for (uint64_t i = 0; i < kN; ++i) {
+      ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+    }
+  }
+  for (const int parallelism : {1, 4}) {
+    SegmentedIndexOptions options = SmallOptions(/*capacity=*/4);
+    options.max_parallelism = parallelism;
+    auto compacted = SegmentedIndex::Open(compacted_dir, options);
+    auto plain = SegmentedIndex::Open(plain_dir, options);
+    ASSERT_TRUE(compacted.ok());
+    ASSERT_TRUE(plain.ok());
+    const auto stats = compacted.value()->CompactOnce(MergeAllPolicy());
+    ASSERT_TRUE(stats.ok());
+    for (const uint64_t q : {uint64_t{0}, uint64_t{7}, uint64_t{19}}) {
+      const auto a = compacted.value()->SearchTopK(Vec(q), 10);
+      const auto b = plain.value()->SearchTopK(Vec(q), 10);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a.value().ids, b.value().ids) << "parallelism " << parallelism;
+      ASSERT_EQ(a.value().distances.size(), b.value().distances.size());
+      for (size_t i = 0; i < a.value().distances.size(); ++i) {
+        // Bitwise, not approximate: merging rewrites bytes, not values.
+        EXPECT_EQ(a.value().distances[i], b.value().distances[i]);
+      }
+    }
+    compacted.value().reset();
+    plain.value().reset();
+  }
+}
+
+TEST(SegmentedCompactionTest, QuarantinedSegmentsAreNeverSelected) {
+  const std::string dir = ScratchDir("compact_quarantine");
+  {
+    auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+    ASSERT_TRUE(index.ok());
+    for (uint64_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+    }
+  }
+  FlipByte(dir + "/seg-1.tmns", 40);
+  auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(index.value()->quarantined().size(), 1u);
+  ASSERT_EQ(index.value()->segment_count(), 3u);
+
+  const auto stats = index.value()->CompactOnce(MergeAllPolicy());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats.value().compacted);
+  // Only the three live segments merged; the quarantined one was not an
+  // input, its file is untouched on disk, and it survives the swap.
+  EXPECT_EQ(stats.value().inputs.size(), 3u);
+  for (const std::string& input : stats.value().inputs) {
+    EXPECT_NE(input, "seg-1.tmns");
+  }
+  EXPECT_TRUE(common::FileExists(dir + "/seg-1.tmns"));
+  EXPECT_EQ(index.value()->quarantined().size(), 1u);
+  EXPECT_EQ(index.value()->segment_count(), 1u);
+  const auto result = index.value()->SearchTopK(Vec(3), 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().partial);  // The quarantined data is missing.
+
+  // The quarantined name survives in the published manifest: a reopen
+  // still quarantines (not silently forgets) the damaged segment.
+  index.value().reset();
+  auto reopened = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->quarantined().size(), 1u);
+  EXPECT_EQ(reopened.value()->segment_count(), 1u);
+}
+
+TEST(SegmentedCompactionTest, ConcurrentAppendsDuringCompactionAreKept) {
+  // The swap only replaces its pinned inputs: records sealed while the
+  // merge ran (and records still in the memtable) are untouched.
+  const std::string dir = ScratchDir("compact_concurrent_append");
+  auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+  ASSERT_TRUE(index.ok());
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+  }
+  const auto stats = index.value()->CompactOnce(MergeAllPolicy());
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats.value().compacted);
+  for (uint64_t i = 6; i < 9; ++i) {
+    ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+  }
+  EXPECT_EQ(index.value()->size(), 9u);
+  const auto result = index.value()->SearchTopK(Vec(3), 9);
+  ASSERT_TRUE(result.ok());
+  ExpectMatchesReference(result.value(), Vec(3), 9, 9);
+}
+
+// ---------------------------------------------------------------------
+// Compactor: the background daemon.
+
+CompactorOptions FastCompactor() {
+  CompactorOptions options;
+  options.policy = MergeAllPolicy();
+  options.backoff.initial_seconds = 0.0005;
+  options.backoff.max_seconds = 0.005;
+  return options;
+}
+
+TEST(SegmentedCompactorTest, DaemonConvergesTheIndexToOneSegment) {
+  const std::string dir = ScratchDir("daemon_converge");
+  auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+  ASSERT_TRUE(index.ok());
+  for (uint64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+  }
+  ASSERT_EQ(index.value()->segment_count(), 8u);
+
+  Compactor compactor(index.value().get(), FastCompactor());
+  compactor.Start();
+  EXPECT_TRUE(WaitUntil(
+      [&] { return index.value()->segment_count() == 1; }, 30.0));
+  compactor.Stop();
+
+  EXPECT_GE(compactor.passes(), 1u);
+  const auto reports = compactor.reports();
+  ASSERT_FALSE(reports.empty());
+  uint64_t merged = 0;
+  for (const CompactionReport& report : reports) {
+    EXPECT_TRUE(report.status.ok()) << report.status.ToString();
+    EXPECT_EQ(report.retry, 0u);
+    EXPECT_GE(report.backoff_seconds, 0.0);
+    if (report.stats.compacted) merged += report.stats.inputs.size();
+  }
+  EXPECT_GE(merged, 8u);  // Every original segment was rewritten.
+
+  EXPECT_EQ(index.value()->size(), 16u);
+  const auto result = index.value()->SearchTopK(Vec(3), 16);
+  ASSERT_TRUE(result.ok());
+  ExpectMatchesReference(result.value(), Vec(3), 16, 16);
+}
+
+TEST(SegmentedCompactorTest, LifecycleEdgesAreSafe) {
+  const std::string dir = ScratchDir("daemon_lifecycle");
+  auto index = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/2));
+  ASSERT_TRUE(index.ok());
+  {
+    // Stop before Start: nothing to join, and Start afterwards stays down
+    // (one-shot contract).
+    Compactor compactor(index.value().get(), FastCompactor());
+    compactor.Stop();
+    compactor.Start();
+    compactor.Stop();  // Double Stop.
+    EXPECT_EQ(compactor.passes(), 0u);
+  }
+  {
+    // Destruction without an explicit Stop joins the worker.
+    Compactor compactor(index.value().get(), FastCompactor());
+    compactor.Start();
+  }
+  {
+    // Double Start spawns exactly one worker.
+    Compactor compactor(index.value().get(), FastCompactor());
+    compactor.Start();
+    compactor.Start();
+    compactor.Stop();
+  }
+}
+
+TEST(SegmentedCompactorTest, ConcurrentIngestSearchCompactSoakIsConsistent) {
+  // The TSan target: appends, searches, and the daemon all live on
+  // different threads against one index. Correctness bar afterwards: the
+  // fully-compacted index is bitwise identical to a never-compacted twin.
+  const std::string dir = ScratchDir("daemon_soak");
+  const std::string twin_dir = ScratchDir("daemon_soak_twin");
+  constexpr uint64_t kPreload = 32;
+  constexpr uint64_t kTotal = 160;
+  auto opened = SegmentedIndex::Open(dir, SmallOptions(/*capacity=*/8));
+  ASSERT_TRUE(opened.ok());
+  SegmentedIndex* index = opened.value().get();
+  for (uint64_t i = 0; i < kPreload; ++i) {
+    ASSERT_TRUE(index->Append(i, Vec(i)).ok());
+  }
+
+  Compactor compactor(index, FastCompactor());
+  compactor.Start();
+  std::atomic<int> failures{0};
+  std::atomic<bool> ingest_done{false};
+  common::ParallelFor(
+      0, 3,
+      [&](size_t lane) {
+        if (lane == 0) {
+          for (uint64_t i = kPreload; i < kTotal; ++i) {
+            if (!index->Append(i, Vec(i)).ok()) ++failures;
+          }
+          ingest_done = true;
+        } else {
+          // Searchers: every snapshot must be internally consistent —
+          // sorted by (distance, id) with no duplicate ids — whatever
+          // mix of memtable, fan-out, and merged segments it pinned.
+          uint64_t query = lane;
+          do {
+            const auto result = index->SearchTopK(Vec(query % 23), 10);
+            if (!result.ok()) {
+              ++failures;
+              continue;
+            }
+            const auto& ids = result.value().ids;
+            const auto& distances = result.value().distances;
+            for (size_t i = 1; i < ids.size(); ++i) {
+              const bool ordered =
+                  distances[i - 1] < distances[i] ||
+                  (distances[i - 1] == distances[i] && ids[i - 1] < ids[i]);
+              if (!ordered) ++failures;
+            }
+            ++query;
+          } while (!ingest_done.load());
+        }
+      },
+      /*max_parallelism=*/3);
+  // Drain compaction, then verify against the never-compacted twin.
+  EXPECT_TRUE(WaitUntil(
+      [&] { return index->segment_count() <= 1 && index->memtable_size() == 0;
+      }, 30.0));
+  compactor.Stop();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(index->size(), kTotal);
+
+  auto twin = SegmentedIndex::Open(twin_dir, SmallOptions(/*capacity=*/8));
+  ASSERT_TRUE(twin.ok());
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    ASSERT_TRUE(twin.value()->Append(i, Vec(i)).ok());
+  }
+  for (const uint64_t q : {uint64_t{3}, uint64_t{11}, uint64_t{20}}) {
+    const auto a = index->SearchTopK(Vec(q), 12);
+    const auto b = twin.value()->SearchTopK(Vec(q), 12);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().ids, b.value().ids);
+    ASSERT_EQ(a.value().distances.size(), b.value().distances.size());
+    for (size_t i = 0; i < a.value().distances.size(); ++i) {
+      EXPECT_EQ(a.value().distances[i], b.value().distances[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Compaction failpoints: every phase fails clean and retries.
+
+class SegmentedCompactionFailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!common::FailpointsEnabled()) {
+      GTEST_SKIP() << "library built without failpoint sites";
+    }
+  }
+  void TearDown() override { common::DeactivateAllFailpoints(); }
+
+  // Eight records in four segments, ready to compact.
+  std::unique_ptr<SegmentedIndex> BuildFanout(const char* name) {
+    dir_ = ScratchDir(name);
+    auto index = SegmentedIndex::Open(dir_, SmallOptions(/*capacity=*/2));
+    EXPECT_TRUE(index.ok()) << index.status().ToString();
+    for (uint64_t i = 0; i < 8; ++i) {
+      EXPECT_TRUE(index.value()->Append(i, Vec(i)).ok());
+    }
+    EXPECT_EQ(index.value()->segment_count(), 4u);
+    return std::move(index.value());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(SegmentedCompactionFailpointTest, SelectFailureLeavesStateUntouched) {
+  auto index = BuildFanout("fp_compact_select");
+  common::ActivateFailpoint("index.segmented.compact.select", 1);
+  EXPECT_FALSE(index->CompactOnce(MergeAllPolicy()).ok());
+  EXPECT_EQ(index->segment_count(), 4u);
+  EXPECT_EQ(index->size(), 8u);
+  // One-shot site: the retry goes through.
+  const auto retry = index->CompactOnce(MergeAllPolicy());
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_TRUE(retry.value().compacted);
+  EXPECT_EQ(index->segment_count(), 1u);
+}
+
+TEST_F(SegmentedCompactionFailpointTest, WriteFailureLeavesStateUntouched) {
+  auto index = BuildFanout("fp_compact_write");
+  common::ActivateFailpoint("index.segmented.compact.write", 1);
+  EXPECT_FALSE(index->CompactOnce(MergeAllPolicy()).ok());
+  EXPECT_EQ(index->segment_count(), 4u);
+  // The failed pass reserved seq 5 but wrote nothing.
+  EXPECT_FALSE(common::FileExists(dir_ + "/seg-5.tmns"));
+  const auto retry = index->CompactOnce(MergeAllPolicy());
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(retry.value().compacted);
+  EXPECT_EQ(index->segment_count(), 1u);
+  const auto result = index->SearchTopK(Vec(3), 8);
+  ASSERT_TRUE(result.ok());
+  ExpectMatchesReference(result.value(), Vec(3), 8, 8);
+}
+
+TEST_F(SegmentedCompactionFailpointTest, PublishFailureCleansUpItsOutput) {
+  auto index = BuildFanout("fp_compact_publish");
+  common::ActivateFailpoint("index.segmented.compact.publish", 1);
+  EXPECT_FALSE(index->CompactOnce(MergeAllPolicy()).ok());
+  // The aborted pass removed its own (unreferenced) output; the manifest
+  // still lists the four inputs.
+  EXPECT_FALSE(common::FileExists(dir_ + "/seg-5.tmns"));
+  EXPECT_EQ(index->segment_count(), 4u);
+  const auto retry = index->CompactOnce(MergeAllPolicy());
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(retry.value().compacted);
+  EXPECT_EQ(index->segment_count(), 1u);
+}
+
+TEST_F(SegmentedCompactionFailpointTest, GcFailureIsDeferredNotFatal) {
+  auto index = BuildFanout("fp_compact_gc");
+  common::ActivateFailpoint("index.segmented.compact.gc", 1);
+  const auto stats = index->CompactOnce(MergeAllPolicy());
+  // The swap committed — GC failure after the commit point never fails
+  // the pass, it just leaves the inputs for the next Open to collect.
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats.value().compacted);
+  EXPECT_EQ(stats.value().gc_failed, stats.value().inputs.size());
+  EXPECT_EQ(index->segment_count(), 1u);
+  for (const std::string& input : stats.value().inputs) {
+    EXPECT_TRUE(common::FileExists(dir_ + "/" + input)) << input;
+  }
+  index.reset();
+
+  common::DeactivateAllFailpoints();
+  RecoveryReport report;
+  auto reopened =
+      SegmentedIndex::Open(dir_, SmallOptions(/*capacity=*/2), &report);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(report.segments_loaded, 1u);
+  EXPECT_EQ(reopened.value()->size(), 8u);
+  for (const std::string& input : stats.value().inputs) {
+    EXPECT_FALSE(common::FileExists(dir_ + "/" + input)) << input;
+  }
+}
+
+TEST_F(SegmentedCompactionFailpointTest, DaemonRetriesAfterAFailedPass) {
+  auto index = BuildFanout("fp_compact_daemon");
+  common::ActivateFailpoint("index.segmented.compact.write", 1);
+  Compactor compactor(index.get(), FastCompactor());
+  compactor.Start();
+  EXPECT_TRUE(WaitUntil(
+      [&] { return index->segment_count() == 1; }, 30.0));
+  compactor.Stop();
+  // The audit trail shows the injected failure and the recovery.
+  const auto reports = compactor.reports();
+  bool saw_failure = false;
+  bool saw_retry_success = false;
+  for (const CompactionReport& report : reports) {
+    if (!report.status.ok()) saw_failure = true;
+    if (report.status.ok() && report.stats.compacted && report.retry > 0) {
+      saw_retry_success = true;
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+  EXPECT_TRUE(saw_retry_success);
+  const auto result = index->SearchTopK(Vec(3), 8);
+  ASSERT_TRUE(result.ok());
+  ExpectMatchesReference(result.value(), Vec(3), 8, 8);
+}
+
+// ---------------------------------------------------------------------
+// WAL bit-rot fuzz: deterministic byte flips across a recorded WAL.
+// Replay must never crash, never surface an unacked or damaged record,
+// and always land on a clean truncate outcome — the survivors are an
+// exact prefix of the acked sequence and the file is cut back to it.
+
+TEST(SegmentedWalFuzzTest, RandomByteFlipsAlwaysRecoverToAnAckedPrefix) {
+  const std::string dir = ScratchDir("wal_fuzz");
+  constexpr uint64_t kRecords = 12;
+  {
+    auto index = SegmentedIndex::Open(dir, SmallOptions());
+    ASSERT_TRUE(index.ok());
+    for (uint64_t i = 0; i < kRecords; ++i) {
+      ASSERT_TRUE(index.value()->Append(i, Vec(i)).ok());
+    }
+  }
+  const std::string wal_path = dir + "/wal-1.log";
+  const auto pristine = common::ReadFileToString(wal_path);
+  ASSERT_TRUE(pristine.ok());
+  ASSERT_EQ(pristine.value().size(), kRecords * kFrameBytes);
+
+  bool any_truncation = false;
+  for (uint64_t trial = 0; trial < 64; ++trial) {
+    nn::Rng rng(1000 + trial);
+    std::string damaged = pristine.value();
+    const uint64_t flips = 1 + rng.UniformInt(4);
+    for (uint64_t f = 0; f < flips; ++f) {
+      const size_t offset = rng.UniformInt(damaged.size());
+      const char mask = static_cast<char>(1 + rng.UniformInt(255));
+      damaged[offset] = static_cast<char>(damaged[offset] ^ mask);
+    }
+    ASSERT_TRUE(common::AtomicWriteFile(wal_path, damaged).ok());
+
+    RecoveryReport report;
+    auto index = SegmentedIndex::Open(dir, SmallOptions(), &report);
+    ASSERT_TRUE(index.ok())
+        << "trial " << trial << ": " << index.status().ToString();
+    const uint64_t replayed = report.wal_records_replayed;
+    ASSERT_LE(replayed, kRecords) << "trial " << trial;
+    EXPECT_EQ(index.value()->size(), replayed);
+    if (replayed < kRecords) {
+      any_truncation = true;
+      // Damage was detected, reported, and cut away — never acked over.
+      EXPECT_GT(report.wal_bytes_truncated, 0u) << "trial " << trial;
+    }
+    // Survivors are the exact acked prefix, bit for bit.
+    if (replayed > 0) {
+      const auto result =
+          index.value()->SearchTopK(Vec(3), static_cast<size_t>(replayed));
+      ASSERT_TRUE(result.ok()) << "trial " << trial;
+      EXPECT_FALSE(result.value().partial);
+      ExpectMatchesReference(result.value(), Vec(3), replayed,
+                             static_cast<size_t>(replayed));
+    }
+    // Clean truncate outcome: the file is cut back to whole acked frames,
+    // and a second open replays the same prefix with no further damage.
+    index.value().reset();
+    EXPECT_EQ(std::filesystem::file_size(wal_path), replayed * kFrameBytes)
+        << "trial " << trial;
+    RecoveryReport second;
+    auto reopened = SegmentedIndex::Open(dir, SmallOptions(), &second);
+    ASSERT_TRUE(reopened.ok()) << "trial " << trial;
+    EXPECT_TRUE(second.wal_damage.ok()) << "trial " << trial;
+    EXPECT_EQ(second.wal_bytes_truncated, 0u);
+    EXPECT_EQ(second.wal_records_replayed, replayed);
+    reopened.value().reset();
+  }
+  // The flip distribution actually exercised the damage path.
+  EXPECT_TRUE(any_truncation);
+}
+
+// ---------------------------------------------------------------------
 // Serve integration: the optional segmented tier.
 
 std::vector<geo::Trajectory> ServeDatabase(int n) {
@@ -735,8 +1409,10 @@ std::vector<geo::Trajectory> ServeDatabase(int n) {
 }
 
 // Builds a segmented index holding the database's sketch vectors, keyed
-// by database position — the contract the serve tier expects.
-std::shared_ptr<const SegmentedIndex> BuildSketchIndex(
+// by database position — the contract the serve tier expects. Returned
+// non-const so compaction tests can pass it back through
+// ServerConfig::compaction_index; the const serving handle converts.
+std::shared_ptr<SegmentedIndex> BuildSketchIndex(
     const std::string& dir, const std::vector<geo::Trajectory>& database,
     size_t sketch_points, size_t capacity) {
   SegmentedIndexOptions options;
@@ -751,7 +1427,7 @@ std::shared_ptr<const SegmentedIndex> BuildSketchIndex(
     EXPECT_TRUE(index.value()->Append(i, sketch).ok());
   }
   EXPECT_TRUE(index.value()->Flush().ok());
-  return std::shared_ptr<const SegmentedIndex>(std::move(index.value()));
+  return std::shared_ptr<SegmentedIndex>(std::move(index.value()));
 }
 
 serve::ServerConfig SegmentedOnlyConfig(
@@ -830,6 +1506,83 @@ TEST(SegmentedServeTest, DimensionMismatchIsRejectedAtCreate) {
   auto server = serve::SimilarityServer::Create(
       config, database, dist::CreateMetric(dist::MetricType::kDtw), nullptr);
   EXPECT_EQ(server.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentedServeTest, EnableCompactionRequiresTheServedIndex) {
+  const std::string dir = ScratchDir("serve_compact_reject");
+  const std::string other_dir = ScratchDir("serve_compact_reject_other");
+  auto database = ServeDatabase(8);
+  auto index =
+      BuildSketchIndex(dir, database, /*sketch_points=*/8, /*capacity=*/8);
+
+  // Compaction on with no mutable handle at all.
+  serve::ServerConfig config = SegmentedOnlyConfig(index);
+  config.enable_compaction = true;
+  auto server = serve::SimilarityServer::Create(
+      config, database, dist::CreateMetric(dist::MetricType::kDtw), nullptr);
+  EXPECT_EQ(server.status().code(), common::StatusCode::kInvalidArgument);
+
+  // A mutable handle to a *different* index: compacting one index while
+  // serving another is a caller bug, not a silent misconfiguration.
+  config.compaction_index = BuildSketchIndex(other_dir, database,
+                                             /*sketch_points=*/8,
+                                             /*capacity=*/8);
+  server = serve::SimilarityServer::Create(
+      config, database, dist::CreateMetric(dist::MetricType::kDtw), nullptr);
+  EXPECT_EQ(server.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentedServeTest, ServerOwnedCompactionDaemonKeepsAnswersExact) {
+  const std::string dir = ScratchDir("serve_compact_daemon");
+  auto database = ServeDatabase(24);
+  // Capacity 4 -> 6 small segments, all compactable.
+  auto index =
+      BuildSketchIndex(dir, database, /*sketch_points=*/8, /*capacity=*/4);
+  ASSERT_EQ(index->segment_count(), 6u);
+
+  serve::ServerConfig config = SegmentedOnlyConfig(index);
+  config.rerank_candidates = database.size();
+  config.enable_compaction = true;
+  config.compaction_index = index;
+  config.compaction.policy.min_inputs = 2;
+  config.compaction.policy.max_inputs = 8;
+  config.compaction.backoff.initial_seconds = 0.0005;
+  config.compaction.backoff.max_seconds = 0.005;
+
+  auto metric = dist::CreateMetric(dist::MetricType::kDtw);
+  const geo::Trajectory query = database[5];
+  std::vector<std::pair<double, size_t>> expected;
+  for (size_t i = 0; i < database.size(); ++i) {
+    expected.emplace_back(metric->Compute(query, database[i]), i);
+  }
+  std::sort(expected.begin(), expected.end());
+
+  {
+    auto server = serve::SimilarityServer::Create(
+        config, database, dist::CreateMetric(dist::MetricType::kDtw),
+        nullptr);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    // Queries stay exact while the daemon rewrites segments under them.
+    for (int round = 0; round < 20; ++round) {
+      const auto result = server.value()->TopK(query, 4);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result.value().tier, serve::ServeTier::kSegmented);
+      EXPECT_FALSE(result.value().partial);
+      ASSERT_EQ(result.value().indices.size(), 4u);
+      for (size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(result.value().indices[i], expected[i].second);
+        EXPECT_EQ(result.value().distances[i], expected[i].first);
+      }
+    }
+    EXPECT_TRUE(WaitUntil([&] { return index->segment_count() == 1; }, 30.0));
+    // Server destruction stops and joins the daemon before the config's
+    // index handles die.
+  }
+  EXPECT_EQ(index->segment_count(), 1u);
+  const auto after = index->SearchTopK(
+      serve::SimilarityServer::SketchTrajectory(query, 8), 4);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().partial);
 }
 
 }  // namespace

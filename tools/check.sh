@@ -116,7 +116,7 @@ fi
 stage
 UBSAN_TESTS=(tensor_test ops_test autograd_test batched_lstm_test
              kernels_test rnn_test loss_test distance_test sampler_test
-             trainer_test eval_test)
+             trainer_test eval_test segmented_index_test)
 {
   cmake -B build-ubsan -S . -DTMN_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "$JOBS" --target "${UBSAN_TESTS[@]}"
@@ -161,11 +161,14 @@ stage
 {
   # The segmented-index recovery matrix (docs/INDEXING.md) in the
   # failpoint build from the previous stage: every IO boundary knocked
-  # out in turn, the three re-exec crash sites recovered bit-exactly,
-  # quarantine-degraded queries still answering. Then the ingest/recovery
-  # bench against its committed baseline: structural gauges (segments
-  # sealed, WAL records replayed, top-k checksum, 1-vs-4-thread
-  # identity) hard-fail on drift; wall clocks only warn.
+  # out in turn (including each compaction phase — select, write,
+  # publish, GC), the WAL bit-rot fuzz sweep, the re-exec crash sites
+  # (ingest and the full compaction matrix) recovered bit-exactly to the
+  # pre- or post-compaction manifest, quarantine-degraded queries still
+  # answering. Then the ingest/recovery bench against its committed
+  # baseline: structural gauges (segments sealed, WAL records replayed,
+  # compaction passes/bytes, top-k checksum, 1-vs-4-thread identity)
+  # hard-fail on drift; wall clocks only warn.
   ctest --test-dir build-failpoints --output-on-failure -j "$JOBS" \
       -R "Segmented|CrashRecovery"
   cmake --build build -j "$JOBS" --target bench_micro_index bench_compare
